@@ -1,0 +1,63 @@
+//! Broker-network propagation cost per covering policy (the distributed
+//! setting of Figures 1 and 5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::stream_fixture;
+use psc_broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc_model::SubscriptionId;
+use psc_workload::seeded_rng;
+use rand::Rng;
+
+fn bench_subscribe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/subscribe_200_subs_25_brokers");
+    group.sample_size(10);
+    let (_, subs, _) = stream_fixture(10, 200, 0);
+    for policy in
+        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut rng = seeded_rng(21);
+                    let topo = Topology::random_tree(25, &mut rng);
+                    let mut net = Network::new(topo, policy.clone(), 22);
+                    for (i, s) in subs.iter().enumerate() {
+                        let at = BrokerId(rng.gen_range(0..25));
+                        net.subscribe(at, SubscriptionId(i as u64), s.clone());
+                    }
+                    black_box(net.metrics())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker/publish_64_pubs");
+    group.sample_size(10);
+    let (schema, subs, pubs) = stream_fixture(10, 200, 64);
+    let _ = schema;
+    let mut rng = seeded_rng(23);
+    let topo = Topology::random_tree(25, &mut rng);
+    let mut net = Network::new(topo, CoveringPolicy::Pairwise, 24);
+    for (i, s) in subs.iter().enumerate() {
+        let at = BrokerId(rng.gen_range(0..25));
+        net.subscribe(at, SubscriptionId(i as u64), s.clone());
+    }
+    group.bench_function("pairwise_routed", |b| {
+        b.iter(|| {
+            let mut delivered = 0usize;
+            for p in &pubs {
+                delivered += net.publish(BrokerId(0), p).delivered_to.len();
+            }
+            black_box(delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subscribe, bench_publish);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Stream filtering cost: pairwise vs group coverage over the realistic
+//! comparison workload (the per-arrival cost behind Figures 13 and 14).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::stream_fixture;
+use psc_core::{PairwiseChecker, SubsumptionChecker};
+use psc_model::Subscription;
+use psc_workload::seeded_rng;
+
+fn filter_pairwise(stream: &[Subscription]) -> usize {
+    let mut active: Vec<Subscription> = Vec::new();
+    for s in stream {
+        if !PairwiseChecker.is_covered(s, &active) {
+            active.push(s.clone());
+        }
+    }
+    active.len()
+}
+
+fn filter_group(stream: &[Subscription], checker: &SubsumptionChecker) -> usize {
+    let mut rng = seeded_rng(11);
+    let mut active: Vec<Subscription> = Vec::new();
+    for s in stream {
+        if !checker.check(s, &active, &mut rng).is_covered() {
+            active.push(s.clone());
+        }
+    }
+    active.len()
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparison_stream");
+    group.sample_size(10);
+    for m in [10usize, 20] {
+        let (_, stream, _) = stream_fixture(m, 500, 0);
+        group.bench_with_input(BenchmarkId::new("pairwise", m), &stream, |b, stream| {
+            b.iter(|| black_box(filter_pairwise(stream)))
+        });
+        let checker = SubsumptionChecker::builder()
+            .error_probability(1e-6)
+            .max_iterations(2_000)
+            .build();
+        group.bench_with_input(BenchmarkId::new("group", m), &stream, |b, stream| {
+            b.iter(|| black_box(filter_group(stream, &checker)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Conflict-table construction (Definition 2): verifies the `O(m·k)` build
+//! cost and the conflict-free-count computation that MCS relies on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::covered_instance;
+use psc_core::ConflictTable;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_table/build");
+    for (m, k) in [(10, 100), (10, 310), (20, 100), (20, 310)] {
+        let (s, set) = covered_instance(m, k);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_k{k}")),
+            &(s, set),
+            |b, (s, set)| b.iter(|| ConflictTable::build(black_box(s), black_box(set))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_conflict_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_table/conflict_free_counts");
+    for (m, k) in [(10, 100), (20, 310)] {
+        let (s, set) = covered_instance(m, k);
+        let table = ConflictTable::build(&s, &set);
+        group.bench_with_input(
+            BenchmarkId::new("linear", format!("m{m}_k{k}")),
+            &table,
+            |b, t| b.iter(|| black_box(t).conflict_free_counts()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_quadratic", format!("m{m}_k{k}")),
+            &table,
+            |b, t| b.iter(|| black_box(t).conflict_free_counts_naive()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_conflict_free);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Publication matching (Algorithm 5): naive scan vs counting index vs the
+//! two-phase covered/uncovered store.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::stream_fixture;
+use psc_core::SubsumptionChecker;
+use psc_matcher::{CountingIndex, CoveringStore, NaiveMatcher};
+use psc_model::SubscriptionId;
+use psc_workload::seeded_rng;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(30);
+    for n in [200usize, 1000] {
+        let (schema, subs, pubs) = stream_fixture(10, n, 64);
+
+        let mut naive = NaiveMatcher::new();
+        let mut counting = CountingIndex::new(&schema);
+        let mut store = CoveringStore::new(
+            SubsumptionChecker::builder()
+                .error_probability(1e-6)
+                .max_iterations(500)
+                .build(),
+        );
+        let mut rng = seeded_rng(9);
+        for (i, s) in subs.iter().enumerate() {
+            naive.insert(SubscriptionId(i as u64), s.clone());
+            counting.insert(SubscriptionId(i as u64), s.clone());
+            store.insert(SubscriptionId(i as u64), s.clone(), &mut rng);
+        }
+        // Warm the counting index (first query rebuilds).
+        let _ = counting.matches(&pubs[0]);
+
+        group.bench_with_input(BenchmarkId::new("naive", n), &pubs, |b, pubs| {
+            b.iter(|| {
+                for p in pubs {
+                    black_box(naive.matches(p));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("counting", n), &pubs, |b, pubs| {
+            b.iter(|| {
+                for p in pubs {
+                    black_box(counting.matches(p));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("two_phase_store", n), &pubs, |b, pubs| {
+            b.iter(|| {
+                for p in pubs {
+                    black_box(store.match_publication(p));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cover_path(c: &mut Criterion) {
+    use psc_core::PairwiseChecker;
+    use psc_matcher::CoverIndex;
+
+    let mut group = c.benchmark_group("cover_path");
+    group.sample_size(30);
+    for n in [200usize, 1000] {
+        let (schema, subs, _) = stream_fixture(10, n + 32, 0);
+        let (probes, stored) = subs.split_at(32);
+
+        let naive_set: Vec<_> = stored.to_vec();
+        let mut idx = CoverIndex::new(&schema);
+        for (i, s) in stored.iter().enumerate() {
+            idx.insert(SubscriptionId(i as u64), s.clone());
+        }
+        let _ = idx.find_cover(&probes[0]); // warm the sorted view
+
+        group.bench_with_input(BenchmarkId::new("naive_find_cover", n), &probes, |b, probes| {
+            b.iter(|| {
+                for p in *probes {
+                    black_box(PairwiseChecker.find_cover(p, &naive_set));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_find_cover", n), &probes, |b, probes| {
+            b.iter(|| {
+                for p in *probes {
+                    black_box(idx.find_cover(p));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_cover_path);
+criterion_main!(benches);

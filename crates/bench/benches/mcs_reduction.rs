@@ -1,0 +1,34 @@
+//! MCS reduction cost (Algorithm 3) on covered and non-covered instances —
+//! the machinery behind Figures 6 and 8.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::{covered_instance, non_covered_instance};
+use psc_core::MinimizedCoverSet;
+
+fn bench_mcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcs/reduce");
+    for k in [40, 130, 310] {
+        for m in [10, 20] {
+            let (s, set) = covered_instance(m, k);
+            group.bench_with_input(
+                BenchmarkId::new("covered", format!("m{m}_k{k}")),
+                &(s, set),
+                |b, (s, set)| {
+                    b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set)))
+                },
+            );
+            let (s, set) = non_covered_instance(m, k);
+            group.bench_with_input(
+                BenchmarkId::new("non_cover", format!("m{m}_k{k}")),
+                &(s, set),
+                |b, (s, set)| {
+                    b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcs);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! RSPC sampling cost (Algorithm 1): per-guess cost and full runs on the
+//! extreme non-cover scenario (Figures 10 and 11).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::extreme_instance;
+use psc_core::rspc::{sample_point, Rspc};
+use psc_workload::seeded_rng;
+
+fn bench_sample_point(c: &mut Criterion) {
+    let (s, _) = extreme_instance(0.02);
+    let mut rng = seeded_rng(1);
+    let mut out = Vec::new();
+    c.bench_function("rspc/sample_point_m5", |b| {
+        b.iter(|| {
+            sample_point(black_box(&s), &mut rng, &mut out);
+            black_box(&out);
+        })
+    });
+}
+
+fn bench_rspc_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rspc/run_extreme");
+    for gap in [0.005, 0.02, 0.045] {
+        let (s, set) = extreme_instance(gap);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("gap{}", (gap * 1000.0) as u32)),
+            &(s, set),
+            |b, (s, set)| {
+                let mut rng = seeded_rng(2);
+                // Budget matching delta = 1e-6 at the scenario's typical
+                // estimated rho_w (~1/k): ln(1e-6)/ln(1-0.02) ~ 683.
+                let rspc = Rspc::new(683);
+                b.iter(|| rspc.run(black_box(s), black_box(set), &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_point, bench_rspc_run);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The full Algorithm-4 pipeline with stage ablations (DESIGN.md §7):
+//! quantifies what each fast path buys on covered and non-covered inputs —
+//! the companion measurement to Figures 7 and 9.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use psc_bench::{covered_instance, non_covered_instance};
+use psc_core::SubsumptionChecker;
+use psc_workload::seeded_rng;
+
+fn checkers() -> Vec<(&'static str, SubsumptionChecker)> {
+    let base = SubsumptionChecker::builder()
+        .error_probability(1e-6)
+        .max_iterations(5_000);
+    vec![
+        ("full", base.clone().build()),
+        ("no_mcs", base.clone().mcs(false).build()),
+        ("no_corollary3", base.clone().corollary3_fast_path(false).build()),
+        (
+            "bare_rspc",
+            base.pairwise_fast_path(false)
+                .corollary3_fast_path(false)
+                .mcs(false)
+                .prefilter_disjoint(false)
+                .build(),
+        ),
+    ]
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/check");
+    group.sample_size(20);
+    let covered = covered_instance(10, 130);
+    let non_covered = non_covered_instance(10, 130);
+    for (label, checker) in checkers() {
+        group.bench_with_input(
+            BenchmarkId::new("covered_m10_k130", label),
+            &covered,
+            |b, (s, set)| {
+                let mut rng = seeded_rng(3);
+                b.iter(|| checker.check(black_box(s), black_box(set), &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("non_cover_m10_k130", label),
+            &non_covered,
+            |b, (s, set)| {
+                let mut rng = seeded_rng(4);
+                b.iter(|| checker.check(black_box(s), black_box(set), &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

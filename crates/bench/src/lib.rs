@@ -1,0 +1,82 @@
+//! # psc-bench
+//!
+//! Criterion benchmarks covering every figure family of the paper plus the
+//! ablations called out in DESIGN.md §7. Shared fixtures live here; the
+//! bench targets are under `benches/`:
+//!
+//! | Bench target | Measures | Paper artifact |
+//! |---|---|---|
+//! | `conflict_table` | table construction `O(m·k)` | Definition 2 |
+//! | `mcs_reduction` | MCS fixpoint cost & effect | Figures 6, 8 |
+//! | `rspc_sampling` | point sampling + witness checks | Figures 10, 11 |
+//! | `subsumption_pipeline` | full Algorithm 4, stage ablations | Figures 7, 9 |
+//! | `matching` | naive vs counting vs two-phase store | Algorithm 5 |
+//! | `comparison_stream` | pairwise vs group stream filtering | Figures 13, 14 |
+//! | `broker_network` | per-policy subscription propagation | Figures 1, 5 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use psc_model::{Publication, Schema, Subscription};
+use psc_workload::{
+    seeded_rng, ComparisonWorkload, ExtremeNonCoverScenario, NonCoverScenario,
+    RedundantCoverScenario,
+};
+
+/// A ready-made covered instance (redundant covering scenario).
+pub fn covered_instance(m: usize, k: usize) -> (Subscription, Vec<Subscription>) {
+    let inst = RedundantCoverScenario::new(m, k).generate(&mut seeded_rng(0xBEEF));
+    (inst.s, inst.set)
+}
+
+/// A ready-made non-covered instance (non-cover scenario).
+pub fn non_covered_instance(m: usize, k: usize) -> (Subscription, Vec<Subscription>) {
+    let inst = NonCoverScenario::new(m, k).generate(&mut seeded_rng(0xFEED));
+    (inst.s, inst.set)
+}
+
+/// A ready-made extreme non-cover instance (gap sweep fixture).
+pub fn extreme_instance(gap: f64) -> (Subscription, Vec<Subscription>) {
+    let inst = ExtremeNonCoverScenario::new(gap).generate(&mut seeded_rng(0xABBA));
+    (inst.s, inst.set)
+}
+
+/// A realistic subscription stream plus matching publications.
+pub fn stream_fixture(
+    m: usize,
+    subs: usize,
+    pubs: usize,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    let wl = ComparisonWorkload::new(m);
+    let schema = wl.schema();
+    let mut rng = seeded_rng(0xD00D);
+    let stream = wl.stream(subs, &mut rng);
+    let publications = (0..pubs).map(|_| wl.publication(&schema, &mut rng)).collect();
+    (schema, stream, publications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_well_formed() {
+        let (s, set) = covered_instance(5, 20);
+        assert_eq!(set.len(), 20);
+        assert_eq!(s.arity(), 5);
+        let (s2, set2) = covered_instance(5, 20);
+        assert_eq!(s, s2);
+        assert_eq!(set, set2);
+
+        let (_, set) = non_covered_instance(5, 30);
+        assert_eq!(set.len(), 30);
+
+        let (_, set) = extreme_instance(0.02);
+        assert_eq!(set.len(), 50);
+
+        let (schema, subs, pubs) = stream_fixture(10, 50, 10);
+        assert_eq!(schema.len(), 10);
+        assert_eq!(subs.len(), 50);
+        assert_eq!(pubs.len(), 10);
+    }
+}

@@ -1,0 +1,259 @@
+//! A single broker's routing state.
+
+use crate::topology::BrokerId;
+use psc_model::{Publication, Subscription, SubscriptionId};
+use std::collections::{HashMap, HashSet};
+
+/// Per-broker state: local subscriptions, per-link interests received
+/// (driving publication forwarding), per-link subscriptions sent (driving
+/// covering decisions) and per-link subscriptions *suppressed* by covering
+/// (needed to promote them when a covering subscription is cancelled —
+/// Section 5 of the paper).
+///
+/// Reverse path forwarding invariant: a publication is forwarded to neighbor
+/// `N` exactly when some subscription *received from* `N` matches it —
+/// subscribers beyond `N` asked for it. Covering prunes what gets *sent to*
+/// `N`: a suppressed subscription is implied by an earlier, wider one, so
+/// matching publications still flow (unless the probabilistic policy erred).
+#[derive(Debug, Clone)]
+pub struct Broker {
+    id: BrokerId,
+    /// Subscriptions of locally attached subscribers.
+    local: Vec<(SubscriptionId, Subscription)>,
+    /// Interests received per neighbor link.
+    received: HashMap<BrokerId, Vec<(SubscriptionId, Subscription)>>,
+    /// Subscriptions actually forwarded per neighbor link.
+    sent: HashMap<BrokerId, Vec<(SubscriptionId, Subscription)>>,
+    /// Subscriptions withheld per neighbor link by a covering decision.
+    suppressed: HashMap<BrokerId, Vec<(SubscriptionId, Subscription)>>,
+    /// Subscription ids seen at this broker (cycle/duplicate guard).
+    seen: HashSet<SubscriptionId>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new(id: BrokerId) -> Self {
+        Broker {
+            id,
+            local: Vec::new(),
+            received: HashMap::new(),
+            sent: HashMap::new(),
+            suppressed: HashMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Whether this broker has already processed subscription `id`.
+    pub fn has_seen(&self, id: SubscriptionId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Marks a subscription as processed; returns `false` if it already was.
+    pub fn mark_seen(&mut self, id: SubscriptionId) -> bool {
+        self.seen.insert(id)
+    }
+
+    /// Unmarks a subscription (used on unsubscription so the id could in
+    /// principle be reused).
+    pub fn unmark_seen(&mut self, id: SubscriptionId) {
+        self.seen.remove(&id);
+    }
+
+    /// Registers a local subscriber's subscription.
+    pub fn add_local(&mut self, id: SubscriptionId, sub: Subscription) {
+        self.local.push((id, sub));
+    }
+
+    /// Removes a local subscription; returns whether it existed.
+    pub fn remove_local(&mut self, id: SubscriptionId) -> bool {
+        let before = self.local.len();
+        self.local.retain(|(i, _)| *i != id);
+        before != self.local.len()
+    }
+
+    /// Records a subscription received from neighbor `from`.
+    pub fn add_received(&mut self, from: BrokerId, id: SubscriptionId, sub: Subscription) {
+        self.received.entry(from).or_default().push((id, sub));
+    }
+
+    /// Removes a received entry; returns whether it existed.
+    pub fn remove_received(&mut self, from: BrokerId, id: SubscriptionId) -> bool {
+        match self.received.get_mut(&from) {
+            None => false,
+            Some(v) => {
+                let before = v.len();
+                v.retain(|(i, _)| *i != id);
+                before != v.len()
+            }
+        }
+    }
+
+    /// Records a subscription forwarded to neighbor `to`.
+    pub fn add_sent(&mut self, to: BrokerId, id: SubscriptionId, sub: Subscription) {
+        self.sent.entry(to).or_default().push((id, sub));
+    }
+
+    /// Removes a sent entry; returns whether it existed.
+    pub fn remove_sent(&mut self, to: BrokerId, id: SubscriptionId) -> bool {
+        match self.sent.get_mut(&to) {
+            None => false,
+            Some(v) => {
+                let before = v.len();
+                v.retain(|(i, _)| *i != id);
+                before != v.len()
+            }
+        }
+    }
+
+    /// Records a subscription withheld from neighbor `to` by covering.
+    pub fn add_suppressed(&mut self, to: BrokerId, id: SubscriptionId, sub: Subscription) {
+        self.suppressed.entry(to).or_default().push((id, sub));
+    }
+
+    /// Removes a suppressed entry everywhere (on unsubscription of `id`).
+    pub fn remove_suppressed_everywhere(&mut self, id: SubscriptionId) {
+        for v in self.suppressed.values_mut() {
+            v.retain(|(i, _)| *i != id);
+        }
+    }
+
+    /// Takes (removes and returns) the suppressed entries for link `to` —
+    /// the candidates for promotion after a covering subscription left.
+    pub fn take_suppressed(&mut self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.suppressed.remove(&to).unwrap_or_default()
+    }
+
+    /// The subscriptions already forwarded to `to` (covering context).
+    pub fn sent_to(&self, to: BrokerId) -> Vec<Subscription> {
+        self.sent
+            .get(&to)
+            .map_or_else(Vec::new, |v| v.iter().map(|(_, s)| s.clone()).collect())
+    }
+
+    /// Neighbors to which subscription `id` was forwarded.
+    pub fn sent_links_for(&self, id: SubscriptionId) -> Vec<BrokerId> {
+        self.sent
+            .iter()
+            .filter_map(|(to, v)| v.iter().any(|(i, _)| *i == id).then_some(*to))
+            .collect()
+    }
+
+    /// Local subscription ids matching `p`.
+    pub fn local_matches(&self, p: &Publication) -> Vec<SubscriptionId> {
+        self.local
+            .iter()
+            .filter_map(|(id, s)| s.matches(p).then_some(*id))
+            .collect()
+    }
+
+    /// Whether any interest received from `from` matches `p` — i.e. whether
+    /// `p` must be forwarded to that neighbor.
+    pub fn link_wants(&self, from: BrokerId, p: &Publication) -> bool {
+        self.received
+            .get(&from)
+            .is_some_and(|subs| subs.iter().any(|(_, s)| s.matches(p)))
+    }
+
+    /// Total routing-table entries (received interests) on this broker.
+    pub fn table_size(&self) -> u64 {
+        self.received.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of locally attached subscriptions.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Iterates over locally attached `(id, subscription)` pairs.
+    pub fn local_subscriptions(
+        &self,
+    ) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+        self.local.iter().map(|(id, s)| (*id, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema() -> Schema {
+        Schema::uniform(1, 0, 99)
+    }
+
+    fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+    }
+
+    #[test]
+    fn local_matching() {
+        let schema = schema();
+        let mut b = Broker::new(BrokerId(0));
+        b.add_local(SubscriptionId(1), sub(&schema, 0, 50));
+        b.add_local(SubscriptionId(2), sub(&schema, 60, 99));
+        let p = Publication::builder(&schema).set("x0", 10).build().unwrap();
+        assert_eq!(b.local_matches(&p), vec![SubscriptionId(1)]);
+        assert_eq!(b.local_len(), 2);
+        assert!(b.remove_local(SubscriptionId(1)));
+        assert!(!b.remove_local(SubscriptionId(1)));
+        assert_eq!(b.local_len(), 1);
+    }
+
+    #[test]
+    fn link_wants_consults_received_interests() {
+        let schema = schema();
+        let mut b = Broker::new(BrokerId(0));
+        b.add_received(BrokerId(1), SubscriptionId(5), sub(&schema, 20, 30));
+        let hit = Publication::builder(&schema).set("x0", 25).build().unwrap();
+        let miss = Publication::builder(&schema).set("x0", 35).build().unwrap();
+        assert!(b.link_wants(BrokerId(1), &hit));
+        assert!(!b.link_wants(BrokerId(1), &miss));
+        assert!(!b.link_wants(BrokerId(2), &hit)); // unknown link: nothing
+        assert!(b.remove_received(BrokerId(1), SubscriptionId(5)));
+        assert!(!b.link_wants(BrokerId(1), &hit));
+    }
+
+    #[test]
+    fn seen_guard_roundtrip() {
+        let mut b = Broker::new(BrokerId(0));
+        assert!(b.mark_seen(SubscriptionId(9)));
+        assert!(!b.mark_seen(SubscriptionId(9)));
+        assert!(b.has_seen(SubscriptionId(9)));
+        b.unmark_seen(SubscriptionId(9));
+        assert!(!b.has_seen(SubscriptionId(9)));
+    }
+
+    #[test]
+    fn sent_tracking_with_ids() {
+        let schema = schema();
+        let mut b = Broker::new(BrokerId(0));
+        assert!(b.sent_to(BrokerId(1)).is_empty());
+        b.add_sent(BrokerId(1), SubscriptionId(1), sub(&schema, 0, 10));
+        b.add_sent(BrokerId(2), SubscriptionId(1), sub(&schema, 0, 10));
+        assert_eq!(b.sent_to(BrokerId(1)).len(), 1);
+        let mut links = b.sent_links_for(SubscriptionId(1));
+        links.sort_unstable_by_key(|l| l.0);
+        assert_eq!(links, vec![BrokerId(1), BrokerId(2)]);
+        assert!(b.remove_sent(BrokerId(1), SubscriptionId(1)));
+        assert!(!b.remove_sent(BrokerId(1), SubscriptionId(1)));
+        assert_eq!(b.sent_links_for(SubscriptionId(1)), vec![BrokerId(2)]);
+    }
+
+    #[test]
+    fn suppressed_bookkeeping() {
+        let schema = schema();
+        let mut b = Broker::new(BrokerId(0));
+        b.add_suppressed(BrokerId(1), SubscriptionId(7), sub(&schema, 0, 5));
+        b.add_suppressed(BrokerId(1), SubscriptionId(8), sub(&schema, 6, 9));
+        b.remove_suppressed_everywhere(SubscriptionId(7));
+        let taken = b.take_suppressed(BrokerId(1));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].0, SubscriptionId(8));
+        assert!(b.take_suppressed(BrokerId(1)).is_empty());
+    }
+}

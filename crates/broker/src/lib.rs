@@ -1,0 +1,41 @@
+//! # psc-broker
+//!
+//! A distributed content-based publish/subscribe broker-network simulator,
+//! reproducing the routing substrate of Sections 2 and 5 of the Middleware
+//! 2006 subsumption paper:
+//!
+//! - [`Topology`] — undirected broker graphs, including the nine-broker
+//!   example of the paper's Figure 1 and chains for Proposition 5.
+//! - [`Network`] — synchronous simulation of **reverse path forwarding**:
+//!   subscriptions flood away from the subscriber and install per-link
+//!   routing state; publications follow the reverse links of matching
+//!   subscriptions.
+//! - [`CoveringPolicy`] — what a broker checks before forwarding a
+//!   subscription over a link: nothing ([`CoveringPolicy::Flooding`]), a
+//!   single covering subscription ([`CoveringPolicy::Pairwise`]), or the
+//!   paper's probabilistic group cover ([`CoveringPolicy::Group`]).
+//! - [`propagation`] — Proposition 5 / Equation 2: the probability that a
+//!   matching publication is still found after a subscription was
+//!   erroneously declared covered, both in closed form and by Monte-Carlo
+//!   simulation.
+//!
+//! Covering never loses publications with deterministic policies (covered
+//! subscriptions are implied by what was forwarded); with the probabilistic
+//! policy, losses happen exactly when a false YES suppressed forwarding —
+//! the simulator accounts for them via [`Network::expected_recipients`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod metrics;
+pub mod network;
+pub mod policy;
+pub mod propagation;
+pub mod topology;
+
+pub use broker::Broker;
+pub use metrics::NetworkMetrics;
+pub use network::{DeliveryReport, Network};
+pub use policy::CoveringPolicy;
+pub use topology::{BrokerId, Topology};

@@ -1,0 +1,82 @@
+//! Traffic and delivery metrics for broker-network runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by a [`crate::Network`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    /// Broker-to-broker subscription messages.
+    pub subscription_messages: u64,
+    /// Subscriptions *not* forwarded on a link because the policy declared
+    /// them covered.
+    pub subscriptions_suppressed: u64,
+    /// Broker-to-broker unsubscription (teardown) messages.
+    pub unsubscription_messages: u64,
+    /// Suppressed subscriptions later promoted because their cover left.
+    pub subscriptions_promoted: u64,
+    /// Broker-to-broker publication messages.
+    pub publication_messages: u64,
+    /// Notifications delivered to local subscribers.
+    pub notifications: u64,
+    /// Total routing-table entries installed across all brokers/links.
+    pub table_entries: u64,
+}
+
+impl AddAssign for NetworkMetrics {
+    fn add_assign(&mut self, rhs: NetworkMetrics) {
+        self.subscription_messages += rhs.subscription_messages;
+        self.subscriptions_suppressed += rhs.subscriptions_suppressed;
+        self.unsubscription_messages += rhs.unsubscription_messages;
+        self.subscriptions_promoted += rhs.subscriptions_promoted;
+        self.publication_messages += rhs.publication_messages;
+        self.notifications += rhs.notifications;
+        self.table_entries += rhs.table_entries;
+    }
+}
+
+impl fmt::Display for NetworkMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sub msgs: {}, suppressed: {}, pub msgs: {}, notifications: {}, table entries: {}",
+            self.subscription_messages,
+            self.subscriptions_suppressed,
+            self.publication_messages,
+            self.notifications,
+            self.table_entries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = NetworkMetrics {
+            subscription_messages: 1,
+            subscriptions_suppressed: 2,
+            unsubscription_messages: 6,
+            subscriptions_promoted: 7,
+            publication_messages: 3,
+            notifications: 4,
+            table_entries: 5,
+        };
+        a += a;
+        assert_eq!(a.subscription_messages, 2);
+        assert_eq!(a.subscriptions_suppressed, 4);
+        assert_eq!(a.unsubscription_messages, 12);
+        assert_eq!(a.subscriptions_promoted, 14);
+        assert_eq!(a.publication_messages, 6);
+        assert_eq!(a.notifications, 8);
+        assert_eq!(a.table_entries, 10);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!NetworkMetrics::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! The synchronous broker-network simulator.
+
+use crate::broker::Broker;
+use crate::metrics::NetworkMetrics;
+use crate::policy::CoveringPolicy;
+use crate::topology::{BrokerId, Topology};
+use psc_model::{Publication, Subscription, SubscriptionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What happened to one published notification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliveryReport {
+    /// Subscription ids notified, in visit order.
+    pub delivered_to: Vec<SubscriptionId>,
+    /// Broker-to-broker publication messages used.
+    pub messages: u64,
+    /// Brokers the publication visited (the delivery tree's nodes).
+    pub visited: Vec<BrokerId>,
+}
+
+/// A simulated content-based pub/sub broker network using reverse path
+/// forwarding with a pluggable covering policy.
+///
+/// # Example — the paper's Figure 1
+/// ```
+/// use psc_broker::{Network, Topology, CoveringPolicy, BrokerId};
+/// use psc_model::{Schema, Subscription, Publication, SubscriptionId};
+///
+/// let schema = Schema::uniform(1, 0, 99);
+/// let mut net = Network::new(Topology::figure1(), CoveringPolicy::Pairwise, 7);
+/// let s1 = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+/// let s2 = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+/// net.subscribe(BrokerId(0), SubscriptionId(1), s1); // S1 at B1
+/// net.subscribe(BrokerId(5), SubscriptionId(2), s2); // S2 at B6 (s2 ⊑ s1)
+///
+/// // P1 at B9 publishes a notification matching both subscriptions.
+/// let n1 = Publication::builder(&schema).set("x0", 15).build()?;
+/// let report = net.publish(BrokerId(8), &n1);
+/// assert!(report.delivered_to.contains(&SubscriptionId(1)));
+/// assert!(report.delivered_to.contains(&SubscriptionId(2)));
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    brokers: Vec<Broker>,
+    policy: CoveringPolicy,
+    rng: StdRng,
+    metrics: NetworkMetrics,
+    /// Global registry for ground-truth delivery accounting.
+    registry: Vec<(SubscriptionId, BrokerId, Subscription)>,
+}
+
+impl Network {
+    /// Creates a network over `topology` with the given covering policy and
+    /// RNG seed (the probabilistic policy draws from it).
+    pub fn new(topology: Topology, policy: CoveringPolicy, seed: u64) -> Self {
+        let brokers = (0..topology.len()).map(|i| Broker::new(BrokerId(i))).collect();
+        Network {
+            topology,
+            brokers,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: NetworkMetrics::default(),
+            registry: Vec::new(),
+        }
+    }
+
+    /// The network's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accumulated traffic metrics.
+    pub fn metrics(&self) -> NetworkMetrics {
+        let mut m = self.metrics;
+        m.table_entries = self.brokers.iter().map(|b| b.table_size()).sum();
+        m
+    }
+
+    /// The broker at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn broker(&self, id: BrokerId) -> &Broker {
+        &self.brokers[id.0]
+    }
+
+    /// Registers a subscriber's subscription at `at` and propagates it
+    /// through the network (reverse path forwarding + covering policy).
+    ///
+    /// # Panics
+    /// Panics if `id` was already subscribed anywhere in this network.
+    pub fn subscribe(&mut self, at: BrokerId, id: SubscriptionId, sub: Subscription) {
+        assert!(
+            !self.registry.iter().any(|(rid, _, _)| *rid == id),
+            "subscription id {id} already registered"
+        );
+        self.registry.push((id, at, sub.clone()));
+        self.brokers[at.0].mark_seen(id);
+        self.brokers[at.0].add_local(id, sub.clone());
+
+        self.propagate(id, &sub, at, None);
+    }
+
+    /// Floods subscription `id` starting at `origin` (which must already
+    /// hold it locally or have received it), honouring the covering policy
+    /// and recording suppressions for later promotion.
+    fn propagate(
+        &mut self,
+        id: SubscriptionId,
+        sub: &Subscription,
+        origin: BrokerId,
+        origin_from: Option<BrokerId>,
+    ) {
+        // (arrived_at, came_from) pairs to process.
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> =
+            VecDeque::from([(origin, origin_from)]);
+        while let Some((here, from)) = queue.pop_front() {
+            let neighbor_ids: Vec<BrokerId> =
+                self.topology.neighbors(here).to_vec();
+            for next in neighbor_ids {
+                if Some(next) == from {
+                    continue;
+                }
+                if self.brokers[next.0].has_seen(id) {
+                    // Cycle or converging path: first arrival wins.
+                    continue;
+                }
+                let covered = {
+                    let already = self.brokers[here.0].sent_to(next);
+                    self.policy.is_covered(sub, &already, &mut self.rng)
+                };
+                if covered {
+                    self.metrics.subscriptions_suppressed += 1;
+                    self.brokers[here.0].add_suppressed(next, id, sub.clone());
+                    continue;
+                }
+                self.brokers[here.0].add_sent(next, id, sub.clone());
+                self.brokers[next.0].mark_seen(id);
+                self.brokers[next.0].add_received(here, id, sub.clone());
+                self.metrics.subscription_messages += 1;
+                queue.push_back((next, Some(here)));
+            }
+        }
+    }
+
+    /// Cancels subscription `id` network-wide (Section 5 of the paper):
+    /// removes its local registration and every routing-table entry it
+    /// installed, then re-evaluates subscriptions that had been suppressed
+    /// by covering on the affected links — those no longer covered are
+    /// *promoted*, i.e. forwarded now.
+    ///
+    /// Returns `false` when the id is unknown.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let Some(pos) = self.registry.iter().position(|(rid, _, _)| *rid == id) else {
+            return false;
+        };
+        let (_, at, _) = self.registry.remove(pos);
+        self.brokers[at.0].remove_local(id);
+
+        // Walk the links the subscription traveled, tearing down state.
+        let mut queue: VecDeque<BrokerId> = VecDeque::from([at]);
+        let mut affected_links: Vec<(BrokerId, BrokerId)> = Vec::new();
+        while let Some(here) = queue.pop_front() {
+            self.brokers[here.0].unmark_seen(id);
+            self.brokers[here.0].remove_suppressed_everywhere(id);
+            for next in self.brokers[here.0].sent_links_for(id) {
+                self.brokers[here.0].remove_sent(next, id);
+                self.brokers[next.0].remove_received(here, id);
+                self.metrics.unsubscription_messages += 1;
+                affected_links.push((here, next));
+                queue.push_back(next);
+            }
+        }
+
+        // Promote suppressed subscriptions that the departed one was (part
+        // of) covering. Re-check every suppressed entry on affected links;
+        // still-covered ones are re-recorded as suppressed.
+        for (here, next) in affected_links {
+            let candidates = self.brokers[here.0].take_suppressed(next);
+            for (sid, ssub) in candidates {
+                let covered = {
+                    let already = self.brokers[here.0].sent_to(next);
+                    self.policy.is_covered(&ssub, &already, &mut self.rng)
+                };
+                if covered {
+                    self.brokers[here.0].add_suppressed(next, sid, ssub);
+                    continue;
+                }
+                // Forward now, then let it continue from `next` like a
+                // fresh arrival there.
+                self.brokers[here.0].add_sent(next, sid, ssub.clone());
+                self.brokers[next.0].mark_seen(sid);
+                self.brokers[next.0].add_received(here, sid, ssub.clone());
+                self.metrics.subscription_messages += 1;
+                self.metrics.subscriptions_promoted += 1;
+                self.propagate(sid, &ssub, next, Some(here));
+            }
+        }
+        true
+    }
+
+    /// Publishes `p` at broker `at`, routing it along reverse subscription
+    /// paths; returns the delivery report.
+    pub fn publish(&mut self, at: BrokerId, p: &Publication) -> DeliveryReport {
+        let mut delivered_to = Vec::new();
+        let mut messages = 0u64;
+        let mut visited = Vec::new();
+        let mut seen = vec![false; self.brokers.len()];
+
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> =
+            VecDeque::from([(at, None)]);
+        seen[at.0] = true;
+        while let Some((here, from)) = queue.pop_front() {
+            visited.push(here);
+            let local = self.brokers[here.0].local_matches(p);
+            self.metrics.notifications += local.len() as u64;
+            delivered_to.extend(local);
+
+            let neighbor_ids: Vec<BrokerId> = self.topology.neighbors(here).to_vec();
+            for next in neighbor_ids {
+                if Some(next) == from || seen[next.0] {
+                    continue;
+                }
+                if self.brokers[here.0].link_wants(next, p) {
+                    seen[next.0] = true;
+                    messages += 1;
+                    self.metrics.publication_messages += 1;
+                    queue.push_back((next, Some(here)));
+                }
+            }
+        }
+        DeliveryReport { delivered_to, messages, visited }
+    }
+
+    /// Ground truth: every registered subscription that matches `p`,
+    /// regardless of routing state. The difference between this and
+    /// [`Network::publish`]'s report is the set of deliveries lost to
+    /// erroneous covering decisions.
+    pub fn expected_recipients(&self, p: &Publication) -> Vec<SubscriptionId> {
+        self.registry
+            .iter()
+            .filter_map(|(id, _, s)| s.matches(p).then_some(*id))
+            .collect()
+    }
+
+    /// Total number of registered subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema() -> Schema {
+        Schema::uniform(1, 0, 99)
+    }
+
+    fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+    }
+
+    fn pub1(schema: &Schema, v: i64) -> Publication {
+        Publication::builder(schema).set("x0", v).build().unwrap()
+    }
+
+    /// The full worked example of the paper's Section 2 / Figure 1.
+    #[test]
+    fn figure1_covering_and_delivery_trees() {
+        let schema = schema();
+        let b = |i: usize| BrokerId(i - 1);
+        let mut net = Network::new(Topology::figure1(), CoveringPolicy::Pairwise, 1);
+
+        // S1 subscribes s1 at B1: floods the whole tree (8 edges).
+        net.subscribe(b(1), SubscriptionId(1), sub(&schema, 0, 50));
+        assert_eq!(net.metrics().subscription_messages, 8);
+
+        // S2 subscribes s2 ⊑ s1 at B6. Path: B6→B4 (1 msg). At B4, covering
+        // suppresses B5 and B7 (s1 already sent there) but forwards to B3
+        // (s1 was *received from* B3, never sent to it). At B3: suppressed
+        // toward B2 (s1 sent there), forwarded to B1. Total 3 new messages.
+        net.subscribe(b(6), SubscriptionId(2), sub(&schema, 10, 20));
+        let m = net.metrics();
+        assert_eq!(m.subscription_messages, 11, "8 for s1 + 3 for s2");
+        assert_eq!(m.subscriptions_suppressed, 3, "B4→B5, B4→B7, B3→B2");
+
+        // P1 at B9 publishes n1 matching s2 (hence s1): the delivery tree
+        // must connect B9, B7, B4, B3, B1, B6 (the paper's first tree).
+        let n1 = pub1(&schema, 15);
+        let report = net.publish(b(9), &n1);
+        let mut tree: Vec<usize> = report.visited.iter().map(|x| x.0 + 1).collect();
+        tree.sort_unstable();
+        assert_eq!(tree, vec![1, 3, 4, 6, 7, 9]);
+        assert_eq!(report.delivered_to.len(), 2);
+        assert!(report.delivered_to.contains(&SubscriptionId(1)));
+        assert!(report.delivered_to.contains(&SubscriptionId(2)));
+        assert_eq!(report.messages, 5, "five tree edges");
+
+        // P2 at B5 publishes n2 matching s1 only: tree B5, B4, B3, B1.
+        let n2 = pub1(&schema, 40);
+        let report = net.publish(b(5), &n2);
+        let mut tree: Vec<usize> = report.visited.iter().map(|x| x.0 + 1).collect();
+        tree.sort_unstable();
+        assert_eq!(tree, vec![1, 3, 4, 5]);
+        assert_eq!(report.delivered_to, vec![SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn flooding_never_suppresses() {
+        let schema = schema();
+        let mut net = Network::new(Topology::figure1(), CoveringPolicy::Flooding, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 50));
+        net.subscribe(BrokerId(5), SubscriptionId(2), sub(&schema, 10, 20));
+        let m = net.metrics();
+        assert_eq!(m.subscription_messages, 16, "both subscriptions flood all 8 edges");
+        assert_eq!(m.subscriptions_suppressed, 0);
+    }
+
+    #[test]
+    fn deterministic_covering_loses_no_deliveries() {
+        let schema = schema();
+        for policy in [CoveringPolicy::Flooding, CoveringPolicy::Pairwise] {
+            let mut net = Network::new(Topology::figure1(), policy, 3);
+            net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 50));
+            net.subscribe(BrokerId(5), SubscriptionId(2), sub(&schema, 10, 20));
+            net.subscribe(BrokerId(7), SubscriptionId(3), sub(&schema, 40, 80));
+            for v in [0, 15, 45, 60, 99] {
+                let p = pub1(&schema, v);
+                for at in 0..9 {
+                    let mut actual = net.publish(BrokerId(at), &p).delivered_to;
+                    let mut expected = net.expected_recipients(&p);
+                    actual.sort_unstable_by_key(|s| s.0);
+                    expected.sort_unstable_by_key(|s| s.0);
+                    assert_eq!(actual, expected, "policy lost deliveries at v={v} broker={at}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_policy_covers_union_on_chain() {
+        let schema = schema();
+        // B1 - B2 - B3. Two subscriptions at B1 jointly cover [0, 99].
+        let mut net = Network::new(Topology::chain(3), CoveringPolicy::group(1e-12), 5);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 60));
+        net.subscribe(BrokerId(0), SubscriptionId(2), sub(&schema, 50, 99));
+        let before = net.metrics().subscription_messages;
+        assert_eq!(before, 4, "two subscriptions × two links");
+        // A third subscription inside the union is suppressed everywhere.
+        net.subscribe(BrokerId(0), SubscriptionId(3), sub(&schema, 30, 70));
+        let m = net.metrics();
+        assert_eq!(m.subscription_messages, 4, "no new traffic");
+        assert_eq!(m.subscriptions_suppressed, 1, "suppressed on B1→B2");
+        // Pairwise would have forwarded it (no single cover).
+        let mut pw = Network::new(Topology::chain(3), CoveringPolicy::Pairwise, 5);
+        pw.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 60));
+        pw.subscribe(BrokerId(0), SubscriptionId(2), sub(&schema, 50, 99));
+        pw.subscribe(BrokerId(0), SubscriptionId(3), sub(&schema, 30, 70));
+        assert_eq!(pw.metrics().subscription_messages, 6);
+        // And despite suppression, deliveries still work: any point in
+        // [30, 70] matches sub 1 or 2, which did propagate.
+        let p = pub1(&schema, 55);
+        let report = net.publish(BrokerId(2), &p);
+        assert!(report.delivered_to.contains(&SubscriptionId(3)));
+    }
+
+    #[test]
+    fn publication_stays_local_without_interest() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(4), CoveringPolicy::Pairwise, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 10));
+        let p = pub1(&schema, 90); // matches nothing
+        let report = net.publish(BrokerId(3), &p);
+        assert_eq!(report.messages, 0);
+        assert!(report.delivered_to.is_empty());
+        assert_eq!(report.visited, vec![BrokerId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_subscription_id_panics() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(2), CoveringPolicy::Flooding, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 10));
+        net.subscribe(BrokerId(1), SubscriptionId(1), sub(&schema, 0, 10));
+    }
+
+    #[test]
+    fn local_delivery_at_publishing_broker() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(2), CoveringPolicy::Pairwise, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 99));
+        let p = pub1(&schema, 5);
+        let report = net.publish(BrokerId(0), &p);
+        assert_eq!(report.delivered_to, vec![SubscriptionId(1)]);
+        assert_eq!(report.messages, 0, "subscriber is local");
+    }
+
+    /// Section 5's cancellation rule: when the covering subscription leaves,
+    /// the suppressed one must be promoted so deliveries keep working.
+    #[test]
+    fn unsubscribe_promotes_suppressed_subscriptions() {
+        let schema = schema();
+        let b = |i: usize| BrokerId(i - 1);
+        let mut net = Network::new(Topology::figure1(), CoveringPolicy::Pairwise, 1);
+        net.subscribe(b(1), SubscriptionId(1), sub(&schema, 0, 50)); // s1 at B1
+        net.subscribe(b(6), SubscriptionId(2), sub(&schema, 10, 20)); // s2 ⊑ s1 at B6
+        assert_eq!(net.metrics().subscriptions_suppressed, 3);
+
+        // Cancel s1: its 8 table entries tear down; s2 must now reach the
+        // brokers it was suppressed from (B5, B7→{B8,B9}, B2).
+        assert!(net.unsubscribe(SubscriptionId(1)));
+        let m = net.metrics();
+        assert_eq!(m.unsubscription_messages, 8);
+        assert!(m.subscriptions_promoted >= 3, "promoted = {}", m.subscriptions_promoted);
+
+        // A publication matching s2 from anywhere still reaches S2 at B6.
+        let p = pub1(&schema, 15);
+        for origin in 1..=9usize {
+            let mut actual = net.publish(b(origin), &p).delivered_to;
+            actual.sort_unstable_by_key(|s| s.0);
+            assert_eq!(actual, vec![SubscriptionId(2)], "origin B{origin}");
+        }
+        // And s1 is truly gone: a publication matching only s1 reaches nobody.
+        let p = pub1(&schema, 40);
+        assert!(net.publish(b(9), &p).delivered_to.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_unknown_id_returns_false() {
+        let mut net = Network::new(Topology::chain(2), CoveringPolicy::Pairwise, 1);
+        assert!(!net.unsubscribe(SubscriptionId(42)));
+    }
+
+    #[test]
+    fn unsubscribe_without_suppression_just_tears_down() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(3), CoveringPolicy::Pairwise, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 50));
+        assert!(net.unsubscribe(SubscriptionId(1)));
+        let m = net.metrics();
+        assert_eq!(m.unsubscription_messages, 2);
+        assert_eq!(m.subscriptions_promoted, 0);
+        assert_eq!(m.table_entries, 0);
+        assert_eq!(net.subscription_count(), 0);
+        // Publications are now ignored everywhere.
+        let p = pub1(&schema, 25);
+        assert!(net.publish(BrokerId(2), &p).delivered_to.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_then_resubscribe_same_id() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(3), CoveringPolicy::Pairwise, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 50));
+        assert!(net.unsubscribe(SubscriptionId(1)));
+        // The id is free again.
+        net.subscribe(BrokerId(2), SubscriptionId(1), sub(&schema, 60, 90));
+        let p = pub1(&schema, 70);
+        let report = net.publish(BrokerId(0), &p);
+        assert_eq!(report.delivered_to, vec![SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn chained_promotion_after_multiple_unsubscribes() {
+        let schema = schema();
+        // s1 ⊒ s2 ⊒ s3 all at B1 on a chain; cancel outer layers one by one.
+        let mut net = Network::new(Topology::chain(4), CoveringPolicy::Pairwise, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 90));
+        net.subscribe(BrokerId(0), SubscriptionId(2), sub(&schema, 10, 60));
+        net.subscribe(BrokerId(0), SubscriptionId(3), sub(&schema, 20, 40));
+        // Only s1 propagated (3 links); s2, s3 suppressed at B1.
+        assert_eq!(net.metrics().subscription_messages, 3);
+
+        assert!(net.unsubscribe(SubscriptionId(1)));
+        // s2 promoted (s3 still covered by it).
+        let p = pub1(&schema, 30);
+        let r = net.publish(BrokerId(3), &p);
+        let mut ids = r.delivered_to;
+        ids.sort_unstable_by_key(|s| s.0);
+        assert_eq!(ids, vec![SubscriptionId(2), SubscriptionId(3)]);
+
+        assert!(net.unsubscribe(SubscriptionId(2)));
+        // s3 promoted in turn.
+        let r = net.publish(BrokerId(3), &p);
+        assert_eq!(r.delivered_to, vec![SubscriptionId(3)]);
+        assert!(net.metrics().subscriptions_promoted >= 2);
+    }
+
+    #[test]
+    fn table_entries_metric_counts_interests() {
+        let schema = schema();
+        let mut net = Network::new(Topology::chain(3), CoveringPolicy::Flooding, 1);
+        net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 10));
+        // s1 installed at B2 (from B1) and B3 (from B2): 2 entries.
+        assert_eq!(net.metrics().table_entries, 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Proposition 5 / Equation 2: the cost of an erroneous covering decision.
+//!
+//! Setting (the paper's Figure 5): subscription `s` is issued at broker `B1`
+//! of a chain `B1 … Bn`; the existing set `S` already reached every broker.
+//! Suppose the probabilistic checker *erroneously* declares `s` covered. A
+//! publication matching `s` (but no member of `S`) appears at each broker
+//! with probability `ρ`. The publication is found iff it surfaces at a broker
+//! that `s` still managed to reach — which requires the (repeated,
+//! independent) cover checks along the chain to keep answering correctly.
+//!
+//! Equation 2 gives the find probability:
+//!
+//! ```text
+//! P(find) = Σ_{i=1..n} ρ · [(1 − ρ)(1 − (1 − ρw)^d)]^(i−1)
+//! ```
+//!
+//! where `1 − (1 − ρw)^d` is the per-broker probability that RSPC correctly
+//! detects non-coverage (and therefore forwards `s` one hop further).
+
+use rand::Rng;
+
+/// Per-broker probability that RSPC detects non-coverage: `1 − (1 − ρw)^d`.
+///
+/// # Panics
+/// Panics unless `0 ≤ rho_w ≤ 1`.
+pub fn detection_probability(rho_w: f64, d: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho_w), "rho_w must be in [0, 1], got {rho_w}");
+    1.0 - (1.0 - rho_w).powi(d.min(i32::MAX as u64) as i32)
+}
+
+/// Equation 2: closed-form probability of finding the matching publication
+/// along a chain of `n` brokers.
+///
+/// # Panics
+/// Panics unless `0 ≤ rho ≤ 1` and `0 ≤ rho_w ≤ 1`.
+pub fn find_probability(n: usize, rho: f64, rho_w: f64, d: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
+    let fwd = detection_probability(rho_w, d);
+    let step = (1.0 - rho) * fwd;
+    let mut acc = 0.0;
+    let mut pow = 1.0;
+    for _ in 0..n {
+        acc += rho * pow;
+        pow *= step;
+    }
+    acc
+}
+
+/// Monte-Carlo validation of Equation 2: simulates `runs` chains and returns
+/// the empirical find rate.
+///
+/// Each run walks the chain broker by broker: at broker `i` the publication
+/// surfaces with probability `ρ` (first surfacing wins); `s` keeps
+/// propagating past broker `i` only while each hop's independent RSPC run
+/// (success probability `1 − (1 − ρw)^d`) detects non-coverage.
+pub fn simulate_chain<R: Rng + ?Sized>(
+    n: usize,
+    rho: f64,
+    rho_w: f64,
+    d: u64,
+    runs: u64,
+    rng: &mut R,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
+    let fwd = detection_probability(rho_w, d);
+    let mut found = 0u64;
+    for _ in 0..runs {
+        let mut s_alive = true; // s reached broker 1 (it was issued there)
+        for i in 0..n {
+            if i > 0 {
+                // s must survive the hop into broker i+1.
+                s_alive = s_alive && rng.gen_bool(fwd);
+                if !s_alive {
+                    break;
+                }
+            }
+            if rng.gen_bool(rho) {
+                found += 1;
+                break;
+            }
+        }
+    }
+    found as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detection_probability_limits() {
+        assert_eq!(detection_probability(0.0, 100), 0.0);
+        assert_eq!(detection_probability(1.0, 1), 1.0);
+        let p = detection_probability(0.1, 20);
+        let expected: f64 = 1.0 - 0.9f64.powi(20);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_broker_chain_is_just_rho() {
+        assert!((find_probability(1, 0.3, 0.5, 10) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_detection_reduces_to_geometric_sum() {
+        // fwd = 1: P = Σ ρ(1-ρ)^{i-1} = 1 - (1-ρ)^n.
+        let n = 8;
+        let rho: f64 = 0.25;
+        let expected = 1.0 - (1.0 - rho).powi(n as i32);
+        assert!((find_probability(n, rho, 1.0, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_detection_strands_publication_downstream() {
+        // fwd = 0: s never leaves B1, so only publications at B1 are found.
+        assert!((find_probability(10, 0.2, 0.0, 5) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_d_and_n() {
+        let base = find_probability(6, 0.1, 0.01, 10);
+        assert!(find_probability(6, 0.1, 0.01, 100) > base);
+        assert!(find_probability(12, 0.1, 0.01, 10) > base);
+    }
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (n, rho, rho_w, d) in
+            [(5usize, 0.3, 0.05, 50u64), (10, 0.1, 0.02, 100), (3, 0.5, 0.5, 2)]
+        {
+            let analytic = find_probability(n, rho, rho_w, d);
+            let simulated = simulate_chain(n, rho, rho_w, d, 200_000, &mut rng);
+            assert!(
+                (analytic - simulated).abs() < 0.005,
+                "n={n} rho={rho}: analytic {analytic} vs simulated {simulated}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn invalid_rho_panics() {
+        let _ = find_probability(3, 1.5, 0.1, 10);
+    }
+}

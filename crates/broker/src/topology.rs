@@ -1,0 +1,262 @@
+//! Broker-graph topologies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a broker node in a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct BrokerId(pub usize);
+
+impl fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0 + 1)
+    }
+}
+
+/// An undirected broker graph.
+///
+/// The simulator supports arbitrary connected graphs (reverse-path
+/// forwarding deduplicates by first arrival), though the paper's settings are
+/// trees.
+///
+/// # Example
+/// ```
+/// use psc_broker::Topology;
+/// let t = Topology::chain(4);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.neighbors(psc_broker::BrokerId(1)),
+///            &[psc_broker::BrokerId(0), psc_broker::BrokerId(2)]);
+/// assert!(t.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    adjacency: Vec<Vec<BrokerId>>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` isolated brokers.
+    pub fn empty(n: usize) -> Self {
+        Topology { adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    /// Panics on self-loops, duplicate edges, or out-of-range ids.
+    pub fn add_edge(&mut self, a: BrokerId, b: BrokerId) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(a.0 < self.len() && b.0 < self.len(), "broker id out of range");
+        assert!(!self.adjacency[a.0].contains(&b), "duplicate edge {a}-{b}");
+        self.adjacency[a.0].push(b);
+        self.adjacency[b.0].push(a);
+    }
+
+    /// A chain `B1 - B2 - … - Bn` (Figure 5 of the paper).
+    pub fn chain(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.add_edge(BrokerId(i - 1), BrokerId(i));
+        }
+        t
+    }
+
+    /// A star: broker 0 in the center, all others leaves.
+    pub fn star(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.add_edge(BrokerId(0), BrokerId(i));
+        }
+        t
+    }
+
+    /// The nine-broker example network of the paper's Figure 1:
+    ///
+    /// ```text
+    ///   B1 - B3 - B2          B8
+    ///         |               |
+    ///        B4 ------------ B7 - B9
+    ///       /  \
+    ///      B5   B6
+    /// ```
+    ///
+    /// Subscriber S1 connects at B1, S2 at B6; publisher P1 at B9, P2 at B5.
+    pub fn figure1() -> Self {
+        let mut t = Topology::empty(9);
+        let b = |i: usize| BrokerId(i - 1); // paper's 1-based naming
+        t.add_edge(b(1), b(3));
+        t.add_edge(b(2), b(3));
+        t.add_edge(b(3), b(4));
+        t.add_edge(b(4), b(5));
+        t.add_edge(b(4), b(6));
+        t.add_edge(b(4), b(7));
+        t.add_edge(b(7), b(8));
+        t.add_edge(b(7), b(9));
+        t
+    }
+
+    /// A uniformly random tree over `n` brokers (each node attaches to a
+    /// uniformly chosen earlier node) — the generic distributed setting.
+    pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            let parent = rng.gen_range(0..i);
+            t.add_edge(BrokerId(parent), BrokerId(i));
+        }
+        t
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the topology has no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of `id` in insertion order.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn neighbors(&self, id: BrokerId) -> &[BrokerId] {
+        &self.adjacency[id.0]
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Whether every broker can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([BrokerId(0)]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(b) = queue.pop_front() {
+            for &n in self.neighbors(b) {
+                if !seen[n.0] {
+                    seen[n.0] = true;
+                    count += 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// BFS shortest path from `from` to `to` (inclusive), if connected.
+    pub fn path(&self, from: BrokerId, to: BrokerId) -> Option<Vec<BrokerId>> {
+        let mut prev: Vec<Option<BrokerId>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([from]);
+        seen[from.0] = true;
+        while let Some(b) = queue.pop_front() {
+            if b == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while let Some(p) = prev[cur.0] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &n in self.neighbors(b) {
+                if !seen[n.0] {
+                    seen[n.0] = true;
+                    prev[n.0] = Some(b);
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::chain(5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.neighbors(BrokerId(0)), &[BrokerId(1)]);
+        assert_eq!(t.neighbors(BrokerId(2)), &[BrokerId(1), BrokerId(3)]);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(6);
+        assert_eq!(t.edge_count(), 5);
+        assert_eq!(t.neighbors(BrokerId(0)).len(), 5);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let t = Topology::figure1();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.edge_count(), 8); // a tree
+        assert!(t.is_connected());
+        // B4 (index 3) is the hub: neighbors B3, B5, B6, B7.
+        let mut n: Vec<usize> = t.neighbors(BrokerId(3)).iter().map(|b| b.0 + 1).collect();
+        n.sort_unstable();
+        assert_eq!(n, vec![3, 5, 6, 7]);
+        // The publication path from P1@B9 to S1@B1 runs B9-B7-B4-B3-B1.
+        let path = t.path(BrokerId(8), BrokerId(0)).unwrap();
+        let names: Vec<usize> = path.iter().map(|b| b.0 + 1).collect();
+        assert_eq!(names, vec![9, 7, 4, 3, 1]);
+    }
+
+    #[test]
+    fn random_tree_is_spanning() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 10, 50] {
+            let t = Topology::random_tree(n, &mut rng);
+            assert_eq!(t.len(), n);
+            assert_eq!(t.edge_count(), n.saturating_sub(1));
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::empty(3);
+        assert!(!t.is_connected());
+        assert_eq!(t.path(BrokerId(0), BrokerId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut t = Topology::empty(2);
+        t.add_edge(BrokerId(0), BrokerId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let mut t = Topology::empty(2);
+        t.add_edge(BrokerId(0), BrokerId(1));
+        t.add_edge(BrokerId(1), BrokerId(0));
+    }
+
+    #[test]
+    fn display_uses_one_based_names() {
+        assert_eq!(BrokerId(0).to_string(), "B1");
+        assert_eq!(BrokerId(8).to_string(), "B9");
+    }
+}

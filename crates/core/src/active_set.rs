@@ -1,0 +1,230 @@
+//! Maintaining an active (uncovered) subscription set over a stream.
+//!
+//! The usage pattern behind the paper's Figures 13–14 and behind every
+//! broker link: subscriptions arrive one at a time; each is admitted only if
+//! the configured coverage policy fails to prove it redundant against the
+//! current active set. This type packages that loop with bookkeeping
+//! (admission counts, per-stage statistics, probabilistic-drop accounting)
+//! so experiments, brokers and applications share one audited
+//! implementation.
+
+use crate::engine::{CoverDecision, DecisionStage, SubsumptionChecker};
+use crate::pairwise::PairwiseChecker;
+use psc_model::Subscription;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which coverage notion admits subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Admit everything (no reduction — the flooding baseline).
+    All,
+    /// Drop only pairwise-covered subscriptions (classical).
+    Pairwise,
+    /// Drop union-covered subscriptions via the probabilistic checker.
+    Group,
+}
+
+/// Aggregate statistics for one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Subscriptions offered.
+    pub offered: u64,
+    /// Subscriptions admitted into the active set.
+    pub admitted: u64,
+    /// Drops with a deterministic cover proof.
+    pub dropped_deterministic: u64,
+    /// Drops backed only by a probabilistic YES.
+    pub dropped_probabilistic: u64,
+    /// Total RSPC iterations spent across all decisions.
+    pub rspc_iterations: u64,
+    /// The loosest (largest) error bound among probabilistic drops.
+    pub worst_error_bound: f64,
+}
+
+/// An active-set maintainer over a subscription stream.
+///
+/// # Example
+/// ```
+/// use psc_core::active_set::{ActiveSet, AdmissionPolicy};
+/// use psc_core::SubsumptionChecker;
+/// use psc_model::{Schema, Subscription};
+/// use rand::SeedableRng;
+///
+/// let schema = Schema::uniform(1, 0, 99);
+/// let sub = |lo, hi| Subscription::builder(&schema).range("x0", lo, hi).build().unwrap();
+/// let checker = SubsumptionChecker::builder().error_probability(1e-9).build();
+/// let mut set = ActiveSet::new(AdmissionPolicy::Group, checker);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///
+/// assert!(set.offer(sub(0, 60), &mut rng));   // admitted
+/// assert!(set.offer(sub(50, 99), &mut rng));  // admitted
+/// assert!(!set.offer(sub(30, 80), &mut rng)); // union-covered: dropped
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    policy: AdmissionPolicy,
+    checker: SubsumptionChecker,
+    active: Vec<Subscription>,
+    stats: AdmissionStats,
+}
+
+impl ActiveSet {
+    /// Creates an empty set with the given policy; `checker` is used only by
+    /// [`AdmissionPolicy::Group`].
+    pub fn new(policy: AdmissionPolicy, checker: SubsumptionChecker) -> Self {
+        ActiveSet { policy, checker, active: Vec::new(), stats: AdmissionStats::default() }
+    }
+
+    /// Offers a subscription; returns whether it was admitted.
+    pub fn offer<R: Rng + ?Sized>(&mut self, sub: Subscription, rng: &mut R) -> bool {
+        self.stats.offered += 1;
+        let admitted = match self.policy {
+            AdmissionPolicy::All => true,
+            AdmissionPolicy::Pairwise => {
+                if PairwiseChecker.is_covered(&sub, &self.active) {
+                    self.stats.dropped_deterministic += 1;
+                    false
+                } else {
+                    true
+                }
+            }
+            AdmissionPolicy::Group => {
+                let decision = self.checker.check(&sub, &self.active, rng);
+                self.record_group(&decision);
+                !decision.is_covered()
+            }
+        };
+        if admitted {
+            self.stats.admitted += 1;
+            self.active.push(sub);
+        }
+        admitted
+    }
+
+    fn record_group(&mut self, decision: &CoverDecision) {
+        self.stats.rspc_iterations += decision.stats.rspc_iterations;
+        if decision.is_covered() {
+            if decision.stage == DecisionStage::PairwiseCover {
+                self.stats.dropped_deterministic += 1;
+            } else {
+                self.stats.dropped_probabilistic += 1;
+                if let crate::engine::CoverAnswer::Covered { error_bound } = decision.answer
+                {
+                    self.stats.worst_error_bound =
+                        self.stats.worst_error_bound.max(error_bound);
+                }
+            }
+        }
+    }
+
+    /// The current active subscriptions.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.active
+    }
+
+    /// Number of active subscriptions.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Stream statistics so far.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::uniform(1, 0, 99)
+    }
+
+    fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+    }
+
+    fn checker() -> SubsumptionChecker {
+        SubsumptionChecker::builder().error_probability(1e-9).build()
+    }
+
+    #[test]
+    fn all_policy_admits_everything() {
+        let schema = schema();
+        let mut set = ActiveSet::new(AdmissionPolicy::All, checker());
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..5 {
+            assert!(set.offer(sub(&schema, i, i + 10), &mut rng));
+        }
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.stats().offered, 5);
+        assert_eq!(set.stats().admitted, 5);
+    }
+
+    #[test]
+    fn pairwise_policy_drops_single_covers_only() {
+        let schema = schema();
+        let mut set = ActiveSet::new(AdmissionPolicy::Pairwise, checker());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(set.offer(sub(&schema, 0, 60), &mut rng));
+        assert!(set.offer(sub(&schema, 50, 99), &mut rng));
+        assert!(!set.offer(sub(&schema, 10, 20), &mut rng)); // inside first
+        assert!(set.offer(sub(&schema, 30, 80), &mut rng)); // union-covered but admitted
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.stats().dropped_deterministic, 1);
+        assert_eq!(set.stats().dropped_probabilistic, 0);
+    }
+
+    #[test]
+    fn group_policy_drops_union_covers_and_accounts() {
+        let schema = schema();
+        let mut set = ActiveSet::new(AdmissionPolicy::Group, checker());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(set.offer(sub(&schema, 0, 60), &mut rng));
+        assert!(set.offer(sub(&schema, 50, 99), &mut rng));
+        assert!(!set.offer(sub(&schema, 10, 20), &mut rng)); // pairwise-covered
+        assert!(!set.offer(sub(&schema, 30, 80), &mut rng)); // union-covered
+        assert_eq!(set.len(), 2);
+        let stats = set.stats();
+        assert_eq!(stats.dropped_deterministic, 1);
+        assert_eq!(stats.dropped_probabilistic, 1);
+        assert!(stats.worst_error_bound > 0.0 && stats.worst_error_bound <= 1e-8);
+        assert!(stats.rspc_iterations > 0);
+    }
+
+    #[test]
+    fn group_never_larger_than_pairwise_on_identical_streams() {
+        let schema = Schema::uniform(2, 0, 999);
+        let mk = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let lo0 = rng.gen_range(0..800);
+            let lo1 = rng.gen_range(0..800);
+            Subscription::builder(&schema)
+                .range("x0", lo0, lo0 + rng.gen_range(50..200))
+                .range("x1", lo1, lo1 + rng.gen_range(50..200))
+                .build()
+                .unwrap()
+        };
+        let mut pairwise = ActiveSet::new(AdmissionPolicy::Pairwise, checker());
+        let mut group = ActiveSet::new(AdmissionPolicy::Group, checker());
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..200 {
+            let s = mk(seed);
+            pairwise.offer(s.clone(), &mut rng);
+            group.offer(s, &mut rng);
+        }
+        assert!(group.len() <= pairwise.len());
+    }
+}

@@ -1,0 +1,540 @@
+//! The conflict table (Definition 2 of the paper).
+//!
+//! A conflict table `T` is a `k × 2m` table relating a tested subscription `s`
+//! to every simple predicate of a set `S = {s1, …, sk}`. Cell `T_i^j` holds
+//! the *negated* predicate `¬s_i^j` when `s ∧ ¬s_i^j` is satisfiable, and is
+//! *undefined* otherwise. On integer range predicates the satisfiable region
+//! of `s ∧ ¬s_i^j` is a **strip** of `s`:
+//!
+//! - for a lower-bound predicate `x_j ≥ lo`: the strip `[s.lo_j, lo − 1]`,
+//!   non-empty exactly when `s.lo_j < lo`;
+//! - for an upper-bound predicate `x_j ≤ hi`: the strip `[hi + 1, s.hi_j]`,
+//!   non-empty exactly when `s.hi_j > hi`.
+//!
+//! The table exposes everything downstream stages need: per-row defined
+//! counts `t_i` (Corollary 3, MCS), strip geometry (Algorithm 2's witness
+//! estimate), and conflict relations between entries (Definition 5, MCS).
+
+use psc_model::{AttrId, Range, Subscription};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which simple predicate of an attribute a table column refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The lower-bound predicate `x_j ≥ lo`; its negation selects values
+    /// *below* the subscription.
+    Low,
+    /// The upper-bound predicate `x_j ≤ hi`; its negation selects values
+    /// *above* the subscription.
+    High,
+}
+
+impl Side {
+    /// Both sides, in column order (`Low` first, as in the paper's layout).
+    pub const BOTH: [Side; 2] = [Side::Low, Side::High];
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Low => write!(f, "<lo"),
+            Side::High => write!(f, ">hi"),
+        }
+    }
+}
+
+/// A *defined* conflict-table entry: the negation `¬s_i^j` restricted to `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictEntry {
+    /// Attribute the predicate constrains.
+    pub attr: AttrId,
+    /// Which bound of `si` is negated.
+    pub side: Side,
+    /// The satisfiable region of `s ∧ ¬s_i^j` on `attr` — a non-empty
+    /// sub-range of `s.range(attr)` ("the part of `s` that `si` leaves
+    /// uncovered on this attribute, on this side").
+    pub strip: Range,
+}
+
+impl ConflictEntry {
+    /// Whether this entry *conflicts* with `other` (Definition 5): the two
+    /// negations cannot hold simultaneously inside `s`.
+    ///
+    /// On axis-aligned rectangles this happens exactly when both entries
+    /// constrain the same attribute from opposite sides and their strips are
+    /// disjoint. (Same-side strips always share their extreme point; strips on
+    /// different attributes constrain independent coordinates.)
+    ///
+    /// Note: the definition additionally requires the entries to come from
+    /// different rows; callers enforce that, as the entry itself does not know
+    /// its row.
+    pub fn conflicts_with(&self, other: &ConflictEntry) -> bool {
+        self.attr == other.attr && self.side != other.side && !self.strip.intersects(&other.strip)
+    }
+
+    /// Number of integer points in the strip.
+    pub fn strip_count(&self) -> u128 {
+        self.strip.count()
+    }
+}
+
+/// One row of the conflict table: the entries for a single subscription `si`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictRow {
+    /// Flat cells in column order: `[attr0/Low, attr0/High, attr1/Low, …]`.
+    /// `None` is the paper's *undefined*.
+    cells: Vec<Option<ConflictEntry>>,
+    /// `t_i`: number of defined cells.
+    defined: usize,
+}
+
+impl ConflictRow {
+    fn build(s: &Subscription, si: &Subscription) -> Self {
+        let m = s.arity();
+        let mut cells = Vec::with_capacity(2 * m);
+        let mut defined = 0;
+        for j in 0..m {
+            let attr = AttrId(j);
+            let s_range = s.range(attr);
+            let si_range = si.range(attr);
+            // ¬(x ≥ lo): x ≤ lo − 1, intersected with s.
+            let low = s_range.below(si_range.lo()).map(|strip| ConflictEntry {
+                attr,
+                side: Side::Low,
+                strip,
+            });
+            // ¬(x ≤ hi): x ≥ hi + 1, intersected with s.
+            let high = s_range.above(si_range.hi()).map(|strip| ConflictEntry {
+                attr,
+                side: Side::High,
+                strip,
+            });
+            defined += usize::from(low.is_some()) + usize::from(high.is_some());
+            cells.push(low);
+            cells.push(high);
+        }
+        ConflictRow { cells, defined }
+    }
+
+    /// `t_i`: the number of defined entries in this row.
+    pub fn defined_count(&self) -> usize {
+        self.defined
+    }
+
+    /// Whether every cell is undefined — Corollary 1: `s ⊑ si`.
+    pub fn all_undefined(&self) -> bool {
+        self.defined == 0
+    }
+
+    /// Whether every cell is defined — Corollary 2: `s` strictly covers `si`.
+    pub fn all_defined(&self) -> bool {
+        self.defined == self.cells.len()
+    }
+
+    /// The cell for `(attr, side)`.
+    pub fn cell(&self, attr: AttrId, side: Side) -> Option<&ConflictEntry> {
+        let idx = attr.0 * 2 + usize::from(side == Side::High);
+        self.cells.get(idx).and_then(|c| c.as_ref())
+    }
+
+    /// Iterates over the defined entries of the row.
+    pub fn defined_entries(&self) -> impl Iterator<Item = &ConflictEntry> {
+        self.cells.iter().flatten()
+    }
+}
+
+/// The conflict table `T` for a subscription `s` against a set `S`.
+///
+/// Construction is `O(m·k)` (Definition 2): each cell is decided by two
+/// integer comparisons.
+///
+/// # Example
+/// ```
+/// use psc_core::{ConflictTable, Side};
+/// use psc_model::{AttrId, Schema, Subscription};
+///
+/// let schema = Schema::builder()
+///     .attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+/// let s = Subscription::builder(&schema)
+///     .range("x1", 830, 870).range("x2", 1003, 1006).build()?;
+/// let s1 = Subscription::builder(&schema)
+///     .range("x1", 820, 850).range("x2", 1001, 1007).build()?;
+/// let s2 = Subscription::builder(&schema)
+///     .range("x1", 840, 880).range("x2", 1002, 1009).build()?;
+///
+/// // Table 5 of the paper: the only defined entries are
+/// //   row s1: x1 > 850   and   row s2: x1 < 840.
+/// let t = ConflictTable::build(&s, &[s1, s2]);
+/// assert_eq!(t.row(0).defined_count(), 1);
+/// assert!(t.row(0).cell(AttrId(0), Side::High).is_some());
+/// assert_eq!(t.row(1).defined_count(), 1);
+/// assert!(t.row(1).cell(AttrId(0), Side::Low).is_some());
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictTable {
+    rows: Vec<ConflictRow>,
+    arity: usize,
+}
+
+impl ConflictTable {
+    /// Builds the table relating `s` to every subscription in `set`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if arities differ (schema mismatch between `s`
+    /// and a member of `set`).
+    pub fn build(s: &Subscription, set: &[Subscription]) -> Self {
+        let rows = set
+            .iter()
+            .map(|si| {
+                debug_assert_eq!(s.arity(), si.arity(), "subscriptions must share a schema");
+                ConflictRow::build(s, si)
+            })
+            .collect();
+        ConflictTable { rows, arity: s.arity() }
+    }
+
+    /// Number of rows (`k`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of attributes (`m`); the table has `2m` columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The row for subscription `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &ConflictRow {
+        &self.rows[i]
+    }
+
+    /// Iterates over rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &ConflictRow> {
+        self.rows.iter()
+    }
+
+    /// The defined-entry counts `t_1 … t_k` in row order.
+    pub fn defined_counts(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.defined).collect()
+    }
+
+    /// Removes a set of rows (given as a sorted list of indices) and returns
+    /// the surviving row indices in their original order. Used by MCS.
+    pub(crate) fn retain_rows(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.rows.len());
+        let mut idx = 0;
+        self.rows.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Computes, for every row, the number of *conflict-free* defined entries
+    /// (`fc_i`, Definition 5 / Proposition 3).
+    ///
+    /// A defined entry is conflict-free when it conflicts with no defined
+    /// entry of any **other** row. On ranges, an entry `e` can only conflict
+    /// with opposite-side entries on the same attribute whose strip misses
+    /// `e.strip`; for `Low` entries (strip glued to `s`'s lower edge) the only
+    /// candidates are `High` entries with a strictly higher strip start, and
+    /// vice versa. Tracking the two extreme opposing bounds per attribute
+    /// (to skip the entry's own row) makes the whole computation `O(m·k)`
+    /// instead of the paper's `O(m²·k²)` bound.
+    pub fn conflict_free_counts(&self) -> Vec<usize> {
+        let m = self.arity;
+        let k = self.rows.len();
+
+        // Per attribute: the two largest `strip.lo` among High entries (with
+        // row of the max), and the two smallest `strip.hi` among Low entries.
+        #[derive(Clone, Copy)]
+        struct Extreme {
+            best: Option<(i64, usize)>,
+            second: Option<i64>,
+        }
+        impl Extreme {
+            const EMPTY: Extreme = Extreme { best: None, second: None };
+            fn push(&mut self, v: i64, row: usize, prefer_larger: bool) {
+                let better = |a: i64, b: i64| if prefer_larger { a > b } else { a < b };
+                match self.best {
+                    None => self.best = Some((v, row)),
+                    Some((bv, _)) if better(v, bv) => {
+                        self.second = Some(bv);
+                        self.best = Some((v, row));
+                    }
+                    Some(_) => match self.second {
+                        None => self.second = Some(v),
+                        Some(sv) if better(v, sv) => self.second = Some(v),
+                        Some(_) => {}
+                    },
+                }
+            }
+            /// Extreme value over all rows except `row`.
+            fn excluding(&self, row: usize) -> Option<i64> {
+                match self.best {
+                    Some((v, r)) if r != row => Some(v),
+                    Some(_) => self.second,
+                    None => None,
+                }
+            }
+        }
+
+        let mut high_lo_max = vec![Extreme::EMPTY; m]; // largest strip.lo among High entries
+        let mut low_hi_min = vec![Extreme::EMPTY; m]; // smallest strip.hi among Low entries
+        for (i, row) in self.rows.iter().enumerate() {
+            for e in row.defined_entries() {
+                match e.side {
+                    Side::High => high_lo_max[e.attr.0].push(e.strip.lo(), i, true),
+                    Side::Low => low_hi_min[e.attr.0].push(e.strip.hi(), i, false),
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(k);
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut fc = 0;
+            for e in row.defined_entries() {
+                let conflicting = match e.side {
+                    // A Low strip [s.lo, a] conflicts with a High strip
+                    // [b, s.hi] of another row iff b > a.
+                    Side::Low => high_lo_max[e.attr.0]
+                        .excluding(i)
+                        .is_some_and(|b| b > e.strip.hi()),
+                    // Symmetrically for High strips.
+                    Side::High => low_hi_min[e.attr.0]
+                        .excluding(i)
+                        .is_some_and(|a| a < e.strip.lo()),
+                };
+                if !conflicting {
+                    fc += 1;
+                }
+            }
+            out.push(fc);
+        }
+        out
+    }
+
+    /// Brute-force `fc_i` computation straight from Definition 5, `O(m²k²)`.
+    ///
+    /// Kept public for differential testing against
+    /// [`ConflictTable::conflict_free_counts`].
+    pub fn conflict_free_counts_naive(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut fc = 0;
+            for e in row.defined_entries() {
+                let mut conflicting = false;
+                'outer: for (i2, row2) in self.rows.iter().enumerate() {
+                    if i2 == i {
+                        continue;
+                    }
+                    for e2 in row2.defined_entries() {
+                        if e.conflicts_with(e2) {
+                            conflicting = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if !conflicting {
+                    fc += 1;
+                }
+            }
+            out.push(fc);
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConflictTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conflict table ({} rows × {} attrs):", self.rows.len(), self.arity)?;
+        for (i, row) in self.rows.iter().enumerate() {
+            write!(f, "  s{i}:")?;
+            if row.all_undefined() {
+                write!(f, " (all undefined)")?;
+            }
+            for e in row.defined_entries() {
+                write!(f, " [{} {} strip {}]", e.attr, e.side, e.strip)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    /// Table 5 of the paper, exactly.
+    #[test]
+    fn table5_reproduction() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let t = ConflictTable::build(&s, &[s1, s2]);
+
+        // Row s1: only x1 > 850 defined; strip is [851, 870].
+        let r1 = t.row(0);
+        assert_eq!(r1.defined_count(), 1);
+        assert!(r1.cell(AttrId(0), Side::Low).is_none());
+        let e = r1.cell(AttrId(0), Side::High).unwrap();
+        assert_eq!(e.strip, Range::new(851, 870).unwrap());
+        assert!(r1.cell(AttrId(1), Side::Low).is_none());
+        assert!(r1.cell(AttrId(1), Side::High).is_none());
+
+        // Row s2: only x1 < 840 defined; strip is [830, 839].
+        let r2 = t.row(1);
+        assert_eq!(r2.defined_count(), 1);
+        let e = r2.cell(AttrId(0), Side::Low).unwrap();
+        assert_eq!(e.strip, Range::new(830, 839).unwrap());
+    }
+
+    /// Table 8 of the paper (conflict-free example, Figure 4).
+    #[test]
+    fn table8_conflict_free_entries() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        // s3 spans all of x1 but covers only x2 ∈ [1004, 1005] of s.
+        let s3 = sub(&schema, (810, 890), (1004, 1005));
+        let t = ConflictTable::build(&s, &[s1, s2, s3]);
+
+        assert_eq!(t.defined_counts(), vec![1, 1, 2]);
+        // s3's entries: x2 < 1004 (strip [1003,1003]) and x2 > 1005 (strip [1006,1006]).
+        let r3 = t.row(2);
+        assert_eq!(
+            r3.cell(AttrId(1), Side::Low).unwrap().strip,
+            Range::point(1003)
+        );
+        assert_eq!(
+            r3.cell(AttrId(1), Side::High).unwrap().strip,
+            Range::point(1006)
+        );
+
+        // fc: s1's entry (x1 > 850) conflicts with s2's (x1 < 840) — strips
+        // [851,870] and [830,839] are disjoint, opposite sides. s3's x2
+        // entries conflict with nothing (no opposing x2 entries elsewhere).
+        let fc = t.conflict_free_counts();
+        assert_eq!(fc, vec![0, 0, 2]);
+        assert_eq!(fc, t.conflict_free_counts_naive());
+    }
+
+    #[test]
+    fn all_undefined_detects_pairwise_cover() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let cover = sub(&schema, (820, 880), (1001, 1008));
+        let t = ConflictTable::build(&s, &[cover]);
+        assert!(t.row(0).all_undefined());
+        assert!(!t.row(0).all_defined());
+    }
+
+    #[test]
+    fn all_defined_detects_reverse_cover() {
+        let schema = schema2();
+        let s = sub(&schema, (820, 880), (1001, 1008));
+        let inner = sub(&schema, (830, 870), (1003, 1006));
+        let t = ConflictTable::build(&s, &[inner]);
+        assert!(t.row(0).all_defined());
+        assert_eq!(t.row(0).defined_count(), 4);
+    }
+
+    #[test]
+    fn boundary_touching_is_not_defined() {
+        // si shares s's lower bound on x1: no strip below.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let si = sub(&schema, (830, 850), (1003, 1006));
+        let t = ConflictTable::build(&s, &[si]);
+        assert!(t.row(0).cell(AttrId(0), Side::Low).is_none());
+        assert!(t.row(0).cell(AttrId(0), Side::High).is_some());
+        assert!(t.row(0).cell(AttrId(1), Side::Low).is_none());
+        assert!(t.row(0).cell(AttrId(1), Side::High).is_none());
+    }
+
+    #[test]
+    fn conflicts_require_same_attr_opposite_side_disjoint_strips() {
+        let a = ConflictEntry {
+            attr: AttrId(0),
+            side: Side::High,
+            strip: Range::new(851, 870).unwrap(),
+        };
+        let b = ConflictEntry {
+            attr: AttrId(0),
+            side: Side::Low,
+            strip: Range::new(830, 839).unwrap(),
+        };
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+
+        // Same side never conflicts.
+        let c = ConflictEntry {
+            attr: AttrId(0),
+            side: Side::High,
+            strip: Range::new(861, 870).unwrap(),
+        };
+        assert!(!a.conflicts_with(&c));
+
+        // Different attribute never conflicts.
+        let d = ConflictEntry {
+            attr: AttrId(1),
+            side: Side::Low,
+            strip: Range::new(1003, 1003).unwrap(),
+        };
+        assert!(!a.conflicts_with(&d));
+
+        // Opposite sides with overlapping strips do not conflict.
+        let e = ConflictEntry {
+            attr: AttrId(0),
+            side: Side::Low,
+            strip: Range::new(830, 860).unwrap(),
+        };
+        assert!(!a.conflicts_with(&e));
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let t = ConflictTable::build(&s, &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.conflict_free_counts().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_rows() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 880), (1001, 1008));
+        let t = ConflictTable::build(&s, &[s1]);
+        let txt = t.to_string();
+        assert!(txt.contains("all undefined"));
+    }
+}

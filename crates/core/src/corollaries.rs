@@ -1,0 +1,139 @@
+//! Deterministic decision rules read directly off the conflict table
+//! (Corollaries 1–3 of the paper).
+
+use crate::conflict::ConflictTable;
+
+/// Corollary 1: if every entry of row `i` is undefined, `s ⊑ si` — the new
+/// subscription is covered *pairwise* by a single existing subscription.
+///
+/// Returns the index of the first covering subscription, if any. Cost
+/// `O(m·k)` — the same as building the table — making this the cheapest
+/// possible YES.
+pub fn pairwise_cover(table: &ConflictTable) -> Option<usize> {
+    table.rows().position(|r| r.all_undefined())
+}
+
+/// Corollary 2: if every entry of row `i` is defined, `s` strictly covers
+/// `si` on all attributes. Returns all such row indices.
+///
+/// This does not answer the subsumption question for `s`, but it identifies
+/// existing subscriptions made redundant *by the new subscription* — useful
+/// for set maintenance in brokers (the covered subscription can be demoted).
+pub fn reverse_covered(table: &ConflictTable) -> Vec<usize> {
+    table
+        .rows()
+        .enumerate()
+        .filter_map(|(i, r)| r.all_defined().then_some(i))
+        .collect()
+}
+
+/// Corollary 3: sort the defined-entry counts `t_i` ascending; if the `j`-th
+/// smallest (1-based) satisfies `t_{i_j} ≥ j` for every `j`, a polyhedron
+/// witness exists and `s` is **not** covered by `S`.
+///
+/// Intuition (the paper's proof sketch): pick any defined entry of the
+/// sparsest row for the witness; it conflicts with at most one entry in each
+/// other row, and every other row has enough defined entries to always leave
+/// a compatible choice.
+///
+/// This is a *sufficient* condition only: returning `false` says nothing.
+pub fn polyhedron_witness_exists(table: &ConflictTable) -> bool {
+    if table.is_empty() {
+        // No subscriptions at all: a non-empty s is trivially uncovered.
+        return true;
+    }
+    let mut counts = table.defined_counts();
+    counts.sort_unstable();
+    counts.iter().enumerate().all(|(idx, &t)| t >= idx + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::{Schema, Subscription};
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn corollary1_finds_covering_row() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let narrow = sub(&schema, (840, 860), (1004, 1005));
+        let wide = sub(&schema, (800, 900), (1000, 1010));
+        let t = ConflictTable::build(&s, &[narrow, wide]);
+        assert_eq!(pairwise_cover(&t), Some(1));
+    }
+
+    #[test]
+    fn corollary1_none_when_no_single_cover() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let t = ConflictTable::build(&s, &[s1, s2]);
+        assert_eq!(pairwise_cover(&t), None);
+    }
+
+    #[test]
+    fn corollary2_identifies_rows_covered_by_s() {
+        let schema = schema2();
+        let s = sub(&schema, (810, 890), (1001, 1009));
+        let inner = sub(&schema, (830, 870), (1003, 1006));
+        let partial = sub(&schema, (805, 850), (1002, 1005));
+        let t = ConflictTable::build(&s, &[inner, partial]);
+        assert_eq!(reverse_covered(&t), vec![0]);
+    }
+
+    #[test]
+    fn corollary3_detects_witness_in_figure3_setting() {
+        // Figure 3: s extends past both s1 and s2 on x1's high side.
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1002, 1009));
+        let s2 = sub(&schema, (840, 870), (1001, 1007));
+        let t = ConflictTable::build(&s, &[s1, s2]);
+        // t = [1, 2] sorted: t_1 = 1 ≥ 1, t_2 = 2 ≥ 2 → witness exists.
+        assert_eq!(t.defined_counts(), vec![1, 2]);
+        assert!(polyhedron_witness_exists(&t));
+    }
+
+    #[test]
+    fn corollary3_no_decision_for_covered_case() {
+        // Table 3: s is covered, and the sorted counts [1, 1] fail at j=2.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let t = ConflictTable::build(&s, &[s1, s2]);
+        assert!(!polyhedron_witness_exists(&t));
+    }
+
+    #[test]
+    fn corollary3_fails_fast_with_pairwise_covered_row() {
+        // A row with t_i = 0 sorts first and 0 < 1.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let cover = sub(&schema, (800, 900), (1000, 1010));
+        let other = sub(&schema, (840, 860), (1001, 1004));
+        let t = ConflictTable::build(&s, &[cover, other]);
+        assert!(!polyhedron_witness_exists(&t));
+    }
+
+    #[test]
+    fn corollary3_empty_set_is_uncovered() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let t = ConflictTable::build(&s, &[]);
+        assert!(polyhedron_witness_exists(&t));
+    }
+}

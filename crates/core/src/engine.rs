@@ -1,0 +1,590 @@
+//! The fast-decision subsumption engine (Algorithm 4 of the paper).
+//!
+//! Pipeline for a query "is `s` covered by `S`?":
+//!
+//! 1. **Corollary 1** — a conflict-table row with no defined entries means a
+//!    single subscription covers `s`: deterministic YES in `O(m·k)`.
+//! 2. **Corollary 3** — the sorted defined-count test detects a polyhedron
+//!    witness: deterministic NO.
+//! 3. **MCS** — reduce the set; an empty result is a deterministic NO; a
+//!    non-empty result shrinks `k` and (typically dramatically) boosts the
+//!    witness-probability estimate. Corollary 3 is re-checked on the reduced
+//!    table (sound because MCS preserves the cover answer).
+//! 4. **RSPC** — the Monte-Carlo test with budget `d` derived from the target
+//!    error probability `δ` via Algorithm 2, clamped by a configurable cap.
+//!
+//! Every stage can be toggled for ablation studies; the emitted
+//! [`EngineStats`] expose exactly the quantities the paper plots (theoretical
+//! `log10 d`, actual iterations, reduction ratios).
+
+use crate::conflict::ConflictTable;
+use crate::corollaries;
+use crate::mcs::MinimizedCoverSet;
+use crate::rho::WitnessEstimate;
+use crate::rspc::{Rspc, RspcOutcome};
+use crate::witness::PointWitness;
+use psc_model::Subscription;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which pipeline stage produced the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecisionStage {
+    /// The existing set was empty (vacuous deterministic NO).
+    EmptySet,
+    /// Corollary 1: a single subscription covers `s`.
+    PairwiseCover,
+    /// Corollary 3 on the original table: a polyhedron witness exists.
+    PolyhedronWitness,
+    /// MCS reduced the candidate set to nothing.
+    EmptyMcs,
+    /// Corollary 3 re-checked on the MCS-reduced table.
+    PolyhedronWitnessAfterMcs,
+    /// The Monte-Carlo RSPC test decided.
+    Rspc,
+}
+
+impl DecisionStage {
+    /// Whether decisions from this stage are deterministic (RSPC YES answers
+    /// are the only probabilistic ones; RSPC NO answers carry a witness and
+    /// are deterministic despite the stage).
+    pub fn is_fast_path(&self) -> bool {
+        !matches!(self, DecisionStage::Rspc)
+    }
+}
+
+/// The answer to a subsumption query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoverAnswer {
+    /// `s` is covered by the union of the set.
+    Covered {
+        /// Upper bound on the probability this answer is wrong; `0.0` for
+        /// deterministic decisions (Corollary 1).
+        error_bound: f64,
+    },
+    /// `s` is not covered — always deterministic.
+    NotCovered {
+        /// A concrete point witness when one was found and still verifies
+        /// against the **full** original set. MCS-based NO decisions are
+        /// sound without a point (Proposition 4 guarantees answer
+        /// preservation), so this may be `None`.
+        witness: Option<PointWitness>,
+    },
+}
+
+impl CoverAnswer {
+    /// Whether the answer asserts coverage.
+    pub fn is_covered(&self) -> bool {
+        matches!(self, CoverAnswer::Covered { .. })
+    }
+}
+
+/// Diagnostics for one engine run — the quantities the paper's evaluation
+/// section reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EngineStats {
+    /// `k`: size of the input set.
+    pub k_initial: usize,
+    /// Set size surviving MCS (equals `k_initial` when MCS is disabled or
+    /// not reached).
+    pub k_after_mcs: usize,
+    /// MCS passes run (0 when MCS disabled or not reached).
+    pub mcs_passes: usize,
+    /// `ρw` estimated by Algorithm 2 (on the reduced table when MCS ran).
+    /// `NaN` when the pipeline decided before estimating.
+    pub rho_w: f64,
+    /// Theoretical iteration requirement `d` for the configured `δ`
+    /// (possibly infinite); `NaN` when not computed.
+    pub theoretical_d: f64,
+    /// `log10` of the theoretical `d` — the Figure 7/9 quantity.
+    pub log10_theoretical_d: f64,
+    /// The RSPC budget actually granted after applying the cap.
+    pub effective_budget: u64,
+    /// RSPC iterations actually performed — the Figure 10/11 quantity.
+    pub rspc_iterations: u64,
+}
+
+/// A complete decision: answer + provenance + diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverDecision {
+    /// The verdict.
+    pub answer: CoverAnswer,
+    /// The pipeline stage that produced it.
+    pub stage: DecisionStage,
+    /// Run diagnostics.
+    pub stats: EngineStats,
+}
+
+impl CoverDecision {
+    /// Whether `s` was declared covered.
+    pub fn is_covered(&self) -> bool {
+        self.answer.is_covered()
+    }
+
+    /// Whether the verdict is deterministic (error bound zero).
+    pub fn is_deterministic(&self) -> bool {
+        match &self.answer {
+            CoverAnswer::Covered { error_bound } => *error_bound == 0.0,
+            CoverAnswer::NotCovered { .. } => true,
+        }
+    }
+}
+
+/// Engine configuration. Build with [`SubsumptionConfig::builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsumptionConfig {
+    /// Target error probability `δ` for probabilistic YES answers.
+    pub error_probability: f64,
+    /// Hard cap on RSPC iterations. When the theoretical `d` exceeds the
+    /// cap, the achieved error bound `(1 − ρw)^cap` is reported instead of
+    /// `δ`.
+    pub max_iterations: u64,
+    /// Enable the Corollary-1 pairwise fast path.
+    pub pairwise_fast_path: bool,
+    /// Enable the Corollary-3 polyhedron-witness fast path.
+    pub corollary3_fast_path: bool,
+    /// Enable the MCS reduction.
+    pub mcs: bool,
+    /// Drop set members that do not intersect `s` before building the
+    /// conflict table. Sound: a disjoint subscription contributes nothing to
+    /// a cover of `s` (MCS would remove it anyway — its conflict-table
+    /// entries include a full-width strip that conflicts with nothing), but
+    /// the `O(m·k)` prefilter is far cheaper than the reduction fixpoint.
+    pub prefilter_disjoint: bool,
+}
+
+impl Default for SubsumptionConfig {
+    fn default() -> Self {
+        SubsumptionConfig {
+            error_probability: 1e-6,
+            max_iterations: 1_000_000,
+            pairwise_fast_path: true,
+            corollary3_fast_path: true,
+            mcs: true,
+            prefilter_disjoint: true,
+        }
+    }
+}
+
+impl SubsumptionConfig {
+    /// Starts a builder with the defaults above.
+    pub fn builder() -> SubsumptionConfigBuilder {
+        SubsumptionConfigBuilder { config: SubsumptionConfig::default() }
+    }
+}
+
+/// Builder for [`SubsumptionConfig`] (and, via
+/// [`SubsumptionConfigBuilder::build`], for [`SubsumptionChecker`]).
+#[derive(Debug, Clone)]
+pub struct SubsumptionConfigBuilder {
+    config: SubsumptionConfig,
+}
+
+impl SubsumptionConfigBuilder {
+    /// Sets the target error probability `δ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    pub fn error_probability(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+        self.config.error_probability = delta;
+        self
+    }
+
+    /// Sets the RSPC iteration cap.
+    pub fn max_iterations(mut self, cap: u64) -> Self {
+        self.config.max_iterations = cap;
+        self
+    }
+
+    /// Enables/disables the Corollary-1 fast path.
+    pub fn pairwise_fast_path(mut self, on: bool) -> Self {
+        self.config.pairwise_fast_path = on;
+        self
+    }
+
+    /// Enables/disables the Corollary-3 fast path.
+    pub fn corollary3_fast_path(mut self, on: bool) -> Self {
+        self.config.corollary3_fast_path = on;
+        self
+    }
+
+    /// Enables/disables MCS reduction.
+    pub fn mcs(mut self, on: bool) -> Self {
+        self.config.mcs = on;
+        self
+    }
+
+    /// Enables/disables the disjoint-subscription prefilter.
+    pub fn prefilter_disjoint(mut self, on: bool) -> Self {
+        self.config.prefilter_disjoint = on;
+        self
+    }
+
+    /// Finalizes into a checker.
+    pub fn build(self) -> SubsumptionChecker {
+        SubsumptionChecker { config: self.config }
+    }
+
+    /// Finalizes into a bare config.
+    pub fn build_config(self) -> SubsumptionConfig {
+        self.config
+    }
+}
+
+/// The full probabilistic subsumption checker (Algorithm 4).
+///
+/// See the [crate-level docs](crate) for a worked example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubsumptionChecker {
+    config: SubsumptionConfig,
+}
+
+impl Default for SubsumptionChecker {
+    fn default() -> Self {
+        SubsumptionChecker { config: SubsumptionConfig::default() }
+    }
+}
+
+impl SubsumptionChecker {
+    /// Starts a configuration builder.
+    pub fn builder() -> SubsumptionConfigBuilder {
+        SubsumptionConfig::builder()
+    }
+
+    /// Creates a checker from an explicit config.
+    pub fn with_config(config: SubsumptionConfig) -> Self {
+        SubsumptionChecker { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SubsumptionConfig {
+        &self.config
+    }
+
+    /// Decides whether `s` is covered by the union of `set`.
+    ///
+    /// Deterministic given the RNG seed. NO answers are always correct; YES
+    /// answers are wrong with probability at most the reported error bound
+    /// (Proposition 1).
+    pub fn check<R: Rng + ?Sized>(
+        &self,
+        s: &Subscription,
+        set: &[Subscription],
+        rng: &mut R,
+    ) -> CoverDecision {
+        let mut stats = EngineStats {
+            k_initial: set.len(),
+            k_after_mcs: set.len(),
+            rho_w: f64::NAN,
+            theoretical_d: f64::NAN,
+            log10_theoretical_d: f64::NAN,
+            ..EngineStats::default()
+        };
+
+        if set.is_empty() {
+            return CoverDecision {
+                answer: CoverAnswer::NotCovered { witness: None },
+                stage: DecisionStage::EmptySet,
+                stats,
+            };
+        }
+
+        // Stage 0: drop members that cannot contribute to any cover of s.
+        let filtered: Vec<Subscription>;
+        let set: &[Subscription] = if self.config.prefilter_disjoint {
+            filtered = set.iter().filter(|si| si.intersects(s)).cloned().collect();
+            if filtered.is_empty() {
+                stats.k_after_mcs = 0;
+                return CoverDecision {
+                    answer: CoverAnswer::NotCovered { witness: None },
+                    stage: DecisionStage::EmptyMcs,
+                    stats,
+                };
+            }
+            &filtered
+        } else {
+            set
+        };
+
+        let table = ConflictTable::build(s, set);
+
+        // Stage 1: Corollary 1 — pairwise cover.
+        if self.config.pairwise_fast_path {
+            if corollaries::pairwise_cover(&table).is_some() {
+                return CoverDecision {
+                    answer: CoverAnswer::Covered { error_bound: 0.0 },
+                    stage: DecisionStage::PairwiseCover,
+                    stats,
+                };
+            }
+        }
+
+        // Stage 2: Corollary 3 — polyhedron witness on the full table.
+        if self.config.corollary3_fast_path && corollaries::polyhedron_witness_exists(&table) {
+            return CoverDecision {
+                answer: CoverAnswer::NotCovered { witness: None },
+                stage: DecisionStage::PolyhedronWitness,
+                stats,
+            };
+        }
+
+        // Stage 3: MCS reduction.
+        let (work_table, work_set): (ConflictTable, Vec<Subscription>) = if self.config.mcs {
+            let outcome = MinimizedCoverSet::reduce_table(table);
+            stats.mcs_passes = outcome.passes;
+            stats.k_after_mcs = outcome.kept.len();
+            if outcome.is_empty() {
+                return CoverDecision {
+                    answer: CoverAnswer::NotCovered { witness: None },
+                    stage: DecisionStage::EmptyMcs,
+                    stats,
+                };
+            }
+            // Corollary 3 is sound on the reduced set because MCS preserves
+            // the cover answer (Proposition 4).
+            if self.config.corollary3_fast_path
+                && corollaries::polyhedron_witness_exists(&outcome.table)
+            {
+                return CoverDecision {
+                    answer: CoverAnswer::NotCovered { witness: None },
+                    stage: DecisionStage::PolyhedronWitnessAfterMcs,
+                    stats,
+                };
+            }
+            let kept = outcome.kept_subscriptions(set);
+            (outcome.table, kept)
+        } else {
+            (table, set.to_vec())
+        };
+
+        // Stage 4: RSPC with Algorithm-2-derived budget.
+        let estimate = WitnessEstimate::from_table(s, &work_table);
+        stats.rho_w = estimate.rho_w();
+        stats.theoretical_d = estimate.iterations_for(self.config.error_probability);
+        stats.log10_theoretical_d =
+            estimate.log10_iterations(self.config.error_probability);
+        let budget = if stats.theoretical_d.is_finite() {
+            (stats.theoretical_d as u64).min(self.config.max_iterations)
+        } else {
+            self.config.max_iterations
+        };
+        stats.effective_budget = budget;
+
+        match Rspc::new(budget).run(s, &work_set, rng) {
+            RspcOutcome::NotCovered { witness, iterations } => {
+                stats.rspc_iterations = iterations;
+                // The witness was found against the reduced set; keep it only
+                // if it also verifies against the full set (the NO answer is
+                // correct either way by MCS answer preservation).
+                let witness = witness.holds_against(s, set).then_some(witness);
+                CoverDecision {
+                    answer: CoverAnswer::NotCovered { witness },
+                    stage: DecisionStage::Rspc,
+                    stats,
+                }
+            }
+            RspcOutcome::ProbablyCovered { iterations } => {
+                stats.rspc_iterations = iterations;
+                let error_bound = estimate
+                    .error_after(budget)
+                    .max(self.config.error_probability.min(1.0));
+                CoverDecision {
+                    answer: CoverAnswer::Covered { error_bound },
+                    stage: DecisionStage::Rspc,
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn empty_set_is_not_covered() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let d = SubsumptionChecker::default().check(&s, &[], &mut rng());
+        assert_eq!(d.stage, DecisionStage::EmptySet);
+        assert!(!d.is_covered());
+        assert!(d.is_deterministic());
+    }
+
+    #[test]
+    fn pairwise_cover_short_circuits() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let wide = sub(&schema, (800, 900), (1000, 1010));
+        let d = SubsumptionChecker::default().check(&s, &[wide], &mut rng());
+        assert_eq!(d.stage, DecisionStage::PairwiseCover);
+        assert!(d.is_covered());
+        assert!(d.is_deterministic());
+        assert_eq!(d.stats.rspc_iterations, 0);
+    }
+
+    #[test]
+    fn table3_group_cover_found_probabilistically() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+        let d = checker.check(&s, &[s1, s2], &mut rng());
+        assert!(d.is_covered());
+        assert_eq!(d.stage, DecisionStage::Rspc);
+        assert!(!d.is_deterministic());
+        match d.answer {
+            CoverAnswer::Covered { error_bound } => assert!(error_bound <= 1e-9),
+            _ => unreachable!(),
+        }
+        // MCS keeps both; ρw and d were estimated.
+        assert_eq!(d.stats.k_after_mcs, 2);
+        assert!(d.stats.rho_w > 0.0);
+        assert!(d.stats.effective_budget > 0);
+        assert_eq!(d.stats.rspc_iterations, d.stats.effective_budget);
+    }
+
+    #[test]
+    fn figure3_non_cover_decided_deterministically() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1002, 1009));
+        let s2 = sub(&schema, (840, 870), (1001, 1007));
+        let d = SubsumptionChecker::default().check(&s, &[s1, s2], &mut rng());
+        assert!(!d.is_covered());
+        // Corollary 3 fires: counts sorted [1, 2] pass the test.
+        assert_eq!(d.stage, DecisionStage::PolyhedronWitness);
+    }
+
+    #[test]
+    fn no_intersection_scenario_resolved_by_mcs() {
+        // Disable Corollary 3 to force the MCS path.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let far1 = sub(&schema, (880, 900), (1008, 1010));
+        let far2 = sub(&schema, (800, 820), (1000, 1002));
+        let checker = SubsumptionChecker::builder().corollary3_fast_path(false).build();
+        let d = checker.check(&s, &[far1, far2], &mut rng());
+        assert!(!d.is_covered());
+        assert_eq!(d.stage, DecisionStage::EmptyMcs);
+        assert_eq!(d.stats.k_after_mcs, 0);
+    }
+
+    #[test]
+    fn rspc_no_carries_verified_witness() {
+        // Narrow gap, all fast paths off: forces RSPC to find the witness.
+        let schema = Schema::uniform(1, 0, 999);
+        let s = Subscription::whole_space(&schema);
+        let left = Subscription::builder(&schema).range("x0", 0, 899).build().unwrap();
+        let set = [left];
+        let checker = SubsumptionChecker::builder()
+            .pairwise_fast_path(false)
+            .corollary3_fast_path(false)
+            .mcs(false)
+            .build();
+        let d = checker.check(&s, &set, &mut rng());
+        assert!(!d.is_covered());
+        assert_eq!(d.stage, DecisionStage::Rspc);
+        match d.answer {
+            CoverAnswer::NotCovered { witness: Some(w) } => {
+                assert!(w.holds_against(&s, &set));
+            }
+            other => panic!("expected witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_cap_weakens_error_bound() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let checker = SubsumptionChecker::builder()
+            .error_probability(1e-10)
+            .max_iterations(5)
+            .build();
+        let d = checker.check(&s, &[s1.clone(), s2.clone()], &mut rng());
+        assert!(d.is_covered());
+        match d.answer {
+            CoverAnswer::Covered { error_bound } => {
+                // 5 iterations at ρw ≈ 0.244 give roughly 0.75^5 ≈ 0.24.
+                assert!(error_bound > 1e-10);
+                assert!(error_bound < 1.0);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(d.stats.effective_budget, 5);
+    }
+
+    #[test]
+    fn ablation_disabling_everything_still_correct() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let wide = sub(&schema, (800, 900), (1000, 1010));
+        let checker = SubsumptionChecker::builder()
+            .pairwise_fast_path(false)
+            .corollary3_fast_path(false)
+            .mcs(false)
+            .error_probability(1e-6)
+            .build();
+        // Covered pairwise, but only RSPC is allowed to find out.
+        let d = checker.check(&s, &[wide], &mut rng());
+        assert!(d.is_covered());
+        assert_eq!(d.stage, DecisionStage::Rspc);
+    }
+
+    #[test]
+    fn stats_k_fields_track_reduction() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let s3 = sub(&schema, (810, 890), (1004, 1005)); // MCS-redundant
+        let checker = SubsumptionChecker::builder().error_probability(1e-6).build();
+        let d = checker.check(&s, &[s1, s2, s3], &mut rng());
+        assert_eq!(d.stats.k_initial, 3);
+        assert_eq!(d.stats.k_after_mcs, 2);
+        assert!(d.stats.mcs_passes >= 2);
+        assert!(d.is_covered());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn builder_rejects_bad_delta() {
+        let _ = SubsumptionChecker::builder().error_probability(1.5);
+    }
+
+    #[test]
+    fn decisions_are_reproducible_with_same_seed() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let checker = SubsumptionChecker::default();
+        let d1 = checker.check(&s, &[s1.clone(), s2.clone()], &mut StdRng::seed_from_u64(5));
+        let d2 = checker.check(&s, &[s1, s2], &mut StdRng::seed_from_u64(5));
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,360 @@
+//! Exact (exponential-time) cover decision, used as ground truth.
+//!
+//! The general subsumption problem is co-NP complete, but small instances can
+//! be decided exactly by **coordinate compression**: on each attribute,
+//! subscription bounds cut `s`'s range into at most `2k + 1` elementary
+//! intervals; within the grid of elementary cells every `si` either fully
+//! contains or fully misses a cell, so testing one representative corner per
+//! cell decides coverage exactly. Worst case `O((2k+1)^m · k)` — exponential
+//! in `m`, which is fine for the test-oracle role (`m ≤ 6` in our property
+//! tests) and for experiments that count RSPC false decisions against ground
+//! truth.
+//!
+//! The recursion prunes two ways: a branch whose *alive set* (subscriptions
+//! still able to contain the current partial cell) becomes empty yields an
+//! immediate witness, and a branch where one alive subscription already
+//! covers `s` on all remaining attributes is fully covered and skipped.
+
+use crate::witness::PointWitness;
+use psc_model::Subscription;
+use std::fmt;
+
+/// Outcome of an exact check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactOutcome {
+    /// `s ⊑ S`, with certainty.
+    Covered,
+    /// `s ⋢ S`; the witness is the smallest-coordinate corner of some
+    /// uncovered elementary cell.
+    NotCovered(PointWitness),
+}
+
+impl ExactOutcome {
+    /// Whether the outcome asserts coverage.
+    pub fn is_covered(&self) -> bool {
+        matches!(self, ExactOutcome::Covered)
+    }
+}
+
+/// Error raised when an instance exceeds the configured node budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The configured maximum number of visited cells.
+    pub budget: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exact cover check exceeded budget of {} cells", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// The exact checker.
+///
+/// # Example
+/// ```
+/// use psc_core::exact::ExactChecker;
+/// use psc_model::{Schema, Subscription};
+///
+/// let schema = Schema::builder()
+///     .attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+/// let s = Subscription::builder(&schema)
+///     .range("x1", 830, 870).range("x2", 1003, 1006).build()?;
+/// let s1 = Subscription::builder(&schema)
+///     .range("x1", 820, 850).range("x2", 1001, 1007).build()?;
+/// let s2 = Subscription::builder(&schema)
+///     .range("x1", 840, 880).range("x2", 1002, 1009).build()?;
+/// let out = ExactChecker::default().check(&s, &[s1, s2]).unwrap();
+/// assert!(out.is_covered());
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExactChecker {
+    /// Maximum number of recursion nodes before giving up.
+    budget: u64,
+}
+
+impl Default for ExactChecker {
+    fn default() -> Self {
+        ExactChecker { budget: 50_000_000 }
+    }
+}
+
+impl ExactChecker {
+    /// Creates a checker with an explicit node budget.
+    pub fn with_budget(budget: u64) -> Self {
+        ExactChecker { budget }
+    }
+
+    /// Decides exactly whether `s` is covered by the union of `set`.
+    ///
+    /// # Errors
+    /// Returns [`BudgetExceeded`] when the instance needs more recursion
+    /// nodes than the budget allows.
+    pub fn check(
+        &self,
+        s: &Subscription,
+        set: &[Subscription],
+    ) -> Result<ExactOutcome, BudgetExceeded> {
+        let m = s.arity();
+        // Elementary interval start points per attribute.
+        let mut cuts: Vec<Vec<i64>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let attr = psc_model::AttrId(j);
+            let sr = s.range(attr);
+            let mut c = vec![sr.lo()];
+            for si in set {
+                let r = si.range(attr);
+                if r.lo() > sr.lo() && r.lo() <= sr.hi() {
+                    c.push(r.lo());
+                }
+                if r.hi() >= sr.lo() && r.hi() < sr.hi() {
+                    c.push(r.hi() + 1);
+                }
+            }
+            c.sort_unstable();
+            c.dedup();
+            cuts.push(c);
+        }
+
+        let alive: Vec<usize> = (0..set.len()).collect();
+        let mut point = vec![0i64; m];
+        let mut nodes: u64 = 0;
+        match self.recurse(s, set, &cuts, 0, &alive, &mut point, &mut nodes)? {
+            Some(p) => {
+                let witness = PointWitness::verify(p, s, set)
+                    .expect("uncovered cell corner must be a valid witness");
+                Ok(ExactOutcome::NotCovered(witness))
+            }
+            None => Ok(ExactOutcome::Covered),
+        }
+    }
+
+    /// Convenience wrapper returning a plain bool.
+    ///
+    /// # Errors
+    /// Same as [`ExactChecker::check`].
+    pub fn is_covered(
+        &self,
+        s: &Subscription,
+        set: &[Subscription],
+    ) -> Result<bool, BudgetExceeded> {
+        Ok(self.check(s, set)?.is_covered())
+    }
+
+    fn recurse(
+        &self,
+        s: &Subscription,
+        set: &[Subscription],
+        cuts: &[Vec<i64>],
+        j: usize,
+        alive: &[usize],
+        point: &mut Vec<i64>,
+        nodes: &mut u64,
+    ) -> Result<Option<Vec<i64>>, BudgetExceeded> {
+        *nodes += 1;
+        if *nodes > self.budget {
+            return Err(BudgetExceeded { budget: self.budget });
+        }
+
+        if alive.is_empty() {
+            // Nothing can cover this partial cell: extend with s's minima.
+            let mut w = point[..j].to_vec();
+            w.extend(s.ranges()[j..].iter().map(|r| r.lo()));
+            return Ok(Some(w));
+        }
+        if j == s.arity() {
+            return Ok(None); // fully specified cell, alive non-empty ⇒ covered
+        }
+        // Prune: an alive subscription covering s on all remaining attributes
+        // covers the entire remaining subtree.
+        if alive.iter().any(|&i| {
+            (j..s.arity()).all(|jj| {
+                set[i].ranges()[jj].contains_range(&s.ranges()[jj])
+            })
+        }) {
+            return Ok(None);
+        }
+
+        let attr = psc_model::AttrId(j);
+        for &start in &cuts[j] {
+            point[j] = start;
+            let next_alive: Vec<usize> = alive
+                .iter()
+                .copied()
+                .filter(|&i| set[i].range(attr).contains(start))
+                .collect();
+            if let Some(w) =
+                self.recurse(s, set, cuts, j + 1, &next_alive, point, nodes)?
+            {
+                return Ok(Some(w));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::{Range, Schema};
+    use proptest::prelude::*;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table3_is_covered() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        assert!(ExactChecker::default().is_covered(&s, &[s1, s2]).unwrap());
+    }
+
+    #[test]
+    fn figure3_is_not_covered_with_witness_above_870() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1002, 1009));
+        let s2 = sub(&schema, (840, 870), (1001, 1007));
+        let set = [s1, s2];
+        match ExactChecker::default().check(&s, &set).unwrap() {
+            ExactOutcome::NotCovered(w) => {
+                assert!(w.holds_against(&s, &set));
+                assert!(w.point()[0] > 870);
+            }
+            ExactOutcome::Covered => panic!("expected non-cover"),
+        }
+    }
+
+    #[test]
+    fn single_point_gap_is_detected() {
+        // Cover all of [0, 99] except exactly the point 57.
+        let schema = Schema::uniform(1, 0, 99);
+        let s = Subscription::whole_space(&schema);
+        let left = Subscription::builder(&schema).range("x0", 0, 56).build().unwrap();
+        let right = Subscription::builder(&schema).range("x0", 58, 99).build().unwrap();
+        let set = [left, right];
+        match ExactChecker::default().check(&s, &set).unwrap() {
+            ExactOutcome::NotCovered(w) => assert_eq!(w.point(), &[57]),
+            ExactOutcome::Covered => panic!("gap at 57 missed"),
+        }
+    }
+
+    #[test]
+    fn exact_cover_with_touching_pieces() {
+        let schema = Schema::uniform(1, 0, 99);
+        let s = Subscription::whole_space(&schema);
+        let left = Subscription::builder(&schema).range("x0", 0, 57).build().unwrap();
+        let right = Subscription::builder(&schema).range("x0", 58, 99).build().unwrap();
+        assert!(ExactChecker::default().is_covered(&s, &[left, right]).unwrap());
+    }
+
+    #[test]
+    fn empty_set_not_covered() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        match ExactChecker::default().check(&s, &[]).unwrap() {
+            ExactOutcome::NotCovered(w) => assert_eq!(w.point(), &[830, 1003]),
+            ExactOutcome::Covered => panic!("empty set cannot cover"),
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_reports_error() {
+        // A covered instance with 100 slabs forces ~100 recursion nodes;
+        // give it only 10. (Uncovered instances can exit early, so a covered
+        // one is needed to exercise the budget.)
+        let schema = Schema::uniform(1, 0, 999);
+        let s = Subscription::whole_space(&schema);
+        let set: Vec<Subscription> = (0..100)
+            .map(|i| {
+                Subscription::builder(&schema)
+                    .range("x0", i * 10, i * 10 + 9)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let tiny = ExactChecker::with_budget(10);
+        assert_eq!(tiny.check(&s, &set), Err(BudgetExceeded { budget: 10 }));
+        // A generous budget decides the same instance.
+        assert!(ExactChecker::default().is_covered(&s, &set).unwrap());
+    }
+
+    #[test]
+    fn three_dimensional_cover() {
+        // Split a cube into 8 octants: covered. Remove one: not covered.
+        let schema = Schema::uniform(3, 0, 9);
+        let s = Subscription::whole_space(&schema);
+        let mut octants = Vec::new();
+        for x in 0..2i64 {
+            for y in 0..2i64 {
+                for z in 0..2i64 {
+                    octants.push(
+                        Subscription::builder(&schema)
+                            .range("x0", x * 5, x * 5 + 4)
+                            .range("x1", y * 5, y * 5 + 4)
+                            .range("x2", z * 5, z * 5 + 4)
+                            .build()
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        let checker = ExactChecker::default();
+        assert!(checker.is_covered(&s, &octants).unwrap());
+        let missing = octants.split_off(1);
+        assert!(!checker.is_covered(&s, &missing).unwrap());
+    }
+
+    // The exact checker agrees with brute-force point enumeration.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_brute_force(
+            subs in proptest::collection::vec(small_sub_strategy(), 0..6),
+            s in small_sub_strategy(),
+        ) {
+            let brute = {
+                let mut covered = true;
+                'outer: for x in s.range(psc_model::AttrId(0)).lo()..=s.range(psc_model::AttrId(0)).hi() {
+                    for y in s.range(psc_model::AttrId(1)).lo()..=s.range(psc_model::AttrId(1)).hi() {
+                        if !subs.iter().any(|si| si.contains_point(&[x, y])) {
+                            covered = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                covered
+            };
+            let exact = ExactChecker::default().is_covered(&s, &subs).unwrap();
+            prop_assert_eq!(exact, brute);
+        }
+    }
+
+    fn small_sub_strategy() -> impl Strategy<Value = Subscription> {
+        (0i64..12, 0i64..6, 0i64..12, 0i64..6).prop_map(|(x, xw, y, yw)| {
+            let schema = Schema::uniform(2, 0, 15);
+            Subscription::from_ranges(
+                &schema,
+                vec![
+                    Range::new(x.min(15), (x + xw).min(15)).unwrap(),
+                    Range::new(y.min(15), (y + yw).min(15)).unwrap(),
+                ],
+            )
+            .unwrap()
+        })
+    }
+}

@@ -1,0 +1,84 @@
+//! # psc-core
+//!
+//! The algorithmic heart of the reproduction of *"Efficient Probabilistic
+//! Subsumption Checking for Content-based Publish/Subscribe Systems"*
+//! (Ouksel, Jurca, Podnar, Aberer — Middleware 2006).
+//!
+//! Given a new subscription `s` and a set `S = {s1, …, sk}` of existing
+//! subscriptions, the **general subsumption problem** asks whether
+//! `s ⊑ s1 ∨ … ∨ sk` — whether the rectangle `s` is contained in the union of
+//! the rectangles of `S`. The problem is co-NP complete; this crate implements
+//! the paper's probabilistic attack:
+//!
+//! 1. [`ConflictTable`] (Definition 2) — relates `s` to every simple predicate
+//!    of every `si`; built in `O(m·k)`.
+//! 2. Deterministic corollaries ([`corollaries`]) — pairwise cover, reverse
+//!    cover, and polyhedron-witness existence, all read directly off the table.
+//! 3. [`MinimizedCoverSet`] (Algorithm 3) — removes
+//!    subscriptions irrelevant to the cover question in `O(m²k³)` worst case.
+//! 4. [`WitnessEstimate`] (Algorithm 2) — a-priori
+//!    estimate of the point-witness probability `ρw` and the iteration budget
+//!    `d` for a target error probability `δ`.
+//! 5. [`rspc`] (Algorithm 1) — the Monte-Carlo Random-Simple-Predicates-Cover
+//!    test: definite NO (with a point witness) or probabilistic YES.
+//! 6. [`SubsumptionChecker`] (Algorithm 4) — the
+//!    full fast-decision pipeline combining all of the above.
+//! 7. [`PairwiseChecker`] — the classical baseline
+//!    that only detects single-subscription coverage.
+//! 8. [`exact`] — an exponential-time exact decision procedure (coordinate
+//!    compression + cell enumeration) used as ground truth in tests and for
+//!    false-decision accounting in experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use psc_core::{SubsumptionChecker, CoverAnswer};
+//! use psc_model::{Schema, Subscription};
+//! use rand::SeedableRng;
+//!
+//! let schema = Schema::builder()
+//!     .attribute("x1", 800, 900)
+//!     .attribute("x2", 1000, 1010)
+//!     .build();
+//! // Table 3 of the paper: s ⊑ s1 ∨ s2, though neither s1 nor s2 covers s.
+//! let s = Subscription::builder(&schema)
+//!     .range("x1", 830, 870).range("x2", 1003, 1006).build()?;
+//! let s1 = Subscription::builder(&schema)
+//!     .range("x1", 820, 850).range("x2", 1001, 1007).build()?;
+//! let s2 = Subscription::builder(&schema)
+//!     .range("x1", 840, 880).range("x2", 1002, 1009).build()?;
+//!
+//! let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let decision = checker.check(&s, &[s1, s2], &mut rng);
+//! assert!(matches!(decision.answer, CoverAnswer::Covered { .. }));
+//! # Ok::<(), psc_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active_set;
+pub mod conflict;
+pub mod corollaries;
+pub mod engine;
+pub mod exact;
+pub mod mcs;
+pub mod merge;
+pub mod pairwise;
+pub mod rho;
+pub mod rspc;
+pub mod witness;
+
+pub use active_set::{ActiveSet, AdmissionPolicy, AdmissionStats};
+pub use conflict::{ConflictEntry, ConflictTable, Side};
+pub use engine::{
+    CoverAnswer, CoverDecision, DecisionStage, EngineStats, SubsumptionChecker,
+    SubsumptionConfig, SubsumptionConfigBuilder,
+};
+pub use exact::ExactChecker;
+pub use mcs::{McsOutcome, MinimizedCoverSet};
+pub use pairwise::PairwiseChecker;
+pub use rho::WitnessEstimate;
+pub use rspc::{Rspc, RspcOutcome};
+pub use witness::PointWitness;

@@ -1,0 +1,289 @@
+//! MCS — Minimized Cover Set (Algorithm 3 of the paper).
+//!
+//! Reduces the subscription set to a non-reducible core sufficient to answer
+//! the coverage question. Per Proposition 4, a subscription `si` is
+//! *redundant* — removable without changing the answer — when its conflict
+//! table row has
+//!
+//! - at least one **conflict-free** defined entry (`fc_i ≥ 1`), or
+//! - at least as many defined entries as the current set size (`t_i ≥ k`).
+//!
+//! Removal conditions are monotone (removing a row only makes other rows
+//! easier to remove: entries lose potential conflicts and `k` shrinks), so
+//! repeated passes converge to a unique maximal fixpoint regardless of
+//! removal order. The paper's pseudo-code writes `fc_i ≥ 0`, which would
+//! delete every row; Proposition 4 states the intended `fc_i ≥ 1`, which we
+//! implement.
+
+use crate::conflict::ConflictTable;
+use psc_model::Subscription;
+use serde::{Deserialize, Serialize};
+
+/// Result of an MCS reduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McsOutcome {
+    /// Indices (into the original set) of the surviving subscriptions, in
+    /// their original order. Empty means **no** candidate subset can cover
+    /// `s`, i.e. a deterministic NO for the subsumption question.
+    pub kept: Vec<usize>,
+    /// Indices of removed (redundant) subscriptions.
+    pub removed: Vec<usize>,
+    /// Number of passes executed until the fixpoint (≥ 1).
+    pub passes: usize,
+    /// Conflict table of the reduced set (rows parallel `kept`).
+    pub table: ConflictTable,
+}
+
+impl McsOutcome {
+    /// Whether the reduction emptied the set (deterministic non-cover).
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// The surviving subscriptions cloned out of the original set.
+    pub fn kept_subscriptions(&self, set: &[Subscription]) -> Vec<Subscription> {
+        self.kept.iter().map(|&i| set[i].clone()).collect()
+    }
+
+    /// Fraction of the original set removed (`0` for an originally empty set).
+    pub fn reduction_ratio(&self) -> f64 {
+        let total = self.kept.len() + self.removed.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.removed.len() as f64 / total as f64
+        }
+    }
+}
+
+/// The Minimized Cover Set reduction.
+///
+/// # Example
+/// ```
+/// use psc_core::MinimizedCoverSet;
+/// use psc_model::{Schema, Subscription};
+///
+/// let schema = Schema::builder()
+///     .attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+/// let s = Subscription::builder(&schema)
+///     .range("x1", 830, 870).range("x2", 1003, 1006).build()?;
+/// let s1 = Subscription::builder(&schema)
+///     .range("x1", 820, 850).range("x2", 1001, 1007).build()?;
+/// let s2 = Subscription::builder(&schema)
+///     .range("x1", 840, 880).range("x2", 1002, 1009).build()?;
+/// // s3 covers only a middle slice of s on x2 — its entries are
+/// // conflict-free, so MCS filters it out (the paper's Figure 4 example).
+/// let s3 = Subscription::builder(&schema)
+///     .range("x1", 810, 890).range("x2", 1004, 1005).build()?;
+///
+/// let out = MinimizedCoverSet::reduce(&s, &[s1, s2, s3]);
+/// assert_eq!(out.kept, vec![0, 1]);
+/// assert_eq!(out.removed, vec![2]);
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimizedCoverSet;
+
+impl MinimizedCoverSet {
+    /// Runs the reduction for `s` against `set`, building the conflict table
+    /// internally.
+    pub fn reduce(s: &Subscription, set: &[Subscription]) -> McsOutcome {
+        Self::reduce_table(ConflictTable::build(s, set))
+    }
+
+    /// Runs the reduction on a prebuilt conflict table (consumed and returned
+    /// reduced inside the outcome).
+    pub fn reduce_table(mut table: ConflictTable) -> McsOutcome {
+        let original_k = table.len();
+        let mut kept: Vec<usize> = (0..original_k).collect();
+        let mut removed = Vec::new();
+        let mut passes = 0;
+
+        loop {
+            passes += 1;
+            let k = table.len();
+            if k == 0 {
+                break;
+            }
+            let fc = table.conflict_free_counts();
+            let keep: Vec<bool> = table
+                .rows()
+                .enumerate()
+                .map(|(i, row)| fc[i] == 0 && row.defined_count() < k)
+                .collect();
+            if keep.iter().all(|&b| b) {
+                break;
+            }
+            let mut next_kept = Vec::with_capacity(k);
+            for (i, &keep_it) in keep.iter().enumerate() {
+                if keep_it {
+                    next_kept.push(kept[i]);
+                } else {
+                    removed.push(kept[i]);
+                }
+            }
+            table.retain_rows(&keep);
+            kept = next_kept;
+        }
+
+        removed.sort_unstable();
+        McsOutcome { kept, removed, passes, table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's worked example (Figure 4 / Table 8): MCS removes s3 in the
+    /// first pass and then stops with {s1, s2}.
+    #[test]
+    fn figure4_example_reduces_to_s1_s2() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let s3 = sub(&schema, (810, 890), (1004, 1005));
+        let out = MinimizedCoverSet::reduce(&s, &[s1, s2, s3]);
+        assert_eq!(out.kept, vec![0, 1]);
+        assert_eq!(out.removed, vec![2]);
+        assert_eq!(out.passes, 2); // one removing pass + one fixpoint check
+        assert!((out.reduction_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out.table.len(), 2);
+    }
+
+    #[test]
+    fn non_intersecting_subscriptions_are_removed() {
+        // si disjoint from s has a full-width strip: conflict-free unless
+        // opposed, and with a single row, t_i ≥ k = 1 also fires.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let far = sub(&schema, (880, 900), (1008, 1010));
+        let out = MinimizedCoverSet::reduce(&s, &[far]);
+        assert!(out.is_empty());
+        assert_eq!(out.removed, vec![0]);
+    }
+
+    #[test]
+    fn single_partial_overlap_is_removed_via_t_ge_k() {
+        // One subscription that fails to cover s: its row has ≥ 1 defined
+        // entry, so t_1 ≥ k = 1 ⇒ removable ⇒ empty set ⇒ definite NO.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let partial = sub(&schema, (820, 850), (1001, 1007));
+        let out = MinimizedCoverSet::reduce(&s, &[partial]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pairwise_covering_row_survives() {
+        // A row with zero defined entries (s ⊑ si) is never removed.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let cover = sub(&schema, (800, 900), (1000, 1010));
+        let out = MinimizedCoverSet::reduce(&s, &[cover]);
+        assert_eq!(out.kept, vec![0]);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn covering_pair_survives() {
+        // Table 3's covering pair is non-reducible: their entries conflict
+        // with each other and t_i = 1 < 2.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let out = MinimizedCoverSet::reduce(&s, &[s1, s2]);
+        assert_eq!(out.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn cascading_removals_need_multiple_passes() {
+        // Chain construction: s is [0, 99] on one attribute.
+        //  - a covers [0, 89] (entry: x > 89, strip [90, 99])
+        //  - b covers [80, 99] (entry: x < 80, strip [0, 79]) → a,b conflict.
+        //  - c covers the slice [40, 49] only: entries x<40 ([0,39]) and
+        //    x>49 ([50,99]); x<40 conflicts with nothing? b's strip [0,79]
+        //    overlaps [0,39] — same side, no conflict; a's strip [90,99] is
+        //    High vs c's Low [0,39]: disjoint → conflict. And c's High
+        //    [50,99] vs b's Low [0,79]: overlap at [50,79] → no conflict.
+        // So c's High entry is conflict-free? c High strip [50,99] vs Low
+        // strips of a (none — a has only High) and b ([0,79]): intersects →
+        // not conflicting → conflict-free ⇒ c removed first. After removing
+        // c, a and b keep conflicting entries; t = 1 < 2 ⇒ fixpoint {a, b}.
+        let schema = Schema::uniform(1, 0, 99);
+        let s = Subscription::whole_space(&schema);
+        let a = Subscription::builder(&schema).range("x0", 0, 89).build().unwrap();
+        let b = Subscription::builder(&schema).range("x0", 80, 99).build().unwrap();
+        let c = Subscription::builder(&schema).range("x0", 40, 49).build().unwrap();
+        let out = MinimizedCoverSet::reduce(&s, &[a, b, c]);
+        assert_eq!(out.kept, vec![0, 1]);
+        assert_eq!(out.removed, vec![2]);
+    }
+
+    #[test]
+    fn empty_input_set() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let out = MinimizedCoverSet::reduce(&s, &[]);
+        assert!(out.is_empty());
+        assert_eq!(out.passes, 1);
+        assert_eq!(out.reduction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn kept_subscriptions_clones_in_order() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let s3 = sub(&schema, (810, 890), (1004, 1005));
+        let set = vec![s1.clone(), s2.clone(), s3];
+        let out = MinimizedCoverSet::reduce(&s, &set);
+        assert_eq!(out.kept_subscriptions(&set), vec![s1, s2]);
+    }
+
+    /// MCS preserves the cover answer on a brute-force-checkable instance.
+    #[test]
+    fn reduction_preserves_cover_answer_small_domain() {
+        let schema = Schema::uniform(2, 0, 9);
+        let s = Subscription::whole_space(&schema);
+        let mk = |x: (i64, i64), y: (i64, i64)| {
+            Subscription::builder(&schema)
+                .range("x0", x.0, x.1)
+                .range("x1", y.0, y.1)
+                .build()
+                .unwrap()
+        };
+        // Four quadrant-ish pieces + one redundant middle slab: covered.
+        let set = vec![
+            mk((0, 5), (0, 9)),
+            mk((4, 9), (0, 6)),
+            mk((4, 9), (5, 9)),
+            mk((3, 6), (2, 7)), // redundant
+        ];
+        let brute = |subs: &[Subscription]| {
+            (0..10).all(|x| {
+                (0..10).all(|y| subs.iter().any(|si| si.contains_point(&[x, y])))
+            })
+        };
+        assert!(brute(&set));
+        let out = MinimizedCoverSet::reduce(&s, &set);
+        let reduced = out.kept_subscriptions(&set);
+        assert_eq!(brute(&reduced), brute(&set));
+    }
+}

@@ -1,0 +1,298 @@
+//! Subscription merging — the complementary traffic-reduction mechanism the
+//! paper contrasts with (Section 7, refs \[8\] and \[9\]).
+//!
+//! Where covering drops a subscription implied by others, *merging* replaces
+//! several subscriptions by their bounding box. Merging can fire when
+//! covering cannot, but it is lossy: the bounding box may admit publications
+//! nobody asked for (false positives), trading precision for state. This
+//! module implements:
+//!
+//! - **perfect merges** ([`try_perfect_merge`]): two rectangles whose union
+//!   *is* a rectangle merge without any precision loss (the modified-BDD
+//!   merging of ref \[8\] fires exactly on these: at most one attribute
+//!   differs, and there the ranges are adjacent or overlapping);
+//! - **lossy merges** with an explicit false-positive budget
+//!   ([`merge_with_budget`]): greedy pairwise merging that only accepts a
+//!   merge whose *waste* — the fraction of the bounding box not covered by
+//!   the union of the two inputs — stays under a threshold.
+//!
+//! The bench suite uses this to quantify covering-vs-merging trade-offs.
+
+use psc_model::{Range, Subscription};
+
+/// The bounding box (per-attribute range hull) of two subscriptions.
+pub fn bounding_box(a: &Subscription, b: &Subscription) -> Subscription {
+    debug_assert_eq!(a.arity(), b.arity());
+    let ranges = a
+        .ranges()
+        .iter()
+        .zip(b.ranges())
+        .map(|(ra, rb)| {
+            Range::new(ra.lo().min(rb.lo()), ra.hi().max(rb.hi())).expect("hull is ordered")
+        })
+        .collect();
+    Subscription::from_ranges(a.schema(), ranges).expect("hull within domains")
+}
+
+/// Fraction of the bounding box of `a` and `b` covered by neither input —
+/// the false-positive volume a merge would introduce, in `[0, 1)`.
+///
+/// Exact via inclusion–exclusion on rectangles:
+/// `waste = 1 − (|a| + |b| − |a∩b|) / |hull|`, computed in log-space safe
+/// arithmetic.
+pub fn merge_waste(a: &Subscription, b: &Subscription) -> f64 {
+    let hull = bounding_box(a, b);
+    let hull_size = hull.size();
+    let va = a.size().ratio(&hull_size);
+    let vb = b.size().ratio(&hull_size);
+    let vab = a
+        .intersection(b)
+        .map_or(0.0, |i| i.size().ratio(&hull_size));
+    let waste = (1.0 - (va + vb - vab)).clamp(0.0, 1.0);
+    // Log-space round-trips leave ~1e-16 residue on exact covers; snap it.
+    if waste < 1e-9 {
+        0.0
+    } else {
+        waste
+    }
+}
+
+/// Merges `a` and `b` exactly when their union is itself a rectangle
+/// (zero-waste merge). Returns `None` otherwise.
+///
+/// This is the classical merge rule: the two subscriptions agree on all
+/// attributes except at most one, where their ranges overlap or are
+/// adjacent.
+pub fn try_perfect_merge(a: &Subscription, b: &Subscription) -> Option<Subscription> {
+    debug_assert_eq!(a.arity(), b.arity());
+    // Containment cases are trivially perfect.
+    if a.covers(b) {
+        return Some(a.clone());
+    }
+    if b.covers(a) {
+        return Some(b.clone());
+    }
+    let mut differing = None;
+    for (j, (ra, rb)) in a.ranges().iter().zip(b.ranges()).enumerate() {
+        if ra != rb {
+            if differing.is_some() {
+                return None; // two differing attributes: union is not a box
+            }
+            differing = Some(j);
+        }
+    }
+    let j = differing.expect("identical subscriptions are caught by covers()");
+    let (ra, rb) = (&a.ranges()[j], &b.ranges()[j]);
+    // Union of the two ranges must be an interval: overlap or adjacency.
+    let adjacent_or_overlapping =
+        ra.intersects(rb) || ra.hi() + 1 == rb.lo() || rb.hi() + 1 == ra.lo();
+    if !adjacent_or_overlapping {
+        return None;
+    }
+    Some(bounding_box(a, b))
+}
+
+/// Outcome of a greedy merge pass.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged subscription set.
+    pub merged: Vec<Subscription>,
+    /// Number of merge operations performed.
+    pub merges: usize,
+    /// Upper bound on the total false-positive volume introduced, as the sum
+    /// of per-merge waste fractions (0 for perfect merges only).
+    pub waste_budget_used: f64,
+}
+
+/// Greedy pairwise merging: repeatedly merges the pair with the smallest
+/// waste, as long as that waste is at most `max_waste` (use `0.0` for
+/// perfect merges only). `O(k³)` in the worst case — merging is a
+/// subscription-churn-time operation, like covering.
+///
+/// Beware that per-merge waste *compounds*: each accepted merge creates a
+/// bigger hull whose next merge is measured against the already-diluted
+/// union, so a long chain of ≤ `max_waste` merges can wash out the whole
+/// set. Use [`merge_with_total_budget`] to bound the cumulative loss.
+pub fn merge_with_budget(set: &[Subscription], max_waste: f64) -> MergeOutcome {
+    merge_with_total_budget(set, max_waste, f64::INFINITY)
+}
+
+/// Like [`merge_with_budget`], but additionally stops once the *sum* of
+/// accepted per-merge wastes would exceed `total_budget` — the global
+/// false-positive allowance of refs \[8, 9\]'s merging schemes.
+pub fn merge_with_total_budget(
+    set: &[Subscription],
+    max_waste: f64,
+    total_budget: f64,
+) -> MergeOutcome {
+    assert!((0.0..=1.0).contains(&max_waste), "max_waste must be in [0, 1]");
+    assert!(total_budget >= 0.0, "total_budget must be non-negative");
+    let mut merged: Vec<Subscription> = set.to_vec();
+    let mut merges = 0;
+    let mut waste_budget_used = 0.0;
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..merged.len() {
+            for j in (i + 1)..merged.len() {
+                let w = merge_waste(&merged[i], &merged[j]);
+                if w <= max_waste
+                    && waste_budget_used + w <= total_budget
+                    && best.map_or(true, |(_, _, bw)| w < bw)
+                {
+                    best = Some((i, j, w));
+                }
+            }
+        }
+        let Some((i, j, w)) = best else { break };
+        let hull = bounding_box(&merged[i], &merged[j]);
+        merged.swap_remove(j); // j > i, so i stays valid
+        merged[i] = hull;
+        merges += 1;
+        waste_budget_used += w;
+    }
+    MergeOutcome { merged, merges, waste_budget_used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema2() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", x0.0, x0.1)
+            .range("x1", x1.0, x1.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn perfect_merge_of_adjacent_slabs() {
+        let schema = schema2();
+        let a = sub(&schema, (0, 49), (10, 20));
+        let b = sub(&schema, (50, 99), (10, 20));
+        let m = try_perfect_merge(&a, &b).expect("adjacent slabs merge");
+        assert_eq!(m, sub(&schema, (0, 99), (10, 20)));
+        assert_eq!(merge_waste(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn perfect_merge_of_overlapping_slabs() {
+        let schema = schema2();
+        let a = sub(&schema, (0, 60), (10, 20));
+        let b = sub(&schema, (40, 99), (10, 20));
+        assert!(try_perfect_merge(&a, &b).is_some());
+    }
+
+    #[test]
+    fn no_perfect_merge_with_gap_or_two_differences() {
+        let schema = schema2();
+        let a = sub(&schema, (0, 40), (10, 20));
+        let gap = sub(&schema, (42, 99), (10, 20));
+        assert_eq!(try_perfect_merge(&a, &gap), None);
+        let diag = sub(&schema, (50, 99), (30, 40));
+        assert_eq!(try_perfect_merge(&a, &diag), None);
+        assert!(merge_waste(&a, &diag) > 0.0);
+    }
+
+    #[test]
+    fn containment_merges_to_the_larger() {
+        let schema = schema2();
+        let big = sub(&schema, (0, 99), (0, 99));
+        let small = sub(&schema, (10, 20), (10, 20));
+        assert_eq!(try_perfect_merge(&big, &small), Some(big.clone()));
+        assert_eq!(try_perfect_merge(&small, &big), Some(big));
+    }
+
+    #[test]
+    fn waste_is_exact_for_diagonal_squares() {
+        // Two 10×10 squares at opposite corners of a 20×20 hull:
+        // waste = 1 − 200/400 = 0.5.
+        let schema = schema2();
+        let a = sub(&schema, (0, 9), (0, 9));
+        let b = sub(&schema, (10, 19), (10, 19));
+        assert!((merge_waste(&a, &b) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_zero_budget_only_does_perfect_merges() {
+        let schema = schema2();
+        let set = vec![
+            sub(&schema, (0, 49), (10, 20)),
+            sub(&schema, (50, 99), (10, 20)),
+            sub(&schema, (0, 9), (80, 99)), // cannot merge with anything
+        ];
+        let out = merge_with_budget(&set, 0.0);
+        assert_eq!(out.merges, 1);
+        assert_eq!(out.merged.len(), 2);
+        assert_eq!(out.waste_budget_used, 0.0);
+        assert!(out.merged.contains(&sub(&schema, (0, 99), (10, 20))));
+    }
+
+    #[test]
+    fn greedy_budget_allows_lossy_merges() {
+        let schema = schema2();
+        let set = vec![
+            sub(&schema, (0, 9), (0, 9)),
+            sub(&schema, (0, 9), (12, 21)), // small gap on x1: waste ≈ 2/22
+            sub(&schema, (70, 99), (70, 99)),
+        ];
+        let strict = merge_with_budget(&set, 0.0);
+        assert_eq!(strict.merges, 0);
+        let loose = merge_with_budget(&set, 0.15);
+        assert_eq!(loose.merges, 1);
+        assert!(loose.waste_budget_used > 0.0 && loose.waste_budget_used <= 0.15);
+        // The far square is never merged at this budget.
+        assert_eq!(loose.merged.len(), 2);
+    }
+
+    #[test]
+    fn merged_set_covers_original_set() {
+        let schema = schema2();
+        let set = vec![
+            sub(&schema, (0, 30), (0, 30)),
+            sub(&schema, (20, 60), (10, 40)),
+            sub(&schema, (55, 99), (35, 80)),
+        ];
+        let out = merge_with_budget(&set, 0.4);
+        for original in &set {
+            assert!(
+                out.merged.iter().any(|m| m.covers(original)),
+                "merge must never lose subscription space"
+            );
+        }
+    }
+
+    #[test]
+    fn total_budget_caps_compounding() {
+        // A diagonal staircase of squares: each adjacent merge costs ~0.5
+        // waste; an unbounded per-merge threshold of 0.8 would collapse the
+        // whole set, a total budget of 0.6 allows only one merge.
+        let schema = schema2();
+        let stairs: Vec<Subscription> = (0..5)
+            .map(|i| sub(&schema, (i * 10, i * 10 + 9), (i * 10, i * 10 + 9)))
+            .collect();
+        let unbounded = merge_with_budget(&stairs, 0.8);
+        assert!(unbounded.merged.len() <= 2, "compounding should collapse the set");
+        let capped = merge_with_total_budget(&stairs, 0.8, 0.6);
+        assert_eq!(capped.merges, 1);
+        assert_eq!(capped.merged.len(), 4);
+        assert!(capped.waste_budget_used <= 0.6);
+    }
+
+    #[test]
+    fn waste_budget_respects_log_volume_sizes() {
+        // Sanity: LogVolume ratio path agrees with exact counts.
+        let schema = schema2();
+        let a = sub(&schema, (0, 9), (0, 9));
+        let b = sub(&schema, (5, 14), (0, 9));
+        let hull = bounding_box(&a, &b);
+        assert_eq!(hull.size_exact(), Some(150));
+        // |a| + |b| − |a∩b| = 100 + 100 − 50 = 150 → waste 0.
+        assert!((merge_waste(&a, &b)).abs() < 1e-9);
+    }
+}

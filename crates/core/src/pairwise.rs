@@ -1,0 +1,111 @@
+//! The classical pairwise covering baseline.
+//!
+//! Deterministic covering as used by Siena-style routers (the paper's
+//! Section 7 related work, e.g. [10, 11, 8]): a new subscription is dropped
+//! only when a **single** existing subscription covers it. This is the
+//! comparison baseline for Figures 13 and 14.
+
+use psc_model::Subscription;
+
+/// Pairwise coverage checker (`∃ i: s ⊑ si`).
+///
+/// # Example
+/// ```
+/// use psc_core::PairwiseChecker;
+/// use psc_model::{Schema, Subscription};
+///
+/// let schema = Schema::uniform(1, 0, 99);
+/// let s = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+/// let wide = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+/// assert_eq!(PairwiseChecker.find_cover(&s, &[wide]), Some(0));
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairwiseChecker;
+
+impl PairwiseChecker {
+    /// Returns the index of the first subscription covering `s`, if any.
+    /// Cost `O(m·k)`.
+    pub fn find_cover(&self, s: &Subscription, set: &[Subscription]) -> Option<usize> {
+        set.iter().position(|si| si.covers(s))
+    }
+
+    /// Whether any single subscription covers `s`.
+    pub fn is_covered(&self, s: &Subscription, set: &[Subscription]) -> bool {
+        self.find_cover(s, set).is_some()
+    }
+
+    /// Indices of existing subscriptions that the *new* subscription covers —
+    /// the reverse relation, used when promoting/demoting subscriptions in a
+    /// covering store.
+    pub fn covered_by_new(&self, s: &Subscription, set: &[Subscription]) -> Vec<usize> {
+        set.iter()
+            .enumerate()
+            .filter_map(|(i, si)| s.covers(si).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn detects_single_cover() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let narrow = sub(&schema, (840, 860), (1004, 1005));
+        let wide = sub(&schema, (820, 880), (1001, 1008));
+        let set = [narrow, wide];
+        assert_eq!(PairwiseChecker.find_cover(&s, &set), Some(1));
+        assert!(PairwiseChecker.is_covered(&s, &set));
+    }
+
+    #[test]
+    fn misses_group_cover_by_design() {
+        // Table 3: covered by the union, but pairwise finds nothing — the
+        // exact gap the paper's probabilistic algorithm closes.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        assert_eq!(PairwiseChecker.find_cover(&s, &[s1, s2]), None);
+    }
+
+    #[test]
+    fn reverse_relation_lists_all_covered() {
+        let schema = schema2();
+        let s = sub(&schema, (800, 900), (1000, 1010));
+        let a = sub(&schema, (830, 870), (1003, 1006));
+        let b = sub(&schema, (700i64.max(800), 900), (1000, 1010));
+        let c = sub(&schema, (805, 810), (1001, 1002));
+        assert_eq!(PairwiseChecker.covered_by_new(&s, &[a, b, c]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_set_is_never_covering() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        assert_eq!(PairwiseChecker.find_cover(&s, &[]), None);
+    }
+
+    #[test]
+    fn identical_subscription_covers() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        assert!(PairwiseChecker.is_covered(&s, &[s.clone()]));
+    }
+}

@@ -1,0 +1,224 @@
+//! RSPC — Random Simple Predicates Cover (Algorithm 1 of the paper).
+//!
+//! The Monte-Carlo core: guess up to `d` uniform points inside `s`; if any
+//! guess is a point witness (inside `s`, outside every `si`), the answer is a
+//! **definite NO**. If all `d` guesses fail, answer a **probabilistic YES**
+//! whose error is bounded by `(1 − ρw)^d` (Proposition 1).
+
+use crate::witness::PointWitness;
+use psc_model::Subscription;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one RSPC execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RspcOutcome {
+    /// A point witness was found: `s` is definitely **not** covered.
+    NotCovered {
+        /// The witness point that proves non-coverage.
+        witness: PointWitness,
+        /// Number of guesses performed, including the successful one.
+        iterations: u64,
+    },
+    /// No witness found within the budget: `s` is covered with probability
+    /// at least `1 − error_bound`.
+    ProbablyCovered {
+        /// Number of guesses performed (the full budget).
+        iterations: u64,
+    },
+}
+
+impl RspcOutcome {
+    /// Number of guesses performed.
+    pub fn iterations(&self) -> u64 {
+        match self {
+            RspcOutcome::NotCovered { iterations, .. }
+            | RspcOutcome::ProbablyCovered { iterations } => *iterations,
+        }
+    }
+
+    /// Whether the outcome asserts coverage.
+    pub fn is_covered(&self) -> bool {
+        matches!(self, RspcOutcome::ProbablyCovered { .. })
+    }
+}
+
+/// The RSPC sampler.
+///
+/// Stateless apart from configuration; pass any [`Rng`] to
+/// [`Rspc::run`]. Determinism in experiments comes from seeding the RNG.
+///
+/// # Example
+/// ```
+/// use psc_core::Rspc;
+/// use psc_model::{Schema, Subscription};
+/// use rand::SeedableRng;
+///
+/// let schema = Schema::uniform(1, 0, 99);
+/// let s = Subscription::whole_space(&schema);
+/// let half = Subscription::builder(&schema).range("x0", 0, 49).build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Half the space is uncovered: a witness is found almost immediately.
+/// let out = Rspc::new(1_000).run(&s, &[half], &mut rng);
+/// assert!(!out.is_covered());
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rspc {
+    /// Maximum number of guesses (`d`).
+    budget: u64,
+}
+
+impl Rspc {
+    /// Creates a sampler with the given guess budget `d`.
+    pub fn new(budget: u64) -> Self {
+        Rspc { budget }
+    }
+
+    /// The configured guess budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Runs Algorithm 1: decide whether `s` is covered by the union of `set`.
+    ///
+    /// Complexity `O(d · m · k)` worst case; every iteration exits early on
+    /// the first member of `set` containing the sampled point, and the whole
+    /// run exits on the first witness.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        s: &Subscription,
+        set: &[Subscription],
+        rng: &mut R,
+    ) -> RspcOutcome {
+        let mut point = vec![0i64; s.arity()];
+        for i in 0..self.budget {
+            sample_point(s, rng, &mut point);
+            if !set.iter().any(|si| si.contains_point(&point)) {
+                let witness = PointWitness::verify(point.clone(), s, set)
+                    .expect("sampled point inside s and outside set is a witness");
+                return RspcOutcome::NotCovered { witness, iterations: i + 1 };
+            }
+        }
+        RspcOutcome::ProbablyCovered { iterations: self.budget }
+    }
+}
+
+/// Samples a uniform integer point inside `s` into `out`.
+///
+/// Exposed for reuse by the exact checker's randomized smoke tests and by
+/// benchmarks measuring sampling cost in isolation.
+pub fn sample_point<R: Rng + ?Sized>(s: &Subscription, rng: &mut R, out: &mut Vec<i64>) {
+    out.clear();
+    out.extend(s.ranges().iter().map(|r| rng.gen_range(r.lo()..=r.hi())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema2() -> Schema {
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn covered_case_exhausts_budget() {
+        // Table 3: s ⊑ s1 ∨ s2. RSPC can never find a witness.
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = Rspc::new(500).run(&s, &[s1, s2], &mut rng);
+        assert_eq!(out, RspcOutcome::ProbablyCovered { iterations: 500 });
+        assert!(out.is_covered());
+    }
+
+    #[test]
+    fn non_covered_case_finds_witness() {
+        // Figure 3: the strip x1 ∈ [871, 890] is uncovered (1/3 of s).
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1002, 1009));
+        let s2 = sub(&schema, (840, 870), (1001, 1007));
+        let mut rng = StdRng::seed_from_u64(42);
+        let set = [s1, s2];
+        let out = Rspc::new(10_000).run(&s, &set, &mut rng);
+        match out {
+            RspcOutcome::NotCovered { witness, iterations } => {
+                assert!(witness.holds_against(&s, &set));
+                assert!(witness.point()[0] > 870);
+                // With ρw ≈ 1/3 the witness arrives within a few guesses.
+                assert!(iterations < 100, "took {iterations} iterations");
+            }
+            other => panic!("expected NotCovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_answers_covered_vacuously() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = Rspc::new(0).run(&s, &[], &mut rng);
+        assert_eq!(out, RspcOutcome::ProbablyCovered { iterations: 0 });
+    }
+
+    #[test]
+    fn empty_set_single_guess_refutes() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = Rspc::new(10).run(&s, &[], &mut rng);
+        assert_eq!(out.iterations(), 1);
+        assert!(!out.is_covered());
+    }
+
+    #[test]
+    fn sample_point_stays_inside() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p = Vec::new();
+        for _ in 0..1_000 {
+            sample_point(&s, &mut rng, &mut p);
+            assert!(s.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_extremes() {
+        // Uniform sampling should reach both endpoints of a tiny range.
+        let schema = Schema::uniform(1, 0, 1);
+        let s = Subscription::whole_space(&schema);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Vec::new();
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            sample_point(&s, &mut rng, &mut p);
+            seen[p[0] as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 890), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1002, 1009));
+        let out1 = Rspc::new(100).run(&s, &[s1.clone()], &mut StdRng::seed_from_u64(9));
+        let out2 = Rspc::new(100).run(&s, &[s1], &mut StdRng::seed_from_u64(9));
+        assert_eq!(out1, out2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Witnesses to non-coverage (Definitions 3 and 4 of the paper).
+
+use psc_model::Subscription;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A **point witness** to non-cover: a point satisfying `s` but no member of
+/// `S` (Definition 4). Producing one proves `s ⋢ S` deterministically — this
+/// is the one-sided certainty the Monte-Carlo RSPC test exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PointWitness {
+    point: Vec<i64>,
+}
+
+impl PointWitness {
+    /// Wraps a candidate point **after verifying** it truly witnesses
+    /// non-coverage: inside `s` and outside every element of `set`.
+    ///
+    /// Returns `None` when the point is not a witness.
+    pub fn verify(point: Vec<i64>, s: &Subscription, set: &[Subscription]) -> Option<Self> {
+        if !s.contains_point(&point) {
+            return None;
+        }
+        if set.iter().any(|si| si.contains_point(&point)) {
+            return None;
+        }
+        Some(PointWitness { point })
+    }
+
+    /// The witness coordinates in schema order.
+    pub fn point(&self) -> &[i64] {
+        &self.point
+    }
+
+    /// Re-checks the witness against a (possibly different) set.
+    pub fn holds_against(&self, s: &Subscription, set: &[Subscription]) -> bool {
+        s.contains_point(&self.point) && !set.iter().any(|si| si.contains_point(&self.point))
+    }
+}
+
+impl fmt::Display for PointWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "witness(")?;
+        for (i, v) in self.point.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn setup() -> (Subscription, Vec<Subscription>) {
+        // Figure 3 of the paper: s1, s2 do not cover s; the polyhedron witness
+        // is the strip x1 ∈ [871, 890] of s (above s2's high bound).
+        let schema =
+            Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+        let s = Subscription::builder(&schema)
+            .range("x1", 830, 890)
+            .range("x2", 1003, 1006)
+            .build()
+            .unwrap();
+        let s1 = Subscription::builder(&schema)
+            .range("x1", 820, 850)
+            .range("x2", 1002, 1009)
+            .build()
+            .unwrap();
+        let s2 = Subscription::builder(&schema)
+            .range("x1", 840, 870)
+            .range("x2", 1001, 1007)
+            .build()
+            .unwrap();
+        (s, vec![s1, s2])
+    }
+
+    #[test]
+    fn verify_accepts_true_witness() {
+        let (s, set) = setup();
+        // Any point with x1 > 870 inside s is a witness (Figure 3's rectangle P).
+        let w = PointWitness::verify(vec![880, 1004], &s, &set).unwrap();
+        assert_eq!(w.point(), &[880, 1004]);
+        assert!(w.holds_against(&s, &set));
+    }
+
+    #[test]
+    fn verify_rejects_point_outside_s() {
+        let (s, set) = setup();
+        assert!(PointWitness::verify(vec![895, 1004], &s, &set).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_covered_point() {
+        let (s, set) = setup();
+        // x1 = 845 is inside both s1 and s2.
+        assert!(PointWitness::verify(vec![845, 1004], &s, &set).is_none());
+    }
+
+    #[test]
+    fn witness_stops_holding_when_set_grows() {
+        let (s, set) = setup();
+        let w = PointWitness::verify(vec![880, 1004], &s, &set).unwrap();
+        let schema = s.schema().clone();
+        let plug = Subscription::builder(&schema)
+            .range("x1", 871, 890)
+            .range("x2", 1003, 1006)
+            .build()
+            .unwrap();
+        let mut bigger = set.clone();
+        bigger.push(plug);
+        assert!(!w.holds_against(&s, &bigger));
+    }
+
+    #[test]
+    fn display_shows_coordinates() {
+        let (s, set) = setup();
+        let w = PointWitness::verify(vec![880, 1004], &s, &set).unwrap();
+        assert_eq!(w.to_string(), "witness(880, 1004)");
+    }
+}

@@ -1,0 +1,105 @@
+//! CLI driver regenerating the paper's figures.
+//!
+//! ```text
+//! run-experiments [--exp NAME|all] [--quick] [--seed N] [--scale F]
+//!                 [--size-scale F] [--out DIR]
+//! ```
+//!
+//! Tables print to stdout and are written as CSV under `--out`
+//! (default `experiments-output/`).
+
+use psc_experiments::{available_experiments, run_experiment, RunConfig};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    experiments: Vec<String>,
+    config: RunConfig,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = vec!["all".to_string()];
+    let mut config = RunConfig::default();
+    let mut out_dir = PathBuf::from("experiments-output");
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--exp" => experiments = vec![take_value(&mut i)?],
+            "--quick" => config = RunConfig { seed: config.seed, ..RunConfig::quick() },
+            "--seed" => {
+                config.seed =
+                    take_value(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--scale" => {
+                config.scale =
+                    take_value(&mut i)?.parse().map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--size-scale" => {
+                config.size_scale = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --size-scale: {e}"))?
+            }
+            "--out" => out_dir = PathBuf::from(take_value(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: run-experiments [--exp NAME|all] [--quick] [--seed N] \
+                     [--scale F] [--size-scale F] [--out DIR]\n\navailable experiments: {}",
+                    available_experiments().join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if experiments == ["all"] {
+        experiments = available_experiments().iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args { experiments, config, out_dir })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("error: cannot create {}: {e}", args.out_dir.display());
+        std::process::exit(1);
+    }
+
+    for name in &args.experiments {
+        let start = Instant::now();
+        match run_experiment(name, &args.config) {
+            None => {
+                eprintln!(
+                    "error: unknown experiment `{name}`; available: {}",
+                    available_experiments().join(", ")
+                );
+                std::process::exit(2);
+            }
+            Some(tables) => {
+                println!("\n### experiment {name} ({:.1?})\n", start.elapsed());
+                for (i, table) in tables.iter().enumerate() {
+                    println!("{table}");
+                    let file = args
+                        .out_dir
+                        .join(format!("{}-{}.csv", name.replace('/', "_"), i));
+                    if let Err(e) = std::fs::write(&file, table.to_csv()) {
+                        eprintln!("warning: cannot write {}: {e}", file.display());
+                    }
+                }
+            }
+        }
+    }
+}

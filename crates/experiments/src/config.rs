@@ -1,0 +1,74 @@
+//! Experiment run configuration.
+
+/// Shared knobs for all experiments.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Base RNG seed; per-point seeds derive deterministically from it.
+    pub seed: u64,
+    /// Scale factor on the paper's per-point run counts (1.0 = the paper's
+    /// 1000/3000-run protocol; `--quick` uses a small fraction).
+    pub scale: f64,
+    /// Scale factor on sweep extents (subscription counts, stream length).
+    pub size_scale: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { seed: 0x5eed_2006, scale: 1.0, size_scale: 1.0 }
+    }
+}
+
+impl RunConfig {
+    /// The quick profile used by `--quick` and by integration tests: a small
+    /// fraction of the runs and shorter sweeps.
+    pub fn quick() -> Self {
+        RunConfig { seed: 0x5eed_2006, scale: 0.02, size_scale: 0.2 }
+    }
+
+    /// Applies `scale` to a paper-protocol run count, with a floor.
+    pub fn runs(&self, paper_runs: u64) -> u64 {
+        ((paper_runs as f64 * self.scale).round() as u64).max(3)
+    }
+
+    /// Applies `size_scale` to a sweep extent, with a floor.
+    pub fn size(&self, paper_size: usize) -> usize {
+        ((paper_size as f64 * self.size_scale).round() as usize).max(10)
+    }
+
+    /// Derives a per-point seed from the base seed and coordinates.
+    pub fn point_seed(&self, a: u64, b: u64, c: u64) -> u64 {
+        // SplitMix-style mixing keeps points decorrelated but reproducible.
+        let mut z = self
+            .seed
+            .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_scaling_with_floor() {
+        let cfg = RunConfig { scale: 0.01, ..RunConfig::default() };
+        assert_eq!(cfg.runs(1000), 10);
+        assert_eq!(cfg.runs(100), 3, "floor applies");
+        assert_eq!(RunConfig::default().runs(1000), 1000);
+    }
+
+    #[test]
+    fn point_seeds_differ_by_coordinates() {
+        let cfg = RunConfig::default();
+        let s1 = cfg.point_seed(1, 2, 3);
+        let s2 = cfg.point_seed(1, 2, 4);
+        let s3 = cfg.point_seed(2, 2, 3);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(s1, cfg.point_seed(1, 2, 3), "deterministic");
+    }
+}

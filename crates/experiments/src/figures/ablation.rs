@@ -1,0 +1,168 @@
+//! Ablation experiment (DESIGN.md §7): which pipeline stage decides, per
+//! scenario; and covering vs merging as set-reduction mechanisms.
+
+use crate::config::RunConfig;
+use crate::table::Table;
+use psc_core::merge::{merge_with_budget, merge_with_total_budget};
+use psc_core::{DecisionStage, PairwiseChecker, SubsumptionChecker};
+use psc_workload::{
+    seeded_rng, ComparisonWorkload, NoIntersectionScenario, NonCoverScenario,
+    PairwiseCoverScenario, RedundantCoverScenario,
+};
+
+/// Runs both ablations; returns `[stage-mix table, covering-vs-merging]`.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    vec![stage_mix(cfg), covering_vs_merging(cfg)]
+}
+
+/// For each scenario, the fraction of decisions produced by each stage of
+/// Algorithm 4 — quantifying the paper's "fast decisions" claim.
+fn stage_mix(cfg: &RunConfig) -> Table {
+    let runs = cfg.runs(300);
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-8)
+        .max_iterations(100_000)
+        .build();
+    let mut t = Table::new(
+        format!("Stage mix: which pipeline stage decides ({runs} runs/scenario, m=10, k=100)"),
+        &["scenario", "pairwise", "corollary3", "empty set", "cor3 after MCS", "RSPC"],
+    );
+
+    let scenarios: Vec<(&str, Box<dyn Fn(u64) -> psc_workload::CoverInstance>)> = vec![
+        ("pairwise cover (1.a)", Box::new(|s| {
+            PairwiseCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
+        })),
+        ("redundant cover (1.b)", Box::new(|s| {
+            RedundantCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
+        })),
+        ("no intersection (2.a)", Box::new(|s| {
+            NoIntersectionScenario::new(10, 100).generate(&mut seeded_rng(s))
+        })),
+        ("non-cover (2.b)", Box::new(|s| {
+            NonCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
+        })),
+    ];
+
+    for (name, generate) in scenarios {
+        let mut counts = [0u64; 5];
+        for run in 0..runs {
+            let seed = cfg.point_seed(77, run, 0);
+            let inst = generate(seed);
+            let mut rng = seeded_rng(seed ^ 1);
+            let d = checker.check(&inst.s, &inst.set, &mut rng);
+            let slot = match d.stage {
+                DecisionStage::PairwiseCover => 0,
+                DecisionStage::PolyhedronWitness => 1,
+                DecisionStage::EmptySet | DecisionStage::EmptyMcs => 2,
+                DecisionStage::PolyhedronWitnessAfterMcs => 3,
+                DecisionStage::Rspc => 4,
+            };
+            counts[slot] += 1;
+            if let Some(truth) = inst.ground_truth {
+                // The strict delta makes disagreement essentially impossible.
+                assert_eq!(d.is_covered(), truth, "{name}: wrong decision");
+            }
+        }
+        let frac =
+            |c: u64| -> f64 { c as f64 / runs as f64 };
+        t.row_keyed(name, &[
+            frac(counts[0]),
+            frac(counts[1]),
+            frac(counts[2]),
+            frac(counts[3]),
+            frac(counts[4]),
+        ]);
+    }
+    t
+}
+
+/// Covering vs merging on the realistic stream: set size achieved and (for
+/// merging) the false-positive volume paid.
+fn covering_vs_merging(cfg: &RunConfig) -> Table {
+    let n = cfg.size(400);
+    let wl = ComparisonWorkload::new(10);
+    let mut rng = seeded_rng(cfg.point_seed(78, 0, 0));
+    let stream = wl.stream(n, &mut rng);
+
+    let mut t = Table::new(
+        format!("Covering vs merging on {n} realistic subscriptions (m=10)"),
+        &["mechanism", "final set size", "false-positive budget used"],
+    );
+
+    // Pairwise covering.
+    let mut pairwise: Vec<_> = Vec::new();
+    for s in &stream {
+        if !PairwiseChecker.is_covered(s, &pairwise) {
+            pairwise.push(s.clone());
+        }
+    }
+    t.row(&["pairwise covering", &pairwise.len().to_string(), "0"]);
+
+    // Group covering (the paper's algorithm).
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-6)
+        .max_iterations(2_000)
+        .build();
+    let mut group: Vec<_> = Vec::new();
+    for s in &stream {
+        if !checker.check(s, &group, &mut rng).is_covered() {
+            group.push(s.clone());
+        }
+    }
+    t.row(&["group covering (δ=1e-6)", &group.len().to_string(), "~1e-6/decision"]);
+
+    // Perfect merging, then lossy merging on top of pairwise covering.
+    let perfect = merge_with_budget(&pairwise, 0.0);
+    t.row(&[
+        "pairwise + perfect merging",
+        &perfect.merged.len().to_string(),
+        "0",
+    ]);
+    let lossy = merge_with_total_budget(&pairwise, 0.10, 0.5);
+    t.row(&[
+        "pairwise + merging (≤0.10/merge, ≤0.5 total)",
+        &lossy.merged.len().to_string(),
+        &format!("{:.3}", lossy.waste_budget_used),
+    ]);
+    // Unbounded compounding, for contrast: per-merge cap only.
+    let compounding = merge_with_budget(&pairwise, 0.10);
+    t.row(&[
+        "pairwise + merging (≤0.10/merge, unbounded)",
+        &compounding.merged.len().to_string(),
+        &format!("{:.3}", compounding.waste_budget_used),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_mix_rows_sum_to_one_and_fast_paths_dominate() {
+        let cfg = RunConfig { scale: 0.05, size_scale: 1.0, ..RunConfig::quick() };
+        let tables = run(&cfg);
+        let mix = &tables[0];
+        for row in &mix.rows {
+            let sum: f64 = row[1..].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row fractions must sum to 1");
+        }
+        // Scenario 1.a is decided by Corollary 1 always.
+        let pairwise_row = &mix.rows[0];
+        assert_eq!(pairwise_row[1].parse::<f64>().unwrap(), 1.0);
+        // Scenario 2.a never reaches RSPC.
+        let no_int = &mix.rows[2];
+        assert_eq!(no_int[5].parse::<f64>().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn merging_never_grows_the_set() {
+        let cfg = RunConfig { scale: 0.05, size_scale: 0.2, ..RunConfig::quick() };
+        let tables = run(&cfg);
+        let cmp = &tables[1];
+        let size = |r: usize| -> usize { cmp.rows[r][1].parse().unwrap() };
+        assert!(size(2) <= size(0), "perfect merging grew the set");
+        assert!(size(3) <= size(2), "lossy merging grew the set");
+        assert!(size(1) <= size(0), "group covering must beat pairwise");
+    }
+}

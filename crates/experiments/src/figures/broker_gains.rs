@@ -1,0 +1,103 @@
+//! Extension experiment: end-to-end broker-network traffic under the three
+//! covering policies on a realistic workload.
+//!
+//! Not a paper figure per se — it quantifies the distributed-system claim of
+//! Sections 2 and 5 (covering reduces subscription traffic and routing-table
+//! state; the probabilistic policy reduces it further at a bounded risk of
+//! lost deliveries) on a random broker tree fed with the Section 6.4
+//! workload.
+
+use crate::config::RunConfig;
+use crate::table::Table;
+use psc_broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc_model::SubscriptionId;
+use psc_workload::{seeded_rng, ComparisonWorkload};
+use rand::Rng;
+
+/// Number of brokers in the random tree.
+const BROKERS: usize = 25;
+
+/// Runs the experiment and returns a single table.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let n_subs = cfg.size(400);
+    let n_pubs = cfg.size(300);
+    let wl = ComparisonWorkload::new(10);
+    let schema = wl.schema();
+
+    let mut t = Table::new(
+        format!(
+            "Broker network: {BROKERS} brokers, {n_subs} subscriptions, {n_pubs} publications (m = 10)"
+        ),
+        &[
+            "policy",
+            "sub msgs",
+            "suppressed",
+            "table entries",
+            "pub msgs",
+            "notifications",
+            "missed",
+        ],
+    );
+
+    for policy in
+        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
+    {
+        // Identical workload stream per policy: same seed.
+        let mut rng = seeded_rng(cfg.point_seed(99, 0, 0));
+        let topology = Topology::random_tree(BROKERS, &mut rng);
+        let name = policy.name();
+        let mut net = Network::new(topology, policy, cfg.point_seed(99, 1, 0));
+
+        for i in 0..n_subs {
+            let at = BrokerId(rng.gen_range(0..BROKERS));
+            let sub = wl.subscription(&schema, &mut rng);
+            net.subscribe(at, SubscriptionId(i as u64), sub);
+        }
+
+        let mut missed = 0u64;
+        let mut delivered = 0u64;
+        for _ in 0..n_pubs {
+            let at = BrokerId(rng.gen_range(0..BROKERS));
+            let p = wl.publication(&schema, &mut rng);
+            let report = net.publish(at, &p);
+            let expected = net.expected_recipients(&p);
+            delivered += report.delivered_to.len() as u64;
+            missed += (expected.len().saturating_sub(report.delivered_to.len())) as u64;
+        }
+
+        let m = net.metrics();
+        t.row(&[
+            name,
+            &m.subscription_messages.to_string(),
+            &m.subscriptions_suppressed.to_string(),
+            &m.table_entries.to_string(),
+            &m.publication_messages.to_string(),
+            &delivered.to_string(),
+            &missed.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covering_reduces_traffic_without_losses_for_deterministic_policies() {
+        let tables = run(&RunConfig::quick());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 3);
+        let get = |r: usize, c: usize| -> u64 { t.rows[r][c].parse().unwrap() };
+        // Flooding row: no suppression, no misses.
+        assert_eq!(get(0, 2), 0);
+        assert_eq!(get(0, 6), 0);
+        // Pairwise: strictly less subscription traffic, still no misses.
+        assert!(get(1, 1) < get(0, 1));
+        assert_eq!(get(1, 6), 0);
+        // Group: at most pairwise traffic; misses bounded (tiny delta).
+        assert!(get(2, 1) <= get(1, 1));
+        // Deliveries happen at all under every policy.
+        assert!(get(0, 5) > 0);
+    }
+}

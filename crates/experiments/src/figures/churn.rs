@@ -1,0 +1,108 @@
+//! Extension experiment: subscription churn on a broker network.
+//!
+//! The paper motivates probabilistic subsumption with *highly changeable*
+//! subscriptions (MANETs, sensors, mobile users — Sections 1 and 3) but only
+//! evaluates static sets. This experiment drives the broker network with a
+//! subscribe/unsubscribe/publish trace and measures, per covering policy,
+//! the full dynamic cost: subscription + unsubscription traffic, promotions
+//! of previously suppressed subscriptions, steady-state table size, and
+//! delivery completeness.
+
+use crate::config::RunConfig;
+use crate::table::Table;
+use psc_broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc_workload::{seeded_rng, ChurnTrace, Event};
+use rand::Rng;
+
+/// Number of brokers in the random tree.
+const BROKERS: usize = 20;
+
+/// Runs the churn trace under each policy; returns one summary table.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let n_events = cfg.size(3_000);
+    let trace = ChurnTrace::new(8);
+
+    let mut t = Table::new(
+        format!("Churn: {BROKERS} brokers, {n_events} events (subscribe/unsubscribe/publish ≈ 2/1/7)"),
+        &[
+            "policy",
+            "sub msgs",
+            "unsub msgs",
+            "suppressed",
+            "promoted",
+            "final table",
+            "notifications",
+            "missed",
+        ],
+    );
+
+    for policy in
+        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
+    {
+        let name = policy.name();
+        // Same trace and same broker placement for every policy.
+        let mut rng = seeded_rng(cfg.point_seed(55, 0, 0));
+        let topology = Topology::random_tree(BROKERS, &mut rng);
+        let events = trace.generate(n_events, &mut rng);
+        let mut placement = seeded_rng(cfg.point_seed(55, 1, 0));
+
+        let mut net = Network::new(topology, policy, cfg.point_seed(55, 2, 0));
+        let mut notifications = 0u64;
+        let mut missed = 0u64;
+        for event in events {
+            match event {
+                Event::Subscribe(id, sub) => {
+                    let at = BrokerId(placement.gen_range(0..BROKERS));
+                    net.subscribe(at, id, sub);
+                }
+                Event::Unsubscribe(id) => {
+                    let removed = net.unsubscribe(id);
+                    debug_assert!(removed, "trace only cancels live ids");
+                }
+                Event::Publish(p) => {
+                    let at = BrokerId(placement.gen_range(0..BROKERS));
+                    let delivered = net.publish(at, &p).delivered_to.len();
+                    let expected = net.expected_recipients(&p).len();
+                    notifications += delivered as u64;
+                    missed += (expected.saturating_sub(delivered)) as u64;
+                }
+            }
+        }
+        let m = net.metrics();
+        t.row(&[
+            name,
+            &m.subscription_messages.to_string(),
+            &m.unsubscription_messages.to_string(),
+            &m.subscriptions_suppressed.to_string(),
+            &m.subscriptions_promoted.to_string(),
+            &m.table_entries.to_string(),
+            &notifications.to_string(),
+            &missed.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_preserves_deliveries_for_deterministic_policies() {
+        let tables = run(&RunConfig::quick());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 3);
+        let get = |r: usize, c: usize| -> u64 { t.rows[r][c].parse().unwrap() };
+        // Flooding and pairwise must miss nothing, ever.
+        assert_eq!(get(0, 7), 0, "flooding missed deliveries");
+        assert_eq!(get(1, 7), 0, "pairwise missed deliveries");
+        // Identical notification counts across deterministic policies.
+        assert_eq!(get(0, 6), get(1, 6));
+        // Covering reduces subscription traffic even with churn.
+        assert!(get(1, 1) < get(0, 1));
+        assert!(get(2, 1) <= get(1, 1));
+        // Flooding never suppresses, hence never promotes.
+        assert_eq!(get(0, 3), 0);
+        assert_eq!(get(0, 4), 0);
+    }
+}

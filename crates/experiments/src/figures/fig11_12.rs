@@ -1,0 +1,99 @@
+//! Figures 11 and 12: the extreme non-cover scenario (Section 6.3).
+//!
+//! `k = 50` subscriptions, `m = 5` attributes; the set covers `s` entirely
+//! except a gap of 0.5%–4.5% of one attribute's width. For error
+//! probabilities δ ∈ {1e-3, 1e-6, 1e-10}:
+//!
+//! - **Figure 11** — average number of RSPC guesses over 3000 runs (similar
+//!   across δ, decreasing with the gap: the discovery time is geometric in
+//!   the gap fraction).
+//! - **Figure 12** — number of false decisions (probabilistic YES on a
+//!   non-covered instance) in 3000 runs: grows with δ, shrinks with the gap.
+
+use crate::config::RunConfig;
+use crate::table::Table;
+use psc_core::SubsumptionChecker;
+use psc_workload::{seeded_rng, ExtremeNonCoverScenario};
+
+/// The paper's three error probabilities.
+pub const DELTAS: [f64; 3] = [1e-3, 1e-6, 1e-10];
+
+/// The paper's gap sweep: 0.5% to 4.5% in steps of 0.5%.
+pub fn gap_fractions() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 * 0.005).collect()
+}
+
+/// Runs the sweep and returns `[figure 11, figure 12]`.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let runs = cfg.runs(3000);
+    let mut cols: Vec<String> = vec!["gap%".into()];
+    for d in DELTAS {
+        cols.push(format!("err={d:.0e}"));
+    }
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut fig11 = Table::new(
+        format!("Figure 11: average actual RSPC iterations, extreme non-cover ({runs} runs/point)"),
+        &col_refs,
+    );
+    let mut fig12 = Table::new(
+        format!("Figure 12: false decisions per {runs} runs (normalized to 3000), extreme non-cover"),
+        &col_refs,
+    );
+
+    for (gi, gap) in gap_fractions().into_iter().enumerate() {
+        let mut iter_row = vec![gap * 100.0];
+        let mut false_row = vec![gap * 100.0];
+        for (di, delta) in DELTAS.into_iter().enumerate() {
+            let scenario = ExtremeNonCoverScenario::new(gap);
+            let checker = SubsumptionChecker::builder()
+                .error_probability(delta)
+                .max_iterations(10_000_000)
+                .build();
+            let mut sum_iters = 0u64;
+            let mut false_decisions = 0u64;
+            for run in 0..runs {
+                let mut rng = seeded_rng(cfg.point_seed(gi as u64, di as u64, run));
+                let inst = scenario.generate(&mut rng);
+                let decision = checker.check(&inst.s, &inst.set, &mut rng);
+                sum_iters += decision.stats.rspc_iterations;
+                if decision.is_covered() {
+                    // Ground truth is non-cover by construction.
+                    false_decisions += 1;
+                }
+            }
+            iter_row.push(sum_iters as f64 / runs as f64);
+            false_row.push(false_decisions as f64 * 3000.0 / runs as f64);
+        }
+        fig11.row_values(&iter_row);
+        fig12.row_values(&false_row);
+    }
+    vec![fig11, fig12]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_expected_shapes() {
+        let cfg = RunConfig { scale: 0.05, size_scale: 1.0, ..RunConfig::quick() };
+        let tables = run(&cfg);
+        assert_eq!(tables.len(), 2);
+        let fig11 = &tables[0];
+        assert_eq!(fig11.rows.len(), 9);
+        // Iterations decrease as the gap grows (compare smallest/largest gap
+        // at the strictest delta, which has the largest budget).
+        let first: f64 = fig11.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = fig11.rows.last().unwrap()[3].parse().unwrap();
+        assert!(
+            last < first,
+            "iterations should fall with gap size: first={first} last={last}"
+        );
+        // False decisions: strictest delta should have no more errors than
+        // the loosest at the smallest gap.
+        let fig12 = &tables[1];
+        let loose: f64 = fig12.rows[0][1].parse().unwrap();
+        let strict: f64 = fig12.rows[0][3].parse().unwrap();
+        assert!(strict <= loose, "strict={strict} loose={loose}");
+    }
+}

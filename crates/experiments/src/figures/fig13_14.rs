@@ -1,0 +1,121 @@
+//! Figures 13 and 14: the comparison scenario (Section 6.4).
+//!
+//! A realistic stream of 5000 subscriptions (Zipf attribute popularity,
+//! Pareto range centers, Normal range widths) is filtered by two policies:
+//!
+//! - **pairwise** — drop a new subscription only when a single active
+//!   subscription covers it (the classical baseline);
+//! - **group** — drop it when the probabilistic checker (δ = 1e-6) declares
+//!   it covered by the *union* of active subscriptions.
+//!
+//! **Figure 13** plots the active-set size vs arrivals for `m ∈ {10,15,20}`;
+//! **Figure 14** the group/pairwise size ratio. Expected shape: group is
+//! uniformly below pairwise; the ratio falls to ~0.7–0.8 by 1000 arrivals
+//! and keeps slowly decreasing; reduction weakens as `m` grows.
+
+use crate::config::RunConfig;
+use crate::figures::PAPER_MS;
+use crate::table::Table;
+use psc_core::{ActiveSet, AdmissionPolicy, SubsumptionChecker};
+use psc_workload::{seeded_rng, ComparisonWorkload};
+
+/// The paper's error probability for the comparison.
+pub const DELTA: f64 = 1e-6;
+
+/// RSPC iteration cap for stream processing; the achieved error bound is
+/// reported by the engine when the cap truncates the theoretical budget.
+const ITERATION_CAP: u64 = 2_000;
+
+/// Runs the streams and returns `[figure 13, figure 14]`.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let n = cfg.size(5000);
+    let checkpoints: Vec<usize> = {
+        let step = (n / 20).max(1);
+        (1..=n).filter(|i| i % step == 0 || *i == n).collect()
+    };
+
+    let mut fig13_cols: Vec<String> = vec!["arrivals".into()];
+    let mut fig14_cols: Vec<String> = vec!["arrivals".into()];
+    for m in PAPER_MS {
+        fig13_cols.push(format!("m={m} pairwise"));
+        fig13_cols.push(format!("m={m} group"));
+        fig14_cols.push(format!("m={m}"));
+    }
+    let mut fig13 = Table::new(
+        format!("Figure 13: active-set growth, pairwise vs group ({n} arrivals, delta = {DELTA:e})"),
+        &fig13_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut fig14 = Table::new(
+        "Figure 14: group/pairwise active-set size ratio",
+        &fig14_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    // series[m_index] = (pairwise sizes, group sizes) at each checkpoint.
+    let mut series: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    for (mi, m) in PAPER_MS.into_iter().enumerate() {
+        let wl = ComparisonWorkload::new(m);
+        let mut rng = seeded_rng(cfg.point_seed(13, mi as u64, 0));
+        let stream = wl.stream(n, &mut rng);
+
+        let checker = SubsumptionChecker::builder()
+            .error_probability(DELTA)
+            .max_iterations(ITERATION_CAP)
+            .build();
+        let mut pairwise = ActiveSet::new(AdmissionPolicy::Pairwise, checker);
+        let mut group = ActiveSet::new(AdmissionPolicy::Group, checker);
+        let mut pw_sizes = Vec::with_capacity(checkpoints.len());
+        let mut gr_sizes = Vec::with_capacity(checkpoints.len());
+
+        let mut next_cp = 0;
+        for (i, sub) in stream.into_iter().enumerate() {
+            pairwise.offer(sub.clone(), &mut rng);
+            group.offer(sub, &mut rng);
+            if next_cp < checkpoints.len() && i + 1 == checkpoints[next_cp] {
+                pw_sizes.push(pairwise.len());
+                gr_sizes.push(group.len());
+                next_cp += 1;
+            }
+        }
+        series.push((pw_sizes, gr_sizes));
+    }
+
+    for (ci, &cp) in checkpoints.iter().enumerate() {
+        let mut row13 = vec![cp as f64];
+        let mut row14 = vec![cp as f64];
+        for (pw, gr) in &series {
+            row13.push(pw[ci] as f64);
+            row13.push(gr[ci] as f64);
+            row14.push(gr[ci] as f64 / pw[ci] as f64);
+        }
+        fig13.row_values(&row13);
+        fig14.row_values(&row14);
+    }
+    vec![fig13, fig14]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_group_beats_pairwise() {
+        let tables = run(&RunConfig::quick());
+        assert_eq!(tables.len(), 2);
+        let fig13 = &tables[0];
+        let last = fig13.rows.last().unwrap();
+        // For every m: group size <= pairwise size at the end of the stream.
+        for pair in [(1usize, 2usize), (3, 4), (5, 6)] {
+            let pw: f64 = last[pair.0].parse().unwrap();
+            let gr: f64 = last[pair.1].parse().unwrap();
+            assert!(gr <= pw, "group {gr} must not exceed pairwise {pw}");
+            assert!(pw >= 1.0);
+        }
+        // Ratios are within (0, 1].
+        for row in &tables[1].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 0.0 && v <= 1.0, "ratio {v} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Figures 6 and 7: the redundant covering scenario (Section 6.1).
+//!
+//! - **Figure 6** — effectiveness of MCS: the fraction of by-construction
+//!   redundant subscriptions that the reduction removes, vs `k`, for
+//!   `m ∈ {10, 15, 20}`.
+//! - **Figure 7** — `log10` of the theoretical RSPC iteration budget `d`
+//!   (δ = 1e-10) computed on the full set vs on the MCS-reduced set.
+//!
+//! Expected shapes: reduction ≥ ~0.7 everywhere; without MCS `log10 d` is
+//! enormous (tens), with MCS it collapses to practical values.
+
+use crate::config::RunConfig;
+use crate::table::Table;
+use crate::figures::{paper_ks, PAPER_MS};
+use psc_core::{ConflictTable, MinimizedCoverSet, WitnessEstimate};
+use psc_workload::{seeded_rng, RedundantCoverScenario};
+use std::collections::HashSet;
+
+/// The paper's error probability for this experiment.
+pub const DELTA: f64 = 1e-10;
+
+/// Runs the sweep and returns `[figure 6 table, figure 7 table]`.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let runs = cfg.runs(1000);
+    let ks = paper_ks(cfg.size(310));
+
+    let mut fig6_cols: Vec<String> = vec!["k".into()];
+    let mut fig7_cols: Vec<String> = vec!["k".into()];
+    for m in PAPER_MS {
+        fig6_cols.push(format!("m={m}"));
+        fig7_cols.push(format!("m={m}"));
+        fig7_cols.push(format!("m={m};MCS"));
+    }
+    let mut fig6 = Table::new(
+        format!("Figure 6: redundant-subscription reduction, redundant covering ({runs} runs/point)"),
+        &fig6_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut fig7 = Table::new(
+        format!("Figure 7: log10(theoretical d), redundant covering, delta = {DELTA:e}"),
+        &fig7_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    for &k in &ks {
+        let mut fig6_row = vec![k as f64];
+        let mut fig7_row = vec![k as f64];
+        for m in PAPER_MS {
+            let scenario = RedundantCoverScenario::new(m, k);
+            let mut sum_reduction = 0.0;
+            let mut sum_log_d_full = 0.0;
+            let mut sum_log_d_mcs = 0.0;
+            for run in 0..runs {
+                let mut rng = seeded_rng(cfg.point_seed(m as u64, k as u64, run));
+                let inst = scenario.generate(&mut rng);
+
+                let table = ConflictTable::build(&inst.s, &inst.set);
+                let est_full = WitnessEstimate::from_table(&inst.s, &table);
+                sum_log_d_full += est_full.log10_iterations(DELTA);
+
+                let outcome = MinimizedCoverSet::reduce_table(table);
+                let redundant: HashSet<usize> =
+                    inst.redundant_indices.iter().copied().collect();
+                let removed_redundant =
+                    outcome.removed.iter().filter(|i| redundant.contains(i)).count();
+                sum_reduction += removed_redundant as f64 / redundant.len() as f64;
+
+                let est_mcs = WitnessEstimate::from_table(&inst.s, &outcome.table);
+                sum_log_d_mcs += est_mcs.log10_iterations(DELTA);
+            }
+            let n = runs as f64;
+            fig6_row.push(sum_reduction / n);
+            fig7_row.push(sum_log_d_full / n);
+            fig7_row.push(sum_log_d_mcs / n);
+        }
+        fig6.row_values(&fig6_row);
+        fig7.row_values(&fig7_row);
+    }
+    vec![fig6, fig7]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_expected_shapes() {
+        let tables = run(&RunConfig::quick());
+        assert_eq!(tables.len(), 2);
+        let fig6 = &tables[0];
+        assert_eq!(fig6.columns.len(), 4);
+        assert!(!fig6.rows.is_empty());
+        // Reductions are fractions in (0, 1]; the paper reports >= 0.7.
+        for row in &fig6.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=1.0).contains(&v), "reduction {v} out of range");
+                assert!(v >= 0.5, "reduction {v} suspiciously low");
+            }
+        }
+        // Figure 7: MCS columns are dramatically smaller than full columns.
+        let fig7 = &tables[1];
+        for row in &fig7.rows {
+            for pair in [(1usize, 2usize), (3, 4), (5, 6)] {
+                let full: f64 = row[pair.0].parse().unwrap();
+                let mcs: f64 = row[pair.1].parse().unwrap();
+                assert!(
+                    mcs <= full,
+                    "MCS budget must not exceed the full budget ({mcs} vs {full})"
+                );
+            }
+        }
+    }
+}

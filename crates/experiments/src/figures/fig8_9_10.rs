@@ -1,0 +1,139 @@
+//! Figures 8, 9 and 10: the non-cover scenario (Section 6.2).
+//!
+//! - **Figure 8** — MCS reduction (here *all* `k` subscriptions are
+//!   redundant: the set does not cover `s`).
+//! - **Figure 9** — `log10(theoretical d)` with and without MCS, δ = 1e-10.
+//! - **Figure 10** — actual RSPC iterations performed by the full pipeline
+//!   (expected ≪ 1: the optimizations usually decide non-cover before any
+//!   sampling) vs by bare RSPC without the fast paths.
+
+use crate::config::RunConfig;
+use crate::figures::{paper_ks, PAPER_MS};
+use crate::table::Table;
+use psc_core::{ConflictTable, MinimizedCoverSet, SubsumptionChecker, WitnessEstimate};
+use psc_workload::{seeded_rng, NonCoverScenario};
+
+/// The paper's error probability for this experiment.
+pub const DELTA: f64 = 1e-10;
+
+/// Cap on bare-RSPC sampling when the theoretical `d` is astronomically
+/// large (the witness is found long before any realistic cap).
+const BARE_RSPC_CAP: u64 = 200_000;
+
+/// Runs the sweep and returns `[figure 8, figure 9, figure 10]`.
+pub fn run(cfg: &RunConfig) -> Vec<Table> {
+    let runs = cfg.runs(1000);
+    let ks = paper_ks(cfg.size(310));
+
+    let mut fig8_cols: Vec<String> = vec!["k".into()];
+    let mut fig9_cols: Vec<String> = vec!["k".into()];
+    let mut fig10_cols: Vec<String> = vec!["k".into()];
+    for m in PAPER_MS {
+        fig8_cols.push(format!("m={m}"));
+        fig9_cols.push(format!("m={m}"));
+        fig9_cols.push(format!("m={m};MCS"));
+        fig10_cols.push(format!("m={m}"));
+        fig10_cols.push(format!("m={m};MCS"));
+    }
+    let mut fig8 = Table::new(
+        format!("Figure 8: redundant-subscription reduction, non-cover ({runs} runs/point)"),
+        &fig8_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut fig9 = Table::new(
+        format!("Figure 9: log10(theoretical d), non-cover, delta = {DELTA:e}"),
+        &fig9_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let mut fig10 = Table::new(
+        "Figure 10: actual RSPC iterations, non-cover (bare RSPC vs full pipeline)",
+        &fig10_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    // Full pipeline (the paper's algorithm) and bare RSPC for contrast.
+    let full_checker = SubsumptionChecker::builder()
+        .error_probability(DELTA)
+        .max_iterations(BARE_RSPC_CAP)
+        .build();
+    let bare_checker = SubsumptionChecker::builder()
+        .error_probability(DELTA)
+        .max_iterations(BARE_RSPC_CAP)
+        .pairwise_fast_path(false)
+        .corollary3_fast_path(false)
+        .mcs(false)
+        .prefilter_disjoint(false)
+        .build();
+
+    for &k in &ks {
+        let mut fig8_row = vec![k as f64];
+        let mut fig9_row = vec![k as f64];
+        let mut fig10_row = vec![k as f64];
+        for m in PAPER_MS {
+            let scenario = NonCoverScenario::new(m, k);
+            let mut sum_reduction = 0.0;
+            let mut sum_log_d_full = 0.0;
+            let mut sum_log_d_mcs = 0.0;
+            let mut sum_iter_bare = 0.0;
+            let mut sum_iter_full = 0.0;
+            for run in 0..runs {
+                let mut rng = seeded_rng(cfg.point_seed(m as u64, k as u64, run));
+                let inst = scenario.generate(&mut rng);
+
+                let table = ConflictTable::build(&inst.s, &inst.set);
+                let est_full = WitnessEstimate::from_table(&inst.s, &table);
+                sum_log_d_full += est_full.log10_iterations(DELTA);
+
+                let outcome = MinimizedCoverSet::reduce_table(table);
+                sum_reduction += outcome.removed.len() as f64 / inst.set.len() as f64;
+                if !outcome.is_empty() {
+                    let est_mcs = WitnessEstimate::from_table(&inst.s, &outcome.table);
+                    sum_log_d_mcs += est_mcs.log10_iterations(DELTA);
+                }
+                // else: log10 d contribution is 0 — no sampling needed at all.
+
+                let bare = bare_checker.check(&inst.s, &inst.set, &mut rng);
+                assert!(!bare.is_covered(), "bare RSPC missed a non-cover");
+                sum_iter_bare += bare.stats.rspc_iterations as f64;
+
+                let full = full_checker.check(&inst.s, &inst.set, &mut rng);
+                assert!(!full.is_covered(), "pipeline missed a non-cover");
+                sum_iter_full += full.stats.rspc_iterations as f64;
+            }
+            let n = runs as f64;
+            fig8_row.push(sum_reduction / n);
+            fig9_row.push(sum_log_d_full / n);
+            fig9_row.push(sum_log_d_mcs / n);
+            fig10_row.push(sum_iter_bare / n);
+            fig10_row.push(sum_iter_full / n);
+        }
+        fig8.row_values(&fig8_row);
+        fig9.row_values(&fig9_row);
+        fig10.row_values(&fig10_row);
+    }
+    vec![fig8, fig9, fig10]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_expected_shapes() {
+        let tables = run(&RunConfig::quick());
+        assert_eq!(tables.len(), 3);
+        // Figure 8: near-total reduction (paper: >= 0.88).
+        for row in &tables[0].rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v >= 0.7, "non-cover reduction {v} too low");
+            }
+        }
+        // Figure 10: the full pipeline needs (almost) no iterations.
+        for row in &tables[2].rows {
+            for pair in [(2usize, 1usize), (4, 3), (6, 5)] {
+                let with_mcs: f64 = row[pair.0].parse().unwrap();
+                let bare: f64 = row[pair.1].parse().unwrap();
+                assert!(with_mcs <= bare + 1e-9);
+                assert!(with_mcs < 2.0, "pipeline iterations {with_mcs} too high");
+            }
+        }
+    }
+}

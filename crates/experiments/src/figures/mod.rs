@@ -1,0 +1,39 @@
+//! One module per reproduced figure/table of the paper.
+
+pub mod ablation;
+pub mod broker_gains;
+pub mod churn;
+pub mod fig1;
+pub mod fig11_12;
+pub mod fig13_14;
+pub mod fig2;
+pub mod fig6_7;
+pub mod fig8_9_10;
+pub mod prop5;
+
+/// The attribute counts the paper sweeps in Figures 6–10 and 13–14.
+pub const PAPER_MS: [usize; 3] = [10, 15, 20];
+
+/// The subscription-count sweep of Figures 6–10: 10 to 310 in steps of 30.
+pub fn paper_ks(max_k: usize) -> Vec<usize> {
+    (10..=310).step_by(30).filter(|&k| k <= max_k.max(10)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ks_full_sweep() {
+        let ks = paper_ks(310);
+        assert_eq!(ks.first(), Some(&10));
+        assert_eq!(ks.last(), Some(&310));
+        assert_eq!(ks.len(), 11);
+    }
+
+    #[test]
+    fn paper_ks_scaled_down() {
+        assert_eq!(paper_ks(70), vec![10, 40, 70]);
+        assert_eq!(paper_ks(5), vec![10], "floor keeps one point");
+    }
+}

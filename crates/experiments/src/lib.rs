@@ -1,0 +1,34 @@
+//! # psc-experiments
+//!
+//! The reproduction harness: one module per figure of the Middleware 2006
+//! subsumption paper, each regenerating the series the paper plots as a
+//! plain-text/CSV table.
+//!
+//! | Experiment | Paper artifact | Module |
+//! |---|---|---|
+//! | `fig2` | Table 3/5 worked example | [`figures::fig2`] |
+//! | `fig1` | Figure 1 broker example | [`figures::fig1`] |
+//! | `fig6`, `fig7` | redundant covering: MCS reduction, log₁₀ d | [`figures::fig6_7`] |
+//! | `fig8`, `fig9`, `fig10` | non-cover: reduction, log₁₀ d, actual iterations | [`figures::fig8_9_10`] |
+//! | `fig11`, `fig12` | extreme non-cover: iterations, false decisions | [`figures::fig11_12`] |
+//! | `fig13`, `fig14` | pairwise vs group set growth and ratio | [`figures::fig13_14`] |
+//! | `prop5` | Equation 2 vs chain simulation | [`figures::prop5`] |
+//! | `broker` | end-to-end traffic across policies (extension) | [`figures::broker_gains`] |
+//!
+//! Run them all with the `run-experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p psc-experiments --bin run-experiments -- --exp all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod figures;
+pub mod runner;
+pub mod table;
+
+pub use config::RunConfig;
+pub use runner::{available_experiments, run_experiment};
+pub use table::Table;

@@ -1,0 +1,55 @@
+//! Experiment registry and dispatch.
+
+use crate::config::RunConfig;
+use crate::figures;
+use crate::table::Table;
+
+/// All registered experiment names, in suggested run order.
+pub fn available_experiments() -> Vec<&'static str> {
+    vec![
+        "fig2", "fig1", "fig6-7", "fig8-10", "fig11-12", "fig13-14", "prop5", "broker",
+        "churn", "ablation",
+    ]
+}
+
+/// Runs one experiment by name; `None` for unknown names.
+///
+/// Accepts individual aliases (`fig6`, `fig7`, …) for grouped experiments.
+pub fn run_experiment(name: &str, cfg: &RunConfig) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig2" | "fig3" | "fig4" | "tables" => figures::fig2::run(cfg),
+        "fig1" => figures::fig1::run(cfg),
+        "fig6-7" | "fig6" | "fig7" => figures::fig6_7::run(cfg),
+        "fig8-10" | "fig8" | "fig9" | "fig10" => figures::fig8_9_10::run(cfg),
+        "fig11-12" | "fig11" | "fig12" => figures::fig11_12::run(cfg),
+        "fig13-14" | "fig13" | "fig14" => figures::fig13_14::run(cfg),
+        "prop5" | "fig5" | "eq2" => figures::prop5::run(cfg),
+        "broker" | "broker-gains" => figures::broker_gains::run(cfg),
+        "churn" => figures::churn::run(cfg),
+        "ablation" | "stage-mix" => figures::ablation::run(cfg),
+        _ => return None,
+    };
+    Some(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_dispatches() {
+        // Dispatch-only check with the cheapest experiments; heavy ones are
+        // covered by their own module tests.
+        assert!(run_experiment("fig2", &RunConfig::quick()).is_some());
+        assert!(run_experiment("fig1", &RunConfig::quick()).is_some());
+        assert!(run_experiment("nope", &RunConfig::quick()).is_none());
+        assert_eq!(available_experiments().len(), 10);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let cfg = RunConfig::quick();
+        assert!(run_experiment("eq2", &cfg).is_some());
+        assert!(run_experiment("tables", &cfg).is_some());
+    }
+}

@@ -1,0 +1,155 @@
+//! A small result-table type with aligned-text and CSV rendering.
+
+use std::fmt;
+
+/// A labelled table of experiment results.
+///
+/// # Example
+/// ```
+/// use psc_experiments::Table;
+/// let mut t = Table::new("demo", &["k", "reduction"]);
+/// t.row(&["10", "0.95"]);
+/// t.row_values(&[40.0, 0.97]);
+/// assert!(t.to_csv().starts_with("k,reduction\n10,0.95\n"));
+/// assert!(t.to_string().contains("demo"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (figure name + description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells, each row as long as `columns`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of preformatted cells.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a row of numbers, formatted compactly (up to 4 significant
+    /// decimals, integers without a fraction).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row_values(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(values.iter().map(|v| format_value(*v)).collect());
+    }
+
+    /// Appends a row with a string key followed by numbers.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row_keyed(&mut self, key: &str, values: &[f64]) {
+        assert_eq!(values.len() + 1, self.columns.len(), "row arity mismatch");
+        let mut cells = vec![key.to_string()];
+        cells.extend(values.iter().map(|v| format_value(*v)));
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats one value: integers plainly, NaN as `-`, infinities as `inf`,
+/// everything else with four significant decimals.
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf".into() } else { "-inf".into() }
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.row(&["1", "2"]);
+        t.row_values(&[3.14159, 10.0]);
+        let text = t.to_string();
+        assert!(text.contains("long_header"));
+        assert_eq!(t.to_csv(), "a,long_header\n1,2\n3.1416,10\n");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(5.0), "5");
+        assert_eq!(format_value(0.25), "0.2500");
+        assert_eq!(format_value(f64::NAN), "-");
+        assert_eq!(format_value(f64::INFINITY), "inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn row_keyed_prepends_key() {
+        let mut t = Table::new("t", &["name", "x"]);
+        t.row_keyed("m=10", &[1.5]);
+        assert_eq!(t.rows[0], vec!["m=10".to_string(), "1.5000".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1", "2"]);
+    }
+}

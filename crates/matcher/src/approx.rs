@@ -1,0 +1,198 @@
+//! Approximate matching for imprecise publications.
+//!
+//! Section 1 of the paper: *"We consider publications also as convex
+//! polyhedra, to support environments with imprecise data sources, as it is
+//! advocated in recent publish/subscribe models with approximate
+//! matching."* An imprecise reading (e.g. a sensor value ± its error bound)
+//! is a small box rather than a point; matching it against a subscription
+//! yields three-valued answers:
+//!
+//! - [`ApproxMatch::Certain`] — every point of the box matches (box ⊑ s);
+//! - [`ApproxMatch::Possible`] — some points match (box ∩ s ≠ ∅);
+//! - [`ApproxMatch::None`] — no point matches.
+//!
+//! Against a *set* of subscriptions the certain case generalizes to the
+//! paper's group-subsumption question — "is the box covered by the union?" —
+//! which is decided by the very same probabilistic machinery
+//! ([`BoxMatcher::match_set`] delegates to
+//! [`SubsumptionChecker`] under the hood).
+
+use psc_core::SubsumptionChecker;
+use psc_model::{Publication, Subscription};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Three-valued match of an imprecise publication against subscriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ApproxMatch {
+    /// Every possible true value matches.
+    Certain,
+    /// Some possible true values match.
+    Possible,
+    /// No possible true value matches.
+    None,
+}
+
+/// Matcher for box-shaped (imprecise) publications.
+#[derive(Debug, Clone)]
+pub struct BoxMatcher {
+    checker: SubsumptionChecker,
+}
+
+impl Default for BoxMatcher {
+    fn default() -> Self {
+        BoxMatcher { checker: SubsumptionChecker::default() }
+    }
+}
+
+impl BoxMatcher {
+    /// Creates a matcher whose group-certainty decisions use `checker`.
+    pub fn new(checker: SubsumptionChecker) -> Self {
+        BoxMatcher { checker }
+    }
+
+    /// Matches a publication box against a single subscription —
+    /// deterministic rectangle geometry.
+    pub fn match_one(&self, publication_box: &Subscription, s: &Subscription) -> ApproxMatch {
+        if s.covers(publication_box) {
+            ApproxMatch::Certain
+        } else if s.intersects(publication_box) {
+            ApproxMatch::Possible
+        } else {
+            ApproxMatch::None
+        }
+    }
+
+    /// Matches a publication box against a subscription *set*:
+    ///
+    /// - `Certain` when the box is covered by the **union** of the set — the
+    ///   paper's general subsumption question, answered probabilistically
+    ///   (certainty here carries the checker's error bound);
+    /// - `Possible` when at least one subscription intersects the box;
+    /// - `None` otherwise.
+    pub fn match_set<R: Rng + ?Sized>(
+        &self,
+        publication_box: &Subscription,
+        set: &[Subscription],
+        rng: &mut R,
+    ) -> ApproxMatch {
+        if !set.iter().any(|s| s.intersects(publication_box)) {
+            return ApproxMatch::None;
+        }
+        if self.checker.check(publication_box, set, rng).is_covered() {
+            ApproxMatch::Certain
+        } else {
+            ApproxMatch::Possible
+        }
+    }
+
+    /// Convenience for a point reading with a per-attribute error `radius`:
+    /// lifts the point to a box first.
+    pub fn match_imprecise<R: Rng + ?Sized>(
+        &self,
+        p: &Publication,
+        radius: i64,
+        set: &[Subscription],
+        rng: &mut R,
+    ) -> ApproxMatch {
+        self.match_set(&p.to_box(radius), set, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", x0.0, x0.1)
+            .range("x1", x1.0, x1.1)
+            .build()
+            .unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(314)
+    }
+
+    #[test]
+    fn single_subscription_three_values() {
+        let schema = schema();
+        let m = BoxMatcher::default();
+        let s = sub(&schema, (10, 50), (10, 50));
+        let inside = sub(&schema, (20, 30), (20, 30));
+        let straddle = sub(&schema, (45, 60), (20, 30));
+        let outside = sub(&schema, (60, 70), (60, 70));
+        assert_eq!(m.match_one(&inside, &s), ApproxMatch::Certain);
+        assert_eq!(m.match_one(&straddle, &s), ApproxMatch::Possible);
+        assert_eq!(m.match_one(&outside, &s), ApproxMatch::None);
+    }
+
+    #[test]
+    fn group_certainty_uses_union_cover() {
+        // Box straddles two subscriptions that jointly cover it: certain,
+        // even though neither alone suffices.
+        let schema = schema();
+        let m = BoxMatcher::new(
+            SubsumptionChecker::builder().error_probability(1e-10).build(),
+        );
+        let left = sub(&schema, (0, 30), (0, 99));
+        let right = sub(&schema, (25, 60), (0, 99));
+        let boxed = sub(&schema, (10, 50), (40, 45));
+        let mut rng = rng();
+        assert_eq!(m.match_one(&boxed, &left), ApproxMatch::Possible);
+        assert_eq!(m.match_one(&boxed, &right), ApproxMatch::Possible);
+        assert_eq!(
+            m.match_set(&boxed, &[left, right], &mut rng),
+            ApproxMatch::Certain
+        );
+    }
+
+    #[test]
+    fn group_possible_when_gap_remains() {
+        let schema = schema();
+        let m = BoxMatcher::new(
+            SubsumptionChecker::builder().error_probability(1e-10).build(),
+        );
+        let left = sub(&schema, (0, 20), (0, 99));
+        let right = sub(&schema, (30, 60), (0, 99));
+        let boxed = sub(&schema, (10, 50), (40, 45)); // x0 gap [21, 29] uncovered
+        let mut rng = rng();
+        assert_eq!(
+            m.match_set(&boxed, &[left, right], &mut rng),
+            ApproxMatch::Possible
+        );
+    }
+
+    #[test]
+    fn none_when_disjoint_from_everything() {
+        let schema = schema();
+        let m = BoxMatcher::default();
+        let s1 = sub(&schema, (0, 10), (0, 10));
+        let boxed = sub(&schema, (50, 60), (50, 60));
+        let mut rng = rng();
+        assert_eq!(m.match_set(&boxed, &[s1], &mut rng), ApproxMatch::None);
+        assert_eq!(m.match_set(&boxed, &[], &mut rng), ApproxMatch::None);
+    }
+
+    #[test]
+    fn imprecise_point_reading() {
+        let schema = schema();
+        let m = BoxMatcher::new(
+            SubsumptionChecker::builder().error_probability(1e-10).build(),
+        );
+        let s = sub(&schema, (10, 50), (10, 50));
+        let p = Publication::builder(&schema).set("x0", 49).set("x1", 30).build().unwrap();
+        let mut rng = rng();
+        // Exact reading matches; with radius 5 the box pokes out of s.
+        assert_eq!(m.match_imprecise(&p, 0, &[s.clone()], &mut rng), ApproxMatch::Certain);
+        assert_eq!(m.match_imprecise(&p, 5, &[s], &mut rng), ApproxMatch::Possible);
+    }
+}

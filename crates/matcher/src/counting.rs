@@ -1,0 +1,285 @@
+//! A counting-style per-attribute interval index.
+//!
+//! The counting algorithm (Yan & García-Molina, TODS 1994 — reference \[18\]
+//! of the paper) decomposes subscriptions into per-attribute predicates,
+//! finds the predicates satisfied by a publication attribute-by-attribute,
+//! and counts hits per subscription: a subscription matches exactly when all
+//! of its predicates are hit. Because our data model constrains *every*
+//! attribute (unconstrained ones use the full domain), the hit target is
+//! always `m`.
+//!
+//! Per attribute, intervals are kept sorted by lower bound; a stab query
+//! binary-searches the last candidate and scans backward, pruning with the
+//! maximum upper bound seen per prefix (a "max-hi prefix" array) so that a
+//! query costs `O(log n + answers)` amortized for non-pathological interval
+//! sets.
+
+use psc_model::{Publication, Subscription, SubscriptionId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct AttrIndex {
+    /// `(lo, hi, slot)` sorted by `lo`.
+    intervals: Vec<(i64, i64, usize)>,
+    /// `prefix_max_hi[i]` = max of `hi` over `intervals[..=i]`.
+    prefix_max_hi: Vec<i64>,
+}
+
+impl AttrIndex {
+    fn build(mut intervals: Vec<(i64, i64, usize)>) -> Self {
+        intervals.sort_unstable_by_key(|&(lo, _, _)| lo);
+        let mut prefix_max_hi = Vec::with_capacity(intervals.len());
+        let mut max_hi = i64::MIN;
+        for &(_, hi, _) in &intervals {
+            max_hi = max_hi.max(hi);
+            prefix_max_hi.push(max_hi);
+        }
+        AttrIndex { intervals, prefix_max_hi }
+    }
+
+    /// Calls `hit` for every slot whose interval contains `v`.
+    fn stab(&self, v: i64, mut hit: impl FnMut(usize)) {
+        // Last interval with lo <= v.
+        let end = self.intervals.partition_point(|&(lo, _, _)| lo <= v);
+        for i in (0..end).rev() {
+            // All of intervals[..=i] end below v: nothing further can match.
+            if self.prefix_max_hi[i] < v {
+                break;
+            }
+            if self.intervals[i].1 >= v {
+                hit(self.intervals[i].2);
+            }
+        }
+    }
+}
+
+/// Counting-algorithm matcher over range subscriptions.
+///
+/// Mutations (insert/remove) are buffered and applied by rebuilding the
+/// per-attribute indexes lazily on the next query — the classic trade-off of
+/// index-based pub/sub engines, which assume subscription churn is far rarer
+/// than publications (Section 1 of the paper).
+///
+/// # Example
+/// ```
+/// use psc_matcher::CountingIndex;
+/// use psc_model::{Schema, Subscription, Publication, SubscriptionId};
+///
+/// let schema = Schema::uniform(2, 0, 99);
+/// let mut idx = CountingIndex::new(&schema);
+/// idx.insert(SubscriptionId(7),
+///     Subscription::builder(&schema).range("x0", 10, 20).build()?);
+/// let p = Publication::builder(&schema).set("x0", 12).set("x1", 0).build()?;
+/// assert_eq!(idx.matches(&p), vec![SubscriptionId(7)]);
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingIndex {
+    arity: usize,
+    /// Slot-addressed storage; `None` marks a removed slot.
+    subs: Vec<Option<(SubscriptionId, Subscription)>>,
+    by_id: HashMap<SubscriptionId, Vec<usize>>,
+    indexes: Option<Vec<AttrIndex>>,
+    live: usize,
+}
+
+impl CountingIndex {
+    /// Creates an empty index for subscriptions of the given schema.
+    pub fn new(schema: &psc_model::Schema) -> Self {
+        CountingIndex {
+            arity: schema.len(),
+            subs: Vec::new(),
+            by_id: HashMap::new(),
+            indexes: None,
+            live: 0,
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Adds a subscription under `id`.
+    ///
+    /// # Panics
+    /// Panics if the subscription arity differs from the index schema.
+    pub fn insert(&mut self, id: SubscriptionId, sub: Subscription) {
+        assert_eq!(sub.arity(), self.arity, "subscription arity mismatch");
+        let slot = self.subs.len();
+        self.subs.push(Some((id, sub)));
+        self.by_id.entry(id).or_default().push(slot);
+        self.live += 1;
+        self.indexes = None;
+    }
+
+    /// Removes all subscriptions with `id`; returns how many were removed.
+    pub fn remove(&mut self, id: SubscriptionId) -> usize {
+        let slots = self.by_id.remove(&id).unwrap_or_default();
+        let mut removed = 0;
+        for slot in slots {
+            if self.subs[slot].take().is_some() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.live -= removed;
+            self.indexes = None;
+        }
+        removed
+    }
+
+    fn rebuild(&mut self) {
+        let mut per_attr: Vec<Vec<(i64, i64, usize)>> = vec![Vec::new(); self.arity];
+        for (slot, entry) in self.subs.iter().enumerate() {
+            if let Some((_, sub)) = entry {
+                for (j, r) in sub.ranges().iter().enumerate() {
+                    per_attr[j].push((r.lo(), r.hi(), slot));
+                }
+            }
+        }
+        self.indexes = Some(per_attr.into_iter().map(AttrIndex::build).collect());
+    }
+
+    /// Ids of all subscriptions matching `p`, in slot (insertion) order.
+    pub fn matches(&mut self, p: &Publication) -> Vec<SubscriptionId> {
+        assert_eq!(p.values().len(), self.arity, "publication arity mismatch");
+        if self.indexes.is_none() {
+            self.rebuild();
+        }
+        let indexes = self.indexes.as_ref().expect("just rebuilt");
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for (j, &v) in p.values().iter().enumerate() {
+            indexes[j].stab(v, |slot| {
+                *counts.entry(slot).or_insert(0) += 1;
+            });
+        }
+        let mut hit_slots: Vec<usize> = counts
+            .into_iter()
+            .filter_map(|(slot, c)| (c == self.arity).then_some(slot))
+            .collect();
+        hit_slots.sort_unstable();
+        hit_slots
+            .into_iter()
+            .map(|slot| self.subs[slot].as_ref().expect("live slot").0)
+            .collect()
+    }
+
+    /// The ranges stored for `id` (first live copy), if present.
+    pub fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.by_id.get(&id).and_then(|slots| {
+            slots
+                .iter()
+                .find_map(|&slot| self.subs[slot].as_ref().map(|(_, s)| s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveMatcher;
+    use psc_model::Schema;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::uniform(3, 0, 99)
+    }
+
+    fn sub3(schema: &Schema, a: (i64, i64), b: (i64, i64), c: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", a.0, a.1)
+            .range("x1", b.0, b.1)
+            .range("x2", c.0, c.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_subscription_roundtrip() {
+        let schema = schema();
+        let mut idx = CountingIndex::new(&schema);
+        idx.insert(SubscriptionId(1), sub3(&schema, (10, 20), (0, 99), (5, 5)));
+        let hit = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 42)
+            .set("x2", 5)
+            .build()
+            .unwrap();
+        let miss = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 42)
+            .set("x2", 6)
+            .build()
+            .unwrap();
+        assert_eq!(idx.matches(&hit), vec![SubscriptionId(1)]);
+        assert!(idx.matches(&miss).is_empty());
+    }
+
+    #[test]
+    fn remove_then_match() {
+        let schema = schema();
+        let mut idx = CountingIndex::new(&schema);
+        idx.insert(SubscriptionId(1), sub3(&schema, (0, 99), (0, 99), (0, 99)));
+        idx.insert(SubscriptionId(2), sub3(&schema, (0, 99), (0, 99), (0, 99)));
+        assert_eq!(idx.remove(SubscriptionId(1)), 1);
+        assert_eq!(idx.len(), 1);
+        let p = Publication::builder(&schema)
+            .set("x0", 1)
+            .set("x1", 1)
+            .set("x2", 1)
+            .build()
+            .unwrap();
+        assert_eq!(idx.matches(&p), vec![SubscriptionId(2)]);
+        assert_eq!(idx.remove(SubscriptionId(99)), 0);
+    }
+
+    #[test]
+    fn get_returns_live_subscription() {
+        let schema = schema();
+        let mut idx = CountingIndex::new(&schema);
+        let s = sub3(&schema, (1, 2), (3, 4), (5, 6));
+        idx.insert(SubscriptionId(9), s.clone());
+        assert_eq!(idx.get(SubscriptionId(9)), Some(&s));
+        idx.remove(SubscriptionId(9));
+        assert_eq!(idx.get(SubscriptionId(9)), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_counting_equals_naive(
+            subs in proptest::collection::vec(
+                (0i64..90, 0i64..20, 0i64..90, 0i64..20, 0i64..90, 0i64..20), 0..25),
+            pubs in proptest::collection::vec((0i64..100, 0i64..100, 0i64..100), 1..20),
+        ) {
+            let schema = schema();
+            let mut idx = CountingIndex::new(&schema);
+            let mut naive = NaiveMatcher::new();
+            for (i, (a, aw, b, bw, c, cw)) in subs.into_iter().enumerate() {
+                let s = sub3(
+                    &schema,
+                    (a, (a + aw).min(99)),
+                    (b, (b + bw).min(99)),
+                    (c, (c + cw).min(99)),
+                );
+                idx.insert(SubscriptionId(i as u64), s.clone());
+                naive.insert(SubscriptionId(i as u64), s);
+            }
+            for (x, y, z) in pubs {
+                let p = Publication::builder(&schema)
+                    .set("x0", x).set("x1", y).set("x2", z).build().unwrap();
+                let mut a = idx.matches(&p);
+                let mut b = naive.matches(&p);
+                a.sort_unstable_by_key(|id| id.0);
+                b.sort_unstable_by_key(|id| id.0);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

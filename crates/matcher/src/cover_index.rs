@@ -1,0 +1,245 @@
+//! An index accelerating the *covering* path: pairwise-cover candidates and
+//! the intersection prefilter over a large subscription set.
+//!
+//! The subsumption pipeline scans the whole set per query (`O(m·k)` for the
+//! conflict table is unavoidable in the worst case). But the two cheapest
+//! and most frequent questions brokers ask have sub-linear candidate
+//! structure:
+//!
+//! - *pairwise cover* (`∃i: si ⊇ s`): any cover must, on a chosen pivot
+//!   attribute, have `lo ≤ s.lo` and `hi ≥ s.hi` — so indexing subscriptions
+//!   by their pivot lower bound lets the scan stop early and skip
+//!   non-candidates;
+//! - *intersection* (`si ∩ s ≠ ∅`): the complement (disjoint on the pivot)
+//!   is discovered the same way.
+//!
+//! The index picks the attribute with the most discriminating bounds as the
+//! pivot (largest spread of lower bounds). This is a pragma­tic engineering
+//! structure, not a paper artifact; differential tests pin it to the naive
+//! scans.
+
+use psc_model::{AttrId, Subscription, SubscriptionId};
+
+/// Per-attribute sorted views over a subscription set, optimized for cover
+/// candidate generation.
+///
+/// Rebuild-on-mutation (like [`crate::CountingIndex`]): brokers mutate
+/// rarely relative to queries.
+///
+/// # Example
+/// ```
+/// use psc_matcher::cover_index::CoverIndex;
+/// use psc_model::{Schema, Subscription, SubscriptionId};
+/// let schema = Schema::uniform(2, 0, 99);
+/// let wide = Subscription::builder(&schema).range("x0", 0, 80).build()?;
+/// let narrow = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+/// let mut idx = CoverIndex::new(&schema);
+/// idx.insert(SubscriptionId(1), wide);
+/// assert_eq!(idx.find_cover(&narrow), Some(SubscriptionId(1)));
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverIndex {
+    arity: usize,
+    subs: Vec<(SubscriptionId, Subscription)>,
+    /// Entry order sorted ascending by pivot-attribute lower bound.
+    by_pivot_lo: Vec<usize>,
+    pivot: AttrId,
+    dirty: bool,
+}
+
+impl CoverIndex {
+    /// Creates an empty index for subscriptions of the given schema.
+    pub fn new(schema: &psc_model::Schema) -> Self {
+        CoverIndex {
+            arity: schema.len(),
+            subs: Vec::new(),
+            by_pivot_lo: Vec::new(),
+            pivot: AttrId(0),
+            dirty: false,
+        }
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Adds a subscription.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, id: SubscriptionId, sub: Subscription) {
+        assert_eq!(sub.arity(), self.arity, "subscription arity mismatch");
+        self.subs.push((id, sub));
+        self.dirty = true;
+    }
+
+    /// Removes all subscriptions with `id`; returns how many were removed.
+    pub fn remove(&mut self, id: SubscriptionId) -> usize {
+        let before = self.subs.len();
+        self.subs.retain(|(i, _)| *i != id);
+        let removed = before - self.subs.len();
+        if removed > 0 {
+            self.dirty = true;
+        }
+        removed
+    }
+
+    fn rebuild(&mut self) {
+        // Pivot = attribute with the largest number of distinct lower
+        // bounds (most discriminating for the lo <= s.lo cut).
+        let mut best = (0usize, 0usize);
+        for j in 0..self.arity {
+            let mut los: Vec<i64> =
+                self.subs.iter().map(|(_, s)| s.ranges()[j].lo()).collect();
+            los.sort_unstable();
+            los.dedup();
+            if los.len() > best.1 {
+                best = (j, los.len());
+            }
+        }
+        self.pivot = AttrId(best.0);
+        self.by_pivot_lo = (0..self.subs.len()).collect();
+        self.by_pivot_lo
+            .sort_by_key(|&i| self.subs[i].1.ranges()[self.pivot.0].lo());
+        self.dirty = false;
+    }
+
+    fn ensure(&mut self) {
+        if self.dirty || (self.by_pivot_lo.len() != self.subs.len()) {
+            self.rebuild();
+        }
+    }
+
+    /// First stored subscription that covers `s` pairwise, if any.
+    ///
+    /// Only entries with pivot `lo ≤ s.lo(pivot)` are candidates; the sorted
+    /// order makes the cut a prefix.
+    pub fn find_cover(&mut self, s: &Subscription) -> Option<SubscriptionId> {
+        self.ensure();
+        let s_lo = s.ranges()[self.pivot.0].lo();
+        for &i in &self.by_pivot_lo {
+            let (id, candidate) = &self.subs[i];
+            if candidate.ranges()[self.pivot.0].lo() > s_lo {
+                break; // sorted: no later entry can cover on the pivot
+            }
+            if candidate.covers(s) {
+                return Some(*id);
+            }
+        }
+        None
+    }
+
+    /// All stored subscriptions intersecting `s`, in insertion order.
+    pub fn intersecting(&mut self, s: &Subscription) -> Vec<SubscriptionId> {
+        self.ensure();
+        // The pivot cut here is weaker (intersection only needs
+        // lo <= s.hi), but still prunes everything beyond s's pivot end.
+        let s_hi = s.ranges()[self.pivot.0].hi();
+        let mut hits: Vec<usize> = Vec::new();
+        for &i in &self.by_pivot_lo {
+            let (_, candidate) = &self.subs[i];
+            if candidate.ranges()[self.pivot.0].lo() > s_hi {
+                break;
+            }
+            if candidate.intersects(s) {
+                hits.push(i);
+            }
+        }
+        hits.sort_unstable();
+        hits.into_iter().map(|i| self.subs[i].0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", x0.0, x0.1)
+            .range("x1", x1.0, x1.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_cover_and_respects_removal() {
+        let schema = schema();
+        let mut idx = CoverIndex::new(&schema);
+        idx.insert(SubscriptionId(1), sub(&schema, (0, 80), (0, 80)));
+        idx.insert(SubscriptionId(2), sub(&schema, (5, 50), (5, 50)));
+        let probe = sub(&schema, (10, 40), (10, 40));
+        assert_eq!(idx.find_cover(&probe), Some(SubscriptionId(1)));
+        idx.remove(SubscriptionId(1));
+        assert_eq!(idx.find_cover(&probe), Some(SubscriptionId(2)));
+        idx.remove(SubscriptionId(2));
+        assert_eq!(idx.find_cover(&probe), None);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn intersection_prefilter_matches_naive() {
+        let schema = schema();
+        let mut idx = CoverIndex::new(&schema);
+        let subs = [
+            sub(&schema, (0, 20), (0, 99)),
+            sub(&schema, (30, 60), (0, 99)),
+            sub(&schema, (70, 99), (0, 10)),
+        ];
+        for (i, s) in subs.iter().enumerate() {
+            idx.insert(SubscriptionId(i as u64), s.clone());
+        }
+        let probe = sub(&schema, (15, 40), (20, 30));
+        let got = idx.intersecting(&probe);
+        assert_eq!(got, vec![SubscriptionId(0), SubscriptionId(1)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_index_equals_naive(
+            subs in proptest::collection::vec(
+                (0i64..80, 0i64..40, 0i64..80, 0i64..40), 0..30),
+            probe in (0i64..80, 0i64..40, 0i64..80, 0i64..40),
+        ) {
+            let schema = schema();
+            let build = |(a, aw, b, bw): (i64, i64, i64, i64)| {
+                sub(&schema, (a, (a + aw).min(99)), (b, (b + bw).min(99)))
+            };
+            let mut idx = CoverIndex::new(&schema);
+            let set: Vec<Subscription> = subs.iter().map(|&t| build(t)).collect();
+            for (i, s) in set.iter().enumerate() {
+                idx.insert(SubscriptionId(i as u64), s.clone());
+            }
+            let probe = build(probe);
+
+            // find_cover agrees with the naive existence check (any cover,
+            // not necessarily the same one).
+            let naive_cover = set.iter().any(|s| s.covers(&probe));
+            prop_assert_eq!(idx.find_cover(&probe).is_some(), naive_cover);
+
+            // intersecting() agrees exactly.
+            let naive_hits: Vec<SubscriptionId> = set
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.intersects(&probe).then_some(SubscriptionId(i as u64))
+                })
+                .collect();
+            prop_assert_eq!(idx.intersecting(&probe), naive_hits);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Flat linear-scan matcher: the correctness baseline.
+
+use psc_model::{Publication, Subscription, SubscriptionId};
+
+/// Matches publications by scanning every subscription.
+///
+/// `O(m·N)` per publication. Exists to (a) serve tiny installations where an
+/// index costs more than it saves and (b) pin down the semantics the other
+/// engines must reproduce.
+///
+/// # Example
+/// ```
+/// use psc_matcher::NaiveMatcher;
+/// use psc_model::{Schema, Subscription, Publication, SubscriptionId};
+///
+/// let schema = Schema::uniform(2, 0, 99);
+/// let mut m = NaiveMatcher::new();
+/// m.insert(SubscriptionId(1),
+///     Subscription::builder(&schema).range("x0", 10, 20).build()?);
+/// m.insert(SubscriptionId(2),
+///     Subscription::builder(&schema).range("x1", 50, 60).build()?);
+/// let p = Publication::builder(&schema).set("x0", 15).set("x1", 55).build()?;
+/// assert_eq!(m.matches(&p), vec![SubscriptionId(1), SubscriptionId(2)]);
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NaiveMatcher {
+    subs: Vec<(SubscriptionId, Subscription)>,
+}
+
+impl NaiveMatcher {
+    /// Creates an empty matcher.
+    pub fn new() -> Self {
+        NaiveMatcher { subs: Vec::new() }
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether the matcher is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Adds a subscription under `id`. Duplicate ids are allowed and each
+    /// copy matches independently (callers that care deduplicate upstream).
+    pub fn insert(&mut self, id: SubscriptionId, sub: Subscription) {
+        self.subs.push((id, sub));
+    }
+
+    /// Removes all subscriptions with `id`; returns how many were removed.
+    pub fn remove(&mut self, id: SubscriptionId) -> usize {
+        let before = self.subs.len();
+        self.subs.retain(|(i, _)| *i != id);
+        before - self.subs.len()
+    }
+
+    /// Ids of all subscriptions matching `p`, in insertion order.
+    pub fn matches(&self, p: &Publication) -> Vec<SubscriptionId> {
+        self.subs
+            .iter()
+            .filter_map(|(id, s)| s.matches(p).then_some(*id))
+            .collect()
+    }
+
+    /// Iterates over stored `(id, subscription)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+        self.subs.iter().map(|(id, s)| (*id, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", x0.0, x0.1)
+            .range("x1", x1.0, x1.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_in_insertion_order() {
+        let schema = schema();
+        let mut m = NaiveMatcher::new();
+        m.insert(SubscriptionId(3), sub(&schema, (0, 50), (0, 50)));
+        m.insert(SubscriptionId(1), sub(&schema, (10, 20), (10, 20)));
+        m.insert(SubscriptionId(2), sub(&schema, (60, 90), (60, 90)));
+        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        assert_eq!(m.matches(&p), vec![SubscriptionId(3), SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn remove_drops_all_copies() {
+        let schema = schema();
+        let mut m = NaiveMatcher::new();
+        m.insert(SubscriptionId(1), sub(&schema, (0, 99), (0, 99)));
+        m.insert(SubscriptionId(1), sub(&schema, (0, 10), (0, 10)));
+        assert_eq!(m.remove(SubscriptionId(1)), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn empty_matcher_matches_nothing() {
+        let schema = schema();
+        let m = NaiveMatcher::new();
+        let p = Publication::builder(&schema).set("x0", 1).set("x1", 1).build().unwrap();
+        assert!(m.matches(&p).is_empty());
+    }
+}

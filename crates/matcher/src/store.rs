@@ -1,0 +1,507 @@
+//! The covered/uncovered subscription store (Algorithm 5 of the paper).
+//!
+//! New subscriptions are checked for coverage against the *active*
+//! (uncovered) set. Covered subscriptions are parked in a covered pool —
+//! they still belong to subscribers, but routing and first-phase matching
+//! ignore them. Publication matching then follows Algorithm 5:
+//!
+//! 1. match `p` against the active set;
+//! 2. **only if** something matched, match `p` against the covered pool —
+//!    a publication matching no active subscription cannot match a covered
+//!    one (every covered subscription lies inside the union of actives).
+//!
+//! The paper's optimization ("remembering for each element the
+//! subscription(s) that cover it") is implemented as parent links: a covered
+//! entry whose cover was *pairwise* records the single covering parent and is
+//! probed only when that parent matched; group-covered entries record the
+//! active set snapshot's ids and are probed whenever phase 1 hit anything.
+//!
+//! Unsubscription follows Section 5's note: removing an active subscription
+//! re-evaluates its covered dependents — still-covered ones are re-parented,
+//! the rest are promoted to active.
+
+use psc_core::{CoverAnswer, DecisionStage, SubsumptionChecker};
+use psc_model::{Publication, Subscription, SubscriptionId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// How a covered entry is linked to its cover.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoverParents {
+    /// Covered pairwise by a single active subscription.
+    Single(SubscriptionId),
+    /// Covered by a group; probing is gated only on "phase 1 hit anything".
+    Group,
+}
+
+/// One stored subscription with metadata.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// The subscription's id.
+    pub id: SubscriptionId,
+    /// The subscription itself.
+    pub sub: Subscription,
+    /// Cover linkage (`None` for active entries).
+    pub parents: Option<CoverParents>,
+}
+
+/// Outcome of inserting a subscription.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InsertOutcome {
+    /// The subscription joined the active set (it was not covered). Carries
+    /// the ids of previously-active subscriptions that the newcomer covers
+    /// pairwise and that were therefore demoted to the covered pool.
+    Active {
+        /// Ids demoted under the new subscription.
+        demoted: Vec<SubscriptionId>,
+    },
+    /// The subscription was covered and parked.
+    Covered {
+        /// Pairwise parent when the cover was pairwise.
+        parents: CoverParents,
+        /// Error bound of the covering decision (0 for deterministic).
+        error_bound: f64,
+    },
+}
+
+impl InsertOutcome {
+    /// Whether the subscription became active.
+    pub fn is_active(&self) -> bool {
+        matches!(self, InsertOutcome::Active { .. })
+    }
+}
+
+/// Match-phase statistics (the cost model of Algorithm 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MatchStats {
+    /// Subscription tests against the active set.
+    pub active_checked: u64,
+    /// Subscription tests against the covered pool.
+    pub covered_checked: u64,
+    /// Covered entries skipped thanks to parent gating.
+    pub covered_skipped: u64,
+    /// Publications that matched nothing active (phase 2 skipped wholesale).
+    pub phase2_skipped: u64,
+}
+
+/// The two-phase covered/uncovered subscription store.
+///
+/// # Example
+/// ```
+/// use psc_matcher::CoveringStore;
+/// use psc_core::SubsumptionChecker;
+/// use psc_model::{Schema, Subscription, Publication, SubscriptionId};
+/// use rand::SeedableRng;
+///
+/// let schema = Schema::uniform(1, 0, 99);
+/// let mut store = CoveringStore::new(SubsumptionChecker::default());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let wide = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+/// let narrow = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+/// store.insert(SubscriptionId(1), wide, &mut rng);
+/// let out = store.insert(SubscriptionId(2), narrow, &mut rng);
+/// assert!(!out.is_active()); // narrow ⊑ wide: parked as covered
+/// assert_eq!(store.active_len(), 1);
+///
+/// let p = Publication::builder(&schema).set("x0", 15).build()?;
+/// let matched = store.match_publication(&p);
+/// assert_eq!(matched, vec![SubscriptionId(1), SubscriptionId(2)]);
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoveringStore {
+    checker: SubsumptionChecker,
+    active: Vec<StoredEntry>,
+    covered: Vec<StoredEntry>,
+    stats: MatchStats,
+}
+
+impl CoveringStore {
+    /// Creates an empty store using `checker` for coverage decisions.
+    pub fn new(checker: SubsumptionChecker) -> Self {
+        CoveringStore { checker, active: Vec::new(), covered: Vec::new(), stats: MatchStats::default() }
+    }
+
+    /// Number of active (uncovered) subscriptions.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of covered (parked) subscriptions.
+    pub fn covered_len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Total stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.active.len() + self.covered.len()
+    }
+
+    /// Whether the store holds no subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accumulated matching statistics.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// Resets the matching statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MatchStats::default();
+    }
+
+    /// The active subscriptions (for routing decisions — this is the set a
+    /// broker forwards upstream).
+    pub fn active_subscriptions(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+        self.active.iter().map(|e| (e.id, &e.sub))
+    }
+
+    /// Inserts a subscription, deciding its covered status with the
+    /// configured checker.
+    ///
+    /// # Panics
+    /// Panics if `id` is already stored (ids must be unique).
+    pub fn insert<R: Rng + ?Sized>(
+        &mut self,
+        id: SubscriptionId,
+        sub: Subscription,
+        rng: &mut R,
+    ) -> InsertOutcome {
+        assert!(
+            !self.contains(id),
+            "subscription id {id} already stored; ids must be unique"
+        );
+        let active_subs: Vec<Subscription> =
+            self.active.iter().map(|e| e.sub.clone()).collect();
+        let decision = self.checker.check(&sub, &active_subs, rng);
+        match decision.answer {
+            CoverAnswer::Covered { error_bound } => {
+                let parents = if decision.stage == DecisionStage::PairwiseCover {
+                    // Recover the pairwise parent for precise gating.
+                    let parent = self
+                        .active
+                        .iter()
+                        .find(|e| e.sub.covers(&sub))
+                        .expect("pairwise stage implies a covering active entry");
+                    CoverParents::Single(parent.id)
+                } else {
+                    CoverParents::Group
+                };
+                self.covered.push(StoredEntry {
+                    id,
+                    sub,
+                    parents: Some(parents.clone()),
+                });
+                InsertOutcome::Covered { parents, error_bound }
+            }
+            CoverAnswer::NotCovered { .. } => {
+                // Demote actives that the newcomer covers pairwise.
+                let mut demoted = Vec::new();
+                let mut remaining = Vec::with_capacity(self.active.len());
+                for entry in self.active.drain(..) {
+                    if sub.covers(&entry.sub) {
+                        demoted.push(entry.id);
+                        self.covered.push(StoredEntry {
+                            parents: Some(CoverParents::Single(id)),
+                            ..entry
+                        });
+                    } else {
+                        remaining.push(entry);
+                    }
+                }
+                self.active = remaining;
+                // Parent gates must always reference *active* entries: rewire
+                // children of demoted parents to the newcomer, which covers
+                // them transitively (new ⊇ parent ⊇ child).
+                if !demoted.is_empty() {
+                    for e in &mut self.covered {
+                        if let Some(CoverParents::Single(p)) = &e.parents {
+                            if demoted.contains(p) {
+                                e.parents = Some(CoverParents::Single(id));
+                            }
+                        }
+                    }
+                }
+                self.active.push(StoredEntry { id, sub, parents: None });
+                InsertOutcome::Active { demoted }
+            }
+        }
+    }
+
+    /// Removes a subscription (active or covered).
+    ///
+    /// Removing an active subscription re-evaluates the covered entries that
+    /// depended on it (Section 5's promotion rule). Returns `true` when the
+    /// id existed. The RNG drives the re-evaluation cover checks.
+    pub fn remove<R: Rng + ?Sized>(&mut self, id: SubscriptionId, rng: &mut R) -> bool {
+        if let Some(pos) = self.covered.iter().position(|e| e.id == id) {
+            self.covered.swap_remove(pos);
+            return true;
+        }
+        let Some(pos) = self.active.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        self.active.remove(pos);
+
+        // Re-evaluate dependents: single-parented children of the removed id
+        // and all group-covered entries (their cover may have included it).
+        let (mut to_recheck, keep): (Vec<StoredEntry>, Vec<StoredEntry>) =
+            self.covered.drain(..).partition(|e| match &e.parents {
+                Some(CoverParents::Single(p)) => *p == id,
+                Some(CoverParents::Group) => true,
+                None => false,
+            });
+        self.covered = keep;
+        // Rechecking in insertion order keeps behavior deterministic.
+        to_recheck.sort_by_key(|e| e.id);
+        for entry in to_recheck {
+            let _ = self.insert(entry.id, entry.sub, rng);
+        }
+        true
+    }
+
+    /// Whether `id` is stored (active or covered).
+    pub fn contains(&self, id: SubscriptionId) -> bool {
+        self.active.iter().any(|e| e.id == id) || self.covered.iter().any(|e| e.id == id)
+    }
+
+    /// Algorithm 5: all subscription ids matching `p`, active first, then
+    /// covered (each section in insertion order).
+    pub fn match_publication(&mut self, p: &Publication) -> Vec<SubscriptionId> {
+        let mut matched = Vec::new();
+        let mut matched_active: HashSet<SubscriptionId> = HashSet::new();
+        for e in &self.active {
+            self.stats.active_checked += 1;
+            if e.sub.matches(p) {
+                matched.push(e.id);
+                matched_active.insert(e.id);
+            }
+        }
+        if matched.is_empty() {
+            self.stats.phase2_skipped += 1;
+            return matched;
+        }
+        for e in &self.covered {
+            let gate_open = match &e.parents {
+                Some(CoverParents::Single(parent)) => matched_active.contains(parent),
+                Some(CoverParents::Group) | None => true,
+            };
+            if !gate_open {
+                self.stats.covered_skipped += 1;
+                continue;
+            }
+            self.stats.covered_checked += 1;
+            if e.sub.matches(p) {
+                matched.push(e.id);
+            }
+        }
+        matched
+    }
+
+    /// Dumps all stored subscriptions as `(id, subscription, is_active)` —
+    /// the reference view differential tests compare against.
+    pub fn snapshot(&self) -> HashMap<SubscriptionId, (Subscription, bool)> {
+        let mut out = HashMap::new();
+        for e in &self.active {
+            out.insert(e.id, (e.sub.clone(), true));
+        }
+        for e in &self.covered {
+            out.insert(e.id, (e.sub.clone(), false));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", x0.0, x0.1)
+            .range("x1", x1.0, x1.1)
+            .build()
+            .unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn store() -> CoveringStore {
+        CoveringStore::new(SubsumptionChecker::default())
+    }
+
+    #[test]
+    fn pairwise_covered_entry_is_parent_gated() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (60, 90), (60, 90)), &mut rng);
+        let out = st.insert(SubscriptionId(3), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        assert_eq!(
+            out,
+            InsertOutcome::Covered {
+                parents: CoverParents::Single(SubscriptionId(1)),
+                error_bound: 0.0
+            }
+        );
+        // Publication inside sub 2 but not sub 1: the covered entry's gate
+        // stays closed.
+        let p = Publication::builder(&schema).set("x0", 70).set("x1", 70).build().unwrap();
+        assert_eq!(st.match_publication(&p), vec![SubscriptionId(2)]);
+        assert_eq!(st.stats().covered_skipped, 1);
+        assert_eq!(st.stats().covered_checked, 0);
+    }
+
+    #[test]
+    fn group_covered_entry_matches() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        // Two halves cover [0,99] on x0 for the x1 band [0,50].
+        st.insert(SubscriptionId(1), sub(&schema, (0, 60), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (50, 99), (0, 50)), &mut rng);
+        let out = st.insert(SubscriptionId(3), sub(&schema, (20, 80), (10, 40)), &mut rng);
+        match out {
+            InsertOutcome::Covered { parents: CoverParents::Group, .. } => {}
+            other => panic!("expected group cover, got {other:?}"),
+        }
+        let p = Publication::builder(&schema).set("x0", 55).set("x1", 20).build().unwrap();
+        let matched = st.match_publication(&p);
+        assert_eq!(matched, vec![SubscriptionId(1), SubscriptionId(2), SubscriptionId(3)]);
+    }
+
+    #[test]
+    fn phase2_fully_skipped_without_active_match() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        let p = Publication::builder(&schema).set("x0", 90).set("x1", 90).build().unwrap();
+        assert!(st.match_publication(&p).is_empty());
+        assert_eq!(st.stats().phase2_skipped, 1);
+        assert_eq!(st.stats().covered_checked, 0);
+    }
+
+    #[test]
+    fn new_subscription_demotes_covered_actives() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (60, 70), (60, 70)), &mut rng);
+        let out = st.insert(SubscriptionId(3), sub(&schema, (0, 30), (0, 30)), &mut rng);
+        assert_eq!(out, InsertOutcome::Active { demoted: vec![SubscriptionId(1)] });
+        assert_eq!(st.active_len(), 2);
+        assert_eq!(st.covered_len(), 1);
+        // The demoted subscription still matches.
+        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        let matched = st.match_publication(&p);
+        assert!(matched.contains(&SubscriptionId(1)));
+        assert!(matched.contains(&SubscriptionId(3)));
+    }
+
+    #[test]
+    fn removing_active_promotes_uncovered_children() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        assert_eq!(st.active_len(), 1);
+        assert!(st.remove(SubscriptionId(1), &mut rng));
+        // Child promoted: it is now the only subscription, and active.
+        assert_eq!(st.active_len(), 1);
+        assert_eq!(st.covered_len(), 0);
+        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        assert_eq!(st.match_publication(&p), vec![SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn removing_active_reparents_still_covered_children() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (0, 40), (0, 40)), &mut rng); // ⊑ 1
+        st.insert(SubscriptionId(3), sub(&schema, (5, 10), (5, 10)), &mut rng); // ⊑ 1 (and ⊑ 2)
+        assert_eq!(st.active_len(), 1);
+        assert!(st.remove(SubscriptionId(1), &mut rng));
+        // 2 promotes to active; 3 re-parks under 2.
+        assert_eq!(st.active_len(), 1);
+        assert_eq!(st.covered_len(), 1);
+        let snap = st.snapshot();
+        assert!(snap[&SubscriptionId(2)].1, "2 should be active");
+        assert!(!snap[&SubscriptionId(3)].1, "3 should be covered");
+    }
+
+    #[test]
+    fn remove_covered_entry_directly() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        assert!(st.remove(SubscriptionId(2), &mut rng));
+        assert_eq!(st.len(), 1);
+        assert!(!st.remove(SubscriptionId(2), &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "already stored")]
+    fn duplicate_ids_panic() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(1), sub(&schema, (0, 10), (0, 10)), &mut rng);
+    }
+
+    #[test]
+    fn matches_agree_with_naive_matcher() {
+        use crate::NaiveMatcher;
+        let schema = schema();
+        let mut st = store();
+        let mut naive = NaiveMatcher::new();
+        let mut rng = rng();
+        let subs = [
+            sub(&schema, (0, 60), (0, 60)),
+            sub(&schema, (50, 99), (0, 99)),
+            sub(&schema, (10, 20), (10, 20)),
+            sub(&schema, (55, 70), (5, 50)),
+            sub(&schema, (0, 99), (0, 99)),
+            sub(&schema, (30, 40), (30, 90)),
+        ];
+        for (i, s) in subs.iter().enumerate() {
+            st.insert(SubscriptionId(i as u64), s.clone(), &mut rng);
+            naive.insert(SubscriptionId(i as u64), s.clone());
+        }
+        for x in (0..100).step_by(7) {
+            for y in (0..100).step_by(11) {
+                let p = Publication::builder(&schema)
+                    .set("x0", x)
+                    .set("x1", y)
+                    .build()
+                    .unwrap();
+                let mut a = st.match_publication(&p);
+                let mut b = naive.matches(&p);
+                a.sort_unstable_by_key(|id| id.0);
+                b.sort_unstable_by_key(|id| id.0);
+                assert_eq!(a, b, "mismatch at ({x}, {y})");
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Mapping symbolic attribute values onto ordinal domains.
+//!
+//! The paper's data model requires attribute values to be "elements from
+//! (ordered) finite sets": a *brand* is an element of an enumeration, a
+//! *date* is a point on a discrete timeline, a *bike category* is a range of
+//! identifiers (Table 1). This module provides the small amount of
+//! machinery a real deployment needs to express such attributes as the
+//! integer ranges the subsumption algorithms operate on:
+//!
+//! - [`Enumeration`] — an interned, ordered set of symbols with stable
+//!   ordinals (brand "X" ↦ 7);
+//! - [`Timeline`] — a linear time axis with a configurable resolution,
+//!   mapping timestamps to ordinals and back (Table 1's ISO date ranges).
+
+use crate::{ModelError, Range};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An ordered, interned enumeration of symbolic values.
+///
+/// Ordinals are assigned in insertion order, so range predicates over an
+/// enumeration are meaningful exactly when the insertion order is (e.g.
+/// severity levels, size ladders); for unordered sets use single-point
+/// ranges or the wildcard.
+///
+/// # Example
+/// ```
+/// use psc_model::catalog::Enumeration;
+/// let mut brands = Enumeration::new("brand");
+/// let x = brands.intern("X");
+/// let y = brands.intern("Y");
+/// assert_eq!(brands.intern("X"), x); // stable
+/// assert_eq!(brands.ordinal("Y"), Some(y));
+/// assert_eq!(brands.symbol(y), Some("Y"));
+/// assert_eq!(brands.domain().unwrap().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Enumeration {
+    name: String,
+    symbols: Vec<String>,
+    ordinals: HashMap<String, i64>,
+}
+
+impl Enumeration {
+    /// Creates an empty enumeration (for error messages, carries a name).
+    pub fn new(name: impl Into<String>) -> Self {
+        Enumeration { name: name.into(), symbols: Vec::new(), ordinals: HashMap::new() }
+    }
+
+    /// Builds from an ordered symbol list.
+    ///
+    /// # Panics
+    /// Panics on duplicate symbols.
+    pub fn from_symbols<I, S>(name: impl Into<String>, symbols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut e = Enumeration::new(name);
+        for s in symbols {
+            let s = s.into();
+            assert!(
+                e.ordinals.get(&s).is_none(),
+                "duplicate symbol `{s}` in enumeration `{}`",
+                e.name
+            );
+            e.intern(s);
+        }
+        e
+    }
+
+    /// The enumeration's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Interns `symbol`, returning its (possibly pre-existing) ordinal.
+    pub fn intern(&mut self, symbol: impl Into<String>) -> i64 {
+        let symbol = symbol.into();
+        if let Some(&o) = self.ordinals.get(&symbol) {
+            return o;
+        }
+        let o = self.symbols.len() as i64;
+        self.symbols.push(symbol.clone());
+        self.ordinals.insert(symbol, o);
+        o
+    }
+
+    /// The ordinal of `symbol`, if interned.
+    pub fn ordinal(&self, symbol: &str) -> Option<i64> {
+        self.ordinals.get(symbol).copied()
+    }
+
+    /// The symbol at `ordinal`, if valid.
+    pub fn symbol(&self, ordinal: i64) -> Option<&str> {
+        usize::try_from(ordinal).ok().and_then(|i| self.symbols.get(i)).map(|s| s.as_str())
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The domain range covering all current ordinals (`None` when empty).
+    pub fn domain(&self) -> Option<Range> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Range::new(0, self.symbols.len() as i64 - 1).expect("non-empty"))
+        }
+    }
+
+    /// A single-symbol predicate range.
+    ///
+    /// # Errors
+    /// [`ModelError::UnknownAttribute`] if the symbol is not interned (reusing
+    /// the unknown-name error with the enumeration's name as context).
+    pub fn eq_range(&self, symbol: &str) -> Result<Range, ModelError> {
+        self.ordinal(symbol)
+            .map(Range::point)
+            .ok_or_else(|| ModelError::UnknownAttribute(format!("{}::{symbol}", self.name)))
+    }
+
+    /// An inclusive range predicate between two interned symbols (in
+    /// insertion order).
+    ///
+    /// # Errors
+    /// [`ModelError::UnknownAttribute`] for unknown symbols;
+    /// [`ModelError::EmptyRange`] if `from` comes after `to`.
+    pub fn between(&self, from: &str, to: &str) -> Result<Range, ModelError> {
+        let lo = self
+            .ordinal(from)
+            .ok_or_else(|| ModelError::UnknownAttribute(format!("{}::{from}", self.name)))?;
+        let hi = self
+            .ordinal(to)
+            .ok_or_else(|| ModelError::UnknownAttribute(format!("{}::{to}", self.name)))?;
+        Range::new(lo, hi)
+    }
+}
+
+/// A discrete timeline: maps `(day, hour, minute)`-style timestamps to
+/// ordinals at a fixed resolution in seconds.
+///
+/// Covers the paper's Table 1/2 date-time attributes without pulling a
+/// calendar dependency: days are abstract indices (day 0, day 1, …), which
+/// is all range predicates need.
+///
+/// # Example
+/// ```
+/// use psc_model::catalog::Timeline;
+/// let t = Timeline::with_resolution(60); // minute resolution
+/// let fri_16h = t.at(4, 16, 0);
+/// let fri_20h = t.at(4, 20, 0);
+/// let window = t.window(4, (16, 0), (20, 0)).unwrap();
+/// assert_eq!(window.lo(), fri_16h);
+/// assert_eq!(window.hi(), fri_20h);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Seconds per ordinal step.
+    resolution: u32,
+}
+
+impl Timeline {
+    /// A timeline with the given resolution in seconds (1 = second-level).
+    ///
+    /// # Panics
+    /// Panics if `resolution` is zero or does not divide a day evenly.
+    pub fn with_resolution(resolution: u32) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        assert_eq!(86_400 % resolution, 0, "resolution must divide 86400");
+        Timeline { resolution }
+    }
+
+    /// Ordinals per day.
+    pub fn steps_per_day(&self) -> i64 {
+        (86_400 / self.resolution) as i64
+    }
+
+    /// The ordinal of day `day` at `hour:minute`.
+    ///
+    /// # Panics
+    /// Panics if `hour > 23` or `minute > 59`.
+    pub fn at(&self, day: i64, hour: u32, minute: u32) -> i64 {
+        assert!(hour < 24, "hour out of range");
+        assert!(minute < 60, "minute out of range");
+        let seconds = i64::from(hour) * 3600 + i64::from(minute) * 60;
+        day * self.steps_per_day() + seconds / i64::from(self.resolution)
+    }
+
+    /// A within-day window `[from, to]` on day `day` (hours and minutes).
+    ///
+    /// # Errors
+    /// [`ModelError::EmptyRange`] when `from` is after `to`.
+    pub fn window(
+        &self,
+        day: i64,
+        from: (u32, u32),
+        to: (u32, u32),
+    ) -> Result<Range, ModelError> {
+        Range::new(self.at(day, from.0, from.1), self.at(day, to.0, to.1))
+    }
+
+    /// The full-day range of `day`.
+    pub fn day(&self, day: i64) -> Range {
+        let lo = day * self.steps_per_day();
+        Range::new(lo, lo + self.steps_per_day() - 1).expect("positive steps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_interning_is_stable() {
+        let mut e = Enumeration::new("brand");
+        assert!(e.is_empty());
+        let x = e.intern("X");
+        let y = e.intern("Y");
+        assert_eq!((x, y), (0, 1));
+        assert_eq!(e.intern("X"), 0);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.symbol(1), Some("Y"));
+        assert_eq!(e.symbol(5), None);
+        assert_eq!(e.symbol(-1), None);
+    }
+
+    #[test]
+    fn enumeration_ranges() {
+        let e = Enumeration::from_symbols("size", ["S", "M", "L", "XL"]);
+        assert_eq!(e.eq_range("M").unwrap(), Range::point(1));
+        assert_eq!(e.between("M", "XL").unwrap(), Range::new(1, 3).unwrap());
+        assert!(e.eq_range("XXL").is_err());
+        assert!(e.between("XL", "M").is_err());
+        assert_eq!(e.domain().unwrap(), Range::new(0, 3).unwrap());
+        assert_eq!(Enumeration::new("empty").domain(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate symbol")]
+    fn enumeration_rejects_duplicates() {
+        let _ = Enumeration::from_symbols("x", ["a", "a"]);
+    }
+
+    #[test]
+    fn timeline_minute_resolution() {
+        let t = Timeline::with_resolution(60);
+        assert_eq!(t.steps_per_day(), 1_440);
+        assert_eq!(t.at(0, 0, 0), 0);
+        assert_eq!(t.at(0, 12, 30), 750);
+        assert_eq!(t.at(2, 0, 1), 2 * 1_440 + 1);
+        let w = t.window(1, (12, 0), (14, 0)).unwrap();
+        assert_eq!(w.count(), 121);
+        let d = t.day(3);
+        assert_eq!(d.count(), 1_440);
+        assert!(d.contains(t.at(3, 23, 59)));
+        assert!(!d.contains(t.at(4, 0, 0)));
+    }
+
+    #[test]
+    fn timeline_rejects_bad_windows() {
+        let t = Timeline::with_resolution(60);
+        assert!(t.window(0, (14, 0), (12, 0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must divide")]
+    fn timeline_rejects_uneven_resolution() {
+        let _ = Timeline::with_resolution(7);
+    }
+
+    #[test]
+    fn table1_subscription_via_catalog() {
+        // Re-express the paper's s1 with symbolic values end to end.
+        use crate::{Schema, Subscription};
+        let brands = Enumeration::from_symbols("brand", ["W", "X", "Y", "Z"]);
+        let t = Timeline::with_resolution(60);
+        let schema = Schema::builder()
+            .attribute("bID", 0, 10_000)
+            .attribute("brand", 0, brands.len() as i64 - 1)
+            .attribute("time", 0, t.steps_per_day() * 7 - 1)
+            .build();
+        let friday = 4;
+        let s1 = Subscription::builder(&schema)
+            .range("bID", 1000, 1999)
+            .range_id(
+                schema.attr_id("brand").unwrap(),
+                brands.eq_range("X").unwrap().lo(),
+                brands.eq_range("X").unwrap().hi(),
+            )
+            .range_id(
+                schema.attr_id("time").unwrap(),
+                t.window(friday, (16, 0), (20, 0)).unwrap().lo(),
+                t.window(friday, (16, 0), (20, 0)).unwrap().hi(),
+            )
+            .build()
+            .unwrap();
+        // A Friday 18:23 brand-X bike in the category matches.
+        use crate::Publication;
+        let p = Publication::builder(&schema)
+            .set("bID", 1036)
+            .set("brand", brands.ordinal("X").unwrap())
+            .set("time", t.at(friday, 18, 23))
+            .build()
+            .unwrap();
+        assert!(s1.matches(&p));
+    }
+}

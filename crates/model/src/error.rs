@@ -1,0 +1,109 @@
+//! Error type for model construction and validation.
+
+use std::fmt;
+
+/// Error raised while building or validating model objects.
+///
+/// Every public constructor in this crate validates its arguments
+/// (empty ranges, unknown attributes, out-of-domain values) and reports
+/// problems through this type instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A range was constructed with `lo > hi`.
+    EmptyRange {
+        /// Requested lower bound.
+        lo: i64,
+        /// Requested upper bound.
+        hi: i64,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of bounds for the schema.
+    AttributeOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes in the schema.
+        len: usize,
+    },
+    /// A value or range lies outside the attribute's domain.
+    OutOfDomain {
+        /// Attribute name.
+        attribute: String,
+        /// Offending value (for ranges, the violating endpoint).
+        value: i64,
+    },
+    /// The same attribute was constrained twice in one builder.
+    DuplicateConstraint(String),
+    /// A publication is missing a value for an attribute.
+    MissingValue(String),
+    /// Two objects belong to different schemas (different attribute counts).
+    SchemaMismatch {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Found number of attributes.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyRange { lo, hi } => {
+                write!(f, "empty range: lo {lo} greater than hi {hi}")
+            }
+            ModelError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            ModelError::AttributeOutOfBounds { index, len } => {
+                write!(f, "attribute index {index} out of bounds for schema of {len}")
+            }
+            ModelError::OutOfDomain { attribute, value } => {
+                write!(f, "value {value} outside domain of attribute `{attribute}`")
+            }
+            ModelError::DuplicateConstraint(name) => {
+                write!(f, "attribute `{name}` constrained more than once")
+            }
+            ModelError::MissingValue(name) => {
+                write!(f, "publication missing value for attribute `{name}`")
+            }
+            ModelError::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected} attributes, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ModelError::EmptyRange { lo: 5, hi: 3 };
+        let msg = e.to_string();
+        assert!(msg.starts_with("empty range"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+
+    #[test]
+    fn all_variants_display_nonempty() {
+        let variants: Vec<ModelError> = vec![
+            ModelError::EmptyRange { lo: 1, hi: 0 },
+            ModelError::UnknownAttribute("x".into()),
+            ModelError::AttributeOutOfBounds { index: 9, len: 3 },
+            ModelError::OutOfDomain { attribute: "x".into(), value: -1 },
+            ModelError::DuplicateConstraint("x".into()),
+            ModelError::MissingValue("x".into()),
+            ModelError::SchemaMismatch { expected: 3, found: 2 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

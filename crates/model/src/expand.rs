@@ -1,0 +1,207 @@
+//! Expanding disjunctive subscription templates.
+//!
+//! The paper's data model is conjunctive: one subscription = one
+//! hyper-rectangle. Real requests are often disjunctive on some attribute —
+//! Table 1's s1 wants a bike on *Friday evenings* (every Friday), s2 wants
+//! sizes *17 or 19*. Content-based systems handle this by registering one
+//! conjunctive subscription per combination; this module does that
+//! expansion, with a safety cap and merging of adjacent ranges so "17, 18,
+//! 19" becomes a single `[17, 19]` rather than three boxes.
+
+use crate::{ModelError, Range, Schema, Subscription};
+
+/// A disjunctive template: for each attribute, one *or more* admissible
+/// ranges (empty list = unconstrained).
+///
+/// # Example
+/// ```
+/// use psc_model::{expand::Template, Schema, Range};
+/// let schema = Schema::uniform(2, 0, 100);
+/// let subs = Template::new(&schema)
+///     .alternatives(0, vec![Range::new(0, 10).unwrap(), Range::new(50, 60).unwrap()])
+///     .alternatives(1, vec![Range::new(5, 5).unwrap()])
+///     .expand(16)
+///     .unwrap();
+/// assert_eq!(subs.len(), 2); // two x0 alternatives × one x1 alternative
+/// ```
+#[derive(Debug, Clone)]
+pub struct Template {
+    schema: Schema,
+    /// Per attribute: admissible ranges (empty = full domain).
+    choices: Vec<Vec<Range>>,
+}
+
+impl Template {
+    /// Starts an unconstrained template over `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        Template { schema: schema.clone(), choices: vec![Vec::new(); schema.len()] }
+    }
+
+    /// Sets the admissible ranges for attribute `attr` (by index), replacing
+    /// earlier choices. Overlapping/adjacent ranges are coalesced, so the
+    /// expansion never emits redundant boxes.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of bounds for the schema.
+    pub fn alternatives(mut self, attr: usize, ranges: Vec<Range>) -> Self {
+        assert!(attr < self.choices.len(), "attribute index {attr} out of bounds");
+        self.choices[attr] = coalesce(ranges);
+        self
+    }
+
+    /// Number of conjunctive subscriptions the expansion would produce.
+    pub fn expansion_size(&self) -> usize {
+        self.choices.iter().map(|c| c.len().max(1)).product()
+    }
+
+    /// Expands into conjunctive subscriptions (the cross-product of the
+    /// per-attribute alternatives), in lexicographic choice order.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::OutOfDomain`] if any alternative escapes its
+    /// attribute domain, and [`ModelError::SchemaMismatch`] (reused as the
+    /// "too big" signal, carrying the sizes) when the expansion would exceed
+    /// `cap` subscriptions.
+    pub fn expand(&self, cap: usize) -> Result<Vec<Subscription>, ModelError> {
+        let size = self.expansion_size();
+        if size > cap {
+            return Err(ModelError::SchemaMismatch { expected: cap, found: size });
+        }
+        let mut out = Vec::with_capacity(size);
+        let mut ranges: Vec<Range> =
+            self.schema.iter().map(|(_, a)| *a.domain()).collect();
+        self.expand_rec(0, &mut ranges, &mut out)?;
+        Ok(out)
+    }
+
+    fn expand_rec(
+        &self,
+        attr: usize,
+        ranges: &mut Vec<Range>,
+        out: &mut Vec<Subscription>,
+    ) -> Result<(), ModelError> {
+        if attr == self.choices.len() {
+            out.push(Subscription::from_ranges(&self.schema, ranges.clone())?);
+            return Ok(());
+        }
+        if self.choices[attr].is_empty() {
+            return self.expand_rec(attr + 1, ranges, out);
+        }
+        for r in &self.choices[attr] {
+            ranges[attr] = *r;
+            self.expand_rec(attr + 1, ranges, out)?;
+            ranges[attr] = *self.schema.attribute(crate::AttrId(attr)).domain();
+        }
+        Ok(())
+    }
+}
+
+/// Sorts and merges overlapping or adjacent ranges into a minimal
+/// disjoint list.
+pub fn coalesce(mut ranges: Vec<Range>) -> Vec<Range> {
+    if ranges.is_empty() {
+        return ranges;
+    }
+    ranges.sort_by_key(|r| r.lo());
+    let mut out: Vec<Range> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if r.lo() <= last.hi().saturating_add(1) => {
+                if r.hi() > last.hi() {
+                    *last = Range::new(last.lo(), r.hi()).expect("ordered");
+                }
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn r(lo: i64, hi: i64) -> Range {
+        Range::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn coalesce_merges_overlaps_and_adjacency() {
+        assert_eq!(
+            coalesce(vec![r(5, 10), r(0, 3), r(4, 6), r(20, 25)]),
+            vec![r(0, 10), r(20, 25)]
+        );
+        assert_eq!(coalesce(vec![r(17, 17), r(19, 19), r(18, 18)]), vec![r(17, 19)]);
+        assert_eq!(coalesce(vec![]), vec![]);
+        assert_eq!(coalesce(vec![r(1, 2)]), vec![r(1, 2)]);
+    }
+
+    #[test]
+    fn expansion_cross_product() {
+        let schema = Schema::uniform(3, 0, 100);
+        let t = Template::new(&schema)
+            .alternatives(0, vec![r(0, 10), r(50, 60)])
+            .alternatives(2, vec![r(1, 1), r(5, 5), r(9, 9)]);
+        assert_eq!(t.expansion_size(), 6);
+        let subs = t.expand(10).unwrap();
+        assert_eq!(subs.len(), 6);
+        // Unconstrained attribute stays at full domain everywhere.
+        for s in &subs {
+            assert_eq!(s.range(crate::AttrId(1)), schema.domain(crate::AttrId(1)));
+        }
+        // First expansion pairs the first alternatives.
+        assert_eq!(subs[0].range(crate::AttrId(0)), &r(0, 10));
+        assert_eq!(subs[0].range(crate::AttrId(2)), &r(1, 1));
+    }
+
+    #[test]
+    fn expansion_cap_enforced() {
+        let schema = Schema::uniform(2, 0, 100);
+        let t = Template::new(&schema)
+            .alternatives(0, vec![r(0, 0), r(2, 2), r(4, 4)])
+            .alternatives(1, vec![r(0, 0), r(2, 2), r(4, 4)]);
+        assert!(t.expand(8).is_err());
+        assert_eq!(t.expand(9).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn friday_evenings_expand_to_weekly_subscriptions() {
+        // Table 1's s1: Friday evenings for four weeks.
+        use crate::catalog::Timeline;
+        let tl = Timeline::with_resolution(60);
+        let schema = Schema::builder()
+            .attribute("bID", 0, 10_000)
+            .attribute("time", 0, tl.steps_per_day() * 28 - 1)
+            .build();
+        let fridays: Vec<Range> = (0..4)
+            .map(|week| tl.window(week * 7 + 4, (16, 0), (20, 0)).unwrap())
+            .collect();
+        let subs = Template::new(&schema)
+            .alternatives(0, vec![r(1000, 1999)])
+            .alternatives(1, fridays)
+            .expand(8)
+            .unwrap();
+        assert_eq!(subs.len(), 4);
+        // Consecutive Fridays are 7 days apart.
+        let starts: Vec<i64> =
+            subs.iter().map(|s| s.range(crate::AttrId(1)).lo()).collect();
+        for w in starts.windows(2) {
+            assert_eq!(w[1] - w[0], 7 * tl.steps_per_day());
+        }
+    }
+
+    #[test]
+    fn out_of_domain_alternative_rejected() {
+        let schema = Schema::uniform(1, 0, 10);
+        let t = Template::new(&schema).alternatives(0, vec![r(5, 20)]);
+        assert!(t.expand(10).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_attribute_index_panics() {
+        let schema = Schema::uniform(1, 0, 10);
+        let _ = Template::new(&schema).alternatives(3, vec![r(0, 1)]);
+    }
+}

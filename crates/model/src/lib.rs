@@ -1,0 +1,69 @@
+//! # psc-model
+//!
+//! Data model for content-based publish/subscribe subsumption checking, as
+//! defined in *"Efficient Probabilistic Subsumption Checking for Content-based
+//! Publish/Subscribe Systems"* (Ouksel, Jurca, Podnar, Aberer — Middleware 2006).
+//!
+//! A **subscription** is a conjunction of simple range predicates over a finite
+//! set of integer-valued attributes — geometrically an axis-aligned
+//! hyper-rectangle in an `m`-dimensional discrete space. A **publication** is a
+//! point in the same space (or, for imprecise data sources, a small rectangle).
+//!
+//! The model deliberately uses *closed integer ranges*: the paper assumes
+//! attribute values are "elements from (ordered) finite sets", which makes
+//! witness counting (`I(s)`, the number of integer points inside a
+//! subscription) exact.
+//!
+//! ## Example
+//!
+//! ```
+//! use psc_model::{Schema, Subscription, Publication};
+//!
+//! // The bike-rental schema from Table 1 of the paper.
+//! let schema = Schema::builder()
+//!     .attribute("bID", 0, 10_000)
+//!     .attribute("size", 10, 30)
+//!     .attribute("brand", 0, 50)
+//!     .attribute("rpID", 0, 1_000)
+//!     .attribute("date", 0, 1_000_000)
+//!     .build();
+//!
+//! let s1 = Subscription::builder(&schema)
+//!     .range("bID", 1000, 1999)
+//!     .point("size", 19)
+//!     .point("brand", 7)
+//!     .range("rpID", 820, 840)
+//!     .range("date", 57_600, 72_000)
+//!     .build()
+//!     .unwrap();
+//!
+//! let p1 = Publication::builder(&schema)
+//!     .set("bID", 1036)
+//!     .set("size", 19)
+//!     .set("brand", 7)
+//!     .set("rpID", 825)
+//!     .set("date", 66_185)
+//!     .build()
+//!     .unwrap();
+//!
+//! assert!(s1.matches(&p1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod expand;
+mod error;
+mod publication;
+mod range;
+mod schema;
+mod subscription;
+mod volume;
+
+pub use error::ModelError;
+pub use publication::{Publication, PublicationBuilder, PublicationId};
+pub use range::Range;
+pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
+pub use subscription::{Subscription, SubscriptionBuilder, SubscriptionId};
+pub use volume::LogVolume;

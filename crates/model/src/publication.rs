@@ -1,0 +1,277 @@
+//! Publications: points in the attribute space (Definition 6 of the paper).
+
+use crate::{AttrId, ModelError, Range, Schema, Subscription};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier assigned to publications by brokers and experiments.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PublicationId(pub u64);
+
+impl fmt::Display for PublicationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A publication: one value per schema attribute.
+///
+/// Definition 6: "A publication p is a point in the attribute space. It has
+/// values for all defined attributes." For imprecise data sources (Section 1
+/// of the paper advocates treating publications as small polyhedra), use
+/// [`Publication::to_box`] to lift a point to a rectangle of a chosen radius
+/// and match it with subscription-subscription coverage instead.
+///
+/// # Example
+/// ```
+/// use psc_model::{Schema, Publication};
+/// let schema = Schema::uniform(3, 0, 100);
+/// let p = Publication::builder(&schema)
+///     .set("x0", 5)
+///     .set("x1", 50)
+///     .set("x2", 99)
+///     .build()?;
+/// assert_eq!(p.values(), &[5, 50, 99]);
+/// # Ok::<(), psc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Publication {
+    schema: Schema,
+    values: Vec<i64>,
+}
+
+impl std::hash::Hash for Publication {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Equal publications have equal value vectors; the schema (not
+        // hashable) can be omitted without breaking the Hash/Eq contract.
+        self.values.hash(state);
+    }
+}
+
+impl Publication {
+    /// Starts building a publication over `schema`.
+    pub fn builder(schema: &Schema) -> PublicationBuilder {
+        PublicationBuilder {
+            schema: schema.clone(),
+            values: vec![None; schema.len()],
+            error: None,
+        }
+    }
+
+    /// Builds a publication directly from values in schema order.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::SchemaMismatch`] on wrong arity, or
+    /// [`ModelError::OutOfDomain`] when a value escapes its attribute domain.
+    pub fn from_values(schema: &Schema, values: Vec<i64>) -> Result<Self, ModelError> {
+        if values.len() != schema.len() {
+            return Err(ModelError::SchemaMismatch {
+                expected: schema.len(),
+                found: values.len(),
+            });
+        }
+        for (id, attr) in schema.iter() {
+            if !attr.domain().contains(values[id.0]) {
+                return Err(ModelError::OutOfDomain {
+                    attribute: attr.name().to_string(),
+                    value: values[id.0],
+                });
+            }
+        }
+        Ok(Publication { schema: schema.clone(), values })
+    }
+
+    /// The schema this publication lives in.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The point coordinates in schema order.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The value for attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of bounds.
+    pub fn value(&self, attr: AttrId) -> i64 {
+        self.values[attr.0]
+    }
+
+    /// Lifts this point to a rectangle of half-width `radius` per attribute
+    /// (clamped to the domains), modelling an imprecise publication.
+    pub fn to_box(&self, radius: i64) -> Subscription {
+        let ranges = self
+            .schema
+            .iter()
+            .map(|(id, attr)| {
+                let v = self.values[id.0];
+                Range::new(v.saturating_sub(radius), v.saturating_add(radius))
+                    .expect("radius >= 0 keeps lo <= hi")
+                    .clamp_to(attr.domain())
+                    .expect("point is inside domain, so box intersects it")
+            })
+            .collect();
+        Subscription::from_ranges(&self.schema, ranges)
+            .expect("clamped ranges are within domains")
+    }
+}
+
+impl fmt::Display for Publication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (id, attr)) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", attr.name(), self.values[id.0])?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder returned by [`Publication::builder`].
+#[derive(Debug)]
+pub struct PublicationBuilder {
+    schema: Schema,
+    values: Vec<Option<i64>>,
+    error: Option<ModelError>,
+}
+
+impl PublicationBuilder {
+    /// Sets the value for attribute `name`.
+    pub fn set(mut self, name: &str, v: i64) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.attr_id(name) {
+            None => self.error = Some(ModelError::UnknownAttribute(name.to_string())),
+            Some(id) => {
+                if !self.schema.domain(id).contains(v) {
+                    self.error =
+                        Some(ModelError::OutOfDomain { attribute: name.to_string(), value: v });
+                } else {
+                    self.values[id.0] = Some(v);
+                }
+            }
+        }
+        self
+    }
+
+    /// Sets the value for attribute `id` (by index).
+    pub fn set_id(mut self, id: AttrId, v: i64) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.get(id) {
+            None => {
+                self.error = Some(ModelError::AttributeOutOfBounds {
+                    index: id.0,
+                    len: self.schema.len(),
+                })
+            }
+            Some(attr) => {
+                if !attr.domain().contains(v) {
+                    self.error = Some(ModelError::OutOfDomain {
+                        attribute: attr.name().to_string(),
+                        value: v,
+                    });
+                } else {
+                    self.values[id.0] = Some(v);
+                }
+            }
+        }
+        self
+    }
+
+    /// Finalizes the publication.
+    ///
+    /// # Errors
+    /// Returns the first chaining error, or [`ModelError::MissingValue`] if
+    /// any attribute was left unset — publications must be total points.
+    pub fn build(self) -> Result<Publication, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut values = Vec::with_capacity(self.values.len());
+        for (id, attr) in self.schema.iter() {
+            match self.values[id.0] {
+                Some(v) => values.push(v),
+                None => return Err(ModelError::MissingValue(attr.name().to_string())),
+            }
+        }
+        Ok(Publication { schema: self.schema, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder().attribute("a", 0, 100).attribute("b", -50, 50).build()
+    }
+
+    #[test]
+    fn builder_requires_all_values() {
+        let err = Publication::builder(&schema()).set("a", 5).build().unwrap_err();
+        assert_eq!(err, ModelError::MissingValue("b".into()));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_domain() {
+        let err = Publication::builder(&schema()).set("a", 101).build().unwrap_err();
+        assert_eq!(err, ModelError::OutOfDomain { attribute: "a".into(), value: 101 });
+    }
+
+    #[test]
+    fn builder_rejects_unknown_attribute() {
+        let err = Publication::builder(&schema()).set("zzz", 1).build().unwrap_err();
+        assert_eq!(err, ModelError::UnknownAttribute("zzz".into()));
+    }
+
+    #[test]
+    fn from_values_checks_arity() {
+        let err = Publication::from_values(&schema(), vec![1]).unwrap_err();
+        assert_eq!(err, ModelError::SchemaMismatch { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn set_id_matches_set_by_name() {
+        let a = Publication::builder(&schema()).set("a", 7).set("b", -3).build().unwrap();
+        let b = Publication::builder(&schema())
+            .set_id(AttrId(0), 7)
+            .set_id(AttrId(1), -3)
+            .build()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.value(AttrId(1)), -3);
+    }
+
+    #[test]
+    fn to_box_clamps_to_domain() {
+        let p = Publication::builder(&schema()).set("a", 1).set("b", 50).build().unwrap();
+        let boxed = p.to_box(5);
+        assert_eq!(boxed.range(AttrId(0)), &Range::new(0, 6).unwrap());
+        assert_eq!(boxed.range(AttrId(1)), &Range::new(45, 50).unwrap());
+        // The box always contains the original point.
+        assert!(boxed.matches(&p));
+    }
+
+    #[test]
+    fn to_box_radius_zero_is_the_point() {
+        let p = Publication::builder(&schema()).set("a", 10) .set("b", 0).build().unwrap();
+        let boxed = p.to_box(0);
+        assert_eq!(boxed.size_exact(), Some(1));
+        assert!(boxed.matches(&p));
+    }
+
+    #[test]
+    fn display_lists_attributes() {
+        let p = Publication::builder(&schema()).set("a", 1).set("b", 2).build().unwrap();
+        assert_eq!(p.to_string(), "(a=1, b=2)");
+    }
+}

@@ -1,0 +1,285 @@
+//! Closed integer ranges — the building block of predicates and rectangles.
+
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed integer interval `[lo, hi]` with `lo <= hi`.
+///
+/// Ranges model one attribute's constraint inside a subscription: the simple
+/// predicate pair `x >= lo AND x <= hi` from Definition 1 of the paper. The
+/// discrete-point count [`Range::count`] is the 1-D factor of a subscription's
+/// size `I(s)` used by the witness-probability estimate (Algorithm 2).
+///
+/// # Example
+/// ```
+/// use psc_model::Range;
+/// let r = Range::new(830, 870).unwrap();
+/// assert_eq!(r.count(), 41);
+/// assert!(r.contains(830) && r.contains(870) && !r.contains(871));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Range {
+    lo: i64,
+    hi: i64,
+}
+
+impl Range {
+    /// Creates the range `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::EmptyRange`] if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Result<Self, ModelError> {
+        if lo > hi {
+            Err(ModelError::EmptyRange { lo, hi })
+        } else {
+            Ok(Range { lo, hi })
+        }
+    }
+
+    /// Creates the degenerate range `[v, v]` containing a single point.
+    pub fn point(v: i64) -> Self {
+        Range { lo: v, hi: v }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> i64 {
+        self.lo
+    }
+
+    /// Upper bound (inclusive).
+    pub fn hi(&self) -> i64 {
+        self.hi
+    }
+
+    /// Number of integer points in the range (`hi - lo + 1`).
+    ///
+    /// Computed in `u128` so that extreme domains (e.g. `[i64::MIN, i64::MAX]`)
+    /// do not overflow.
+    pub fn count(&self) -> u128 {
+        (self.hi as i128 - self.lo as i128 + 1) as u128
+    }
+
+    /// Natural logarithm of [`Range::count`], used for log-space volumes.
+    pub fn ln_count(&self) -> f64 {
+        (self.count() as f64).ln()
+    }
+
+    /// Whether `v` lies inside the range.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `self` contains `other` entirely (`self ⊇ other`).
+    pub fn contains_range(&self, other: &Range) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Whether `self` contains `other` with strict slack on *both* sides.
+    ///
+    /// Used by Corollary 2: a conflict-table row is all-defined exactly when
+    /// the tested subscription strictly contains the row's subscription on
+    /// every attribute.
+    pub fn strictly_contains_range(&self, other: &Range) -> bool {
+        self.lo < other.lo && other.hi < self.hi
+    }
+
+    /// Whether the two ranges share at least one point.
+    pub fn intersects(&self, other: &Range) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection of the two ranges, or `None` when disjoint.
+    pub fn intersection(&self, other: &Range) -> Option<Range> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Range { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// The part of `self` strictly below `v`, i.e. `self ∩ (-∞, v-1]`.
+    ///
+    /// This is the satisfiable region of `self ∧ ¬(x ≥ v)` — the negation of a
+    /// lower-bound simple predicate on an integer domain.
+    pub fn below(&self, v: i64) -> Option<Range> {
+        if self.lo >= v {
+            return None;
+        }
+        Some(Range { lo: self.lo, hi: self.hi.min(v - 1) })
+    }
+
+    /// The part of `self` strictly above `v`, i.e. `self ∩ [v+1, +∞)`.
+    ///
+    /// This is the satisfiable region of `self ∧ ¬(x ≤ v)` — the negation of an
+    /// upper-bound simple predicate on an integer domain.
+    pub fn above(&self, v: i64) -> Option<Range> {
+        if self.hi <= v {
+            return None;
+        }
+        Some(Range { lo: self.lo.max(v + 1), hi: self.hi })
+    }
+
+    /// Width of the range as a fraction of `domain`'s width.
+    ///
+    /// Useful when reasoning about gap sizes ("0.5% of the interval") in the
+    /// extreme non-cover scenario.
+    pub fn fraction_of(&self, domain: &Range) -> f64 {
+        self.count() as f64 / domain.count() as f64
+    }
+
+    /// Clamps the range to fit inside `domain`; `None` if they are disjoint.
+    pub fn clamp_to(&self, domain: &Range) -> Option<Range> {
+        self.intersection(domain)
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{{{}}}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_inverted_bounds() {
+        assert_eq!(Range::new(3, 2), Err(ModelError::EmptyRange { lo: 3, hi: 2 }));
+    }
+
+    #[test]
+    fn point_has_count_one() {
+        let r = Range::point(42);
+        assert_eq!(r.count(), 1);
+        assert!(r.contains(42));
+        assert!(!r.contains(41));
+    }
+
+    #[test]
+    fn count_is_inclusive() {
+        assert_eq!(Range::new(0, 9).unwrap().count(), 10);
+        assert_eq!(Range::new(-5, 5).unwrap().count(), 11);
+    }
+
+    #[test]
+    fn count_handles_extreme_domain() {
+        let r = Range::new(i64::MIN, i64::MAX).unwrap();
+        assert_eq!(r.count(), u128::from(u64::MAX) + 1);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = Range::new(0, 10).unwrap();
+        let b = Range::new(5, 15).unwrap();
+        assert_eq!(a.intersection(&b), Some(Range::new(5, 10).unwrap()));
+        let c = Range::new(11, 20).unwrap();
+        assert_eq!(a.intersection(&c), None);
+        // Touching at a single point intersects on integer domains.
+        let d = Range::new(10, 20).unwrap();
+        assert_eq!(a.intersection(&d), Some(Range::point(10)));
+    }
+
+    #[test]
+    fn below_above_follow_integer_negation() {
+        let s = Range::new(830, 870).unwrap();
+        // ¬(x ≥ 820): x ≤ 819 — no part of s is below 820.
+        assert_eq!(s.below(820), None);
+        // ¬(x ≤ 850): x ≥ 851 — the strip [851, 870].
+        assert_eq!(s.above(850), Some(Range::new(851, 870).unwrap()));
+        // ¬(x ≥ 840): x ≤ 839 — the strip [830, 839].
+        assert_eq!(s.below(840), Some(Range::new(830, 839).unwrap()));
+        // ¬(x ≤ 880): x ≥ 881 — empty.
+        assert_eq!(s.above(880), None);
+    }
+
+    #[test]
+    fn below_above_boundary_cases() {
+        let s = Range::new(10, 20).unwrap();
+        // v equal to lo: nothing strictly below within s.
+        assert_eq!(s.below(10), None);
+        // v just above lo: single point.
+        assert_eq!(s.below(11), Some(Range::point(10)));
+        // v equal to hi: nothing strictly above within s.
+        assert_eq!(s.above(20), None);
+        // v just below hi: single point.
+        assert_eq!(s.above(19), Some(Range::point(20)));
+        // v far outside.
+        assert_eq!(s.below(1000), Some(s));
+        assert_eq!(s.above(-1000), Some(s));
+    }
+
+    #[test]
+    fn strict_containment() {
+        let outer = Range::new(0, 100).unwrap();
+        let inner = Range::new(1, 99).unwrap();
+        assert!(outer.strictly_contains_range(&inner));
+        assert!(!outer.strictly_contains_range(&outer));
+        assert!(!inner.strictly_contains_range(&outer));
+        let touching = Range::new(0, 50).unwrap();
+        assert!(outer.contains_range(&touching));
+        assert!(!outer.strictly_contains_range(&touching));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Range::new(1, 5).unwrap().to_string(), "[1, 5]");
+        assert_eq!(Range::point(7).to_string(), "{7}");
+    }
+
+    #[test]
+    fn fraction_of_domain() {
+        let domain = Range::new(0, 999).unwrap();
+        let slice = Range::new(0, 9).unwrap();
+        assert!((slice.fraction_of(&domain) - 0.01).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_symmetric(a_lo in -1000i64..1000, a_w in 0i64..500,
+                                       b_lo in -1000i64..1000, b_w in 0i64..500) {
+            let a = Range::new(a_lo, a_lo + a_w).unwrap();
+            let b = Range::new(b_lo, b_lo + b_w).unwrap();
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+            prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_both(a_lo in -1000i64..1000, a_w in 0i64..500,
+                                               b_lo in -1000i64..1000, b_w in 0i64..500) {
+            let a = Range::new(a_lo, a_lo + a_w).unwrap();
+            let b = Range::new(b_lo, b_lo + b_w).unwrap();
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_range(&i));
+                prop_assert!(b.contains_range(&i));
+            }
+        }
+
+        #[test]
+        fn prop_below_above_partition(lo in -1000i64..1000, w in 0i64..500, v in -1200i64..1200) {
+            let s = Range::new(lo, lo + w).unwrap();
+            // below(v), [v,v]∩s, above(v) partition s.
+            let below = s.below(v).map_or(0, |r| r.count());
+            let above = s.above(v).map_or(0, |r| r.count());
+            let at = u128::from(s.contains(v));
+            prop_assert_eq!(below + at + above, s.count());
+        }
+
+        #[test]
+        fn prop_contains_range_iff_all_points(lo in -50i64..50, w in 0i64..20,
+                                              lo2 in -50i64..50, w2 in 0i64..20) {
+            let a = Range::new(lo, lo + w).unwrap();
+            let b = Range::new(lo2, lo2 + w2).unwrap();
+            let all_in = (b.lo()..=b.hi()).all(|v| a.contains(v));
+            prop_assert_eq!(a.contains_range(&b), all_in);
+        }
+    }
+}

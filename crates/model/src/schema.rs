@@ -1,0 +1,250 @@
+//! Attribute schemas: the named, bounded dimensions of the subscription space.
+
+use crate::{ModelError, Range};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an attribute within a [`Schema`].
+///
+/// A cheap, copyable handle. Attribute `j` of the paper's notation (`x_j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub usize);
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A named attribute with a finite integer domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    domain: Range,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given name and domain.
+    pub fn new(name: impl Into<String>, domain: Range) -> Self {
+        Attribute { name: name.into(), domain }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's full domain.
+    pub fn domain(&self) -> &Range {
+        &self.domain
+    }
+}
+
+/// An ordered collection of attributes defining the subscription space.
+///
+/// The schema fixes `m` (the number of distinct attributes — see Table 4 of the
+/// paper) and each attribute's domain. Subscriptions leave an attribute
+/// unconstrained by using the full domain, matching the paper's convention
+/// that bounds `(-∞, +∞)` mean "not significant for this subscription".
+///
+/// Schemas are cheaply cloneable (`Arc` inside) so every subscription can
+/// carry one without duplication.
+///
+/// # Example
+/// ```
+/// use psc_model::Schema;
+/// let schema = Schema::builder()
+///     .attribute("x1", 800, 900)
+///     .attribute("x2", 1000, 1010)
+///     .build();
+/// assert_eq!(schema.len(), 2);
+/// assert_eq!(schema.attr_id("x2").unwrap().0, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct SchemaInner {
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attributes: Vec::new() }
+    }
+
+    /// Builds a uniform schema of `m` attributes named `x0..x{m-1}`, all with
+    /// domain `[lo, hi]`. This is the shape used throughout the paper's
+    /// evaluation (Section 6), where all subscriptions constrain the same `m`
+    /// attributes.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn uniform(m: usize, lo: i64, hi: i64) -> Self {
+        let domain = Range::new(lo, hi).expect("uniform schema domain must be non-empty");
+        let attributes =
+            (0..m).map(|j| Attribute::new(format!("x{j}"), domain)).collect::<Vec<_>>();
+        Self::from_attributes(attributes)
+    }
+
+    fn from_attributes(attributes: Vec<Attribute>) -> Self {
+        let by_name =
+            attributes.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
+        Schema { inner: Arc::new(SchemaInner { attributes, by_name }) }
+    }
+
+    /// Number of attributes (`m`).
+    pub fn len(&self) -> usize {
+        self.inner.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.attributes.is_empty()
+    }
+
+    /// The attribute at `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds; use [`Schema::get`] for a fallible
+    /// lookup.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.inner.attributes[id.0]
+    }
+
+    /// Fallible lookup of the attribute at `id`.
+    pub fn get(&self, id: AttrId) -> Option<&Attribute> {
+        self.inner.attributes.get(id.0)
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.inner.by_name.get(name).copied().map(AttrId)
+    }
+
+    /// Iterates over `(AttrId, &Attribute)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.inner.attributes.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+    }
+
+    /// The domain of attribute `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn domain(&self, id: AttrId) -> &Range {
+        self.attribute(id).domain()
+    }
+
+    /// Validates that `id` belongs to this schema.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::AttributeOutOfBounds`] when it does not.
+    pub fn check_attr(&self, id: AttrId) -> Result<(), ModelError> {
+        if id.0 < self.len() {
+            Ok(())
+        } else {
+            Err(ModelError::AttributeOutOfBounds { index: id.0, len: self.len() })
+        }
+    }
+
+    /// Whether two schemas have identical shape (used to validate that
+    /// subscriptions being compared live in the same space).
+    pub fn same_shape(&self, other: &Schema) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+/// Incremental builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+}
+
+impl SchemaBuilder {
+    /// Adds an attribute with domain `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` — schema construction is programmer-driven, so an
+    /// inverted domain is a logic error, not an input error.
+    pub fn attribute(mut self, name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        let domain = Range::new(lo, hi).expect("attribute domain must be non-empty");
+        self.attributes.push(Attribute::new(name, domain));
+        self
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// # Panics
+    /// Panics if two attributes share a name.
+    pub fn build(self) -> Schema {
+        let mut seen = HashMap::new();
+        for (i, a) in self.attributes.iter().enumerate() {
+            if seen.insert(a.name.clone(), i).is_some() {
+                panic!("duplicate attribute name `{}`", a.name);
+            }
+        }
+        Schema::from_attributes(self.attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schema_shape() {
+        let s = Schema::uniform(5, 0, 99);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        for (id, attr) in s.iter() {
+            assert_eq!(attr.name(), format!("x{}", id.0));
+            assert_eq!(attr.domain(), &Range::new(0, 99).unwrap());
+        }
+    }
+
+    #[test]
+    fn name_lookup() {
+        let s = Schema::builder().attribute("price", 0, 1000).attribute("qty", 1, 64).build();
+        assert_eq!(s.attr_id("price"), Some(AttrId(0)));
+        assert_eq!(s.attr_id("qty"), Some(AttrId(1)));
+        assert_eq!(s.attr_id("missing"), None);
+    }
+
+    #[test]
+    fn check_attr_bounds() {
+        let s = Schema::uniform(3, 0, 9);
+        assert!(s.check_attr(AttrId(2)).is_ok());
+        assert_eq!(
+            s.check_attr(AttrId(3)),
+            Err(ModelError::AttributeOutOfBounds { index: 3, len: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_panic() {
+        let _ = Schema::builder().attribute("a", 0, 1).attribute("a", 0, 1).build();
+    }
+
+    #[test]
+    fn same_shape_for_clones_and_equal_schemas() {
+        let a = Schema::uniform(4, 0, 9);
+        let b = a.clone();
+        assert!(a.same_shape(&b));
+        let c = Schema::uniform(4, 0, 9);
+        assert!(a.same_shape(&c));
+        let d = Schema::uniform(5, 0, 9);
+        assert!(!a.same_shape(&d));
+    }
+
+    #[test]
+    fn attr_id_display() {
+        assert_eq!(AttrId(3).to_string(), "x3");
+    }
+}

@@ -1,0 +1,495 @@
+//! Subscriptions: conjunctions of range predicates, i.e. hyper-rectangles.
+
+use crate::{AttrId, LogVolume, ModelError, Publication, Range, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier assigned to subscriptions by stores, brokers and experiments.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A subscription: one closed integer range per schema attribute.
+///
+/// This is Definition 1 of the paper specialized to range predicates: each
+/// attribute `x_j` carries a lower and an upper bound, so a subscription over
+/// `m` attributes has `r = 2m` simple predicates. Attributes a subscriber does
+/// not care about use the attribute's full domain (the paper's `(-∞, +∞)`
+/// convention).
+///
+/// Geometrically a subscription is an axis-aligned hyper-rectangle; a set of
+/// subscriptions is a union of such rectangles; the general subsumption
+/// problem asks whether one rectangle is contained in that union.
+///
+/// # Example
+/// ```
+/// use psc_model::{Schema, Subscription};
+/// let schema = Schema::uniform(2, 800, 1100);
+/// // Subscription s from Table 3 of the paper.
+/// let s = Subscription::builder(&schema)
+///     .range("x0", 830, 870)
+///     .range("x1", 1003, 1006)
+///     .build()
+///     .unwrap();
+/// assert_eq!(s.size().to_f64() as u64, 41 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subscription {
+    schema: Schema,
+    ranges: Vec<Range>,
+}
+
+impl std::hash::Hash for Subscription {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Schemas are not hashable (interned maps inside); hashing the ranges
+        // is sufficient because equal subscriptions have equal ranges.
+        self.ranges.hash(state);
+    }
+}
+
+impl Subscription {
+    /// Starts building a subscription over `schema`. Unmentioned attributes
+    /// default to the full domain.
+    pub fn builder(schema: &Schema) -> SubscriptionBuilder {
+        SubscriptionBuilder {
+            schema: schema.clone(),
+            ranges: schema.iter().map(|(_, a)| *a.domain()).collect(),
+            touched: vec![false; schema.len()],
+            error: None,
+        }
+    }
+
+    /// Builds a subscription directly from per-attribute ranges in schema
+    /// order.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::SchemaMismatch`] if the number of ranges differs
+    /// from the schema's attribute count, and [`ModelError::OutOfDomain`] if a
+    /// range exceeds its attribute's domain.
+    pub fn from_ranges(schema: &Schema, ranges: Vec<Range>) -> Result<Self, ModelError> {
+        if ranges.len() != schema.len() {
+            return Err(ModelError::SchemaMismatch {
+                expected: schema.len(),
+                found: ranges.len(),
+            });
+        }
+        for (id, attr) in schema.iter() {
+            let r = &ranges[id.0];
+            let dom = attr.domain();
+            if !dom.contains_range(r) {
+                let value = if r.lo() < dom.lo() { r.lo() } else { r.hi() };
+                return Err(ModelError::OutOfDomain { attribute: attr.name().to_string(), value });
+            }
+        }
+        Ok(Subscription { schema: schema.clone(), ranges })
+    }
+
+    /// The subscription covering the entire space (all full domains).
+    pub fn whole_space(schema: &Schema) -> Self {
+        Subscription {
+            schema: schema.clone(),
+            ranges: schema.iter().map(|(_, a)| *a.domain()).collect(),
+        }
+    }
+
+    /// The schema this subscription lives in.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes (`m`).
+    pub fn arity(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The range on attribute `attr`.
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of bounds for the schema.
+    pub fn range(&self, attr: AttrId) -> &Range {
+        &self.ranges[attr.0]
+    }
+
+    /// All ranges in schema order.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// Returns a copy with the range on `attr` replaced.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::OutOfDomain`] if `r` exceeds the attribute domain,
+    /// or [`ModelError::AttributeOutOfBounds`] for a bad id.
+    pub fn with_range(&self, attr: AttrId, r: Range) -> Result<Self, ModelError> {
+        self.schema.check_attr(attr)?;
+        let dom = self.schema.domain(attr);
+        if !dom.contains_range(&r) {
+            let attribute = self.schema.attribute(attr).name().to_string();
+            let value = if r.lo() < dom.lo() { r.lo() } else { r.hi() };
+            return Err(ModelError::OutOfDomain { attribute, value });
+        }
+        let mut out = self.clone();
+        out.ranges[attr.0] = r;
+        Ok(out)
+    }
+
+    /// Whether the publication point lies inside this rectangle.
+    pub fn matches(&self, p: &Publication) -> bool {
+        debug_assert_eq!(p.values().len(), self.ranges.len());
+        self.ranges.iter().zip(p.values()).all(|(r, &v)| r.contains(v))
+    }
+
+    /// Whether the integer point (given in schema order) lies inside.
+    pub fn contains_point(&self, point: &[i64]) -> bool {
+        debug_assert_eq!(point.len(), self.ranges.len());
+        self.ranges.iter().zip(point).all(|(r, &v)| r.contains(v))
+    }
+
+    /// Whether `self ⊇ other`: every range of `self` contains the matching
+    /// range of `other`. This is *pairwise* coverage — the relation classical
+    /// covering-based routing uses.
+    pub fn covers(&self, other: &Subscription) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.ranges.iter().zip(&other.ranges).all(|(a, b)| a.contains_range(b))
+    }
+
+    /// Whether the rectangles share at least one point.
+    pub fn intersects(&self, other: &Subscription) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.ranges.iter().zip(&other.ranges).all(|(a, b)| a.intersects(b))
+    }
+
+    /// Intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Subscription) -> Option<Subscription> {
+        debug_assert_eq!(self.arity(), other.arity());
+        let mut ranges = Vec::with_capacity(self.ranges.len());
+        for (a, b) in self.ranges.iter().zip(&other.ranges) {
+            ranges.push(a.intersection(b)?);
+        }
+        Some(Subscription { schema: self.schema.clone(), ranges })
+    }
+
+    /// `I(s)`: the number of integer points inside, exact while it fits
+    /// `u128`.
+    ///
+    /// Returns `None` on overflow; use [`Subscription::size`] for the
+    /// always-available log-space value.
+    pub fn size_exact(&self) -> Option<u128> {
+        let mut acc: u128 = 1;
+        for r in &self.ranges {
+            acc = acc.checked_mul(r.count())?;
+        }
+        Some(acc)
+    }
+
+    /// `I(s)` in log-space (never overflows).
+    pub fn size(&self) -> LogVolume {
+        let mut v = LogVolume::ONE;
+        for r in &self.ranges {
+            v += LogVolume::from_count(r.count());
+        }
+        v
+    }
+
+    /// Fraction of the whole schema space occupied by this subscription.
+    pub fn density(&self) -> f64 {
+        self.size().ratio(&Subscription::whole_space(&self.schema).size())
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (id, attr)) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let r = &self.ranges[id.0];
+            if r == attr.domain() {
+                write!(f, "{}: *", attr.name())?;
+            } else {
+                write!(f, "{}: {}", attr.name(), r)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builder returned by [`Subscription::builder`].
+///
+/// Errors are deferred to [`SubscriptionBuilder::build`] so call chains stay
+/// ergonomic.
+#[derive(Debug)]
+pub struct SubscriptionBuilder {
+    schema: Schema,
+    ranges: Vec<Range>,
+    touched: Vec<bool>,
+    error: Option<ModelError>,
+}
+
+impl SubscriptionBuilder {
+    /// Constrains attribute `name` to `[lo, hi]`.
+    pub fn range(mut self, name: &str, lo: i64, hi: i64) -> Self {
+        self.apply(name, lo, hi);
+        self
+    }
+
+    /// Constrains attribute `name` to the single value `v`.
+    pub fn point(self, name: &str, v: i64) -> Self {
+        self.range(name, v, v)
+    }
+
+    /// Constrains attribute `id` (by index) to `[lo, hi]`.
+    pub fn range_id(mut self, id: AttrId, lo: i64, hi: i64) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.get(id) {
+            None => {
+                self.error = Some(ModelError::AttributeOutOfBounds {
+                    index: id.0,
+                    len: self.schema.len(),
+                });
+            }
+            Some(attr) => {
+                let name = attr.name().to_string();
+                self.constrain(id, &name, lo, hi);
+            }
+        }
+        self
+    }
+
+    fn apply(&mut self, name: &str, lo: i64, hi: i64) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.schema.attr_id(name) {
+            None => self.error = Some(ModelError::UnknownAttribute(name.to_string())),
+            Some(id) => self.constrain(id, name, lo, hi),
+        }
+    }
+
+    fn constrain(&mut self, id: AttrId, name: &str, lo: i64, hi: i64) {
+        if self.touched[id.0] {
+            self.error = Some(ModelError::DuplicateConstraint(name.to_string()));
+            return;
+        }
+        let r = match Range::new(lo, hi) {
+            Ok(r) => r,
+            Err(e) => {
+                self.error = Some(e);
+                return;
+            }
+        };
+        let dom = self.schema.domain(id);
+        match r.clamp_to(dom) {
+            None => {
+                self.error =
+                    Some(ModelError::OutOfDomain { attribute: name.to_string(), value: lo });
+            }
+            Some(clamped) => {
+                self.ranges[id.0] = clamped;
+                self.touched[id.0] = true;
+            }
+        }
+    }
+
+    /// Finalizes the subscription.
+    ///
+    /// # Errors
+    /// Returns the first error recorded while chaining constraints:
+    /// unknown/duplicate attributes, inverted ranges, or ranges fully outside
+    /// their domain. Ranges partially outside the domain are clamped.
+    pub fn build(self) -> Result<Subscription, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Subscription { schema: self.schema, ranges: self.ranges })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Publication;
+    use proptest::prelude::*;
+
+    fn schema2() -> Schema {
+        // Matches Figure 2 of the paper: x1 ∈ [800, 900], x2 ∈ [1000, 1010].
+        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    }
+
+    fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
+        Subscription::builder(schema)
+            .range("x1", x1.0, x1.1)
+            .range("x2", x2.0, x2.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn table3_subscriptions_intersect_but_do_not_cover_pairwise() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let s1 = sub(&schema, (820, 850), (1001, 1007));
+        let s2 = sub(&schema, (840, 880), (1002, 1009));
+        assert!(!s1.covers(&s));
+        assert!(!s2.covers(&s));
+        assert!(s1.intersects(&s));
+        assert!(s2.intersects(&s));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_antisymmetric_on_distinct() {
+        let schema = schema2();
+        let a = sub(&schema, (820, 850), (1001, 1007));
+        let b = sub(&schema, (830, 840), (1002, 1006));
+        assert!(a.covers(&a));
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+    }
+
+    #[test]
+    fn unconstrained_attributes_default_to_domain() {
+        let schema = schema2();
+        let s = Subscription::builder(&schema).range("x1", 810, 820).build().unwrap();
+        assert_eq!(s.range(AttrId(1)), &Range::new(1000, 1010).unwrap());
+        assert!(s.to_string().contains("x2: *"));
+    }
+
+    #[test]
+    fn builder_detects_unknown_and_duplicate() {
+        let schema = schema2();
+        let err = Subscription::builder(&schema).range("bogus", 0, 1).build().unwrap_err();
+        assert_eq!(err, ModelError::UnknownAttribute("bogus".into()));
+        let err = Subscription::builder(&schema)
+            .range("x1", 810, 820)
+            .range("x1", 830, 840)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateConstraint("x1".into()));
+    }
+
+    #[test]
+    fn builder_clamps_partial_overflow_and_rejects_disjoint() {
+        let schema = schema2();
+        let s = Subscription::builder(&schema).range("x1", 700, 850).build().unwrap();
+        assert_eq!(s.range(AttrId(0)), &Range::new(800, 850).unwrap());
+        let err = Subscription::builder(&schema).range("x1", 0, 10).build().unwrap_err();
+        assert!(matches!(err, ModelError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn from_ranges_validates_arity_and_domain() {
+        let schema = schema2();
+        let err = Subscription::from_ranges(&schema, vec![Range::point(800)]).unwrap_err();
+        assert_eq!(err, ModelError::SchemaMismatch { expected: 2, found: 1 });
+        let err = Subscription::from_ranges(
+            &schema,
+            vec![Range::new(700, 850).unwrap(), Range::point(1005)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn size_exact_and_log_space_agree() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        assert_eq!(s.size_exact(), Some(41 * 4));
+        assert!((s.size().to_f64() - 164.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn size_exact_overflow_returns_none() {
+        let schema = Schema::uniform(3, i64::MIN, i64::MAX);
+        let s = Subscription::whole_space(&schema);
+        assert_eq!(s.size_exact(), None);
+        // Log-space still fine: log10((2^64)^3) ≈ 57.8.
+        assert!((s.size().log10() - 57.79).abs() < 0.1);
+    }
+
+    #[test]
+    fn matches_publication() {
+        let schema = schema2();
+        let s = sub(&schema, (830, 870), (1003, 1006));
+        let inside =
+            Publication::builder(&schema).set("x1", 850).set("x2", 1004).build().unwrap();
+        let outside =
+            Publication::builder(&schema).set("x1", 829).set("x2", 1004).build().unwrap();
+        assert!(s.matches(&inside));
+        assert!(!s.matches(&outside));
+    }
+
+    #[test]
+    fn intersection_none_when_disjoint_on_any_attribute() {
+        let schema = schema2();
+        let a = sub(&schema, (800, 820), (1000, 1004));
+        let b = sub(&schema, (821, 840), (1000, 1004));
+        assert!(a.intersection(&b).is_none());
+        let c = sub(&schema, (810, 830), (1005, 1010));
+        assert!(a.intersection(&c).is_none()); // overlaps x1 but not x2
+    }
+
+    #[test]
+    fn density_of_whole_space_is_one() {
+        let schema = schema2();
+        let s = Subscription::whole_space(&schema);
+        assert!((s.density() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_covers_iff_intersection_equals_inner(
+            a in sub_strategy(), b in sub_strategy()
+        ) {
+            let cov = a.covers(&b);
+            let via_intersection = a.intersection(&b).as_ref() == Some(&b);
+            prop_assert_eq!(cov, via_intersection);
+        }
+
+        #[test]
+        fn prop_intersection_commutative(a in sub_strategy(), b in sub_strategy()) {
+            prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        }
+
+        #[test]
+        fn prop_cover_transitive(a in sub_strategy(), b in sub_strategy(), c in sub_strategy()) {
+            if a.covers(&b) && b.covers(&c) {
+                prop_assert!(a.covers(&c));
+            }
+        }
+
+        #[test]
+        fn prop_size_matches_enumeration(s in sub_strategy()) {
+            // Brute-force count on the small 2-D test domain.
+            let mut n: u128 = 0;
+            for x in s.range(AttrId(0)).lo()..=s.range(AttrId(0)).hi() {
+                for y in s.range(AttrId(1)).lo()..=s.range(AttrId(1)).hi() {
+                    assert!(s.contains_point(&[x, y]));
+                    n += 1;
+                }
+            }
+            prop_assert_eq!(s.size_exact(), Some(n));
+        }
+    }
+
+    fn sub_strategy() -> impl Strategy<Value = Subscription> {
+        (800i64..=895, 0i64..=20, 1000i64..=1008, 0i64..=5).prop_map(|(x_lo, xw, y_lo, yw)| {
+            let schema = schema2();
+            Subscription::builder(&schema)
+                .range("x1", x_lo, (x_lo + xw).min(900))
+                .range("x2", y_lo, (y_lo + yw).min(1010))
+                .build()
+                .unwrap()
+        })
+    }
+}

@@ -1,0 +1,182 @@
+//! Log-space volumes for subscription sizes.
+//!
+//! `I(s)` — the number of integer points inside subscription `s` — overflows
+//! `u128` already for modest schemas (20 attributes with million-point domains
+//! give `10^120` points). Theoretical iteration counts `d` in Figures 7 and 9
+//! of the paper reach `10^50`. Both therefore need log-space arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A non-negative quantity stored as its natural logarithm.
+///
+/// Supports multiplication (via [`Add`]) and division (via [`Sub`]) of the
+/// underlying quantities, plus lossy extraction back to `f64`/`u128`.
+///
+/// # Example
+/// ```
+/// use psc_model::LogVolume;
+/// let a = LogVolume::from_count(1_000_000);
+/// let b = LogVolume::from_count(1_000);
+/// let product = a + b; // 10^9
+/// assert!((product.log10() - 9.0).abs() < 1e-9);
+/// assert_eq!((a - b).to_f64().round() as u64, 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LogVolume {
+    ln: f64,
+}
+
+impl LogVolume {
+    /// The multiplicative identity (volume 1, `ln = 0`).
+    pub const ONE: LogVolume = LogVolume { ln: 0.0 };
+
+    /// Volume zero (`ln = -∞`). Multiplying by zero stays zero.
+    pub const ZERO: LogVolume = LogVolume { ln: f64::NEG_INFINITY };
+
+    /// Builds from an exact point count.
+    pub fn from_count(count: u128) -> Self {
+        if count == 0 {
+            LogVolume::ZERO
+        } else {
+            LogVolume { ln: (count as f64).ln() }
+        }
+    }
+
+    /// Builds from a natural logarithm directly.
+    pub fn from_ln(ln: f64) -> Self {
+        LogVolume { ln }
+    }
+
+    /// The natural logarithm of the stored quantity.
+    pub fn ln(&self) -> f64 {
+        self.ln
+    }
+
+    /// The base-10 logarithm of the stored quantity.
+    pub fn log10(&self) -> f64 {
+        self.ln / std::f64::consts::LN_10
+    }
+
+    /// The quantity itself; `f64::INFINITY` when it overflows `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// Whether the stored quantity is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+
+    /// The ratio `self / other` as a plain `f64` probability, clamped to
+    /// `[0, 1]`. Returns 0 when `self` is zero; 1 when they are equal.
+    pub fn ratio(&self, other: &LogVolume) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        (self.ln - other.ln).exp().clamp(0.0, 1.0)
+    }
+}
+
+impl Default for LogVolume {
+    fn default() -> Self {
+        LogVolume::ONE
+    }
+}
+
+impl Add for LogVolume {
+    type Output = LogVolume;
+    /// Multiplies the underlying quantities.
+    fn add(self, rhs: LogVolume) -> LogVolume {
+        LogVolume { ln: self.ln + rhs.ln }
+    }
+}
+
+impl AddAssign for LogVolume {
+    fn add_assign(&mut self, rhs: LogVolume) {
+        self.ln += rhs.ln;
+    }
+}
+
+impl Sub for LogVolume {
+    type Output = LogVolume;
+    /// Divides the underlying quantities.
+    fn sub(self, rhs: LogVolume) -> LogVolume {
+        LogVolume { ln: self.ln - rhs.ln }
+    }
+}
+
+impl fmt::Display for LogVolume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else if self.log10() < 15.0 {
+            write!(f, "{:.0}", self.to_f64())
+        } else {
+            write!(f, "10^{:.2}", self.log10())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_count_roundtrip() {
+        let v = LogVolume::from_count(12345);
+        assert!((v.to_f64() - 12345.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_is_absorbing_under_multiplication() {
+        let z = LogVolume::ZERO;
+        let v = LogVolume::from_count(99);
+        assert!((z + v).is_zero());
+        assert!((v + z).is_zero());
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let v = LogVolume::from_count(7);
+        assert!(((LogVolume::ONE + v).to_f64() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_products_stay_finite_in_log_space() {
+        // 20 attributes, each with 10^6 points: 10^120 total.
+        let mut v = LogVolume::ONE;
+        for _ in 0..20 {
+            v += LogVolume::from_count(1_000_000);
+        }
+        assert!((v.log10() - 120.0).abs() < 1e-9);
+        // 60 attributes: 10^360 overflows f64 (max ~1.8e308)...
+        let mut w = LogVolume::ONE;
+        for _ in 0..60 {
+            w += LogVolume::from_count(1_000_000);
+        }
+        assert!(w.to_f64().is_infinite());
+        assert!(w.ln().is_finite()); // ...but the log stays finite.
+        assert!((w.log10() - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_clamped_probability() {
+        let small = LogVolume::from_count(10);
+        let big = LogVolume::from_count(1000);
+        assert!((small.ratio(&big) - 0.01).abs() < 1e-12);
+        assert_eq!(big.ratio(&big), 1.0);
+        assert_eq!(LogVolume::ZERO.ratio(&big), 0.0);
+        // Numerator larger than denominator clamps to 1.
+        assert_eq!(big.ratio(&small), 1.0);
+    }
+
+    #[test]
+    fn display_switches_to_exponent_form() {
+        assert_eq!(LogVolume::from_count(0).to_string(), "0");
+        assert_eq!(LogVolume::from_count(41).to_string(), "41");
+        let huge = LogVolume::from_ln(200.0);
+        assert!(huge.to_string().starts_with("10^"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Scenario (1-2): the realistic comparison stream (Section 6.4).
+//!
+//! *"Due to the lack of real-world subscription set, we have simulated a
+//! setting using power law distributions … From the set of m attributes
+//! popular ones were chosen using a Zipf distribution (skew = 2.0).
+//! Attributes are generated in the following way: The center of a range is
+//! generated with a Pareto distribution (skew = 1.0) to simulate similar
+//! interests, while range sizes are generated with a normal distribution."*
+//!
+//! The stream feeds the pairwise-vs-group comparison of Figures 13 and 14.
+
+use crate::dist::{Normal, Pareto, Zipf};
+use psc_model::{Range, Schema, Subscription};
+use rand::Rng;
+
+/// Generator of realistic subscription streams.
+///
+/// # Example
+/// ```
+/// use psc_workload::{ComparisonWorkload, seeded_rng};
+/// let wl = ComparisonWorkload::new(10);
+/// let mut rng = seeded_rng(42);
+/// let subs = wl.stream(100, &mut rng);
+/// assert_eq!(subs.len(), 100);
+/// // Unpopular attributes are usually unconstrained (full domain).
+/// let constrained: usize = subs.iter()
+///     .map(|s| s.ranges().iter().filter(|r| r.count() < 100_000).count())
+///     .sum();
+/// assert!(constrained > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComparisonWorkload {
+    /// Number of attributes.
+    pub m: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+    /// Zipf skew for attribute popularity (paper: 2.0).
+    pub attr_skew: f64,
+    /// Pareto shape for range centers (paper: 1.0).
+    pub center_alpha: f64,
+    /// Scale applied when mapping Pareto excess onto the domain: roughly half
+    /// of the centers fall within `width/scale` of the domain start.
+    pub center_scale: f64,
+    /// Mean range width as a fraction of the domain width.
+    pub width_mean_frac: f64,
+    /// Standard deviation of range width as a fraction of the domain width.
+    pub width_sd_frac: f64,
+    /// Bounds on how many attributes one subscription constrains.
+    pub constrained: (usize, usize),
+}
+
+impl ComparisonWorkload {
+    /// Creates the paper's configuration for `m` attributes over a
+    /// 100 000-point domain.
+    pub fn new(m: usize) -> Self {
+        ComparisonWorkload {
+            m,
+            domain: (0, 99_999),
+            attr_skew: 2.0,
+            center_alpha: 1.0,
+            center_scale: 8.0,
+            width_mean_frac: 0.30,
+            width_sd_frac: 0.12,
+            constrained: (2, 6.min(m)),
+        }
+    }
+
+    /// The schema of the stream.
+    pub fn schema(&self) -> Schema {
+        Schema::uniform(self.m, self.domain.0, self.domain.1)
+    }
+
+    /// Generates one subscription.
+    pub fn subscription<R: Rng + ?Sized>(&self, schema: &Schema, rng: &mut R) -> Subscription {
+        let zipf = Zipf::new(self.m, self.attr_skew);
+        let pareto = Pareto::new(self.center_alpha);
+        let width_dist = Normal::new(
+            self.width_mean_frac * self.domain_width() as f64,
+            self.width_sd_frac * self.domain_width() as f64,
+        );
+
+        let count = rng.gen_range(self.constrained.0..=self.constrained.1.max(self.constrained.0));
+        let chosen = zipf.sample_distinct(rng, count.min(self.m));
+
+        let mut ranges: Vec<Range> =
+            schema.iter().map(|(_, a)| *a.domain()).collect();
+        for attr in chosen {
+            ranges[attr] = self.constrained_range(&pareto, &width_dist, rng);
+        }
+        Subscription::from_ranges(schema, ranges).expect("ranges clamped to domain")
+    }
+
+    /// Generates a stream of `n` subscriptions.
+    pub fn stream<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Subscription> {
+        let schema = self.schema();
+        (0..n).map(|_| self.subscription(&schema, rng)).collect()
+    }
+
+    /// Generates one publication whose coordinates follow the same
+    /// popularity distribution as subscription centers, so that realistic
+    /// fractions of subscriptions match (used by the broker-network
+    /// experiments).
+    pub fn publication<R: Rng + ?Sized>(
+        &self,
+        schema: &psc_model::Schema,
+        rng: &mut R,
+    ) -> psc_model::Publication {
+        let pareto = Pareto::new(self.center_alpha);
+        let w = self.domain_width();
+        let values = (0..self.m)
+            .map(|_| self.domain.0 + pareto.sample_offset(rng, w, self.center_scale) as i64)
+            .collect();
+        psc_model::Publication::from_values(schema, values)
+            .expect("offsets clamped inside the domain")
+    }
+
+    fn domain_width(&self) -> u64 {
+        (self.domain.1 - self.domain.0 + 1) as u64
+    }
+
+    fn constrained_range<R: Rng + ?Sized>(
+        &self,
+        pareto: &Pareto,
+        width_dist: &Normal,
+        rng: &mut R,
+    ) -> Range {
+        let w = self.domain_width();
+        let center =
+            self.domain.0 + pareto.sample_offset(rng, w, self.center_scale) as i64;
+        let width = width_dist.sample_clamped(rng, 1.0, w as f64) as i64;
+        let lo = (center - width / 2).max(self.domain.0);
+        let hi = (center + width / 2).min(self.domain.1);
+        Range::new(lo, hi).expect("center within domain keeps lo <= hi")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use psc_model::AttrId;
+
+    #[test]
+    fn stream_has_requested_length_and_valid_subscriptions() {
+        let wl = ComparisonWorkload::new(10);
+        let mut rng = seeded_rng(1);
+        let schema = wl.schema();
+        let subs = wl.stream(500, &mut rng);
+        assert_eq!(subs.len(), 500);
+        for s in &subs {
+            assert_eq!(s.arity(), 10);
+            for (id, attr) in schema.iter() {
+                assert!(attr.domain().contains_range(s.range(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn popular_attributes_are_constrained_more_often() {
+        let wl = ComparisonWorkload::new(10);
+        let mut rng = seeded_rng(2);
+        let schema = wl.schema();
+        let mut constrained_counts = vec![0usize; 10];
+        for _ in 0..2_000 {
+            let s = wl.subscription(&schema, &mut rng);
+            for (j, r) in s.ranges().iter().enumerate() {
+                if r != schema.domain(AttrId(j)) {
+                    constrained_counts[j] += 1;
+                }
+            }
+        }
+        // Zipf(2.0): attribute 0 much more popular than attribute 9.
+        assert!(constrained_counts[0] > 4 * constrained_counts[9].max(1));
+        // Every subscription constrains at least `constrained.0` attributes.
+        assert!(constrained_counts.iter().sum::<usize>() >= 2_000 * wl.constrained.0);
+    }
+
+    #[test]
+    fn centers_cluster_near_domain_start() {
+        let wl = ComparisonWorkload::new(6);
+        let mut rng = seeded_rng(3);
+        let schema = wl.schema();
+        let mut starts = Vec::new();
+        for _ in 0..1_000 {
+            let s = wl.subscription(&schema, &mut rng);
+            for (j, r) in s.ranges().iter().enumerate() {
+                if r != schema.domain(AttrId(j)) {
+                    starts.push(r.lo() + (r.count() as i64) / 2);
+                }
+            }
+        }
+        let below_quarter = starts
+            .iter()
+            .filter(|&&c| c < wl.domain.0 + (wl.domain_width() as i64) / 4)
+            .count();
+        // Pareto concentration: well over half of the centers in the first
+        // quarter of the domain.
+        assert!(below_quarter * 2 > starts.len(), "{below_quarter}/{}", starts.len());
+    }
+
+    #[test]
+    fn number_of_constrained_attributes_is_bounded() {
+        let wl = ComparisonWorkload::new(20);
+        let mut rng = seeded_rng(4);
+        let schema = wl.schema();
+        for _ in 0..200 {
+            let s = wl.subscription(&schema, &mut rng);
+            let constrained = s
+                .ranges()
+                .iter()
+                .enumerate()
+                .filter(|(j, r)| *r != schema.domain(AttrId(*j)))
+                .count();
+            assert!(constrained >= wl.constrained.0 && constrained <= wl.constrained.1);
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let wl = ComparisonWorkload::new(8);
+        let a = wl.stream(50, &mut seeded_rng(77));
+        let b = wl.stream(50, &mut seeded_rng(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_happens_in_the_stream() {
+        // The whole point of the comparison scenario: a realistic stream must
+        // contain pairwise-covered subscriptions.
+        let wl = ComparisonWorkload::new(10);
+        let mut rng = seeded_rng(5);
+        let subs = wl.stream(300, &mut rng);
+        let mut covered = 0;
+        for i in 1..subs.len() {
+            if subs[..i].iter().any(|prev| prev.covers(&subs[i])) {
+                covered += 1;
+            }
+        }
+        assert!(covered > 10, "only {covered} covered out of 300");
+    }
+}

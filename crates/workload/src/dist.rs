@@ -1,0 +1,273 @@
+//! Distribution samplers used by the paper's subscription generators.
+//!
+//! Section 6.4: *"From the set of m attributes popular ones were chosen using
+//! a Zipf distribution (skew = 2.0). The center of a range is generated with
+//! a Pareto distribution (skew = 1.0) to simulate similar interests, while
+//! range sizes are generated with a normal distribution."*
+//!
+//! These are deliberately small, dependency-free implementations (the
+//! `rand_distr` crate is outside this project's allowed dependency set — see
+//! DESIGN.md §5): Zipf via inverse-CDF on precomputed cumulative weights,
+//! Pareto via inverse-CDF, Normal via Box–Muller.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with weight `1/(rank+1)^skew`.
+///
+/// Rank 0 is the most popular item. Sampling is `O(log n)` via binary search
+/// over the precomputed cumulative distribution.
+///
+/// # Example
+/// ```
+/// use psc_workload::dist::Zipf;
+/// use psc_workload::seeded_rng;
+/// let z = Zipf::new(10, 2.0);
+/// let mut rng = seeded_rng(1);
+/// let mut counts = [0usize; 10];
+/// for _ in 0..10_000 { counts[z.sample(&mut rng)] += 1; }
+/// // Rank 0 dominates rank 9 heavily at skew 2.
+/// assert!(counts[0] > 20 * counts[9].max(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` ranks with the given skew.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `skew < 0`.
+    pub fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(skew >= 0.0, "skew must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(skew);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true — `new` forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+
+    /// Samples `count` *distinct* ranks (by rejection), in popularity-biased
+    /// order of first draw.
+    ///
+    /// # Panics
+    /// Panics if `count > n`.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        assert!(count <= self.len(), "cannot draw {count} distinct from {}", self.len());
+        let mut out = Vec::with_capacity(count);
+        let mut seen = vec![false; self.len()];
+        while out.len() < count {
+            let r = self.sample(rng);
+            if !seen[r] {
+                seen[r] = true;
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+/// Pareto distribution with scale `x_m = 1` and shape `alpha` ("skew").
+///
+/// Samples `x = 1 / U^(1/alpha) ∈ [1, ∞)`; the paper uses `alpha = 1` for
+/// range centers so that subscriber interests concentrate near the start of
+/// the domain with a heavy tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto sampler with shape `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        Pareto { alpha }
+    }
+
+    /// Samples a value in `[1, ∞)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // U ∈ (0, 1]; avoid U = 0 exactly.
+        let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+        u.powf(-1.0 / self.alpha)
+    }
+
+    /// Samples and maps onto an integer offset in `[0, width)`, where `scale`
+    /// controls how much of `width` the Pareto body spans before clamping.
+    ///
+    /// With `alpha = 1`, roughly half the mass lands in the first
+    /// `width/scale` values — the paper's "similar interests" clustering.
+    pub fn sample_offset<R: Rng + ?Sized>(&self, rng: &mut R, width: u64, scale: f64) -> u64 {
+        debug_assert!(width > 0);
+        let x = self.sample(rng) - 1.0; // [0, ∞)
+        let offset = (x * width as f64 / scale).floor();
+        (offset as u64).min(width - 1)
+    }
+}
+
+/// Normal distribution via the Box–Muller transform (both variates used
+/// alternately would need state; we keep it stateless and draw fresh).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `sd < 0`.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0, "standard deviation must be non-negative");
+        Normal { mean, sd }
+    }
+
+    /// Samples one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller: u1 ∈ (0, 1] to keep ln finite.
+        let u1: f64 = 1.0 - rng.gen_range(0.0..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.sd * z
+    }
+
+    /// Samples, clamped to `[lo, hi]`.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(20, 2.0);
+        let mut rng = seeded_rng(11);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Monotone-ish decreasing head: rank 0 > rank 1 > rank 2.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        // Theoretical p(0) at skew 2 over 20 ranks ≈ 1/ζ ≈ 0.63.
+        let p0 = counts[0] as f64 / 50_000.0;
+        assert!((p0 - 0.63).abs() < 0.03, "p0 = {p0}");
+    }
+
+    #[test]
+    fn zipf_skew_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = seeded_rng(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_distinct_samples_are_distinct_and_complete() {
+        let z = Zipf::new(8, 2.0);
+        let mut rng = seeded_rng(5);
+        let picked = z.sample_distinct(&mut rng, 8);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn zipf_distinct_overdraw_panics() {
+        let z = Zipf::new(3, 1.0);
+        let mut rng = seeded_rng(1);
+        let _ = z.sample_distinct(&mut rng, 4);
+    }
+
+    #[test]
+    fn pareto_median_matches_theory() {
+        // Median of Pareto(x_m=1, α=1) is 2.
+        let p = Pareto::new(1.0);
+        let mut rng = seeded_rng(9);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| p.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        assert!((median - 2.0).abs() < 0.1, "median = {median}");
+        assert!(samples.iter().all(|&x| x >= 1.0));
+    }
+
+    #[test]
+    fn pareto_offset_clusters_low() {
+        let p = Pareto::new(1.0);
+        let mut rng = seeded_rng(13);
+        let width = 10_000u64;
+        let below_tenth = (0..10_000)
+            .filter(|_| p.sample_offset(&mut rng, width, 10.0) < width / 10)
+            .count();
+        // With scale 10, offset < width/10 ⇔ pareto excess < 1 ⇔ U > 1/2.
+        assert!((below_tenth as f64 / 10_000.0 - 0.5).abs() < 0.05);
+        // Offsets never escape the width.
+        for _ in 0..1_000 {
+            assert!(p.sample_offset(&mut rng, width, 10.0) < width);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let n = Normal::new(50.0, 10.0);
+        let mut rng = seeded_rng(21);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 50.0).abs() < 0.2, "mean = {mean}");
+        assert!((var.sqrt() - 10.0).abs() < 0.2, "sd = {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let n = Normal::new(0.0, 100.0);
+        let mut rng = seeded_rng(2);
+        for _ in 0..1_000 {
+            let v = n.sample_clamped(&mut rng, -5.0, 5.0);
+            assert!((-5.0..=5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_zero_sd_is_constant() {
+        let n = Normal::new(3.5, 0.0);
+        let mut rng = seeded_rng(4);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng), 3.5);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The common output type of scenario generators.
+
+use psc_model::{Schema, Subscription};
+
+/// One generated subsumption-problem instance: a tested subscription `s`, an
+/// existing set `S`, and scenario metadata.
+#[derive(Debug, Clone)]
+pub struct CoverInstance {
+    /// The new subscription whose coverage is tested.
+    pub s: Subscription,
+    /// The existing subscription set `S`.
+    pub set: Vec<Subscription>,
+    /// Ground truth, when the construction guarantees it (`None` for
+    /// realistic streams where the truth must be computed).
+    pub ground_truth: Option<bool>,
+    /// Indices into `set` of subscriptions that are *redundant* for the
+    /// coverage question by construction — the denominators of the paper's
+    /// Figure 6/8 "redundant subscriptions reduction" metric.
+    pub redundant_indices: Vec<usize>,
+}
+
+impl CoverInstance {
+    /// The schema shared by the instance.
+    pub fn schema(&self) -> &Schema {
+        self.s.schema()
+    }
+
+    /// `k`: size of the existing set.
+    pub fn k(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `m`: number of attributes.
+    pub fn m(&self) -> usize {
+        self.s.arity()
+    }
+
+    /// Sanity-checks structural invariants shared by all scenarios: every
+    /// subscription lives in the same schema, and redundant indices are in
+    /// bounds and unique. Debug/test helper.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, si) in self.set.iter().enumerate() {
+            if si.arity() != self.s.arity() {
+                return Err(format!("set[{i}] arity {} != s arity {}", si.arity(), self.s.arity()));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &r in &self.redundant_indices {
+            if r >= self.set.len() {
+                return Err(format!("redundant index {r} out of bounds"));
+            }
+            if !seen.insert(r) {
+                return Err(format!("redundant index {r} duplicated"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Schema;
+
+    #[test]
+    fn validate_catches_bad_indices() {
+        let schema = Schema::uniform(2, 0, 9);
+        let s = Subscription::whole_space(&schema);
+        let inst = CoverInstance {
+            s: s.clone(),
+            set: vec![s.clone()],
+            ground_truth: Some(true),
+            redundant_indices: vec![3],
+        };
+        assert!(inst.validate().is_err());
+        let inst = CoverInstance {
+            s: s.clone(),
+            set: vec![s.clone()],
+            ground_truth: Some(true),
+            redundant_indices: vec![0, 0],
+        };
+        assert!(inst.validate().is_err());
+        let inst = CoverInstance {
+            s,
+            set: vec![],
+            ground_truth: None,
+            redundant_indices: vec![],
+        };
+        assert!(inst.validate().is_ok());
+    }
+}

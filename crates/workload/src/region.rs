@@ -1,0 +1,258 @@
+//! Range-geometry helpers shared by the scenario generators.
+
+use psc_model::Range;
+use rand::Rng;
+
+/// Samples a uniformly-placed subrange of `outer` whose width (in points) is
+/// drawn uniformly from `[min_width, max_width]` (clamped to `outer`).
+///
+/// # Panics
+/// Panics if `min_width == 0` or `min_width > max_width`.
+pub fn random_subrange<R: Rng + ?Sized>(
+    rng: &mut R,
+    outer: &Range,
+    min_width: u64,
+    max_width: u64,
+) -> Range {
+    assert!(min_width >= 1, "subranges must contain at least one point");
+    assert!(min_width <= max_width, "min_width {min_width} > max_width {max_width}");
+    let outer_count = outer.count().min(u128::from(u64::MAX)) as u64;
+    let min_w = min_width.min(outer_count);
+    let max_w = max_width.min(outer_count);
+    let width = rng.gen_range(min_w..=max_w);
+    let slack = outer_count - width;
+    let start = outer.lo() + rng.gen_range(0..=slack) as i64;
+    Range::new(start, start + width as i64 - 1).expect("constructed lo <= hi")
+}
+
+/// Extends `inner` outward on both sides by independent uniform amounts up to
+/// `max_extension`, clamped to stay inside `outer`.
+///
+/// Used to grow covering pieces past the subscription they cover without
+/// escaping the attribute domain.
+pub fn extend_outward<R: Rng + ?Sized>(
+    rng: &mut R,
+    inner: &Range,
+    outer: &Range,
+    max_extension: u64,
+) -> Range {
+    let left_room = (inner.lo() - outer.lo()).max(0) as u64;
+    let right_room = (outer.hi() - inner.hi()).max(0) as u64;
+    let left = rng.gen_range(0..=max_extension.min(left_room)) as i64;
+    let right = rng.gen_range(0..=max_extension.min(right_room)) as i64;
+    Range::new(inner.lo() - left, inner.hi() + right).expect("extension keeps lo <= hi")
+}
+
+/// Splits `range` into `pieces` contiguous slabs with random interior
+/// boundaries, then widens each slab by up to `overlap` points on each side
+/// (clamped to `range`), so adjacent slabs overlap but the union still equals
+/// `range`.
+///
+/// # Panics
+/// Panics if `pieces == 0` or `pieces` exceeds the number of points.
+pub fn random_cover_slabs<R: Rng + ?Sized>(
+    rng: &mut R,
+    range: &Range,
+    pieces: usize,
+    overlap: u64,
+) -> Vec<Range> {
+    assert!(pieces >= 1, "need at least one slab");
+    let count = range.count().min(u128::from(u64::MAX)) as u64;
+    assert!(
+        pieces as u64 <= count,
+        "cannot split {count} points into {pieces} non-empty slabs"
+    );
+    // Choose pieces-1 distinct interior boundaries.
+    let mut bounds = Vec::with_capacity(pieces + 1);
+    bounds.push(range.lo());
+    if pieces > 1 {
+        let mut cuts = std::collections::BTreeSet::new();
+        while cuts.len() < pieces - 1 {
+            cuts.insert(rng.gen_range(range.lo() + 1..=range.hi()));
+        }
+        bounds.extend(cuts);
+    }
+    bounds.push(range.hi() + 1);
+
+    (0..pieces)
+        .map(|i| {
+            let lo = bounds[i];
+            let hi = bounds[i + 1] - 1;
+            let slab = Range::new(lo, hi).expect("cut points are ordered");
+            extend_outward(rng, &slab, range, overlap)
+        })
+        .collect()
+}
+
+/// Splits `range` into `pieces` slabs of *roughly equal* width: boundaries
+/// sit at the equal-partition points, each perturbed by at most
+/// `jitter_frac` of a slab width. The union equals `range` and the minimum
+/// slab width stays on the order of `count/pieces` — unlike
+/// [`random_cover_slabs`], whose uniform cuts can produce arbitrarily thin
+/// slabs.
+///
+/// The distinction matters for reproducing the paper's extreme non-cover
+/// scenario: Algorithm 2's witness estimate takes the *minimum* uncovered
+/// strip per attribute, so pathologically thin slabs would inflate the
+/// iteration budget `d` far beyond what the paper's Figures 11–12 exhibit.
+///
+/// # Panics
+/// Panics if `pieces == 0`, if `pieces` exceeds the point count, or if
+/// `jitter_frac` is not in `[0, 0.5)`.
+pub fn jittered_cover_slabs<R: Rng + ?Sized>(
+    rng: &mut R,
+    range: &Range,
+    pieces: usize,
+    jitter_frac: f64,
+) -> Vec<Range> {
+    assert!(pieces >= 1, "need at least one slab");
+    assert!(
+        (0.0..0.5).contains(&jitter_frac),
+        "jitter_frac must be in [0, 0.5), got {jitter_frac}"
+    );
+    let count = range.count().min(u128::from(u64::MAX)) as u64;
+    assert!(
+        pieces as u64 <= count,
+        "cannot split {count} points into {pieces} non-empty slabs"
+    );
+    let slab_width = count as f64 / pieces as f64;
+    let max_jitter = (slab_width * jitter_frac).floor() as i64;
+    let mut bounds = Vec::with_capacity(pieces + 1);
+    bounds.push(range.lo());
+    for i in 1..pieces {
+        let ideal = range.lo() + (i as f64 * slab_width).round() as i64;
+        let jitter = if max_jitter > 0 { rng.gen_range(-max_jitter..=max_jitter) } else { 0 };
+        bounds.push(ideal + jitter);
+    }
+    bounds.push(range.hi() + 1);
+    // Jitter below half a slab width keeps boundaries ordered in the typical
+    // case, but rounding on tiny slabs can collide; enforce strict
+    // monotonicity while leaving room for the remaining pieces (sound because
+    // pieces <= count).
+    for i in 1..pieces {
+        let min_b = bounds[i - 1] + 1;
+        let max_b = range.hi() + 1 - (pieces - i) as i64;
+        bounds[i] = bounds[i].clamp(min_b, max_b);
+    }
+
+    (0..pieces)
+        .map(|i| Range::new(bounds[i], bounds[i + 1] - 1).expect("ordered bounds"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn subrange_stays_inside_and_respects_width() {
+        let outer = Range::new(100, 299).unwrap();
+        let mut rng = seeded_rng(1);
+        for _ in 0..500 {
+            let r = random_subrange(&mut rng, &outer, 5, 50);
+            assert!(outer.contains_range(&r));
+            assert!((5..=50).contains(&(r.count() as u64)));
+        }
+    }
+
+    #[test]
+    fn subrange_clamps_widths_to_outer() {
+        let outer = Range::new(0, 9).unwrap(); // 10 points
+        let mut rng = seeded_rng(2);
+        for _ in 0..100 {
+            let r = random_subrange(&mut rng, &outer, 5, 1_000);
+            assert!(outer.contains_range(&r));
+            assert!(r.count() >= 5);
+        }
+    }
+
+    #[test]
+    fn extend_outward_contains_inner_within_outer() {
+        let outer = Range::new(0, 999).unwrap();
+        let inner = Range::new(400, 500).unwrap();
+        let mut rng = seeded_rng(3);
+        for _ in 0..500 {
+            let r = extend_outward(&mut rng, &inner, &outer, 600);
+            assert!(r.contains_range(&inner));
+            assert!(outer.contains_range(&r));
+        }
+    }
+
+    #[test]
+    fn slabs_cover_exactly_with_overlap() {
+        let range = Range::new(0, 999).unwrap();
+        let mut rng = seeded_rng(4);
+        for pieces in [1usize, 2, 5, 20] {
+            let slabs = random_cover_slabs(&mut rng, &range, pieces, 10);
+            assert_eq!(slabs.len(), pieces);
+            // The union covers every point of `range`.
+            for v in range.lo()..=range.hi() {
+                assert!(slabs.iter().any(|s| s.contains(v)), "uncovered {v}");
+            }
+            // No slab escapes `range`.
+            for s in &slabs {
+                assert!(range.contains_range(s));
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_without_overlap_partition() {
+        let range = Range::new(0, 99).unwrap();
+        let mut rng = seeded_rng(5);
+        let slabs = random_cover_slabs(&mut rng, &range, 4, 0);
+        let total: u128 = slabs.iter().map(|s| s.count()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_slabs_panics() {
+        let range = Range::new(0, 2).unwrap();
+        let mut rng = seeded_rng(6);
+        let _ = random_cover_slabs(&mut rng, &range, 10, 0);
+    }
+
+    #[test]
+    fn jittered_slabs_cover_and_stay_near_equal() {
+        let range = Range::new(0, 9_999).unwrap();
+        let mut rng = seeded_rng(7);
+        for pieces in [1usize, 2, 10, 25] {
+            let slabs = jittered_cover_slabs(&mut rng, &range, pieces, 0.25);
+            assert_eq!(slabs.len(), pieces);
+            // Exact partition: total points = range points, contiguous.
+            let total: u128 = slabs.iter().map(|s| s.count()).sum();
+            assert_eq!(total, range.count());
+            for w in slabs.windows(2) {
+                assert_eq!(w[1].lo(), w[0].hi() + 1);
+            }
+            // Every slab within 50% of the ideal width.
+            let ideal = 10_000.0 / pieces as f64;
+            for s in &slabs {
+                let w = s.count() as f64;
+                assert!(w > ideal * 0.5 && w < ideal * 1.5, "w={w} ideal={ideal}");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_slabs_degenerate_tiny_range() {
+        // pieces == count: every slab is a single point.
+        let range = Range::new(5, 9).unwrap();
+        let mut rng = seeded_rng(8);
+        let slabs = jittered_cover_slabs(&mut rng, &range, 5, 0.49);
+        assert_eq!(slabs.len(), 5);
+        for (i, s) in slabs.iter().enumerate() {
+            assert_eq!(s.count(), 1, "slab {i} = {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter_frac")]
+    fn jittered_slabs_rejects_half_jitter() {
+        let range = Range::new(0, 99).unwrap();
+        let mut rng = seeded_rng(9);
+        let _ = jittered_cover_slabs(&mut rng, &range, 4, 0.5);
+    }
+}

@@ -1,0 +1,637 @@
+//! The paper's five constructed scenario families (Section 6).
+//!
+//! All generators share the same skeleton: a uniform integer schema, a tested
+//! subscription `s` occupying a moderate fraction of the space, and an
+//! existing set `S` engineered so that the scenario's cover status holds *by
+//! construction* — which is what lets the experiments count false decisions
+//! without invoking the exponential exact checker on every run.
+
+use crate::instance::CoverInstance;
+use crate::region::{extend_outward, jittered_cover_slabs, random_subrange};
+use psc_model::{AttrId, Range, Schema, Subscription};
+use rand::Rng;
+
+/// Default attribute domain used across the evaluation.
+pub const DEFAULT_DOMAIN: (i64, i64) = (0, 9_999);
+
+fn uniform_schema(m: usize, domain: (i64, i64)) -> Schema {
+    Schema::uniform(m, domain.0, domain.1)
+}
+
+/// Draws the tested subscription `s`: on each attribute, a subrange covering
+/// `width_frac` of the domain (as a `(min, max)` fraction pair), kept away
+/// from the domain edges by `margin_frac` so scenarios can place geometry on
+/// either side of `s`.
+fn draw_s<R: Rng + ?Sized>(
+    rng: &mut R,
+    schema: &Schema,
+    width_frac: (f64, f64),
+    margin_frac: f64,
+) -> Subscription {
+    let ranges = schema
+        .iter()
+        .map(|(_, attr)| {
+            let dom = attr.domain();
+            let w = dom.count() as f64;
+            let margin = (w * margin_frac).floor() as i64;
+            let inner = Range::new(dom.lo() + margin, dom.hi() - margin)
+                .expect("margin below half the domain");
+            let min_w = ((w * width_frac.0) as u64).max(4);
+            let max_w = ((w * width_frac.1) as u64).max(min_w);
+            random_subrange(rng, &inner, min_w, max_w)
+        })
+        .collect();
+    Subscription::from_ranges(schema, ranges).expect("ranges drawn inside domains")
+}
+
+/// Scenario (1.a): `s` is entirely covered by at least one single member of
+/// the set. The conflict table decides it in `O(m·k)` via Corollary 1.
+#[derive(Debug, Clone)]
+pub struct PairwiseCoverScenario {
+    /// Number of attributes.
+    pub m: usize,
+    /// Number of existing subscriptions.
+    pub k: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+}
+
+impl PairwiseCoverScenario {
+    /// Creates the scenario with the default domain.
+    pub fn new(m: usize, k: usize) -> Self {
+        PairwiseCoverScenario { m, k, domain: DEFAULT_DOMAIN }
+    }
+
+    /// Generates one instance. The covering subscription is placed at a
+    /// random index; all other members intersect `s` without covering it.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
+        assert!(self.k >= 1, "pairwise cover needs at least one subscription");
+        let schema = uniform_schema(self.m, self.domain);
+        let s = draw_s(rng, &schema, (0.15, 0.40), 0.1);
+        let cover_at = rng.gen_range(0..self.k);
+        let max_ext = (self.domain.1 - self.domain.0) as u64 / 10;
+
+        let mut set = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            if i == cover_at {
+                // s extended outward on every attribute: a strict cover.
+                let ranges = schema
+                    .iter()
+                    .map(|(id, attr)| extend_outward(rng, s.range(id), attr.domain(), max_ext))
+                    .collect();
+                set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
+            } else {
+                set.push(partial_overlap(rng, &schema, &s, max_ext));
+            }
+        }
+        let redundant_indices = (0..self.k).filter(|&i| i != cover_at).collect();
+        CoverInstance { s, set, ground_truth: Some(true), redundant_indices }
+    }
+}
+
+/// A subscription intersecting `s` but guaranteed not to cover it: its range
+/// on one random attribute is a strict subrange of `s`'s (shrunk on at least
+/// one side); other attributes are subranges of `s` extended outward.
+fn partial_overlap<R: Rng + ?Sized>(
+    rng: &mut R,
+    schema: &Schema,
+    s: &Subscription,
+    max_ext: u64,
+) -> Subscription {
+    let m = schema.len();
+    let pinch = AttrId(rng.gen_range(0..m));
+    let ranges = schema
+        .iter()
+        .map(|(id, attr)| {
+            let base = s.range(id);
+            if id == pinch {
+                // Strict subrange: drop at least one point from one side.
+                strict_subrange(rng, base)
+            } else {
+                let sub = random_subrange(rng, base, (base.count() as u64 / 2).max(1), {
+                    base.count() as u64
+                });
+                extend_outward(rng, &sub, attr.domain(), max_ext)
+            }
+        })
+        .collect();
+    Subscription::from_ranges(schema, ranges).expect("within domains")
+}
+
+/// A subrange of `base` that *touches* one side: `[base.lo, b]` when
+/// `touch_low`, else `[a, base.hi]`, with the free endpoint uniform over the
+/// strict interior. For multi-point `base` the result is a strict subrange;
+/// a single-point `base` is returned unchanged (nothing to shrink).
+fn side_touch_range<R: Rng + ?Sized>(rng: &mut R, base: &Range, touch_low: bool) -> Range {
+    if base.count() < 2 {
+        return *base;
+    }
+    if touch_low {
+        let b = rng.gen_range(base.lo()..base.hi());
+        Range::new(base.lo(), b).expect("b < hi keeps order")
+    } else {
+        let a = rng.gen_range(base.lo() + 1..=base.hi());
+        Range::new(a, base.hi()).expect("a > lo keeps order")
+    }
+}
+
+/// A member that only partially covers `s` in the style the paper's MCS
+/// evaluation presumes (compare Figure 4's `s3`): it covers `s` *fully* on
+/// every attribute except one "pinch" attribute, where it covers either a
+/// side-touching slice (one uncovered strip) or, with probability
+/// `strict_prob`, a strictly interior slice (two uncovered strips).
+///
+/// Side-touching slices use a side fixed by the attribute's parity, so
+/// same-attribute slices leave strips on the same side of `s` and therefore
+/// never conflict with each other — exactly the geometry that makes such
+/// members removable by MCS (their uncovered strips are conflict-free unless
+/// an interior slice on the same attribute opposes them).
+fn partial_cover_member<R: Rng + ?Sized>(
+    rng: &mut R,
+    schema: &Schema,
+    s: &Subscription,
+    pinch: AttrId,
+    strict_prob: f64,
+    max_ext: u64,
+) -> Subscription {
+    let ranges = schema
+        .iter()
+        .map(|(id, attr)| {
+            if id == pinch {
+                let base = s.range(id);
+                if rng.gen_bool(strict_prob) && base.count() >= 3 {
+                    // Strictly interior slice: uncovered strips on both sides.
+                    let a = rng.gen_range(base.lo() + 1..base.hi());
+                    let b = rng.gen_range(a..base.hi());
+                    Range::new(a, b).expect("interior slice ordered")
+                } else {
+                    side_touch_range(rng, base, id.0 % 2 == 0)
+                }
+            } else {
+                extend_outward(rng, s.range(id), attr.domain(), max_ext)
+            }
+        })
+        .collect();
+    Subscription::from_ranges(schema, ranges).expect("within domains")
+}
+
+/// A strict subrange of `base` missing at least its lowest or highest point.
+fn strict_subrange<R: Rng + ?Sized>(rng: &mut R, base: &Range) -> Range {
+    if base.count() == 1 {
+        // Cannot shrink a single point; callers avoid this by drawing s with
+        // width >= 4, but stay safe.
+        return *base;
+    }
+    let drop_low = rng.gen_bool(0.5);
+    let width = base.count() as u64 - 1;
+    let inner = if drop_low {
+        Range::new(base.lo() + 1, base.hi()).expect("width >= 2")
+    } else {
+        Range::new(base.lo(), base.hi() - 1).expect("width >= 2")
+    };
+    random_subrange(rng, &inner, (width / 2).max(1), width)
+}
+
+/// Scenario (1.b): `s` is covered by the **union** of the first ~20% of the
+/// set (no single member covers it); the remaining ~80% only partially
+/// overlap `s` and are redundant by construction.
+///
+/// This is the adversarial setting for pairwise algorithms (they can remove
+/// nothing) and the headline setting for MCS + RSPC (Figures 6 and 7).
+#[derive(Debug, Clone)]
+pub struct RedundantCoverScenario {
+    /// Number of attributes.
+    pub m: usize,
+    /// Number of existing subscriptions.
+    pub k: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+    /// Fraction of the set forming the covering group (paper: 0.2).
+    pub cover_fraction: f64,
+}
+
+impl RedundantCoverScenario {
+    /// Creates the scenario with the paper's 20% covering group.
+    pub fn new(m: usize, k: usize) -> Self {
+        RedundantCoverScenario { m, k, domain: DEFAULT_DOMAIN, cover_fraction: 0.2 }
+    }
+
+    /// Number of subscriptions in the covering group.
+    pub fn cover_count(&self) -> usize {
+        ((self.k as f64 * self.cover_fraction).ceil() as usize).clamp(2, self.k)
+    }
+
+    /// Generates one instance.
+    ///
+    /// The covering group tiles `s` along attribute 0 with jittered
+    /// equal-width slabs (full coverage, no single-member cover); every slab
+    /// covers `s` fully on the remaining attributes with random outward
+    /// extensions. Redundant members partially cover `s` on one pinch
+    /// attribute (side-touching or strictly interior slices): they overlap `s` and each
+    /// other on all attributes, none covers `s` alone, and MCS can remove
+    /// most of them.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
+        assert!(self.k >= 2, "redundant covering needs k >= 2");
+        let schema = uniform_schema(self.m, self.domain);
+        let s = draw_s(rng, &schema, (0.20, 0.50), 0.1);
+        let n_cover = self.cover_count();
+        let max_ext = (self.domain.1 - self.domain.0) as u64 / 10;
+
+        let slabs = jittered_cover_slabs(rng, s.range(AttrId(0)), n_cover, 0.25);
+        let mut set = Vec::with_capacity(self.k);
+        for slab in slabs {
+            let ranges = schema
+                .iter()
+                .map(|(id, attr)| {
+                    if id == AttrId(0) {
+                        slab
+                    } else {
+                        extend_outward(rng, s.range(id), attr.domain(), max_ext)
+                    }
+                })
+                .collect();
+            set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
+        }
+        for _ in n_cover..self.k {
+            let pinch = AttrId(rng.gen_range(0..self.m));
+            set.push(partial_cover_member(rng, &schema, &s, pinch, 0.05, max_ext));
+        }
+        let redundant_indices = (n_cover..self.k).collect();
+        CoverInstance { s, set, ground_truth: Some(true), redundant_indices }
+    }
+}
+
+/// Scenario (2.a): no member of the set intersects `s` at all. MCS empties
+/// the set in one pass (every row is conflict-free), yielding a fast
+/// deterministic NO.
+#[derive(Debug, Clone)]
+pub struct NoIntersectionScenario {
+    /// Number of attributes.
+    pub m: usize,
+    /// Number of existing subscriptions.
+    pub k: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+}
+
+impl NoIntersectionScenario {
+    /// Creates the scenario with the default domain.
+    pub fn new(m: usize, k: usize) -> Self {
+        NoIntersectionScenario { m, k, domain: DEFAULT_DOMAIN }
+    }
+
+    /// Generates one instance: each member is pushed entirely off `s` on one
+    /// random attribute (below or above), free elsewhere.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
+        let schema = uniform_schema(self.m, self.domain);
+        // Wide margins guarantee room on both sides of s on every attribute.
+        let s = draw_s(rng, &schema, (0.15, 0.35), 0.15);
+        let mut set = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let off_attr = AttrId(rng.gen_range(0..self.m));
+            let ranges = schema
+                .iter()
+                .map(|(id, attr)| {
+                    let dom = attr.domain();
+                    if id == off_attr {
+                        let sr = s.range(id);
+                        let below = Range::new(dom.lo(), sr.lo() - 1)
+                            .expect("margin guarantees room below");
+                        let above = Range::new(sr.hi() + 1, dom.hi())
+                            .expect("margin guarantees room above");
+                        let side = if rng.gen_bool(0.5) { below } else { above };
+                        random_subrange(rng, &side, 1, side.count() as u64)
+                    } else {
+                        random_subrange(rng, dom, dom.count() as u64 / 10, {
+                            dom.count() as u64 / 2
+                        })
+                    }
+                })
+                .collect();
+            set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
+        }
+        let redundant_indices = (0..self.k).collect();
+        CoverInstance { s, set, ground_truth: Some(false), redundant_indices }
+    }
+}
+
+/// Scenario (2.b): the set overlaps `s` heavily on all attributes but leaves
+/// a small **gap** on attribute 0 uncovered, so `s` is not covered and the
+/// whole set is redundant (Figures 8–10).
+#[derive(Debug, Clone)]
+pub struct NonCoverScenario {
+    /// Number of attributes.
+    pub m: usize,
+    /// Number of existing subscriptions.
+    pub k: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+    /// Gap width as a fraction of `s`'s attribute-0 width (paper: small).
+    pub gap_fraction: f64,
+    /// Probability that a member sits strictly interior to its gap side on
+    /// attribute 0 (leaving strips on both x0 directions). Interior members
+    /// are the ones MCS cannot always remove; 0 makes the reduction exactly
+    /// 1.0.
+    pub interior_prob: f64,
+}
+
+impl NonCoverScenario {
+    /// Creates the scenario with a 5% gap.
+    pub fn new(m: usize, k: usize) -> Self {
+        NonCoverScenario {
+            m,
+            k,
+            domain: DEFAULT_DOMAIN,
+            gap_fraction: 0.05,
+            interior_prob: 0.1,
+        }
+    }
+
+    /// Generates one instance. Every member's attribute-0 range avoids the
+    /// gap entirely (left or right side). Most members reach outward from
+    /// the gap's side to `s`'s boundary on attribute 0 and cover `s` fully
+    /// on the other attributes — so their uncovered strips face the gap from
+    /// both sides, overlap each other, and leave almost every row
+    /// MCS-removable (the paper: "most of the subscriptions are removed
+    /// quickly due to the non covering relationship"). A minority are
+    /// strictly interior or leave partial side slices on other attributes,
+    /// which is what keeps the reduction below 100% for large `k`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
+        let schema = uniform_schema(self.m, self.domain);
+        let s = draw_s(rng, &schema, (0.20, 0.50), 0.1);
+        let (gap, left, right) = carve_gap(rng, s.range(AttrId(0)), self.gap_fraction);
+        let max_ext = (self.domain.1 - self.domain.0) as u64 / 20;
+
+        let mut set = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let go_left =
+                rng.gen_bool(left.count() as f64 / (left.count() + right.count()) as f64);
+            let side = if go_left { left } else { right };
+            let ranges = schema
+                .iter()
+                .map(|(id, attr)| {
+                    if id == AttrId(0) {
+                        if rng.gen_bool(self.interior_prob) && side.count() >= 3 {
+                            // Strictly interior to the side: strips on both
+                            // x0 directions.
+                            let a = rng.gen_range(side.lo() + 1..side.hi());
+                            let b = rng.gen_range(a..side.hi());
+                            Range::new(a, b).expect("ordered")
+                        } else {
+                            // Span from s's outer boundary toward the gap:
+                            // the only uncovered strip faces the gap.
+                            side_touch_range(rng, &side, go_left)
+                        }
+                    } else if rng.gen_bool(0.85) {
+                        extend_outward(rng, s.range(id), attr.domain(), max_ext)
+                    } else {
+                        side_touch_range(rng, s.range(id), id.0 % 2 == 0)
+                    }
+                })
+                .collect();
+            set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
+        }
+        let redundant_indices = (0..self.k).collect();
+        let inst = CoverInstance { s, set, ground_truth: Some(false), redundant_indices };
+        debug_assert!(gap_is_uncovered(&inst, &gap));
+        inst
+    }
+}
+
+/// Scenario (2.c): the set covers `s` entirely **except** a narrow slice of
+/// width `gap_fraction · |s.x0|` on attribute 0; every member covers `s`
+/// fully on all other attributes. The only witness region is the slice, so
+/// the true witness probability equals the gap fraction — the knob Figures
+/// 11 and 12 sweep.
+#[derive(Debug, Clone)]
+pub struct ExtremeNonCoverScenario {
+    /// Number of attributes (paper: 5).
+    pub m: usize,
+    /// Number of existing subscriptions (paper: 50).
+    pub k: usize,
+    /// Attribute domain (inclusive).
+    pub domain: (i64, i64),
+    /// Gap width as a fraction of `s`'s attribute-0 width (paper sweeps
+    /// 0.005..=0.045).
+    pub gap_fraction: f64,
+}
+
+impl ExtremeNonCoverScenario {
+    /// Creates the paper's configuration: `m = 5`, `k = 50`.
+    pub fn new(gap_fraction: f64) -> Self {
+        ExtremeNonCoverScenario { m: 5, k: 50, domain: DEFAULT_DOMAIN, gap_fraction }
+    }
+
+    /// Generates one instance: jittered equal slabs tile the left and right
+    /// sides of the gap on attribute 0; all members cover `s` fully (with
+    /// outward extension) on the other attributes.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
+        assert!(self.k >= 2, "extreme non-cover needs k >= 2");
+        let schema = uniform_schema(self.m, self.domain);
+        let s = draw_s(rng, &schema, (0.30, 0.60), 0.1);
+        let (gap, left, right) = carve_gap(rng, s.range(AttrId(0)), self.gap_fraction);
+        let max_ext = (self.domain.1 - self.domain.0) as u64 / 10;
+
+        // Split k between the sides proportionally to their widths, at least
+        // one each, capped by the number of points available.
+        let lw = left.count() as f64;
+        let rw = right.count() as f64;
+        let mut k_left = ((self.k as f64 * lw / (lw + rw)).round() as usize)
+            .clamp(1, self.k - 1)
+            .min(left.count() as usize);
+        let k_right = (self.k - k_left).min(right.count() as usize);
+        k_left = self.k - k_right;
+
+        let mut set = Vec::with_capacity(self.k);
+        let push_side = |rng: &mut R, side: &Range, pieces: usize, set: &mut Vec<Subscription>| {
+            for slab in jittered_cover_slabs(rng, side, pieces, 0.25) {
+                let ranges = schema
+                    .iter()
+                    .map(|(id, attr)| {
+                        if id == AttrId(0) {
+                            slab
+                        } else {
+                            extend_outward(rng, s.range(id), attr.domain(), max_ext)
+                        }
+                    })
+                    .collect();
+                set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
+            }
+        };
+        push_side(rng, &left, k_left, &mut set);
+        push_side(rng, &right, k_right, &mut set);
+
+        let redundant_indices = (0..set.len()).collect();
+        let inst = CoverInstance { s, set, ground_truth: Some(false), redundant_indices };
+        debug_assert!(gap_is_uncovered(&inst, &gap));
+        inst
+    }
+
+    /// The exact number of gap points for an instance with `s_width` points
+    /// on attribute 0 (at least one).
+    pub fn gap_points(&self, s_width: u128) -> u64 {
+        ((s_width as f64 * self.gap_fraction).round() as u64).max(1)
+    }
+}
+
+/// Carves a gap of `gap_fraction` of `range`'s width, strictly inside it
+/// (both sides non-empty). Returns `(gap, left_side, right_side)`.
+fn carve_gap<R: Rng + ?Sized>(rng: &mut R, range: &Range, gap_fraction: f64) -> (Range, Range, Range) {
+    let count = range.count() as u64;
+    assert!(count >= 3, "range too small to carve a gap with non-empty sides");
+    let gap_w = ((count as f64 * gap_fraction).round() as u64).clamp(1, count - 2);
+    // Keep at least one point on each side.
+    let start = rng.gen_range(range.lo() + 1..=range.hi() - gap_w as i64);
+    let gap = Range::new(start, start + gap_w as i64 - 1).expect("gap fits");
+    let left = Range::new(range.lo(), gap.lo() - 1).expect("left non-empty");
+    let right = Range::new(gap.hi() + 1, range.hi()).expect("right non-empty");
+    (gap, left, right)
+}
+
+/// Test/debug helper: no member of the set intersects the gap on attribute 0
+/// (which, with every member intersecting `s` elsewhere, certifies
+/// non-coverage).
+fn gap_is_uncovered(inst: &CoverInstance, gap: &Range) -> bool {
+    inst.set.iter().all(|si| !si.range(AttrId(0)).intersects(gap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use psc_core::{ExactChecker, PairwiseChecker};
+
+    #[test]
+    fn pairwise_scenario_has_single_cover() {
+        let sc = PairwiseCoverScenario::new(4, 12);
+        let mut rng = seeded_rng(100);
+        for _ in 0..20 {
+            let inst = sc.generate(&mut rng);
+            inst.validate().unwrap();
+            assert_eq!(inst.k(), 12);
+            assert!(PairwiseChecker.is_covered(&inst.s, &inst.set));
+            // Exactly the members other than the cover are marked redundant.
+            assert_eq!(inst.redundant_indices.len(), 11);
+        }
+    }
+
+    #[test]
+    fn redundant_scenario_group_covers_without_pairwise() {
+        let sc = RedundantCoverScenario::new(3, 20);
+        let mut rng = seeded_rng(200);
+        for _ in 0..10 {
+            let inst = sc.generate(&mut rng);
+            inst.validate().unwrap();
+            // No single member covers s...
+            assert!(!PairwiseChecker.is_covered(&inst.s, &inst.set));
+            // ...but the union does (exact check, m = 3 is cheap).
+            assert!(ExactChecker::default().is_covered(&inst.s, &inst.set).unwrap());
+            // And already the covering group alone suffices.
+            let n_cover = sc.cover_count();
+            assert!(ExactChecker::default()
+                .is_covered(&inst.s, &inst.set[..n_cover])
+                .unwrap());
+            assert_eq!(inst.redundant_indices, (n_cover..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn no_intersection_scenario_is_disjoint() {
+        let sc = NoIntersectionScenario::new(5, 30);
+        let mut rng = seeded_rng(300);
+        for _ in 0..10 {
+            let inst = sc.generate(&mut rng);
+            inst.validate().unwrap();
+            for si in &inst.set {
+                assert!(!si.intersects(&inst.s));
+            }
+        }
+    }
+
+    #[test]
+    fn non_cover_scenario_leaves_gap() {
+        let sc = NonCoverScenario::new(3, 25);
+        let mut rng = seeded_rng(400);
+        for _ in 0..10 {
+            let inst = sc.generate(&mut rng);
+            inst.validate().unwrap();
+            assert!(!ExactChecker::default().is_covered(&inst.s, &inst.set).unwrap());
+            // Members do intersect s (unlike scenario 2.a).
+            let intersecting =
+                inst.set.iter().filter(|si| si.intersects(&inst.s)).count();
+            assert!(intersecting > inst.set.len() / 2);
+        }
+    }
+
+    #[test]
+    fn extreme_scenario_gap_is_the_only_witness_region() {
+        let sc = ExtremeNonCoverScenario::new(0.02);
+        let mut rng = seeded_rng(500);
+        for _ in 0..5 {
+            let inst = sc.generate(&mut rng);
+            inst.validate().unwrap();
+            assert_eq!(inst.k(), 50);
+            assert_eq!(inst.m(), 5);
+            // Not covered...
+            let out = ExactChecker::default().check(&inst.s, &inst.set).unwrap();
+            match out {
+                psc_core::exact::ExactOutcome::NotCovered(w) => {
+                    // ...and any witness lies inside s on every attribute
+                    // other than 0 (full coverage there).
+                    assert!(inst.s.contains_point(w.point()));
+                }
+                _ => panic!("extreme scenario must not be covered"),
+            }
+            // Every member covers s fully on attributes 1..m.
+            for si in &inst.set {
+                for j in 1..inst.m() {
+                    assert!(si
+                        .range(AttrId(j))
+                        .contains_range(inst.s.range(AttrId(j))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_scenario_true_witness_probability_tracks_gap() {
+        // Patch the gap region: covering it makes the instance covered.
+        let sc = ExtremeNonCoverScenario::new(0.03);
+        let mut rng = seeded_rng(600);
+        let inst = sc.generate(&mut rng);
+        // Find the gap by scanning attribute 0 of s for uncovered values.
+        let s0 = inst.s.range(AttrId(0));
+        let uncovered: Vec<i64> = (s0.lo()..=s0.hi())
+            .filter(|&v| !inst.set.iter().any(|si| si.range(AttrId(0)).contains(v)))
+            .collect();
+        let frac = uncovered.len() as f64 / s0.count() as f64;
+        assert!((frac - 0.03).abs() < 0.01, "gap fraction came out {frac}");
+        // Gap is contiguous.
+        for w in uncovered.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let sc = NonCoverScenario::new(4, 15);
+        let a = sc.generate(&mut seeded_rng(9));
+        let b = sc.generate(&mut seeded_rng(9));
+        assert_eq!(a.s, b.s);
+        assert_eq!(a.set, b.set);
+    }
+
+    #[test]
+    fn carve_gap_respects_bounds() {
+        let mut rng = seeded_rng(10);
+        for _ in 0..200 {
+            let r = Range::new(0, 99).unwrap();
+            let (gap, left, right) = carve_gap(&mut rng, &r, 0.05);
+            assert!(r.contains_range(&gap));
+            assert_eq!(left.hi() + 1, gap.lo());
+            assert_eq!(gap.hi() + 1, right.lo());
+            assert!(left.count() >= 1 && right.count() >= 1);
+            assert_eq!(gap.count(), 5);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Event traces with subscription churn.
+//!
+//! The paper's motivating scenarios (Section 3) stress *highly changeable*
+//! subscriptions: bike-rental preferences that activate at noon and die
+//! after a rental; Grid services whose capability announcements change with
+//! every allocation; mobile subscribers whose location constraints move.
+//! This module produces subscribe/unsubscribe/publish event sequences with a
+//! configurable churn profile for driving the broker simulator and the
+//! covering store under realistic dynamics.
+
+use crate::comparison::ComparisonWorkload;
+use psc_model::{Publication, Subscription, SubscriptionId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A subscriber registers a new subscription.
+    Subscribe(SubscriptionId, Subscription),
+    /// A previously registered subscription is cancelled.
+    Unsubscribe(SubscriptionId),
+    /// A publisher emits a publication.
+    Publish(Publication),
+}
+
+impl Event {
+    /// Short tag for summaries.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Subscribe(..) => EventKind::Subscribe,
+            Event::Unsubscribe(..) => EventKind::Unsubscribe,
+            Event::Publish(..) => EventKind::Publish,
+        }
+    }
+}
+
+/// The three event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// New subscription.
+    Subscribe,
+    /// Cancellation.
+    Unsubscribe,
+    /// Publication.
+    Publish,
+}
+
+/// Trace generator configuration.
+#[derive(Debug, Clone)]
+pub struct ChurnTrace {
+    /// Workload supplying subscriptions and publications.
+    pub workload: ComparisonWorkload,
+    /// Relative weight of subscribe events.
+    pub subscribe_weight: f64,
+    /// Relative weight of unsubscribe events (ignored while nothing is
+    /// active).
+    pub unsubscribe_weight: f64,
+    /// Relative weight of publish events.
+    pub publish_weight: f64,
+}
+
+impl ChurnTrace {
+    /// A moderately churning profile over `m` attributes: publications
+    /// dominate (the paper's assumption), with subscription changes a
+    /// significant minority — the "mobile/sensor" regime of Section 1.
+    pub fn new(m: usize) -> Self {
+        ChurnTrace {
+            workload: ComparisonWorkload::new(m),
+            subscribe_weight: 2.0,
+            unsubscribe_weight: 1.0,
+            publish_weight: 7.0,
+        }
+    }
+
+    /// Generates `n` events. Subscription ids are dense and never reused;
+    /// unsubscribes always target a currently live id.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Event> {
+        assert!(
+            self.subscribe_weight >= 0.0
+                && self.unsubscribe_weight >= 0.0
+                && self.publish_weight >= 0.0,
+            "weights must be non-negative"
+        );
+        let schema = self.workload.schema();
+        let mut events = Vec::with_capacity(n);
+        let mut live: Vec<SubscriptionId> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..n {
+            let unsub_w = if live.is_empty() { 0.0 } else { self.unsubscribe_weight };
+            let total = self.subscribe_weight + unsub_w + self.publish_weight;
+            assert!(total > 0.0, "at least one weight must be positive");
+            let roll = rng.gen_range(0.0..total);
+            if roll < self.subscribe_weight {
+                let id = SubscriptionId(next_id);
+                next_id += 1;
+                live.push(id);
+                events.push(Event::Subscribe(id, self.workload.subscription(&schema, rng)));
+            } else if roll < self.subscribe_weight + unsub_w {
+                let idx = rng.gen_range(0..live.len());
+                let id = live.swap_remove(idx);
+                events.push(Event::Unsubscribe(id));
+            } else {
+                events.push(Event::Publish(self.workload.publication(&schema, rng)));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn events_are_well_formed() {
+        let trace = ChurnTrace::new(6);
+        let mut rng = seeded_rng(1);
+        let events = trace.generate(2_000, &mut rng);
+        assert_eq!(events.len(), 2_000);
+
+        let mut live: HashSet<SubscriptionId> = HashSet::new();
+        let mut ever: HashSet<SubscriptionId> = HashSet::new();
+        for e in &events {
+            match e {
+                Event::Subscribe(id, sub) => {
+                    assert!(ever.insert(*id), "id {id} reused");
+                    assert!(live.insert(*id));
+                    assert_eq!(sub.arity(), 6);
+                }
+                Event::Unsubscribe(id) => {
+                    assert!(live.remove(id), "unsubscribe of dead id {id}");
+                }
+                Event::Publish(p) => assert_eq!(p.values().len(), 6),
+            }
+        }
+    }
+
+    #[test]
+    fn mix_roughly_matches_weights() {
+        let trace = ChurnTrace::new(4);
+        let mut rng = seeded_rng(2);
+        let events = trace.generate(10_000, &mut rng);
+        let pubs = events.iter().filter(|e| e.kind() == EventKind::Publish).count();
+        let subs = events.iter().filter(|e| e.kind() == EventKind::Subscribe).count();
+        // Weights 2/1/7: publish ≈ 70%, subscribe ≈ 20%.
+        assert!((pubs as f64 / 10_000.0 - 0.7).abs() < 0.05, "pubs = {pubs}");
+        assert!((subs as f64 / 10_000.0 - 0.2).abs() < 0.05, "subs = {subs}");
+    }
+
+    #[test]
+    fn no_unsubscribe_weight_means_monotone_growth() {
+        let mut trace = ChurnTrace::new(4);
+        trace.unsubscribe_weight = 0.0;
+        let mut rng = seeded_rng(3);
+        let events = trace.generate(500, &mut rng);
+        assert!(events.iter().all(|e| e.kind() != EventKind::Unsubscribe));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trace = ChurnTrace::new(4);
+        let a = trace.generate(100, &mut seeded_rng(9));
+        let b = trace.generate(100, &mut seeded_rng(9));
+        assert_eq!(a, b);
+    }
+}

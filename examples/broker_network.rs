@@ -1,0 +1,62 @@
+//! The paper's Figure 1 broker network under all three covering policies,
+//! plus the Proposition 5 chain analysis.
+//!
+//! Run with: `cargo run --example broker_network`
+
+use psc::broker::propagation::{find_probability, simulate_chain};
+use psc::broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc::model::{Publication, Schema, Subscription, SubscriptionId};
+use psc::workload::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::uniform(1, 0, 99);
+    let s1 = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+    let s2 = Subscription::builder(&schema).range("x0", 10, 20).build()?; // s2 ⊑ s1
+    let n1 = Publication::builder(&schema).set("x0", 15).build()?;
+    let n2 = Publication::builder(&schema).set("x0", 40).build()?;
+    let b = |i: usize| BrokerId(i - 1);
+
+    println!("Figure 1 network: S1@B1 subscribes s1; S2@B6 subscribes s2 ⊑ s1\n");
+    for policy in
+        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-10)]
+    {
+        let name = policy.name();
+        let mut net = Network::new(Topology::figure1(), policy, 1);
+        net.subscribe(b(1), SubscriptionId(1), s1.clone());
+        net.subscribe(b(6), SubscriptionId(2), s2.clone());
+        let m = net.metrics();
+        println!(
+            "{name:>9}: {} subscription msgs ({} suppressed by covering)",
+            m.subscription_messages, m.subscriptions_suppressed
+        );
+
+        let r1 = net.publish(b(9), &n1);
+        let r2 = net.publish(b(5), &n2);
+        let tree = |v: &[BrokerId]| {
+            let mut n: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+            n.sort();
+            n.join(",")
+        };
+        println!(
+            "{:>9}  n1@B9 tree [{}] -> {} deliveries; n2@B5 tree [{}] -> {} deliveries",
+            "",
+            tree(&r1.visited),
+            r1.delivered_to.len(),
+            tree(&r2.visited),
+            r2.delivered_to.len()
+        );
+    }
+
+    // Proposition 5: what an erroneous covering decision costs on a chain.
+    println!("\nProposition 5 (chain of n brokers, rho = 0.2, rho_w = 0.01):");
+    println!("{:>3} {:>6} {:>10} {:>10}", "n", "d", "analytic", "simulated");
+    let mut rng = seeded_rng(5);
+    for n in [2usize, 4, 8] {
+        for d in [50u64, 500] {
+            let analytic = find_probability(n, 0.2, 0.01, d);
+            let simulated = simulate_chain(n, 0.2, 0.01, d, 100_000, &mut rng);
+            println!("{n:>3} {d:>6} {analytic:>10.4} {simulated:>10.4}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the paper's Table 3 example, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use psc::core::{CoverAnswer, DecisionStage, ExactChecker, SubsumptionChecker};
+use psc::model::{Schema, Subscription};
+use psc::workload::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two attributes, as in Figure 2 of the paper.
+    let schema = Schema::builder()
+        .attribute("x1", 800, 900)
+        .attribute("x2", 1000, 1010)
+        .build();
+
+    // The new subscription s and the existing set {s1, s2} (Table 3).
+    let s = Subscription::builder(&schema)
+        .range("x1", 830, 870)
+        .range("x2", 1003, 1006)
+        .build()?;
+    let s1 = Subscription::builder(&schema)
+        .range("x1", 820, 850)
+        .range("x2", 1001, 1007)
+        .build()?;
+    let s2 = Subscription::builder(&schema)
+        .range("x1", 840, 880)
+        .range("x2", 1002, 1009)
+        .build()?;
+
+    println!("s  = {s}");
+    println!("s1 = {s1}");
+    println!("s2 = {s2}");
+    println!();
+    println!("Neither s1 nor s2 covers s: {}", !s1.covers(&s) && !s2.covers(&s));
+
+    // The probabilistic pipeline: conflict table, fast paths, MCS, RSPC.
+    let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+    let mut rng = seeded_rng(42);
+    let set = vec![s1, s2];
+    let decision = checker.check(&s, &set, &mut rng);
+
+    match &decision.answer {
+        CoverAnswer::Covered { error_bound } => {
+            println!(
+                "pipeline: s IS covered by s1 ∨ s2 (error bound {error_bound:.2e}, stage {:?})",
+                decision.stage
+            );
+        }
+        CoverAnswer::NotCovered { witness } => {
+            println!("pipeline: s is NOT covered (witness: {witness:?})");
+        }
+    }
+    println!(
+        "stats: k={} → {} after MCS, ρw={:.4}, RSPC iterations {}",
+        decision.stats.k_initial,
+        decision.stats.k_after_mcs,
+        decision.stats.rho_w,
+        decision.stats.rspc_iterations,
+    );
+    assert_eq!(decision.stage, DecisionStage::Rspc);
+
+    // Cross-check with the exact (exponential) decision procedure.
+    let exact = ExactChecker::default().is_covered(&s, &set)?;
+    println!("exact checker agrees: {}", exact == decision.is_covered());
+    Ok(())
+}

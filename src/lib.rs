@@ -1,0 +1,65 @@
+//! # psc — Probabilistic Subsumption Checking for Content-Based Pub/Sub
+//!
+//! Facade crate re-exporting the full workspace: a reproduction of
+//! *"Efficient Probabilistic Subsumption Checking for Content-based
+//! Publish/Subscribe Systems"* (Ouksel, Jurca, Podnar, Aberer — Middleware
+//! 2006).
+//!
+//! The workspace implements:
+//!
+//! - [`model`] — attribute schemas, range predicates, subscriptions
+//!   (hyper-rectangles) and publications (points);
+//! - [`core`] — the paper's contribution: conflict tables, the RSPC
+//!   Monte-Carlo cover test, the MCS subscription-set reduction, fast
+//!   deterministic decision rules, and an exact reference checker;
+//! - [`workload`] — every subscription-generation scenario from the paper's
+//!   evaluation (Section 6);
+//! - [`matcher`] — publication matching engines (naive, counting-index, and
+//!   the paper's two-phase covered/uncovered store);
+//! - [`broker`] — a distributed broker-network simulator with reverse-path
+//!   forwarding and pluggable covering policies;
+//! - [`experiments`] — the harness regenerating every figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use psc::prelude::*;
+//!
+//! // Table 3 of the paper: s is covered by s1 ∪ s2 but by neither alone.
+//! let schema = Schema::builder()
+//!     .attribute("x1", 800, 900)
+//!     .attribute("x2", 1000, 1010)
+//!     .build();
+//! let s = Subscription::builder(&schema)
+//!     .range("x1", 830, 870).range("x2", 1003, 1006).build()?;
+//! let s1 = Subscription::builder(&schema)
+//!     .range("x1", 820, 850).range("x2", 1001, 1007).build()?;
+//! let s2 = Subscription::builder(&schema)
+//!     .range("x1", 840, 880).range("x2", 1002, 1009).build()?;
+//!
+//! let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+//! let mut rng = seeded_rng(42);
+//! let decision = checker.check(&s, &[s1, s2], &mut rng);
+//! assert!(decision.is_covered());
+//! # Ok::<(), psc::model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use psc_broker as broker;
+pub use psc_core as core;
+pub use psc_experiments as experiments;
+pub use psc_matcher as matcher;
+pub use psc_model as model;
+pub use psc_workload as workload;
+
+/// Convenience re-exports for the most common entry points.
+pub mod prelude {
+    pub use psc_core::{
+        CoverAnswer, CoverDecision, PairwiseChecker, SubsumptionChecker, SubsumptionConfig,
+    };
+    pub use psc_model::{
+        AttrId, Publication, Range, Schema, Subscription, SubscriptionId,
+    };
+    pub use psc_workload::seeded_rng;
+}

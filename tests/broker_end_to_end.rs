@@ -1,0 +1,105 @@
+//! End-to-end broker-network tests on realistic workloads: delivery
+//! completeness for deterministic policies, bounded loss for the
+//! probabilistic one, and traffic ordering between policies.
+
+use psc::broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc::model::SubscriptionId;
+use psc::workload::{seeded_rng, ComparisonWorkload};
+use rand::Rng;
+
+fn build_network(policy: CoveringPolicy, brokers: usize, subs: usize, seed: u64) -> Network {
+    let wl = ComparisonWorkload::new(8);
+    let schema = wl.schema();
+    let mut rng = seeded_rng(seed);
+    let topo = Topology::random_tree(brokers, &mut rng);
+    let mut net = Network::new(topo, policy, seed ^ 0xF00D);
+    for i in 0..subs {
+        let at = BrokerId(rng.gen_range(0..brokers));
+        net.subscribe(at, SubscriptionId(i as u64), wl.subscription(&schema, &mut rng));
+    }
+    net
+}
+
+#[test]
+fn deterministic_policies_lose_nothing_on_random_trees() {
+    let wl = ComparisonWorkload::new(8);
+    let schema = wl.schema();
+    for policy in [CoveringPolicy::Flooding, CoveringPolicy::Pairwise] {
+        let mut net = build_network(policy, 15, 120, 9);
+        let mut rng = seeded_rng(10);
+        for _ in 0..100 {
+            let at = BrokerId(rng.gen_range(0..15));
+            let p = wl.publication(&schema, &mut rng);
+            let mut actual = net.publish(at, &p).delivered_to;
+            let mut expected = net.expected_recipients(&p);
+            actual.sort_unstable_by_key(|s| s.0);
+            expected.sort_unstable_by_key(|s| s.0);
+            assert_eq!(actual, expected, "publication {p} from {at}");
+        }
+    }
+}
+
+#[test]
+fn group_policy_reduces_traffic_and_rarely_loses() {
+    let flooding = build_network(CoveringPolicy::Flooding, 15, 120, 9);
+    let pairwise = build_network(CoveringPolicy::Pairwise, 15, 120, 9);
+    let mut group = build_network(CoveringPolicy::group(1e-9), 15, 120, 9);
+
+    let f = flooding.metrics();
+    let p = pairwise.metrics();
+    let g = group.metrics();
+    assert!(p.subscription_messages < f.subscription_messages);
+    assert!(g.subscription_messages <= p.subscription_messages);
+    assert!(g.table_entries <= p.table_entries);
+
+    // With delta = 1e-9 deliveries are complete w.h.p. on this scale.
+    let wl = ComparisonWorkload::new(8);
+    let schema = wl.schema();
+    let mut rng = seeded_rng(11);
+    let mut missed = 0usize;
+    for _ in 0..100 {
+        let at = BrokerId(rng.gen_range(0..15));
+        let publ = wl.publication(&schema, &mut rng);
+        let actual = group.publish(at, &publ).delivered_to.len();
+        let expected = group.expected_recipients(&publ).len();
+        missed += expected - actual;
+    }
+    assert_eq!(missed, 0, "losses despite delta = 1e-9");
+}
+
+#[test]
+fn star_and_chain_topologies_route_correctly() {
+    let wl = ComparisonWorkload::new(8);
+    let schema = wl.schema();
+    for topo in [Topology::star(10), Topology::chain(10)] {
+        let mut rng = seeded_rng(33);
+        let mut net = Network::new(topo, CoveringPolicy::Pairwise, 34);
+        for i in 0..60 {
+            let at = BrokerId(rng.gen_range(0..10));
+            net.subscribe(at, SubscriptionId(i), wl.subscription(&schema, &mut rng));
+        }
+        for _ in 0..60 {
+            let at = BrokerId(rng.gen_range(0..10));
+            let p = wl.publication(&schema, &mut rng);
+            let mut actual = net.publish(at, &p).delivered_to;
+            let mut expected = net.expected_recipients(&p);
+            actual.sort_unstable_by_key(|s| s.0);
+            expected.sort_unstable_by_key(|s| s.0);
+            assert_eq!(actual, expected);
+        }
+    }
+}
+
+#[test]
+fn suppressed_subscriptions_save_table_state() {
+    // Table entries are the broker-memory cost the paper argues covering
+    // saves; covering must never *increase* them.
+    let flooding = build_network(CoveringPolicy::Flooding, 20, 200, 77);
+    let pairwise = build_network(CoveringPolicy::Pairwise, 20, 200, 77);
+    let group = build_network(CoveringPolicy::group(1e-6), 20, 200, 77);
+    let f = flooding.metrics().table_entries;
+    let p = pairwise.metrics().table_entries;
+    let g = group.metrics().table_entries;
+    assert!(p < f, "pairwise {p} !< flooding {f}");
+    assert!(g <= p, "group {g} !<= pairwise {p}");
+}

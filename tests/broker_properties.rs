@@ -1,0 +1,110 @@
+//! Property-based tests of the broker network: delivery completeness and
+//! traffic ordering hold for arbitrary trees, subscription placements and
+//! publication contents — not just the fixed seeds of the example tests.
+
+use proptest::prelude::*;
+use psc::broker::{BrokerId, CoveringPolicy, Network, Topology};
+use psc::model::{Publication, Range, Schema, Subscription, SubscriptionId};
+use psc::workload::seeded_rng;
+
+fn schema2() -> Schema {
+    Schema::uniform(2, 0, 49)
+}
+
+prop_compose! {
+    fn arb_sub()(lo0 in 0i64..50, w0 in 0i64..25, lo1 in 0i64..50, w1 in 0i64..25)
+        -> Subscription {
+        let schema = schema2();
+        Subscription::from_ranges(&schema, vec![
+            Range::new(lo0, (lo0 + w0).min(49)).unwrap(),
+            Range::new(lo1, (lo1 + w1).min(49)).unwrap(),
+        ]).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deterministic covering policies deliver exactly the expected set on
+    /// arbitrary random trees.
+    #[test]
+    fn deterministic_policies_complete_on_arbitrary_trees(
+        tree_seed in 0u64..10_000,
+        subs in proptest::collection::vec((arb_sub(), 0usize..12), 1..15),
+        pubs in proptest::collection::vec((0i64..50, 0i64..50, 0usize..12), 1..8),
+        pairwise in proptest::bool::ANY,
+    ) {
+        let brokers = 12;
+        let schema = schema2();
+        let policy = if pairwise { CoveringPolicy::Pairwise } else { CoveringPolicy::Flooding };
+        let mut rng = seeded_rng(tree_seed);
+        let topo = Topology::random_tree(brokers, &mut rng);
+        let mut net = Network::new(topo, policy, tree_seed ^ 0xABC);
+        for (i, (sub, at)) in subs.iter().enumerate() {
+            net.subscribe(BrokerId(at % brokers), SubscriptionId(i as u64), sub.clone());
+        }
+        for (x, y, at) in pubs {
+            let p = Publication::from_values(&schema, vec![x, y]).unwrap();
+            let mut actual = net.publish(BrokerId(at % brokers), &p).delivered_to;
+            let mut expected = net.expected_recipients(&p);
+            actual.sort_unstable_by_key(|s| s.0);
+            expected.sort_unstable_by_key(|s| s.0);
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// Completeness survives arbitrary interleavings of unsubscriptions
+    /// (promotion of suppressed subscriptions must kick in).
+    #[test]
+    fn completeness_survives_unsubscription(
+        tree_seed in 0u64..10_000,
+        subs in proptest::collection::vec((arb_sub(), 0usize..10), 2..12),
+        kill_mask in proptest::collection::vec(proptest::bool::ANY, 2..12),
+        probe in (0i64..50, 0i64..50, 0usize..10),
+    ) {
+        let brokers = 10;
+        let schema = schema2();
+        let mut rng = seeded_rng(tree_seed);
+        let topo = Topology::random_tree(brokers, &mut rng);
+        let mut net = Network::new(topo, CoveringPolicy::Pairwise, tree_seed ^ 0xDEF);
+        for (i, (sub, at)) in subs.iter().enumerate() {
+            net.subscribe(BrokerId(at % brokers), SubscriptionId(i as u64), sub.clone());
+        }
+        for (i, kill) in kill_mask.iter().enumerate() {
+            if *kill && i < subs.len() {
+                prop_assert!(net.unsubscribe(SubscriptionId(i as u64)));
+            }
+        }
+        let (x, y, at) = probe;
+        let p = Publication::from_values(&schema, vec![x, y]).unwrap();
+        let mut actual = net.publish(BrokerId(at % brokers), &p).delivered_to;
+        let mut expected = net.expected_recipients(&p);
+        actual.sort_unstable_by_key(|s| s.0);
+        expected.sort_unstable_by_key(|s| s.0);
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Covering traffic ordering: pairwise never sends more subscription
+    /// messages than flooding; group (strict delta) never more than pairwise.
+    #[test]
+    fn traffic_ordering_holds(
+        tree_seed in 0u64..10_000,
+        subs in proptest::collection::vec((arb_sub(), 0usize..12), 1..15),
+    ) {
+        let brokers = 12;
+        let run = |policy: CoveringPolicy| {
+            let mut rng = seeded_rng(tree_seed);
+            let topo = Topology::random_tree(brokers, &mut rng);
+            let mut net = Network::new(topo, policy, tree_seed ^ 0x123);
+            for (i, (sub, at)) in subs.iter().enumerate() {
+                net.subscribe(BrokerId(at % brokers), SubscriptionId(i as u64), sub.clone());
+            }
+            net.metrics().subscription_messages
+        };
+        let flooding = run(CoveringPolicy::Flooding);
+        let pairwise = run(CoveringPolicy::Pairwise);
+        let group = run(CoveringPolicy::group(1e-9));
+        prop_assert!(pairwise <= flooding);
+        prop_assert!(group <= pairwise);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate correctness: the probabilistic engine vs the exact checker
+//! and vs scenario ground truth, across every workload generator.
+
+use psc::core::{CoverAnswer, ExactChecker, SubsumptionChecker};
+use psc::workload::{
+    seeded_rng, ExtremeNonCoverScenario, NoIntersectionScenario, NonCoverScenario,
+    PairwiseCoverScenario, RedundantCoverScenario,
+};
+
+fn strict_checker() -> SubsumptionChecker {
+    SubsumptionChecker::builder().error_probability(1e-12).build()
+}
+
+#[test]
+fn pairwise_scenario_decided_deterministically() {
+    let scenario = PairwiseCoverScenario::new(6, 25);
+    let checker = strict_checker();
+    for seed in 0..30 {
+        let mut rng = seeded_rng(seed);
+        let inst = scenario.generate(&mut rng);
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        assert!(d.is_covered(), "seed {seed}: pairwise cover missed");
+        assert!(d.is_deterministic(), "seed {seed}: should be a Corollary-1 decision");
+    }
+}
+
+#[test]
+fn redundant_covering_scenario_always_answers_covered() {
+    let scenario = RedundantCoverScenario::new(4, 30);
+    let checker = strict_checker();
+    for seed in 0..20 {
+        let mut rng = seeded_rng(1000 + seed);
+        let inst = scenario.generate(&mut rng);
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        assert!(d.is_covered(), "seed {seed}: union cover missed (prob err <= 1e-12)");
+    }
+}
+
+#[test]
+fn non_cover_scenarios_never_fooled_with_strict_delta() {
+    let checker = strict_checker();
+    for seed in 0..20 {
+        let mut rng = seeded_rng(2000 + seed);
+        let inst = NonCoverScenario::new(5, 40).generate(&mut rng);
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        assert!(!d.is_covered(), "seed {seed}: declared covered on a gap instance");
+        assert!(d.is_deterministic(), "NO answers are always deterministic");
+
+        let inst = NoIntersectionScenario::new(5, 40).generate(&mut rng);
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        assert!(!d.is_covered(), "seed {seed}: declared covered with zero overlap");
+    }
+}
+
+#[test]
+fn extreme_scenario_agrees_with_exact_checker() {
+    // m = 5 is exactly checkable thanks to the coarse slab geometry.
+    let exact = ExactChecker::default();
+    let checker = strict_checker();
+    for seed in 0..10 {
+        let mut rng = seeded_rng(3000 + seed);
+        let inst = ExtremeNonCoverScenario::new(0.03).generate(&mut rng);
+        let truth = exact
+            .is_covered(&inst.s, &inst.set)
+            .expect("within exact-checker budget");
+        assert!(!truth, "construction must leave the gap uncovered");
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        assert_eq!(d.is_covered(), truth, "seed {seed}");
+    }
+}
+
+#[test]
+fn engine_decisions_match_exact_on_random_small_instances() {
+    // Random rectangles in a small 3-D space: both answers occur, and the
+    // engine must agree with the exact checker whenever it answers
+    // deterministically; probabilistic YES answers must match ground truth
+    // at delta = 1e-12 (failure probability ~1e-10 over the whole loop).
+    use psc::model::{Range, Schema, Subscription};
+    use rand::Rng;
+
+    let schema = Schema::uniform(3, 0, 19);
+    let exact = ExactChecker::default();
+    let checker = strict_checker();
+    let mut rng = seeded_rng(4004);
+    let mut covered_seen = 0;
+    let mut uncovered_seen = 0;
+    for _ in 0..300 {
+        let rand_sub = |rng: &mut rand::rngs::StdRng, max_w: i64| {
+            let ranges = (0..3)
+                .map(|_| {
+                    let lo = rng.gen_range(0..=19);
+                    let hi = (lo + rng.gen_range(0..=max_w)).min(19);
+                    Range::new(lo, hi).expect("ordered")
+                })
+                .collect();
+            Subscription::from_ranges(&schema, ranges).expect("within domain")
+        };
+        let s = rand_sub(&mut rng, 6);
+        let k = rng.gen_range(0..10);
+        let set: Vec<_> = (0..k).map(|_| rand_sub(&mut rng, 14)).collect();
+        let truth = exact.is_covered(&s, &set).expect("tiny instance");
+        let d = checker.check(&s, &set, &mut rng);
+        assert_eq!(d.is_covered(), truth, "s={s} set={set:?}");
+        if truth {
+            covered_seen += 1;
+        } else {
+            uncovered_seen += 1;
+        }
+    }
+    assert!(covered_seen > 5, "instance mix too skewed: {covered_seen} covered");
+    assert!(uncovered_seen > 5, "instance mix too skewed: {uncovered_seen} uncovered");
+}
+
+#[test]
+fn witnesses_returned_by_the_engine_are_genuine() {
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-6)
+        .pairwise_fast_path(false)
+        .corollary3_fast_path(false)
+        .mcs(false)
+        .prefilter_disjoint(false)
+        .build();
+    for seed in 0..10 {
+        let mut rng = seeded_rng(5000 + seed);
+        let inst = ExtremeNonCoverScenario::new(0.04).generate(&mut rng);
+        let d = checker.check(&inst.s, &inst.set, &mut rng);
+        match d.answer {
+            CoverAnswer::NotCovered { witness: Some(w) } => {
+                assert!(w.holds_against(&inst.s, &inst.set), "seed {seed}: bogus witness");
+            }
+            CoverAnswer::NotCovered { witness: None } => {
+                panic!("seed {seed}: bare RSPC NO must carry a witness")
+            }
+            CoverAnswer::Covered { error_bound } => {
+                // Allowed, but only with the declared (tiny) probability.
+                assert!(error_bound < 1.0, "seed {seed}: vacuous bound");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based cross-crate tests of the probabilistic core: one-sided
+//! error, MCS answer preservation, and Corollary soundness against the
+//! exact checker on randomized instances.
+
+use proptest::prelude::*;
+use psc::core::{
+    corollaries, ConflictTable, ExactChecker, MinimizedCoverSet, Rspc, WitnessEstimate,
+};
+use psc::model::{Range, Schema, Subscription};
+use psc::workload::seeded_rng;
+
+fn schema3() -> Schema {
+    Schema::uniform(3, 0, 15)
+}
+
+prop_compose! {
+    fn arb_sub(max_w: i64)(
+        lo0 in 0i64..16, w0 in 0i64..8,
+        lo1 in 0i64..16, w1 in 0i64..8,
+        lo2 in 0i64..16, w2 in 0i64..8,
+    ) -> Subscription {
+        let schema = schema3();
+        let mk = |lo: i64, w: i64| Range::new(lo, (lo + (w % (max_w + 1))).min(15)).unwrap();
+        Subscription::from_ranges(&schema, vec![mk(lo0, w0), mk(lo1, w1), mk(lo2, w2)])
+            .unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// RSPC's NO is always correct (one-sided error), regardless of budget.
+    #[test]
+    fn rspc_no_implies_exact_no(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+        budget in 0u64..200,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let out = Rspc::new(budget).run(&s, &set, &mut rng);
+        if !out.is_covered() {
+            let truth = ExactChecker::default().is_covered(&s, &set).unwrap();
+            prop_assert!(!truth, "RSPC produced a NO on a covered instance");
+        }
+    }
+
+    /// MCS preserves the exact cover answer (Proposition 4).
+    #[test]
+    fn mcs_preserves_cover_answer(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+    ) {
+        let exact = ExactChecker::default();
+        let before = exact.is_covered(&s, &set).unwrap();
+        let outcome = MinimizedCoverSet::reduce(&s, &set);
+        let reduced = outcome.kept_subscriptions(&set);
+        let after = exact.is_covered(&s, &reduced).unwrap();
+        prop_assert_eq!(before, after,
+            "MCS changed the answer; removed {:?}", outcome.removed);
+    }
+
+    /// Corollary 1 (pairwise cover off the table) is sound and complete
+    /// w.r.t. single-subscription coverage.
+    #[test]
+    fn corollary1_matches_direct_pairwise(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+    ) {
+        let table = ConflictTable::build(&s, &set);
+        let via_table = corollaries::pairwise_cover(&table).is_some();
+        let direct = set.iter().any(|si| si.covers(&s));
+        prop_assert_eq!(via_table, direct);
+    }
+
+    /// Corollary 3 is a *sound* non-cover certificate.
+    #[test]
+    fn corollary3_sound_vs_exact(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+    ) {
+        let table = ConflictTable::build(&s, &set);
+        if corollaries::polyhedron_witness_exists(&table) {
+            let truth = ExactChecker::default().is_covered(&s, &set).unwrap();
+            prop_assert!(!truth, "Corollary 3 fired on a covered instance");
+        }
+    }
+
+    /// The witness estimate is well-formed: ρw ∈ [0, 1], I(sw) ≤ I(s), and
+    /// the iteration budget honours the requested error bound.
+    #[test]
+    fn witness_estimate_invariants(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+    ) {
+        let est = WitnessEstimate::compute(&s, &set);
+        prop_assert!((0.0..=1.0).contains(&est.rho_w()));
+        prop_assert!(est.witness_size().ln() <= est.subscription_size().ln() + 1e-9);
+        let d = est.iterations_for(1e-6);
+        if d.is_finite() && d < 1e6 {
+            prop_assert!(est.error_after(d as u64) <= 1e-6 * 1.0001);
+        }
+    }
+
+    /// The full engine never contradicts the exact checker when its answer
+    /// is deterministic.
+    #[test]
+    fn deterministic_engine_answers_are_exact(
+        s in arb_sub(7),
+        set in proptest::collection::vec(arb_sub(14), 0..8),
+        seed in 0u64..1000,
+    ) {
+        let checker = psc::core::SubsumptionChecker::builder()
+            .error_probability(1e-9)
+            .build();
+        let mut rng = seeded_rng(seed);
+        let d = checker.check(&s, &set, &mut rng);
+        if d.is_deterministic() {
+            let truth = ExactChecker::default().is_covered(&s, &set).unwrap();
+            prop_assert_eq!(d.is_covered(), truth, "stage {:?}", d.stage);
+        }
+    }
+}
