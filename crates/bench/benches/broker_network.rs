@@ -12,9 +12,11 @@ fn bench_subscribe(c: &mut Criterion) {
     let mut group = c.benchmark_group("broker/subscribe_200_subs_25_brokers");
     group.sample_size(10);
     let (_, subs, _) = stream_fixture(10, 200, 0);
-    for policy in
-        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
-    {
+    for policy in [
+        CoveringPolicy::Flooding,
+        CoveringPolicy::Pairwise,
+        CoveringPolicy::group(1e-6),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.name()),
             &policy,

@@ -73,20 +73,28 @@ fn bench_cover_path(c: &mut Criterion) {
         }
         let _ = idx.find_cover(&probes[0]); // warm the sorted view
 
-        group.bench_with_input(BenchmarkId::new("naive_find_cover", n), &probes, |b, probes| {
-            b.iter(|| {
-                for p in *probes {
-                    black_box(PairwiseChecker.find_cover(p, &naive_set));
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("indexed_find_cover", n), &probes, |b, probes| {
-            b.iter(|| {
-                for p in *probes {
-                    black_box(idx.find_cover(p));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_find_cover", n),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    for p in *probes {
+                        black_box(PairwiseChecker.find_cover(p, &naive_set));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed_find_cover", n),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    for p in *probes {
+                        black_box(idx.find_cover(p));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

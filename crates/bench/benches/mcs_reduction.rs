@@ -13,17 +13,13 @@ fn bench_mcs(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("covered", format!("m{m}_k{k}")),
                 &(s, set),
-                |b, (s, set)| {
-                    b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set)))
-                },
+                |b, (s, set)| b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set))),
             );
             let (s, set) = non_covered_instance(m, k);
             group.bench_with_input(
                 BenchmarkId::new("non_cover", format!("m{m}_k{k}")),
                 &(s, set),
-                |b, (s, set)| {
-                    b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set)))
-                },
+                |b, (s, set)| b.iter(|| MinimizedCoverSet::reduce(black_box(s), black_box(set))),
             );
         }
     }

@@ -1,0 +1,115 @@
+//! Publication-matching throughput of the sharded service at shard counts
+//! {1, 2, 4, 8} on the paper's uniform workload.
+//!
+//! Two sections:
+//!
+//! 1. criterion-style per-call timings of `publish` and `publish_batch`;
+//! 2. a throughput report measuring sustained publications/second per
+//!    shard count and printing the N-shard vs 1-shard speedup.
+//!
+//! Sharding parallelizes matching across worker threads, so the speedup
+//! section is meaningful only when the host grants the process multiple
+//! CPUs; the report prints the detected CPU count alongside the ratios.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use psc_bench::uniform_fixture;
+use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use psc_service::{PubSubService, ServiceConfig};
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SUBSCRIPTIONS: usize = 4_000;
+const PUBLICATIONS: usize = 256;
+const ATTRIBUTES: usize = 4;
+const MAX_WIDTH: i64 = 250;
+
+fn build_service(schema: &Schema, subs: &[Subscription], shards: usize) -> PubSubService {
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards,
+            batch_size: 64,
+            ..Default::default()
+        },
+    );
+    for (i, s) in subs.iter().enumerate() {
+        service
+            .subscribe(SubscriptionId(i as u64), s.clone())
+            .expect("subscribe fixture");
+    }
+    service.flush();
+    // Barrier: a metrics scrape completes only after every admission batch
+    // has been processed, so timing starts from a quiescent store.
+    let totals = service.metrics().totals();
+    assert_eq!(totals.subscriptions_ingested as usize, subs.len());
+    service
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let (schema, subs, pubs) =
+        uniform_fixture(ATTRIBUTES, SUBSCRIPTIONS, PUBLICATIONS, MAX_WIDTH, 0xB0B);
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(12);
+    for shards in SHARD_COUNTS {
+        let service = build_service(&schema, &subs, shards);
+        group.bench_with_input(
+            BenchmarkId::new("publish", shards),
+            &pubs[..8],
+            |b, pubs| {
+                b.iter(|| {
+                    for p in pubs {
+                        black_box(service.publish(p).expect("publish"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("publish_batch64", shards),
+            &pubs[..64],
+            |b, pubs| b.iter(|| black_box(service.publish_batch(pubs).expect("publish"))),
+        );
+    }
+    group.finish();
+}
+
+/// Sustained publications/second per shard count, with speedup ratios.
+fn throughput_report(test_mode: bool) {
+    let (rounds, n_subs, n_pubs) = if test_mode {
+        (1, 400, 32)
+    } else {
+        (5, SUBSCRIPTIONS, PUBLICATIONS)
+    };
+    let (schema, subs, pubs): (Schema, Vec<Subscription>, Vec<Publication>) =
+        uniform_fixture(ATTRIBUTES, n_subs, n_pubs, MAX_WIDTH, 0xCAFE);
+
+    println!("service throughput report: {n_subs} subscriptions, batches of {n_pubs} publications, {} CPU(s) available", std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut baseline = None;
+    for shards in SHARD_COUNTS {
+        let service = build_service(&schema, &subs, shards);
+        // Warm-up round, then timed rounds over the whole batch.
+        let _ = service.publish_batch(&pubs).expect("publish");
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(service.publish_batch(&pubs).expect("publish"));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let pubs_per_sec = (rounds * pubs.len()) as f64 / elapsed;
+        let ratio = match baseline {
+            None => {
+                baseline = Some(pubs_per_sec);
+                1.0
+            }
+            Some(base) => pubs_per_sec / base,
+        };
+        println!(
+            "  shards={shards:<2} throughput: {pubs_per_sec:>12.0} pubs/s   speedup vs 1 shard: {ratio:.2}x"
+        );
+    }
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let mut criterion = Criterion::default();
+    bench_publish(&mut criterion);
+    throughput_report(test_mode);
+}

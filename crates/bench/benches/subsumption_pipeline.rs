@@ -14,7 +14,10 @@ fn checkers() -> Vec<(&'static str, SubsumptionChecker)> {
     vec![
         ("full", base.clone().build()),
         ("no_mcs", base.clone().mcs(false).build()),
-        ("no_corollary3", base.clone().corollary3_fast_path(false).build()),
+        (
+            "no_corollary3",
+            base.clone().corollary3_fast_path(false).build(),
+        ),
         (
             "bare_rspc",
             base.pairwise_fast_path(false)

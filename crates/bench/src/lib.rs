@@ -13,15 +13,17 @@
 //! | `matching` | naive vs counting vs two-phase store | Algorithm 5 |
 //! | `comparison_stream` | pairwise vs group stream filtering | Figures 13, 14 |
 //! | `broker_network` | per-policy subscription propagation | Figures 1, 5 |
+//! | `service_throughput` | sharded service publish throughput | serving layer |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use psc_model::{Publication, Schema, Subscription};
+use psc_model::{Publication, Range, Schema, Subscription};
 use psc_workload::{
     seeded_rng, ComparisonWorkload, ExtremeNonCoverScenario, NonCoverScenario,
     RedundantCoverScenario,
 };
+use rand::Rng;
 
 /// A ready-made covered instance (redundant covering scenario).
 pub fn covered_instance(m: usize, k: usize) -> (Subscription, Vec<Subscription>) {
@@ -51,8 +53,43 @@ pub fn stream_fixture(
     let schema = wl.schema();
     let mut rng = seeded_rng(0xD00D);
     let stream = wl.stream(subs, &mut rng);
-    let publications = (0..pubs).map(|_| wl.publication(&schema, &mut rng)).collect();
+    let publications = (0..pubs)
+        .map(|_| wl.publication(&schema, &mut rng))
+        .collect();
     (schema, stream, publications)
+}
+
+/// The paper's uniform workload: attribute domains `[0, 999]`, uniformly
+/// placed range starts, uniform widths up to `max_width`. Used by the
+/// service-layer benchmarks and tests.
+pub fn uniform_fixture(
+    m: usize,
+    subs: usize,
+    pubs: usize,
+    max_width: i64,
+    seed: u64,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    let schema = Schema::uniform(m, 0, 999);
+    let mut rng = seeded_rng(seed);
+    let subscriptions = (0..subs)
+        .map(|_| {
+            let ranges = (0..m)
+                .map(|_| {
+                    let lo = rng.gen_range(0i64..=999);
+                    let width = rng.gen_range(0i64..=max_width);
+                    Range::new(lo, (lo + width).min(999)).expect("ordered bounds")
+                })
+                .collect();
+            Subscription::from_ranges(&schema, ranges).expect("within domain")
+        })
+        .collect();
+    let publications = (0..pubs)
+        .map(|_| {
+            let values = (0..m).map(|_| rng.gen_range(0i64..=999)).collect();
+            Publication::from_values(&schema, values).expect("within domain")
+        })
+        .collect();
+    (schema, subscriptions, publications)
 }
 
 #[cfg(test)]
@@ -78,5 +115,12 @@ mod tests {
         assert_eq!(schema.len(), 10);
         assert_eq!(subs.len(), 50);
         assert_eq!(pubs.len(), 10);
+
+        let (schema, subs, pubs) = uniform_fixture(4, 30, 5, 300, 7);
+        assert_eq!(schema.len(), 4);
+        assert_eq!(subs.len(), 30);
+        assert_eq!(pubs.len(), 5);
+        let (_, subs2, _) = uniform_fixture(4, 30, 5, 300, 7);
+        assert_eq!(subs, subs2, "fixture is deterministic per seed");
     }
 }

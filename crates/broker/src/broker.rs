@@ -170,9 +170,7 @@ impl Broker {
     }
 
     /// Iterates over locally attached `(id, subscription)` pairs.
-    pub fn local_subscriptions(
-        &self,
-    ) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+    pub fn local_subscriptions(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
         self.local.iter().map(|(id, s)| (*id, s))
     }
 }
@@ -187,7 +185,10 @@ mod tests {
     }
 
     fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
-        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+        Subscription::builder(schema)
+            .range("x0", lo, hi)
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -58,7 +58,9 @@ impl Network {
     /// Creates a network over `topology` with the given covering policy and
     /// RNG seed (the probabilistic policy draws from it).
     pub fn new(topology: Topology, policy: CoveringPolicy, seed: u64) -> Self {
-        let brokers = (0..topology.len()).map(|i| Broker::new(BrokerId(i))).collect();
+        let brokers = (0..topology.len())
+            .map(|i| Broker::new(BrokerId(i)))
+            .collect();
         Network {
             topology,
             brokers,
@@ -120,8 +122,7 @@ impl Network {
         let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> =
             VecDeque::from([(origin, origin_from)]);
         while let Some((here, from)) = queue.pop_front() {
-            let neighbor_ids: Vec<BrokerId> =
-                self.topology.neighbors(here).to_vec();
+            let neighbor_ids: Vec<BrokerId> = self.topology.neighbors(here).to_vec();
             for next in neighbor_ids {
                 if Some(next) == from {
                     continue;
@@ -212,8 +213,7 @@ impl Network {
         let mut visited = Vec::new();
         let mut seen = vec![false; self.brokers.len()];
 
-        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> =
-            VecDeque::from([(at, None)]);
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::from([(at, None)]);
         seen[at.0] = true;
         while let Some((here, from)) = queue.pop_front() {
             visited.push(here);
@@ -234,7 +234,11 @@ impl Network {
                 }
             }
         }
-        DeliveryReport { delivered_to, messages, visited }
+        DeliveryReport {
+            delivered_to,
+            messages,
+            visited,
+        }
     }
 
     /// Ground truth: every registered subscription that matches `p`,
@@ -264,7 +268,10 @@ mod tests {
     }
 
     fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
-        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+        Subscription::builder(schema)
+            .range("x0", lo, hi)
+            .build()
+            .unwrap()
     }
 
     fn pub1(schema: &Schema, v: i64) -> Publication {
@@ -319,7 +326,10 @@ mod tests {
         net.subscribe(BrokerId(0), SubscriptionId(1), sub(&schema, 0, 50));
         net.subscribe(BrokerId(5), SubscriptionId(2), sub(&schema, 10, 20));
         let m = net.metrics();
-        assert_eq!(m.subscription_messages, 16, "both subscriptions flood all 8 edges");
+        assert_eq!(
+            m.subscription_messages, 16,
+            "both subscriptions flood all 8 edges"
+        );
         assert_eq!(m.subscriptions_suppressed, 0);
     }
 
@@ -338,7 +348,10 @@ mod tests {
                     let mut expected = net.expected_recipients(&p);
                     actual.sort_unstable_by_key(|s| s.0);
                     expected.sort_unstable_by_key(|s| s.0);
-                    assert_eq!(actual, expected, "policy lost deliveries at v={v} broker={at}");
+                    assert_eq!(
+                        actual, expected,
+                        "policy lost deliveries at v={v} broker={at}"
+                    );
                 }
             }
         }
@@ -419,7 +432,11 @@ mod tests {
         assert!(net.unsubscribe(SubscriptionId(1)));
         let m = net.metrics();
         assert_eq!(m.unsubscription_messages, 8);
-        assert!(m.subscriptions_promoted >= 3, "promoted = {}", m.subscriptions_promoted);
+        assert!(
+            m.subscriptions_promoted >= 3,
+            "promoted = {}",
+            m.subscriptions_promoted
+        );
 
         // A publication matching s2 from anywhere still reaches S2 at B6.
         let p = pub1(&schema, 15);

@@ -80,8 +80,10 @@ mod tests {
 
     fn setup() -> (Subscription, Vec<Subscription>) {
         // Table 3: s covered by the union of s1, s2 but by neither alone.
-        let schema =
-            Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+        let schema = Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build();
         let s = Subscription::builder(&schema)
             .range("x1", 830, 870)
             .range("x2", 1003, 1006)
@@ -105,7 +107,7 @@ mod tests {
         let (s, set) = setup();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(!CoveringPolicy::Flooding.is_covered(&s, &set, &mut rng));
-        assert!(!CoveringPolicy::Flooding.is_covered(&s, &[s.clone()], &mut rng));
+        assert!(!CoveringPolicy::Flooding.is_covered(&s, std::slice::from_ref(&s), &mut rng));
     }
 
     #[test]
@@ -113,7 +115,7 @@ mod tests {
         let (s, set) = setup();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(!CoveringPolicy::Pairwise.is_covered(&s, &set, &mut rng));
-        assert!(CoveringPolicy::Pairwise.is_covered(&s, &[s.clone()], &mut rng));
+        assert!(CoveringPolicy::Pairwise.is_covered(&s, std::slice::from_ref(&s), &mut rng));
     }
 
     #[test]

@@ -24,7 +24,10 @@ use rand::Rng;
 /// # Panics
 /// Panics unless `0 ≤ rho_w ≤ 1`.
 pub fn detection_probability(rho_w: f64, d: u64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho_w), "rho_w must be in [0, 1], got {rho_w}");
+    assert!(
+        (0.0..=1.0).contains(&rho_w),
+        "rho_w must be in [0, 1], got {rho_w}"
+    );
     1.0 - (1.0 - rho_w).powi(d.min(i32::MAX as u64) as i32)
 }
 
@@ -34,7 +37,10 @@ pub fn detection_probability(rho_w: f64, d: u64) -> f64 {
 /// # Panics
 /// Panics unless `0 ≤ rho ≤ 1` and `0 ≤ rho_w ≤ 1`.
 pub fn find_probability(n: usize, rho: f64, rho_w: f64, d: u64) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0, 1], got {rho}"
+    );
     let fwd = detection_probability(rho_w, d);
     let step = (1.0 - rho) * fwd;
     let mut acc = 0.0;
@@ -61,7 +67,10 @@ pub fn simulate_chain<R: Rng + ?Sized>(
     runs: u64,
     rng: &mut R,
 ) -> f64 {
-    assert!((0.0..=1.0).contains(&rho), "rho must be in [0, 1], got {rho}");
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "rho must be in [0, 1], got {rho}"
+    );
     let fwd = detection_probability(rho_w, d);
     let mut found = 0u64;
     for _ in 0..runs {
@@ -128,9 +137,11 @@ mod tests {
     #[test]
     fn simulation_matches_closed_form() {
         let mut rng = StdRng::seed_from_u64(42);
-        for (n, rho, rho_w, d) in
-            [(5usize, 0.3, 0.05, 50u64), (10, 0.1, 0.02, 100), (3, 0.5, 0.5, 2)]
-        {
+        for (n, rho, rho_w, d) in [
+            (5usize, 0.3, 0.05, 50u64),
+            (10, 0.1, 0.02, 100),
+            (3, 0.5, 0.5, 2),
+        ] {
             let analytic = find_probability(n, rho, rho_w, d);
             let simulated = simulate_chain(n, rho, rho_w, d, 200_000, &mut rng);
             assert!(

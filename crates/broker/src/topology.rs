@@ -40,7 +40,9 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology with `n` isolated brokers.
     pub fn empty(n: usize) -> Self {
-        Topology { adjacency: vec![Vec::new(); n] }
+        Topology {
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Adds an undirected edge.
@@ -49,7 +51,10 @@ impl Topology {
     /// Panics on self-loops, duplicate edges, or out-of-range ids.
     pub fn add_edge(&mut self, a: BrokerId, b: BrokerId) {
         assert_ne!(a, b, "self-loops are not allowed");
-        assert!(a.0 < self.len() && b.0 < self.len(), "broker id out of range");
+        assert!(
+            a.0 < self.len() && b.0 < self.len(),
+            "broker id out of range"
+        );
         assert!(!self.adjacency[a.0].contains(&b), "duplicate edge {a}-{b}");
         self.adjacency[a.0].push(b);
         self.adjacency[b.0].push(a);

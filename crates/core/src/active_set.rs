@@ -74,7 +74,12 @@ impl ActiveSet {
     /// Creates an empty set with the given policy; `checker` is used only by
     /// [`AdmissionPolicy::Group`].
     pub fn new(policy: AdmissionPolicy, checker: SubsumptionChecker) -> Self {
-        ActiveSet { policy, checker, active: Vec::new(), stats: AdmissionStats::default() }
+        ActiveSet {
+            policy,
+            checker,
+            active: Vec::new(),
+            stats: AdmissionStats::default(),
+        }
     }
 
     /// Offers a subscription; returns whether it was admitted.
@@ -110,10 +115,8 @@ impl ActiveSet {
                 self.stats.dropped_deterministic += 1;
             } else {
                 self.stats.dropped_probabilistic += 1;
-                if let crate::engine::CoverAnswer::Covered { error_bound } = decision.answer
-                {
-                    self.stats.worst_error_bound =
-                        self.stats.worst_error_bound.max(error_bound);
+                if let crate::engine::CoverAnswer::Covered { error_bound } = decision.answer {
+                    self.stats.worst_error_bound = self.stats.worst_error_bound.max(error_bound);
                 }
             }
         }
@@ -152,11 +155,16 @@ mod tests {
     }
 
     fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
-        Subscription::builder(schema).range("x0", lo, hi).build().unwrap()
+        Subscription::builder(schema)
+            .range("x0", lo, hi)
+            .build()
+            .unwrap()
     }
 
     fn checker() -> SubsumptionChecker {
-        SubsumptionChecker::builder().error_probability(1e-9).build()
+        SubsumptionChecker::builder()
+            .error_probability(1e-9)
+            .build()
     }
 
     #[test]

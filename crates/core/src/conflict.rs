@@ -192,7 +192,10 @@ impl ConflictTable {
                 ConflictRow::build(s, si)
             })
             .collect();
-        ConflictTable { rows, arity: s.arity() }
+        ConflictTable {
+            rows,
+            arity: s.arity(),
+        }
     }
 
     /// Number of rows (`k`).
@@ -263,7 +266,10 @@ impl ConflictTable {
             second: Option<i64>,
         }
         impl Extreme {
-            const EMPTY: Extreme = Extreme { best: None, second: None };
+            const EMPTY: Extreme = Extreme {
+                best: None,
+                second: None,
+            };
             fn push(&mut self, v: i64, row: usize, prefer_larger: bool) {
                 let better = |a: i64, b: i64| if prefer_larger { a > b } else { a < b };
                 match self.best {
@@ -357,7 +363,12 @@ impl ConflictTable {
 
 impl fmt::Display for ConflictTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "conflict table ({} rows × {} attrs):", self.rows.len(), self.arity)?;
+        writeln!(
+            f,
+            "conflict table ({} rows × {} attrs):",
+            self.rows.len(),
+            self.arity
+        )?;
         for (i, row) in self.rows.iter().enumerate() {
             write!(f, "  s{i}:")?;
             if row.all_undefined() {
@@ -378,7 +389,10 @@ mod tests {
     use psc_model::Schema;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {

@@ -44,7 +44,7 @@ pub fn polyhedron_witness_exists(table: &ConflictTable) -> bool {
     }
     let mut counts = table.defined_counts();
     counts.sort_unstable();
-    counts.iter().enumerate().all(|(idx, &t)| t >= idx + 1)
+    counts.iter().enumerate().all(|(idx, &t)| t > idx)
 }
 
 #[cfg(test)]
@@ -53,7 +53,10 @@ mod tests {
     use psc_model::{Schema, Subscription};
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {

@@ -169,7 +169,9 @@ impl Default for SubsumptionConfig {
 impl SubsumptionConfig {
     /// Starts a builder with the defaults above.
     pub fn builder() -> SubsumptionConfigBuilder {
-        SubsumptionConfigBuilder { config: SubsumptionConfig::default() }
+        SubsumptionConfigBuilder {
+            config: SubsumptionConfig::default(),
+        }
     }
 }
 
@@ -186,7 +188,10 @@ impl SubsumptionConfigBuilder {
     /// # Panics
     /// Panics unless `0 < delta < 1`.
     pub fn error_probability(mut self, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
         self.config.error_probability = delta;
         self
     }
@@ -223,7 +228,9 @@ impl SubsumptionConfigBuilder {
 
     /// Finalizes into a checker.
     pub fn build(self) -> SubsumptionChecker {
-        SubsumptionChecker { config: self.config }
+        SubsumptionChecker {
+            config: self.config,
+        }
     }
 
     /// Finalizes into a bare config.
@@ -235,15 +242,9 @@ impl SubsumptionConfigBuilder {
 /// The full probabilistic subsumption checker (Algorithm 4).
 ///
 /// See the [crate-level docs](crate) for a worked example.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct SubsumptionChecker {
     config: SubsumptionConfig,
-}
-
-impl Default for SubsumptionChecker {
-    fn default() -> Self {
-        SubsumptionChecker { config: SubsumptionConfig::default() }
-    }
 }
 
 impl SubsumptionChecker {
@@ -310,14 +311,12 @@ impl SubsumptionChecker {
         let table = ConflictTable::build(s, set);
 
         // Stage 1: Corollary 1 — pairwise cover.
-        if self.config.pairwise_fast_path {
-            if corollaries::pairwise_cover(&table).is_some() {
-                return CoverDecision {
-                    answer: CoverAnswer::Covered { error_bound: 0.0 },
-                    stage: DecisionStage::PairwiseCover,
-                    stats,
-                };
-            }
+        if self.config.pairwise_fast_path && corollaries::pairwise_cover(&table).is_some() {
+            return CoverDecision {
+                answer: CoverAnswer::Covered { error_bound: 0.0 },
+                stage: DecisionStage::PairwiseCover,
+                stats,
+            };
         }
 
         // Stage 2: Corollary 3 — polyhedron witness on the full table.
@@ -362,8 +361,7 @@ impl SubsumptionChecker {
         let estimate = WitnessEstimate::from_table(s, &work_table);
         stats.rho_w = estimate.rho_w();
         stats.theoretical_d = estimate.iterations_for(self.config.error_probability);
-        stats.log10_theoretical_d =
-            estimate.log10_iterations(self.config.error_probability);
+        stats.log10_theoretical_d = estimate.log10_iterations(self.config.error_probability);
         let budget = if stats.theoretical_d.is_finite() {
             (stats.theoretical_d as u64).min(self.config.max_iterations)
         } else {
@@ -372,7 +370,10 @@ impl SubsumptionChecker {
         stats.effective_budget = budget;
 
         match Rspc::new(budget).run(s, &work_set, rng) {
-            RspcOutcome::NotCovered { witness, iterations } => {
+            RspcOutcome::NotCovered {
+                witness,
+                iterations,
+            } => {
                 stats.rspc_iterations = iterations;
                 // The witness was found against the reduced set; keep it only
                 // if it also verifies against the full set (the NO answer is
@@ -407,7 +408,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -450,7 +454,9 @@ mod tests {
         let s = sub(&schema, (830, 870), (1003, 1006));
         let s1 = sub(&schema, (820, 850), (1001, 1007));
         let s2 = sub(&schema, (840, 880), (1002, 1009));
-        let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+        let checker = SubsumptionChecker::builder()
+            .error_probability(1e-10)
+            .build();
         let d = checker.check(&s, &[s1, s2], &mut rng());
         assert!(d.is_covered());
         assert_eq!(d.stage, DecisionStage::Rspc);
@@ -485,7 +491,9 @@ mod tests {
         let s = sub(&schema, (830, 870), (1003, 1006));
         let far1 = sub(&schema, (880, 900), (1008, 1010));
         let far2 = sub(&schema, (800, 820), (1000, 1002));
-        let checker = SubsumptionChecker::builder().corollary3_fast_path(false).build();
+        let checker = SubsumptionChecker::builder()
+            .corollary3_fast_path(false)
+            .build();
         let d = checker.check(&s, &[far1, far2], &mut rng());
         assert!(!d.is_covered());
         assert_eq!(d.stage, DecisionStage::EmptyMcs);
@@ -497,7 +505,10 @@ mod tests {
         // Narrow gap, all fast paths off: forces RSPC to find the witness.
         let schema = Schema::uniform(1, 0, 999);
         let s = Subscription::whole_space(&schema);
-        let left = Subscription::builder(&schema).range("x0", 0, 899).build().unwrap();
+        let left = Subscription::builder(&schema)
+            .range("x0", 0, 899)
+            .build()
+            .unwrap();
         let set = [left];
         let checker = SubsumptionChecker::builder()
             .pairwise_fast_path(false)
@@ -562,7 +573,9 @@ mod tests {
         let s1 = sub(&schema, (820, 850), (1001, 1007));
         let s2 = sub(&schema, (840, 880), (1002, 1009));
         let s3 = sub(&schema, (810, 890), (1004, 1005)); // MCS-redundant
-        let checker = SubsumptionChecker::builder().error_probability(1e-6).build();
+        let checker = SubsumptionChecker::builder()
+            .error_probability(1e-6)
+            .build();
         let d = checker.check(&s, &[s1, s2, s3], &mut rng());
         assert_eq!(d.stats.k_initial, 3);
         assert_eq!(d.stats.k_after_mcs, 2);

@@ -45,7 +45,11 @@ pub struct BudgetExceeded {
 
 impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "exact cover check exceeded budget of {} cells", self.budget)
+        write!(
+            f,
+            "exact cover check exceeded budget of {} cells",
+            self.budget
+        )
     }
 }
 
@@ -144,6 +148,7 @@ impl ExactChecker {
         Ok(self.check(s, set)?.is_covered())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &self,
         s: &Subscription,
@@ -156,7 +161,9 @@ impl ExactChecker {
     ) -> Result<Option<Vec<i64>>, BudgetExceeded> {
         *nodes += 1;
         if *nodes > self.budget {
-            return Err(BudgetExceeded { budget: self.budget });
+            return Err(BudgetExceeded {
+                budget: self.budget,
+            });
         }
 
         if alive.is_empty() {
@@ -170,11 +177,10 @@ impl ExactChecker {
         }
         // Prune: an alive subscription covering s on all remaining attributes
         // covers the entire remaining subtree.
-        if alive.iter().any(|&i| {
-            (j..s.arity()).all(|jj| {
-                set[i].ranges()[jj].contains_range(&s.ranges()[jj])
-            })
-        }) {
+        if alive
+            .iter()
+            .any(|&i| (j..s.arity()).all(|jj| set[i].ranges()[jj].contains_range(&s.ranges()[jj])))
+        {
             return Ok(None);
         }
 
@@ -186,9 +192,7 @@ impl ExactChecker {
                 .copied()
                 .filter(|&i| set[i].range(attr).contains(start))
                 .collect();
-            if let Some(w) =
-                self.recurse(s, set, cuts, j + 1, &next_alive, point, nodes)?
-            {
+            if let Some(w) = self.recurse(s, set, cuts, j + 1, &next_alive, point, nodes)? {
                 return Ok(Some(w));
             }
         }
@@ -199,11 +203,14 @@ impl ExactChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psc_model::{Range, Schema};
     use proptest::prelude::*;
+    use psc_model::{Range, Schema};
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -244,8 +251,14 @@ mod tests {
         // Cover all of [0, 99] except exactly the point 57.
         let schema = Schema::uniform(1, 0, 99);
         let s = Subscription::whole_space(&schema);
-        let left = Subscription::builder(&schema).range("x0", 0, 56).build().unwrap();
-        let right = Subscription::builder(&schema).range("x0", 58, 99).build().unwrap();
+        let left = Subscription::builder(&schema)
+            .range("x0", 0, 56)
+            .build()
+            .unwrap();
+        let right = Subscription::builder(&schema)
+            .range("x0", 58, 99)
+            .build()
+            .unwrap();
         let set = [left, right];
         match ExactChecker::default().check(&s, &set).unwrap() {
             ExactOutcome::NotCovered(w) => assert_eq!(w.point(), &[57]),
@@ -257,9 +270,17 @@ mod tests {
     fn exact_cover_with_touching_pieces() {
         let schema = Schema::uniform(1, 0, 99);
         let s = Subscription::whole_space(&schema);
-        let left = Subscription::builder(&schema).range("x0", 0, 57).build().unwrap();
-        let right = Subscription::builder(&schema).range("x0", 58, 99).build().unwrap();
-        assert!(ExactChecker::default().is_covered(&s, &[left, right]).unwrap());
+        let left = Subscription::builder(&schema)
+            .range("x0", 0, 57)
+            .build()
+            .unwrap();
+        let right = Subscription::builder(&schema)
+            .range("x0", 58, 99)
+            .build()
+            .unwrap();
+        assert!(ExactChecker::default()
+            .is_covered(&s, &[left, right])
+            .unwrap());
     }
 
     #[test]

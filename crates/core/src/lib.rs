@@ -73,8 +73,8 @@ pub mod witness;
 pub use active_set::{ActiveSet, AdmissionPolicy, AdmissionStats};
 pub use conflict::{ConflictEntry, ConflictTable, Side};
 pub use engine::{
-    CoverAnswer, CoverDecision, DecisionStage, EngineStats, SubsumptionChecker,
-    SubsumptionConfig, SubsumptionConfigBuilder,
+    CoverAnswer, CoverDecision, DecisionStage, EngineStats, SubsumptionChecker, SubsumptionConfig,
+    SubsumptionConfigBuilder,
 };
 pub use exact::ExactChecker;
 pub use mcs::{McsOutcome, MinimizedCoverSet};

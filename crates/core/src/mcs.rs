@@ -127,7 +127,12 @@ impl MinimizedCoverSet {
         }
 
         removed.sort_unstable();
-        McsOutcome { kept, removed, passes, table }
+        McsOutcome {
+            kept,
+            removed,
+            passes,
+            table,
+        }
     }
 }
 
@@ -137,7 +142,10 @@ mod tests {
     use psc_model::Schema;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -227,9 +235,18 @@ mod tests {
         // c, a and b keep conflicting entries; t = 1 < 2 ⇒ fixpoint {a, b}.
         let schema = Schema::uniform(1, 0, 99);
         let s = Subscription::whole_space(&schema);
-        let a = Subscription::builder(&schema).range("x0", 0, 89).build().unwrap();
-        let b = Subscription::builder(&schema).range("x0", 80, 99).build().unwrap();
-        let c = Subscription::builder(&schema).range("x0", 40, 49).build().unwrap();
+        let a = Subscription::builder(&schema)
+            .range("x0", 0, 89)
+            .build()
+            .unwrap();
+        let b = Subscription::builder(&schema)
+            .range("x0", 80, 99)
+            .build()
+            .unwrap();
+        let c = Subscription::builder(&schema)
+            .range("x0", 40, 49)
+            .build()
+            .unwrap();
         let out = MinimizedCoverSet::reduce(&s, &[a, b, c]);
         assert_eq!(out.kept, vec![0, 1]);
         assert_eq!(out.removed, vec![2]);
@@ -277,9 +294,7 @@ mod tests {
             mk((3, 6), (2, 7)), // redundant
         ];
         let brute = |subs: &[Subscription]| {
-            (0..10).all(|x| {
-                (0..10).all(|y| subs.iter().any(|si| si.contains_point(&[x, y])))
-            })
+            (0..10).all(|x| (0..10).all(|y| subs.iter().any(|si| si.contains_point(&[x, y]))))
         };
         assert!(brute(&set));
         let out = MinimizedCoverSet::reduce(&s, &set);

@@ -125,7 +125,10 @@ pub fn merge_with_total_budget(
     max_waste: f64,
     total_budget: f64,
 ) -> MergeOutcome {
-    assert!((0.0..=1.0).contains(&max_waste), "max_waste must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&max_waste),
+        "max_waste must be in [0, 1]"
+    );
     assert!(total_budget >= 0.0, "total_budget must be non-negative");
     let mut merged: Vec<Subscription> = set.to_vec();
     let mut merges = 0;
@@ -137,7 +140,7 @@ pub fn merge_with_total_budget(
                 let w = merge_waste(&merged[i], &merged[j]);
                 if w <= max_waste
                     && waste_budget_used + w <= total_budget
-                    && best.map_or(true, |(_, _, bw)| w < bw)
+                    && best.is_none_or(|(_, _, bw)| w < bw)
                 {
                     best = Some((i, j, w));
                 }
@@ -150,7 +153,11 @@ pub fn merge_with_total_budget(
         merges += 1;
         waste_budget_used += w;
     }
-    MergeOutcome { merged, merges, waste_budget_used }
+    MergeOutcome {
+        merged,
+        merges,
+        waste_budget_used,
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +284,10 @@ mod tests {
             .map(|i| sub(&schema, (i * 10, i * 10 + 9), (i * 10, i * 10 + 9)))
             .collect();
         let unbounded = merge_with_budget(&stairs, 0.8);
-        assert!(unbounded.merged.len() <= 2, "compounding should collapse the set");
+        assert!(
+            unbounded.merged.len() <= 2,
+            "compounding should collapse the set"
+        );
         let capped = merge_with_total_budget(&stairs, 0.8, 0.6);
         assert_eq!(capped.merges, 1);
         assert_eq!(capped.merged.len(), 4);

@@ -52,7 +52,10 @@ mod tests {
     use psc_model::Schema;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -90,9 +93,12 @@ mod tests {
         let schema = schema2();
         let s = sub(&schema, (800, 900), (1000, 1010));
         let a = sub(&schema, (830, 870), (1003, 1006));
-        let b = sub(&schema, (700i64.max(800), 900), (1000, 1010));
+        let b = sub(&schema, (800, 900), (1000, 1010));
         let c = sub(&schema, (805, 810), (1001, 1002));
-        assert_eq!(PairwiseChecker.covered_by_new(&s, &[a, b, c]), vec![0, 1, 2]);
+        assert_eq!(
+            PairwiseChecker.covered_by_new(&s, &[a, b, c]),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -106,6 +112,6 @@ mod tests {
     fn identical_subscription_covers() {
         let schema = schema2();
         let s = sub(&schema, (830, 870), (1003, 1006));
-        assert!(PairwiseChecker.is_covered(&s, &[s.clone()]));
+        assert!(PairwiseChecker.is_covered(&s, std::slice::from_ref(&s)));
     }
 }

@@ -70,7 +70,11 @@ impl WitnessEstimate {
         }
         let subscription_size = s.size();
         let rho_w = witness_size.ratio(&subscription_size);
-        WitnessEstimate { witness_size, subscription_size, rho_w }
+        WitnessEstimate {
+            witness_size,
+            subscription_size,
+            rho_w,
+        }
     }
 
     /// Convenience: builds the conflict table and estimates in one step.
@@ -109,7 +113,10 @@ impl WitnessEstimate {
     /// # Panics
     /// Panics if `delta` is not within `(0, 1)`.
     pub fn iterations_for(&self, delta: f64) -> f64 {
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
         if self.rho_w <= 0.0 {
             return f64::INFINITY;
         }
@@ -123,7 +130,10 @@ impl WitnessEstimate {
     /// `log10(d)` for the given error probability — the quantity plotted in
     /// Figures 7 and 9 of the paper. Computed without materializing `d`.
     pub fn log10_iterations(&self, delta: f64) -> f64 {
-        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1), got {delta}");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
         if self.rho_w <= 0.0 {
             return f64::INFINITY;
         }
@@ -158,7 +168,10 @@ mod tests {
     use psc_model::Schema;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {

@@ -97,10 +97,15 @@ impl Rspc {
             if !set.iter().any(|si| si.contains_point(&point)) {
                 let witness = PointWitness::verify(point.clone(), s, set)
                     .expect("sampled point inside s and outside set is a witness");
-                return RspcOutcome::NotCovered { witness, iterations: i + 1 };
+                return RspcOutcome::NotCovered {
+                    witness,
+                    iterations: i + 1,
+                };
             }
         }
-        RspcOutcome::ProbablyCovered { iterations: self.budget }
+        RspcOutcome::ProbablyCovered {
+            iterations: self.budget,
+        }
     }
 }
 
@@ -121,7 +126,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema2() -> Schema {
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -156,7 +164,10 @@ mod tests {
         let set = [s1, s2];
         let out = Rspc::new(10_000).run(&s, &set, &mut rng);
         match out {
-            RspcOutcome::NotCovered { witness, iterations } => {
+            RspcOutcome::NotCovered {
+                witness,
+                iterations,
+            } => {
                 assert!(witness.holds_against(&s, &set));
                 assert!(witness.point()[0] > 870);
                 // With ρw ≈ 1/3 the witness arrives within a few guesses.
@@ -217,7 +228,7 @@ mod tests {
         let schema = schema2();
         let s = sub(&schema, (830, 890), (1003, 1006));
         let s1 = sub(&schema, (820, 850), (1002, 1009));
-        let out1 = Rspc::new(100).run(&s, &[s1.clone()], &mut StdRng::seed_from_u64(9));
+        let out1 = Rspc::new(100).run(&s, std::slice::from_ref(&s1), &mut StdRng::seed_from_u64(9));
         let out2 = Rspc::new(100).run(&s, &[s1], &mut StdRng::seed_from_u64(9));
         assert_eq!(out1, out2);
     }

@@ -59,8 +59,10 @@ mod tests {
     fn setup() -> (Subscription, Vec<Subscription>) {
         // Figure 3 of the paper: s1, s2 do not cover s; the polyhedron witness
         // is the strip x1 ∈ [871, 890] of s (above s2's high bound).
-        let schema =
-            Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build();
+        let schema = Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build();
         let s = Subscription::builder(&schema)
             .range("x1", 830, 890)
             .range("x2", 1003, 1006)

@@ -28,18 +28,27 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--exp" => experiments = vec![take_value(&mut i)?],
-            "--quick" => config = RunConfig { seed: config.seed, ..RunConfig::quick() },
+            "--quick" => {
+                config = RunConfig {
+                    seed: config.seed,
+                    ..RunConfig::quick()
+                }
+            }
             "--seed" => {
-                config.seed =
-                    take_value(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?
+                config.seed = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--scale" => {
-                config.scale =
-                    take_value(&mut i)?.parse().map_err(|e| format!("bad --scale: {e}"))?
+                config.scale = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
             }
             "--size-scale" => {
                 config.size_scale = take_value(&mut i)?
@@ -60,9 +69,16 @@ fn parse_args() -> Result<Args, String> {
         i += 1;
     }
     if experiments == ["all"] {
-        experiments = available_experiments().iter().map(|s| s.to_string()).collect();
+        experiments = available_experiments()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
-    Ok(Args { experiments, config, out_dir })
+    Ok(Args {
+        experiments,
+        config,
+        out_dir,
+    })
 }
 
 fn main() {

@@ -14,7 +14,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { seed: 0x5eed_2006, scale: 1.0, size_scale: 1.0 }
+        RunConfig {
+            seed: 0x5eed_2006,
+            scale: 1.0,
+            size_scale: 1.0,
+        }
     }
 }
 
@@ -22,7 +26,11 @@ impl RunConfig {
     /// The quick profile used by `--quick` and by integration tests: a small
     /// fraction of the runs and shorter sweeps.
     pub fn quick() -> Self {
-        RunConfig { seed: 0x5eed_2006, scale: 0.02, size_scale: 0.2 }
+        RunConfig {
+            seed: 0x5eed_2006,
+            scale: 0.02,
+            size_scale: 0.2,
+        }
     }
 
     /// Applies `scale` to a paper-protocol run count, with a floor.
@@ -55,7 +63,10 @@ mod tests {
 
     #[test]
     fn runs_scaling_with_floor() {
-        let cfg = RunConfig { scale: 0.01, ..RunConfig::default() };
+        let cfg = RunConfig {
+            scale: 0.01,
+            ..RunConfig::default()
+        };
         assert_eq!(cfg.runs(1000), 10);
         assert_eq!(cfg.runs(100), 3, "floor applies");
         assert_eq!(RunConfig::default().runs(1000), 1000);

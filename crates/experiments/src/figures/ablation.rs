@@ -25,22 +25,34 @@ fn stage_mix(cfg: &RunConfig) -> Table {
         .build();
     let mut t = Table::new(
         format!("Stage mix: which pipeline stage decides ({runs} runs/scenario, m=10, k=100)"),
-        &["scenario", "pairwise", "corollary3", "empty set", "cor3 after MCS", "RSPC"],
+        &[
+            "scenario",
+            "pairwise",
+            "corollary3",
+            "empty set",
+            "cor3 after MCS",
+            "RSPC",
+        ],
     );
 
-    let scenarios: Vec<(&str, Box<dyn Fn(u64) -> psc_workload::CoverInstance>)> = vec![
-        ("pairwise cover (1.a)", Box::new(|s| {
-            PairwiseCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
-        })),
-        ("redundant cover (1.b)", Box::new(|s| {
-            RedundantCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
-        })),
-        ("no intersection (2.a)", Box::new(|s| {
-            NoIntersectionScenario::new(10, 100).generate(&mut seeded_rng(s))
-        })),
-        ("non-cover (2.b)", Box::new(|s| {
-            NonCoverScenario::new(10, 100).generate(&mut seeded_rng(s))
-        })),
+    type ScenarioGen = Box<dyn Fn(u64) -> psc_workload::CoverInstance>;
+    let scenarios: Vec<(&str, ScenarioGen)> = vec![
+        (
+            "pairwise cover (1.a)",
+            Box::new(|s| PairwiseCoverScenario::new(10, 100).generate(&mut seeded_rng(s))),
+        ),
+        (
+            "redundant cover (1.b)",
+            Box::new(|s| RedundantCoverScenario::new(10, 100).generate(&mut seeded_rng(s))),
+        ),
+        (
+            "no intersection (2.a)",
+            Box::new(|s| NoIntersectionScenario::new(10, 100).generate(&mut seeded_rng(s))),
+        ),
+        (
+            "non-cover (2.b)",
+            Box::new(|s| NonCoverScenario::new(10, 100).generate(&mut seeded_rng(s))),
+        ),
     ];
 
     for (name, generate) in scenarios {
@@ -63,15 +75,17 @@ fn stage_mix(cfg: &RunConfig) -> Table {
                 assert_eq!(d.is_covered(), truth, "{name}: wrong decision");
             }
         }
-        let frac =
-            |c: u64| -> f64 { c as f64 / runs as f64 };
-        t.row_keyed(name, &[
-            frac(counts[0]),
-            frac(counts[1]),
-            frac(counts[2]),
-            frac(counts[3]),
-            frac(counts[4]),
-        ]);
+        let frac = |c: u64| -> f64 { c as f64 / runs as f64 };
+        t.row_keyed(
+            name,
+            &[
+                frac(counts[0]),
+                frac(counts[1]),
+                frac(counts[2]),
+                frac(counts[3]),
+                frac(counts[4]),
+            ],
+        );
     }
     t
 }
@@ -109,7 +123,11 @@ fn covering_vs_merging(cfg: &RunConfig) -> Table {
             group.push(s.clone());
         }
     }
-    t.row(&["group covering (δ=1e-6)", &group.len().to_string(), "~1e-6/decision"]);
+    t.row(&[
+        "group covering (δ=1e-6)",
+        &group.len().to_string(),
+        "~1e-6/decision",
+    ]);
 
     // Perfect merging, then lossy merging on top of pairwise covering.
     let perfect = merge_with_budget(&pairwise, 0.0);
@@ -140,7 +158,11 @@ mod tests {
 
     #[test]
     fn stage_mix_rows_sum_to_one_and_fast_paths_dominate() {
-        let cfg = RunConfig { scale: 0.05, size_scale: 1.0, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            scale: 0.05,
+            size_scale: 1.0,
+            ..RunConfig::quick()
+        };
         let tables = run(&cfg);
         let mix = &tables[0];
         for row in &mix.rows {
@@ -157,7 +179,11 @@ mod tests {
 
     #[test]
     fn merging_never_grows_the_set() {
-        let cfg = RunConfig { scale: 0.05, size_scale: 0.2, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            scale: 0.05,
+            size_scale: 0.2,
+            ..RunConfig::quick()
+        };
         let tables = run(&cfg);
         let cmp = &tables[1];
         let size = |r: usize| -> usize { cmp.rows[r][1].parse().unwrap() };

@@ -39,9 +39,11 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         ],
     );
 
-    for policy in
-        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
-    {
+    for policy in [
+        CoveringPolicy::Flooding,
+        CoveringPolicy::Pairwise,
+        CoveringPolicy::group(1e-6),
+    ] {
         // Identical workload stream per policy: same seed.
         let mut rng = seeded_rng(cfg.point_seed(99, 0, 0));
         let topology = Topology::random_tree(BROKERS, &mut rng);

@@ -23,7 +23,9 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
     let trace = ChurnTrace::new(8);
 
     let mut t = Table::new(
-        format!("Churn: {BROKERS} brokers, {n_events} events (subscribe/unsubscribe/publish ≈ 2/1/7)"),
+        format!(
+            "Churn: {BROKERS} brokers, {n_events} events (subscribe/unsubscribe/publish ≈ 2/1/7)"
+        ),
         &[
             "policy",
             "sub msgs",
@@ -36,9 +38,11 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         ],
     );
 
-    for policy in
-        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-6)]
-    {
+    for policy in [
+        CoveringPolicy::Flooding,
+        CoveringPolicy::Pairwise,
+        CoveringPolicy::group(1e-6),
+    ] {
         let name = policy.name();
         // Same trace and same broker placement for every policy.
         let mut rng = seeded_rng(cfg.point_seed(55, 0, 0));

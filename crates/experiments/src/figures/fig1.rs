@@ -9,10 +9,22 @@ use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 /// Runs the example and returns one table per aspect (traffic, trees).
 pub fn run(_cfg: &RunConfig) -> Vec<Table> {
     let schema = Schema::uniform(1, 0, 99);
-    let s1 = Subscription::builder(&schema).range("x0", 0, 50).build().expect("valid");
-    let s2 = Subscription::builder(&schema).range("x0", 10, 20).build().expect("valid");
-    let n1 = Publication::builder(&schema).set("x0", 15).build().expect("valid");
-    let n2 = Publication::builder(&schema).set("x0", 40).build().expect("valid");
+    let s1 = Subscription::builder(&schema)
+        .range("x0", 0, 50)
+        .build()
+        .expect("valid");
+    let s2 = Subscription::builder(&schema)
+        .range("x0", 10, 20)
+        .build()
+        .expect("valid");
+    let n1 = Publication::builder(&schema)
+        .set("x0", 15)
+        .build()
+        .expect("valid");
+    let n2 = Publication::builder(&schema)
+        .set("x0", 40)
+        .build()
+        .expect("valid");
     let b = |i: usize| BrokerId(i - 1);
 
     let mut traffic = Table::new(
@@ -21,12 +33,20 @@ pub fn run(_cfg: &RunConfig) -> Vec<Table> {
     );
     let mut trees = Table::new(
         "Figure 1: delivery trees (n1 matches s1+s2 from B9; n2 matches s1 from B5)",
-        &["policy", "n1 tree", "n1 deliveries", "n2 tree", "n2 deliveries"],
+        &[
+            "policy",
+            "n1 tree",
+            "n1 deliveries",
+            "n2 tree",
+            "n2 deliveries",
+        ],
     );
 
-    for policy in
-        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-10)]
-    {
+    for policy in [
+        CoveringPolicy::Flooding,
+        CoveringPolicy::Pairwise,
+        CoveringPolicy::group(1e-10),
+    ] {
         let name = policy.name();
         let mut net = Network::new(Topology::figure1(), policy, 1);
         net.subscribe(b(1), SubscriptionId(1), s1.clone());

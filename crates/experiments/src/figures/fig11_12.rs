@@ -36,7 +36,9 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         &col_refs,
     );
     let mut fig12 = Table::new(
-        format!("Figure 12: false decisions per {runs} runs (normalized to 3000), extreme non-cover"),
+        format!(
+            "Figure 12: false decisions per {runs} runs (normalized to 3000), extreme non-cover"
+        ),
         &col_refs,
     );
 
@@ -76,7 +78,11 @@ mod tests {
 
     #[test]
     fn quick_run_produces_expected_shapes() {
-        let cfg = RunConfig { scale: 0.05, size_scale: 1.0, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            scale: 0.05,
+            size_scale: 1.0,
+            ..RunConfig::quick()
+        };
         let tables = run(&cfg);
         assert_eq!(tables.len(), 2);
         let fig11 = &tables[0];

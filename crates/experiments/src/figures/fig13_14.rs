@@ -42,7 +42,9 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         fig14_cols.push(format!("m={m}"));
     }
     let mut fig13 = Table::new(
-        format!("Figure 13: active-set growth, pairwise vs group ({n} arrivals, delta = {DELTA:e})"),
+        format!(
+            "Figure 13: active-set growth, pairwise vs group ({n} arrivals, delta = {DELTA:e})"
+        ),
         &fig13_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     let mut fig14 = Table::new(

@@ -8,7 +8,10 @@ use psc_model::{Schema, Subscription};
 use psc_workload::seeded_rng;
 
 fn schema2() -> Schema {
-    Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+    Schema::builder()
+        .attribute("x1", 800, 900)
+        .attribute("x2", 1000, 1010)
+        .build()
 }
 
 fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -42,7 +45,9 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         sub(&schema, (810, 890), (1004, 1005)),
     ];
 
-    let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-10)
+        .build();
     let exact = ExactChecker::default();
     let mut rng = seeded_rng(cfg.point_seed(2, 0, 0));
 
@@ -57,10 +62,18 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
     ] {
         let d = checker.check(s, set, &mut rng);
         let truth = exact.is_covered(s, set).expect("tiny instance");
-        assert_eq!(d.is_covered(), truth, "pipeline disagrees with exact on {name}");
+        assert_eq!(
+            d.is_covered(),
+            truth,
+            "pipeline disagrees with exact on {name}"
+        );
         decisions.row(&[
             name,
-            if d.is_covered() { "covered" } else { "not covered" },
+            if d.is_covered() {
+                "covered"
+            } else {
+                "not covered"
+            },
             &format!("{:?}", d.stage),
             if truth { "covered" } else { "not covered" },
             &d.stats.k_after_mcs.to_string(),

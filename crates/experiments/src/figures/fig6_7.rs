@@ -10,8 +10,8 @@
 //! enormous (tens), with MCS it collapses to practical values.
 
 use crate::config::RunConfig;
-use crate::table::Table;
 use crate::figures::{paper_ks, PAPER_MS};
+use crate::table::Table;
 use psc_core::{ConflictTable, MinimizedCoverSet, WitnessEstimate};
 use psc_workload::{seeded_rng, RedundantCoverScenario};
 use std::collections::HashSet;
@@ -32,7 +32,9 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         fig7_cols.push(format!("m={m};MCS"));
     }
     let mut fig6 = Table::new(
-        format!("Figure 6: redundant-subscription reduction, redundant covering ({runs} runs/point)"),
+        format!(
+            "Figure 6: redundant-subscription reduction, redundant covering ({runs} runs/point)"
+        ),
         &fig6_cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     let mut fig7 = Table::new(
@@ -57,10 +59,12 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
                 sum_log_d_full += est_full.log10_iterations(DELTA);
 
                 let outcome = MinimizedCoverSet::reduce_table(table);
-                let redundant: HashSet<usize> =
-                    inst.redundant_indices.iter().copied().collect();
-                let removed_redundant =
-                    outcome.removed.iter().filter(|i| redundant.contains(i)).count();
+                let redundant: HashSet<usize> = inst.redundant_indices.iter().copied().collect();
+                let removed_redundant = outcome
+                    .removed
+                    .iter()
+                    .filter(|i| redundant.contains(i))
+                    .count();
                 sum_reduction += removed_redundant as f64 / redundant.len() as f64;
 
                 let est_mcs = WitnessEstimate::from_table(&inst.s, &outcome.table);

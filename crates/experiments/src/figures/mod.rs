@@ -16,7 +16,10 @@ pub const PAPER_MS: [usize; 3] = [10, 15, 20];
 
 /// The subscription-count sweep of Figures 6–10: 10 to 310 in steps of 30.
 pub fn paper_ks(max_k: usize) -> Vec<usize> {
-    (10..=310).step_by(30).filter(|&k| k <= max_k.max(10)).collect()
+    (10..=310)
+        .step_by(30)
+        .filter(|&k| k <= max_k.max(10))
+        .collect()
 }
 
 #[cfg(test)]

@@ -26,8 +26,7 @@ pub fn run(cfg: &RunConfig) -> Vec<Table> {
         for rho in RHOS {
             for (i, (rho_w, d)) in DETECTIONS.into_iter().enumerate() {
                 let analytic = find_probability(n, rho, rho_w, d);
-                let mut rng =
-                    seeded_rng(cfg.point_seed(n as u64, (rho * 100.0) as u64, i as u64));
+                let mut rng = seeded_rng(cfg.point_seed(n as u64, (rho * 100.0) as u64, i as u64));
                 let simulated = simulate_chain(n, rho, rho_w, d, runs, &mut rng);
                 t.row_values(&[
                     n as f64,
@@ -50,7 +49,10 @@ mod tests {
 
     #[test]
     fn analytic_and_simulated_agree() {
-        let cfg = RunConfig { scale: 0.1, ..RunConfig::quick() };
+        let cfg = RunConfig {
+            scale: 0.1,
+            ..RunConfig::quick()
+        };
         let tables = run(&cfg);
         for row in &tables[0].rows {
             let err: f64 = row[6].parse().unwrap();

@@ -7,8 +7,8 @@ use crate::table::Table;
 /// All registered experiment names, in suggested run order.
 pub fn available_experiments() -> Vec<&'static str> {
     vec![
-        "fig2", "fig1", "fig6-7", "fig8-10", "fig11-12", "fig13-14", "prop5", "broker",
-        "churn", "ablation",
+        "fig2", "fig1", "fig6-7", "fig8-10", "fig11-12", "fig13-14", "prop5", "broker", "churn",
+        "ablation",
     ]
 }
 

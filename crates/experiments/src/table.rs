@@ -39,7 +39,8 @@ impl Table {
     /// Panics if the arity differs from the header.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a row of numbers, formatted compactly (up to 4 significant
@@ -49,7 +50,8 @@ impl Table {
     /// Panics if the arity differs from the header.
     pub fn row_values(&mut self, values: &[f64]) {
         assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
-        self.rows.push(values.iter().map(|v| format_value(*v)).collect());
+        self.rows
+            .push(values.iter().map(|v| format_value(*v)).collect());
     }
 
     /// Appends a row with a string key followed by numbers.
@@ -82,7 +84,11 @@ pub fn format_value(v: f64) -> String {
     if v.is_nan() {
         "-".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "inf".into() } else { "-inf".into() }
+        if v > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
     } else if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -124,10 +130,10 @@ mod tests {
     fn alignment_and_csv() {
         let mut t = Table::new("t", &["a", "long_header"]);
         t.row(&["1", "2"]);
-        t.row_values(&[3.14159, 10.0]);
+        t.row_values(&[2.78458, 10.0]);
         let text = t.to_string();
         assert!(text.contains("long_header"));
-        assert_eq!(t.to_csv(), "a,long_header\n1,2\n3.1416,10\n");
+        assert_eq!(t.to_csv(), "a,long_header\n1,2\n2.7846,10\n");
     }
 
     #[test]

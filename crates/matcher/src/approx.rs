@@ -34,15 +34,9 @@ pub enum ApproxMatch {
 }
 
 /// Matcher for box-shaped (imprecise) publications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BoxMatcher {
     checker: SubsumptionChecker,
-}
-
-impl Default for BoxMatcher {
-    fn default() -> Self {
-        BoxMatcher { checker: SubsumptionChecker::default() }
-    }
 }
 
 impl BoxMatcher {
@@ -141,7 +135,9 @@ mod tests {
         // even though neither alone suffices.
         let schema = schema();
         let m = BoxMatcher::new(
-            SubsumptionChecker::builder().error_probability(1e-10).build(),
+            SubsumptionChecker::builder()
+                .error_probability(1e-10)
+                .build(),
         );
         let left = sub(&schema, (0, 30), (0, 99));
         let right = sub(&schema, (25, 60), (0, 99));
@@ -159,7 +155,9 @@ mod tests {
     fn group_possible_when_gap_remains() {
         let schema = schema();
         let m = BoxMatcher::new(
-            SubsumptionChecker::builder().error_probability(1e-10).build(),
+            SubsumptionChecker::builder()
+                .error_probability(1e-10)
+                .build(),
         );
         let left = sub(&schema, (0, 20), (0, 99));
         let right = sub(&schema, (30, 60), (0, 99));
@@ -186,13 +184,25 @@ mod tests {
     fn imprecise_point_reading() {
         let schema = schema();
         let m = BoxMatcher::new(
-            SubsumptionChecker::builder().error_probability(1e-10).build(),
+            SubsumptionChecker::builder()
+                .error_probability(1e-10)
+                .build(),
         );
         let s = sub(&schema, (10, 50), (10, 50));
-        let p = Publication::builder(&schema).set("x0", 49).set("x1", 30).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 49)
+            .set("x1", 30)
+            .build()
+            .unwrap();
         let mut rng = rng();
         // Exact reading matches; with radius 5 the box pokes out of s.
-        assert_eq!(m.match_imprecise(&p, 0, &[s.clone()], &mut rng), ApproxMatch::Certain);
-        assert_eq!(m.match_imprecise(&p, 5, &[s], &mut rng), ApproxMatch::Possible);
+        assert_eq!(
+            m.match_imprecise(&p, 0, std::slice::from_ref(&s), &mut rng),
+            ApproxMatch::Certain
+        );
+        assert_eq!(
+            m.match_imprecise(&p, 5, &[s], &mut rng),
+            ApproxMatch::Possible
+        );
     }
 }

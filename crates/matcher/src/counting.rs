@@ -34,7 +34,10 @@ impl AttrIndex {
             max_hi = max_hi.max(hi);
             prefix_max_hi.push(max_hi);
         }
-        AttrIndex { intervals, prefix_max_hi }
+        AttrIndex {
+            intervals,
+            prefix_max_hi,
+        }
     }
 
     /// Calls `hit` for every slot whose interval contains `v`.
@@ -184,8 +187,8 @@ impl CountingIndex {
 mod tests {
     use super::*;
     use crate::NaiveMatcher;
-    use psc_model::Schema;
     use proptest::prelude::*;
+    use psc_model::Schema;
 
     fn schema() -> Schema {
         Schema::uniform(3, 0, 99)

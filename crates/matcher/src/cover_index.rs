@@ -96,8 +96,7 @@ impl CoverIndex {
         // bounds (most discriminating for the lo <= s.lo cut).
         let mut best = (0usize, 0usize);
         for j in 0..self.arity {
-            let mut los: Vec<i64> =
-                self.subs.iter().map(|(_, s)| s.ranges()[j].lo()).collect();
+            let mut los: Vec<i64> = self.subs.iter().map(|(_, s)| s.ranges()[j].lo()).collect();
             los.sort_unstable();
             los.dedup();
             if los.len() > best.1 {
@@ -160,8 +159,8 @@ impl CoverIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psc_model::Schema;
     use proptest::prelude::*;
+    use psc_model::Schema;
 
     fn schema() -> Schema {
         Schema::uniform(2, 0, 99)

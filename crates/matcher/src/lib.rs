@@ -24,13 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod approx;
-pub mod cover_index;
 pub mod counting;
+pub mod cover_index;
 pub mod naive;
 pub mod store;
 
 pub use approx::{ApproxMatch, BoxMatcher};
-pub use cover_index::CoverIndex;
 pub use counting::CountingIndex;
+pub use cover_index::CoverIndex;
 pub use naive::NaiveMatcher;
-pub use store::{CoverParents, CoveringStore, InsertOutcome, MatchStats, StoredEntry};
+pub use store::{CoverParents, CoveringStore, InsertOutcome, MatchStats, StoreStats, StoredEntry};

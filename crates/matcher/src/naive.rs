@@ -95,7 +95,11 @@ mod tests {
         m.insert(SubscriptionId(3), sub(&schema, (0, 50), (0, 50)));
         m.insert(SubscriptionId(1), sub(&schema, (10, 20), (10, 20)));
         m.insert(SubscriptionId(2), sub(&schema, (60, 90), (60, 90)));
-        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 15)
+            .build()
+            .unwrap();
         assert_eq!(m.matches(&p), vec![SubscriptionId(3), SubscriptionId(1)]);
     }
 
@@ -113,7 +117,11 @@ mod tests {
     fn empty_matcher_matches_nothing() {
         let schema = schema();
         let m = NaiveMatcher::new();
-        let p = Publication::builder(&schema).set("x0", 1).set("x1", 1).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 1)
+            .set("x1", 1)
+            .build()
+            .unwrap();
         assert!(m.matches(&p).is_empty());
     }
 }

@@ -35,15 +35,16 @@ pub enum CoverParents {
     Group,
 }
 
-/// One stored subscription with metadata.
+/// One covered-pool subscription with its cover linkage. (Active entries
+/// are stored as id/subscription columns directly on the store.)
 #[derive(Debug, Clone)]
 pub struct StoredEntry {
     /// The subscription's id.
     pub id: SubscriptionId,
     /// The subscription itself.
     pub sub: Subscription,
-    /// Cover linkage (`None` for active entries).
-    pub parents: Option<CoverParents>,
+    /// Cover linkage to the active set.
+    pub parents: CoverParents,
 }
 
 /// Outcome of inserting a subscription.
@@ -85,6 +86,18 @@ pub struct MatchStats {
     pub phase2_skipped: u64,
 }
 
+/// A coherent point-in-time view of a store's size and match counters,
+/// scraped by the service layer's metrics aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Currently active (uncovered) subscriptions.
+    pub active: usize,
+    /// Currently covered (parked) subscriptions.
+    pub covered: usize,
+    /// Accumulated match-phase counters.
+    pub match_stats: MatchStats,
+}
+
 /// The two-phase covered/uncovered subscription store.
 ///
 /// # Example
@@ -112,7 +125,12 @@ pub struct MatchStats {
 #[derive(Debug, Clone)]
 pub struct CoveringStore {
     checker: SubsumptionChecker,
-    active: Vec<StoredEntry>,
+    /// Active entries as two index-aligned columns: ids and subscriptions.
+    /// The column layout lends `&[Subscription]` straight to the
+    /// admission-time cover check without cloning, and active entries
+    /// carry no parent links anyway.
+    active_ids: Vec<SubscriptionId>,
+    active_subs: Vec<Subscription>,
     covered: Vec<StoredEntry>,
     stats: MatchStats,
 }
@@ -120,12 +138,18 @@ pub struct CoveringStore {
 impl CoveringStore {
     /// Creates an empty store using `checker` for coverage decisions.
     pub fn new(checker: SubsumptionChecker) -> Self {
-        CoveringStore { checker, active: Vec::new(), covered: Vec::new(), stats: MatchStats::default() }
+        CoveringStore {
+            checker,
+            active_ids: Vec::new(),
+            active_subs: Vec::new(),
+            covered: Vec::new(),
+            stats: MatchStats::default(),
+        }
     }
 
     /// Number of active (uncovered) subscriptions.
     pub fn active_len(&self) -> usize {
-        self.active.len()
+        self.active_ids.len()
     }
 
     /// Number of covered (parked) subscriptions.
@@ -135,7 +159,7 @@ impl CoveringStore {
 
     /// Total stored subscriptions.
     pub fn len(&self) -> usize {
-        self.active.len() + self.covered.len()
+        self.active_ids.len() + self.covered.len()
     }
 
     /// Whether the store holds no subscriptions.
@@ -156,7 +180,7 @@ impl CoveringStore {
     /// The active subscriptions (for routing decisions — this is the set a
     /// broker forwards upstream).
     pub fn active_subscriptions(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
-        self.active.iter().map(|e| (e.id, &e.sub))
+        self.active_ids.iter().copied().zip(self.active_subs.iter())
     }
 
     /// Inserts a subscription, deciding its covered status with the
@@ -174,60 +198,119 @@ impl CoveringStore {
             !self.contains(id),
             "subscription id {id} already stored; ids must be unique"
         );
-        let active_subs: Vec<Subscription> =
-            self.active.iter().map(|e| e.sub.clone()).collect();
-        let decision = self.checker.check(&sub, &active_subs, rng);
+        let decision = self.checker.check(&sub, &self.active_subs, rng);
         match decision.answer {
             CoverAnswer::Covered { error_bound } => {
                 let parents = if decision.stage == DecisionStage::PairwiseCover {
                     // Recover the pairwise parent for precise gating.
                     let parent = self
-                        .active
+                        .active_subs
                         .iter()
-                        .find(|e| e.sub.covers(&sub))
+                        .position(|a| a.covers(&sub))
                         .expect("pairwise stage implies a covering active entry");
-                    CoverParents::Single(parent.id)
+                    CoverParents::Single(self.active_ids[parent])
                 } else {
                     CoverParents::Group
                 };
                 self.covered.push(StoredEntry {
                     id,
                     sub,
-                    parents: Some(parents.clone()),
+                    parents: parents.clone(),
                 });
-                InsertOutcome::Covered { parents, error_bound }
+                InsertOutcome::Covered {
+                    parents,
+                    error_bound,
+                }
             }
             CoverAnswer::NotCovered { .. } => {
                 // Demote actives that the newcomer covers pairwise.
                 let mut demoted = Vec::new();
-                let mut remaining = Vec::with_capacity(self.active.len());
-                for entry in self.active.drain(..) {
-                    if sub.covers(&entry.sub) {
-                        demoted.push(entry.id);
+                let mut remaining_ids = Vec::with_capacity(self.active_ids.len());
+                let mut remaining_subs = Vec::with_capacity(self.active_subs.len());
+                for (entry_id, entry_sub) in
+                    self.active_ids.drain(..).zip(self.active_subs.drain(..))
+                {
+                    if sub.covers(&entry_sub) {
+                        demoted.push(entry_id);
                         self.covered.push(StoredEntry {
-                            parents: Some(CoverParents::Single(id)),
-                            ..entry
+                            id: entry_id,
+                            sub: entry_sub,
+                            parents: CoverParents::Single(id),
                         });
                     } else {
-                        remaining.push(entry);
+                        remaining_ids.push(entry_id);
+                        remaining_subs.push(entry_sub);
                     }
                 }
-                self.active = remaining;
+                self.active_ids = remaining_ids;
+                self.active_subs = remaining_subs;
                 // Parent gates must always reference *active* entries: rewire
                 // children of demoted parents to the newcomer, which covers
                 // them transitively (new ⊇ parent ⊇ child).
                 if !demoted.is_empty() {
                     for e in &mut self.covered {
-                        if let Some(CoverParents::Single(p)) = &e.parents {
+                        if let CoverParents::Single(p) = &e.parents {
                             if demoted.contains(p) {
-                                e.parents = Some(CoverParents::Single(id));
+                                e.parents = CoverParents::Single(id);
                             }
                         }
                     }
                 }
-                self.active.push(StoredEntry { id, sub, parents: None });
+                self.active_ids.push(id);
+                self.active_subs.push(sub);
                 InsertOutcome::Active { demoted }
             }
+        }
+    }
+
+    /// Admits a batch of subscriptions, returning each insertion outcome in
+    /// the order of the *input* batch.
+    ///
+    /// The batch is internally admitted widest-first (descending
+    /// [`Subscription::size`], ties by id): when a broad subscription and
+    /// the narrow ones it covers arrive together, admitting the broad one
+    /// first parks the narrow ones immediately instead of letting them
+    /// transit the active set, which both raises the suppression ratio and
+    /// avoids demotion churn. Outcomes are identical to some sequential
+    /// insertion order, so all `CoveringStore` invariants hold.
+    ///
+    /// # Panics
+    /// Panics if any id is already stored or appears twice in the batch.
+    pub fn admit_batch<R: Rng + ?Sized>(
+        &mut self,
+        batch: Vec<(SubscriptionId, Subscription)>,
+        rng: &mut R,
+    ) -> Vec<(SubscriptionId, InsertOutcome)> {
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        // Widest first; `sort_by` on the (negated-size, id) key is stable
+        // and deterministic because LogVolume ordering is total on finite
+        // sizes.
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (batch[a].1.size().ln(), batch[b].1.size().ln());
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| batch[a].0.cmp(&batch[b].0))
+        });
+        let mut outcomes: Vec<Option<(SubscriptionId, InsertOutcome)>> = vec![None; batch.len()];
+        let mut items: Vec<Option<(SubscriptionId, Subscription)>> =
+            batch.into_iter().map(Some).collect();
+        for slot in order {
+            let (id, sub) = items[slot].take().expect("each slot admitted once");
+            let outcome = self.insert(id, sub, rng);
+            outcomes[slot] = Some((id, outcome));
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("all slots admitted"))
+            .collect()
+    }
+
+    /// A coherent snapshot of occupancy and match counters.
+    pub fn stats_snapshot(&self) -> StoreStats {
+        StoreStats {
+            active: self.active_ids.len(),
+            covered: self.covered.len(),
+            match_stats: self.stats,
         }
     }
 
@@ -241,18 +324,18 @@ impl CoveringStore {
             self.covered.swap_remove(pos);
             return true;
         }
-        let Some(pos) = self.active.iter().position(|e| e.id == id) else {
+        let Some(pos) = self.active_ids.iter().position(|&a| a == id) else {
             return false;
         };
-        self.active.remove(pos);
+        self.active_ids.remove(pos);
+        self.active_subs.remove(pos);
 
         // Re-evaluate dependents: single-parented children of the removed id
         // and all group-covered entries (their cover may have included it).
         let (mut to_recheck, keep): (Vec<StoredEntry>, Vec<StoredEntry>) =
             self.covered.drain(..).partition(|e| match &e.parents {
-                Some(CoverParents::Single(p)) => *p == id,
-                Some(CoverParents::Group) => true,
-                None => false,
+                CoverParents::Single(p) => *p == id,
+                CoverParents::Group => true,
             });
         self.covered = keep;
         // Rechecking in insertion order keeps behavior deterministic.
@@ -265,7 +348,7 @@ impl CoveringStore {
 
     /// Whether `id` is stored (active or covered).
     pub fn contains(&self, id: SubscriptionId) -> bool {
-        self.active.iter().any(|e| e.id == id) || self.covered.iter().any(|e| e.id == id)
+        self.active_ids.contains(&id) || self.covered.iter().any(|e| e.id == id)
     }
 
     /// Algorithm 5: all subscription ids matching `p`, active first, then
@@ -273,11 +356,11 @@ impl CoveringStore {
     pub fn match_publication(&mut self, p: &Publication) -> Vec<SubscriptionId> {
         let mut matched = Vec::new();
         let mut matched_active: HashSet<SubscriptionId> = HashSet::new();
-        for e in &self.active {
+        for (&id, sub) in self.active_ids.iter().zip(self.active_subs.iter()) {
             self.stats.active_checked += 1;
-            if e.sub.matches(p) {
-                matched.push(e.id);
-                matched_active.insert(e.id);
+            if sub.matches(p) {
+                matched.push(id);
+                matched_active.insert(id);
             }
         }
         if matched.is_empty() {
@@ -286,8 +369,8 @@ impl CoveringStore {
         }
         for e in &self.covered {
             let gate_open = match &e.parents {
-                Some(CoverParents::Single(parent)) => matched_active.contains(parent),
-                Some(CoverParents::Group) | None => true,
+                CoverParents::Single(parent) => matched_active.contains(parent),
+                CoverParents::Group => true,
             };
             if !gate_open {
                 self.stats.covered_skipped += 1;
@@ -305,8 +388,8 @@ impl CoveringStore {
     /// the reference view differential tests compare against.
     pub fn snapshot(&self) -> HashMap<SubscriptionId, (Subscription, bool)> {
         let mut out = HashMap::new();
-        for e in &self.active {
-            out.insert(e.id, (e.sub.clone(), true));
+        for (&id, sub) in self.active_ids.iter().zip(self.active_subs.iter()) {
+            out.insert(id, (sub.clone(), true));
         }
         for e in &self.covered {
             out.insert(e.id, (e.sub.clone(), false));
@@ -348,8 +431,16 @@ mod tests {
         let mut st = store();
         let mut rng = rng();
         st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
-        st.insert(SubscriptionId(2), sub(&schema, (60, 90), (60, 90)), &mut rng);
-        let out = st.insert(SubscriptionId(3), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (60, 90), (60, 90)),
+            &mut rng,
+        );
+        let out = st.insert(
+            SubscriptionId(3),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
         assert_eq!(
             out,
             InsertOutcome::Covered {
@@ -359,7 +450,11 @@ mod tests {
         );
         // Publication inside sub 2 but not sub 1: the covered entry's gate
         // stays closed.
-        let p = Publication::builder(&schema).set("x0", 70).set("x1", 70).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 70)
+            .set("x1", 70)
+            .build()
+            .unwrap();
         assert_eq!(st.match_publication(&p), vec![SubscriptionId(2)]);
         assert_eq!(st.stats().covered_skipped, 1);
         assert_eq!(st.stats().covered_checked, 0);
@@ -373,14 +468,28 @@ mod tests {
         // Two halves cover [0,99] on x0 for the x1 band [0,50].
         st.insert(SubscriptionId(1), sub(&schema, (0, 60), (0, 50)), &mut rng);
         st.insert(SubscriptionId(2), sub(&schema, (50, 99), (0, 50)), &mut rng);
-        let out = st.insert(SubscriptionId(3), sub(&schema, (20, 80), (10, 40)), &mut rng);
+        let out = st.insert(
+            SubscriptionId(3),
+            sub(&schema, (20, 80), (10, 40)),
+            &mut rng,
+        );
         match out {
-            InsertOutcome::Covered { parents: CoverParents::Group, .. } => {}
+            InsertOutcome::Covered {
+                parents: CoverParents::Group,
+                ..
+            } => {}
             other => panic!("expected group cover, got {other:?}"),
         }
-        let p = Publication::builder(&schema).set("x0", 55).set("x1", 20).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 55)
+            .set("x1", 20)
+            .build()
+            .unwrap();
         let matched = st.match_publication(&p);
-        assert_eq!(matched, vec![SubscriptionId(1), SubscriptionId(2), SubscriptionId(3)]);
+        assert_eq!(
+            matched,
+            vec![SubscriptionId(1), SubscriptionId(2), SubscriptionId(3)]
+        );
     }
 
     #[test]
@@ -389,8 +498,16 @@ mod tests {
         let mut st = store();
         let mut rng = rng();
         st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
-        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
-        let p = Publication::builder(&schema).set("x0", 90).set("x1", 90).build().unwrap();
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
+        let p = Publication::builder(&schema)
+            .set("x0", 90)
+            .set("x1", 90)
+            .build()
+            .unwrap();
         assert!(st.match_publication(&p).is_empty());
         assert_eq!(st.stats().phase2_skipped, 1);
         assert_eq!(st.stats().covered_checked, 0);
@@ -401,14 +518,31 @@ mod tests {
         let schema = schema();
         let mut st = store();
         let mut rng = rng();
-        st.insert(SubscriptionId(1), sub(&schema, (10, 20), (10, 20)), &mut rng);
-        st.insert(SubscriptionId(2), sub(&schema, (60, 70), (60, 70)), &mut rng);
+        st.insert(
+            SubscriptionId(1),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (60, 70), (60, 70)),
+            &mut rng,
+        );
         let out = st.insert(SubscriptionId(3), sub(&schema, (0, 30), (0, 30)), &mut rng);
-        assert_eq!(out, InsertOutcome::Active { demoted: vec![SubscriptionId(1)] });
+        assert_eq!(
+            out,
+            InsertOutcome::Active {
+                demoted: vec![SubscriptionId(1)]
+            }
+        );
         assert_eq!(st.active_len(), 2);
         assert_eq!(st.covered_len(), 1);
         // The demoted subscription still matches.
-        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 15)
+            .build()
+            .unwrap();
         let matched = st.match_publication(&p);
         assert!(matched.contains(&SubscriptionId(1)));
         assert!(matched.contains(&SubscriptionId(3)));
@@ -420,13 +554,21 @@ mod tests {
         let mut st = store();
         let mut rng = rng();
         st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
-        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
         assert_eq!(st.active_len(), 1);
         assert!(st.remove(SubscriptionId(1), &mut rng));
         // Child promoted: it is now the only subscription, and active.
         assert_eq!(st.active_len(), 1);
         assert_eq!(st.covered_len(), 0);
-        let p = Publication::builder(&schema).set("x0", 15).set("x1", 15).build().unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 15)
+            .build()
+            .unwrap();
         assert_eq!(st.match_publication(&p), vec![SubscriptionId(2)]);
     }
 
@@ -454,7 +596,11 @@ mod tests {
         let mut st = store();
         let mut rng = rng();
         st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
-        st.insert(SubscriptionId(2), sub(&schema, (10, 20), (10, 20)), &mut rng);
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
         assert!(st.remove(SubscriptionId(2), &mut rng));
         assert_eq!(st.len(), 1);
         assert!(!st.remove(SubscriptionId(2), &mut rng));
@@ -468,6 +614,97 @@ mod tests {
         let mut rng = rng();
         st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
         st.insert(SubscriptionId(1), sub(&schema, (0, 10), (0, 10)), &mut rng);
+    }
+
+    #[test]
+    fn admit_batch_parks_narrow_under_wide_regardless_of_batch_order() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        // Narrow-first in the batch; widest-first admission must still park
+        // both narrow subscriptions under the wide one.
+        let outcomes = st.admit_batch(
+            vec![
+                (SubscriptionId(1), sub(&schema, (10, 20), (10, 20))),
+                (SubscriptionId(2), sub(&schema, (30, 35), (30, 35))),
+                (SubscriptionId(3), sub(&schema, (0, 50), (0, 50))),
+            ],
+            &mut rng,
+        );
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].0, SubscriptionId(1));
+        assert!(!outcomes[0].1.is_active());
+        assert!(!outcomes[1].1.is_active());
+        assert!(outcomes[2].1.is_active());
+        assert_eq!(st.active_len(), 1);
+        assert_eq!(st.covered_len(), 2);
+        // No demotions happened: the wide subscription went in first.
+        assert!(matches!(&outcomes[2].1, InsertOutcome::Active { demoted } if demoted.is_empty()));
+    }
+
+    #[test]
+    fn admit_batch_matches_sequential_store_contents() {
+        let schema = schema();
+        let subs = [
+            sub(&schema, (0, 60), (0, 60)),
+            sub(&schema, (50, 99), (0, 99)),
+            sub(&schema, (10, 20), (10, 20)),
+            sub(&schema, (55, 70), (5, 50)),
+            sub(&schema, (0, 99), (0, 99)),
+        ];
+        let mut batched = store();
+        batched.admit_batch(
+            subs.iter()
+                .enumerate()
+                .map(|(i, s)| (SubscriptionId(i as u64), s.clone()))
+                .collect(),
+            &mut rng(),
+        );
+        let mut sequential = store();
+        let mut rng2 = rng();
+        for (i, s) in subs.iter().enumerate() {
+            sequential.insert(SubscriptionId(i as u64), s.clone(), &mut rng2);
+        }
+        // Same membership; matching results agree on a probe grid.
+        assert_eq!(batched.len(), sequential.len());
+        for x in (0..100).step_by(9) {
+            for y in (0..100).step_by(13) {
+                let p = Publication::builder(&schema)
+                    .set("x0", x)
+                    .set("x1", y)
+                    .build()
+                    .unwrap();
+                let mut a = batched.match_publication(&p);
+                let mut b = sequential.match_publication(&p);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "mismatch at ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_occupancy_and_counters() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        st.insert(SubscriptionId(1), sub(&schema, (0, 50), (0, 50)), &mut rng);
+        st.insert(
+            SubscriptionId(2),
+            sub(&schema, (10, 20), (10, 20)),
+            &mut rng,
+        );
+        let p = Publication::builder(&schema)
+            .set("x0", 15)
+            .set("x1", 15)
+            .build()
+            .unwrap();
+        st.match_publication(&p);
+        let snap = st.stats_snapshot();
+        assert_eq!(snap.active, 1);
+        assert_eq!(snap.covered, 1);
+        assert_eq!(snap.match_stats, st.stats());
+        assert!(snap.match_stats.active_checked > 0);
     }
 
     #[test]

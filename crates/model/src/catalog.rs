@@ -44,7 +44,11 @@ pub struct Enumeration {
 impl Enumeration {
     /// Creates an empty enumeration (for error messages, carries a name).
     pub fn new(name: impl Into<String>) -> Self {
-        Enumeration { name: name.into(), symbols: Vec::new(), ordinals: HashMap::new() }
+        Enumeration {
+            name: name.into(),
+            symbols: Vec::new(),
+            ordinals: HashMap::new(),
+        }
     }
 
     /// Builds from an ordered symbol list.
@@ -60,7 +64,7 @@ impl Enumeration {
         for s in symbols {
             let s = s.into();
             assert!(
-                e.ordinals.get(&s).is_none(),
+                !e.ordinals.contains_key(&s),
                 "duplicate symbol `{s}` in enumeration `{}`",
                 e.name
             );
@@ -93,7 +97,10 @@ impl Enumeration {
 
     /// The symbol at `ordinal`, if valid.
     pub fn symbol(&self, ordinal: i64) -> Option<&str> {
-        usize::try_from(ordinal).ok().and_then(|i| self.symbols.get(i)).map(|s| s.as_str())
+        usize::try_from(ordinal)
+            .ok()
+            .and_then(|i| self.symbols.get(i))
+            .map(|s| s.as_str())
     }
 
     /// Number of interned symbols.
@@ -197,12 +204,7 @@ impl Timeline {
     ///
     /// # Errors
     /// [`ModelError::EmptyRange`] when `from` is after `to`.
-    pub fn window(
-        &self,
-        day: i64,
-        from: (u32, u32),
-        to: (u32, u32),
-    ) -> Result<Range, ModelError> {
+    pub fn window(&self, day: i64, from: (u32, u32), to: (u32, u32)) -> Result<Range, ModelError> {
         Range::new(self.at(day, from.0, from.1), self.at(day, to.0, to.1))
     }
 

@@ -53,7 +53,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             ModelError::AttributeOutOfBounds { index, len } => {
-                write!(f, "attribute index {index} out of bounds for schema of {len}")
+                write!(
+                    f,
+                    "attribute index {index} out of bounds for schema of {len}"
+                )
             }
             ModelError::OutOfDomain { attribute, value } => {
                 write!(f, "value {value} outside domain of attribute `{attribute}`")
@@ -65,7 +68,10 @@ impl fmt::Display for ModelError {
                 write!(f, "publication missing value for attribute `{name}`")
             }
             ModelError::SchemaMismatch { expected, found } => {
-                write!(f, "schema mismatch: expected {expected} attributes, found {found}")
+                write!(
+                    f,
+                    "schema mismatch: expected {expected} attributes, found {found}"
+                )
             }
         }
     }
@@ -97,10 +103,16 @@ mod tests {
             ModelError::EmptyRange { lo: 1, hi: 0 },
             ModelError::UnknownAttribute("x".into()),
             ModelError::AttributeOutOfBounds { index: 9, len: 3 },
-            ModelError::OutOfDomain { attribute: "x".into(), value: -1 },
+            ModelError::OutOfDomain {
+                attribute: "x".into(),
+                value: -1,
+            },
             ModelError::DuplicateConstraint("x".into()),
             ModelError::MissingValue("x".into()),
-            ModelError::SchemaMismatch { expected: 3, found: 2 },
+            ModelError::SchemaMismatch {
+                expected: 3,
+                found: 2,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

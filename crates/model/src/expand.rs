@@ -34,7 +34,10 @@ pub struct Template {
 impl Template {
     /// Starts an unconstrained template over `schema`.
     pub fn new(schema: &Schema) -> Self {
-        Template { schema: schema.clone(), choices: vec![Vec::new(); schema.len()] }
+        Template {
+            schema: schema.clone(),
+            choices: vec![Vec::new(); schema.len()],
+        }
     }
 
     /// Sets the admissible ranges for attribute `attr` (by index), replacing
@@ -44,7 +47,10 @@ impl Template {
     /// # Panics
     /// Panics if `attr` is out of bounds for the schema.
     pub fn alternatives(mut self, attr: usize, ranges: Vec<Range>) -> Self {
-        assert!(attr < self.choices.len(), "attribute index {attr} out of bounds");
+        assert!(
+            attr < self.choices.len(),
+            "attribute index {attr} out of bounds"
+        );
         self.choices[attr] = coalesce(ranges);
         self
     }
@@ -65,11 +71,13 @@ impl Template {
     pub fn expand(&self, cap: usize) -> Result<Vec<Subscription>, ModelError> {
         let size = self.expansion_size();
         if size > cap {
-            return Err(ModelError::SchemaMismatch { expected: cap, found: size });
+            return Err(ModelError::SchemaMismatch {
+                expected: cap,
+                found: size,
+            });
         }
         let mut out = Vec::with_capacity(size);
-        let mut ranges: Vec<Range> =
-            self.schema.iter().map(|(_, a)| *a.domain()).collect();
+        let mut ranges: Vec<Range> = self.schema.iter().map(|(_, a)| *a.domain()).collect();
         self.expand_rec(0, &mut ranges, &mut out)?;
         Ok(out)
     }
@@ -132,7 +140,10 @@ mod tests {
             coalesce(vec![r(5, 10), r(0, 3), r(4, 6), r(20, 25)]),
             vec![r(0, 10), r(20, 25)]
         );
-        assert_eq!(coalesce(vec![r(17, 17), r(19, 19), r(18, 18)]), vec![r(17, 19)]);
+        assert_eq!(
+            coalesce(vec![r(17, 17), r(19, 19), r(18, 18)]),
+            vec![r(17, 19)]
+        );
         assert_eq!(coalesce(vec![]), vec![]);
         assert_eq!(coalesce(vec![r(1, 2)]), vec![r(1, 2)]);
     }
@@ -184,8 +195,10 @@ mod tests {
             .unwrap();
         assert_eq!(subs.len(), 4);
         // Consecutive Fridays are 7 days apart.
-        let starts: Vec<i64> =
-            subs.iter().map(|s| s.range(crate::AttrId(1)).lo()).collect();
+        let starts: Vec<i64> = subs
+            .iter()
+            .map(|s| s.range(crate::AttrId(1)).lo())
+            .collect();
         for w in starts.windows(2) {
             assert_eq!(w[1] - w[0], 7 * tl.steps_per_day());
         }

@@ -53,13 +53,14 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
-pub mod expand;
 mod error;
+pub mod expand;
 mod publication;
 mod range;
 mod schema;
 mod subscription;
 mod volume;
+pub mod wire;
 
 pub use error::ModelError;
 pub use publication::{Publication, PublicationBuilder, PublicationId};

@@ -80,7 +80,10 @@ impl Publication {
                 });
             }
         }
-        Ok(Publication { schema: schema.clone(), values })
+        Ok(Publication {
+            schema: schema.clone(),
+            values,
+        })
     }
 
     /// The schema this publication lives in.
@@ -115,8 +118,7 @@ impl Publication {
                     .expect("point is inside domain, so box intersects it")
             })
             .collect();
-        Subscription::from_ranges(&self.schema, ranges)
-            .expect("clamped ranges are within domains")
+        Subscription::from_ranges(&self.schema, ranges).expect("clamped ranges are within domains")
     }
 }
 
@@ -151,8 +153,10 @@ impl PublicationBuilder {
             None => self.error = Some(ModelError::UnknownAttribute(name.to_string())),
             Some(id) => {
                 if !self.schema.domain(id).contains(v) {
-                    self.error =
-                        Some(ModelError::OutOfDomain { attribute: name.to_string(), value: v });
+                    self.error = Some(ModelError::OutOfDomain {
+                        attribute: name.to_string(),
+                        value: v,
+                    });
                 } else {
                     self.values[id.0] = Some(v);
                 }
@@ -203,7 +207,10 @@ impl PublicationBuilder {
                 None => return Err(ModelError::MissingValue(attr.name().to_string())),
             }
         }
-        Ok(Publication { schema: self.schema, values })
+        Ok(Publication {
+            schema: self.schema,
+            values,
+        })
     }
 }
 
@@ -212,36 +219,64 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::builder().attribute("a", 0, 100).attribute("b", -50, 50).build()
+        Schema::builder()
+            .attribute("a", 0, 100)
+            .attribute("b", -50, 50)
+            .build()
     }
 
     #[test]
     fn builder_requires_all_values() {
-        let err = Publication::builder(&schema()).set("a", 5).build().unwrap_err();
+        let err = Publication::builder(&schema())
+            .set("a", 5)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ModelError::MissingValue("b".into()));
     }
 
     #[test]
     fn builder_rejects_out_of_domain() {
-        let err = Publication::builder(&schema()).set("a", 101).build().unwrap_err();
-        assert_eq!(err, ModelError::OutOfDomain { attribute: "a".into(), value: 101 });
+        let err = Publication::builder(&schema())
+            .set("a", 101)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::OutOfDomain {
+                attribute: "a".into(),
+                value: 101
+            }
+        );
     }
 
     #[test]
     fn builder_rejects_unknown_attribute() {
-        let err = Publication::builder(&schema()).set("zzz", 1).build().unwrap_err();
+        let err = Publication::builder(&schema())
+            .set("zzz", 1)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ModelError::UnknownAttribute("zzz".into()));
     }
 
     #[test]
     fn from_values_checks_arity() {
         let err = Publication::from_values(&schema(), vec![1]).unwrap_err();
-        assert_eq!(err, ModelError::SchemaMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            ModelError::SchemaMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]
     fn set_id_matches_set_by_name() {
-        let a = Publication::builder(&schema()).set("a", 7).set("b", -3).build().unwrap();
+        let a = Publication::builder(&schema())
+            .set("a", 7)
+            .set("b", -3)
+            .build()
+            .unwrap();
         let b = Publication::builder(&schema())
             .set_id(AttrId(0), 7)
             .set_id(AttrId(1), -3)
@@ -253,7 +288,11 @@ mod tests {
 
     #[test]
     fn to_box_clamps_to_domain() {
-        let p = Publication::builder(&schema()).set("a", 1).set("b", 50).build().unwrap();
+        let p = Publication::builder(&schema())
+            .set("a", 1)
+            .set("b", 50)
+            .build()
+            .unwrap();
         let boxed = p.to_box(5);
         assert_eq!(boxed.range(AttrId(0)), &Range::new(0, 6).unwrap());
         assert_eq!(boxed.range(AttrId(1)), &Range::new(45, 50).unwrap());
@@ -263,7 +302,11 @@ mod tests {
 
     #[test]
     fn to_box_radius_zero_is_the_point() {
-        let p = Publication::builder(&schema()).set("a", 10) .set("b", 0).build().unwrap();
+        let p = Publication::builder(&schema())
+            .set("a", 10)
+            .set("b", 0)
+            .build()
+            .unwrap();
         let boxed = p.to_box(0);
         assert_eq!(boxed.size_exact(), Some(1));
         assert!(boxed.matches(&p));
@@ -271,7 +314,11 @@ mod tests {
 
     #[test]
     fn display_lists_attributes() {
-        let p = Publication::builder(&schema()).set("a", 1).set("b", 2).build().unwrap();
+        let p = Publication::builder(&schema())
+            .set("a", 1)
+            .set("b", 2)
+            .build()
+            .unwrap();
         assert_eq!(p.to_string(), "(a=1, b=2)");
     }
 }

@@ -108,7 +108,10 @@ impl Range {
         if self.lo >= v {
             return None;
         }
-        Some(Range { lo: self.lo, hi: self.hi.min(v - 1) })
+        Some(Range {
+            lo: self.lo,
+            hi: self.hi.min(v - 1),
+        })
     }
 
     /// The part of `self` strictly above `v`, i.e. `self ∩ [v+1, +∞)`.
@@ -119,7 +122,10 @@ impl Range {
         if self.hi <= v {
             return None;
         }
-        Some(Range { lo: self.lo.max(v + 1), hi: self.hi })
+        Some(Range {
+            lo: self.lo.max(v + 1),
+            hi: self.hi,
+        })
     }
 
     /// Width of the range as a fraction of `domain`'s width.
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn new_rejects_inverted_bounds() {
-        assert_eq!(Range::new(3, 2), Err(ModelError::EmptyRange { lo: 3, hi: 2 }));
+        assert_eq!(
+            Range::new(3, 2),
+            Err(ModelError::EmptyRange { lo: 3, hi: 2 })
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an attribute with the given name and domain.
     pub fn new(name: impl Into<String>, domain: Range) -> Self {
-        Attribute { name: name.into(), domain }
+        Attribute {
+            name: name.into(),
+            domain,
+        }
     }
 
     /// The attribute's name.
@@ -76,7 +79,9 @@ struct SchemaInner {
 impl Schema {
     /// Starts building a schema.
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { attributes: Vec::new() }
+        SchemaBuilder {
+            attributes: Vec::new(),
+        }
     }
 
     /// Builds a uniform schema of `m` attributes named `x0..x{m-1}`, all with
@@ -88,15 +93,24 @@ impl Schema {
     /// Panics if `lo > hi`.
     pub fn uniform(m: usize, lo: i64, hi: i64) -> Self {
         let domain = Range::new(lo, hi).expect("uniform schema domain must be non-empty");
-        let attributes =
-            (0..m).map(|j| Attribute::new(format!("x{j}"), domain)).collect::<Vec<_>>();
+        let attributes = (0..m)
+            .map(|j| Attribute::new(format!("x{j}"), domain))
+            .collect::<Vec<_>>();
         Self::from_attributes(attributes)
     }
 
     fn from_attributes(attributes: Vec<Attribute>) -> Self {
-        let by_name =
-            attributes.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
-        Schema { inner: Arc::new(SchemaInner { attributes, by_name }) }
+        let by_name = attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+        Schema {
+            inner: Arc::new(SchemaInner {
+                attributes,
+                by_name,
+            }),
+        }
     }
 
     /// Number of attributes (`m`).
@@ -130,7 +144,11 @@ impl Schema {
 
     /// Iterates over `(AttrId, &Attribute)` pairs in schema order.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
-        self.inner.attributes.iter().enumerate().map(|(i, a)| (AttrId(i), a))
+        self.inner
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i), a))
     }
 
     /// The domain of attribute `id`.
@@ -149,7 +167,10 @@ impl Schema {
         if id.0 < self.len() {
             Ok(())
         } else {
-            Err(ModelError::AttributeOutOfBounds { index: id.0, len: self.len() })
+            Err(ModelError::AttributeOutOfBounds {
+                index: id.0,
+                len: self.len(),
+            })
         }
     }
 
@@ -210,7 +231,10 @@ mod tests {
 
     #[test]
     fn name_lookup() {
-        let s = Schema::builder().attribute("price", 0, 1000).attribute("qty", 1, 64).build();
+        let s = Schema::builder()
+            .attribute("price", 0, 1000)
+            .attribute("qty", 1, 64)
+            .build();
         assert_eq!(s.attr_id("price"), Some(AttrId(0)));
         assert_eq!(s.attr_id("qty"), Some(AttrId(1)));
         assert_eq!(s.attr_id("missing"), None);
@@ -229,7 +253,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate attribute name")]
     fn duplicate_names_panic() {
-        let _ = Schema::builder().attribute("a", 0, 1).attribute("a", 0, 1).build();
+        let _ = Schema::builder()
+            .attribute("a", 0, 1)
+            .attribute("a", 0, 1)
+            .build();
     }
 
     #[test]

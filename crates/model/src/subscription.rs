@@ -85,10 +85,16 @@ impl Subscription {
             let dom = attr.domain();
             if !dom.contains_range(r) {
                 let value = if r.lo() < dom.lo() { r.lo() } else { r.hi() };
-                return Err(ModelError::OutOfDomain { attribute: attr.name().to_string(), value });
+                return Err(ModelError::OutOfDomain {
+                    attribute: attr.name().to_string(),
+                    value,
+                });
             }
         }
-        Ok(Subscription { schema: schema.clone(), ranges })
+        Ok(Subscription {
+            schema: schema.clone(),
+            ranges,
+        })
     }
 
     /// The subscription covering the entire space (all full domains).
@@ -143,7 +149,10 @@ impl Subscription {
     /// Whether the publication point lies inside this rectangle.
     pub fn matches(&self, p: &Publication) -> bool {
         debug_assert_eq!(p.values().len(), self.ranges.len());
-        self.ranges.iter().zip(p.values()).all(|(r, &v)| r.contains(v))
+        self.ranges
+            .iter()
+            .zip(p.values())
+            .all(|(r, &v)| r.contains(v))
     }
 
     /// Whether the integer point (given in schema order) lies inside.
@@ -157,13 +166,19 @@ impl Subscription {
     /// covering-based routing uses.
     pub fn covers(&self, other: &Subscription) -> bool {
         debug_assert_eq!(self.arity(), other.arity());
-        self.ranges.iter().zip(&other.ranges).all(|(a, b)| a.contains_range(b))
+        self.ranges
+            .iter()
+            .zip(&other.ranges)
+            .all(|(a, b)| a.contains_range(b))
     }
 
     /// Whether the rectangles share at least one point.
     pub fn intersects(&self, other: &Subscription) -> bool {
         debug_assert_eq!(self.arity(), other.arity());
-        self.ranges.iter().zip(&other.ranges).all(|(a, b)| a.intersects(b))
+        self.ranges
+            .iter()
+            .zip(&other.ranges)
+            .all(|(a, b)| a.intersects(b))
     }
 
     /// Intersection rectangle, or `None` if disjoint.
@@ -173,7 +188,10 @@ impl Subscription {
         for (a, b) in self.ranges.iter().zip(&other.ranges) {
             ranges.push(a.intersection(b)?);
         }
-        Some(Subscription { schema: self.schema.clone(), ranges })
+        Some(Subscription {
+            schema: self.schema.clone(),
+            ranges,
+        })
     }
 
     /// `I(s)`: the number of integer points inside, exact while it fits
@@ -200,7 +218,8 @@ impl Subscription {
 
     /// Fraction of the whole schema space occupied by this subscription.
     pub fn density(&self) -> f64 {
-        self.size().ratio(&Subscription::whole_space(&self.schema).size())
+        self.size()
+            .ratio(&Subscription::whole_space(&self.schema).size())
     }
 }
 
@@ -291,8 +310,10 @@ impl SubscriptionBuilder {
         let dom = self.schema.domain(id);
         match r.clamp_to(dom) {
             None => {
-                self.error =
-                    Some(ModelError::OutOfDomain { attribute: name.to_string(), value: lo });
+                self.error = Some(ModelError::OutOfDomain {
+                    attribute: name.to_string(),
+                    value: lo,
+                });
             }
             Some(clamped) => {
                 self.ranges[id.0] = clamped;
@@ -311,7 +332,10 @@ impl SubscriptionBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        Ok(Subscription { schema: self.schema, ranges: self.ranges })
+        Ok(Subscription {
+            schema: self.schema,
+            ranges: self.ranges,
+        })
     }
 }
 
@@ -323,7 +347,10 @@ mod tests {
 
     fn schema2() -> Schema {
         // Matches Figure 2 of the paper: x1 ∈ [800, 900], x2 ∈ [1000, 1010].
-        Schema::builder().attribute("x1", 800, 900).attribute("x2", 1000, 1010).build()
+        Schema::builder()
+            .attribute("x1", 800, 900)
+            .attribute("x2", 1000, 1010)
+            .build()
     }
 
     fn sub(schema: &Schema, x1: (i64, i64), x2: (i64, i64)) -> Subscription {
@@ -360,7 +387,10 @@ mod tests {
     #[test]
     fn unconstrained_attributes_default_to_domain() {
         let schema = schema2();
-        let s = Subscription::builder(&schema).range("x1", 810, 820).build().unwrap();
+        let s = Subscription::builder(&schema)
+            .range("x1", 810, 820)
+            .build()
+            .unwrap();
         assert_eq!(s.range(AttrId(1)), &Range::new(1000, 1010).unwrap());
         assert!(s.to_string().contains("x2: *"));
     }
@@ -368,7 +398,10 @@ mod tests {
     #[test]
     fn builder_detects_unknown_and_duplicate() {
         let schema = schema2();
-        let err = Subscription::builder(&schema).range("bogus", 0, 1).build().unwrap_err();
+        let err = Subscription::builder(&schema)
+            .range("bogus", 0, 1)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ModelError::UnknownAttribute("bogus".into()));
         let err = Subscription::builder(&schema)
             .range("x1", 810, 820)
@@ -381,9 +414,15 @@ mod tests {
     #[test]
     fn builder_clamps_partial_overflow_and_rejects_disjoint() {
         let schema = schema2();
-        let s = Subscription::builder(&schema).range("x1", 700, 850).build().unwrap();
+        let s = Subscription::builder(&schema)
+            .range("x1", 700, 850)
+            .build()
+            .unwrap();
         assert_eq!(s.range(AttrId(0)), &Range::new(800, 850).unwrap());
-        let err = Subscription::builder(&schema).range("x1", 0, 10).build().unwrap_err();
+        let err = Subscription::builder(&schema)
+            .range("x1", 0, 10)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModelError::OutOfDomain { .. }));
     }
 
@@ -391,7 +430,13 @@ mod tests {
     fn from_ranges_validates_arity_and_domain() {
         let schema = schema2();
         let err = Subscription::from_ranges(&schema, vec![Range::point(800)]).unwrap_err();
-        assert_eq!(err, ModelError::SchemaMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            ModelError::SchemaMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
         let err = Subscription::from_ranges(
             &schema,
             vec![Range::new(700, 850).unwrap(), Range::point(1005)],
@@ -421,10 +466,16 @@ mod tests {
     fn matches_publication() {
         let schema = schema2();
         let s = sub(&schema, (830, 870), (1003, 1006));
-        let inside =
-            Publication::builder(&schema).set("x1", 850).set("x2", 1004).build().unwrap();
-        let outside =
-            Publication::builder(&schema).set("x1", 829).set("x2", 1004).build().unwrap();
+        let inside = Publication::builder(&schema)
+            .set("x1", 850)
+            .set("x2", 1004)
+            .build()
+            .unwrap();
+        let outside = Publication::builder(&schema)
+            .set("x1", 829)
+            .set("x2", 1004)
+            .build()
+            .unwrap();
         assert!(s.matches(&inside));
         assert!(!s.matches(&outside));
     }

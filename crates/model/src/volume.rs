@@ -33,14 +33,18 @@ impl LogVolume {
     pub const ONE: LogVolume = LogVolume { ln: 0.0 };
 
     /// Volume zero (`ln = -∞`). Multiplying by zero stays zero.
-    pub const ZERO: LogVolume = LogVolume { ln: f64::NEG_INFINITY };
+    pub const ZERO: LogVolume = LogVolume {
+        ln: f64::NEG_INFINITY,
+    };
 
     /// Builds from an exact point count.
     pub fn from_count(count: u128) -> Self {
         if count == 0 {
             LogVolume::ZERO
         } else {
-            LogVolume { ln: (count as f64).ln() }
+            LogVolume {
+                ln: (count as f64).ln(),
+            }
         }
     }
 
@@ -89,7 +93,9 @@ impl Add for LogVolume {
     type Output = LogVolume;
     /// Multiplies the underlying quantities.
     fn add(self, rhs: LogVolume) -> LogVolume {
-        LogVolume { ln: self.ln + rhs.ln }
+        LogVolume {
+            ln: self.ln + rhs.ln,
+        }
     }
 }
 
@@ -103,7 +109,9 @@ impl Sub for LogVolume {
     type Output = LogVolume;
     /// Divides the underlying quantities.
     fn sub(self, rhs: LogVolume) -> LogVolume {
-        LogVolume { ln: self.ln - rhs.ln }
+        LogVolume {
+            ln: self.ln - rhs.ln,
+        }
     }
 }
 

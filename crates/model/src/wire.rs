@@ -1,0 +1,803 @@
+//! Wire DTOs and a minimal JSON codec for the service layer.
+//!
+//! The serving subsystem (`psc-service`) speaks a line-delimited JSON
+//! protocol over TCP. Because the build environment vendors serde as a
+//! no-op stand-in (see `vendor/serde`), the encoding here is hand-rolled:
+//! [`Json`] is a small self-contained JSON value type with a recursive
+//! descent parser and a compact serializer, and the DTO types map model
+//! objects onto stable wire shapes:
+//!
+//! - [`SubscriptionDto`] — `{"id": 7, "ranges": [[lo, hi], ...]}`;
+//! - [`PublicationDto`] — `{"values": [v0, v1, ...]}`;
+//! - [`SchemaDto`] — `[["name", lo, hi], ...]`.
+//!
+//! Numbers are kept as `i64` where the model is integral (attribute values,
+//! range endpoints) and as `u64` for subscription ids, so round-trips are
+//! exact; floats appear only in metrics payloads.
+
+use crate::{ModelError, Publication, Range, Schema, Subscription, SubscriptionId};
+use std::fmt;
+
+/// Error raised while decoding wire payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The payload is not syntactically valid JSON.
+    Syntax {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// The payload is valid JSON but not the expected shape.
+    Shape(String),
+    /// The decoded object failed model validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Syntax { at, expected } => {
+                write!(f, "invalid JSON at byte {at}: expected {expected}")
+            }
+            WireError::Shape(msg) => write!(f, "unexpected payload shape: {msg}"),
+            WireError::Model(e) => write!(f, "model validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ModelError> for WireError {
+    fn from(e: ModelError) -> Self {
+        WireError::Model(e)
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer that fits `i64` (the common case on this wire).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX` (large subscription ids).
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document, requiring it to span the whole input.
+    pub fn parse(input: &str) -> Result<Json, WireError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(WireError::Syntax {
+                at: pos,
+                expected: "end of input",
+            });
+        }
+        Ok(value)
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(v) => Some(v),
+            Json::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(v) => u64::try_from(v).ok(),
+            Json::UInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(v) => Some(v as f64),
+            Json::UInt(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array of `u64` ids.
+    pub fn id_array(ids: impl IntoIterator<Item = u64>) -> Json {
+        Json::Arr(ids.into_iter().map(Json::UInt).collect())
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+/// Maximum nesting depth accepted by the parser. Wire payloads nest three
+/// levels at most; the cap exists so a hostile line of `[[[[…` cannot
+/// overflow the stack of a server connection thread.
+const MAX_DEPTH: usize = 64;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, WireError> {
+    if depth > MAX_DEPTH {
+        return Err(WireError::Syntax {
+            at: *pos,
+            expected: "nesting no deeper than 64",
+        });
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(WireError::Syntax {
+            at: *pos,
+            expected: "a value",
+        }),
+        Some(b'n') => parse_lit(bytes, pos, b"null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(WireError::Syntax {
+                            at: *pos,
+                            expected: "',' or ']'",
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(WireError::Syntax {
+                        at: *pos,
+                        expected: "':'",
+                    });
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(WireError::Syntax {
+                            at: *pos,
+                            expected: "',' or '}'",
+                        })
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &'static [u8],
+    value: Json,
+) -> Result<Json, WireError> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(WireError::Syntax {
+            at: *pos,
+            expected: "null/true/false",
+        })
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(WireError::Syntax {
+            at: *pos,
+            expected: "'\"'",
+        });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(WireError::Syntax {
+                    at: *pos,
+                    expected: "closing '\"'",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or(WireError::Syntax {
+                    at: *pos,
+                    expected: "escape character",
+                })?;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(WireError::Syntax {
+                            at: *pos,
+                            expected: "4 hex digits",
+                        })?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| WireError::Syntax {
+                            at: *pos,
+                            expected: "hex digits",
+                        })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| WireError::Syntax {
+                            at: *pos,
+                            expected: "hex digits",
+                        })?;
+                        // Surrogate pairs are not needed on this wire; map
+                        // lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(WireError::Syntax {
+                            at: *pos,
+                            expected: "valid escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid UTF-8"));
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number");
+    if *pos == start {
+        return Err(WireError::Syntax {
+            at: start,
+            expected: "a number",
+        });
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Json::Int(v));
+        }
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| WireError::Syntax {
+            at: start,
+            expected: "a number",
+        })
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::with_capacity(k.len() + 2);
+                    escape_into(&mut buf, k);
+                    f.write_str(&buf)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Wire shape of a subscription: an id plus one `[lo, hi]` pair per
+/// attribute, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionDto {
+    /// The subscriber-assigned id.
+    pub id: u64,
+    /// Closed ranges, one per schema attribute.
+    pub ranges: Vec<(i64, i64)>,
+}
+
+impl SubscriptionDto {
+    /// Captures a model subscription.
+    pub fn from_subscription(id: SubscriptionId, sub: &Subscription) -> Self {
+        SubscriptionDto {
+            id: id.0,
+            ranges: sub.ranges().iter().map(|r| (r.lo(), r.hi())).collect(),
+        }
+    }
+
+    /// Validates against `schema` and builds the model subscription.
+    pub fn into_subscription(
+        self,
+        schema: &Schema,
+    ) -> Result<(SubscriptionId, Subscription), WireError> {
+        let ranges = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| Range::new(lo, hi))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sub = Subscription::from_ranges(schema, ranges)?;
+        Ok((SubscriptionId(self.id), sub))
+    }
+
+    /// Encodes as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::UInt(self.id)),
+            (
+                "ranges",
+                Json::Arr(
+                    self.ranges
+                        .iter()
+                        .map(|&(lo, hi)| Json::Arr(vec![Json::Int(lo), Json::Int(hi)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let id = value
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::Shape("subscription needs a numeric \"id\"".into()))?;
+        let ranges = value
+            .get("ranges")
+            .and_then(Json::as_array)
+            .ok_or_else(|| WireError::Shape("subscription needs a \"ranges\" array".into()))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| WireError::Shape("each range must be [lo, hi]".into()))?;
+                let lo = pair[0]
+                    .as_i64()
+                    .ok_or_else(|| WireError::Shape("range lo must be an integer".into()))?;
+                let hi = pair[1]
+                    .as_i64()
+                    .ok_or_else(|| WireError::Shape("range hi must be an integer".into()))?;
+                Ok((lo, hi))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        Ok(SubscriptionDto { id, ranges })
+    }
+}
+
+/// Wire shape of a publication: one value per schema attribute, in schema
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicationDto {
+    /// Attribute values in schema order.
+    pub values: Vec<i64>,
+}
+
+impl PublicationDto {
+    /// Captures a model publication.
+    pub fn from_publication(p: &Publication) -> Self {
+        PublicationDto {
+            values: p.values().to_vec(),
+        }
+    }
+
+    /// Validates against `schema` and builds the model publication.
+    pub fn into_publication(self, schema: &Schema) -> Result<Publication, WireError> {
+        Ok(Publication::from_values(schema, self.values)?)
+    }
+
+    /// Encodes as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "values",
+            Json::Arr(self.values.iter().map(|&v| Json::Int(v)).collect()),
+        )])
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let values = value
+            .get("values")
+            .and_then(Json::as_array)
+            .ok_or_else(|| WireError::Shape("publication needs a \"values\" array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .ok_or_else(|| WireError::Shape("publication values must be integers".into()))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        Ok(PublicationDto { values })
+    }
+}
+
+/// Wire shape of a schema: `[["name", lo, hi], ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaDto {
+    /// `(name, lo, hi)` per attribute.
+    pub attributes: Vec<(String, i64, i64)>,
+}
+
+impl SchemaDto {
+    /// Captures a model schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        SchemaDto {
+            attributes: schema
+                .iter()
+                .map(|(_, a)| (a.name().to_string(), a.domain().lo(), a.domain().hi()))
+                .collect(),
+        }
+    }
+
+    /// Validates and builds the model schema.
+    ///
+    /// Rejects inverted domains and duplicate attribute names instead of
+    /// panicking inside the schema builder — this runs on data received
+    /// from the network (a `hello` response).
+    pub fn into_schema(self) -> Result<Schema, WireError> {
+        let mut b = Schema::builder();
+        let mut seen = std::collections::HashSet::new();
+        for (name, lo, hi) in self.attributes {
+            if lo > hi {
+                return Err(WireError::Shape(format!(
+                    "attribute \"{name}\" has inverted domain [{lo}, {hi}]"
+                )));
+            }
+            if !seen.insert(name.clone()) {
+                return Err(WireError::Shape(format!("duplicate attribute \"{name}\"")));
+            }
+            b = b.attribute(name, lo, hi);
+        }
+        Ok(b.build())
+    }
+
+    /// Encodes as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.attributes
+                .iter()
+                .map(|(name, lo, hi)| {
+                    Json::Arr(vec![
+                        Json::Str(name.clone()),
+                        Json::Int(*lo),
+                        Json::Int(*hi),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes from a JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let attributes = value
+            .as_array()
+            .ok_or_else(|| WireError::Shape("schema must be an array".into()))?
+            .iter()
+            .map(|attr| {
+                let attr = attr.as_array().filter(|a| a.len() == 3).ok_or_else(|| {
+                    WireError::Shape("each attribute must be [name, lo, hi]".into())
+                })?;
+                let name = attr[0]
+                    .as_str()
+                    .ok_or_else(|| WireError::Shape("attribute name must be a string".into()))?;
+                let lo = attr[1]
+                    .as_i64()
+                    .ok_or_else(|| WireError::Shape("attribute lo must be an integer".into()))?;
+                let hi = attr[2]
+                    .as_i64()
+                    .ok_or_else(|| WireError::Shape("attribute hi must be an integer".into()))?;
+                Ok((name.to_string(), lo, hi))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        Ok(SchemaDto { attributes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"op":"publish","values":[1,-2,3],"nested":{"x":[]}}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("publish"));
+        let values = v.get("values").and_then(Json::as_array).unwrap();
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[1].as_i64(), Some(-2));
+        assert!(v
+            .get("nested")
+            .unwrap()
+            .get("x")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let cases = [
+            r#"{"op":"subscribe","id":7,"ranges":[[0,9],[5,5]]}"#,
+            r#"[1,2.5,"x",null,true,{"k":"v"}]"#,
+            r#""quote \" backslash \\ newline \n""#,
+        ];
+        for case in cases {
+            let parsed = Json::parse(case).unwrap();
+            let printed = parsed.to_string();
+            assert_eq!(Json::parse(&printed).unwrap(), parsed, "case {case}");
+        }
+    }
+
+    #[test]
+    fn subscription_dto_round_trips() {
+        let schema = Schema::uniform(3, 0, 99);
+        let sub = Subscription::builder(&schema)
+            .range("x0", 5, 20)
+            .range("x1", 0, 99)
+            .point("x2", 7)
+            .build()
+            .unwrap();
+        let dto = SubscriptionDto::from_subscription(SubscriptionId(41), &sub);
+        let json = dto.to_json().to_string();
+        let back = SubscriptionDto::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, dto);
+        let (id, rebuilt) = back.into_subscription(&schema).unwrap();
+        assert_eq!(id, SubscriptionId(41));
+        assert_eq!(rebuilt, sub);
+    }
+
+    #[test]
+    fn publication_dto_round_trips() {
+        let schema = Schema::uniform(2, -50, 49);
+        let p = Publication::from_values(&schema, vec![-3, 17]).unwrap();
+        let dto = PublicationDto::from_publication(&p);
+        let json = dto.to_json().to_string();
+        let back = PublicationDto::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, dto);
+        assert_eq!(back.into_publication(&schema).unwrap(), p);
+    }
+
+    #[test]
+    fn schema_dto_round_trips() {
+        let schema = Schema::builder()
+            .attribute("bID", 0, 10_000)
+            .attribute("size", 10, 30)
+            .build();
+        let dto = SchemaDto::from_schema(&schema);
+        let json = dto.to_json().to_string();
+        let back = SchemaDto::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, dto);
+        assert!(back.into_schema().unwrap().same_shape(&schema));
+    }
+
+    #[test]
+    fn schema_dto_rejects_invalid_schemas() {
+        let inverted = SchemaDto {
+            attributes: vec![("a".into(), 5, 3)],
+        };
+        assert!(matches!(inverted.into_schema(), Err(WireError::Shape(_))));
+        let duplicate = SchemaDto {
+            attributes: vec![("a".into(), 0, 9), ("a".into(), 0, 9)],
+        };
+        assert!(matches!(duplicate.into_schema(), Err(WireError::Shape(_))));
+    }
+
+    #[test]
+    fn dto_decode_reports_shape_errors() {
+        let bad = Json::parse(r#"{"id":1,"ranges":[[1]]}"#).unwrap();
+        assert!(matches!(
+            SubscriptionDto::from_json(&bad),
+            Err(WireError::Shape(_))
+        ));
+        let bad = Json::parse(r#"{"values":["x"]}"#).unwrap();
+        assert!(matches!(
+            PublicationDto::from_json(&bad),
+            Err(WireError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn dto_decode_surfaces_model_errors() {
+        let schema = Schema::uniform(1, 0, 9);
+        let dto = SubscriptionDto {
+            id: 1,
+            ranges: vec![(5, 3)],
+        };
+        assert!(matches!(
+            dto.into_subscription(&schema),
+            Err(WireError::Model(_))
+        ));
+        let dto = PublicationDto { values: vec![100] };
+        assert!(matches!(
+            dto.into_publication(&schema),
+            Err(WireError::Model(_))
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! A blocking client for the line-delimited JSON protocol.
+
+use crate::metrics::ServiceMetrics;
+use crate::wire::{Request, Response};
+use psc_model::wire::{PublicationDto, SubscriptionDto, WireError};
+use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's response line did not decode.
+    Wire(WireError),
+    /// The server answered with an error response.
+    Server(String),
+    /// The server answered with a response of the wrong kind.
+    UnexpectedResponse(Response),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::UnexpectedResponse(r) => write!(f, "unexpected response: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`crate::ServiceServer`].
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServiceClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut response_line = String::new();
+        let n = self.reader.read_line(&mut response_line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = Response::decode(response_line.trim_end())?;
+        if let Response::Error(message) = response {
+            return Err(ClientError::Server(message));
+        }
+        Ok(response)
+    }
+
+    /// Handshake: returns the service schema and shard count.
+    pub fn hello(&mut self) -> Result<(Schema, u64), ClientError> {
+        match self.round_trip(&Request::Hello)? {
+            Response::Hello { schema, shards } => Ok((schema.into_schema()?, shards)),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
+    /// Enqueues a subscription for admission.
+    pub fn subscribe(&mut self, id: SubscriptionId, sub: &Subscription) -> Result<(), ClientError> {
+        let request = Request::Subscribe(SubscriptionDto::from_subscription(id, sub));
+        match self.round_trip(&request)? {
+            Response::Queued => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
+    /// Removes a subscription; returns whether the server had it stored.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<bool, ClientError> {
+        match self.round_trip(&Request::Unsubscribe(id.0))? {
+            Response::Removed(removed) => Ok(removed),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
+    /// Publishes and returns the matched subscription ids (ascending).
+    pub fn publish(&mut self, p: &Publication) -> Result<Vec<SubscriptionId>, ClientError> {
+        let request = Request::Publish(PublicationDto::from_publication(p));
+        match self.round_trip(&request)? {
+            Response::Matched(ids) => Ok(ids.into_iter().map(SubscriptionId).collect()),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
+    /// Forces admission of all buffered subscriptions.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Flush)? {
+            Response::Flushed => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
+    /// Scrapes service metrics.
+    pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(metrics) => Ok(metrics),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # psc-service
+//!
+//! A sharded, multi-threaded subscription/matching service wrapping the
+//! paper's subsumption machinery (`psc-core`'s checker inside
+//! `psc-matcher`'s covered/uncovered store) behind a concurrent API and a
+//! line-delimited JSON wire protocol over TCP — the first serving-layer
+//! subsystem on the ROADMAP's path to a production-scale system.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                      ┌────────────────────────────────────────────┐
+//!  TCP clients ──────▶ │ ServiceServer (accept + connection threads)│
+//!  (ServiceClient)     └──────────────────┬─────────────────────────┘
+//!                                         ▼
+//!                      ┌────────────────────────────────────────────┐
+//!                      │ PubSubService (router)                     │
+//!                      │  subscribe ──▶ per-shard admission buffers │
+//!                      │  publish ────▶ fan-out + merge             │
+//!                      └───┬───────────────┬──────────────────┬─────┘
+//!                          ▼               ▼                  ▼
+//!                     shard 0          shard 1    …      shard N-1
+//!                 (CoveringStore + SubsumptionChecker, own thread)
+//! ```
+//!
+//! - **Sharding** — subscription ids are hashed (SplitMix64 finalizer)
+//!   across `N` worker threads; each shard owns an independent
+//!   `CoveringStore`, so admission-time subsumption checks and
+//!   publication matching parallelize without locks.
+//! - **Admission pipeline** — `subscribe` buffers per shard and admits in
+//!   batches; the store admits widest-first within a batch, maximizing the
+//!   paper's covered/uncovered suppression.
+//! - **Fan-out matching** — `publish` (and the amortized `publish_batch`)
+//!   sends the publication set to every shard and merges the per-shard
+//!   match sets into one ascending id list.
+//! - **Metrics** — per-shard ingest/suppression/probe counters
+//!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate, in the
+//!   mold of `psc_broker::metrics`.
+//! - **Wire protocol** — newline-delimited JSON over `std::net` TCP; see
+//!   [`wire`] for the op table and [`ServiceClient`] for the blocking
+//!   client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+mod shard;
+
+pub use client::{ClientError, ServiceClient};
+pub use metrics::{ServiceMetrics, ShardMetrics};
+pub use server::ServiceServer;
+pub use service::{PubSubService, ServiceConfig, ServiceError};

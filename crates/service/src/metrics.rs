@@ -1,0 +1,279 @@
+//! Per-shard and service-wide metrics, modeled on `psc_broker::metrics`.
+//!
+//! Each shard worker owns its counters and reports them on demand through a
+//! [`crate::shard::ShardCommand::Scrape`] message, so scraping never takes a
+//! lock on the hot path. [`ServiceMetrics`] is the merged view a `stats`
+//! wire request returns.
+
+use psc_model::wire::{Json, WireError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters owned by one shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Subscriptions admitted into the shard's store.
+    pub subscriptions_ingested: u64,
+    /// Admitted subscriptions that were parked as covered (suppressed from
+    /// the active matching set).
+    pub subscriptions_suppressed: u64,
+    /// Subscriptions rejected on admission (duplicate id).
+    pub subscriptions_rejected: u64,
+    /// Unsubscriptions that removed a stored subscription.
+    pub unsubscriptions: u64,
+    /// Admission batches processed.
+    pub batches_admitted: u64,
+    /// Publications matched by this shard. Publications fan out to every
+    /// shard, so in aggregates this merges by max, not sum.
+    pub publications_processed: u64,
+    /// Local subscription matches produced across all publications.
+    pub notifications: u64,
+    /// Currently active (uncovered) subscriptions.
+    pub active_subscriptions: u64,
+    /// Currently covered (parked) subscriptions.
+    pub covered_subscriptions: u64,
+    /// Phase-1 probes: publication tests against the active set.
+    pub phase1_probes: u64,
+    /// Phase-2 probes: publication tests against the covered pool.
+    pub phase2_probes: u64,
+    /// Covered entries skipped by parent gating.
+    pub phase2_probes_skipped: u64,
+    /// Publications for which phase 2 was skipped wholesale.
+    pub phase2_wholesale_skips: u64,
+    /// Seconds since the shard worker started (at scrape time).
+    pub uptime_secs: f64,
+}
+
+impl ShardMetrics {
+    /// Fraction of ingested subscriptions suppressed from the active set.
+    pub fn suppression_ratio(&self) -> f64 {
+        if self.subscriptions_ingested == 0 {
+            0.0
+        } else {
+            self.subscriptions_suppressed as f64 / self.subscriptions_ingested as f64
+        }
+    }
+
+    /// Subscriptions admitted per second of shard uptime.
+    pub fn ingest_rate(&self) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            0.0
+        } else {
+            self.subscriptions_ingested as f64 / self.uptime_secs
+        }
+    }
+
+    /// Encodes as a JSON object for the wire `stats` response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ingested", Json::UInt(self.subscriptions_ingested)),
+            ("suppressed", Json::UInt(self.subscriptions_suppressed)),
+            ("rejected", Json::UInt(self.subscriptions_rejected)),
+            ("unsubscribed", Json::UInt(self.unsubscriptions)),
+            ("batches", Json::UInt(self.batches_admitted)),
+            ("publications", Json::UInt(self.publications_processed)),
+            ("notifications", Json::UInt(self.notifications)),
+            ("active", Json::UInt(self.active_subscriptions)),
+            ("covered", Json::UInt(self.covered_subscriptions)),
+            ("phase1_probes", Json::UInt(self.phase1_probes)),
+            ("phase2_probes", Json::UInt(self.phase2_probes)),
+            ("phase2_skipped", Json::UInt(self.phase2_probes_skipped)),
+            (
+                "phase2_wholesale_skips",
+                Json::UInt(self.phase2_wholesale_skips),
+            ),
+            ("uptime_secs", Json::Float(self.uptime_secs)),
+            ("suppression_ratio", Json::Float(self.suppression_ratio())),
+            ("ingest_rate", Json::Float(self.ingest_rate())),
+        ])
+    }
+
+    /// Decodes from the wire `stats` response.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let field = |key: &str| -> Result<u64, WireError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::Shape(format!("shard metrics missing \"{key}\"")))
+        };
+        Ok(ShardMetrics {
+            subscriptions_ingested: field("ingested")?,
+            subscriptions_suppressed: field("suppressed")?,
+            subscriptions_rejected: field("rejected")?,
+            unsubscriptions: field("unsubscribed")?,
+            batches_admitted: field("batches")?,
+            publications_processed: field("publications")?,
+            notifications: field("notifications")?,
+            active_subscriptions: field("active")?,
+            covered_subscriptions: field("covered")?,
+            phase1_probes: field("phase1_probes")?,
+            phase2_probes: field("phase2_probes")?,
+            phase2_probes_skipped: field("phase2_skipped")?,
+            phase2_wholesale_skips: field("phase2_wholesale_skips")?,
+            uptime_secs: value
+                .get("uptime_secs")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| WireError::Shape("shard metrics missing \"uptime_secs\"".into()))?,
+        })
+    }
+}
+
+impl AddAssign for ShardMetrics {
+    fn add_assign(&mut self, rhs: ShardMetrics) {
+        self.subscriptions_ingested += rhs.subscriptions_ingested;
+        self.subscriptions_suppressed += rhs.subscriptions_suppressed;
+        self.subscriptions_rejected += rhs.subscriptions_rejected;
+        self.unsubscriptions += rhs.unsubscriptions;
+        self.batches_admitted += rhs.batches_admitted;
+        // Every publication fans out to every shard, so summing would count
+        // each publication once per shard; like uptime, take the max.
+        self.publications_processed = self.publications_processed.max(rhs.publications_processed);
+        self.notifications += rhs.notifications;
+        self.active_subscriptions += rhs.active_subscriptions;
+        self.covered_subscriptions += rhs.covered_subscriptions;
+        self.phase1_probes += rhs.phase1_probes;
+        self.phase2_probes += rhs.phase2_probes;
+        self.phase2_probes_skipped += rhs.phase2_probes_skipped;
+        self.phase2_wholesale_skips += rhs.phase2_wholesale_skips;
+        self.uptime_secs = self.uptime_secs.max(rhs.uptime_secs);
+    }
+}
+
+impl fmt::Display for ShardMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingested: {} (suppressed: {}, ratio {:.2}), active/covered: {}/{}, \
+             pubs: {}, notifications: {}, probes p1/p2/skip: {}/{}/{}",
+            self.subscriptions_ingested,
+            self.subscriptions_suppressed,
+            self.suppression_ratio(),
+            self.active_subscriptions,
+            self.covered_subscriptions,
+            self.publications_processed,
+            self.notifications,
+            self.phase1_probes,
+            self.phase2_probes,
+            self.phase2_probes_skipped,
+        )
+    }
+}
+
+/// The merged metrics view of a whole service: one entry per shard.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceMetrics {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Sums every shard's counters (uptime and publications, which every
+    /// shard observes in full, merge by max instead).
+    pub fn totals(&self) -> ShardMetrics {
+        let mut total = ShardMetrics::default();
+        for shard in &self.shards {
+            total += *shard;
+        }
+        total
+    }
+
+    /// Encodes as a JSON object for the wire `stats` response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardMetrics::to_json).collect()),
+            ),
+            ("totals", self.totals().to_json()),
+        ])
+    }
+
+    /// Decodes from the wire `stats` response.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let shards = value
+            .get("shards")
+            .and_then(Json::as_array)
+            .ok_or_else(|| WireError::Shape("service metrics missing \"shards\"".into()))?
+            .iter()
+            .map(ShardMetrics::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServiceMetrics { shards })
+    }
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "service totals: {}", self.totals())?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            writeln!(f, "  shard {i}: {shard}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> ShardMetrics {
+        ShardMetrics {
+            subscriptions_ingested: 10 * i,
+            subscriptions_suppressed: 4 * i,
+            subscriptions_rejected: i,
+            unsubscriptions: i,
+            batches_admitted: 2 * i,
+            publications_processed: 5 * i,
+            notifications: 7 * i,
+            active_subscriptions: 3 * i,
+            covered_subscriptions: 4 * i,
+            phase1_probes: 30 * i,
+            phase2_probes: 9 * i,
+            phase2_probes_skipped: 6 * i,
+            phase2_wholesale_skips: i,
+            uptime_secs: i as f64,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let m = sample(2);
+        assert!((m.suppression_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.ingest_rate() - 10.0).abs() < 1e-12);
+        assert_eq!(ShardMetrics::default().suppression_ratio(), 0.0);
+        assert_eq!(ShardMetrics::default().ingest_rate(), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_counters_and_max_uptime() {
+        let svc = ServiceMetrics {
+            shards: vec![sample(1), sample(3)],
+        };
+        let t = svc.totals();
+        assert_eq!(t.subscriptions_ingested, 40);
+        assert_eq!(t.notifications, 28);
+        // Fan-out counters merge by max: every shard saw all publications.
+        assert_eq!(t.publications_processed, 15);
+        assert_eq!(t.uptime_secs, 3.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let svc = ServiceMetrics {
+            shards: vec![sample(1), sample(2)],
+        };
+        let json = svc.to_json().to_string();
+        let parsed = psc_model::wire::Json::parse(&json).unwrap();
+        let back = ServiceMetrics::from_json(&parsed).unwrap();
+        assert_eq!(back, svc);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ServiceMetrics {
+            shards: vec![sample(1)]
+        }
+        .to_string()
+        .is_empty());
+    }
+}

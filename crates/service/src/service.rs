@@ -1,0 +1,555 @@
+//! The sharded pub/sub service: routing, batching, and fan-out/merge.
+//!
+//! [`PubSubService`] owns `N` shard worker threads (see [`crate::shard`]).
+//! Subscriptions are routed to the shard owning their hashed id;
+//! publications fan out to every shard and the per-shard match sets are
+//! merged. Incoming subscriptions are buffered per shard and admitted in
+//! batches (the admission pipeline), which lets the covering store admit
+//! widest-first and suppress covered subscriptions without demotion churn.
+//!
+//! ## Consistency model
+//!
+//! `subscribe` enqueues; a subscription is guaranteed visible to matching
+//! once the service *flushes* — which happens automatically when the
+//! shard's buffer reaches `batch_size` and before every `publish`,
+//! `unsubscribe`, `metrics`, or `snapshot` call. Per-shard command queues
+//! are FIFO, so after a flush every later publication observes the batch.
+
+use crate::metrics::ServiceMetrics;
+use crate::shard::{ShardCommand, ShardWorker};
+use psc_core::SubsumptionChecker;
+use psc_matcher::CoveringStore;
+use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`PubSubService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads.
+    pub shards: usize,
+    /// Admission buffer size per shard; a full buffer flushes itself.
+    pub batch_size: usize,
+    /// Error probability `δ` for the probabilistic subsumption checker.
+    pub error_probability: f64,
+    /// Iteration cap for the RSPC sampling loop.
+    pub max_iterations: u64,
+    /// Base seed; shard `i` derives its RNG from `seed ^ i`.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            batch_size: 32,
+            error_probability: 1e-6,
+            max_iterations: 2_000,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with `shards` workers and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced by [`PubSubService`] calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The subscription/publication was built against a different schema.
+    SchemaMismatch,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::SchemaMismatch => {
+                write!(f, "object schema does not match the service schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Shard {
+    commands: Sender<ShardCommand>,
+    pending: Mutex<Vec<(SubscriptionId, Subscription)>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The sharded concurrent subscription/matching service.
+///
+/// Shareable across threads (`&self` methods only); wrap in an [`Arc`] to
+/// serve multiple connections.
+///
+/// # Example
+/// ```
+/// use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+/// use psc_service::{PubSubService, ServiceConfig};
+///
+/// let schema = Schema::uniform(2, 0, 99);
+/// let service = PubSubService::start(schema.clone(), ServiceConfig::with_shards(2));
+///
+/// let wide = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+/// let narrow = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+/// service.subscribe(SubscriptionId(1), wide)?;
+/// service.subscribe(SubscriptionId(2), narrow)?;
+///
+/// let p = Publication::builder(&schema).set("x0", 15).set("x1", 3).build()?;
+/// assert_eq!(
+///     service.publish(&p)?,
+///     vec![SubscriptionId(1), SubscriptionId(2)],
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PubSubService {
+    schema: Schema,
+    shards: Vec<Shard>,
+    batch_size: usize,
+}
+
+impl PubSubService {
+    /// Spawns the shard workers and returns the running service.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` or `config.batch_size` is zero.
+    pub fn start(schema: Schema, config: ServiceConfig) -> Self {
+        assert!(config.shards > 0, "a service needs at least one shard");
+        assert!(config.batch_size > 0, "batch_size must be positive");
+        let shards = (0..config.shards)
+            .map(|i| {
+                let checker = SubsumptionChecker::builder()
+                    .error_probability(config.error_probability)
+                    .max_iterations(config.max_iterations)
+                    .build();
+                let worker = ShardWorker::new(CoveringStore::new(checker), config.seed ^ i as u64);
+                let (tx, rx) = channel();
+                let join = std::thread::Builder::new()
+                    .name(format!("psc-shard-{i}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn shard worker");
+                Shard {
+                    commands: tx,
+                    pending: Mutex::new(Vec::new()),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        PubSubService {
+            schema,
+            shards,
+            batch_size: config.batch_size,
+        }
+    }
+
+    /// The schema all subscriptions and publications must conform to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: SubscriptionId) -> usize {
+        // SplitMix64 finalizer: subscription ids are often sequential, and
+        // this spreads them uniformly across shards.
+        let mut z = id.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize % self.shards.len()
+    }
+
+    fn send(&self, shard: usize, command: ShardCommand) {
+        self.shards[shard]
+            .commands
+            .send(command)
+            .expect("shard worker alive while service exists");
+    }
+
+    /// Enqueues a subscription for admission on its owning shard.
+    ///
+    /// The subscription becomes visible to matching at the next flush
+    /// (automatic once the shard buffer holds `batch_size` entries, and
+    /// before any publish/unsubscribe/metrics/snapshot call).
+    pub fn subscribe(&self, id: SubscriptionId, sub: Subscription) -> Result<(), ServiceError> {
+        if !sub.schema().same_shape(&self.schema) {
+            return Err(ServiceError::SchemaMismatch);
+        }
+        let shard = self.shard_of(id);
+        // Drain and enqueue under the same lock: if the send happened after
+        // unlocking, a concurrent publish whose flush saw an empty buffer
+        // could enqueue its MatchBatch ahead of this batch, breaking the
+        // flush-before-publish visibility guarantee. The send never blocks
+        // (unbounded channel), so holding the mutex across it is safe.
+        let mut pending = self.shards[shard].pending.lock().expect("pending lock");
+        pending.push((id, sub));
+        if pending.len() >= self.batch_size {
+            let batch = std::mem::take(&mut *pending);
+            self.send(shard, ShardCommand::Admit(batch));
+        }
+        Ok(())
+    }
+
+    fn flush_shard(&self, shard: usize) {
+        // Drain + enqueue atomically; see `subscribe` for why.
+        let mut pending = self.shards[shard].pending.lock().expect("pending lock");
+        if !pending.is_empty() {
+            let batch = std::mem::take(&mut *pending);
+            self.send(shard, ShardCommand::Admit(batch));
+        }
+    }
+
+    /// Pushes every buffered subscription into its shard's admission queue.
+    pub fn flush(&self) {
+        for shard in 0..self.shards.len() {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Removes a subscription. Returns whether it was stored.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let shard = self.shard_of(id);
+        self.flush_shard(shard);
+        let (tx, rx) = channel();
+        self.send(shard, ShardCommand::Unsubscribe(id, tx));
+        rx.recv().expect("shard replies to unsubscribe")
+    }
+
+    /// Matches one publication against every shard and merges the results
+    /// (ascending id order).
+    pub fn publish(&self, publication: &Publication) -> Result<Vec<SubscriptionId>, ServiceError> {
+        Ok(self
+            .publish_batch(std::slice::from_ref(publication))?
+            .pop()
+            .expect("one result per publication"))
+    }
+
+    /// Matches a batch of publications in one fan-out round-trip per shard;
+    /// returns one merged, ascending id-vector per publication.
+    ///
+    /// Batching amortizes the cross-thread messaging: every shard matches
+    /// the whole batch against its local store in parallel with the others.
+    pub fn publish_batch(
+        &self,
+        publications: &[Publication],
+    ) -> Result<Vec<Vec<SubscriptionId>>, ServiceError> {
+        // Validate arity up front: `Subscription::matches` only
+        // debug-asserts the schema shape, so a mismatched publication
+        // would silently compare a prefix of attributes in release builds.
+        if publications
+            .iter()
+            .any(|p| !p.schema().same_shape(&self.schema))
+        {
+            return Err(ServiceError::SchemaMismatch);
+        }
+        if publications.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.flush();
+        let shared: Arc<Vec<Publication>> = Arc::new(publications.to_vec());
+        let replies: Vec<_> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let (tx, rx) = channel();
+                self.send(i, ShardCommand::MatchBatch(Arc::clone(&shared), tx));
+                rx
+            })
+            .collect();
+        let mut merged: Vec<Vec<SubscriptionId>> = vec![Vec::new(); publications.len()];
+        for rx in replies {
+            let shard_matches = rx.recv().expect("shard replies to match batch");
+            debug_assert_eq!(shard_matches.len(), publications.len());
+            for (slot, ids) in merged.iter_mut().zip(shard_matches) {
+                slot.extend(ids);
+            }
+        }
+        for slot in &mut merged {
+            slot.sort_unstable();
+        }
+        Ok(merged)
+    }
+
+    /// Scrapes every shard's metrics (after a flush, so buffered
+    /// subscriptions are counted).
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.flush();
+        let replies: Vec<_> = (0..self.shards.len())
+            .map(|i| {
+                let (tx, rx) = channel();
+                self.send(i, ShardCommand::Scrape(tx));
+                rx
+            })
+            .collect();
+        ServiceMetrics {
+            shards: replies
+                .into_iter()
+                .map(|rx| rx.recv().expect("shard replies to scrape"))
+                .collect(),
+        }
+    }
+
+    /// Dumps `(id, subscription, is_active)` across all shards — the
+    /// reference view differential tests compare against.
+    pub fn snapshot(&self) -> HashMap<SubscriptionId, (Subscription, bool)> {
+        self.flush();
+        let replies: Vec<_> = (0..self.shards.len())
+            .map(|i| {
+                let (tx, rx) = channel();
+                self.send(i, ShardCommand::Snapshot(tx));
+                rx
+            })
+            .collect();
+        let mut merged = HashMap::new();
+        for rx in replies {
+            merged.extend(rx.recv().expect("shard replies to snapshot"));
+        }
+        merged
+    }
+}
+
+impl Drop for PubSubService {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            let _ = shard.commands.send(ShardCommand::Shutdown);
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Range;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::from_ranges(
+            schema,
+            vec![
+                Range::new(x0.0, x0.1).unwrap(),
+                Range::new(x1.0, x1.1).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routes_and_matches_across_shards() {
+        let schema = schema();
+        let service = PubSubService::start(schema.clone(), ServiceConfig::with_shards(4));
+        for i in 0..40u64 {
+            let lo = (i as i64 * 2) % 90;
+            service
+                .subscribe(SubscriptionId(i), sub(&schema, (lo, lo + 9), (0, 99)))
+                .unwrap();
+        }
+        let p = Publication::builder(&schema)
+            .set("x0", 5)
+            .set("x1", 50)
+            .build()
+            .unwrap();
+        let matched = service.publish(&p).unwrap();
+        // Every subscription with lo <= 5 <= lo+9 matches, from any shard.
+        assert!(!matched.is_empty());
+        let mut sorted = matched.clone();
+        sorted.sort_unstable();
+        assert_eq!(matched, sorted, "merged ids are sorted");
+        for id in matched {
+            let lo = (id.0 as i64 * 2) % 90;
+            assert!((lo..=lo + 9).contains(&5));
+        }
+    }
+
+    #[test]
+    fn subscribe_is_visible_after_publish_flush() {
+        let schema = schema();
+        // batch_size larger than the number of subscribes: only the
+        // publish-triggered flush can make them visible.
+        let config = ServiceConfig {
+            shards: 2,
+            batch_size: 1_000,
+            ..Default::default()
+        };
+        let service = PubSubService::start(schema.clone(), config);
+        service
+            .subscribe(SubscriptionId(1), sub(&schema, (0, 99), (0, 99)))
+            .unwrap();
+        let p = Publication::builder(&schema)
+            .set("x0", 1)
+            .set("x1", 1)
+            .build()
+            .unwrap();
+        assert_eq!(service.publish(&p).unwrap(), vec![SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn unsubscribe_sees_pending_and_removes() {
+        let schema = schema();
+        let config = ServiceConfig {
+            shards: 3,
+            batch_size: 1_000,
+            ..Default::default()
+        };
+        let service = PubSubService::start(schema.clone(), config);
+        service
+            .subscribe(SubscriptionId(9), sub(&schema, (0, 9), (0, 9)))
+            .unwrap();
+        assert!(
+            service.unsubscribe(SubscriptionId(9)),
+            "pending flushed before removal"
+        );
+        assert!(
+            !service.unsubscribe(SubscriptionId(9)),
+            "second removal finds nothing"
+        );
+        let p = Publication::builder(&schema)
+            .set("x0", 5)
+            .set("x1", 5)
+            .build()
+            .unwrap();
+        assert!(service.publish(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_not_fatal() {
+        let schema = schema();
+        let service = PubSubService::start(schema.clone(), ServiceConfig::with_shards(2));
+        service
+            .subscribe(SubscriptionId(5), sub(&schema, (0, 50), (0, 50)))
+            .unwrap();
+        service
+            .subscribe(SubscriptionId(5), sub(&schema, (10, 20), (10, 20)))
+            .unwrap();
+        let metrics = service.metrics();
+        let totals = metrics.totals();
+        assert_eq!(totals.subscriptions_ingested, 1);
+        assert_eq!(totals.subscriptions_rejected, 1);
+        // Service still fully operational after the rejection.
+        let p = Publication::builder(&schema)
+            .set("x0", 25)
+            .set("x1", 25)
+            .build()
+            .unwrap();
+        assert_eq!(service.publish(&p).unwrap(), vec![SubscriptionId(5)]);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let service = PubSubService::start(schema(), ServiceConfig::with_shards(1));
+        let other = Schema::uniform(3, 0, 9);
+        let bad = Subscription::from_ranges(
+            &other,
+            vec![
+                Range::new(0, 1).unwrap(),
+                Range::new(0, 1).unwrap(),
+                Range::new(0, 1).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            service.subscribe(SubscriptionId(1), bad),
+            Err(ServiceError::SchemaMismatch)
+        );
+    }
+
+    #[test]
+    fn metrics_track_suppression_across_shards() {
+        let schema = schema();
+        let config = ServiceConfig {
+            shards: 2,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let service = PubSubService::start(schema.clone(), config);
+        // The whole-space subscription covers everything routed to its
+        // shard; narrow subscriptions on that shard get suppressed.
+        for i in 0..60u64 {
+            let s = if i % 10 == 0 {
+                sub(&schema, (0, 99), (0, 99))
+            } else {
+                sub(&schema, (10, 12), (10, 12))
+            };
+            service.subscribe(SubscriptionId(i), s).unwrap();
+        }
+        let totals = service.metrics().totals();
+        assert_eq!(totals.subscriptions_ingested, 60);
+        assert!(totals.subscriptions_suppressed > 0);
+        assert!(totals.suppression_ratio() > 0.0);
+        assert_eq!(
+            totals.active_subscriptions + totals.covered_subscriptions,
+            60
+        );
+    }
+
+    #[test]
+    fn concurrent_subscribers_and_publishers() {
+        let schema = schema();
+        let service = Arc::new(PubSubService::start(
+            schema.clone(),
+            ServiceConfig {
+                shards: 4,
+                batch_size: 16,
+                ..Default::default()
+            },
+        ));
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let service = Arc::clone(&service);
+            let schema = schema.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let id = t * 1_000 + i;
+                    let lo = ((id * 7) % 90) as i64;
+                    service
+                        .subscribe(SubscriptionId(id), sub(&schema, (lo, lo + 9), (0, 99)))
+                        .unwrap();
+                }
+            }));
+        }
+        for t in 0..2 {
+            let service = Arc::clone(&service);
+            let schema = schema.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..30 {
+                    let v = (t * 31 + i * 13) % 100;
+                    let p = Publication::builder(&schema)
+                        .set("x0", v)
+                        .set("x1", v)
+                        .build()
+                        .unwrap();
+                    // Concurrent publishes must never panic or deadlock;
+                    // match content is racy by design while subscribers run.
+                    let _ = service.publish(&p);
+                }
+            }));
+        }
+        for join in joins {
+            join.join().unwrap();
+        }
+        // Quiescent state: everything subscribed must now be stored.
+        assert_eq!(service.snapshot().len(), 200);
+        assert_eq!(service.metrics().totals().subscriptions_ingested, 200);
+    }
+}

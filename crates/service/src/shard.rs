@@ -1,0 +1,148 @@
+//! Shard worker threads.
+//!
+//! Each shard owns a [`CoveringStore`] (and through it a
+//! `SubsumptionChecker`) plus a deterministic RNG, and processes commands
+//! from a single MPSC queue. Ownership-per-thread means the store needs no
+//! locking at all: admission, matching, and metric scrapes are serialized
+//! per shard, and shards run fully in parallel with each other.
+//!
+//! Command ordering is the correctness backbone: `std::sync::mpsc` delivers
+//! messages in a total order per channel, so once the router has enqueued an
+//! admission batch, any later `MatchBatch` on the same shard observes it.
+
+use crate::metrics::ShardMetrics;
+use psc_matcher::CoveringStore;
+use psc_model::{Publication, Subscription, SubscriptionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Commands a shard worker processes, in arrival order.
+pub(crate) enum ShardCommand {
+    /// Admit a batch of subscriptions (fire-and-forget).
+    Admit(Vec<(SubscriptionId, Subscription)>),
+    /// Remove a subscription; replies whether it was stored here.
+    Unsubscribe(SubscriptionId, Sender<bool>),
+    /// Match every publication in the batch against the local store;
+    /// replies one id-vector per publication.
+    MatchBatch(Arc<Vec<Publication>>, Sender<Vec<Vec<SubscriptionId>>>),
+    /// Report current metrics.
+    Scrape(Sender<ShardMetrics>),
+    /// Dump `(id, subscription, is_active)` for every stored subscription.
+    Snapshot(Sender<HashMap<SubscriptionId, (Subscription, bool)>>),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// State owned by one shard worker thread.
+pub(crate) struct ShardWorker {
+    store: CoveringStore,
+    rng: StdRng,
+    started: Instant,
+    subscriptions_ingested: u64,
+    subscriptions_suppressed: u64,
+    subscriptions_rejected: u64,
+    unsubscriptions: u64,
+    batches_admitted: u64,
+    publications_processed: u64,
+    notifications: u64,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(store: CoveringStore, seed: u64) -> Self {
+        ShardWorker {
+            store,
+            rng: StdRng::seed_from_u64(seed),
+            started: Instant::now(),
+            subscriptions_ingested: 0,
+            subscriptions_suppressed: 0,
+            subscriptions_rejected: 0,
+            unsubscriptions: 0,
+            batches_admitted: 0,
+            publications_processed: 0,
+            notifications: 0,
+        }
+    }
+
+    /// The worker loop: runs until `Shutdown` or the channel closes.
+    pub(crate) fn run(mut self, commands: Receiver<ShardCommand>) {
+        while let Ok(command) = commands.recv() {
+            match command {
+                ShardCommand::Admit(batch) => self.admit(batch),
+                ShardCommand::Unsubscribe(id, reply) => {
+                    let removed = self.store.remove(id, &mut self.rng);
+                    if removed {
+                        self.unsubscriptions += 1;
+                    }
+                    let _ = reply.send(removed);
+                }
+                ShardCommand::MatchBatch(publications, reply) => {
+                    let matches = publications
+                        .iter()
+                        .map(|p| {
+                            let ids = self.store.match_publication(p);
+                            self.publications_processed += 1;
+                            self.notifications += ids.len() as u64;
+                            ids
+                        })
+                        .collect();
+                    let _ = reply.send(matches);
+                }
+                ShardCommand::Scrape(reply) => {
+                    let _ = reply.send(self.metrics());
+                }
+                ShardCommand::Snapshot(reply) => {
+                    let _ = reply.send(self.store.snapshot());
+                }
+                ShardCommand::Shutdown => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, batch: Vec<(SubscriptionId, Subscription)>) {
+        // Drop duplicates up front: `CoveringStore::insert` treats duplicate
+        // ids as a programming error (panic), but on a network-facing
+        // admission path they are client errors to be counted, not crashes.
+        let mut fresh = Vec::with_capacity(batch.len());
+        for (id, sub) in batch {
+            if self.store.contains(id) || fresh.iter().any(|(other, _)| *other == id) {
+                self.subscriptions_rejected += 1;
+            } else {
+                fresh.push((id, sub));
+            }
+        }
+        if fresh.is_empty() {
+            return;
+        }
+        self.batches_admitted += 1;
+        for (_, outcome) in self.store.admit_batch(fresh, &mut self.rng) {
+            self.subscriptions_ingested += 1;
+            if !outcome.is_active() {
+                self.subscriptions_suppressed += 1;
+            }
+        }
+    }
+
+    fn metrics(&self) -> ShardMetrics {
+        let snap = self.store.stats_snapshot();
+        ShardMetrics {
+            subscriptions_ingested: self.subscriptions_ingested,
+            subscriptions_suppressed: self.subscriptions_suppressed,
+            subscriptions_rejected: self.subscriptions_rejected,
+            unsubscriptions: self.unsubscriptions,
+            batches_admitted: self.batches_admitted,
+            publications_processed: self.publications_processed,
+            notifications: self.notifications,
+            active_subscriptions: snap.active as u64,
+            covered_subscriptions: snap.covered as u64,
+            phase1_probes: snap.match_stats.active_checked,
+            phase2_probes: snap.match_stats.covered_checked,
+            phase2_probes_skipped: snap.match_stats.covered_skipped,
+            phase2_wholesale_skips: snap.match_stats.phase2_skipped,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}

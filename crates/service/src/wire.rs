@@ -1,0 +1,273 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, UTF-8, `\n`
+//! terminated. Requests carry an `"op"` discriminator:
+//!
+//! | op | request fields | response fields |
+//! |---|---|---|
+//! | `hello` | — | `schema` (see [`SchemaDto`]), `shards` |
+//! | `subscribe` | `id`, `ranges` | `queued: true` |
+//! | `unsubscribe` | `id` | `removed: bool` |
+//! | `publish` | `values` | `matched: [id, ...]` (sorted) |
+//! | `flush` | — | `flushed: true` |
+//! | `stats` | — | `metrics` (see [`crate::ServiceMetrics`]) |
+//!
+//! Every response object carries `"ok": true|false`; failed requests embed
+//! an `"error"` string instead of result fields. A malformed line never
+//! tears down the connection — the server answers with an error response
+//! and keeps reading.
+
+use crate::metrics::ServiceMetrics;
+use psc_model::wire::{Json, PublicationDto, SchemaDto, SubscriptionDto, WireError};
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schema/topology handshake.
+    Hello,
+    /// Enqueue a subscription for admission.
+    Subscribe(SubscriptionDto),
+    /// Remove a subscription by id.
+    Unsubscribe(u64),
+    /// Match one publication.
+    Publish(PublicationDto),
+    /// Force admission of all buffered subscriptions.
+    Flush,
+    /// Scrape service metrics.
+    Stats,
+}
+
+impl Request {
+    /// Decodes one request line.
+    pub fn decode(line: &str) -> Result<Request, WireError> {
+        let value = Json::parse(line)?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::Shape("request needs a string \"op\"".into()))?;
+        match op {
+            "hello" => Ok(Request::Hello),
+            "subscribe" => Ok(Request::Subscribe(SubscriptionDto::from_json(&value)?)),
+            "unsubscribe" => {
+                let id = value
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| WireError::Shape("unsubscribe needs a numeric \"id\"".into()))?;
+                Ok(Request::Unsubscribe(id))
+            }
+            "publish" => Ok(Request::Publish(PublicationDto::from_json(&value)?)),
+            "flush" => Ok(Request::Flush),
+            "stats" => Ok(Request::Stats),
+            other => Err(WireError::Shape(format!("unknown op \"{other}\""))),
+        }
+    }
+
+    /// Encodes as one request line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let json = match self {
+            Request::Hello => Json::obj([("op", Json::Str("hello".into()))]),
+            Request::Subscribe(dto) => {
+                let mut obj = vec![("op".to_string(), Json::Str("subscribe".into()))];
+                if let Json::Obj(pairs) = dto.to_json() {
+                    obj.extend(pairs);
+                }
+                Json::Obj(obj)
+            }
+            Request::Unsubscribe(id) => Json::obj([
+                ("op", Json::Str("unsubscribe".into())),
+                ("id", Json::UInt(*id)),
+            ]),
+            Request::Publish(dto) => {
+                let mut obj = vec![("op".to_string(), Json::Str("publish".into()))];
+                if let Json::Obj(pairs) = dto.to_json() {
+                    obj.extend(pairs);
+                }
+                Json::Obj(obj)
+            }
+            Request::Flush => Json::obj([("op", Json::Str("flush".into()))]),
+            Request::Stats => Json::obj([("op", Json::Str("stats".into()))]),
+        };
+        json.to_string()
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake result.
+    Hello {
+        /// The service schema.
+        schema: SchemaDto,
+        /// Number of shards serving the store.
+        shards: u64,
+    },
+    /// Subscription buffered for admission.
+    Queued,
+    /// Unsubscription result.
+    Removed(bool),
+    /// Publication match result (ascending ids).
+    Matched(Vec<u64>),
+    /// Flush acknowledged.
+    Flushed,
+    /// Metrics scrape result.
+    Stats(ServiceMetrics),
+    /// The request failed.
+    Error(String),
+}
+
+impl Response {
+    /// Encodes as one response line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let ok = |fields: Vec<(&'static str, Json)>| {
+            let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+            pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Json::Obj(pairs)
+        };
+        let json = match self {
+            Response::Hello { schema, shards } => ok(vec![
+                ("schema", schema.to_json()),
+                ("shards", Json::UInt(*shards)),
+            ]),
+            Response::Queued => ok(vec![("queued", Json::Bool(true))]),
+            Response::Removed(removed) => ok(vec![("removed", Json::Bool(*removed))]),
+            Response::Matched(ids) => ok(vec![("matched", Json::id_array(ids.iter().copied()))]),
+            Response::Flushed => ok(vec![("flushed", Json::Bool(true))]),
+            Response::Stats(metrics) => ok(vec![("metrics", metrics.to_json())]),
+            Response::Error(message) => Json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(message.clone())),
+            ]),
+        };
+        json.to_string()
+    }
+
+    /// Decodes one response line.
+    pub fn decode(line: &str) -> Result<Response, WireError> {
+        let value = Json::parse(line)?;
+        let ok = value
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::Shape("response needs a boolean \"ok\"".into()))?;
+        if !ok {
+            let message = value
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            return Ok(Response::Error(message));
+        }
+        if let Some(schema) = value.get("schema") {
+            let shards = value
+                .get("shards")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::Shape("hello response needs \"shards\"".into()))?;
+            return Ok(Response::Hello {
+                schema: SchemaDto::from_json(schema)?,
+                shards,
+            });
+        }
+        if value.get("queued").and_then(Json::as_bool) == Some(true) {
+            return Ok(Response::Queued);
+        }
+        if value.get("flushed").and_then(Json::as_bool) == Some(true) {
+            return Ok(Response::Flushed);
+        }
+        if let Some(removed) = value.get("removed").and_then(Json::as_bool) {
+            return Ok(Response::Removed(removed));
+        }
+        if let Some(matched) = value.get("matched").and_then(Json::as_array) {
+            let ids = matched
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| WireError::Shape("matched ids must be integers".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Matched(ids));
+        }
+        if let Some(metrics) = value.get("metrics") {
+            return Ok(Response::Stats(ServiceMetrics::from_json(metrics)?));
+        }
+        // No recognized discriminator: fail loudly rather than guessing —
+        // a version-skewed peer must surface as a protocol error, not as a
+        // silently "successful" flush.
+        Err(WireError::Shape(
+            "ok-response carries no recognized discriminator field".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ShardMetrics;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Hello,
+            Request::Subscribe(SubscriptionDto {
+                id: 42,
+                ranges: vec![(0, 9), (-5, 5)],
+            }),
+            Request::Unsubscribe(7),
+            Request::Publish(PublicationDto {
+                values: vec![3, -4],
+            }),
+            Request::Flush,
+            Request::Stats,
+        ];
+        for request in cases {
+            let line = request.encode();
+            assert_eq!(Request::decode(&line).unwrap(), request, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Hello {
+                schema: SchemaDto {
+                    attributes: vec![("x0".into(), 0, 99)],
+                },
+                shards: 4,
+            },
+            Response::Queued,
+            Response::Removed(true),
+            Response::Removed(false),
+            Response::Matched(vec![1, 2, 30]),
+            Response::Matched(vec![]),
+            Response::Flushed,
+            Response::Stats(ServiceMetrics {
+                shards: vec![ShardMetrics {
+                    subscriptions_ingested: 3,
+                    ..Default::default()
+                }],
+            }),
+            Response::Error("boom".into()),
+        ];
+        for response in cases {
+            let line = response.encode();
+            assert_eq!(Response::decode(&line).unwrap(), response, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Request::decode("not json").is_err());
+        assert!(Request::decode(r#"{"op":"warp"}"#).is_err());
+        assert!(Request::decode(r#"{"noop":1}"#).is_err());
+        assert!(
+            Response::decode(r#"{"matched":[1]}"#).is_err(),
+            "missing ok"
+        );
+        assert!(
+            Response::decode(r#"{"ok":true,"accepted":true}"#).is_err(),
+            "unknown ok-shape must not decode as success"
+        );
+        assert!(
+            Response::decode(r#"{"ok":true,"queued":false}"#).is_err(),
+            "queued:false is not a valid response shape"
+        );
+    }
+}

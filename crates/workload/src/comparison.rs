@@ -82,8 +82,7 @@ impl ComparisonWorkload {
         let count = rng.gen_range(self.constrained.0..=self.constrained.1.max(self.constrained.0));
         let chosen = zipf.sample_distinct(rng, count.min(self.m));
 
-        let mut ranges: Vec<Range> =
-            schema.iter().map(|(_, a)| *a.domain()).collect();
+        let mut ranges: Vec<Range> = schema.iter().map(|(_, a)| *a.domain()).collect();
         for attr in chosen {
             ranges[attr] = self.constrained_range(&pareto, &width_dist, rng);
         }
@@ -125,8 +124,7 @@ impl ComparisonWorkload {
         rng: &mut R,
     ) -> Range {
         let w = self.domain_width();
-        let center =
-            self.domain.0 + pareto.sample_offset(rng, w, self.center_scale) as i64;
+        let center = self.domain.0 + pareto.sample_offset(rng, w, self.center_scale) as i64;
         let width = width_dist.sample_clamped(rng, 1.0, w as f64) as i64;
         let lo = (center - width / 2).max(self.domain.0);
         let hi = (center + width / 2).min(self.domain.1);
@@ -160,7 +158,7 @@ mod tests {
         let wl = ComparisonWorkload::new(10);
         let mut rng = seeded_rng(2);
         let schema = wl.schema();
-        let mut constrained_counts = vec![0usize; 10];
+        let mut constrained_counts = [0usize; 10];
         for _ in 0..2_000 {
             let s = wl.subscription(&schema, &mut rng);
             for (j, r) in s.ranges().iter().enumerate() {
@@ -195,7 +193,11 @@ mod tests {
             .count();
         // Pareto concentration: well over half of the centers in the first
         // quarter of the domain.
-        assert!(below_quarter * 2 > starts.len(), "{below_quarter}/{}", starts.len());
+        assert!(
+            below_quarter * 2 > starts.len(),
+            "{below_quarter}/{}",
+            starts.len()
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 
     /// Samples `count` *distinct* ranks (by rejection), in popularity-biased
@@ -73,7 +75,11 @@ impl Zipf {
     /// # Panics
     /// Panics if `count > n`.
     pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
-        assert!(count <= self.len(), "cannot draw {count} distinct from {}", self.len());
+        assert!(
+            count <= self.len(),
+            "cannot draw {count} distinct from {}",
+            self.len()
+        );
         let mut out = Vec::with_capacity(count);
         let mut seen = vec![false; self.len()];
         while out.len() < count {
@@ -169,7 +175,7 @@ mod tests {
     fn zipf_rank_zero_most_popular() {
         let z = Zipf::new(20, 2.0);
         let mut rng = seeded_rng(11);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
         }
@@ -246,8 +252,8 @@ mod tests {
         let mut rng = seeded_rng(21);
         let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((mean - 50.0).abs() < 0.2, "mean = {mean}");
         assert!((var.sqrt() - 10.0).abs() < 0.2, "sd = {}", var.sqrt());
     }

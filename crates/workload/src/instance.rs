@@ -41,7 +41,11 @@ impl CoverInstance {
     pub fn validate(&self) -> Result<(), String> {
         for (i, si) in self.set.iter().enumerate() {
             if si.arity() != self.s.arity() {
-                return Err(format!("set[{i}] arity {} != s arity {}", si.arity(), self.s.arity()));
+                return Err(format!(
+                    "set[{i}] arity {} != s arity {}",
+                    si.arity(),
+                    self.s.arity()
+                ));
             }
         }
         let mut seen = std::collections::HashSet::new();

@@ -35,11 +35,11 @@ pub mod trace;
 
 pub use comparison::ComparisonWorkload;
 pub use instance::CoverInstance;
-pub use trace::{ChurnTrace, Event, EventKind};
 pub use scenarios::{
     ExtremeNonCoverScenario, NoIntersectionScenario, NonCoverScenario, PairwiseCoverScenario,
     RedundantCoverScenario,
 };
+pub use trace::{ChurnTrace, Event, EventKind};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

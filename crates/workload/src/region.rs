@@ -15,7 +15,10 @@ pub fn random_subrange<R: Rng + ?Sized>(
     max_width: u64,
 ) -> Range {
     assert!(min_width >= 1, "subranges must contain at least one point");
-    assert!(min_width <= max_width, "min_width {min_width} > max_width {max_width}");
+    assert!(
+        min_width <= max_width,
+        "min_width {min_width} > max_width {max_width}"
+    );
     let outer_count = outer.count().min(u128::from(u64::MAX)) as u64;
     let min_w = min_width.min(outer_count);
     let max_w = max_width.min(outer_count);
@@ -121,7 +124,11 @@ pub fn jittered_cover_slabs<R: Rng + ?Sized>(
     bounds.push(range.lo());
     for i in 1..pieces {
         let ideal = range.lo() + (i as f64 * slab_width).round() as i64;
-        let jitter = if max_jitter > 0 { rng.gen_range(-max_jitter..=max_jitter) } else { 0 };
+        let jitter = if max_jitter > 0 {
+            rng.gen_range(-max_jitter..=max_jitter)
+        } else {
+            0
+        };
         bounds.push(ideal + jitter);
     }
     bounds.push(range.hi() + 1);

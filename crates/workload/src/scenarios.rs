@@ -59,13 +59,20 @@ pub struct PairwiseCoverScenario {
 impl PairwiseCoverScenario {
     /// Creates the scenario with the default domain.
     pub fn new(m: usize, k: usize) -> Self {
-        PairwiseCoverScenario { m, k, domain: DEFAULT_DOMAIN }
+        PairwiseCoverScenario {
+            m,
+            k,
+            domain: DEFAULT_DOMAIN,
+        }
     }
 
     /// Generates one instance. The covering subscription is placed at a
     /// random index; all other members intersect `s` without covering it.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> CoverInstance {
-        assert!(self.k >= 1, "pairwise cover needs at least one subscription");
+        assert!(
+            self.k >= 1,
+            "pairwise cover needs at least one subscription"
+        );
         let schema = uniform_schema(self.m, self.domain);
         let s = draw_s(rng, &schema, (0.15, 0.40), 0.1);
         let cover_at = rng.gen_range(0..self.k);
@@ -85,7 +92,12 @@ impl PairwiseCoverScenario {
             }
         }
         let redundant_indices = (0..self.k).filter(|&i| i != cover_at).collect();
-        CoverInstance { s, set, ground_truth: Some(true), redundant_indices }
+        CoverInstance {
+            s,
+            set,
+            ground_truth: Some(true),
+            redundant_indices,
+        }
     }
 }
 
@@ -213,7 +225,12 @@ pub struct RedundantCoverScenario {
 impl RedundantCoverScenario {
     /// Creates the scenario with the paper's 20% covering group.
     pub fn new(m: usize, k: usize) -> Self {
-        RedundantCoverScenario { m, k, domain: DEFAULT_DOMAIN, cover_fraction: 0.2 }
+        RedundantCoverScenario {
+            m,
+            k,
+            domain: DEFAULT_DOMAIN,
+            cover_fraction: 0.2,
+        }
     }
 
     /// Number of subscriptions in the covering group.
@@ -257,7 +274,12 @@ impl RedundantCoverScenario {
             set.push(partial_cover_member(rng, &schema, &s, pinch, 0.05, max_ext));
         }
         let redundant_indices = (n_cover..self.k).collect();
-        CoverInstance { s, set, ground_truth: Some(true), redundant_indices }
+        CoverInstance {
+            s,
+            set,
+            ground_truth: Some(true),
+            redundant_indices,
+        }
     }
 }
 
@@ -277,7 +299,11 @@ pub struct NoIntersectionScenario {
 impl NoIntersectionScenario {
     /// Creates the scenario with the default domain.
     pub fn new(m: usize, k: usize) -> Self {
-        NoIntersectionScenario { m, k, domain: DEFAULT_DOMAIN }
+        NoIntersectionScenario {
+            m,
+            k,
+            domain: DEFAULT_DOMAIN,
+        }
     }
 
     /// Generates one instance: each member is pushed entirely off `s` on one
@@ -311,7 +337,12 @@ impl NoIntersectionScenario {
             set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
         }
         let redundant_indices = (0..self.k).collect();
-        CoverInstance { s, set, ground_truth: Some(false), redundant_indices }
+        CoverInstance {
+            s,
+            set,
+            ground_truth: Some(false),
+            redundant_indices,
+        }
     }
 }
 
@@ -364,8 +395,7 @@ impl NonCoverScenario {
 
         let mut set = Vec::with_capacity(self.k);
         for _ in 0..self.k {
-            let go_left =
-                rng.gen_bool(left.count() as f64 / (left.count() + right.count()) as f64);
+            let go_left = rng.gen_bool(left.count() as f64 / (left.count() + right.count()) as f64);
             let side = if go_left { left } else { right };
             let ranges = schema
                 .iter()
@@ -392,7 +422,12 @@ impl NonCoverScenario {
             set.push(Subscription::from_ranges(&schema, ranges).expect("within domains"));
         }
         let redundant_indices = (0..self.k).collect();
-        let inst = CoverInstance { s, set, ground_truth: Some(false), redundant_indices };
+        let inst = CoverInstance {
+            s,
+            set,
+            ground_truth: Some(false),
+            redundant_indices,
+        };
         debug_assert!(gap_is_uncovered(&inst, &gap));
         inst
     }
@@ -419,7 +454,12 @@ pub struct ExtremeNonCoverScenario {
 impl ExtremeNonCoverScenario {
     /// Creates the paper's configuration: `m = 5`, `k = 50`.
     pub fn new(gap_fraction: f64) -> Self {
-        ExtremeNonCoverScenario { m: 5, k: 50, domain: DEFAULT_DOMAIN, gap_fraction }
+        ExtremeNonCoverScenario {
+            m: 5,
+            k: 50,
+            domain: DEFAULT_DOMAIN,
+            gap_fraction,
+        }
     }
 
     /// Generates one instance: jittered equal slabs tile the left and right
@@ -462,7 +502,12 @@ impl ExtremeNonCoverScenario {
         push_side(rng, &right, k_right, &mut set);
 
         let redundant_indices = (0..set.len()).collect();
-        let inst = CoverInstance { s, set, ground_truth: Some(false), redundant_indices };
+        let inst = CoverInstance {
+            s,
+            set,
+            ground_truth: Some(false),
+            redundant_indices,
+        };
         debug_assert!(gap_is_uncovered(&inst, &gap));
         inst
     }
@@ -476,9 +521,16 @@ impl ExtremeNonCoverScenario {
 
 /// Carves a gap of `gap_fraction` of `range`'s width, strictly inside it
 /// (both sides non-empty). Returns `(gap, left_side, right_side)`.
-fn carve_gap<R: Rng + ?Sized>(rng: &mut R, range: &Range, gap_fraction: f64) -> (Range, Range, Range) {
+fn carve_gap<R: Rng + ?Sized>(
+    rng: &mut R,
+    range: &Range,
+    gap_fraction: f64,
+) -> (Range, Range, Range) {
     let count = range.count() as u64;
-    assert!(count >= 3, "range too small to carve a gap with non-empty sides");
+    assert!(
+        count >= 3,
+        "range too small to carve a gap with non-empty sides"
+    );
     let gap_w = ((count as f64 * gap_fraction).round() as u64).clamp(1, count - 2);
     // Keep at least one point on each side.
     let start = rng.gen_range(range.lo() + 1..=range.hi() - gap_w as i64);
@@ -492,7 +544,9 @@ fn carve_gap<R: Rng + ?Sized>(rng: &mut R, range: &Range, gap_fraction: f64) -> 
 /// (which, with every member intersecting `s` elsewhere, certifies
 /// non-coverage).
 fn gap_is_uncovered(inst: &CoverInstance, gap: &Range) -> bool {
-    inst.set.iter().all(|si| !si.range(AttrId(0)).intersects(gap))
+    inst.set
+        .iter()
+        .all(|si| !si.range(AttrId(0)).intersects(gap))
 }
 
 #[cfg(test)]
@@ -525,7 +579,9 @@ mod tests {
             // No single member covers s...
             assert!(!PairwiseChecker.is_covered(&inst.s, &inst.set));
             // ...but the union does (exact check, m = 3 is cheap).
-            assert!(ExactChecker::default().is_covered(&inst.s, &inst.set).unwrap());
+            assert!(ExactChecker::default()
+                .is_covered(&inst.s, &inst.set)
+                .unwrap());
             // And already the covering group alone suffices.
             let n_cover = sc.cover_count();
             assert!(ExactChecker::default()
@@ -555,10 +611,11 @@ mod tests {
         for _ in 0..10 {
             let inst = sc.generate(&mut rng);
             inst.validate().unwrap();
-            assert!(!ExactChecker::default().is_covered(&inst.s, &inst.set).unwrap());
+            assert!(!ExactChecker::default()
+                .is_covered(&inst.s, &inst.set)
+                .unwrap());
             // Members do intersect s (unlike scenario 2.a).
-            let intersecting =
-                inst.set.iter().filter(|si| si.intersects(&inst.s)).count();
+            let intersecting = inst.set.iter().filter(|si| si.intersects(&inst.s)).count();
             assert!(intersecting > inst.set.len() / 2);
         }
     }
@@ -585,9 +642,7 @@ mod tests {
             // Every member covers s fully on attributes 1..m.
             for si in &inst.set {
                 for j in 1..inst.m() {
-                    assert!(si
-                        .range(AttrId(j))
-                        .contains_range(inst.s.range(AttrId(j))));
+                    assert!(si.range(AttrId(j)).contains_range(inst.s.range(AttrId(j))));
                 }
             }
         }

@@ -87,7 +87,11 @@ impl ChurnTrace {
         let mut live: Vec<SubscriptionId> = Vec::new();
         let mut next_id = 0u64;
         for _ in 0..n {
-            let unsub_w = if live.is_empty() { 0.0 } else { self.unsubscribe_weight };
+            let unsub_w = if live.is_empty() {
+                0.0
+            } else {
+                self.unsubscribe_weight
+            };
             let total = self.subscribe_weight + unsub_w + self.publish_weight;
             assert!(total > 0.0, "at least one weight must be positive");
             let roll = rng.gen_range(0.0..total);
@@ -95,7 +99,10 @@ impl ChurnTrace {
                 let id = SubscriptionId(next_id);
                 next_id += 1;
                 live.push(id);
-                events.push(Event::Subscribe(id, self.workload.subscription(&schema, rng)));
+                events.push(Event::Subscribe(
+                    id,
+                    self.workload.subscription(&schema, rng),
+                ));
             } else if roll < self.subscribe_weight + unsub_w {
                 let idx = rng.gen_range(0..live.len());
                 let id = live.swap_remove(idx);
@@ -143,8 +150,14 @@ mod tests {
         let trace = ChurnTrace::new(4);
         let mut rng = seeded_rng(2);
         let events = trace.generate(10_000, &mut rng);
-        let pubs = events.iter().filter(|e| e.kind() == EventKind::Publish).count();
-        let subs = events.iter().filter(|e| e.kind() == EventKind::Subscribe).count();
+        let pubs = events
+            .iter()
+            .filter(|e| e.kind() == EventKind::Publish)
+            .count();
+        let subs = events
+            .iter()
+            .filter(|e| e.kind() == EventKind::Subscribe)
+            .count();
         // Weights 2/1/7: publish ≈ 70%, subscribe ≈ 20%.
         assert!((pubs as f64 / 10_000.0 - 0.7).abs() < 0.05, "pubs = {pubs}");
         assert!((subs as f64 / 10_000.0 - 0.2).abs() < 0.05, "subs = {subs}");

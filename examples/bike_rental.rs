@@ -51,14 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let mut store = CoveringStore::new(
-        SubsumptionChecker::builder().error_probability(1e-8).build(),
+        SubsumptionChecker::builder()
+            .error_probability(1e-8)
+            .build(),
     );
     let mut rng = seeded_rng(7);
     for (id, sub) in [(1u64, &s1), (2, &s2), (3, &s3)] {
         let outcome = store.insert(SubscriptionId(id), sub.clone(), &mut rng);
         println!(
             "subscription s{id}: {}",
-            if outcome.is_active() { "active (forwarded)" } else { "covered (parked)" }
+            if outcome.is_active() {
+                "active (forwarded)"
+            } else {
+                "covered (parked)"
+            }
         );
     }
     println!(

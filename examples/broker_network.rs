@@ -17,9 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = |i: usize| BrokerId(i - 1);
 
     println!("Figure 1 network: S1@B1 subscribes s1; S2@B6 subscribes s2 ⊑ s1\n");
-    for policy in
-        [CoveringPolicy::Flooding, CoveringPolicy::Pairwise, CoveringPolicy::group(1e-10)]
-    {
+    for policy in [
+        CoveringPolicy::Flooding,
+        CoveringPolicy::Pairwise,
+        CoveringPolicy::group(1e-10),
+    ] {
         let name = policy.name();
         let mut net = Network::new(Topology::figure1(), policy, 1);
         net.subscribe(b(1), SubscriptionId(1), s1.clone());
@@ -49,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Proposition 5: what an erroneous covering decision costs on a chain.
     println!("\nProposition 5 (chain of n brokers, rho = 0.2, rho_w = 0.01):");
-    println!("{:>3} {:>6} {:>10} {:>10}", "n", "d", "analytic", "simulated");
+    println!(
+        "{:>3} {:>6} {:>10} {:>10}",
+        "n", "d", "analytic", "simulated"
+    );
     let mut rng = seeded_rng(5);
     for n in [2usize, 4, 8] {
         for d in [50u64, 500] {

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Half announce a bounded availability window.
         if rng.gen_bool(0.5) {
             let start = rng.gen_range(0..70_000);
-            b = b.range("time", start, (start + rng.gen_range(14_400..43_200)).min(86_400));
+            b = b.range(
+                "time",
+                start,
+                (start + rng.gen_range(14_400i64..43_200)).min(86_400),
+            );
         }
         announcements.push(b.build()?);
     }
@@ -83,8 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Match against the reduced active set first (Algorithm 5's phase 1
     // semantics: if nothing active matches, nothing covered can).
-    let active_hits =
-        group_active.iter().filter(|s| s.matches(&job)).count();
+    let active_hits = group_active.iter().filter(|s| s.matches(&job)).count();
     let all_hits = announcements.iter().filter(|s| s.matches(&job)).count();
     println!("job {job}");
     println!("capable services: {all_hits} total, {active_hits} in the active set");

@@ -31,10 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("s1 = {s1}");
     println!("s2 = {s2}");
     println!();
-    println!("Neither s1 nor s2 covers s: {}", !s1.covers(&s) && !s2.covers(&s));
+    println!(
+        "Neither s1 nor s2 covers s: {}",
+        !s1.covers(&s) && !s2.covers(&s)
+    );
 
     // The probabilistic pipeline: conflict table, fast paths, MCS, RSPC.
-    let checker = SubsumptionChecker::builder().error_probability(1e-10).build();
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-10)
+        .build();
     let mut rng = seeded_rng(42);
     let set = vec![s1, s2];
     let decision = checker.check(&s, &set, &mut rng);

@@ -1,0 +1,43 @@
+//! Standalone pub/sub server for manual driving.
+//!
+//! Binds the bike-rental schema service on the given address (default
+//! `127.0.0.1:7878`) and serves the line-delimited JSON protocol until
+//! killed. Talk to it with anything that speaks TCP lines:
+//!
+//! ```text
+//! $ cargo run --release --example service_server &
+//! $ printf '{"op":"hello"}\n' | nc 127.0.0.1 7878
+//! ```
+
+use psc::model::Schema;
+use psc::service::{ServiceConfig, ServiceServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let shards = std::env::args()
+        .nth(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4);
+
+    // The bike-rental schema from Table 1 of the paper.
+    let schema = Schema::builder()
+        .attribute("bID", 0, 10_000)
+        .attribute("size", 10, 30)
+        .attribute("brand", 0, 50)
+        .attribute("rpID", 0, 1_000)
+        .attribute("date", 0, 1_000_000)
+        .build();
+
+    let server = ServiceServer::bind(&addr, schema, ServiceConfig::with_shards(shards))?;
+    println!(
+        "psc-service listening on {} ({} shards); Ctrl-C to stop",
+        server.local_addr(),
+        shards
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -18,6 +18,8 @@
 //!   the paper's two-phase covered/uncovered store);
 //! - [`broker`] — a distributed broker-network simulator with reverse-path
 //!   forwarding and pluggable covering policies;
+//! - [`service`] — a sharded, multi-threaded pub/sub service wrapping the
+//!   matcher behind a concurrent API and a line-delimited JSON TCP protocol;
 //! - [`experiments`] — the harness regenerating every figure of the paper.
 //!
 //! ## Quickstart
@@ -51,6 +53,7 @@ pub use psc_core as core;
 pub use psc_experiments as experiments;
 pub use psc_matcher as matcher;
 pub use psc_model as model;
+pub use psc_service as service;
 pub use psc_workload as workload;
 
 /// Convenience re-exports for the most common entry points.
@@ -58,8 +61,7 @@ pub mod prelude {
     pub use psc_core::{
         CoverAnswer, CoverDecision, PairwiseChecker, SubsumptionChecker, SubsumptionConfig,
     };
-    pub use psc_model::{
-        AttrId, Publication, Range, Schema, Subscription, SubscriptionId,
-    };
+    pub use psc_model::{AttrId, Publication, Range, Schema, Subscription, SubscriptionId};
+    pub use psc_service::{PubSubService, ServiceClient, ServiceConfig, ServiceServer};
     pub use psc_workload::seeded_rng;
 }

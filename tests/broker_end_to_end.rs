@@ -15,7 +15,11 @@ fn build_network(policy: CoveringPolicy, brokers: usize, subs: usize, seed: u64)
     let mut net = Network::new(topo, policy, seed ^ 0xF00D);
     for i in 0..subs {
         let at = BrokerId(rng.gen_range(0..brokers));
-        net.subscribe(at, SubscriptionId(i as u64), wl.subscription(&schema, &mut rng));
+        net.subscribe(
+            at,
+            SubscriptionId(i as u64),
+            wl.subscription(&schema, &mut rng),
+        );
     }
     net
 }

@@ -8,7 +8,9 @@ use psc::workload::{
 };
 
 fn strict_checker() -> SubsumptionChecker {
-    SubsumptionChecker::builder().error_probability(1e-12).build()
+    SubsumptionChecker::builder()
+        .error_probability(1e-12)
+        .build()
 }
 
 #[test]
@@ -20,7 +22,10 @@ fn pairwise_scenario_decided_deterministically() {
         let inst = scenario.generate(&mut rng);
         let d = checker.check(&inst.s, &inst.set, &mut rng);
         assert!(d.is_covered(), "seed {seed}: pairwise cover missed");
-        assert!(d.is_deterministic(), "seed {seed}: should be a Corollary-1 decision");
+        assert!(
+            d.is_deterministic(),
+            "seed {seed}: should be a Corollary-1 decision"
+        );
     }
 }
 
@@ -32,7 +37,10 @@ fn redundant_covering_scenario_always_answers_covered() {
         let mut rng = seeded_rng(1000 + seed);
         let inst = scenario.generate(&mut rng);
         let d = checker.check(&inst.s, &inst.set, &mut rng);
-        assert!(d.is_covered(), "seed {seed}: union cover missed (prob err <= 1e-12)");
+        assert!(
+            d.is_covered(),
+            "seed {seed}: union cover missed (prob err <= 1e-12)"
+        );
     }
 }
 
@@ -43,12 +51,18 @@ fn non_cover_scenarios_never_fooled_with_strict_delta() {
         let mut rng = seeded_rng(2000 + seed);
         let inst = NonCoverScenario::new(5, 40).generate(&mut rng);
         let d = checker.check(&inst.s, &inst.set, &mut rng);
-        assert!(!d.is_covered(), "seed {seed}: declared covered on a gap instance");
+        assert!(
+            !d.is_covered(),
+            "seed {seed}: declared covered on a gap instance"
+        );
         assert!(d.is_deterministic(), "NO answers are always deterministic");
 
         let inst = NoIntersectionScenario::new(5, 40).generate(&mut rng);
         let d = checker.check(&inst.s, &inst.set, &mut rng);
-        assert!(!d.is_covered(), "seed {seed}: declared covered with zero overlap");
+        assert!(
+            !d.is_covered(),
+            "seed {seed}: declared covered with zero overlap"
+        );
     }
 }
 
@@ -107,8 +121,14 @@ fn engine_decisions_match_exact_on_random_small_instances() {
             uncovered_seen += 1;
         }
     }
-    assert!(covered_seen > 5, "instance mix too skewed: {covered_seen} covered");
-    assert!(uncovered_seen > 5, "instance mix too skewed: {uncovered_seen} uncovered");
+    assert!(
+        covered_seen > 5,
+        "instance mix too skewed: {covered_seen} covered"
+    );
+    assert!(
+        uncovered_seen > 5,
+        "instance mix too skewed: {uncovered_seen} uncovered"
+    );
 }
 
 #[test]
@@ -126,7 +146,10 @@ fn witnesses_returned_by_the_engine_are_genuine() {
         let d = checker.check(&inst.s, &inst.set, &mut rng);
         match d.answer {
             CoverAnswer::NotCovered { witness: Some(w) } => {
-                assert!(w.holds_against(&inst.s, &inst.set), "seed {seed}: bogus witness");
+                assert!(
+                    w.holds_against(&inst.s, &inst.set),
+                    "seed {seed}: bogus witness"
+                );
             }
             CoverAnswer::NotCovered { witness: None } => {
                 panic!("seed {seed}: bare RSPC NO must carry a witness")

@@ -11,9 +11,8 @@ fn needle_instance() -> (Subscription, Vec<Subscription>) {
     let schema = Schema::uniform(2, 0, 9_999);
     let s = Subscription::whole_space(&schema);
     // Cover everything except the point (7777, 7777).
-    let mk = |r0: Range, r1: Range| {
-        Subscription::from_ranges(&schema, vec![r0, r1]).expect("in domain")
-    };
+    let mk =
+        |r0: Range, r1: Range| Subscription::from_ranges(&schema, vec![r0, r1]).expect("in domain");
     let full = Range::new(0, 9_999).unwrap();
     let set = vec![
         mk(Range::new(0, 7_776).unwrap(), full),
@@ -50,7 +49,10 @@ fn bare_rspc_on_needle_documents_estimate_unsoundness() {
         CoverAnswer::Covered { error_bound } => {
             assert!(!d.is_deterministic());
             // ρ̂w ≈ 0.049 ⇒ theoretical d ≈ 460 < cap ⇒ reported bound ≈ δ.
-            assert!(error_bound <= 1e-9, "estimate regime changed: {error_bound}");
+            assert!(
+                error_bound <= 1e-9,
+                "estimate regime changed: {error_bound}"
+            );
             assert!(
                 d.stats.rho_w > 0.01,
                 "the overconfident estimate is the point of this test: {}",
@@ -113,8 +115,10 @@ fn tiny_gap_error_rate_is_within_theoretical_bound() {
     let rate = false_yes as f64 / runs as f64;
     assert!(rate < 0.9, "error rate {rate} looks broken");
     if false_yes > 0 {
-        assert!(max_reported_bound >= delta * 0.9,
-            "reported bound {max_reported_bound} tighter than requested {delta}");
+        assert!(
+            max_reported_bound >= delta * 0.9,
+            "reported bound {max_reported_bound} tighter than requested {delta}"
+        );
     }
 }
 
@@ -136,7 +140,10 @@ fn zero_iteration_cap_degrades_gracefully() {
     let d = checker.check(&s, &set, &mut rng);
     match d.answer {
         CoverAnswer::Covered { error_bound } => {
-            assert!(error_bound >= 0.99, "zero samples cannot justify {error_bound}");
+            assert!(
+                error_bound >= 0.99,
+                "zero samples cannot justify {error_bound}"
+            );
         }
         _ => panic!("budget 0 must fall through to a vacuous YES"),
     }
@@ -157,7 +164,9 @@ fn adversarial_domain_extremes_do_not_overflow() {
         ],
     )
     .unwrap();
-    let checker = SubsumptionChecker::builder().error_probability(1e-6).build();
+    let checker = SubsumptionChecker::builder()
+        .error_probability(1e-6)
+        .build();
     let mut rng = seeded_rng(4);
     let d = checker.check(&s, &[half], &mut rng);
     // Half the space uncovered: any reasonable path answers NO quickly.

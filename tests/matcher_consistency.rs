@@ -21,7 +21,9 @@ fn three_engines_agree_on_comparison_workload() {
     let mut naive = NaiveMatcher::new();
     let mut counting = CountingIndex::new(&schema);
     let mut store = CoveringStore::new(
-        SubsumptionChecker::builder().error_probability(1e-9).build(),
+        SubsumptionChecker::builder()
+            .error_probability(1e-9)
+            .build(),
     );
     for (i, s) in subs.iter().enumerate() {
         let id = SubscriptionId(i as u64);
@@ -50,7 +52,9 @@ fn engines_agree_after_random_unsubscriptions() {
     let mut naive = NaiveMatcher::new();
     let mut counting = CountingIndex::new(&schema);
     let mut store = CoveringStore::new(
-        SubsumptionChecker::builder().error_probability(1e-9).build(),
+        SubsumptionChecker::builder()
+            .error_probability(1e-9)
+            .build(),
     );
     for (i, s) in subs.iter().enumerate() {
         let id = SubscriptionId(i as u64);
@@ -90,12 +94,17 @@ fn covering_store_phase_skip_is_effective_on_real_streams() {
     let mut rng = seeded_rng(123);
     let subs = wl.stream(200, &mut rng);
     let mut store = CoveringStore::new(
-        SubsumptionChecker::builder().error_probability(1e-6).build(),
+        SubsumptionChecker::builder()
+            .error_probability(1e-6)
+            .build(),
     );
     for (i, s) in subs.iter().enumerate() {
         store.insert(SubscriptionId(i as u64), s.clone(), &mut rng);
     }
-    assert!(store.covered_len() > 0, "stream should produce covered entries");
+    assert!(
+        store.covered_len() > 0,
+        "stream should produce covered entries"
+    );
     store.reset_stats();
     for _ in 0..300 {
         let p = wl.publication(&schema, &mut rng);

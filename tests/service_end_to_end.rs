@@ -1,0 +1,183 @@
+//! End-to-end tests of the sharded TCP service: concurrent subscribers and
+//! publishers drive a real `ServiceServer` over loopback TCP, and the
+//! shard-merged match results are compared against `matcher::naive` ground
+//! truth on the same workload.
+
+use psc::matcher::NaiveMatcher;
+use psc::model::{Publication, Schema, Subscription, SubscriptionId};
+use psc::service::{ServiceClient, ServiceConfig, ServiceServer};
+use std::sync::Arc;
+
+/// The paper's uniform workload, shared with the `service_throughput`
+/// bench so test and bench drive the same distribution.
+fn uniform_workload(
+    m: usize,
+    subs: usize,
+    pubs: usize,
+    seed: u64,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    psc_bench::uniform_fixture(m, subs, pubs, 300, seed)
+}
+
+fn ground_truth(subs: &[Subscription], publications: &[Publication]) -> Vec<Vec<SubscriptionId>> {
+    let mut naive = NaiveMatcher::new();
+    for (i, s) in subs.iter().enumerate() {
+        naive.insert(SubscriptionId(i as u64), s.clone());
+    }
+    publications
+        .iter()
+        .map(|p| {
+            let mut ids = naive.matches(p);
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_tcp_clients_match_naive_ground_truth() {
+    let (schema, subs, pubs) = uniform_workload(4, 300, 80, 0xE2E);
+    let truth = ground_truth(&subs, &pubs);
+
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 4,
+            batch_size: 16,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Phase 1: four concurrent subscriber connections, interleaved ids.
+    let subs = Arc::new(subs);
+    let mut joins = Vec::new();
+    for t in 0..4usize {
+        let subs = Arc::clone(&subs);
+        joins.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+            for i in (t..subs.len()).step_by(4) {
+                client
+                    .subscribe(SubscriptionId(i as u64), &subs[i])
+                    .expect("subscribe over TCP");
+            }
+            client.flush().expect("flush tail batch");
+        }));
+    }
+    for join in joins {
+        join.join().expect("subscriber thread");
+    }
+
+    // Phase 2: two concurrent publisher connections, disjoint publication
+    // slices; each must observe exactly the naive match set.
+    let pubs = Arc::new(pubs);
+    let truth = Arc::new(truth);
+    let mut joins = Vec::new();
+    for t in 0..2usize {
+        let pubs = Arc::clone(&pubs);
+        let truth = Arc::clone(&truth);
+        joins.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connect publisher");
+            for i in (t..pubs.len()).step_by(2) {
+                let matched = client.publish(&pubs[i]).expect("publish over TCP");
+                assert_eq!(
+                    matched, truth[i],
+                    "shard-merged match set diverged from naive ground truth on publication {i}"
+                );
+            }
+        }));
+    }
+    for join in joins {
+        join.join().expect("publisher thread");
+    }
+
+    // The service really sharded the store and saw the whole workload.
+    let mut client = ServiceClient::connect(addr).expect("connect inspector");
+    let metrics = client.stats().expect("stats over TCP");
+    assert_eq!(metrics.shards.len(), 4);
+    let totals = metrics.totals();
+    assert_eq!(totals.subscriptions_ingested, 300);
+    // Fan-out counters merge by max across shards: 80 publications total,
+    // each observed by every shard exactly once.
+    assert_eq!(totals.publications_processed as usize, 80);
+    assert!(
+        metrics.shards.iter().all(|s| s.subscriptions_ingested > 0),
+        "hashed routing should populate every shard: {metrics}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
+    let (schema, subs, pubs) = uniform_workload(3, 120, 40, 0xFACE);
+
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 3,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Subscribers and publishers run at the same time: match contents are
+    // racy by design, but every returned id must be a subscribed id and
+    // the protocol must never wedge.
+    let subs = Arc::new(subs);
+    let pubs = Arc::new(pubs);
+    let mut joins = Vec::new();
+    for t in 0..3usize {
+        let subs = Arc::clone(&subs);
+        joins.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+            for i in (t..subs.len()).step_by(3) {
+                client
+                    .subscribe(SubscriptionId(i as u64), &subs[i])
+                    .expect("subscribe over TCP");
+            }
+        }));
+    }
+    let max_id = subs.len() as u64;
+    for _ in 0..2 {
+        let pubs = Arc::clone(&pubs);
+        joins.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("connect publisher");
+            for p in pubs.iter() {
+                let matched = client.publish(p).expect("publish over TCP");
+                for id in matched {
+                    assert!(id.0 < max_id, "match returned an id never subscribed");
+                }
+            }
+        }));
+    }
+    for join in joins {
+        join.join().expect("worker thread");
+    }
+
+    // Quiesced: now the service must agree with naive ground truth, and
+    // unsubscription must remove matches.
+    let truth = ground_truth(&subs, &pubs);
+    let mut client = ServiceClient::connect(addr).expect("connect checker");
+    for (i, p) in pubs.iter().enumerate() {
+        assert_eq!(client.publish(p).expect("publish"), truth[i]);
+    }
+
+    let victim = truth
+        .iter()
+        .enumerate()
+        .find_map(|(i, ids)| ids.first().map(|id| (i, *id)))
+        .expect("some publication matched something");
+    assert!(client.unsubscribe(victim.1).expect("unsubscribe"));
+    let after = client
+        .publish(&pubs[victim.0])
+        .expect("publish after unsubscribe");
+    assert!(!after.contains(&victim.1), "unsubscribed id still matching");
+
+    server.stop();
+}

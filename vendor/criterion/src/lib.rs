@@ -1,0 +1,302 @@
+//! In-workspace micro-benchmark harness exposing the slice of the
+//! `criterion` 0.5 API the workspace's bench targets use.
+//!
+//! The build environment has no registry access, so instead of the real
+//! criterion this crate implements a small but honest measurement loop:
+//! per benchmark it calibrates an iteration count so each sample takes at
+//! least [`MIN_SAMPLE_NANOS`], collects `sample_size` samples, and reports
+//! min / median / mean wall-clock time per iteration.
+//!
+//! Supported CLI of a bench binary (what `cargo bench` passes through):
+//! positional args are substring filters on the benchmark id; `--test` (or
+//! `--quick`) runs every benchmark once without timing; other flags are
+//! ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum duration of one timed sample, in nanoseconds.
+pub const MIN_SAMPLE_NANOS: u64 = 2_000_000;
+
+/// Identifier of a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Measured nanoseconds per iteration for each sample; empty in test mode.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fill MIN_SAMPLE_NANOS?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        let iters = (MIN_SAMPLE_NANOS / once).clamp(1, 10_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters as f64);
+        }
+    }
+}
+
+fn human(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<50} ok (test mode)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<50} median {:>10}/iter  mean {:>10}  min {:>10}  (n={})",
+        human(median),
+        human(mean),
+        human(min),
+        samples.len(),
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Advisory in the real criterion; accepted and ignored here.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Advisory in the real criterion; accepted and ignored here.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` with `input`, reporting under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_one(&full, sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Runs `routine`, reporting under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| routine(b));
+        self
+    }
+
+    /// Ends the group (separator line in the report).
+    pub fn finish(self) {
+        if !self.criterion.test_mode {
+            println!();
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => test_mode = true,
+                s if s.starts_with("--") => {}
+                s => filters.push(s.to_string()),
+            }
+        }
+        Criterion {
+            filters,
+            test_mode,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let sample_size = self.default_sample_size;
+        self.run_one(&id, sample_size, |b| routine(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut routine: F) {
+        if !self.filters.is_empty() && !self.filters.iter().any(|f| id.contains(f.as_str())) {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(id, &mut bencher.samples);
+    }
+}
+
+/// Declares a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn test_mode_skips_timing() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+}

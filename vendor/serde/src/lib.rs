@@ -1,0 +1,18 @@
+//! In-workspace stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace keeps its
+//! `#[derive(Serialize, Deserialize)]` annotations (so a real serde can be
+//! swapped in later), and this crate makes them compile by re-exporting
+//! no-op derive macros plus empty marker traits of the same names. Actual
+//! wire-format encoding lives in `psc_model::wire`, which hand-rolls the
+//! line-delimited JSON the service layer speaks.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

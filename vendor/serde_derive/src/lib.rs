@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace annotates its data types with serde derives so that a real
+//! serde can be dropped in when the build environment gains registry access,
+//! but nothing in-tree calls serde's trait machinery: the wire layer
+//! (`psc_model::wire`) hand-rolls its JSON encoding instead. These derives
+//! therefore expand to nothing; they exist so the annotations compile.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
