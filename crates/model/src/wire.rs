@@ -11,11 +11,18 @@
 //! - [`PublicationDto`] — `{"values": [v0, v1, ...]}`;
 //! - [`SchemaDto`] — `[["name", lo, hi], ...]`.
 //!
+//! Transport framing is incremental: [`LineFramer`] turns arbitrary byte
+//! chunks (as delivered by non-blocking socket reads) into newline-framed
+//! lines, enforcing a per-line byte cap *mid-stream* so an unterminated
+//! hostile line can never buffer unbounded memory. The nesting-depth cap
+//! lives in [`Json::parse`], which runs on every completed frame.
+//!
 //! Numbers are kept as `i64` where the model is integral (attribute values,
 //! range endpoints) and as `u64` for subscription ids, so round-trips are
 //! exact; floats appear only in metrics payloads.
 
 use crate::{ModelError, Publication, Range, Schema, Subscription, SubscriptionId};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Error raised while decoding wire payloads.
@@ -452,6 +459,159 @@ impl fmt::Display for Json {
     }
 }
 
+/// One framing unit produced by a [`LineFramer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (newline stripped, trailing `\r` removed).
+    Line(String),
+    /// A line that exceeded the framer's byte cap and was discarded.
+    TooLong {
+        /// Total length of the discarded line, in bytes (excluding the
+        /// terminating newline).
+        len: usize,
+    },
+}
+
+/// Incremental newline framing with a mid-stream length cap.
+///
+/// The readiness-based server front-end reads whatever bytes the socket
+/// has — a read may carry half a request, or twenty — so framing cannot
+/// assume line boundaries align with reads. `feed` accepts arbitrary byte
+/// chunks and [`next_frame`](LineFramer::next_frame) yields completed
+/// lines in order.
+///
+/// The length cap is enforced *as bytes arrive*, not when the line
+/// completes: once an unterminated line crosses `max_line` bytes the
+/// buffered prefix is dropped immediately and the framer switches to
+/// discard mode until the next newline, so a hostile peer streaming an
+/// endless unterminated line holds at most `max_line` bytes of memory.
+/// The oversized line surfaces as one [`Frame::TooLong`] and framing
+/// resumes cleanly on the next line.
+///
+/// # Example
+/// ```
+/// use psc_model::wire::{Frame, LineFramer};
+///
+/// let mut framer = LineFramer::new(1024);
+/// framer.feed(b"{\"op\":\"he");          // partial line: no frame yet
+/// assert_eq!(framer.next_frame(), None);
+/// framer.feed(b"llo\"}\n{\"op\":");      // completes one, starts another
+/// assert_eq!(
+///     framer.next_frame(),
+///     Some(Frame::Line("{\"op\":\"hello\"}".into())),
+/// );
+/// assert_eq!(framer.next_frame(), None);
+/// ```
+#[derive(Debug)]
+pub struct LineFramer {
+    max_line: usize,
+    /// The current unterminated line; never grows past `max_line`.
+    partial: Vec<u8>,
+    /// Completed frames not yet handed out.
+    ready: VecDeque<Frame>,
+    /// Discarding an oversized line until its newline arrives.
+    discarding: bool,
+    /// Bytes of the oversized line seen so far.
+    discarded: usize,
+}
+
+impl LineFramer {
+    /// A framer accepting lines of at most `max_line` bytes.
+    ///
+    /// # Panics
+    /// Panics if `max_line` is zero.
+    pub fn new(max_line: usize) -> Self {
+        assert!(max_line > 0, "a framer needs a positive line cap");
+        LineFramer {
+            max_line,
+            partial: Vec::new(),
+            ready: VecDeque::new(),
+            discarding: false,
+            discarded: 0,
+        }
+    }
+
+    /// Feeds one chunk of bytes, completing any number of frames.
+    pub fn feed(&mut self, mut bytes: &[u8]) {
+        while let Some(pos) = bytes.iter().position(|&b| b == b'\n') {
+            let head = &bytes[..pos];
+            bytes = &bytes[pos + 1..];
+            if self.discarding {
+                self.discarded = self.discarded.saturating_add(head.len());
+                self.ready.push_back(Frame::TooLong {
+                    len: self.discarded,
+                });
+                self.discarding = false;
+                self.discarded = 0;
+            } else if self.partial.len() + head.len() > self.max_line {
+                self.ready.push_back(Frame::TooLong {
+                    len: self.partial.len() + head.len(),
+                });
+                self.partial.clear();
+            } else {
+                self.partial.extend_from_slice(head);
+                while self.partial.last() == Some(&b'\r') {
+                    self.partial.pop();
+                }
+                self.ready.push_back(Frame::Line(
+                    String::from_utf8_lossy(&self.partial).into_owned(),
+                ));
+                self.partial.clear();
+            }
+        }
+        if bytes.is_empty() {
+            return;
+        }
+        if self.discarding {
+            self.discarded = self.discarded.saturating_add(bytes.len());
+        } else if self.partial.len() + bytes.len() > self.max_line {
+            // Cap crossed mid-line: drop the buffered prefix now and keep
+            // only a byte count until the newline shows up.
+            self.discarded = self.partial.len() + bytes.len();
+            self.discarding = true;
+            self.partial.clear();
+        } else {
+            self.partial.extend_from_slice(bytes);
+        }
+    }
+
+    /// The next completed frame, in feed order.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.ready.pop_front()
+    }
+
+    /// Flushes a trailing unterminated line as a final frame (EOF
+    /// semantics: data before a close counts as a last line).
+    pub fn finish(&mut self) {
+        if self.discarding {
+            self.ready.push_back(Frame::TooLong {
+                len: self.discarded,
+            });
+            self.discarding = false;
+            self.discarded = 0;
+        } else if !self.partial.is_empty() {
+            while self.partial.last() == Some(&b'\r') {
+                self.partial.pop();
+            }
+            self.ready.push_back(Frame::Line(
+                String::from_utf8_lossy(&self.partial).into_owned(),
+            ));
+            self.partial.clear();
+        }
+    }
+
+    /// Bytes currently buffered for the unterminated line. Bounded by the
+    /// line cap regardless of what has been fed.
+    pub fn buffered_bytes(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Whether any completed frame is waiting to be taken.
+    pub fn has_frames(&self) -> bool {
+        !self.ready.is_empty()
+    }
+}
+
 /// Wire shape of a subscription: an id plus one `[lo, hi]` pair per
 /// attribute, in schema order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -713,6 +873,89 @@ mod tests {
             let printed = parsed.to_string();
             assert_eq!(Json::parse(&printed).unwrap(), parsed, "case {case}");
         }
+    }
+
+    #[test]
+    fn framer_splits_lines_across_feeds() {
+        let mut framer = LineFramer::new(64);
+        framer.feed(b"abc");
+        assert_eq!(framer.next_frame(), None);
+        framer.feed(b"def\nsecond");
+        assert_eq!(framer.next_frame(), Some(Frame::Line("abcdef".into())));
+        assert_eq!(framer.next_frame(), None);
+        framer.feed(b"\r\n\n");
+        assert_eq!(framer.next_frame(), Some(Frame::Line("second".into())));
+        assert_eq!(framer.next_frame(), Some(Frame::Line(String::new())));
+        assert_eq!(framer.next_frame(), None);
+    }
+
+    #[test]
+    fn framer_byte_by_byte_equals_one_shot() {
+        let input = b"{\"op\":\"hello\"}\nplain\r\n\nlast";
+        let mut whole = LineFramer::new(1024);
+        whole.feed(input);
+        whole.finish();
+        let mut split = LineFramer::new(1024);
+        for b in input {
+            split.feed(std::slice::from_ref(b));
+        }
+        split.finish();
+        let drain = |f: &mut LineFramer| {
+            let mut out = Vec::new();
+            while let Some(frame) = f.next_frame() {
+                out.push(frame);
+            }
+            out
+        };
+        let frames = drain(&mut whole);
+        assert_eq!(frames, drain(&mut split));
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line("{\"op\":\"hello\"}".into()),
+                Frame::Line("plain".into()),
+                Frame::Line(String::new()),
+                Frame::Line("last".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn framer_caps_unterminated_lines_mid_stream() {
+        let mut framer = LineFramer::new(8);
+        // Stream 100 bytes of an unterminated line: memory stays capped.
+        for _ in 0..25 {
+            framer.feed(b"xxxx");
+            assert!(framer.buffered_bytes() <= 8);
+        }
+        assert_eq!(framer.next_frame(), None, "no frame before the newline");
+        framer.feed(b"\nok\n");
+        assert_eq!(framer.next_frame(), Some(Frame::TooLong { len: 100 }));
+        assert_eq!(
+            framer.next_frame(),
+            Some(Frame::Line("ok".into())),
+            "framing recovers on the next line"
+        );
+    }
+
+    #[test]
+    fn framer_oversized_line_within_one_feed() {
+        let mut framer = LineFramer::new(4);
+        framer.feed(b"toolong\nok\n");
+        assert_eq!(framer.next_frame(), Some(Frame::TooLong { len: 7 }));
+        assert_eq!(framer.next_frame(), Some(Frame::Line("ok".into())));
+    }
+
+    #[test]
+    fn framer_finish_flushes_tail_and_overflow() {
+        let mut framer = LineFramer::new(4);
+        framer.feed(b"ab");
+        framer.finish();
+        assert_eq!(framer.next_frame(), Some(Frame::Line("ab".into())));
+        let mut framer = LineFramer::new(4);
+        framer.feed(b"abcdefgh");
+        framer.finish();
+        assert_eq!(framer.next_frame(), Some(Frame::TooLong { len: 8 }));
     }
 
     #[test]

@@ -1,17 +1,33 @@
 //! A blocking client for the line-delimited JSON protocol.
+//!
+//! Every socket operation is bounded: `connect` uses
+//! `TcpStream::connect_timeout` and reads/writes carry OS-level timeouts,
+//! so a hung or wedged server surfaces as a timeout error instead of
+//! blocking the caller forever. The timeout comes from
+//! [`ServiceConfig::io_timeout`] (default 30s) or per-client via
+//! [`ServiceClient::connect_with`]. Responses are read through the same
+//! incremental [`LineFramer`](psc_model::wire::LineFramer) the server
+//! uses, so a response line split across arbitrarily many reads decodes
+//! identically.
 
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{ReactorMetrics, ServiceMetrics};
+use crate::service::ServiceConfig;
 use crate::wire::{Request, Response};
-use psc_model::wire::{PublicationDto, SubscriptionDto, WireError};
+use psc_model::wire::{Frame, LineFramer, PublicationDto, SubscriptionDto, WireError};
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest response line the client accepts (64 MiB — match sets can be
+/// large; the framer stops buffering mid-stream beyond this).
+const MAX_RESPONSE_LINE_BYTES: usize = 1 << 26;
 
 /// Client-side errors.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure.
+    /// Transport failure (including timeouts, kind `TimedOut`).
     Io(std::io::Error),
     /// The server's response line did not decode.
     Wire(WireError),
@@ -48,35 +64,100 @@ impl From<WireError> for ClientError {
 
 /// A blocking connection to a [`crate::ServiceServer`].
 pub struct ServiceClient {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    framer: LineFramer,
 }
 
 impl ServiceClient {
-    /// Connects to a running server.
+    /// Connects to a running server with the default I/O timeout
+    /// ([`ServiceConfig::io_timeout`], 30s).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ServiceConfig::default().io_timeout)
+    }
+
+    /// Connects with an explicit connect/read/write timeout (`None`
+    /// blocks indefinitely, the pre-timeout behavior).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let stream = match io_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut connected = None;
+                for candidate in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&candidate, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no candidates",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
         Ok(ServiceClient {
-            reader,
-            writer: stream,
+            stream,
+            framer: LineFramer::new(MAX_RESPONSE_LINE_BYTES),
         })
+    }
+
+    fn read_response_line(&mut self) -> Result<String, ClientError> {
+        loop {
+            match self.framer.next_frame() {
+                Some(Frame::Line(line)) => return Ok(line),
+                Some(Frame::TooLong { len }) => {
+                    return Err(ClientError::Wire(WireError::Shape(format!(
+                        "response line of {len} bytes exceeds the client cap"
+                    ))))
+                }
+                None => {}
+            }
+            let mut buf = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut buf).map_err(|e| {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for the server's response",
+                    ))
+                } else {
+                    ClientError::Io(e)
+                }
+            })?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.framer.feed(&buf[..n]);
+        }
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
         let mut line = request.encode();
         line.push('\n');
-        self.writer.write_all(line.as_bytes())?;
-        let mut response_line = String::new();
-        let n = self.reader.read_line(&mut response_line)?;
-        if n == 0 {
-            return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )));
-        }
-        let response = Response::decode(response_line.trim_end())?;
+        self.stream.write_all(line.as_bytes())?;
+        let response_line = self.read_response_line()?;
+        let response = Response::decode(&response_line)?;
         if let Response::Error(message) = response {
             return Err(ClientError::Server(message));
         }
@@ -127,8 +208,14 @@ impl ServiceClient {
 
     /// Scrapes service metrics.
     pub fn stats(&mut self) -> Result<ServiceMetrics, ClientError> {
+        Ok(self.stats_full()?.0)
+    }
+
+    /// Scrapes service metrics plus the server's front-end counters
+    /// (absent when talking to a server without a reactor).
+    pub fn stats_full(&mut self) -> Result<(ServiceMetrics, Option<ReactorMetrics>), ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats(metrics) => Ok(metrics),
+            Response::Stats { metrics, reactor } => Ok((metrics, reactor)),
             other => Err(ClientError::UnexpectedResponse(other)),
         }
     }

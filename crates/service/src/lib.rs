@@ -10,8 +10,10 @@
 //!
 //! ```text
 //!                      ┌────────────────────────────────────────────┐
-//!  TCP clients ──────▶ │ ServiceServer (accept + connection threads)│
-//!  (ServiceClient)     └──────────────────┬─────────────────────────┘
+//!  TCP clients ──────▶ │ ServiceServer — one reactor thread         │
+//!  (ServiceClient)     │  epoll { listener, wake pipe, N conns }    │
+//!                      │  per-conn state machines + timer wheel     │
+//!                      └──────────────────┬─────────────────────────┘
 //!                                         ▼
 //!                      ┌────────────────────────────────────────────┐
 //!                      │ PubSubService (router)                     │
@@ -23,6 +25,12 @@
 //!                 (CoveringStore + SubsumptionChecker, own thread)
 //! ```
 //!
+//! - **Reactor front-end** — [`ServiceServer`] serves every connection
+//!   from one readiness-based event-loop thread ([`reactor`]): raw epoll
+//!   bindings (no crates.io access, so no mio/libc), non-blocking accept,
+//!   incremental line framing, bounded write backlogs with slow-consumer
+//!   disconnect, an idle-timeout wheel, a connection cap, and shutdown
+//!   via a wakeup pipe. Thread count is O(shards), not O(connections).
 //! - **Sharding** — subscription ids are hashed (SplitMix64 finalizer)
 //!   across `N` worker threads; each shard owns an independent
 //!   `CoveringStore`, so admission-time subsumption checks and
@@ -34,17 +42,23 @@
 //!   sends the publication set to every shard and merges the per-shard
 //!   match sets into one ascending id list.
 //! - **Metrics** — per-shard ingest/suppression/probe counters
-//!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate, in the
-//!   mold of `psc_broker::metrics`.
-//! - **Wire protocol** — newline-delimited JSON over `std::net` TCP; see
-//!   [`wire`] for the op table and [`ServiceClient`] for the blocking
-//!   client.
+//!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate;
+//!   [`ReactorMetrics`] covers the serving edge (connections, slow-
+//!   consumer/idle disconnects, cap rejects).
+//! - **Wire protocol** — newline-delimited JSON over TCP with
+//!   incremental, mid-stream-capped framing; see [`wire`] for the op
+//!   table and [`ServiceClient`] for the blocking client (all its socket
+//!   operations carry timeouts).
 
-#![forbid(unsafe_code)]
+// The reactor's `sys` module needs `extern "C"` bindings to epoll and
+// friends (the environment vendors no libc/mio); all unsafe code is
+// confined there and the rest of the crate stays deny-checked.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod wire;
@@ -52,6 +66,6 @@ pub mod wire;
 mod shard;
 
 pub use client::{ClientError, ServiceClient};
-pub use metrics::{ServiceMetrics, ShardMetrics};
+pub use metrics::{ReactorMetrics, ServiceMetrics, ShardMetrics};
 pub use server::ServiceServer;
 pub use service::{PubSubService, ServiceConfig, ServiceError};

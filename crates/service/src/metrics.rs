@@ -202,6 +202,83 @@ impl ServiceMetrics {
     }
 }
 
+/// Counters of the readiness-based front-end (one reactor thread).
+///
+/// Shard metrics describe the matching engine; these describe the serving
+/// edge — connection lifecycle and the protection policies (write-
+/// backpressure disconnects, idle reaping, the connection cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReactorMetrics {
+    /// Connections accepted since start (including ones later closed).
+    pub connections_accepted: u64,
+    /// Connections open right now.
+    pub connections_current: u64,
+    /// Accepts closed immediately because `max_connections` was reached.
+    pub connections_rejected_at_cap: u64,
+    /// Connections dropped for exceeding the write-backlog bound.
+    pub slow_consumer_disconnects: u64,
+    /// Connections reaped by the idle-timeout wheel.
+    pub idle_disconnects: u64,
+    /// Well-formed request lines served.
+    pub requests_handled: u64,
+    /// Request lines discarded for exceeding the line-length cap.
+    pub oversized_lines: u64,
+}
+
+impl ReactorMetrics {
+    /// Encodes as a JSON object for the wire `stats` response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("accepted", Json::UInt(self.connections_accepted)),
+            ("current", Json::UInt(self.connections_current)),
+            (
+                "rejected_at_cap",
+                Json::UInt(self.connections_rejected_at_cap),
+            ),
+            ("slow_consumer", Json::UInt(self.slow_consumer_disconnects)),
+            ("idle", Json::UInt(self.idle_disconnects)),
+            ("requests", Json::UInt(self.requests_handled)),
+            ("oversized_lines", Json::UInt(self.oversized_lines)),
+        ])
+    }
+
+    /// Decodes from the wire `stats` response.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let field = |key: &str| -> Result<u64, WireError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| WireError::Shape(format!("reactor metrics missing \"{key}\"")))
+        };
+        Ok(ReactorMetrics {
+            connections_accepted: field("accepted")?,
+            connections_current: field("current")?,
+            connections_rejected_at_cap: field("rejected_at_cap")?,
+            slow_consumer_disconnects: field("slow_consumer")?,
+            idle_disconnects: field("idle")?,
+            requests_handled: field("requests")?,
+            oversized_lines: field("oversized_lines")?,
+        })
+    }
+}
+
+impl fmt::Display for ReactorMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "connections: {} open / {} accepted ({} at-cap rejects), \
+             disconnects slow/idle: {}/{}, requests: {} ({} oversized lines)",
+            self.connections_current,
+            self.connections_accepted,
+            self.connections_rejected_at_cap,
+            self.slow_consumer_disconnects,
+            self.idle_disconnects,
+            self.requests_handled,
+            self.oversized_lines,
+        )
+    }
+}
+
 impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "service totals: {}", self.totals())?;
@@ -266,6 +343,23 @@ mod tests {
         let parsed = psc_model::wire::Json::parse(&json).unwrap();
         let back = ServiceMetrics::from_json(&parsed).unwrap();
         assert_eq!(back, svc);
+    }
+
+    #[test]
+    fn reactor_metrics_json_round_trip() {
+        let m = ReactorMetrics {
+            connections_accepted: 10,
+            connections_current: 7,
+            connections_rejected_at_cap: 1,
+            slow_consumer_disconnects: 2,
+            idle_disconnects: 3,
+            requests_handled: 40,
+            oversized_lines: 5,
+        };
+        let json = m.to_json().to_string();
+        let parsed = psc_model::wire::Json::parse(&json).unwrap();
+        assert_eq!(ReactorMetrics::from_json(&parsed).unwrap(), m);
+        assert!(!m.to_string().is_empty());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Per-connection state for the reactor: a non-blocking stream, an
+//! incremental line framer on the read side, and a bounded backlog of
+//! unsent response bytes on the write side.
+
+use psc_model::wire::{Frame, LineFramer};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Outcome of draining a readable socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// More bytes may arrive later.
+    Open,
+    /// The peer closed (EOF) — finish pending frames, flush, then drop.
+    PeerClosed,
+    /// The socket errored — drop immediately.
+    Errored,
+}
+
+/// Cap on bytes consumed from one connection per readiness event, so a
+/// client streaming a firehose cannot starve its neighbours; level-
+/// triggered epoll re-reports the fd on the next loop iteration.
+const MAX_BYTES_PER_EVENT: usize = 256 * 1024;
+
+/// One client connection owned by the reactor thread.
+pub struct Connection {
+    stream: TcpStream,
+    framer: LineFramer,
+    /// Unsent response bytes; `out_pos` marks how far flushing got.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// Whether the poller registration currently includes writability.
+    pub writable_registered: bool,
+    /// Peer half-closed with responses still queued: write-only until the
+    /// backlog empties, then close.
+    pub draining: bool,
+}
+
+impl Connection {
+    /// Wraps an accepted (already non-blocking) stream.
+    pub fn new(stream: TcpStream, max_line_bytes: usize) -> Connection {
+        Connection {
+            stream,
+            framer: LineFramer::new(max_line_bytes),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            writable_registered: false,
+            draining: false,
+        }
+    }
+
+    /// Reads whatever the socket has (up to the per-event cap) into the
+    /// framer.
+    pub fn read_ready(&mut self) -> ReadStatus {
+        let mut buf = [0u8; 16 * 1024];
+        let mut consumed = 0;
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF: whatever trailed without a newline is the last
+                    // request (matches the old blocking front-end).
+                    self.framer.finish();
+                    return ReadStatus::PeerClosed;
+                }
+                Ok(n) => {
+                    self.framer.feed(&buf[..n]);
+                    consumed += n;
+                    if consumed >= MAX_BYTES_PER_EVENT {
+                        return ReadStatus::Open;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadStatus::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadStatus::Errored,
+            }
+        }
+    }
+
+    /// The next fully framed request, if any.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.framer.next_frame()
+    }
+
+    /// Queues one response line (newline appended) for sending.
+    pub fn queue_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Bytes queued but not yet accepted by the socket — the quantity the
+    /// slow-consumer policy bounds.
+    pub fn backlog(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    /// Whether the poller should watch for writability.
+    pub fn wants_write(&self) -> bool {
+        self.backlog() > 0
+    }
+
+    /// Writes queued bytes until the socket blocks or the queue empties.
+    /// An `Err` means the connection is dead.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_pos = 0;
+        } else if self.out_pos >= 64 * 1024 {
+            // Reclaim the flushed prefix so a long-lived connection's
+            // buffer doesn't grow monotonically.
+            self.outbuf.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+}

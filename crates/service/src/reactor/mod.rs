@@ -1,0 +1,456 @@
+//! The readiness-based event loop serving all client connections on one
+//! thread.
+//!
+//! ```text
+//!                    ┌──────────── reactor thread ────────────┐
+//!  accept ──────────▶│ epoll { listener, wake pipe, N conns } │
+//!  wake pipe ───────▶│   readable → framer → respond → queue  │
+//!                    │   writable → flush backlog             │
+//!                    │   timer wheel → reap idle conns        │
+//!                    └───────────────┬────────────────────────┘
+//!                                    ▼ (existing mpsc channels)
+//!                          shard worker threads (unchanged)
+//! ```
+//!
+//! One thread owns every connection — thread count stays O(shards), not
+//! O(connections) — and each connection is a small state machine: an
+//! incremental [`LineFramer`](psc_model::wire::LineFramer) on the read
+//! side and a bounded write backlog on the other. Policy decisions:
+//!
+//! - **Backpressure.** Responses queue per connection; a consumer whose
+//!   unsent backlog still exceeds `max_write_buffer_bytes` when its next
+//!   request arrives is disconnected (slow-consumer policy) rather than
+//!   allowed to wedge the loop or buffer unbounded memory. The bound is
+//!   checked before serving, not after queueing, so a single response
+//!   larger than the bound can still drain in full to a prompt reader.
+//!   Other connections are unaffected.
+//! - **Half-close draining.** A peer that shuts down its write side with
+//!   responses still queued (pipeline-then-shutdown clients) flips to a
+//!   write-only draining state: every queued response is delivered, then
+//!   the connection closes.
+//! - **Idle reaping.** With an `idle_timeout` configured, a timer wheel
+//!   reschedules a connection's deadline on every received byte batch and
+//!   reaps connections that stay silent past it.
+//! - **Admission cap.** At `max_connections` open connections, further
+//!   accepts are closed immediately (counted, never served).
+//! - **Shutdown.** `stop` flips a flag and writes the wake pipe; the loop
+//!   wakes, best-effort flushes every backlog once, and exits.
+
+pub mod conn;
+pub mod poll;
+pub mod sys;
+pub mod wheel;
+
+use crate::metrics::ReactorMetrics;
+use crate::server::respond;
+use crate::service::PubSubService;
+use conn::{Connection, ReadStatus};
+use poll::{Event, Interest, Poller, WakePipe};
+use psc_model::wire::Frame;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wheel::TimerWheel;
+
+/// Front-end policy knobs, extracted from `ServiceConfig`.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Open-connection cap; accepts beyond it are closed immediately.
+    pub max_connections: usize,
+    /// Per-connection bound on unsent response bytes.
+    pub max_write_buffer_bytes: usize,
+    /// Reap connections silent for this long (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Longest accepted request line.
+    pub max_line_bytes: usize,
+}
+
+/// Shared live counters; `snapshot` produces the public view.
+#[derive(Default)]
+pub struct ReactorCounters {
+    accepted: AtomicU64,
+    current: AtomicU64,
+    rejected_at_cap: AtomicU64,
+    slow_consumer_disconnects: AtomicU64,
+    idle_disconnects: AtomicU64,
+    requests: AtomicU64,
+    oversized_lines: AtomicU64,
+}
+
+impl ReactorCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ReactorMetrics {
+        ReactorMetrics {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_current: self.current.load(Ordering::Relaxed),
+            connections_rejected_at_cap: self.rejected_at_cap.load(Ordering::Relaxed),
+            slow_consumer_disconnects: self.slow_consumer_disconnects.load(Ordering::Relaxed),
+            idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
+            requests_handled: self.requests.load(Ordering::Relaxed),
+            oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Owner's handle to a running reactor thread.
+pub struct ReactorHandle {
+    counters: Arc<ReactorCounters>,
+    wake: Arc<WakePipe>,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Live counters.
+    pub fn counters(&self) -> &Arc<ReactorCounters> {
+        &self.counters
+    }
+
+    /// Signals shutdown through the wake pipe and joins the thread.
+    /// Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            self.wake.wake();
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Spawns the reactor thread serving `listener` against `service`.
+pub fn spawn(
+    listener: TcpListener,
+    service: Arc<PubSubService>,
+    config: ReactorConfig,
+) -> io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let wake = Arc::new(WakePipe::new()?);
+    poller.add(listener.as_raw_fd(), Interest::READ)?;
+    poller.add(wake.read_fd(), Interest::READ)?;
+    let counters = Arc::new(ReactorCounters::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut reactor = Reactor {
+        poller,
+        listener,
+        wake: Arc::clone(&wake),
+        shutdown: Arc::clone(&shutdown),
+        counters: Arc::clone(&counters),
+        service,
+        conns: HashMap::new(),
+        wheel: config
+            .idle_timeout
+            .map(|t| TimerWheel::new(t, Instant::now())),
+        accept_paused_until: None,
+        config,
+    };
+    let join = std::thread::Builder::new()
+        .name("psc-reactor".into())
+        .spawn(move || reactor.run())?;
+    Ok(ReactorHandle {
+        counters,
+        wake,
+        shutdown,
+        join: Some(join),
+    })
+}
+
+/// How long the listener stays deregistered after a persistent accept
+/// error (EMFILE and friends) before the reactor retries.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    wake: Arc<WakePipe>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<ReactorCounters>,
+    service: Arc<PubSubService>,
+    conns: HashMap<RawFd, Connection>,
+    wheel: Option<TimerWheel>,
+    /// `Some` while accepting is paused after a persistent accept error.
+    accept_paused_until: Option<Instant>,
+    config: ReactorConfig,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            events.clear();
+            let mut timeout = self.wheel.as_ref().and_then(TimerWheel::poll_timeout);
+            if let Some(wait) = self.resume_accepting_or_wait() {
+                timeout = Some(timeout.map_or(wait, |t| t.min(wait)));
+            }
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // epoll_wait only fails on programmer error (EBADF/EINVAL);
+                // treat it as fatal for the front-end rather than spinning.
+                break;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for &event in &events {
+                if event.fd == self.wake.read_fd() {
+                    self.wake.drain();
+                } else if event.fd == self.listener.as_raw_fd() {
+                    self.accept_ready();
+                } else {
+                    self.connection_ready(event);
+                }
+            }
+            self.reap_idle();
+        }
+        // Graceful exit: one best-effort flush of every backlog, then close.
+        for (_, mut conn) in self.conns.drain() {
+            let _ = conn.flush();
+        }
+    }
+
+    /// If accepting is paused after a persistent accept error, re-arms the
+    /// listener once the backoff elapses; otherwise returns how long the
+    /// poller may sleep before the re-arm is due.
+    fn resume_accepting_or_wait(&mut self) -> Option<Duration> {
+        let resume_at = self.accept_paused_until?;
+        let now = Instant::now();
+        if now >= resume_at {
+            if self
+                .poller
+                .add(self.listener.as_raw_fd(), Interest::READ)
+                .is_ok()
+            {
+                self.accept_paused_until = None;
+                return None;
+            }
+            // Registration itself failed (fds still exhausted): back off
+            // again.
+            self.accept_paused_until = Some(now + ACCEPT_BACKOFF);
+        }
+        Some(
+            self.accept_paused_until
+                .expect("still paused")
+                .saturating_duration_since(now),
+        )
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    if self.conns.len() >= self.config.max_connections {
+                        self.counters
+                            .rejected_at_cap
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(stream); // immediate close: the cap is a hard limit
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses are small lines; without NODELAY, Nagle +
+                    // delayed ACK stalls pipelined responses off-loopback.
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let conn = Connection::new(stream, self.config.max_line_bytes);
+                    if self.poller.add(fd, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(fd, conn);
+                    self.counters.current.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(wheel), Some(timeout)) =
+                        (self.wheel.as_mut(), self.config.idle_timeout)
+                    {
+                        wheel.touch(fd, timeout, Instant::now());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Persistent accept errors (EMFILE when fds run out)
+                    // re-trigger level-triggered epoll immediately. Pause
+                    // the listener registration for a backoff window —
+                    // established connections keep being served; sleeping
+                    // here would stall the whole loop.
+                    self.poller.delete(self.listener.as_raw_fd());
+                    self.accept_paused_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn connection_ready(&mut self, event: Event) {
+        let Some(conn) = self.conns.get_mut(&event.fd) else {
+            // Closed earlier in this same event batch.
+            return;
+        };
+        if conn.draining {
+            // Write-only tail of a half-closed connection: deliver what
+            // remains, close when the backlog empties (or the peer dies).
+            let done = conn.flush().is_err() || conn.backlog() == 0;
+            if done {
+                self.close(event.fd, None);
+            }
+            return;
+        }
+        let status = if event.readable {
+            conn.read_ready()
+        } else {
+            ReadStatus::Open
+        };
+        if status == ReadStatus::Errored {
+            self.close(event.fd, None);
+            return;
+        }
+
+        // Serve every completed frame, in order. Responses queue onto the
+        // connection's write backlog; shard round-trips happen inline here
+        // (the shard workers are separate threads, so matching still
+        // parallelizes underneath the single front-end thread).
+        let mut served_any = false;
+        loop {
+            let conn = self.conns.get_mut(&event.fd).expect("conn checked above");
+            // Slow-consumer bound, checked against the backlog of *earlier*
+            // responses before serving the next request: a consumer that is
+            // not reading what it already asked for gets disconnected, but a
+            // single response larger than the bound can still drain in full
+            // to a prompt reader (memory is then bounded by one response
+            // plus the cap, per connection).
+            if conn.backlog() > self.config.max_write_buffer_bytes {
+                self.close(event.fd, Some(Disconnect::SlowConsumer));
+                return;
+            }
+            let Some(frame) = conn.next_frame() else {
+                break;
+            };
+            served_any = true;
+            let response = match frame {
+                Frame::TooLong { len } => {
+                    self.counters
+                        .oversized_lines
+                        .fetch_add(1, Ordering::Relaxed);
+                    crate::wire::Response::Error(format!(
+                        "request line of {len} bytes exceeds {} bytes",
+                        self.config.max_line_bytes
+                    ))
+                }
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    respond(&line, &self.service, Some(&self.counters))
+                }
+            };
+            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            conn.queue_line(&response.encode());
+            if conn.flush().is_err() {
+                self.close(event.fd, None);
+                return;
+            }
+        }
+
+        let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+        if event.writable && conn.flush().is_err() {
+            self.close(event.fd, None);
+            return;
+        }
+        if status == ReadStatus::PeerClosed {
+            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            if conn.backlog() == 0 {
+                self.close(event.fd, None);
+                return;
+            }
+            // Half-close: the peer shut down its write side but may still
+            // be reading (pipeline-then-shutdown is a legitimate client
+            // pattern). Switch to write-only draining so every queued
+            // response is delivered before the close; the idle wheel still
+            // bounds a peer that never drains.
+            conn.draining = true;
+            if self.poller.modify(event.fd, Interest::WRITE_ONLY).is_err() {
+                self.close(event.fd, None);
+                return;
+            }
+            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            conn.writable_registered = true;
+            if let (Some(wheel), Some(timeout)) = (self.wheel.as_mut(), self.config.idle_timeout) {
+                wheel.touch(event.fd, timeout, Instant::now());
+            }
+            return;
+        }
+        // Keep the poller's interest in sync with the backlog.
+        let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+        let wants_write = conn.wants_write();
+        if wants_write != conn.writable_registered {
+            let interest = Interest {
+                readable: true,
+                writable: wants_write,
+            };
+            if self.poller.modify(event.fd, interest).is_err() {
+                self.close(event.fd, None);
+                return;
+            }
+            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            conn.writable_registered = wants_write;
+        }
+        if served_any || event.readable {
+            if let (Some(wheel), Some(timeout)) = (self.wheel.as_mut(), self.config.idle_timeout) {
+                wheel.touch(event.fd, timeout, Instant::now());
+            }
+        }
+    }
+
+    fn reap_idle(&mut self) {
+        let Some(wheel) = self.wheel.as_mut() else {
+            return;
+        };
+        let due = wheel.expired(Instant::now());
+        for fd in due {
+            if self.conns.contains_key(&fd) {
+                self.close(fd, Some(Disconnect::Idle));
+            }
+        }
+    }
+
+    fn close(&mut self, fd: RawFd, why: Option<Disconnect>) {
+        if let Some(conn) = self.conns.remove(&fd) {
+            self.poller.delete(fd);
+            if let Some(wheel) = self.wheel.as_mut() {
+                wheel.cancel(fd);
+            }
+            self.counters.current.fetch_sub(1, Ordering::Relaxed);
+            match why {
+                Some(Disconnect::SlowConsumer) => {
+                    self.counters
+                        .slow_consumer_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(Disconnect::Idle) => {
+                    self.counters
+                        .idle_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+            drop(conn); // closes the socket
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Disconnect {
+    SlowConsumer,
+    Idle,
+}

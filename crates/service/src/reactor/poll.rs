@@ -1,0 +1,210 @@
+//! Safe readiness-polling wrappers over the raw epoll bindings.
+//!
+//! [`Poller`] owns the epoll fd and exposes add/modify/delete/wait;
+//! [`WakePipe`] is the cross-thread wakeup channel `ServiceServer::stop`
+//! uses to interrupt a blocked `epoll_wait` without connecting a socket.
+
+use super::sys;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness a registration cares about. Level-triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd can take more bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Write-only interest — a half-closed connection draining its
+    /// response backlog. Deliberately excludes `EPOLLRDHUP`: the peer's
+    /// half-close already happened, and level-triggered RDHUP with nobody
+    /// reading would re-fire on every wait.
+    pub const WRITE_ONLY: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness event, translated out of the raw bitmask.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The fd the event is about (stored in the epoll user data).
+    pub fd: RawFd,
+    /// Readable — includes EOF, peer hangup, and error conditions, so a
+    /// follow-up `read` observes them.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// A level-triggered epoll instance.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Registers `fd` with the given interest.
+    pub fn add(&self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            interest.bits(),
+            fd as u64,
+        )
+    }
+
+    /// Changes the interest of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            interest.bits(),
+            fd as u64,
+        )
+    }
+
+    /// Deregisters `fd`. Errors are ignored: the fd is about to be closed,
+    /// which removes it from the epoll set anyway.
+    pub fn delete(&self, fd: RawFd) {
+        let _ = sys::epoll_control(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until readiness (or `timeout`, or a wakeup), appending the
+    /// translated events to `out`.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            // Round up so a 1.4ms timer does not busy-spin at 0ms waits.
+            Some(t) => t.as_millis().saturating_add(1).min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 1024];
+        let n = sys::epoll_wait_events(self.epfd, &mut events, timeout_ms)?;
+        for event in &events[..n] {
+            // Copy out of the (packed) struct before using the fields.
+            let bits = event.events;
+            let data = event.data;
+            out.push(Event {
+                fd: data as RawFd,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// A non-blocking self-pipe: any thread may `wake`, the reactor drains.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends non-blocking.
+    pub fn new() -> io::Result<WakePipe> {
+        let (read_fd, write_fd) = sys::wake_pipe()?;
+        Ok(WakePipe { read_fd, write_fd })
+    }
+
+    /// The end the reactor registers with its poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Wakes the reactor. A full pipe means a wakeup is already pending,
+    /// so `EAGAIN` (and any other failure) is intentionally ignored.
+    pub fn wake(&self) {
+        let _ = sys::write_fd(self.write_fd, b"!");
+    }
+
+    /// Drains pending wakeup bytes so level-triggered polling settles.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(Some(n)) = sys::read_fd(self.read_fd, &mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        sys::close_fd(self.read_fd);
+        sys::close_fd(self.write_fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poller_times_out_without_events() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn wake_pipe_triggers_poller() {
+        let poller = Poller::new().expect("poller");
+        let pipe = WakePipe::new().expect("pipe");
+        poller.add(pipe.read_fd(), Interest::READ).expect("add");
+        pipe.wake();
+        pipe.wake(); // double-wake coalesces, never errors
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable);
+        assert_eq!(events[0].fd, pipe.read_fd());
+        pipe.drain();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .expect("wait");
+        assert!(events.is_empty(), "drained pipe is quiet");
+    }
+}

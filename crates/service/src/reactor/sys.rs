@@ -1,0 +1,221 @@
+//! Raw Linux syscall bindings for the reactor.
+//!
+//! The build environment has no crates.io access, so there is no `mio` or
+//! `libc` to lean on; this module declares the handful of `extern "C"`
+//! symbols the event loop needs — `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait`, `fcntl`, and a `pipe` for cross-thread wakeups — and
+//! wraps each in a safe, `io::Result`-returning function. All unsafe code
+//! in `psc-service` lives in this file; everything above it (the poller,
+//! the connection state machines, the event loop) is safe Rust over these
+//! wrappers.
+//!
+//! Linux-only by design: the ROADMAP's follow-on is to swap this layer
+//! for tokio (or mio) once registry access exists, which would bring
+//! portability for free.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::RawFd;
+
+/// The fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// The fd can accept bytes.
+pub const EPOLLOUT: u32 = 0x004;
+/// The fd is in an error state.
+pub const EPOLLERR: u32 = 0x008;
+/// The peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (half-close shows up as readable EOF).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change a registration's interest.
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const F_SETFD: c_int = 2;
+const FD_CLOEXEC: c_int = 1;
+const O_NONBLOCK: c_int = 0o4000;
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (12 bytes); other architectures use natural alignment.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLL*` constants).
+    pub events: u32,
+    /// User data; the reactor stores the fd here.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn epoll_create() -> io::Result<RawFd> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+/// Adds/modifies/deletes interest in `fd`; `data` rides back on events.
+pub fn epoll_control(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut event = EpollEvent { events, data };
+    // DEL ignores the event argument; passing a valid pointer is always safe.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut event) })?;
+    Ok(())
+}
+
+/// Blocks for readiness events, retrying on `EINTR`. `timeout_ms < 0`
+/// blocks indefinitely. Returns how many entries of `events` were filled.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    loop {
+        let n = unsafe {
+            epoll_wait(
+                epfd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as c_int,
+                timeout_ms,
+            )
+        };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+/// Marks `fd` non-blocking (and close-on-exec) via `fcntl`.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+    cvt(unsafe { fcntl(fd, F_SETFD, FD_CLOEXEC) })?;
+    Ok(())
+}
+
+/// Creates a `(read_end, write_end)` pipe with both ends non-blocking —
+/// the reactor's cross-thread wakeup channel.
+pub fn wake_pipe() -> io::Result<(RawFd, RawFd)> {
+    let mut fds = [0 as c_int; 2];
+    cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+    for &fd in &fds {
+        if let Err(e) = set_nonblocking(fd) {
+            close_fd(fds[0]);
+            close_fd(fds[1]);
+            return Err(e);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Closes a raw fd, ignoring errors (used in drops and error paths).
+pub fn close_fd(fd: RawFd) {
+    unsafe {
+        let _ = close(fd);
+    }
+}
+
+/// Reads into `buf`; `Ok(None)` means the fd has nothing right now
+/// (`EAGAIN`).
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    loop {
+        let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, buf.len()) };
+        if n >= 0 {
+            return Ok(Some(n as usize));
+        }
+        let err = io::Error::last_os_error();
+        match err.raw_os_error() {
+            Some(EAGAIN) => return Ok(None),
+            Some(EINTR) => continue,
+            _ => return Err(err),
+        }
+    }
+}
+
+/// Writes `buf`; `Ok(None)` means the fd cannot take bytes right now
+/// (`EAGAIN`).
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<Option<usize>> {
+    loop {
+        let n = unsafe { write(fd, buf.as_ptr() as *const c_void, buf.len()) };
+        if n >= 0 {
+            return Ok(Some(n as usize));
+        }
+        let err = io::Error::last_os_error();
+        match err.raw_os_error() {
+            Some(EAGAIN) => return Ok(None),
+            Some(EINTR) => continue,
+            _ => return Err(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_round_trips_a_byte() {
+        let (r, w) = wake_pipe().expect("pipe");
+        assert_eq!(read_fd(r, &mut [0u8; 8]).expect("read"), None, "empty");
+        assert_eq!(write_fd(w, b"x").expect("write"), Some(1));
+        let mut buf = [0u8; 8];
+        assert_eq!(read_fd(r, &mut buf).expect("read"), Some(1));
+        assert_eq!(buf[0], b'x');
+        close_fd(r);
+        close_fd(w);
+    }
+
+    #[test]
+    fn epoll_reports_pipe_readability() {
+        let epfd = epoll_create().expect("epoll_create1");
+        let (r, w) = wake_pipe().expect("pipe");
+        epoll_control(epfd, EPOLL_CTL_ADD, r, EPOLLIN, r as u64).expect("ctl add");
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(
+            epoll_wait_events(epfd, &mut events, 0).expect("wait"),
+            0,
+            "nothing readable yet"
+        );
+        write_fd(w, b"!")
+            .expect("write")
+            .expect("pipe takes a byte");
+        let n = epoll_wait_events(epfd, &mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, r as u64);
+        close_fd(r);
+        close_fd(w);
+        close_fd(epfd);
+    }
+}

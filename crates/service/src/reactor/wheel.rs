@@ -1,0 +1,170 @@
+//! A hashed timer wheel for idle-connection timeouts.
+//!
+//! Thousands of mostly-idle connections each carry one deadline that is
+//! rescheduled on every request; a wheel makes both the reschedule and
+//! the expiry sweep O(1) amortized, where a `BinaryHeap` would pay
+//! O(log n) per touch and accumulate dead entries. Slots are coarse
+//! buckets of one `tick` each; an entry lands in the slot of its deadline
+//! tick and expires when the hand sweeps past it.
+
+use std::collections::HashMap;
+use std::os::unix::io::RawFd;
+use std::time::{Duration, Instant};
+
+/// The wheel. Deadlines are quantized to ticks of `timeout / 16`
+/// (clamped to 5ms..=1s), so expiry fires within roughly one tick after
+/// the configured timeout.
+pub struct TimerWheel {
+    tick: Duration,
+    /// Slot → (fd → absolute deadline tick). Entries from a later lap sit
+    /// in the same slot but carry a larger deadline and survive the sweep.
+    slots: Vec<HashMap<RawFd, u64>>,
+    /// fd → slot index, for O(1) cancel/touch.
+    positions: HashMap<RawFd, usize>,
+    /// Absolute tick the hand has swept through.
+    hand: u64,
+    epoch: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel sized for deadlines around `timeout`.
+    pub fn new(timeout: Duration, now: Instant) -> TimerWheel {
+        let tick = (timeout / 16).clamp(Duration::from_millis(5), Duration::from_secs(1));
+        // Enough slots that a fresh deadline never laps the hand.
+        let span = Self::ticks(timeout, tick) as usize + 2;
+        TimerWheel {
+            tick,
+            slots: vec![HashMap::new(); span],
+            positions: HashMap::new(),
+            hand: 0,
+            epoch: now,
+        }
+    }
+
+    fn ticks(d: Duration, tick: Duration) -> u64 {
+        (d.as_nanos().div_ceil(tick.as_nanos().max(1))).min(u64::MAX as u128) as u64
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        Self::ticks(at.saturating_duration_since(self.epoch), self.tick)
+    }
+
+    /// Schedules (or reschedules) `fd` to expire `timeout` after `now`.
+    pub fn touch(&mut self, fd: RawFd, timeout: Duration, now: Instant) {
+        self.cancel(fd);
+        // +1 guards quantization: expiry must never fire early.
+        let deadline = self.tick_of(now) + Self::ticks(timeout, self.tick) + 1;
+        let slot = (deadline % self.slots.len() as u64) as usize;
+        self.slots[slot].insert(fd, deadline);
+        self.positions.insert(fd, slot);
+    }
+
+    /// Removes `fd`'s deadline, if any.
+    pub fn cancel(&mut self, fd: RawFd) {
+        if let Some(slot) = self.positions.remove(&fd) {
+            self.slots[slot].remove(&fd);
+        }
+    }
+
+    /// How long the poller may sleep before the wheel needs a sweep.
+    /// `None` when no deadline is armed.
+    pub fn poll_timeout(&self) -> Option<Duration> {
+        if self.positions.is_empty() {
+            None
+        } else {
+            Some(self.tick)
+        }
+    }
+
+    /// Sweeps the hand forward to `now`, returning every expired fd.
+    pub fn expired(&mut self, now: Instant) -> Vec<RawFd> {
+        let target = self.tick_of(now);
+        let mut out = Vec::new();
+        // One full revolution visits every slot, so cap the walk there even
+        // if the reactor slept for many ticks.
+        let steps = target
+            .saturating_sub(self.hand)
+            .min(self.slots.len() as u64);
+        for _ in 0..steps {
+            self.hand += 1;
+            let idx = (self.hand % self.slots.len() as u64) as usize;
+            let slot = &mut self.slots[idx];
+            if slot.is_empty() {
+                continue;
+            }
+            slot.retain(|&fd, &mut deadline| {
+                if deadline <= target {
+                    out.push(fd);
+                    false
+                } else {
+                    true // a later lap's entry: not due yet
+                }
+            });
+        }
+        self.hand = target;
+        for fd in &out {
+            self.positions.remove(fd);
+        }
+        out
+    }
+
+    /// Number of armed deadlines (test observability).
+    #[cfg(test)]
+    pub fn armed(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: Duration = Duration::from_millis(160); // tick = 10ms
+
+    #[test]
+    fn entries_expire_after_timeout_not_before() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(TIMEOUT, start);
+        wheel.touch(3, TIMEOUT, start);
+        wheel.touch(4, TIMEOUT, start);
+        assert!(wheel.expired(start + Duration::from_millis(100)).is_empty());
+        let mut due = wheel.expired(start + Duration::from_millis(400));
+        due.sort_unstable();
+        assert_eq!(due, vec![3, 4]);
+        assert_eq!(wheel.armed(), 0);
+        assert!(wheel.poll_timeout().is_none());
+    }
+
+    #[test]
+    fn touch_postpones_expiry() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(TIMEOUT, start);
+        wheel.touch(7, TIMEOUT, start);
+        // Activity just before the deadline pushes it a full timeout out.
+        let active_at = start + Duration::from_millis(150);
+        wheel.touch(7, TIMEOUT, active_at);
+        assert!(wheel.expired(start + Duration::from_millis(250)).is_empty());
+        assert_eq!(wheel.expired(start + Duration::from_millis(500)), vec![7]);
+    }
+
+    #[test]
+    fn cancel_removes_the_deadline() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(TIMEOUT, start);
+        wheel.touch(9, TIMEOUT, start);
+        wheel.cancel(9);
+        assert!(wheel.expired(start + Duration::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn long_sleep_sweeps_every_slot_once() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(TIMEOUT, start);
+        for fd in 0..50 {
+            wheel.touch(fd, TIMEOUT, start + Duration::from_millis(fd as u64));
+        }
+        // The reactor slept way past every deadline (many laps).
+        let due = wheel.expired(start + Duration::from_secs(3600));
+        assert_eq!(due.len(), 50);
+    }
+}

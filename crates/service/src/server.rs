@@ -1,19 +1,20 @@
-//! The TCP server: accept loop + per-connection request handlers.
+//! The TCP server: a readiness-based reactor front-end.
 //!
-//! Plain `std::net` blocking I/O with a thread per connection. The accept
-//! loop runs on its own thread; `ServiceServer::stop` (or drop) wakes it
-//! with a loopback connection and joins it. Connection handlers hold an
-//! `Arc<PubSubService>` and exit when their client disconnects.
+//! One reactor thread (see [`crate::reactor`]) owns the listening socket,
+//! a wakeup pipe, and every client connection through a single epoll set;
+//! request handling calls into the shared [`PubSubService`], whose shard
+//! worker threads are unchanged. Thread count is O(shards), independent
+//! of how many clients are connected — tens of thousands of idle
+//! subscriber connections cost buffers, not threads.
 
+use crate::metrics::ReactorMetrics;
+use crate::reactor::{self, ReactorConfig, ReactorCounters, ReactorHandle};
 use crate::service::{PubSubService, ServiceConfig};
-use crate::wire::{Request, Response};
+use crate::wire::{Request, Response, MAX_REQUEST_LINE_BYTES};
 use psc_model::wire::SchemaDto;
 use psc_model::{Schema, SubscriptionId};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running TCP front-end over a [`PubSubService`].
 ///
@@ -28,18 +29,21 @@ use std::thread::JoinHandle;
 /// let (schema, shards) = client.hello()?;
 /// assert_eq!(shards, 2);
 /// assert_eq!(schema.len(), 2);
+/// assert!(server.reactor_metrics().connections_current >= 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct ServiceServer {
     service: Arc<PubSubService>,
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_join: Option<JoinHandle<()>>,
+    reactor: ReactorHandle,
 }
 
 impl ServiceServer {
     /// Starts a service and serves it on `addr` (use port 0 for an
     /// OS-assigned port).
+    ///
+    /// The front-end policy knobs — `max_connections`,
+    /// `max_write_buffer_bytes`, `idle_timeout` — come from `config`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         schema: Schema,
@@ -47,39 +51,18 @@ impl ServiceServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let reactor_config = ReactorConfig {
+            max_connections: config.max_connections,
+            max_write_buffer_bytes: config.max_write_buffer_bytes,
+            idle_timeout: config.idle_timeout,
+            max_line_bytes: MAX_REQUEST_LINE_BYTES,
+        };
         let service = Arc::new(PubSubService::start(schema, config));
-        let stop = Arc::new(AtomicBool::new(false));
-        let accept_service = Arc::clone(&service);
-        let accept_stop = Arc::clone(&stop);
-        let accept_join = std::thread::Builder::new()
-            .name("psc-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(stream) => stream,
-                        Err(_) => {
-                            // Persistent accept errors (EMFILE when file
-                            // descriptors run out) return immediately —
-                            // back off instead of spinning a core.
-                            std::thread::sleep(std::time::Duration::from_millis(50));
-                            continue;
-                        }
-                    };
-                    let service = Arc::clone(&accept_service);
-                    let _ = std::thread::Builder::new()
-                        .name("psc-conn".into())
-                        .spawn(move || handle_connection(stream, service));
-                }
-            })
-            .expect("spawn accept thread");
+        let reactor = reactor::spawn(listener, Arc::clone(&service), reactor_config)?;
         Ok(ServiceServer {
             service,
             addr,
-            stop,
-            accept_join: Some(accept_join),
+            reactor,
         })
     }
 
@@ -93,127 +76,31 @@ impl ServiceServer {
         &self.service
     }
 
-    /// Stops accepting connections and joins the accept thread. Existing
-    /// connections drain on their own; the shared service shuts down when
-    /// the last handle drops.
+    /// A snapshot of the front-end's connection/policy counters.
+    pub fn reactor_metrics(&self) -> ReactorMetrics {
+        self.reactor.counters().snapshot()
+    }
+
+    /// Shuts the front-end down: signals the reactor through its wakeup
+    /// pipe, which stops accepting, best-effort flushes each connection's
+    /// pending responses, closes every connection, and exits; then joins
+    /// the reactor thread. The shared service shuts down when the last
+    /// handle drops.
     pub fn stop(mut self) {
-        self.shutdown_accept_loop();
-    }
-
-    fn shutdown_accept_loop(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the blocking accept with a throwaway connection. A wildcard
-        // bind address (0.0.0.0 / ::) is not connectable on all platforms,
-        // so aim at the matching loopback instead; if the wake-up
-        // connection fails, skip the join — leaking the accept thread
-        // beats deadlocking the caller in drop.
-        let ip = self.addr.ip();
-        let target = if ip.is_unspecified() {
-            let loopback: std::net::IpAddr = if ip.is_ipv4() {
-                std::net::Ipv4Addr::LOCALHOST.into()
-            } else {
-                std::net::Ipv6Addr::LOCALHOST.into()
-            };
-            SocketAddr::new(loopback, self.addr.port())
-        } else {
-            self.addr
-        };
-        let woke = TcpStream::connect_timeout(&target, std::time::Duration::from_secs(2)).is_ok();
-        if woke {
-            if let Some(join) = self.accept_join.take() {
-                let _ = join.join();
-            }
-        }
+        self.reactor.stop();
     }
 }
 
-impl Drop for ServiceServer {
-    fn drop(&mut self) {
-        self.shutdown_accept_loop();
-    }
-}
+// Dropping the server performs the same shutdown: `ReactorHandle::stop`
+// is idempotent and runs in the handle's own `Drop`.
 
-/// Longest request line the server accepts. Protects connection threads
-/// from a client streaming an unterminated line into unbounded memory.
-const MAX_LINE_BYTES: usize = 1 << 20;
-
-/// One bounded `read_line`: at most `MAX_LINE_BYTES` are buffered; an
-/// oversized line is discarded through its newline and reported.
-enum LineRead {
-    Line(String),
-    TooLong,
-    Eof,
-}
-
-fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<LineRead> {
-    let mut buf = Vec::new();
-    let mut overflowed = false;
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            return if buf.is_empty() || overflowed {
-                Ok(LineRead::Eof)
-            } else {
-                Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
-            };
-        }
-        let newline = chunk.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(chunk.len(), |i| i + 1);
-        if !overflowed {
-            if buf.len() + take > MAX_LINE_BYTES {
-                overflowed = true;
-                buf.clear();
-            } else {
-                buf.extend_from_slice(&chunk[..take]);
-            }
-        }
-        let done = newline.is_some();
-        reader.consume(take);
-        if done {
-            if overflowed {
-                return Ok(LineRead::TooLong);
-            }
-            while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
-                buf.pop();
-            }
-            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, service: Arc<PubSubService>) {
-    // Response lines are small; without NODELAY, Nagle + delayed ACK can
-    // stall pipelined responses on real networks (the client sets it too).
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let response = match read_line_bounded(&mut reader) {
-            Ok(LineRead::Eof) | Err(_) => break,
-            Ok(LineRead::TooLong) => {
-                Response::Error(format!("request line exceeds {MAX_LINE_BYTES} bytes"))
-            }
-            Ok(LineRead::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                respond(&line, &service)
-            }
-        };
-        let mut encoded = response.encode();
-        encoded.push('\n');
-        if writer.write_all(encoded.as_bytes()).is_err() {
-            break;
-        }
-    }
-}
-
-fn respond(line: &str, service: &PubSubService) -> Response {
+/// Serves one decoded request line. Shared by the reactor (TCP) and any
+/// embedded driver.
+pub(crate) fn respond(
+    line: &str,
+    service: &PubSubService,
+    reactor: Option<&ReactorCounters>,
+) -> Response {
     let request = match Request::decode(line) {
         Ok(request) => request,
         Err(e) => return Response::Error(e.to_string()),
@@ -242,6 +129,9 @@ fn respond(line: &str, service: &PubSubService) -> Response {
             service.flush();
             Response::Flushed
         }
-        Request::Stats => Response::Stats(service.metrics()),
+        Request::Stats => Response::Stats {
+            metrics: service.metrics(),
+            reactor: reactor.map(ReactorCounters::snapshot),
+        },
     }
 }

@@ -26,7 +26,11 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Tuning knobs for a [`PubSubService`].
+/// Tuning knobs for a [`PubSubService`] and its serving edges.
+///
+/// The first block configures the matching engine; the second configures
+/// the reactor front-end ([`crate::ServiceServer`]); `io_timeout` bounds
+/// the blocking [`crate::ServiceClient`]'s socket operations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Number of shard worker threads.
@@ -39,6 +43,20 @@ pub struct ServiceConfig {
     pub max_iterations: u64,
     /// Base seed; shard `i` derives its RNG from `seed ^ i`.
     pub seed: u64,
+    /// Server: open-connection cap; accepts beyond it are closed
+    /// immediately (counted in
+    /// [`ReactorMetrics::connections_rejected_at_cap`](crate::ReactorMetrics)).
+    pub max_connections: usize,
+    /// Server: per-connection bound on unsent response bytes; a consumer
+    /// whose backlog exceeds it is disconnected (slow-consumer policy).
+    pub max_write_buffer_bytes: usize,
+    /// Server: disconnect connections idle longer than this
+    /// (`None` = never reap).
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Client: connect/read/write timeout for [`crate::ServiceClient`],
+    /// so a hung server surfaces as a timeout error instead of wedging
+    /// the caller forever (`None` = block indefinitely).
+    pub io_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +67,10 @@ impl Default for ServiceConfig {
             error_probability: 1e-6,
             max_iterations: 2_000,
             seed: 0x5EED,
+            max_connections: 8_192,
+            max_write_buffer_bytes: 1 << 20,
+            idle_timeout: None,
+            io_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
 }

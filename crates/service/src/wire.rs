@@ -10,15 +10,28 @@
 //! | `unsubscribe` | `id` | `removed: bool` |
 //! | `publish` | `values` | `matched: [id, ...]` (sorted) |
 //! | `flush` | — | `flushed: true` |
-//! | `stats` | — | `metrics` (see [`crate::ServiceMetrics`]) |
+//! | `stats` | — | `metrics` (see [`crate::ServiceMetrics`]), optional `reactor` (see [`crate::ReactorMetrics`]) |
 //!
 //! Every response object carries `"ok": true|false`; failed requests embed
 //! an `"error"` string instead of result fields. A malformed line never
 //! tears down the connection — the server answers with an error response
 //! and keeps reading.
+//!
+//! Framing is incremental on both ends: the server's reactor and the
+//! client feed raw socket bytes through
+//! [`psc_model::wire::LineFramer`], so a request or response line may
+//! arrive split across any number of reads. Request lines are capped at
+//! [`MAX_REQUEST_LINE_BYTES`] (enforced mid-stream; an oversized line
+//! draws an error response), and nesting depth is capped by the JSON
+//! parser when each completed line is decoded.
 
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{ReactorMetrics, ServiceMetrics};
 use psc_model::wire::{Json, PublicationDto, SchemaDto, SubscriptionDto, WireError};
+
+/// Longest request line the server accepts; the incremental framer
+/// enforces it mid-stream, so an unterminated hostile line never buffers
+/// more than this many bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,7 +123,14 @@ pub enum Response {
     /// Flush acknowledged.
     Flushed,
     /// Metrics scrape result.
-    Stats(ServiceMetrics),
+    Stats {
+        /// Shard/matching-engine counters.
+        metrics: ServiceMetrics,
+        /// Front-end counters; absent when the service is driven
+        /// in-process without a reactor (and tolerated as absent on
+        /// decode, so older peers still interoperate).
+        reactor: Option<ReactorMetrics>,
+    },
     /// The request failed.
     Error(String),
 }
@@ -132,7 +152,13 @@ impl Response {
             Response::Removed(removed) => ok(vec![("removed", Json::Bool(*removed))]),
             Response::Matched(ids) => ok(vec![("matched", Json::id_array(ids.iter().copied()))]),
             Response::Flushed => ok(vec![("flushed", Json::Bool(true))]),
-            Response::Stats(metrics) => ok(vec![("metrics", metrics.to_json())]),
+            Response::Stats { metrics, reactor } => {
+                let mut fields = vec![("metrics", metrics.to_json())];
+                if let Some(reactor) = reactor {
+                    fields.push(("reactor", reactor.to_json()));
+                }
+                ok(fields)
+            }
             Response::Error(message) => Json::obj([
                 ("ok", Json::Bool(false)),
                 ("error", Json::Str(message.clone())),
@@ -186,7 +212,14 @@ impl Response {
             return Ok(Response::Matched(ids));
         }
         if let Some(metrics) = value.get("metrics") {
-            return Ok(Response::Stats(ServiceMetrics::from_json(metrics)?));
+            let reactor = value
+                .get("reactor")
+                .map(ReactorMetrics::from_json)
+                .transpose()?;
+            return Ok(Response::Stats {
+                metrics: ServiceMetrics::from_json(metrics)?,
+                reactor,
+            });
         }
         // No recognized discriminator: fail loudly rather than guessing —
         // a version-skewed peer must surface as a protocol error, not as a
@@ -238,12 +271,24 @@ mod tests {
             Response::Matched(vec![1, 2, 30]),
             Response::Matched(vec![]),
             Response::Flushed,
-            Response::Stats(ServiceMetrics {
-                shards: vec![ShardMetrics {
-                    subscriptions_ingested: 3,
+            Response::Stats {
+                metrics: ServiceMetrics {
+                    shards: vec![ShardMetrics {
+                        subscriptions_ingested: 3,
+                        ..Default::default()
+                    }],
+                },
+                reactor: None,
+            },
+            Response::Stats {
+                metrics: ServiceMetrics::default(),
+                reactor: Some(crate::metrics::ReactorMetrics {
+                    connections_accepted: 9,
+                    connections_current: 4,
+                    requests_handled: 120,
                     ..Default::default()
-                }],
-            }),
+                }),
+            },
             Response::Error("boom".into()),
         ];
         for response in cases {

@@ -1,26 +1,32 @@
 //! Standalone pub/sub server for manual driving.
 //!
 //! Binds the bike-rental schema service on the given address (default
-//! `127.0.0.1:7878`) and serves the line-delimited JSON protocol until
-//! killed. Talk to it with anything that speaks TCP lines:
+//! `127.0.0.1:7878`) and serves the line-delimited JSON protocol from the
+//! epoll reactor until killed. Talk to it with anything that speaks TCP
+//! lines:
 //!
 //! ```text
 //! $ cargo run --release --example service_server &
 //! $ printf '{"op":"hello"}\n' | nc 127.0.0.1 7878
 //! ```
+//!
+//! Usage: `service_server [addr] [shards] [max_conns] [idle_secs]`
+//! (`idle_secs` of 0 disables idle reaping, the default).
 
 use psc::model::Schema;
 use psc::service::{ServiceConfig, ServiceServer};
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let shards = std::env::args()
-        .nth(2)
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let shards: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let max_connections: usize = args
+        .next()
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(4);
+        .unwrap_or(ServiceConfig::default().max_connections);
+    let idle_secs: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0);
 
     // The bike-rental schema from Table 1 of the paper.
     let schema = Schema::builder()
@@ -31,11 +37,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .attribute("date", 0, 1_000_000)
         .build();
 
-    let server = ServiceServer::bind(&addr, schema, ServiceConfig::with_shards(shards))?;
+    let config = ServiceConfig {
+        shards,
+        max_connections,
+        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
+        ..Default::default()
+    };
+    let server = ServiceServer::bind(&addr, schema, config)?;
     println!(
-        "psc-service listening on {} ({} shards); Ctrl-C to stop",
+        "psc-service listening on {} ({} shards, one reactor thread, \
+         max {} connections, idle timeout {}); Ctrl-C to stop",
         server.local_addr(),
-        shards
+        shards,
+        max_connections,
+        if idle_secs > 0 {
+            format!("{idle_secs}s")
+        } else {
+            "off".to_string()
+        },
     );
     loop {
         std::thread::park();

@@ -1,0 +1,440 @@
+//! Integration tests of the readiness-based reactor front-end: the
+//! many-idle-connections scenario the old thread-per-connection design
+//! could not even open, plus the protection policies (slow-consumer
+//! backpressure, idle reaping, connection cap) and client I/O timeouts.
+
+use psc::matcher::NaiveMatcher;
+use psc::model::{Publication, Schema, Subscription, SubscriptionId};
+use psc::service::{ServiceClient, ServiceConfig, ServiceServer};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Threads of this test process right now (Linux: one entry per task).
+fn process_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("read /proc/self/task")
+        .count()
+}
+
+fn wide_sub(schema: &Schema) -> Subscription {
+    Subscription::builder(schema)
+        .range("x0", 0, 99)
+        .range("x1", 0, 99)
+        .build()
+        .expect("build subscription")
+}
+
+/// Waits (with a deadline) until `probe` returns true.
+fn eventually(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    probe()
+}
+
+/// The acceptance scenario: ≥1000 concurrently connected subscribers are
+/// held by ONE reactor thread (thread count stays O(shards), not
+/// O(connections)) while publishes still match naive ground truth.
+#[test]
+fn thousand_idle_subscriber_connections_on_one_reactor_thread() {
+    const SUBSCRIBERS: usize = 1_000;
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 2,
+            batch_size: 64,
+            max_connections: 2 * SUBSCRIBERS,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Baseline AFTER server start: reactor + shard threads are counted in
+    // the baseline, so connection-driven growth is isolated.
+    let baseline_threads = process_thread_count();
+
+    let mut naive = NaiveMatcher::new();
+    let mut subscribers = Vec::with_capacity(SUBSCRIBERS);
+    for i in 0..SUBSCRIBERS {
+        let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+        let lo = ((i * 7) % 90) as i64;
+        let sub = Subscription::builder(&schema)
+            .range("x0", lo, lo + 9)
+            .range("x1", 0, 99)
+            .build()
+            .expect("build subscription");
+        client
+            .subscribe(SubscriptionId(i as u64), &sub)
+            .expect("subscribe over TCP");
+        naive.insert(SubscriptionId(i as u64), sub);
+        subscribers.push(client); // keep the connection open and idle
+    }
+
+    let metrics = server.reactor_metrics();
+    assert!(
+        metrics.connections_current >= SUBSCRIBERS as u64,
+        "reactor should hold all {SUBSCRIBERS} subscriber connections, \
+         holds {}",
+        metrics.connections_current
+    );
+
+    let after_threads = process_thread_count();
+    assert!(
+        after_threads <= baseline_threads + 2,
+        "thread count must not grow with connections: \
+         {baseline_threads} before, {after_threads} after {SUBSCRIBERS} connections"
+    );
+
+    // With 1000 idle subscribers attached, publishing still works and
+    // matches ground truth exactly.
+    let mut publisher = ServiceClient::connect(addr).expect("connect publisher");
+    publisher.flush().expect("flush tail batches");
+    for v in (0..100).step_by(7) {
+        let p = Publication::builder(&schema)
+            .set("x0", v)
+            .set("x1", 50)
+            .build()
+            .expect("build publication");
+        let mut truth = naive.matches(&p);
+        truth.sort_unstable();
+        assert_eq!(
+            publisher.publish(&p).expect("publish over TCP"),
+            truth,
+            "match set diverged with 1000 idle connections attached (x0={v})"
+        );
+    }
+
+    drop(subscribers);
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            server.reactor_metrics().connections_current <= 1
+        }),
+        "reactor should observe the mass disconnect"
+    );
+    server.stop();
+}
+
+/// A subscriber that stops reading gets its bounded write queue overrun
+/// and is disconnected, without stalling publishes on other connections.
+#[test]
+fn slow_consumer_is_disconnected_without_stalling_others() {
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 1,
+            batch_size: 64,
+            max_write_buffer_bytes: 64 * 1024,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // 1000 everything-matching subscriptions make each publish response
+    // several KB, so an unread backlog builds fast.
+    let mut setup = ServiceClient::connect(addr).expect("connect setup");
+    for i in 0..1_000u64 {
+        setup
+            .subscribe(SubscriptionId(i), &wide_sub(&schema))
+            .expect("subscribe");
+    }
+    setup.flush().expect("flush");
+
+    // The slow consumer: keep pipelining publishes, never read a byte.
+    // Each ~31-byte request draws a ~4.5 KiB response (1000 matched ids),
+    // so the unread response volume grows ~150x faster than the requests;
+    // once it exceeds what the kernel's socket buffers absorb, the
+    // server-side backlog crosses the 64 KiB bound and the policy fires.
+    // (Kernel autotuning can absorb tens of MB, hence the pump loop
+    // rather than a fixed volume.)
+    let mut slow = TcpStream::connect(addr).expect("connect slow consumer");
+    let batch = "{\"op\":\"publish\",\"values\":[5,5]}\n".repeat(500);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if server.reactor_metrics().slow_consumer_disconnects >= 1 {
+            break;
+        }
+        // A failed write means the server already reset this connection.
+        if slow.write_all(batch.as_bytes()).is_err() {
+            break;
+        }
+    }
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            server.reactor_metrics().slow_consumer_disconnects >= 1
+        }),
+        "server never applied the slow-consumer policy: {:?}",
+        server.reactor_metrics()
+    );
+
+    // The victim's socket is dead: draining it hits EOF/reset in bounded
+    // time rather than hanging.
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut sink = [0u8; 64 * 1024];
+    loop {
+        match slow.read(&mut sink) {
+            Ok(0) => break,    // EOF: server closed
+            Ok(_) => continue, // draining what was flushed pre-disconnect
+            Err(_) => break,   // reset also proves the disconnect
+        }
+    }
+
+    // Other connections were never stalled: a healthy publisher still
+    // gets exact results.
+    let mut healthy = ServiceClient::connect(addr).expect("connect healthy");
+    let p = Publication::builder(&schema)
+        .set("x0", 5)
+        .set("x1", 5)
+        .build()
+        .expect("build publication");
+    let matched = healthy.publish(&p).expect("publish on healthy connection");
+    assert_eq!(matched.len(), 1_000, "all wide subscriptions match");
+
+    server.stop();
+}
+
+/// Connections silent past `idle_timeout` are reaped by the timer wheel;
+/// a fresh connection still gets served afterwards.
+#[test]
+fn idle_connections_are_reaped_by_the_timeout_wheel() {
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 1,
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut idlers = Vec::new();
+    for _ in 0..5 {
+        let mut client = ServiceClient::connect(addr).expect("connect idler");
+        client.hello().expect("hello");
+        idlers.push(client);
+    }
+
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            server.reactor_metrics().idle_disconnects >= 5
+        }),
+        "idle connections were not reaped: {:?}",
+        server.reactor_metrics()
+    );
+
+    // A reaped client's next request fails (EOF/reset), not hangs.
+    let mut reaped = idlers.pop().expect("an idler");
+    assert!(
+        reaped.hello().is_err(),
+        "request on a reaped connection must fail"
+    );
+
+    // The server itself is healthy: new connections are served.
+    let mut fresh = ServiceClient::connect(addr).expect("connect fresh");
+    fresh.hello().expect("hello after reaping");
+    server.stop();
+}
+
+/// Accepts beyond `max_connections` are closed immediately; capacity
+/// freed by a disconnect is usable again.
+#[test]
+fn connection_cap_rejects_excess_connections() {
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema,
+        ServiceConfig {
+            shards: 1,
+            max_connections: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut held = Vec::new();
+    for _ in 0..8 {
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        client.hello().expect("hello");
+        held.push(client);
+    }
+
+    // The 9th connect succeeds at the TCP level (the listener accepts to
+    // enforce the cap) but is closed before any request is served.
+    let mut ninth = ServiceClient::connect(addr).expect("TCP connect");
+    assert!(
+        ninth.hello().is_err(),
+        "connection beyond the cap must not be served"
+    );
+    assert!(
+        server.reactor_metrics().connections_rejected_at_cap >= 1,
+        "cap rejection must be counted: {:?}",
+        server.reactor_metrics()
+    );
+
+    // Freeing one slot lets a new client in.
+    drop(held.pop());
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            server.reactor_metrics().connections_current < 8
+        }),
+        "disconnect not observed"
+    );
+    let mut replacement = ServiceClient::connect(addr).expect("connect");
+    replacement.hello().expect("hello after a slot freed");
+    server.stop();
+}
+
+/// A client that pipelines requests and then shuts down its write half
+/// (classic pipeline-then-shutdown) still receives every response before
+/// the server closes: the reactor drains the backlog instead of dropping
+/// it on peer EOF.
+#[test]
+fn half_closed_connection_receives_every_pipelined_response() {
+    const PUBLISHES: usize = 100;
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema.clone(),
+        ServiceConfig {
+            shards: 1,
+            batch_size: 64,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Wide subscriptions make each response ~KBs, so the backlog spans
+    // multiple flushes.
+    let mut setup = ServiceClient::connect(addr).expect("connect setup");
+    for i in 0..500u64 {
+        setup
+            .subscribe(SubscriptionId(i), &wide_sub(&schema))
+            .expect("subscribe");
+    }
+    setup.flush().expect("flush");
+
+    let mut pipeliner = TcpStream::connect(addr).expect("connect pipeliner");
+    pipeliner
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let requests = "{\"op\":\"publish\",\"values\":[5,5]}\n".repeat(PUBLISHES);
+    pipeliner
+        .write_all(requests.as_bytes())
+        .expect("pipeline publishes");
+    pipeliner
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close write side");
+
+    let mut received = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match pipeliner.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => received.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("reading pipelined responses failed: {e}"),
+        }
+    }
+    let responses = received.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(
+        responses, PUBLISHES,
+        "every pipelined request must get its response before the close"
+    );
+    server.stop();
+}
+
+/// A hung server (accepts, never responds) surfaces as a timeout error
+/// on the client instead of wedging the caller forever.
+#[test]
+fn client_read_timeout_fires_against_a_hung_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind silent listener");
+    let addr = listener.local_addr().expect("local addr");
+    // Keep accepting (and holding) connections, never answering.
+    let silent = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(2));
+    });
+
+    let mut client =
+        ServiceClient::connect_with(addr, Some(Duration::from_millis(200))).expect("connect");
+    let start = Instant::now();
+    let err = client.hello().expect_err("hello against a silent server");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timeout must fire promptly, took {:?}",
+        start.elapsed()
+    );
+    let message = err.to_string();
+    assert!(
+        message.contains("timed out"),
+        "error should identify the timeout: {message}"
+    );
+    // Unblock the accept loop so the thread can be joined.
+    let _ = TcpStream::connect(addr);
+    silent.join().expect("silent server thread");
+}
+
+/// An oversized request line (streamed in small chunks, crossing the cap
+/// mid-stream) draws an error response and the connection keeps working.
+#[test]
+fn oversized_request_line_is_rejected_mid_stream_and_connection_survives() {
+    let schema = Schema::uniform(2, 0, 99);
+    let server = ServiceServer::bind("127.0.0.1:0", schema, ServiceConfig::with_shards(1))
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // Stream > 1 MiB of an unterminated line in 64 KiB chunks.
+    let chunk = vec![b'x'; 64 * 1024];
+    for _ in 0..20 {
+        raw.write_all(&chunk).expect("stream oversized line");
+    }
+    raw.write_all(b"\n").expect("terminate oversized line");
+    raw.write_all(b"{\"op\":\"hello\"}\n")
+        .expect("valid request");
+
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    while response.iter().filter(|&&b| b == b'\n').count() < 2 {
+        let n = raw.read(&mut buf).expect("read responses");
+        assert!(n > 0, "server closed instead of answering");
+        response.extend_from_slice(&buf[..n]);
+    }
+    let text = String::from_utf8_lossy(&response);
+    let mut lines = text.lines();
+    let first = lines.next().expect("error response line");
+    assert!(
+        first.contains("\"ok\":false") && first.contains("exceeds"),
+        "oversized line should draw an error response: {first}"
+    );
+    let second = lines.next().expect("hello response line");
+    assert!(
+        second.contains("\"ok\":true") && second.contains("shards"),
+        "connection should keep serving after the oversized line: {second}"
+    );
+    assert!(server.reactor_metrics().oversized_lines >= 1);
+    server.stop();
+}

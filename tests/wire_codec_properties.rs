@@ -1,0 +1,226 @@
+//! Property tests of the service wire codec under the incremental framer:
+//! round-trips survive arbitrary read fragmentation (lines split across
+//! reads at random points, down to byte-by-byte), oversized lines are
+//! capped mid-stream without desynchronizing framing, and nesting-depth
+//! bombs fed through the decoder are rejected instead of overflowing the
+//! stack.
+
+use proptest::prelude::*;
+use psc::model::wire::{Frame, LineFramer, PublicationDto, SubscriptionDto};
+use psc::service::wire::{Request, Response};
+
+prop_compose! {
+    fn arb_request()(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        ranges in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..6),
+        values in proptest::collection::vec(-1000i64..1000, 0..6),
+    ) -> Request {
+        match kind {
+            0 => Request::Hello,
+            1 => Request::Subscribe(SubscriptionDto { id, ranges }),
+            2 => Request::Unsubscribe(id),
+            3 => Request::Publish(PublicationDto { values }),
+            4 => Request::Flush,
+            _ => Request::Stats,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_response()(
+        kind in 0usize..4,
+        ids in proptest::collection::vec(0u64..=u64::MAX, 0..8),
+        removed in proptest::bool::ANY,
+    ) -> Response {
+        match kind {
+            0 => Response::Queued,
+            1 => Response::Removed(removed),
+            2 => Response::Matched(ids),
+            _ => Response::Flushed,
+        }
+    }
+}
+
+/// Feeds `bytes` to `framer` in chunks whose sizes cycle through
+/// `chunk_sizes` (0 entries fall back to byte-by-byte), asserting the
+/// mid-stream buffering bound the whole way.
+fn feed_chunked(framer: &mut LineFramer, bytes: &[u8], chunk_sizes: &[usize], cap: usize) {
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < bytes.len() {
+        let size = chunk_sizes
+            .get(i % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, bytes.len() - offset);
+        framer.feed(&bytes[offset..offset + size]);
+        assert!(
+            framer.buffered_bytes() <= cap,
+            "framer buffered {} bytes, cap is {cap}",
+            framer.buffered_bytes()
+        );
+        offset += size;
+        i += 1;
+    }
+}
+
+fn drain_lines(framer: &mut LineFramer) -> Vec<Frame> {
+    let mut out = Vec::new();
+    while let Some(frame) = framer.next_frame() {
+        out.push(frame);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A pipeline of requests split across reads at arbitrary points
+    /// decodes to exactly the requests that were encoded, in order.
+    #[test]
+    fn requests_round_trip_through_fragmented_reads(
+        requests in proptest::collection::vec(arb_request(), 1..12),
+        chunk_sizes in proptest::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for request in &requests {
+            wire.extend_from_slice(request.encode().as_bytes());
+            wire.push(b'\n');
+        }
+        let cap = 1 << 20;
+        let mut framer = LineFramer::new(cap);
+        feed_chunked(&mut framer, &wire, &chunk_sizes, cap);
+        let decoded: Vec<Request> = drain_lines(&mut framer)
+            .into_iter()
+            .map(|frame| match frame {
+                Frame::Line(line) => Request::decode(&line).expect("valid request line"),
+                Frame::TooLong { len } => panic!("spurious TooLong of {len} bytes"),
+            })
+            .collect();
+        prop_assert_eq!(decoded, requests);
+    }
+
+    /// Same for responses, at the harshest fragmentation: one byte per
+    /// read (the client's framer sees this shape under small TCP
+    /// segments).
+    #[test]
+    fn responses_round_trip_byte_by_byte(
+        responses in proptest::collection::vec(arb_response(), 1..10),
+    ) {
+        let mut wire = Vec::new();
+        for response in &responses {
+            wire.extend_from_slice(response.encode().as_bytes());
+            wire.push(b'\n');
+        }
+        let cap = 1 << 20;
+        let mut framer = LineFramer::new(cap);
+        for b in &wire {
+            framer.feed(std::slice::from_ref(b));
+        }
+        let decoded: Vec<Response> = drain_lines(&mut framer)
+            .into_iter()
+            .map(|frame| match frame {
+                Frame::Line(line) => Response::decode(&line).expect("valid response line"),
+                Frame::TooLong { len } => panic!("spurious TooLong of {len} bytes"),
+            })
+            .collect();
+        prop_assert_eq!(decoded, responses);
+    }
+
+    /// An oversized line is reported as `TooLong` with its true length,
+    /// never buffers more than the cap (even when fed in fragments), and
+    /// does not desynchronize the frames around it.
+    #[test]
+    fn oversized_lines_are_capped_mid_stream_and_framing_recovers(
+        cap in 16usize..128,
+        excess in 1usize..4096,
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..6),
+        request in arb_request(),
+    ) {
+        let good = request.encode();
+        let oversized_len = cap + excess;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(good.as_bytes());
+        wire.push(b'\n');
+        wire.extend(std::iter::repeat_n(b'x', oversized_len));
+        wire.push(b'\n');
+        wire.extend_from_slice(good.as_bytes());
+        wire.push(b'\n');
+
+        // The cap must not reject the good line itself in this scenario.
+        let cap = cap.max(good.len());
+        let mut framer = LineFramer::new(cap);
+        feed_chunked(&mut framer, &wire, &chunk_sizes, cap);
+        let frames = drain_lines(&mut framer);
+        let expected_oversized = if oversized_len > cap {
+            Frame::TooLong { len: oversized_len }
+        } else {
+            Frame::Line("x".repeat(oversized_len))
+        };
+        prop_assert_eq!(frames, vec![
+            Frame::Line(good.clone()),
+            expected_oversized,
+            Frame::Line(good),
+        ]);
+    }
+
+    /// A nesting-depth bomb fed byte-by-byte is rejected by the decoder's
+    /// depth cap (a `WireError`, not a stack overflow), and the framer
+    /// keeps serving the connection afterwards.
+    #[test]
+    fn depth_bombs_fed_byte_by_byte_are_rejected(
+        depth in 65usize..2000,
+        close in proptest::bool::ANY,
+    ) {
+        let mut bomb = String::from("{\"op\":\"publish\",\"values\":");
+        bomb.push_str(&"[".repeat(depth));
+        if close {
+            bomb.push_str(&"]".repeat(depth));
+        }
+        bomb.push('}');
+        bomb.push('\n');
+        let mut framer = LineFramer::new(1 << 20);
+        for b in bomb.as_bytes() {
+            framer.feed(std::slice::from_ref(b));
+        }
+        framer.feed(b"{\"op\":\"hello\"}\n");
+        let frames = drain_lines(&mut framer);
+        prop_assert_eq!(frames.len(), 2);
+        match &frames[0] {
+            Frame::Line(line) => {
+                prop_assert!(
+                    Request::decode(line).is_err(),
+                    "depth bomb of {} must not decode", depth
+                );
+            }
+            Frame::TooLong { .. } => panic!("bomb fits the line cap"),
+        }
+        match &frames[1] {
+            Frame::Line(line) => {
+                prop_assert_eq!(Request::decode(line).unwrap(), Request::Hello);
+            }
+            Frame::TooLong { .. } => panic!("hello line is small"),
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the framer or the decoder:
+    /// every completed frame either decodes or returns a structured
+    /// error.
+    #[test]
+    fn garbage_bytes_never_panic_the_codec(
+        garbage in proptest::collection::vec(0u8..=255, 0..512),
+        chunk_sizes in proptest::collection::vec(1usize..32, 1..5),
+    ) {
+        let cap = 256;
+        let mut framer = LineFramer::new(cap);
+        feed_chunked(&mut framer, &garbage, &chunk_sizes, cap);
+        framer.finish();
+        for frame in drain_lines(&mut framer) {
+            if let Frame::Line(line) = frame {
+                let _ = Request::decode(&line); // must not panic
+                let _ = Response::decode(&line);
+            }
+        }
+    }
+}
