@@ -16,7 +16,8 @@
 use criterion::{black_box, BenchmarkId, Criterion};
 use psc_bench::uniform_fixture;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
-use psc_service::{PubSubService, ServiceConfig};
+use psc_service::{FsyncPolicy, PubSubService, ServiceConfig};
+use std::path::PathBuf;
 use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -26,11 +27,25 @@ const ATTRIBUTES: usize = 4;
 const MAX_WIDTH: i64 = 250;
 
 fn build_service(schema: &Schema, subs: &[Subscription], shards: usize) -> PubSubService {
+    build_service_with(schema, subs, shards, None)
+}
+
+fn build_service_with(
+    schema: &Schema,
+    subs: &[Subscription],
+    shards: usize,
+    data_dir: Option<PathBuf>,
+) -> PubSubService {
     let service = PubSubService::start(
         schema.clone(),
         ServiceConfig {
             shards,
             batch_size: 64,
+            data_dir,
+            // The durability configuration under test: log every
+            // admission (no per-record fsync) and snapshot periodically.
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 1_024,
             ..Default::default()
         },
     );
@@ -126,9 +141,54 @@ fn throughput_report(test_mode: bool) {
     }
 }
 
+/// Publish throughput with durable storage (WAL + snapshots, fsync off)
+/// vs the in-memory baseline, at one shard count.
+///
+/// Publishing never touches the log — only admissions and removals do —
+/// so the durable service's *publish* path should be within noise of the
+/// in-memory one (the acceptance bar is a <10% regression). Admission
+/// cost (which does pay for logging) is reported alongside for context.
+fn durability_report(test_mode: bool) {
+    let (rounds, n_subs, n_pubs) = if test_mode {
+        (1, 400, 32)
+    } else {
+        (5, SUBSCRIPTIONS, PUBLICATIONS)
+    };
+    let (schema, subs, pubs): (Schema, Vec<Subscription>, Vec<Publication>) =
+        uniform_fixture(ATTRIBUTES, n_subs, n_pubs, MAX_WIDTH, 0xD15C);
+    let data_dir = std::env::temp_dir().join(format!("psc-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    println!("\ndurability report: in-memory vs durable (WAL + snapshots, fsync off), 1 shard");
+    let mut rates = Vec::new();
+    for (label, dir) in [("in-memory", None), ("durable  ", Some(data_dir.clone()))] {
+        let ingest_start = Instant::now();
+        let service = build_service_with(&schema, &subs, 1, dir);
+        let ingest = ingest_start.elapsed().as_secs_f64();
+        let _ = service.publish_batch(&pubs).expect("publish"); // warm-up
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(service.publish_batch(&pubs).expect("publish"));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let pubs_per_sec = (rounds * pubs.len()) as f64 / elapsed;
+        rates.push(pubs_per_sec);
+        println!(
+            "  {label} publish: {pubs_per_sec:>12.0} pubs/s   \
+             (admitting {n_subs} subscriptions took {ingest:.3}s)"
+        );
+    }
+    println!(
+        "  durable/in-memory publish ratio: {:.3} (acceptance: > 0.9)",
+        rates[1] / rates[0]
+    );
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
     let mut criterion = Criterion::default();
     bench_publish(&mut criterion);
     throughput_report(test_mode);
+    durability_report(test_mode);
 }

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use psc_model::{Publication, Range, Schema, Subscription};
 use psc_workload::{

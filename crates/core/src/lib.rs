@@ -57,6 +57,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod active_set;
 pub mod conflict;

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod approx;
 pub mod counting;
@@ -33,4 +34,6 @@ pub use approx::{ApproxMatch, BoxMatcher};
 pub use counting::CountingIndex;
 pub use cover_index::CoverIndex;
 pub use naive::NaiveMatcher;
-pub use store::{CoverParents, CoveringStore, InsertOutcome, MatchStats, StoreStats, StoredEntry};
+pub use store::{
+    CoverParents, CoveringStore, InsertOutcome, MatchStats, RestoreError, StoreStats, StoredEntry,
+};

@@ -73,6 +73,40 @@ impl InsertOutcome {
     }
 }
 
+/// Error raised by [`CoveringStore::from_entries`] when an exported image
+/// is internally inconsistent (corrupt or hand-built incorrectly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The same id appears twice in the image.
+    DuplicateId(SubscriptionId),
+    /// A covered entry names a pairwise parent that is not active in the
+    /// image.
+    UnknownParent {
+        /// The covered entry whose link is dangling.
+        child: SubscriptionId,
+        /// The missing parent id.
+        parent: SubscriptionId,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::DuplicateId(id) => {
+                write!(f, "store image holds subscription id {id} twice")
+            }
+            RestoreError::UnknownParent { child, parent } => {
+                write!(
+                    f,
+                    "covered entry {child} names parent {parent}, which is not active in the image"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Match-phase statistics (the cost model of Algorithm 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MatchStats {
@@ -382,6 +416,73 @@ impl CoveringStore {
             }
         }
         matched
+    }
+
+    /// Iterates every stored entry in the store's internal order — actives
+    /// first (column order), then the covered pool — as
+    /// `(id, subscription, parents)`, where `None` parents means active.
+    ///
+    /// This is the snapshot-encoding hook for durable storage: together
+    /// with [`from_entries`](CoveringStore::from_entries) it round-trips a
+    /// store *exactly* (same columns, same order, same parent links), so a
+    /// store rebuilt from a snapshot behaves identically to the original —
+    /// including which covered entries each publication probe skips.
+    pub fn iter_entries(
+        &self,
+    ) -> impl Iterator<Item = (SubscriptionId, &Subscription, Option<&CoverParents>)> + '_ {
+        self.active_ids
+            .iter()
+            .zip(self.active_subs.iter())
+            .map(|(&id, sub)| (id, sub, None))
+            .chain(
+                self.covered
+                    .iter()
+                    .map(|e| (e.id, &e.sub, Some(&e.parents))),
+            )
+    }
+
+    /// Rebuilds a store from entries produced by
+    /// [`iter_entries`](CoveringStore::iter_entries), preserving column
+    /// order and parent links exactly and **without** consulting the
+    /// subsumption checker (match statistics start at zero).
+    ///
+    /// Entries with `None` parents become the active columns in input
+    /// order; the rest rebuild the covered pool. The image is validated:
+    /// ids must be unique and every pairwise parent must be active.
+    pub fn from_entries(
+        checker: SubsumptionChecker,
+        entries: Vec<(SubscriptionId, Subscription, Option<CoverParents>)>,
+    ) -> Result<Self, RestoreError> {
+        let mut store = CoveringStore::new(checker);
+        let mut seen = HashSet::new();
+        // Hash set of active ids so parent validation stays O(covered)
+        // instead of O(actives × covered) — restore is a boot-time path
+        // that must scale to millions of subscriptions per shard.
+        let mut active: HashSet<SubscriptionId> = HashSet::new();
+        for (id, sub, parents) in entries {
+            if !seen.insert(id) {
+                return Err(RestoreError::DuplicateId(id));
+            }
+            match parents {
+                None => {
+                    active.insert(id);
+                    store.active_ids.push(id);
+                    store.active_subs.push(sub);
+                }
+                Some(parents) => store.covered.push(StoredEntry { id, sub, parents }),
+            }
+        }
+        for e in &store.covered {
+            if let CoverParents::Single(parent) = &e.parents {
+                if !active.contains(parent) {
+                    return Err(RestoreError::UnknownParent {
+                        child: e.id,
+                        parent: *parent,
+                    });
+                }
+            }
+        }
+        Ok(store)
     }
 
     /// Dumps all stored subscriptions as `(id, subscription, is_active)` —
@@ -705,6 +806,99 @@ mod tests {
         assert_eq!(snap.covered, 1);
         assert_eq!(snap.match_stats, st.stats());
         assert!(snap.match_stats.active_checked > 0);
+    }
+
+    #[test]
+    fn iter_entries_round_trips_through_from_entries() {
+        let schema = schema();
+        let mut st = store();
+        let mut rng = rng();
+        // Build a store with actives, a pairwise-covered entry, a
+        // group-covered entry, and a demotion, then a removal — exercising
+        // every structural transition before the export.
+        st.insert(SubscriptionId(1), sub(&schema, (0, 60), (0, 50)), &mut rng);
+        st.insert(SubscriptionId(2), sub(&schema, (50, 99), (0, 50)), &mut rng);
+        st.insert(
+            SubscriptionId(3),
+            sub(&schema, (20, 80), (10, 40)),
+            &mut rng,
+        ); // group-covered by 1 ∪ 2
+        st.insert(SubscriptionId(4), sub(&schema, (5, 10), (5, 10)), &mut rng); // pairwise under 1
+        st.insert(SubscriptionId(5), sub(&schema, (0, 99), (0, 99)), &mut rng); // demotes 1 and 2
+        st.remove(SubscriptionId(4), &mut rng);
+
+        let image: Vec<_> = st
+            .iter_entries()
+            .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+            .collect();
+        let rebuilt =
+            CoveringStore::from_entries(SubsumptionChecker::default(), image.clone()).unwrap();
+
+        // Exact structural equality: same entries, same order, same links.
+        let rebuilt_image: Vec<_> = rebuilt
+            .iter_entries()
+            .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+            .collect();
+        assert_eq!(rebuilt_image, image);
+        assert_eq!(rebuilt.active_len(), st.active_len());
+        assert_eq!(rebuilt.covered_len(), st.covered_len());
+
+        // Matching (and its gating behavior) is identical too.
+        let mut original = st.clone();
+        let mut rebuilt = rebuilt;
+        for x in (0..100).step_by(11) {
+            for y in (0..100).step_by(17) {
+                let p = Publication::builder(&schema)
+                    .set("x0", x)
+                    .set("x1", y)
+                    .build()
+                    .unwrap();
+                assert_eq!(
+                    rebuilt.match_publication(&p),
+                    original.match_publication(&p),
+                    "mismatch at ({x}, {y})"
+                );
+            }
+        }
+        // Same probes and skips: parent gating survived the round-trip.
+        assert_eq!(rebuilt.stats(), original.stats());
+    }
+
+    #[test]
+    fn from_entries_rejects_duplicate_ids() {
+        let schema = schema();
+        let s = sub(&schema, (0, 9), (0, 9));
+        let err = CoveringStore::from_entries(
+            SubsumptionChecker::default(),
+            vec![
+                (SubscriptionId(1), s.clone(), None),
+                (SubscriptionId(1), s, None),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, RestoreError::DuplicateId(SubscriptionId(1)));
+    }
+
+    #[test]
+    fn from_entries_rejects_dangling_parent() {
+        let schema = schema();
+        let s = sub(&schema, (0, 9), (0, 9));
+        let err = CoveringStore::from_entries(
+            SubsumptionChecker::default(),
+            vec![(
+                SubscriptionId(2),
+                s,
+                Some(CoverParents::Single(SubscriptionId(7))),
+            )],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RestoreError::UnknownParent {
+                child: SubscriptionId(2),
+                parent: SubscriptionId(7),
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! A compact binary codec for model objects, used by durable storage.
+//!
+//! The JSON codec in [`crate::wire`] is the *network* representation:
+//! self-describing, human-inspectable, and framed by newlines. Durable
+//! storage (the service layer's write-ahead log and snapshots) wants the
+//! opposite trade-off — dense, fixed-layout, and cheap to decode on a
+//! recovery path that replays millions of records. Because the build
+//! environment vendors serde as a no-op stand-in, this codec is
+//! hand-rolled in the same spirit as `wire`: a small writer/reader pair
+//! over little-endian primitives plus encode/decode helpers for the model
+//! types that storage persists.
+//!
+//! ## Encoding rules
+//!
+//! - All integers are **little-endian** and fixed-width (`u8`, `u32`,
+//!   `u64`, `i64`); no varints, so offsets are predictable and decoding
+//!   never loops per byte.
+//! - Strings are a `u32` byte length followed by UTF-8 bytes.
+//! - A [`Subscription`] is its range columns: `u32` arity, then one
+//!   `(i64 lo, i64 hi)` pair per attribute in schema order. Decoding
+//!   validates against the [`Schema`], so a log written under a different
+//!   schema surfaces as a typed error, not garbage data.
+//! - A [`Schema`] is a `u32` attribute count, then `(name, i64 lo,
+//!   i64 hi)` per attribute.
+//!
+//! Framing (length prefixes, checksums, magic numbers) is deliberately
+//! *not* part of this module — it belongs to the storage layer that owns
+//! the files. This module only defines how one value maps to bytes.
+//!
+//! # Example
+//! ```
+//! use psc_model::codec::{ByteReader, ByteWriter};
+//! use psc_model::{Schema, Subscription};
+//!
+//! let schema = Schema::uniform(2, 0, 99);
+//! let sub = Subscription::builder(&schema).range("x0", 5, 20).build().unwrap();
+//!
+//! let mut w = ByteWriter::new();
+//! w.subscription(&sub);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = ByteReader::new(&bytes);
+//! let back = r.subscription(&schema).unwrap();
+//! assert_eq!(back, sub);
+//! assert!(r.is_empty());
+//! ```
+
+use crate::{ModelError, Range, Schema, Subscription};
+use std::fmt;
+
+/// Error raised while decoding binary payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The payload ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes left in the payload.
+        remaining: usize,
+    },
+    /// A decoded field is structurally invalid (bad UTF-8, absurd length).
+    Invalid(&'static str),
+    /// The decoded value failed model validation (wrong arity, range
+    /// outside the schema's domain).
+    Model(ModelError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "payload truncated: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+            CodecError::Model(e) => write!(f, "model validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<ModelError> for CodecError {
+    fn from(e: ModelError) -> Self {
+        CodecError::Model(e)
+    }
+}
+
+/// Appends little-endian binary encodings to a growable buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// A writer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a string as `u32` length + UTF-8 bytes.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a subscription as `u32` arity + `(lo, hi)` per attribute.
+    pub fn subscription(&mut self, sub: &Subscription) {
+        self.u32(sub.arity() as u32);
+        for r in sub.ranges() {
+            self.i64(r.lo());
+            self.i64(r.hi());
+        }
+    }
+
+    /// Writes a schema as `u32` count + `(name, lo, hi)` per attribute.
+    pub fn schema(&mut self, schema: &Schema) {
+        self.u32(schema.len() as u32);
+        for (_, attr) in schema.iter() {
+            self.str(attr.name());
+            self.i64(attr.domain().lo());
+            self.i64(attr.domain().hi());
+        }
+    }
+}
+
+/// Reads little-endian binary encodings from a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `i64`, little-endian.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a string written by [`ByteWriter::str`].
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("string is not UTF-8"))
+    }
+
+    /// Reads a subscription written by [`ByteWriter::subscription`],
+    /// validating it against `schema`.
+    pub fn subscription(&mut self, schema: &Schema) -> Result<Subscription, CodecError> {
+        let arity = self.u32()? as usize;
+        if arity != schema.len() {
+            return Err(CodecError::Model(ModelError::SchemaMismatch {
+                expected: schema.len(),
+                found: arity,
+            }));
+        }
+        let mut ranges = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let lo = self.i64()?;
+            let hi = self.i64()?;
+            ranges.push(Range::new(lo, hi)?);
+        }
+        Ok(Subscription::from_ranges(schema, ranges)?)
+    }
+
+    /// Reads a schema written by [`ByteWriter::schema`].
+    pub fn schema(&mut self) -> Result<Schema, CodecError> {
+        let count = self.u32()? as usize;
+        // A schema attribute costs at least 20 encoded bytes (length,
+        // name, two endpoints); reject counts the payload cannot hold so
+        // a corrupt length cannot trigger a huge allocation.
+        if count > self.remaining() / 20 {
+            return Err(CodecError::Invalid("schema attribute count too large"));
+        }
+        let mut builder = Schema::builder();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..count {
+            let name = self.str()?;
+            let lo = self.i64()?;
+            let hi = self.i64()?;
+            if lo > hi {
+                return Err(CodecError::Invalid("schema attribute domain inverted"));
+            }
+            if !seen.insert(name.clone()) {
+                return Err(CodecError::Invalid("duplicate schema attribute name"));
+            }
+            builder = builder.attribute(name, lo, hi);
+        }
+        Ok(builder.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(i64::MIN);
+        w.str("bID");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), i64::MIN);
+        assert_eq!(r.str().unwrap(), "bID");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn subscription_round_trips() {
+        let schema = Schema::uniform(3, -50, 50);
+        let sub = Subscription::builder(&schema)
+            .range("x0", -10, 10)
+            .point("x1", 5)
+            .range("x2", -50, 50)
+            .build()
+            .unwrap();
+        let mut w = ByteWriter::new();
+        w.subscription(&sub);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.subscription(&schema).unwrap(), sub);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::builder()
+            .attribute("bID", 0, 10_000)
+            .attribute("size", 10, 30)
+            .build();
+        let mut w = ByteWriter::new();
+        w.schema(&schema);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = r.schema().unwrap();
+        assert!(back.same_shape(&schema));
+        assert_eq!(back.attribute(crate::AttrId(0)).name(), "bID");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_payloads_report_eof() {
+        let schema = Schema::uniform(2, 0, 99);
+        let sub = Subscription::builder(&schema)
+            .range("x0", 1, 2)
+            .build()
+            .unwrap();
+        let mut w = ByteWriter::new();
+        w.subscription(&sub);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                matches!(
+                    r.subscription(&schema),
+                    Err(CodecError::UnexpectedEof { .. })
+                ),
+                "cut at {cut} must report EOF"
+            );
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_model_error() {
+        let wide = Schema::uniform(3, 0, 99);
+        let narrow = Schema::uniform(2, 0, 99);
+        let sub = Subscription::whole_space(&wide);
+        let mut w = ByteWriter::new();
+        w.subscription(&sub);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.subscription(&narrow),
+            Err(CodecError::Model(ModelError::SchemaMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn out_of_domain_range_is_a_model_error() {
+        let schema = Schema::uniform(1, 0, 9);
+        let mut w = ByteWriter::new();
+        w.u32(1);
+        w.i64(0);
+        w.i64(50); // outside the [0, 9] domain
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.subscription(&schema), Err(CodecError::Model(_))));
+    }
+
+    #[test]
+    fn corrupt_schema_count_rejected_without_allocation() {
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.schema(), Err(CodecError::Invalid(_))));
+    }
+}

@@ -14,6 +14,12 @@
 //! witness counting (`I(s)`, the number of integer points inside a
 //! subscription) exact.
 //!
+//! Two serialization surfaces live here so every layer above shares one
+//! source of truth: [`wire`] (line-delimited JSON DTOs + incremental
+//! framing, the network representation) and [`codec`] (dense
+//! little-endian binary, used by the service layer's write-ahead log and
+//! snapshots).
+//!
 //! ## Example
 //!
 //! ```
@@ -51,8 +57,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod catalog;
+pub mod codec;
 mod error;
 pub mod expand;
 mod publication;

@@ -6,9 +6,8 @@
 //! blocking the caller forever. The timeout comes from
 //! [`ServiceConfig::io_timeout`] (default 30s) or per-client via
 //! [`ServiceClient::connect_with`]. Responses are read through the same
-//! incremental [`LineFramer`](psc_model::wire::LineFramer) the server
-//! uses, so a response line split across arbitrarily many reads decodes
-//! identically.
+//! incremental [`LineFramer`] the server uses, so a response line split
+//! across arbitrarily many reads decodes identically.
 
 use crate::metrics::{ReactorMetrics, ServiceMetrics};
 use crate::service::ServiceConfig;

@@ -23,6 +23,10 @@
 //!                          ▼               ▼                  ▼
 //!                     shard 0          shard 1    …      shard N-1
 //!                 (CoveringStore + SubsumptionChecker, own thread)
+//!                          ▼               ▼                  ▼
+//!                    shard-0/wal     shard-1/wal        shard-N-1/wal
+//!                      +snapshot       +snapshot          +snapshot
+//!                     (optional durable storage: ServiceConfig.data_dir)
 //! ```
 //!
 //! - **Reactor front-end** — [`ServiceServer`] serves every connection
@@ -49,18 +53,29 @@
 //!   incremental, mid-stream-capped framing; see [`wire`] for the op
 //!   table and [`ServiceClient`] for the blocking client (all its socket
 //!   operations carry timeouts).
+//! - **Durability** — with [`ServiceConfig::data_dir`] set, each shard
+//!   owns a write-ahead log + periodic snapshots ([`storage`]): a
+//!   restarted server rebuilds every shard store from disk and serves
+//!   the same match results, tolerating a torn final log record from a
+//!   crash mid-append.
+//!
+//! The repository-level `docs/ARCHITECTURE.md` walks the full dataflow
+//! and `docs/PROTOCOL.md` specifies the wire protocol for non-Rust
+//! clients.
 
 // The reactor's `sys` module needs `extern "C"` bindings to epoll and
 // friends (the environment vendors no libc/mio); all unsafe code is
 // confined there and the rest of the crate stays deny-checked.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
 pub mod metrics;
 pub mod reactor;
 pub mod server;
 pub mod service;
+pub mod storage;
 pub mod wire;
 
 mod shard;
@@ -69,3 +84,4 @@ pub use client::{ClientError, ServiceClient};
 pub use metrics::{ReactorMetrics, ServiceMetrics, ShardMetrics};
 pub use server::ServiceServer;
 pub use service::{PubSubService, ServiceConfig, ServiceError};
+pub use storage::{FsyncPolicy, StorageError};

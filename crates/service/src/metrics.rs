@@ -1,7 +1,7 @@
 //! Per-shard and service-wide metrics, modeled on `psc_broker::metrics`.
 //!
 //! Each shard worker owns its counters and reports them on demand through a
-//! [`crate::shard::ShardCommand::Scrape`] message, so scraping never takes a
+//! `ShardCommand::Scrape` message, so scraping never takes a
 //! lock on the hot path. [`ServiceMetrics`] is the merged view a `stats`
 //! wire request returns.
 
@@ -20,10 +20,25 @@ pub struct ShardMetrics {
     pub subscriptions_suppressed: u64,
     /// Subscriptions rejected on admission (duplicate id).
     pub subscriptions_rejected: u64,
+    /// Subscriptions the shard rebooted with, rebuilt from its snapshot
+    /// and write-ahead log (0 when storage is not configured).
+    pub subscriptions_recovered: u64,
     /// Unsubscriptions that removed a stored subscription.
     pub unsubscriptions: u64,
     /// Admission batches processed.
     pub batches_admitted: u64,
+    /// Records appended to the shard's write-ahead log since boot.
+    pub wal_records_appended: u64,
+    /// Snapshots written (each truncates the log) since boot.
+    pub snapshots_written: u64,
+    /// Storage operations that failed (the shard keeps serving from
+    /// memory; durability is degraded until appends succeed again).
+    pub storage_errors: u64,
+    /// Bytes truncated off the write-ahead log's tail at boot. After a
+    /// crash mid-append this is at most one record (the torn tail);
+    /// anything larger indicates mid-log damage whose later records were
+    /// lost with it.
+    pub wal_truncated_bytes: u64,
     /// Publications matched by this shard. Publications fan out to every
     /// shard, so in aggregates this merges by max, not sum.
     pub publications_processed: u64,
@@ -70,8 +85,13 @@ impl ShardMetrics {
             ("ingested", Json::UInt(self.subscriptions_ingested)),
             ("suppressed", Json::UInt(self.subscriptions_suppressed)),
             ("rejected", Json::UInt(self.subscriptions_rejected)),
+            ("recovered", Json::UInt(self.subscriptions_recovered)),
             ("unsubscribed", Json::UInt(self.unsubscriptions)),
             ("batches", Json::UInt(self.batches_admitted)),
+            ("wal_records", Json::UInt(self.wal_records_appended)),
+            ("snapshots", Json::UInt(self.snapshots_written)),
+            ("storage_errors", Json::UInt(self.storage_errors)),
+            ("wal_truncated", Json::UInt(self.wal_truncated_bytes)),
             ("publications", Json::UInt(self.publications_processed)),
             ("notifications", Json::UInt(self.notifications)),
             ("active", Json::UInt(self.active_subscriptions)),
@@ -101,8 +121,13 @@ impl ShardMetrics {
             subscriptions_ingested: field("ingested")?,
             subscriptions_suppressed: field("suppressed")?,
             subscriptions_rejected: field("rejected")?,
+            subscriptions_recovered: field("recovered")?,
             unsubscriptions: field("unsubscribed")?,
             batches_admitted: field("batches")?,
+            wal_records_appended: field("wal_records")?,
+            snapshots_written: field("snapshots")?,
+            storage_errors: field("storage_errors")?,
+            wal_truncated_bytes: field("wal_truncated")?,
             publications_processed: field("publications")?,
             notifications: field("notifications")?,
             active_subscriptions: field("active")?,
@@ -124,8 +149,13 @@ impl AddAssign for ShardMetrics {
         self.subscriptions_ingested += rhs.subscriptions_ingested;
         self.subscriptions_suppressed += rhs.subscriptions_suppressed;
         self.subscriptions_rejected += rhs.subscriptions_rejected;
+        self.subscriptions_recovered += rhs.subscriptions_recovered;
         self.unsubscriptions += rhs.unsubscriptions;
         self.batches_admitted += rhs.batches_admitted;
+        self.wal_records_appended += rhs.wal_records_appended;
+        self.snapshots_written += rhs.snapshots_written;
+        self.storage_errors += rhs.storage_errors;
+        self.wal_truncated_bytes += rhs.wal_truncated_bytes;
         // Every publication fans out to every shard, so summing would count
         // each publication once per shard; like uptime, take the max.
         self.publications_processed = self.publications_processed.max(rhs.publications_processed);
@@ -144,11 +174,13 @@ impl fmt::Display for ShardMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ingested: {} (suppressed: {}, ratio {:.2}), active/covered: {}/{}, \
+            "ingested: {} (suppressed: {}, ratio {:.2}), recovered: {}, \
+             active/covered: {}/{}, \
              pubs: {}, notifications: {}, probes p1/p2/skip: {}/{}/{}",
             self.subscriptions_ingested,
             self.subscriptions_suppressed,
             self.suppression_ratio(),
+            self.subscriptions_recovered,
             self.active_subscriptions,
             self.covered_subscriptions,
             self.publications_processed,
@@ -298,8 +330,13 @@ mod tests {
             subscriptions_ingested: 10 * i,
             subscriptions_suppressed: 4 * i,
             subscriptions_rejected: i,
+            subscriptions_recovered: 2 * i,
             unsubscriptions: i,
             batches_admitted: 2 * i,
+            wal_records_appended: 11 * i,
+            snapshots_written: i,
+            storage_errors: 0,
+            wal_truncated_bytes: 3 * i,
             publications_processed: 5 * i,
             notifications: 7 * i,
             active_subscriptions: 3 * i,

@@ -43,7 +43,14 @@ impl ServiceServer {
     /// OS-assigned port).
     ///
     /// The front-end policy knobs — `max_connections`,
-    /// `max_write_buffer_bytes`, `idle_timeout` — come from `config`.
+    /// `max_write_buffer_bytes`, `idle_timeout` — come from `config`, as
+    /// do the durability knobs: with `data_dir` set, every shard store is
+    /// rebuilt from its write-ahead log and snapshot before the listener
+    /// starts serving, so a restarted server answers with the
+    /// subscriptions it held when it stopped. Storage failures surface
+    /// as IO errors here, before any client can connect — environment
+    /// problems keep their kind (`PermissionDenied`, disk full, …);
+    /// corrupt data reports `InvalidData`.
     pub fn bind(
         addr: impl ToSocketAddrs,
         schema: Schema,
@@ -57,7 +64,14 @@ impl ServiceServer {
             idle_timeout: config.idle_timeout,
             max_line_bytes: MAX_REQUEST_LINE_BYTES,
         };
-        let service = Arc::new(PubSubService::start(schema, config));
+        let service = PubSubService::open(schema, config).map_err(|e| {
+            let kind = match &e {
+                crate::ServiceError::Storage { kind, .. } => *kind,
+                _ => std::io::ErrorKind::InvalidData,
+            };
+            std::io::Error::new(kind, e.to_string())
+        })?;
+        let service = Arc::new(service);
         let reactor = reactor::spawn(listener, Arc::clone(&service), reactor_config)?;
         Ok(ServiceServer {
             service,

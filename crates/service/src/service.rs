@@ -1,6 +1,7 @@
 //! The sharded pub/sub service: routing, batching, and fan-out/merge.
 //!
-//! [`PubSubService`] owns `N` shard worker threads (see [`crate::shard`]).
+//! [`PubSubService`] owns `N` shard worker threads (see the private
+//! `shard` module).
 //! Subscriptions are routed to the shard owning their hashed id;
 //! publications fan out to every shard and the per-shard match sets are
 //! merged. Incoming subscriptions are buffered per shard and admitted in
@@ -17,11 +18,15 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::shard::{ShardCommand, ShardWorker};
+use crate::storage::{FsyncPolicy, ShardStorage, StorageConfig};
 use psc_core::SubsumptionChecker;
 use psc_matcher::CoveringStore;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -57,6 +62,19 @@ pub struct ServiceConfig {
     /// so a hung server surfaces as a timeout error instead of wedging
     /// the caller forever (`None` = block indefinitely).
     pub io_timeout: Option<std::time::Duration>,
+    /// Storage: root directory for durable shard state (`None` = purely
+    /// in-memory; a restart forgets every subscription). Each shard owns
+    /// `<data_dir>/shard-<i>` with a write-ahead log and snapshots; on
+    /// start the service rebuilds every shard store from disk. See
+    /// [`crate::storage`].
+    pub data_dir: Option<PathBuf>,
+    /// Storage: whether write-ahead-log appends are fsynced
+    /// ([`FsyncPolicy::Always`], power-loss safe) or left to the page
+    /// cache ([`FsyncPolicy::Never`], process-crash safe).
+    pub fsync: FsyncPolicy,
+    /// Storage: snapshot (and truncate the log) after this many log
+    /// records per shard; `0` disables snapshots.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +89,9 @@ impl Default for ServiceConfig {
             max_write_buffer_bytes: 1 << 20,
             idle_timeout: None,
             io_timeout: Some(std::time::Duration::from_secs(30)),
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 4_096,
         }
     }
 }
@@ -90,6 +111,17 @@ impl ServiceConfig {
 pub enum ServiceError {
     /// The subscription/publication was built against a different schema.
     SchemaMismatch,
+    /// Durable storage could not be opened or recovered at boot
+    /// (unwritable `data_dir`, corrupt snapshot, invalid store image).
+    Storage {
+        /// The `io::ErrorKind` the failure maps to — the underlying kind
+        /// for filesystem failures (`PermissionDenied`, `StorageFull`,
+        /// …), `InvalidData` for corruption — so callers can distinguish
+        /// an environment problem from damaged data.
+        kind: std::io::ErrorKind,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -98,6 +130,7 @@ impl fmt::Display for ServiceError {
             ServiceError::SchemaMismatch => {
                 write!(f, "object schema does not match the service schema")
             }
+            ServiceError::Storage { detail, .. } => write!(f, "storage failed: {detail}"),
         }
     }
 }
@@ -144,35 +177,97 @@ pub struct PubSubService {
 impl PubSubService {
     /// Spawns the shard workers and returns the running service.
     ///
+    /// Convenience wrapper over [`open`](PubSubService::open) for
+    /// in-memory configurations, which cannot fail.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` or `config.batch_size` is zero, or if
+    /// `config.data_dir` is set and opening/recovering storage fails —
+    /// use `open` to handle storage errors.
+    pub fn start(schema: Schema, config: ServiceConfig) -> Self {
+        PubSubService::open(schema, config).expect("open service storage")
+    }
+
+    /// Opens durable storage (when `config.data_dir` is set), rebuilds
+    /// each shard's store from its snapshot + write-ahead log, spawns the
+    /// shard workers, and returns the running service.
+    ///
+    /// Recovery is exact: a shard rebooted from disk holds the same
+    /// active/covered columns, parent links, and RNG state as the shard
+    /// that was stopped, so it serves identical match results (see
+    /// [`crate::storage`] for the crash-consistency rules, including the
+    /// tolerated torn final log record).
+    ///
     /// # Panics
     /// Panics if `config.shards` or `config.batch_size` is zero.
-    pub fn start(schema: Schema, config: ServiceConfig) -> Self {
+    pub fn open(schema: Schema, config: ServiceConfig) -> Result<Self, ServiceError> {
         assert!(config.shards > 0, "a service needs at least one shard");
         assert!(config.batch_size > 0, "batch_size must be positive");
-        let shards = (0..config.shards)
-            .map(|i| {
-                let checker = SubsumptionChecker::builder()
-                    .error_probability(config.error_probability)
-                    .max_iterations(config.max_iterations)
-                    .build();
-                let worker = ShardWorker::new(CoveringStore::new(checker), config.seed ^ i as u64);
-                let (tx, rx) = channel();
-                let join = std::thread::Builder::new()
-                    .name(format!("psc-shard-{i}"))
-                    .spawn(move || worker.run(rx))
-                    .expect("spawn shard worker");
-                Shard {
-                    commands: tx,
-                    pending: Mutex::new(Vec::new()),
-                    join: Some(join),
+        let storage_err = |e: crate::storage::StorageError| ServiceError::Storage {
+            kind: e.io_kind(),
+            detail: e.to_string(),
+        };
+        let mut shards = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let checker = SubsumptionChecker::builder()
+                .error_probability(config.error_probability)
+                .max_iterations(config.max_iterations)
+                .build();
+            let mut rng = StdRng::seed_from_u64(config.seed ^ i as u64);
+            let mut storage = None;
+            let mut log_records = Vec::new();
+            let mut image_entries = None;
+            if let Some(data_dir) = &config.data_dir {
+                let (shard_storage, recovery) = ShardStorage::open(
+                    StorageConfig {
+                        dir: data_dir.join(format!("shard-{i}")),
+                        fsync: config.fsync,
+                        snapshot_every: config.snapshot_every,
+                    },
+                    &schema,
+                )
+                .map_err(storage_err)?;
+                if let Some(image) = recovery.image {
+                    // The snapshot restores the exact store image *and*
+                    // the RNG stream position captured with it, so
+                    // replayed post-snapshot records reproduce the same
+                    // probabilistic admission decisions as live traffic.
+                    rng = StdRng::from_state(image.rng_state);
+                    image_entries = Some(image.entries);
                 }
-            })
-            .collect();
-        PubSubService {
+                storage = Some(shard_storage);
+                log_records = recovery.records;
+            }
+            let store = match image_entries {
+                Some(entries) => CoveringStore::from_entries(checker, entries)
+                    .map_err(|e| storage_err(crate::storage::StorageError::Restore(e)))?,
+                None => CoveringStore::new(checker),
+            };
+            let mut worker = ShardWorker::new(schema.clone(), store, rng, storage);
+            let (tx, rx) = channel();
+            let join = std::thread::Builder::new()
+                .name(format!("psc-shard-{i}"))
+                // Replay runs inside the worker thread so N shards
+                // recover in parallel (boot time is the slowest shard,
+                // not the sum). Commands sent meanwhile just queue: the
+                // FIFO channel guarantees they observe the replayed
+                // state.
+                .spawn(move || {
+                    worker.replay(log_records);
+                    worker.run(rx)
+                })
+                .expect("spawn shard worker");
+            shards.push(Shard {
+                commands: tx,
+                pending: Mutex::new(Vec::new()),
+                join: Some(join),
+            });
+        }
+        Ok(PubSubService {
             schema,
             shards,
             batch_size: config.batch_size,
-        }
+        })
     }
 
     /// The schema all subscriptions and publications must conform to.
@@ -346,6 +441,12 @@ impl PubSubService {
 
 impl Drop for PubSubService {
     fn drop(&mut self) {
+        // Flush buffered admissions before signaling shutdown: shard
+        // queues are FIFO, so every enqueued subscription reaches its
+        // worker — and, on a durable service, the write-ahead log —
+        // before the Shutdown command does. A graceful stop therefore
+        // never loses an acknowledged subscribe.
+        self.flush();
         for shard in &self.shards {
             let _ = shard.commands.send(ShardCommand::Shutdown);
         }

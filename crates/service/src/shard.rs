@@ -9,12 +9,25 @@
 //! Command ordering is the correctness backbone: `std::sync::mpsc` delivers
 //! messages in a total order per channel, so once the router has enqueued an
 //! admission batch, any later `MatchBatch` on the same shard observes it.
+//!
+//! ## Durability
+//!
+//! When the service is configured with a `data_dir`, each worker also owns
+//! a [`ShardStorage`]: admissions and unsubscriptions are appended to the
+//! shard's write-ahead log *before* they touch the store, and every
+//! `snapshot_every` records the worker snapshots the store and truncates
+//! the log (see [`crate::storage`]). On boot, [`ShardWorker::replay`]
+//! pushes recovered log records through the **same** admission/removal
+//! code as live traffic, so a rebuilt shard is indistinguishable from one
+//! that never restarted. Storage failures after boot never take the shard
+//! down — the operation proceeds in memory and the failure is counted in
+//! [`ShardMetrics::storage_errors`].
 
 use crate::metrics::ShardMetrics;
+use crate::storage::{LogRecord, ShardStorage};
 use psc_matcher::CoveringStore;
-use psc_model::{Publication, Subscription, SubscriptionId};
+use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -39,45 +52,84 @@ pub(crate) enum ShardCommand {
 
 /// State owned by one shard worker thread.
 pub(crate) struct ShardWorker {
+    schema: Schema,
     store: CoveringStore,
     rng: StdRng,
+    storage: Option<ShardStorage>,
     started: Instant,
     subscriptions_ingested: u64,
     subscriptions_suppressed: u64,
     subscriptions_rejected: u64,
+    subscriptions_recovered: u64,
     unsubscriptions: u64,
     batches_admitted: u64,
     publications_processed: u64,
     notifications: u64,
+    storage_errors: u64,
 }
 
 impl ShardWorker {
-    pub(crate) fn new(store: CoveringStore, seed: u64) -> Self {
+    pub(crate) fn new(
+        schema: Schema,
+        store: CoveringStore,
+        rng: StdRng,
+        storage: Option<ShardStorage>,
+    ) -> Self {
         ShardWorker {
+            schema,
             store,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
+            storage,
             started: Instant::now(),
             subscriptions_ingested: 0,
             subscriptions_suppressed: 0,
             subscriptions_rejected: 0,
+            subscriptions_recovered: 0,
             unsubscriptions: 0,
             batches_admitted: 0,
             publications_processed: 0,
             notifications: 0,
+            storage_errors: 0,
         }
+    }
+
+    /// Replays recovered write-ahead-log records through the live
+    /// admission/removal paths (minus the log appends), then records how
+    /// many subscriptions the shard rebooted with.
+    ///
+    /// Called once, before the worker starts serving commands. The
+    /// records are exactly the log suffix the snapshot does *not* cover
+    /// — `ShardStorage::open` skips a snapshot-covered prefix via the
+    /// snapshot's `WalMark` (a crash between snapshot rename and log
+    /// truncation), so replay starts from the snapshot's store and RNG
+    /// state and re-applies only genuinely newer operations.
+    pub(crate) fn replay(&mut self, records: Vec<LogRecord>) {
+        for record in records {
+            match record {
+                LogRecord::Admit(batch) => {
+                    let fresh = self.dedup_against_store(batch, false);
+                    self.admit_to_store(fresh, false);
+                }
+                LogRecord::Unsubscribe(id) => {
+                    let _ = self.store.remove(id, &mut self.rng);
+                }
+            }
+        }
+        self.subscriptions_recovered = self.store.len() as u64;
     }
 
     /// The worker loop: runs until `Shutdown` or the channel closes.
     pub(crate) fn run(mut self, commands: Receiver<ShardCommand>) {
         while let Ok(command) = commands.recv() {
             match command {
-                ShardCommand::Admit(batch) => self.admit(batch),
+                ShardCommand::Admit(batch) => {
+                    self.admit(batch);
+                    self.maybe_snapshot();
+                }
                 ShardCommand::Unsubscribe(id, reply) => {
-                    let removed = self.store.remove(id, &mut self.rng);
-                    if removed {
-                        self.unsubscriptions += 1;
-                    }
+                    let removed = self.unsubscribe(id);
                     let _ = reply.send(removed);
+                    self.maybe_snapshot();
                 }
                 ShardCommand::MatchBatch(publications, reply) => {
                     let matches = publications
@@ -102,40 +154,127 @@ impl ShardWorker {
         }
     }
 
-    fn admit(&mut self, batch: Vec<(SubscriptionId, Subscription)>) {
-        // Drop duplicates up front: `CoveringStore::insert` treats duplicate
-        // ids as a programming error (panic), but on a network-facing
-        // admission path they are client errors to be counted, not crashes.
-        let mut fresh = Vec::with_capacity(batch.len());
+    /// Drops batch entries whose id is already stored (or repeated within
+    /// the batch): `CoveringStore::insert` treats duplicate ids as a
+    /// programming error (panic), but on a network-facing admission path
+    /// they are client errors to be counted, not crashes. Replay reuses
+    /// the same filter with counting disabled.
+    fn dedup_against_store(
+        &mut self,
+        batch: Vec<(SubscriptionId, Subscription)>,
+        count_rejects: bool,
+    ) -> Vec<(SubscriptionId, Subscription)> {
+        let mut fresh: Vec<(SubscriptionId, Subscription)> = Vec::with_capacity(batch.len());
         for (id, sub) in batch {
             if self.store.contains(id) || fresh.iter().any(|(other, _)| *other == id) {
-                self.subscriptions_rejected += 1;
+                if count_rejects {
+                    self.subscriptions_rejected += 1;
+                }
             } else {
                 fresh.push((id, sub));
             }
         }
+        fresh
+    }
+
+    fn admit_to_store(&mut self, fresh: Vec<(SubscriptionId, Subscription)>, count: bool) {
         if fresh.is_empty() {
             return;
         }
-        self.batches_admitted += 1;
+        if count {
+            self.batches_admitted += 1;
+        }
         for (_, outcome) in self.store.admit_batch(fresh, &mut self.rng) {
-            self.subscriptions_ingested += 1;
-            if !outcome.is_active() {
-                self.subscriptions_suppressed += 1;
+            if count {
+                self.subscriptions_ingested += 1;
+                if !outcome.is_active() {
+                    self.subscriptions_suppressed += 1;
+                }
             }
+        }
+    }
+
+    fn admit(&mut self, batch: Vec<(SubscriptionId, Subscription)>) {
+        let fresh = self.dedup_against_store(batch, true);
+        if fresh.is_empty() {
+            return;
+        }
+        // Write-ahead: the log sees the batch before the store does, so a
+        // crash after the append replays it and a crash before it means
+        // the batch was simply never admitted. The record wraps the batch
+        // by move (no per-subscription clone on the hot path) and hands
+        // it back for admission.
+        let record = LogRecord::Admit(fresh);
+        self.log(&record);
+        let LogRecord::Admit(fresh) = record else {
+            unreachable!("record built as Admit above")
+        };
+        self.admit_to_store(fresh, true);
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        if !self.store.contains(id) {
+            return false;
+        }
+        self.log(&LogRecord::Unsubscribe(id));
+        let removed = self.store.remove(id, &mut self.rng);
+        debug_assert!(removed, "contains() implied presence");
+        self.unsubscriptions += 1;
+        removed
+    }
+
+    /// Appends one record to the write-ahead log, if storage is
+    /// configured. A failed append degrades durability, not availability:
+    /// the operation proceeds in memory and the failure is counted.
+    fn log(&mut self, record: &LogRecord) {
+        if let Some(storage) = &mut self.storage {
+            if storage.append(record).is_err() {
+                self.storage_errors += 1;
+            }
+        }
+    }
+
+    fn maybe_snapshot(&mut self) {
+        let Some(storage) = &mut self.storage else {
+            return;
+        };
+        if !storage.snapshot_due() {
+            return;
+        }
+        let bytes = crate::storage::snapshot::encode(
+            &self.store,
+            &self.schema,
+            self.rng.state(),
+            storage.wal_mark(),
+        );
+        if storage.write_snapshot(&bytes).is_err() {
+            self.storage_errors += 1;
         }
     }
 
     fn metrics(&self) -> ShardMetrics {
         let snap = self.store.stats_snapshot();
+        let (snapshots_written, wal_records, wal_truncated) =
+            self.storage.as_ref().map_or((0, 0, 0), |s| {
+                (
+                    s.snapshots_written(),
+                    s.wal_records_appended(),
+                    s.truncated_on_open(),
+                )
+            });
         ShardMetrics {
             subscriptions_ingested: self.subscriptions_ingested,
             subscriptions_suppressed: self.subscriptions_suppressed,
             subscriptions_rejected: self.subscriptions_rejected,
+            subscriptions_recovered: self.subscriptions_recovered,
             unsubscriptions: self.unsubscriptions,
             batches_admitted: self.batches_admitted,
             publications_processed: self.publications_processed,
             notifications: self.notifications,
+            wal_records_appended: wal_records,
+            snapshots_written,
+            storage_errors: self.storage_errors,
+            wal_truncated_bytes: wal_truncated,
             active_subscriptions: snap.active as u64,
             covered_subscriptions: snap.covered as u64,
             phase1_probes: snap.match_stats.active_checked,

@@ -1,0 +1,634 @@
+//! Durable shard stores: a per-shard write-ahead log plus snapshots.
+//!
+//! Without this module a restart silently drops every subscription — fatal
+//! at the ROADMAP's "millions of users" scale, where clients cannot be
+//! expected to re-subscribe. With a `data_dir` configured (see
+//! [`crate::ServiceConfig`]), each shard worker owns one directory:
+//!
+//! ```text
+//! <data_dir>/shard-<i>/
+//! ├── wal.bin        append-only log of admissions/unsubscriptions
+//! ├── snapshot.bin   the covering store's exact image (atomic rename)
+//! ├── snapshot.tmp   in-flight snapshot (ignored on boot)
+//! └── wal.tmp        in-flight log compaction (ignored on boot)
+//! ```
+//!
+//! ## Write path
+//!
+//! Operations hit the log *before* the in-memory store (write-ahead
+//! discipline): an admission batch is one CRC-framed [`LogRecord`], an
+//! unsubscription another. [`FsyncPolicy`] decides whether each append is
+//! fsynced (`Always` — survives power loss) or left to the OS page cache
+//! (`Never` — survives process crashes, costs nothing on the hot path).
+//! Every `snapshot_every` records the shard writes a fresh
+//! [`snapshot`] — temp file, fsync, atomic rename — and truncates the
+//! log, bounding both recovery time and disk use.
+//!
+//! ## Recovery path
+//!
+//! On boot the shard loads `snapshot.bin` (if present), rebuilds the
+//! store through [`CoveringStore::from_entries`] — no subsumption checks,
+//! the covered/uncovered split is stored, not recomputed — and replays
+//! `wal.bin` through the normal admission path. A *torn tail* (a record
+//! the previous process died while writing) fails its length or CRC check
+//! and is truncated, not treated as corruption; everything before it is
+//! intact by construction. A corrupt *snapshot* is an error: snapshots
+//! are renamed into place only after a complete write, so damage there is
+//! real corruption and must not be silently served.
+//!
+//! **Known limitation:** a bad frame in the *middle* of the log (a bit
+//! flip, a partial page write on exotic filesystems) is indistinguishable
+//! from a torn tail — reading stops there and later records are dropped
+//! with the tail. The dropped byte count is never silent, though: it is
+//! surfaced as [`Recovery::torn_tail_bytes`] and exported on the wire via
+//! the `wal_truncated` shard metric, so a truncation that is larger than
+//! one record (the most a genuine torn tail can be) is visible to
+//! operators. Per-record sequence numbers would disambiguate fully and
+//! are a ROADMAP follow-on.
+//!
+//! Replay is exact: admission batches are logged in router order and
+//! re-admitted through the same widest-first path, and the snapshot
+//! carries the shard RNG state, so the rebuilt store reproduces the live
+//! store's columns, parent links, and probabilistic decisions
+//! bit-for-bit.
+//!
+//! [`CoveringStore::from_entries`]: psc_matcher::CoveringStore::from_entries
+
+pub mod record;
+pub mod snapshot;
+
+pub use record::LogRecord;
+pub use snapshot::StoreImage;
+
+use psc_matcher::RestoreError;
+use psc_model::Schema;
+use record::MAX_FRAME_PAYLOAD_BYTES;
+use record::{crc32, crc32_finalize, crc32_update, frame, read_frames, CRC_INIT};
+use snapshot::WalMark;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// When appended log records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acknowledged operation survives
+    /// power loss. The safe default.
+    #[default]
+    Always,
+    /// Never `fsync` the log; the OS flushes when it pleases. An
+    /// acknowledged operation survives a process crash (the bytes are in
+    /// the page cache) but may be lost on power failure. Snapshots are
+    /// still fsynced — only the per-record hot path is relaxed.
+    Never,
+}
+
+/// Configuration of one shard's storage, derived from
+/// [`crate::ServiceConfig`] by the service layer.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// The shard's private directory (created if absent).
+    pub dir: PathBuf,
+    /// Log fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Snapshot after this many log records (`0` = never snapshot; the
+    /// log then grows without bound and recovery replays all of it).
+    pub snapshot_every: u64,
+}
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A durable file is damaged in a way a torn write cannot explain.
+    Corrupt {
+        /// The offending file.
+        file: PathBuf,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A decoded snapshot image failed store validation.
+    Restore(RestoreError),
+    /// A record or snapshot exceeds the frame-payload cap and was not
+    /// written (writing it would make it unreadable on recovery).
+    RecordTooLarge {
+        /// Encoded payload size.
+        bytes: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O failed: {e}"),
+            StorageError::Corrupt { file, detail } => {
+                write!(f, "{} is corrupt: {detail}", file.display())
+            }
+            StorageError::Restore(e) => write!(f, "snapshot image invalid: {e}"),
+            StorageError::RecordTooLarge { bytes } => write!(
+                f,
+                "record of {bytes} bytes exceeds the {MAX_FRAME_PAYLOAD_BYTES}-byte frame cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl StorageError {
+    /// The `io::ErrorKind` this failure maps to: the underlying kind for
+    /// I/O failures (so callers can tell `PermissionDenied` or disk-full
+    /// from data damage), `InvalidData` for corruption/validation.
+    pub fn io_kind(&self) -> io::ErrorKind {
+        match self {
+            StorageError::Io(e) => e.kind(),
+            StorageError::Corrupt { .. } | StorageError::Restore(_) => io::ErrorKind::InvalidData,
+            StorageError::RecordTooLarge { .. } => io::ErrorKind::InvalidInput,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// What [`ShardStorage::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The latest snapshot, if one exists.
+    pub image: Option<StoreImage>,
+    /// Valid log records written after that snapshot, in append order.
+    pub records: Vec<LogRecord>,
+    /// Bytes truncated off the log's torn tail (0 on a clean shutdown).
+    pub torn_tail_bytes: u64,
+}
+
+/// One shard's durable storage: an open write-ahead log plus snapshot
+/// management. Owned by the shard worker thread; all methods are `&mut`.
+#[derive(Debug)]
+pub struct ShardStorage {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+    wal: File,
+    /// Frame-aligned byte length of the log (what a clean reader sees).
+    wal_len: u64,
+    /// Streaming CRC register over the log's current content, maintained
+    /// across appends so snapshots can record a [`snapshot::WalMark`]
+    /// without re-reading the file.
+    wal_crc_state: u32,
+    records_since_snapshot: u64,
+    snapshots_written: u64,
+    wal_records_appended: u64,
+    truncated_on_open: u64,
+}
+
+const WAL_FILE: &str = "wal.bin";
+const WAL_TMP_FILE: &str = "wal.tmp";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
+
+impl ShardStorage {
+    /// Opens (creating if absent) a shard directory and recovers its
+    /// contents: the snapshot image, the valid log suffix, and a
+    /// truncated torn tail if the previous process died mid-append.
+    ///
+    /// If the snapshot's [`WalMark`] still matches the log's leading
+    /// bytes, the previous process crashed between snapshot rename and
+    /// log truncation: the covered prefix is already inside the
+    /// snapshot, so it is skipped for replay and the interrupted
+    /// truncation is completed (the log is compacted to its suffix).
+    /// Re-applying covered records instead would consume RNG draws the
+    /// live shard never consumed and could re-shuffle the
+    /// active/covered split.
+    pub fn open(
+        config: StorageConfig,
+        schema: &Schema,
+    ) -> Result<(ShardStorage, Recovery), StorageError> {
+        std::fs::create_dir_all(&config.dir)?;
+
+        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
+        let decoded =
+            match std::fs::read(&snapshot_path) {
+                Ok(bytes) => Some(snapshot::decode(&bytes, schema).map_err(|detail| {
+                    StorageError::Corrupt {
+                        file: snapshot_path.clone(),
+                        detail,
+                    }
+                })?),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                Err(e) => return Err(e.into()),
+            };
+
+        let wal_path = config.dir.join(WAL_FILE);
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&wal_path)?;
+        let mut bytes = Vec::new();
+        wal.read_to_end(&mut bytes)?;
+
+        let replay_start = match &decoded {
+            Some((_, mark))
+                if mark.covered_bytes as usize <= bytes.len()
+                    && crc32(&bytes[..mark.covered_bytes as usize]) == mark.crc =>
+            {
+                mark.covered_bytes as usize
+            }
+            _ => 0, // log was truncated after the snapshot (the normal case)
+        };
+        let tail = &bytes[replay_start..];
+        let (payloads, valid_span) = read_frames(tail);
+        let records = payloads
+            .iter()
+            .map(|p| {
+                LogRecord::decode(p, schema).map_err(|e| StorageError::Corrupt {
+                    file: wal_path.clone(),
+                    detail: format!("record decodes as garbage despite a valid checksum: {e}"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let torn_tail_bytes = (tail.len() - valid_span) as u64;
+        let content = &tail[..valid_span];
+
+        if replay_start > 0 {
+            // Complete the interrupted truncation: compact the log down
+            // to the uncovered suffix (atomically, via rename — a crash
+            // here just redoes the skip on the next boot).
+            let tmp = config.dir.join(WAL_TMP_FILE);
+            let mut file = File::create(&tmp)?;
+            file.write_all(content)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, &wal_path)?;
+            wal = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .append(true)
+                .open(&wal_path)?;
+            wal.seek(io::SeekFrom::End(0))?;
+        } else if torn_tail_bytes > 0 {
+            // Drop the torn tail so the next append starts on a frame
+            // boundary. (With `append` mode the cursor re-seeks to the
+            // new end automatically on the next write.)
+            wal.set_len(valid_span as u64)?;
+            wal.seek(io::SeekFrom::End(0))?;
+        }
+
+        let storage = ShardStorage {
+            dir: config.dir,
+            fsync: config.fsync,
+            snapshot_every: config.snapshot_every,
+            wal,
+            wal_len: valid_span as u64,
+            wal_crc_state: crc32_update(CRC_INIT, content),
+            records_since_snapshot: records.len() as u64,
+            snapshots_written: 0,
+            wal_records_appended: 0,
+            truncated_on_open: torn_tail_bytes,
+        };
+        Ok((
+            storage,
+            Recovery {
+                image: decoded.map(|(image, _)| image),
+                records,
+                torn_tail_bytes,
+            },
+        ))
+    }
+
+    /// Appends one record to the log (write-ahead: call this *before*
+    /// applying the operation to the in-memory store), flushing per the
+    /// configured [`FsyncPolicy`].
+    ///
+    /// Refuses a record whose encoding exceeds
+    /// [`MAX_FRAME_PAYLOAD_BYTES`]: writing it would "succeed" but read
+    /// back as a torn tail, silently discarding it *and every record
+    /// after it* on the next boot. Failing the append keeps the
+    /// degradation visible (the shard counts a storage error) and the
+    /// log readable.
+    pub fn append(&mut self, record: &LogRecord) -> Result<(), StorageError> {
+        let payload = record.encode();
+        if payload.len() > MAX_FRAME_PAYLOAD_BYTES {
+            return Err(StorageError::RecordTooLarge {
+                bytes: payload.len(),
+            });
+        }
+        let framed = frame(&payload);
+        if let Err(e) = self.wal.write_all(&framed) {
+            // A failed write may have left a *partial* frame at the tail;
+            // later successful appends written after it would be lost
+            // behind the garbage on the next boot. Roll the file back to
+            // the last frame boundary so the log stays readable
+            // (best-effort; if this also fails, recovery's torn-tail
+            // truncation still bounds the damage to this record).
+            let _ = self.wal.set_len(self.wal_len);
+            let _ = self.wal.seek(io::SeekFrom::End(0));
+            return Err(e.into());
+        }
+        // Bookkeeping happens as soon as the frame is fully written —
+        // even if the fsync below fails, the bytes are in the file, and
+        // length/CRC accounting must match the file's actual content.
+        self.wal_len += framed.len() as u64;
+        self.wal_crc_state = crc32_update(self.wal_crc_state, &framed);
+        self.records_since_snapshot += 1;
+        self.wal_records_appended += 1;
+        if self.fsync == FsyncPolicy::Always {
+            self.wal.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The [`WalMark`] identifying the log content a snapshot encoded
+    /// right now would cover. Pass it to [`snapshot::encode`].
+    pub fn wal_mark(&self) -> WalMark {
+        WalMark {
+            covered_bytes: self.wal_len,
+            crc: crc32_finalize(self.wal_crc_state),
+        }
+    }
+
+    /// Whether the snapshot cadence says it is time to snapshot.
+    pub fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes `snapshot_bytes` (produced by [`snapshot::encode`])
+    /// atomically — temp file, fsync, rename — then truncates the log.
+    ///
+    /// Crash-ordering: the rename is the commit point. Dying before it
+    /// leaves the old snapshot + full log (replay covers everything);
+    /// dying between rename and truncation leaves the new snapshot + a
+    /// log whose covered prefix [`open`](ShardStorage::open) recognizes
+    /// via the snapshot's [`WalMark`] and skips, completing the
+    /// truncation it was interrupted on.
+    ///
+    /// The cadence counter resets even on failure: the caller retries
+    /// after another `snapshot_every` records rather than re-encoding
+    /// the full store on *every* subsequent command while the disk is
+    /// unwell.
+    pub fn write_snapshot(&mut self, snapshot_bytes: &[u8]) -> Result<(), StorageError> {
+        self.records_since_snapshot = 0;
+        if snapshot_bytes.len() > MAX_FRAME_PAYLOAD_BYTES {
+            // An over-cap snapshot would decode as corrupt on the next
+            // boot; refusing keeps the previous (readable) snapshot in
+            // place and surfaces the condition as a storage error.
+            return Err(StorageError::RecordTooLarge {
+                bytes: snapshot_bytes.len(),
+            });
+        }
+        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
+        let dst = self.dir.join(SNAPSHOT_FILE);
+        let mut file = File::create(&tmp)?;
+        file.write_all(snapshot_bytes)?;
+        // A snapshot exists to be read after a crash; it is always synced
+        // regardless of the log policy.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, &dst)?;
+        if let Ok(dir) = File::open(&self.dir) {
+            // Persist the rename itself (directory entry). Best-effort:
+            // some filesystems reject directory fsync.
+            let _ = dir.sync_all();
+        }
+        self.wal.set_len(0)?;
+        self.wal.seek(io::SeekFrom::Start(0))?;
+        self.wal_len = 0;
+        self.wal_crc_state = CRC_INIT;
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Records appended since the last snapshot (or open).
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.records_since_snapshot
+    }
+
+    /// Snapshots written by this instance.
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written
+    }
+
+    /// Records appended by this instance.
+    pub fn wal_records_appended(&self) -> u64 {
+        self.wal_records_appended
+    }
+
+    /// Bytes truncated off the log's tail when this instance opened
+    /// (0 after a clean shutdown; at most one record after a crash
+    /// mid-append — anything larger indicates mid-log damage).
+    pub fn truncated_on_open(&self) -> u64 {
+        self.truncated_on_open
+    }
+
+    /// The shard's storage directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::{Subscription, SubscriptionId};
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "psc-storage-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(dir: &Path, snapshot_every: u64) -> StorageConfig {
+        StorageConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every,
+        }
+    }
+
+    fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+        Subscription::builder(schema)
+            .range("x0", lo, hi)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn log_survives_reopen() {
+        let schema = schema();
+        let dir = temp_dir("reopen");
+        let records = vec![
+            LogRecord::Admit(vec![(SubscriptionId(1), sub(&schema, 0, 50))]),
+            LogRecord::Unsubscribe(SubscriptionId(1)),
+        ];
+        {
+            let (mut storage, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+            assert!(recovery.image.is_none());
+            assert!(recovery.records.is_empty());
+            for r in &records {
+                storage.append(r).unwrap();
+            }
+        }
+        let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert_eq!(recovery.records, records);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let schema = schema();
+        let dir = temp_dir("torn");
+        {
+            let (mut storage, _) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+            storage
+                .append(&LogRecord::Admit(vec![(
+                    SubscriptionId(1),
+                    sub(&schema, 0, 50),
+                )]))
+                .unwrap();
+            storage
+                .append(&LogRecord::Unsubscribe(SubscriptionId(9)))
+                .unwrap();
+        }
+        // Tear the final record: chop 3 bytes off the file.
+        let wal_path = dir.join(WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let (mut storage, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert_eq!(recovery.records.len(), 1, "torn record dropped");
+        assert!(recovery.torn_tail_bytes > 0);
+        // The log is usable again: append and reopen cleanly.
+        storage
+            .append(&LogRecord::Unsubscribe(SubscriptionId(2)))
+            .unwrap();
+        drop(storage);
+        let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert_eq!(recovery.records.len(), 2);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_log_and_reloads() {
+        use psc_core::SubsumptionChecker;
+        use psc_matcher::CoveringStore;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let schema = schema();
+        let dir = temp_dir("snap");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = CoveringStore::new(SubsumptionChecker::default());
+        store.insert(SubscriptionId(1), sub(&schema, 0, 80), &mut rng);
+        store.insert(SubscriptionId(2), sub(&schema, 5, 10), &mut rng);
+
+        {
+            let (mut storage, _) = ShardStorage::open(config(&dir, 2), &schema).unwrap();
+            storage
+                .append(&LogRecord::Admit(vec![
+                    (SubscriptionId(1), sub(&schema, 0, 80)),
+                    (SubscriptionId(2), sub(&schema, 5, 10)),
+                ]))
+                .unwrap();
+            assert!(!storage.snapshot_due());
+            storage
+                .append(&LogRecord::Unsubscribe(SubscriptionId(99)))
+                .unwrap();
+            assert!(storage.snapshot_due());
+            let bytes = snapshot::encode(&store, &schema, rng.state(), storage.wal_mark());
+            storage.write_snapshot(&bytes).unwrap();
+            assert_eq!(storage.records_since_snapshot(), 0);
+            assert_eq!(storage.snapshots_written(), 1);
+        }
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+
+        let (_, recovery) = ShardStorage::open(config(&dir, 2), &schema).unwrap();
+        let image = recovery.image.expect("snapshot loaded");
+        assert_eq!(image.rng_state, rng.state());
+        assert_eq!(image.entries.len(), 2);
+        assert!(recovery.records.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_truncation_skips_covered_prefix() {
+        use psc_core::SubsumptionChecker;
+        use psc_matcher::CoveringStore;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let schema = schema();
+        let dir = temp_dir("rename-window");
+        let covered = vec![
+            LogRecord::Admit(vec![(SubscriptionId(1), sub(&schema, 0, 80))]),
+            LogRecord::Unsubscribe(SubscriptionId(1)),
+        ];
+        let after = LogRecord::Admit(vec![(SubscriptionId(2), sub(&schema, 5, 10))]);
+        {
+            let (mut storage, _) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+            for r in &covered {
+                storage.append(r).unwrap();
+            }
+            // Simulate the crash window: the snapshot (covering the two
+            // records above) lands in place, but the process dies before
+            // `write_snapshot` would have truncated the log.
+            let store = CoveringStore::new(SubsumptionChecker::default());
+            let bytes = snapshot::encode(
+                &store,
+                &schema,
+                StdRng::seed_from_u64(9).state(),
+                storage.wal_mark(),
+            );
+            std::fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
+            storage.append(&after).unwrap();
+        }
+        let (storage, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert!(recovery.image.is_some(), "snapshot loaded");
+        assert_eq!(
+            recovery.records,
+            vec![after.clone()],
+            "only the uncovered suffix is replayed"
+        );
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        // The interrupted truncation was completed: the log now holds
+        // only the suffix, and a further reopen replays the same thing.
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(wal_len, frame(&after.encode()).len() as u64);
+        drop(storage);
+        let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert_eq!(recovery.records, vec![after]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error() {
+        let schema = schema();
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"PSCSNAP1 not a snapshot").unwrap();
+        match ShardStorage::open(config(&dir, 0), &schema) {
+            Err(StorageError::Corrupt { file, .. }) => {
+                assert!(file.ends_with(SNAPSHOT_FILE));
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,293 @@
+//! Log-record framing: length-prefixed, CRC-checked binary records.
+//!
+//! Every durable file the storage layer writes — the write-ahead log and
+//! the snapshot — is a sequence of *framed records*:
+//!
+//! ```text
+//! ┌───────────┬───────────┬───────────────┐
+//! │ u32 len   │ u32 crc32 │ payload bytes │   (integers little-endian)
+//! └───────────┴───────────┴───────────────┘
+//! ```
+//!
+//! `len` counts payload bytes only; `crc32` is the IEEE CRC-32 of the
+//! payload. The frame makes torn writes detectable: a record the process
+//! died in the middle of writing fails the length or checksum test, and
+//! [`read_frames`] reports how many bytes formed valid records so the
+//! caller can truncate the torn tail and keep running — a torn *final*
+//! record is data loss of one unacknowledged operation, not corruption.
+//!
+//! The payload of a WAL frame is a [`LogRecord`] encoded with
+//! [`psc_model::codec`]; snapshot files put their whole body in a single
+//! frame (see [`super::snapshot`]).
+
+use psc_model::codec::{ByteReader, ByteWriter, CodecError};
+use psc_model::{Schema, Subscription, SubscriptionId};
+
+/// Frame header size: `u32` length + `u32` CRC.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on a single frame's payload, enforced on **both** sides:
+/// writers refuse to emit a larger frame (an over-cap record written
+/// "successfully" would read back as a torn tail and silently swallow
+/// everything after it), and readers refuse to honor a larger length
+/// field (so corruption cannot trigger a multi-gigabyte allocation
+/// during recovery). 1 GiB accommodates snapshots of tens of millions
+/// of subscriptions per shard while staying far under the `u32` length
+/// field's range.
+pub const MAX_FRAME_PAYLOAD_BYTES: usize = 1 << 30; // 1 GiB
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The initial register value for a streaming CRC-32 computation.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `bytes` into a streaming CRC-32 register (start from
+/// [`CRC_INIT`], finish with [`crc32_finalize`]). Streaming lets the log
+/// maintain a running checksum of everything appended since the last
+/// truncation without re-reading the file.
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = (state >> 8) ^ CRC_TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Finalizes a streaming CRC-32 register into the checksum value.
+pub fn crc32_finalize(state: u32) -> u32 {
+    !state
+}
+
+/// IEEE CRC-32 (the polynomial used by zip/PNG/Ethernet) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finalize(crc32_update(CRC_INIT, bytes))
+}
+
+/// Wraps `payload` in a length + CRC frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits `bytes` into the payloads of its valid leading frames.
+///
+/// Returns the payload list and the number of bytes they spanned (header
+/// included). Reading stops — without error — at the first frame that is
+/// incomplete, over-long, or checksum-corrupt: under an append-only
+/// writer that is precisely a torn tail from a crashed process, and the
+/// returned span is where the caller should truncate the file.
+pub fn read_frames(bytes: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER_BYTES {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + FRAME_HEADER_BYTES;
+        if len > MAX_FRAME_PAYLOAD_BYTES || bytes.len() - start < len {
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        payloads.push(payload);
+        pos = start + len;
+    }
+    (payloads, pos)
+}
+
+const TAG_ADMIT: u8 = 1;
+const TAG_UNSUBSCRIBE: u8 = 2;
+
+/// One durable operation in a shard's write-ahead log.
+///
+/// An `Admit` record carries a whole admission batch **in the order the
+/// router enqueued it**: replay pushes the batch through the same
+/// widest-first admission path as live traffic, so the rebuilt store is
+/// bit-for-bit the store the live shard had (same columns, same covered
+/// parents, same RNG consumption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Admit a batch of subscriptions.
+    Admit(Vec<(SubscriptionId, Subscription)>),
+    /// Remove one subscription.
+    Unsubscribe(SubscriptionId),
+}
+
+impl LogRecord {
+    /// Encodes the record body (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            LogRecord::Admit(batch) => {
+                w.u8(TAG_ADMIT);
+                w.u32(batch.len() as u32);
+                for (id, sub) in batch {
+                    w.u64(id.0);
+                    w.subscription(sub);
+                }
+            }
+            LogRecord::Unsubscribe(id) => {
+                w.u8(TAG_UNSUBSCRIBE);
+                w.u64(id.0);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a record body produced by [`encode`](LogRecord::encode),
+    /// validating subscriptions against `schema`.
+    pub fn decode(payload: &[u8], schema: &Schema) -> Result<LogRecord, CodecError> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.u8()? {
+            TAG_ADMIT => {
+                let count = r.u32()? as usize;
+                if count > payload.len() / 9 {
+                    // Each entry costs ≥ 12 bytes (id + arity); 9 is a safe
+                    // floor that keeps a corrupt count from pre-allocating.
+                    return Err(CodecError::Invalid("admit batch count too large"));
+                }
+                let mut batch = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = SubscriptionId(r.u64()?);
+                    let sub = r.subscription(schema)?;
+                    batch.push((id, sub));
+                }
+                LogRecord::Admit(batch)
+            }
+            TAG_UNSUBSCRIBE => LogRecord::Unsubscribe(SubscriptionId(r.u64()?)),
+            _ => return Err(CodecError::Invalid("unknown log record tag")),
+        };
+        if !r.is_empty() {
+            return Err(CodecError::Invalid("trailing bytes after log record"));
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::Subscription;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn sample_records(schema: &Schema) -> Vec<LogRecord> {
+        let wide = Subscription::builder(schema)
+            .range("x0", 0, 50)
+            .build()
+            .unwrap();
+        let narrow = Subscription::builder(schema)
+            .range("x0", 10, 20)
+            .range("x1", 5, 9)
+            .build()
+            .unwrap();
+        vec![
+            LogRecord::Admit(vec![(SubscriptionId(1), wide), (SubscriptionId(2), narrow)]),
+            LogRecord::Unsubscribe(SubscriptionId(1)),
+            LogRecord::Admit(vec![]),
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let schema = schema();
+        let records = sample_records(&schema);
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&frame(&record.encode()));
+        }
+        let (payloads, span) = read_frames(&bytes);
+        assert_eq!(span, bytes.len());
+        let decoded: Vec<_> = payloads
+            .iter()
+            .map(|p| LogRecord::decode(p, &schema).unwrap())
+            .collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let schema = schema();
+        let records = sample_records(&schema);
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&frame(&record.encode()));
+        }
+        let full = bytes.len();
+        let last = frame(&records[2].encode()).len();
+        // Tear the final record at every possible byte boundary: the two
+        // intact records always survive, the torn one never does.
+        for cut in (full - last + 1)..full {
+            let (payloads, span) = read_frames(&bytes[..cut]);
+            assert_eq!(payloads.len(), 2, "cut at {cut}");
+            assert_eq!(span, full - last, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_stops_reading() {
+        let schema = schema();
+        let records = sample_records(&schema);
+        let mut bytes = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&frame(&record.encode()));
+        }
+        // Flip one payload byte of the second record.
+        let first_len = frame(&records[0].encode()).len();
+        bytes[first_len + FRAME_HEADER_BYTES] ^= 0xFF;
+        let (payloads, span) = read_frames(&bytes);
+        assert_eq!(payloads.len(), 1);
+        assert_eq!(span, first_len);
+    }
+
+    #[test]
+    fn absurd_length_field_rejected() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 12]);
+        let (payloads, span) = read_frames(&bytes);
+        assert!(payloads.is_empty());
+        assert_eq!(span, 0);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let schema = schema();
+        assert!(LogRecord::decode(&[], &schema).is_err());
+        assert!(LogRecord::decode(&[9, 0, 0], &schema).is_err());
+        let mut valid = LogRecord::Unsubscribe(SubscriptionId(3)).encode();
+        valid.push(0); // trailing garbage
+        assert!(LogRecord::decode(&valid, &schema).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Snapshot files: a covering store's exact image, written atomically.
+//!
+//! A snapshot is the paper's covering relation put to work for
+//! durability: the file records the store's covered/uncovered *split*, not
+//! just its membership. Actives (the widest, uncovered subscriptions — the
+//! only ones matching consults first) are stored as id/subscription
+//! columns in store order; covered entries follow with their parent
+//! links. Restoring therefore rebuilds the store **without a single
+//! subsumption check** — recovery cost is decode cost — and the rebuilt
+//! store probes and skips exactly like the one that was snapshotted.
+//!
+//! ## File format
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────────────────┬──────────────────┐
+//! │ magic        │ body frame (u32 len, u32 crc32, body)    │ wal-mark frame   │
+//! │ "PSCSNAP1"   │   schema · rng state (4×u64) · u32 count │   u64 covered    │
+//! │              │   entries: kind u8 · id u64 ·            │   u32 prefix crc │
+//! │              │            [parent u64] · subscription   │                  │
+//! └──────────────┴──────────────────────────────────────────┴──────────────────┘
+//! ```
+//!
+//! Both sections ride in CRC-framed records (see [`super::record`]), and
+//! the file is written to a temporary sibling then renamed into place,
+//! so a crash mid-snapshot leaves the previous snapshot intact; a
+//! snapshot that fails its checksum is reported as corruption, never
+//! silently served. The trailing [`WalMark`] identifies the log prefix
+//! the snapshot supersedes, closing the crash window between snapshot
+//! rename and log truncation (see `WalMark`'s docs).
+//!
+//! The shard's RNG state is part of the image: write-ahead-log records
+//! replayed *after* the snapshot then consume the exact random stream the
+//! live shard would have, keeping probabilistic subsumption decisions —
+//! and hence the rebuilt store — reproducible across restarts.
+
+use super::record::{frame, read_frames};
+use psc_matcher::{CoverParents, CoveringStore};
+use psc_model::codec::{ByteReader, ByteWriter};
+use psc_model::{Schema, Subscription, SubscriptionId};
+
+/// Leading magic of a snapshot file (version-bearing).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PSCSNAP1";
+
+const KIND_ACTIVE: u8 = 0;
+const KIND_COVERED_GROUP: u8 = 1;
+const KIND_COVERED_SINGLE: u8 = 2;
+
+/// A decoded snapshot: the store image plus the shard RNG state captured
+/// with it.
+#[derive(Debug, Clone)]
+pub struct StoreImage {
+    /// Entries in store order, as consumed by
+    /// [`CoveringStore::from_entries`].
+    pub entries: Vec<(SubscriptionId, Subscription, Option<CoverParents>)>,
+    /// The shard RNG's internal state at snapshot time.
+    pub rng_state: [u64; 4],
+}
+
+/// Identifies the write-ahead-log prefix a snapshot already covers.
+///
+/// A snapshot is renamed into place *before* the log is truncated, so a
+/// crash between the two leaves the covered records in the log. The mark
+/// lets boot-time recovery recognize that exact state — the log's first
+/// `covered_bytes` bytes still checksum to `crc` — and skip the covered
+/// prefix instead of re-applying records the snapshot already contains,
+/// which would diverge from the live shard (re-admission consumes RNG
+/// draws and can re-shuffle the active/covered split). If the log was
+/// truncated (or truncated and refilled), the check fails and the whole
+/// log is replayed — also exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalMark {
+    /// Log bytes (from file start) captured by the snapshot.
+    pub covered_bytes: u64,
+    /// CRC-32 of that prefix, so a refilled log cannot masquerade as an
+    /// un-truncated one.
+    pub crc: u32,
+}
+
+/// Encodes a snapshot file image of `store` (including `rng_state` and
+/// the [`WalMark`] of the log prefix this snapshot supersedes).
+pub fn encode(
+    store: &CoveringStore,
+    schema: &Schema,
+    rng_state: [u64; 4],
+    wal_mark: WalMark,
+) -> Vec<u8> {
+    let mut body = ByteWriter::with_capacity(64 + store.len() * 40);
+    body.schema(schema);
+    for word in rng_state {
+        body.u64(word);
+    }
+    body.u32(store.len() as u32);
+    for (id, sub, parents) in store.iter_entries() {
+        match parents {
+            None => {
+                body.u8(KIND_ACTIVE);
+                body.u64(id.0);
+            }
+            Some(CoverParents::Group) => {
+                body.u8(KIND_COVERED_GROUP);
+                body.u64(id.0);
+            }
+            Some(CoverParents::Single(parent)) => {
+                body.u8(KIND_COVERED_SINGLE);
+                body.u64(id.0);
+                body.u64(parent.0);
+            }
+        }
+        body.subscription(sub);
+    }
+    let mut mark = ByteWriter::with_capacity(12);
+    mark.u64(wal_mark.covered_bytes);
+    mark.u32(wal_mark.crc);
+    let mut file = SNAPSHOT_MAGIC.to_vec();
+    file.extend_from_slice(&frame(body.bytes()));
+    file.extend_from_slice(&frame(mark.bytes()));
+    file
+}
+
+/// Decodes a snapshot file, validating magic, checksum, and `schema`.
+///
+/// Unlike a write-ahead log, a snapshot has no tolerated torn tail: the
+/// file is renamed into place only after a complete write, so any
+/// incomplete or checksum-failing content is corruption and surfaces as
+/// an error (with a human-readable detail string).
+pub fn decode(bytes: &[u8], schema: &Schema) -> Result<(StoreImage, WalMark), String> {
+    let Some(rest) = bytes.strip_prefix(SNAPSHOT_MAGIC.as_slice()) else {
+        return Err("snapshot magic missing or unsupported version".into());
+    };
+    let (payloads, span) = read_frames(rest);
+    if payloads.len() != 2 || span != rest.len() {
+        return Err("snapshot body incomplete or checksum-corrupt".into());
+    }
+    let mut m = ByteReader::new(payloads[1]);
+    let wal_mark = WalMark {
+        covered_bytes: m.u64().map_err(|e| format!("snapshot wal mark: {e}"))?,
+        crc: m.u32().map_err(|e| format!("snapshot wal mark: {e}"))?,
+    };
+    if !m.is_empty() {
+        return Err("trailing bytes after snapshot wal mark".into());
+    }
+    let mut r = ByteReader::new(payloads[0]);
+    let file_schema = r.schema().map_err(|e| format!("snapshot schema: {e}"))?;
+    if !file_schema.same_shape(schema) {
+        return Err(format!(
+            "snapshot was written for a different schema ({} attributes, service has {})",
+            file_schema.len(),
+            schema.len()
+        ));
+    }
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64().map_err(|e| format!("snapshot rng state: {e}"))?;
+    }
+    let count = r.u32().map_err(|e| format!("snapshot count: {e}"))? as usize;
+    if count > payloads[0].len() / 9 {
+        return Err("snapshot entry count exceeds payload size".into());
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let kind = r
+            .u8()
+            .map_err(|e| format!("snapshot entry {i} kind: {e}"))?;
+        let id = SubscriptionId(r.u64().map_err(|e| format!("snapshot entry {i} id: {e}"))?);
+        let parents = match kind {
+            KIND_ACTIVE => None,
+            KIND_COVERED_GROUP => Some(CoverParents::Group),
+            KIND_COVERED_SINGLE => {
+                let parent = r
+                    .u64()
+                    .map_err(|e| format!("snapshot entry {i} parent: {e}"))?;
+                Some(CoverParents::Single(SubscriptionId(parent)))
+            }
+            _ => return Err(format!("snapshot entry {i} has unknown kind {kind}")),
+        };
+        let sub = r
+            .subscription(schema)
+            .map_err(|e| format!("snapshot entry {i} subscription: {e}"))?;
+        entries.push((id, sub, parents));
+    }
+    if !r.is_empty() {
+        return Err("trailing bytes after snapshot entries".into());
+    }
+    Ok((StoreImage { entries, rng_state }, wal_mark))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_core::SubsumptionChecker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn populated_store(schema: &Schema) -> CoveringStore {
+        let mut store = CoveringStore::new(SubsumptionChecker::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let sub = |lo: i64, hi: i64| {
+            Subscription::builder(schema)
+                .range("x0", lo, hi)
+                .build()
+                .unwrap()
+        };
+        store.insert(SubscriptionId(1), sub(0, 60), &mut rng);
+        store.insert(SubscriptionId(2), sub(50, 99), &mut rng);
+        store.insert(SubscriptionId(3), sub(10, 20), &mut rng); // pairwise under 1
+        store.insert(SubscriptionId(4), sub(30, 80), &mut rng); // group-covered
+        store
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let schema = Schema::uniform(2, 0, 99);
+        let store = populated_store(&schema);
+        let rng_state = StdRng::seed_from_u64(77).state();
+        let mark = WalMark {
+            covered_bytes: 123,
+            crc: 0xDEAD_BEEF,
+        };
+        let bytes = encode(&store, &schema, rng_state, mark);
+        let (image, back_mark) = decode(&bytes, &schema).unwrap();
+        assert_eq!(back_mark, mark);
+        assert_eq!(image.rng_state, rng_state);
+        let original: Vec<_> = store
+            .iter_entries()
+            .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+            .collect();
+        assert_eq!(image.entries, original);
+        let rebuilt =
+            CoveringStore::from_entries(SubsumptionChecker::default(), image.entries).unwrap();
+        assert_eq!(rebuilt.active_len(), store.active_len());
+        assert_eq!(rebuilt.covered_len(), store.covered_len());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let schema = Schema::uniform(2, 0, 99);
+        let store = populated_store(&schema);
+        let bytes = encode(
+            &store,
+            &schema,
+            [1, 2, 3, 4],
+            WalMark {
+                covered_bytes: 0,
+                crc: 0,
+            },
+        );
+        // Bad magic.
+        assert!(decode(&bytes[1..], &schema).is_err());
+        // Flipped body byte (checksum catches it).
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(decode(&flipped, &schema).is_err());
+        // Truncated file.
+        assert!(decode(&bytes[..bytes.len() - 3], &schema).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_is_detected() {
+        let schema = Schema::uniform(2, 0, 99);
+        let other = Schema::uniform(3, 0, 99);
+        let store = populated_store(&schema);
+        let bytes = encode(
+            &store,
+            &schema,
+            [0; 4],
+            WalMark {
+                covered_bytes: 0,
+                crc: 0,
+            },
+        );
+        let err = decode(&bytes, &other).unwrap_err();
+        assert!(err.contains("different schema"), "{err}");
+    }
+}

@@ -1,13 +1,17 @@
-//! Client/server demo of the sharded pub/sub service.
+//! Client/server demo of the sharded pub/sub service — including a
+//! restart that proves subscriptions survive on disk.
 //!
-//! Starts a `ServiceServer` on a loopback port, drives it from a
-//! `ServiceClient` speaking the line-delimited JSON protocol, and prints
-//! the match results and the per-shard metrics — the bike-rental scenario
-//! of Table 1, served over TCP.
+//! Starts a `ServiceServer` with a temporary `data_dir`, drives it from a
+//! `ServiceClient` speaking the line-delimited JSON protocol (the
+//! bike-rental scenario of Table 1), then **stops the server mid-demo and
+//! boots a fresh one from the same directory**: the rebuilt shards serve
+//! the same match results without any client re-subscribing, courtesy of
+//! the per-shard write-ahead log + snapshots (`psc_service::storage`).
 //!
 //! Run with: `cargo run --release --example service_demo`
 
 use psc::model::{Publication, Schema, Subscription, SubscriptionId};
+use psc::service::storage::FsyncPolicy;
 use psc::service::{ServiceClient, ServiceConfig, ServiceServer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,16 +24,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .attribute("date", 0, 1_000_000)
         .build();
 
-    let server = ServiceServer::bind(
-        "127.0.0.1:0",
-        schema,
-        ServiceConfig {
-            shards: 4,
-            batch_size: 8,
-            ..Default::default()
-        },
-    )?;
-    println!("service listening on {}", server.local_addr());
+    let data_dir = std::env::temp_dir().join(format!("psc-service-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let config = ServiceConfig {
+        shards: 4,
+        batch_size: 8,
+        data_dir: Some(data_dir.clone()),
+        // Demo cadence: snapshot quickly so the restart exercises both
+        // snapshot restore and WAL replay. `fsync: Never` keeps the demo
+        // snappy; production would keep the `Always` default.
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 2,
+        ..Default::default()
+    };
+
+    let server = ServiceServer::bind("127.0.0.1:0", schema.clone(), config.clone())?;
+    println!(
+        "service listening on {} (data_dir: {})",
+        server.local_addr(),
+        data_dir.display()
+    );
 
     let mut client = ServiceClient::connect(server.local_addr())?;
     let (schema, shards) = client.hello()?;
@@ -77,7 +91,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .set("rpID", 825)
         .set("date", 66_185)
         .build()?;
-    println!("publish p1 -> matched {:?}", client.publish(&p1)?);
+    let before_restart = client.publish(&p1)?;
+    println!("publish p1 -> matched {before_restart:?}");
 
     // A publication outside every subscription's rpID window.
     let p2 = Publication::builder(&schema)
@@ -88,6 +103,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .set("date", 66_185)
         .build()?;
     println!("publish p2 -> matched {:?}", client.publish(&p2)?);
+
+    // Churn some short-lived subscriptions so every shard appends enough
+    // WAL records to cross `snapshot_every` and write a snapshot — the
+    // restart below then exercises snapshot restore *plus* replay of the
+    // post-snapshot log suffix, not just pure WAL replay.
+    for id in 100..112u64 {
+        let throwaway = Subscription::builder(&schema)
+            .range("bID", 0, 100 + id as i64)
+            .build()?;
+        client.subscribe(SubscriptionId(id), &throwaway)?;
+        client.flush()?;
+        client.unsubscribe(SubscriptionId(id))?;
+    }
+
+    // ---- Restart: stop the server, boot a new one from the same dir ----
+    drop(client);
+    server.stop();
+    let snapshotted = (0..4)
+        .filter(|i| {
+            data_dir
+                .join(format!("shard-{i}"))
+                .join("snapshot.bin")
+                .exists()
+        })
+        .count();
+    assert!(
+        snapshotted > 0,
+        "demo churn must have produced at least one shard snapshot"
+    );
+    println!(
+        "\nserver stopped ({snapshotted}/4 shards snapshotted); restarting from {}",
+        data_dir.display()
+    );
+    let server = ServiceServer::bind("127.0.0.1:0", schema.clone(), config)?;
+    let mut client = ServiceClient::connect(server.local_addr())?;
+
+    let recovered = client.stats()?.totals().subscriptions_recovered;
+    println!(
+        "rebooted on {} with {recovered} recovered subscriptions",
+        server.local_addr()
+    );
+    let after_restart = client.publish(&p1)?;
+    println!("publish p1 -> matched {after_restart:?} (no client re-subscribed)");
+    assert_eq!(
+        before_restart, after_restart,
+        "recovery must reproduce pre-restart match results"
+    );
+    assert_eq!(recovered, 3, "all three subscriptions survived the restart");
 
     // Unsubscribe the broad subscription: its suppressed child (narrow_b)
     // is promoted back to active matching, and narrow_a still matches p1
@@ -100,5 +163,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n{}", client.stats()?);
     server.stop();
+    std::fs::remove_dir_all(&data_dir)?;
     Ok(())
 }

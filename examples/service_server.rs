@@ -10,8 +10,10 @@
 //! $ printf '{"op":"hello"}\n' | nc 127.0.0.1 7878
 //! ```
 //!
-//! Usage: `service_server [addr] [shards] [max_conns] [idle_secs]`
-//! (`idle_secs` of 0 disables idle reaping, the default).
+//! Usage: `service_server [addr] [shards] [max_conns] [idle_secs] [data_dir]`
+//! (`idle_secs` of 0 disables idle reaping, the default; passing a
+//! `data_dir` makes the shard stores durable — kill the server, start it
+//! again on the same directory, and subscriptions survive).
 
 use psc::model::Schema;
 use psc::service::{ServiceConfig, ServiceServer};
@@ -27,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(ServiceConfig::default().max_connections);
     let idle_secs: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0);
+    let data_dir = args.next().map(std::path::PathBuf::from);
 
     // The bike-rental schema from Table 1 of the paper.
     let schema = Schema::builder()
@@ -41,12 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shards,
         max_connections,
         idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
+        data_dir: data_dir.clone(),
         ..Default::default()
     };
     let server = ServiceServer::bind(&addr, schema, config)?;
     println!(
         "psc-service listening on {} ({} shards, one reactor thread, \
-         max {} connections, idle timeout {}); Ctrl-C to stop",
+         max {} connections, idle timeout {}, storage {}); Ctrl-C to stop",
         server.local_addr(),
         shards,
         max_connections,
@@ -54,6 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{idle_secs}s")
         } else {
             "off".to_string()
+        },
+        match &data_dir {
+            Some(dir) => format!("durable at {}", dir.display()),
+            None => "in-memory".to_string(),
         },
     );
     loop {

@@ -47,6 +47,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use psc_broker as broker;
 pub use psc_core as core;

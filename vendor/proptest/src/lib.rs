@@ -182,7 +182,7 @@ tuple_strategy!(A, B, C, D, E, F, G, H);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length bounds for [`vec`].
+    /// Length bounds for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -217,7 +217,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

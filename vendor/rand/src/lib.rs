@@ -191,6 +191,26 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's internal state, for persistence.
+        ///
+        /// This is a vendor extension (the real `rand` crate exposes
+        /// serde-based state capture instead): the service layer's
+        /// snapshot files save the shard RNG alongside the store so that
+        /// replaying a write-ahead log after recovery consumes the exact
+        /// random stream the live shard would have, keeping probabilistic
+        /// subsumption decisions reproducible across restarts.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`state`](StdRng::state).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
