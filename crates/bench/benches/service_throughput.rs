@@ -14,7 +14,7 @@
 //! meaningless ~1.0x "speedup" that measures scheduling, not sharding.
 
 use criterion::{black_box, BenchmarkId, Criterion};
-use psc_bench::uniform_fixture;
+use psc_bench::{skewed_fixture, uniform_fixture};
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use psc_service::{FsyncPolicy, PubSubService, ServiceConfig};
 use std::path::PathBuf;
@@ -185,10 +185,102 @@ fn durability_report(test_mode: bool) {
     let _ = std::fs::remove_dir_all(&data_dir);
 }
 
+/// Shard visits vs prunes per workload scenario at 8 shards — the
+/// content-aware-routing report.
+///
+/// Unlike the speedup report, this one is meaningful on any host: pruning
+/// is a *routing* property (how many shard visits the per-shard
+/// attribute-space summaries eliminate), measured from the service's own
+/// counters, not from timing. The routed/fan-out-all throughput pair is
+/// printed for context and is timing (CPU-sensitive); the visit counts
+/// are deterministic per fixture seed.
+fn fanout_report(test_mode: bool) {
+    const SHARDS: usize = 8;
+    let (n_subs, n_pubs) = if test_mode {
+        (400, 64)
+    } else {
+        (SUBSCRIPTIONS, PUBLICATIONS)
+    };
+    println!(
+        "\nfan-out report: {SHARDS} shards, {n_subs} subscriptions, \
+         {n_pubs} publications per round"
+    );
+    type Fixture = (Schema, Vec<Subscription>, Vec<Publication>);
+    let scenarios: [(&str, Fixture); 2] = [
+        (
+            "uniform",
+            uniform_fixture(ATTRIBUTES, n_subs, n_pubs, MAX_WIDTH, 0xFA17),
+        ),
+        (
+            "skewed ",
+            skewed_fixture(ATTRIBUTES, n_subs, n_pubs, MAX_WIDTH, 0xFA17),
+        ),
+    ];
+    let mut skewed_pruned_pct = 0.0;
+    for (label, (schema, subs, pubs)) in &scenarios {
+        let mut rates = Vec::new();
+        let mut pruned = 0u64;
+        for routing_enabled in [false, true] {
+            let service = PubSubService::start(
+                schema.clone(),
+                ServiceConfig {
+                    shards: SHARDS,
+                    batch_size: 64,
+                    routing_enabled,
+                    ..Default::default()
+                },
+            );
+            for (i, s) in subs.iter().enumerate() {
+                service
+                    .subscribe(SubscriptionId(i as u64), s.clone())
+                    .expect("subscribe fixture");
+            }
+            let _ = service.metrics(); // barrier: admissions + summaries applied
+            let _ = service.publish_batch(pubs).expect("publish"); // warm-up
+            let rounds = if test_mode { 1 } else { 3 };
+            let start = Instant::now();
+            for _ in 0..rounds {
+                black_box(service.publish_batch(pubs).expect("publish"));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            rates.push((rounds * pubs.len()) as f64 / elapsed);
+            if routing_enabled {
+                // Visit accounting for exactly one round (the counters
+                // accumulated over warm-up + timed rounds).
+                let total = service.metrics().totals().shards_pruned;
+                pruned = total / (rounds as u64 + 1);
+            }
+        }
+        let possible = (pubs.len() * SHARDS) as u64;
+        let visited = possible - pruned;
+        let pruned_pct = 100.0 * pruned as f64 / possible as f64;
+        if label.trim() == "skewed" {
+            skewed_pruned_pct = pruned_pct;
+        }
+        println!(
+            "  scenario={label} shard visits: {visited:>5}/{possible} \
+             pruned: {pruned:>5} ({pruned_pct:>5.1}%)   \
+             routed {:>10.0} pubs/s vs fan-out-all {:>10.0} pubs/s ({:.2}x)",
+            rates[1],
+            rates[0],
+            rates[1] / rates[0],
+        );
+    }
+    println!(
+        "  acceptance: skewed workload prunes {skewed_pruned_pct:.1}% of shard visits \
+         at {SHARDS} shards (bar: >= 30%)"
+    );
+    assert!(
+        skewed_pruned_pct >= 30.0,
+        "content-aware routing must prune >= 30% of shard visits on the skewed workload"
+    );
+}
+
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
     let mut criterion = Criterion::default();
     bench_publish(&mut criterion);
     throughput_report(test_mode);
     durability_report(test_mode);
+    fanout_report(test_mode);
 }

@@ -93,6 +93,60 @@ pub fn uniform_fixture(
     (schema, subscriptions, publications)
 }
 
+/// Number of hot "topics" the skewed workload's subscribers concentrate
+/// on (point constraints on attribute `x0`).
+pub const SKEWED_HOT_TOPICS: usize = 24;
+
+/// A topic-skewed workload for content-aware routing benchmarks.
+///
+/// Subscribers concentrate on [`SKEWED_HOT_TOPICS`] discrete "topics":
+/// each subscription pins `x0` to one hot topic value (spread across the
+/// `[0, 999]` domain) and constrains the remaining attributes with
+/// uniform ranges like [`uniform_fixture`]. Publications split 50/50:
+/// half land on a hot topic (these have subscribers and fan out widely),
+/// half draw `x0` uniformly from the whole domain (mostly topics nobody
+/// subscribed to — the classic pub/sub long tail). A shard's per-
+/// attribute value set over `x0` then prunes most long-tail publications
+/// outright, which is the effect the `service_throughput` fan-out report
+/// measures.
+pub fn skewed_fixture(
+    m: usize,
+    subs: usize,
+    pubs: usize,
+    max_width: i64,
+    seed: u64,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    assert!(m >= 2, "skewed fixture needs a topic attribute plus one");
+    let schema = Schema::uniform(m, 0, 999);
+    let mut rng = seeded_rng(seed);
+    let topic = |i: usize| 20 + 41 * i as i64; // 24 topics over [20, 963]
+    let subscriptions = (0..subs)
+        .map(|_| {
+            let hot = topic(rng.gen_range(0usize..SKEWED_HOT_TOPICS));
+            let mut ranges = vec![Range::point(hot)];
+            ranges.extend((1..m).map(|_| {
+                let lo = rng.gen_range(0i64..=999);
+                let width = rng.gen_range(0i64..=max_width);
+                Range::new(lo, (lo + width).min(999)).expect("ordered bounds")
+            }));
+            Subscription::from_ranges(&schema, ranges).expect("within domain")
+        })
+        .collect();
+    let publications = (0..pubs)
+        .map(|i| {
+            let x0 = if i % 2 == 0 {
+                topic(rng.gen_range(0usize..SKEWED_HOT_TOPICS))
+            } else {
+                rng.gen_range(0i64..=999)
+            };
+            let mut values = vec![x0];
+            values.extend((1..m).map(|_| rng.gen_range(0i64..=999)));
+            Publication::from_values(&schema, values).expect("within domain")
+        })
+        .collect();
+    (schema, subscriptions, publications)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +177,17 @@ mod tests {
         assert_eq!(pubs.len(), 5);
         let (_, subs2, _) = uniform_fixture(4, 30, 5, 300, 7);
         assert_eq!(subs, subs2, "fixture is deterministic per seed");
+
+        let (schema, subs, pubs) = skewed_fixture(4, 40, 10, 250, 9);
+        assert_eq!(schema.len(), 4);
+        assert_eq!(subs.len(), 40);
+        assert_eq!(pubs.len(), 10);
+        for s in &subs {
+            let r = s.ranges()[0];
+            assert_eq!(r.lo(), r.hi(), "topic attribute is a point");
+            assert_eq!((r.lo() - 20) % 41, 0, "topic drawn from the hot set");
+        }
+        let (_, subs2, _) = skewed_fixture(4, 40, 10, 250, 9);
+        assert_eq!(subs, subs2, "skewed fixture is deterministic per seed");
     }
 }

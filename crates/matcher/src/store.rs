@@ -21,7 +21,7 @@
 //! the rest are promoted to active.
 
 use psc_core::{CoverAnswer, DecisionStage, SubsumptionChecker};
-use psc_model::{Publication, Subscription, SubscriptionId};
+use psc_model::{Publication, Range, Subscription, SubscriptionId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -418,6 +418,45 @@ impl CoveringStore {
         matched
     }
 
+    /// Iterates the per-attribute bounds (`&[Range]`, schema order) of
+    /// every stored subscription — active **and** covered.
+    ///
+    /// Covered subscriptions still belong to subscribers and still match
+    /// publications (phase 2 of Algorithm 5), so any conservative summary
+    /// of "what this store could possibly match" — e.g. the per-shard
+    /// attribute-space summaries content-aware routing builds
+    /// (`psc_service::routing`) — must fold in the covered pool too. This
+    /// accessor exposes exactly that: the raw rectangle bounds, without
+    /// cloning subscriptions or revealing the active/covered split.
+    ///
+    /// # Example
+    /// ```
+    /// use psc_matcher::CoveringStore;
+    /// use psc_core::SubsumptionChecker;
+    /// use psc_model::{Schema, Subscription, SubscriptionId};
+    /// use rand::SeedableRng;
+    ///
+    /// let schema = Schema::uniform(1, 0, 99);
+    /// let mut store = CoveringStore::new(SubsumptionChecker::default());
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let wide = Subscription::builder(&schema).range("x0", 10, 60).build()?;
+    /// let narrow = Subscription::builder(&schema).range("x0", 20, 30).build()?;
+    /// store.insert(SubscriptionId(1), wide, &mut rng);
+    /// store.insert(SubscriptionId(2), narrow, &mut rng); // parked as covered
+    ///
+    /// // Both rectangles appear, covered or not: a summary built from
+    /// // these bounds can never prune a publication the store matches.
+    /// let lows: Vec<i64> = store.iter_bounds().map(|r| r[0].lo()).collect();
+    /// assert_eq!(lows, vec![10, 20]);
+    /// # Ok::<(), psc_model::ModelError>(())
+    /// ```
+    pub fn iter_bounds(&self) -> impl Iterator<Item = &[Range]> + '_ {
+        self.active_subs
+            .iter()
+            .map(|s| s.ranges())
+            .chain(self.covered.iter().map(|e| e.sub.ranges()))
+    }
+
     /// Iterates every stored entry in the store's internal order — actives
     /// first (column order), then the covered pool — as
     /// `(id, subscription, parents)`, where `None` parents means active.
@@ -427,6 +466,28 @@ impl CoveringStore {
     /// store *exactly* (same columns, same order, same parent links), so a
     /// store rebuilt from a snapshot behaves identically to the original —
     /// including which covered entries each publication probe skips.
+    ///
+    /// # Example
+    /// ```
+    /// use psc_matcher::CoveringStore;
+    /// use psc_core::SubsumptionChecker;
+    /// use psc_model::{Schema, Subscription, SubscriptionId};
+    /// use rand::SeedableRng;
+    ///
+    /// let schema = Schema::uniform(1, 0, 99);
+    /// let mut store = CoveringStore::new(SubsumptionChecker::default());
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let wide = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+    /// let narrow = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+    /// store.insert(SubscriptionId(1), wide, &mut rng);
+    /// store.insert(SubscriptionId(2), narrow, &mut rng);
+    ///
+    /// let entries: Vec<_> = store.iter_entries().collect();
+    /// assert_eq!(entries.len(), 2);
+    /// assert!(entries[0].2.is_none(), "wide entry is active (no parents)");
+    /// assert!(entries[1].2.is_some(), "narrow entry is covered");
+    /// # Ok::<(), psc_model::ModelError>(())
+    /// ```
     pub fn iter_entries(
         &self,
     ) -> impl Iterator<Item = (SubscriptionId, &Subscription, Option<&CoverParents>)> + '_ {
@@ -449,6 +510,38 @@ impl CoveringStore {
     /// Entries with `None` parents become the active columns in input
     /// order; the rest rebuild the covered pool. The image is validated:
     /// ids must be unique and every pairwise parent must be active.
+    ///
+    /// # Example
+    /// ```
+    /// use psc_matcher::CoveringStore;
+    /// use psc_core::SubsumptionChecker;
+    /// use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+    /// use rand::SeedableRng;
+    ///
+    /// let schema = Schema::uniform(1, 0, 99);
+    /// let mut store = CoveringStore::new(SubsumptionChecker::default());
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let wide = Subscription::builder(&schema).range("x0", 0, 50).build()?;
+    /// let narrow = Subscription::builder(&schema).range("x0", 10, 20).build()?;
+    /// store.insert(SubscriptionId(1), wide, &mut rng);
+    /// store.insert(SubscriptionId(2), narrow, &mut rng);
+    ///
+    /// // Export the exact image and rebuild — no subsumption checks run.
+    /// let image: Vec<_> = store
+    ///     .iter_entries()
+    ///     .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+    ///     .collect();
+    /// let mut rebuilt = CoveringStore::from_entries(SubsumptionChecker::default(), image)?;
+    /// assert_eq!(rebuilt.active_len(), 1);
+    /// assert_eq!(rebuilt.covered_len(), 1);
+    ///
+    /// let p = Publication::builder(&schema).set("x0", 15).build().unwrap();
+    /// assert_eq!(
+    ///     rebuilt.match_publication(&p),
+    ///     vec![SubscriptionId(1), SubscriptionId(2)],
+    /// );
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn from_entries(
         checker: SubsumptionChecker,
         entries: Vec<(SubscriptionId, Subscription, Option<CoverParents>)>,

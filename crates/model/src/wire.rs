@@ -9,7 +9,10 @@
 //!
 //! - [`SubscriptionDto`] — `{"id": 7, "ranges": [[lo, hi], ...]}`;
 //! - [`PublicationDto`] — `{"values": [v0, v1, ...]}`;
-//! - [`SchemaDto`] — `[["name", lo, hi], ...]`.
+//! - [`SchemaDto`] — `[["name", lo, hi], ...]`;
+//! - [`SummaryStats`] — per-shard routing-summary counters flattened into
+//!   `stats` shard objects (`summary_epoch` / `summary_rebuilds` /
+//!   `summary_staleness`).
 //!
 //! Transport framing is incremental: [`LineFramer`] turns arbitrary byte
 //! chunks (as delivered by non-blocking socket reads) into newline-framed
@@ -814,6 +817,72 @@ impl SchemaDto {
             })
             .collect::<Result<Vec<_>, WireError>>()?;
         Ok(SchemaDto { attributes })
+    }
+}
+
+/// Wire shape of a shard's routing-summary health, carried inside each
+/// shard object of a `stats` response.
+///
+/// Content-aware routing keeps a conservative attribute-space summary per
+/// shard (see `psc_service::routing`); these counters let an operator see
+/// how fresh and how well-tightened each shard's summary is:
+///
+/// - `epoch` — the summary cell's seqlock epoch. It advances by 2 per
+///   published snapshot (odd values are transient writer states), so
+///   `epoch / 2` counts the snapshots published since boot. Snapshots
+///   follow admission batches and unsubscriptions; publication matching
+///   never republishes the cell.
+/// - `rebuilds` — full rebuilds of the summary from the shard's store:
+///   one at recovery, plus one per staleness-triggered re-tightening.
+/// - `staleness` — unsubscriptions applied since the last rebuild. The
+///   summary stays *conservative* regardless (removals only over-widen
+///   it); staleness measures lost pruning power, not lost correctness.
+///
+/// On the wire the three counters flatten into the shard metrics object as
+/// `summary_epoch`, `summary_rebuilds`, and `summary_staleness`. Decoding
+/// tolerates their absence (a pre-routing peer) by defaulting to zero.
+///
+/// # Example
+/// ```
+/// use psc_model::wire::{Json, SummaryStats};
+///
+/// let stats = SummaryStats { epoch: 12, rebuilds: 1, staleness: 3 };
+/// let shard_obj = Json::Obj(stats.to_json_fields());
+/// assert_eq!(SummaryStats::from_json(&shard_obj), stats);
+/// // Pre-routing peers simply omit the keys; decode defaults to zero.
+/// assert_eq!(SummaryStats::from_json(&Json::obj([])), SummaryStats::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SummaryStats {
+    /// Seqlock epoch of the shard's published summary (2 per snapshot).
+    pub epoch: u64,
+    /// Full summary rebuilds from the store (recovery + re-tightenings).
+    pub rebuilds: u64,
+    /// Unsubscriptions absorbed since the last rebuild (bounded by the
+    /// service's re-tighten knob).
+    pub staleness: u64,
+}
+
+impl SummaryStats {
+    /// Encodes as the flat key/value pairs spliced into a shard metrics
+    /// object (`summary_epoch`, `summary_rebuilds`, `summary_staleness`).
+    pub fn to_json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("summary_epoch".to_string(), Json::UInt(self.epoch)),
+            ("summary_rebuilds".to_string(), Json::UInt(self.rebuilds)),
+            ("summary_staleness".to_string(), Json::UInt(self.staleness)),
+        ]
+    }
+
+    /// Decodes from a shard metrics object, defaulting each missing key to
+    /// zero so stats from pre-routing peers still parse.
+    pub fn from_json(value: &Json) -> Self {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        SummaryStats {
+            epoch: field("summary_epoch"),
+            rebuilds: field("summary_rebuilds"),
+            staleness: field("summary_staleness"),
+        }
     }
 }
 

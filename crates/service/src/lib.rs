@@ -43,8 +43,15 @@
 //!   batches; the store admits widest-first within a batch, maximizing the
 //!   paper's covered/uncovered suppression.
 //! - **Fan-out matching** — `publish` (and the amortized `publish_batch`)
-//!   sends the publication set to every shard and merges the per-shard
-//!   match sets into one ascending id list.
+//!   sends the publication set to the shards that might match it and
+//!   merges the per-shard match sets into one ascending id list.
+//! - **Content-aware routing** — each shard maintains a conservative
+//!   attribute-space summary of its live population ([`routing`]):
+//!   per-attribute interval/value-set bounds plus a presence filter over
+//!   constrained attributes, published through a lock-free versioned
+//!   epoch cell. The publish path consults the summaries and skips
+//!   shards that provably cannot match (false positives allowed, false
+//!   negatives impossible), cutting fan-out cost at high shard counts.
 //! - **Metrics** — per-shard ingest/suppression/probe counters
 //!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate;
 //!   [`ReactorMetrics`] covers the serving edge (connections, slow-
@@ -73,6 +80,7 @@
 pub mod client;
 pub mod metrics;
 pub mod reactor;
+pub mod routing;
 pub mod server;
 pub mod service;
 pub mod storage;

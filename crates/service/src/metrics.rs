@@ -5,7 +5,7 @@
 //! lock on the hot path. [`ServiceMetrics`] is the merged view a `stats`
 //! wire request returns.
 
-use psc_model::wire::{Json, WireError};
+use psc_model::wire::{Json, SummaryStats, WireError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
@@ -39,9 +39,19 @@ pub struct ShardMetrics {
     /// anything larger indicates mid-log damage whose later records were
     /// lost with it.
     pub wal_truncated_bytes: u64,
-    /// Publications matched by this shard. Publications fan out to every
-    /// shard, so in aggregates this merges by max, not sum.
+    /// Publications matched by this shard. Without content-aware routing
+    /// every shard observes every publication, so aggregates merge this
+    /// by max, not sum; with routing enabled, pruned publishes never
+    /// reach the shard, so the max is the *busiest* shard's count and may
+    /// undercount total publishes.
     pub publications_processed: u64,
+    /// Publish fan-outs that skipped this shard because its routing
+    /// summary proved nothing here could match (router-side counter; sums
+    /// across shards in aggregates).
+    pub shards_pruned: u64,
+    /// Routing-summary health: epoch of the published snapshot, full
+    /// rebuilds, and unsubscriptions absorbed since the last rebuild.
+    pub summary: SummaryStats,
     /// Local subscription matches produced across all publications.
     pub notifications: u64,
     /// Currently active (uncovered) subscriptions.
@@ -81,7 +91,7 @@ impl ShardMetrics {
 
     /// Encodes as a JSON object for the wire `stats` response.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(String, Json)> = [
             ("ingested", Json::UInt(self.subscriptions_ingested)),
             ("suppressed", Json::UInt(self.subscriptions_suppressed)),
             ("rejected", Json::UInt(self.subscriptions_rejected)),
@@ -93,6 +103,7 @@ impl ShardMetrics {
             ("storage_errors", Json::UInt(self.storage_errors)),
             ("wal_truncated", Json::UInt(self.wal_truncated_bytes)),
             ("publications", Json::UInt(self.publications_processed)),
+            ("shards_pruned", Json::UInt(self.shards_pruned)),
             ("notifications", Json::UInt(self.notifications)),
             ("active", Json::UInt(self.active_subscriptions)),
             ("covered", Json::UInt(self.covered_subscriptions)),
@@ -106,7 +117,13 @@ impl ShardMetrics {
             ("uptime_secs", Json::Float(self.uptime_secs)),
             ("suppression_ratio", Json::Float(self.suppression_ratio())),
             ("ingest_rate", Json::Float(self.ingest_rate())),
-        ])
+        ]
+        .map(|(key, value)| (key.to_string(), value))
+        .into();
+        // The routing-summary counters flatten into the same object
+        // (`summary_epoch` / `summary_rebuilds` / `summary_staleness`).
+        pairs.extend(self.summary.to_json_fields());
+        Json::Obj(pairs)
     }
 
     /// Decodes from the wire `stats` response.
@@ -129,6 +146,13 @@ impl ShardMetrics {
             storage_errors: field("storage_errors")?,
             wal_truncated_bytes: field("wal_truncated")?,
             publications_processed: field("publications")?,
+            // Routing keys are absent from pre-routing peers' stats;
+            // default to zero rather than failing the whole scrape.
+            shards_pruned: value
+                .get("shards_pruned")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            summary: SummaryStats::from_json(value),
             notifications: field("notifications")?,
             active_subscriptions: field("active")?,
             covered_subscriptions: field("covered")?,
@@ -156,9 +180,16 @@ impl AddAssign for ShardMetrics {
         self.snapshots_written += rhs.snapshots_written;
         self.storage_errors += rhs.storage_errors;
         self.wal_truncated_bytes += rhs.wal_truncated_bytes;
-        // Every publication fans out to every shard, so summing would count
-        // each publication once per shard; like uptime, take the max.
+        // Every visited shard observes the publication, so summing would
+        // count it once per shard; like uptime, take the max (with routing
+        // enabled this is the busiest shard's count).
         self.publications_processed = self.publications_processed.max(rhs.publications_processed);
+        self.shards_pruned += rhs.shards_pruned;
+        // Epochs advance independently per shard: report the most-advanced
+        // one; rebuilds and staleness sum like other counters.
+        self.summary.epoch = self.summary.epoch.max(rhs.summary.epoch);
+        self.summary.rebuilds += rhs.summary.rebuilds;
+        self.summary.staleness += rhs.summary.staleness;
         self.notifications += rhs.notifications;
         self.active_subscriptions += rhs.active_subscriptions;
         self.covered_subscriptions += rhs.covered_subscriptions;
@@ -338,6 +369,12 @@ mod tests {
             storage_errors: 0,
             wal_truncated_bytes: 3 * i,
             publications_processed: 5 * i,
+            shards_pruned: 8 * i,
+            summary: SummaryStats {
+                epoch: 12 * i,
+                rebuilds: i,
+                staleness: 2 * i,
+            },
             notifications: 7 * i,
             active_subscriptions: 3 * i,
             covered_subscriptions: 4 * i,
@@ -369,6 +406,11 @@ mod tests {
         // Fan-out counters merge by max: every shard saw all publications.
         assert_eq!(t.publications_processed, 15);
         assert_eq!(t.uptime_secs, 3.0);
+        // Router-side prunes sum; summary epochs merge by max.
+        assert_eq!(t.shards_pruned, 32);
+        assert_eq!(t.summary.epoch, 36);
+        assert_eq!(t.summary.rebuilds, 4);
+        assert_eq!(t.summary.staleness, 8);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! The versioned epoch snapshot a shard publishes its summary through.
+//!
+//! One [`SummaryCell`] per shard is shared between the shard worker (the
+//! only writer) and the router (any number of readers on the publish
+//! path). The cell is a *seqlock* over a fixed layout of plain atomics:
+//!
+//! - the writer bumps the epoch to an **odd** value, stores every field,
+//!   then bumps it to the next **even** value (release-ordered);
+//! - a reader snapshots the epoch, copies the fields, and accepts the
+//!   copy only if the epoch is even and unchanged — otherwise it retries.
+//!
+//! Readers take no lock and never block the writer; the writer never
+//! waits for readers. Because every field is an individual atomic, a torn
+//! read is merely *detected and retried*, never undefined behavior — the
+//! whole scheme is safe code. A reader that exhausts its retry budget
+//! (writer mid-publish for pathologically long) returns `None`, which the
+//! router treats as "no information: visit the shard" — contention can
+//! only cost a wasted visit, never a wrong prune.
+//!
+//! The cell also carries `applied_batches`, the number of admission
+//! batches the shard has folded into the published summary. The router
+//! compares it against the count of batches it has *sent* to decide which
+//! in-flight batch summaries must still be merged on top (see
+//! `PubSubService`): a publication enqueued behind an admission batch is
+//! guaranteed (FIFO) to observe the batch in the store, so the routing
+//! decision must account for it even though the cell may not yet.
+//!
+//! # Example
+//! ```
+//! use psc_model::{Publication, Schema, Subscription};
+//! use psc_service::routing::{ShardSummary, SummaryCell};
+//!
+//! let schema = Schema::uniform(1, 0, 99);
+//! let cell = SummaryCell::new(schema.len());
+//! assert!(cell.read().is_none(), "nothing published yet: caller must visit");
+//!
+//! let mut summary = ShardSummary::empty(schema.len());
+//! summary.widen(&Subscription::builder(&schema).range("x0", 10, 20).build()?);
+//! cell.publish(&summary, 1);
+//!
+//! let view = cell.read().expect("published");
+//! assert_eq!(view.applied_batches, 1);
+//! assert_eq!(view.summary, summary);
+//! let p = Publication::builder(&schema).set("x0", 50).build()?;
+//! assert!(!view.summary.may_match(&p));
+//! # Ok::<(), psc_model::ModelError>(())
+//! ```
+
+use super::{AttrSummary, ShardSummary, VALUE_SET_CAP};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// `set_len` sentinel: the attribute has no exact value set.
+const NO_VALUE_SET: u64 = u64::MAX;
+
+/// `subscriptions` sentinel: nothing was ever published.
+const NEVER_PUBLISHED: u64 = u64::MAX;
+
+/// Retries before a reader gives up and reports "no information".
+const READ_RETRIES: usize = 64;
+
+struct AttrSlot {
+    lo: AtomicI64,
+    hi: AtomicI64,
+    set_len: AtomicU64,
+    set: [AtomicI64; VALUE_SET_CAP],
+}
+
+impl AttrSlot {
+    fn new() -> Self {
+        AttrSlot {
+            lo: AtomicI64::new(0),
+            hi: AtomicI64::new(0),
+            set_len: AtomicU64::new(NO_VALUE_SET),
+            set: std::array::from_fn(|_| AtomicI64::new(0)),
+        }
+    }
+}
+
+/// A decoded, consistent snapshot returned by [`SummaryCell::read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryView {
+    /// The shard's summary as of the snapshot.
+    pub summary: ShardSummary,
+    /// Admission batches folded into `summary` (the freshness handshake).
+    pub applied_batches: u64,
+    /// The (even) epoch the snapshot was taken at; advances by 2 per
+    /// [`publish`](SummaryCell::publish) call.
+    pub epoch: u64,
+}
+
+/// Single-writer, many-reader seqlock cell publishing one shard's
+/// [`ShardSummary`]. See the [module docs](self) for the protocol.
+pub struct SummaryCell {
+    epoch: AtomicU64,
+    subscriptions: AtomicU64,
+    constrained: AtomicU64,
+    applied_batches: AtomicU64,
+    attrs: Vec<AttrSlot>,
+}
+
+impl SummaryCell {
+    /// An unpublished cell for a shard over `arity` attributes. Until the
+    /// first [`publish`](SummaryCell::publish), [`read`](SummaryCell::read)
+    /// returns `None` and callers must assume the shard can match
+    /// anything.
+    pub fn new(arity: usize) -> Self {
+        SummaryCell {
+            epoch: AtomicU64::new(0),
+            subscriptions: AtomicU64::new(NEVER_PUBLISHED),
+            constrained: AtomicU64::new(0),
+            applied_batches: AtomicU64::new(0),
+            attrs: (0..arity).map(|_| AttrSlot::new()).collect(),
+        }
+    }
+
+    /// The current epoch (even between publishes; odd only transiently
+    /// while the single writer is mid-store).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes a new snapshot. **Single writer only** — the owning
+    /// shard worker thread; concurrent writers would corrupt the seqlock
+    /// discipline (readers stay safe, but could retry forever).
+    ///
+    /// # Panics
+    /// Panics if the summary's arity differs from the cell's.
+    pub fn publish(&self, summary: &ShardSummary, applied_batches: u64) {
+        assert_eq!(summary.attrs.len(), self.attrs.len(), "cell arity mismatch");
+        let start = self.epoch.load(Ordering::Relaxed);
+        debug_assert_eq!(start % 2, 0, "single writer: epoch even between publishes");
+        // Odd epoch: readers that race with the stores below will retry.
+        // The release fence orders the odd store *before* the data stores
+        // — a plain release store would only order what precedes it, so
+        // the relaxed stores below could become visible first and a
+        // reader could accept a torn snapshot with a stable-looking
+        // epoch.
+        self.epoch.store(start.wrapping_add(1), Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        self.subscriptions
+            .store(summary.subscriptions, Ordering::Relaxed);
+        self.constrained
+            .store(summary.constrained, Ordering::Relaxed);
+        self.applied_batches
+            .store(applied_batches, Ordering::Relaxed);
+        for (slot, attr) in self.attrs.iter().zip(&summary.attrs) {
+            slot.lo.store(attr.lo, Ordering::Relaxed);
+            slot.hi.store(attr.hi, Ordering::Relaxed);
+            match &attr.values {
+                None => slot.set_len.store(NO_VALUE_SET, Ordering::Relaxed),
+                Some(values) => {
+                    debug_assert!(values.len() <= VALUE_SET_CAP);
+                    for (cell, &v) in slot.set.iter().zip(values) {
+                        cell.store(v, Ordering::Relaxed);
+                    }
+                    slot.set_len.store(values.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        // Even epoch again; the release store publishes every field above.
+        self.epoch.store(start.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Takes a consistent snapshot, or `None` when the cell was never
+    /// published **or** the retry budget ran out mid-write — both mean
+    /// "no usable information; treat the shard as possibly matching".
+    pub fn read(&self) -> Option<SummaryView> {
+        for _ in 0..READ_RETRIES {
+            let before = self.epoch.load(Ordering::Acquire);
+            if !before.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let subscriptions = self.subscriptions.load(Ordering::Relaxed);
+            let constrained = self.constrained.load(Ordering::Relaxed);
+            let applied_batches = self.applied_batches.load(Ordering::Relaxed);
+            let attrs: Vec<AttrSummary> = self
+                .attrs
+                .iter()
+                .map(|slot| {
+                    let set_len = slot.set_len.load(Ordering::Relaxed);
+                    let values = if set_len == NO_VALUE_SET {
+                        None
+                    } else {
+                        let len = (set_len as usize).min(VALUE_SET_CAP);
+                        Some(
+                            slot.set[..len]
+                                .iter()
+                                .map(|v| v.load(Ordering::Relaxed))
+                                .collect(),
+                        )
+                    };
+                    AttrSummary {
+                        lo: slot.lo.load(Ordering::Relaxed),
+                        hi: slot.hi.load(Ordering::Relaxed),
+                        values,
+                    }
+                })
+                .collect();
+            // Acquire fence pairs with the writer's final release store: if
+            // the epoch still matches, every field load above happened
+            // within one stable window.
+            std::sync::atomic::fence(Ordering::Acquire);
+            let after = self.epoch.load(Ordering::Relaxed);
+            if before != after {
+                std::hint::spin_loop();
+                continue;
+            }
+            if subscriptions == NEVER_PUBLISHED {
+                return None;
+            }
+            return Some(SummaryView {
+                summary: ShardSummary {
+                    subscriptions,
+                    constrained,
+                    attrs,
+                },
+                applied_batches,
+                epoch: after,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::{Range, Schema, Subscription};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 999)
+    }
+
+    type RangePair = ((i64, i64), (i64, i64));
+
+    fn summary_of(schema: &Schema, ranges: &[RangePair]) -> ShardSummary {
+        let mut s = ShardSummary::empty(schema.len());
+        for ((lo0, hi0), (lo1, hi1)) in ranges {
+            let sub = Subscription::from_ranges(
+                schema,
+                vec![
+                    Range::new(*lo0, *hi0).unwrap(),
+                    Range::new(*lo1, *hi1).unwrap(),
+                ],
+            )
+            .unwrap();
+            s.widen(&sub);
+        }
+        s
+    }
+
+    #[test]
+    fn unpublished_cell_reads_none() {
+        assert!(SummaryCell::new(3).read().is_none());
+    }
+
+    #[test]
+    fn publish_read_round_trips_exactly() {
+        let schema = schema();
+        let cell = SummaryCell::new(schema.len());
+        let summary = summary_of(&schema, &[((10, 20), (0, 999)), ((42, 42), (5, 7))]);
+        cell.publish(&summary, 3);
+        let view = cell.read().expect("published");
+        assert_eq!(view.summary, summary);
+        assert_eq!(view.applied_batches, 3);
+        assert_eq!(view.epoch, 2);
+
+        // A second publish advances the epoch and replaces the snapshot.
+        let tighter = summary_of(&schema, &[((42, 42), (5, 7))]);
+        cell.publish(&tighter, 4);
+        let view = cell.read().expect("published");
+        assert_eq!(view.summary, tighter);
+        assert_eq!(view.epoch, 4);
+    }
+
+    #[test]
+    fn empty_summary_round_trips_as_published() {
+        let schema = schema();
+        let cell = SummaryCell::new(schema.len());
+        cell.publish(&ShardSummary::empty(schema.len()), 0);
+        let view = cell.read().expect("an empty summary is information");
+        assert_eq!(view.summary.subscriptions(), 0);
+    }
+
+    /// Hammer the seqlock: one writer republishing *internally coherent*
+    /// summaries, readers asserting every snapshot is one of them — a
+    /// torn mix would produce a summary matching neither.
+    #[test]
+    fn concurrent_reads_never_observe_torn_snapshots() {
+        let schema = schema();
+        let cell = Arc::new(SummaryCell::new(schema.len()));
+        let a = summary_of(&schema, &[((10, 20), (100, 200))]);
+        let b = summary_of(&schema, &[((500, 600), (700, 800)), ((900, 910), (0, 3))]);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let (a, b) = (a.clone(), b.clone());
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = if i.is_multiple_of(2) { &a } else { &b };
+                    cell.publish(s, i);
+                    i += 1;
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let (a, b) = (a.clone(), b.clone());
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while seen < 10_000 && !stop.load(Ordering::Relaxed) {
+                        if let Some(view) = cell.read() {
+                            assert!(
+                                view.summary == a || view.summary == b,
+                                "torn snapshot: {:?}",
+                                view.summary
+                            );
+                            assert_eq!(view.epoch % 2, 0);
+                            seen += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,474 @@
+//! Content-aware publish routing: per-shard attribute-space summaries.
+//!
+//! The paper's core trick — cheap conservative tests that prove a
+//! subscription set *cannot* match — applies one level above the shard
+//! too: a publication need not visit a shard whose entire subscription
+//! population provably cannot match it. Each shard worker maintains a
+//! [`ShardSummary`] of its live population (active **and** covered — both
+//! match publications) and publishes it to the router through a
+//! [`SummaryCell`], a versioned epoch snapshot the fan-out path reads
+//! lock-free. The router consults the summaries in `publish`/
+//! `publish_batch` and skips shards that provably cannot match.
+//!
+//! ## The summary
+//!
+//! A [`ShardSummary`] holds, per schema attribute:
+//!
+//! - an **interval bound** `[lo, hi]` — the union of every stored
+//!   subscription's range on that attribute. A publication value outside
+//!   it cannot satisfy any subscription on the shard.
+//! - optionally an exact **value set** — when every stored range on the
+//!   attribute is narrow (≤ [`VALUE_SET_CAP`] points) and their union
+//!   stays within [`VALUE_SET_CAP`] distinct values, the summary keeps
+//!   the union itself. This is what makes routing effective for
+//!   topic-like attributes: a shard subscribed to 20 "topics" out of a
+//!   domain of thousands rejects most publications outright, where the
+//!   interval `[min topic, max topic]` would reject almost none.
+//!
+//! plus a small Bloom-style presence filter over *constrained* attribute
+//! indices (attributes some subscription restricts below its full
+//! domain). An attribute absent from the filter is provably
+//! unconstrained on this shard, so its per-attribute check is skipped.
+//! The filter is insertion-exact (no false negatives); for schemas wider
+//! than 64 attributes, indices fold onto 64 bits, which can only cause
+//! false *presence* — a wasted check, never a wrong prune.
+//!
+//! ## The conservatism invariant
+//!
+//! For every publication `p` and every subscription `s` stored on the
+//! shard when the summary was built (or any time since an entry was
+//! *removed* — see staleness below):
+//!
+//! > `s.matches(p)` ⟹ `summary.may_match(p)`
+//!
+//! False positives (visiting a shard that matches nothing) cost a wasted
+//! fan-out; false negatives (pruning a shard that would have matched)
+//! would lose notifications and are **impossible by construction**:
+//! admissions widen the summary before the shard confirms them applied,
+//! removals never narrow it, and every widening unions — it never
+//! replaces. The property test in this module enforces the invariant
+//! against the naive matcher; `tests/service_routing.rs` enforces the
+//! end-to-end corollary (routed results ≡ all-shard fan-out).
+//!
+//! ## Staleness and re-tightening
+//!
+//! Unsubscription leaves the summary untouched (still conservative, just
+//! looser than necessary). After `ServiceConfig::summary_retighten_after`
+//! removals the shard rebuilds the summary from its store
+//! ([`ShardSummary::from_bounds`] over
+//! [`CoveringStore::iter_bounds`](psc_matcher::CoveringStore::iter_bounds)),
+//! restoring tightness. Recovery performs the same rebuild, so summaries
+//! survive restarts without being persisted.
+//!
+//! # Example
+//!
+//! ```
+//! use psc_model::{Publication, Schema, Subscription};
+//! use psc_service::routing::ShardSummary;
+//!
+//! let schema = Schema::uniform(2, 0, 999);
+//! let mut summary = ShardSummary::empty(schema.len());
+//!
+//! // The shard holds two topic-style subscriptions: x0 = 42 or x0 = 700.
+//! let s1 = Subscription::builder(&schema).point("x0", 42).build()?;
+//! let s2 = Subscription::builder(&schema).point("x0", 700).build()?;
+//! summary.widen(&s1);
+//! summary.widen(&s2);
+//!
+//! let on_topic = Publication::builder(&schema).set("x0", 700).set("x1", 3).build()?;
+//! let off_topic = Publication::builder(&schema).set("x0", 500).set("x1", 3).build()?;
+//! assert!(summary.may_match(&on_topic), "conservatism: a match is never pruned");
+//! assert!(!summary.may_match(&off_topic), "no subscription's x0 admits 500");
+//! # Ok::<(), psc_model::ModelError>(())
+//! ```
+
+pub mod cell;
+
+pub use cell::{SummaryCell, SummaryView};
+
+use psc_model::{Publication, Range, Schema, Subscription};
+
+/// Capacity of a per-attribute exact value set. An attribute whose union
+/// of subscription ranges needs more distinct values than this degrades
+/// to its interval bound.
+pub const VALUE_SET_CAP: usize = 32;
+
+/// Bloom bit for attribute index `j`: exact for the first 64 attributes,
+/// folded (false-presence possible, false-absence impossible) beyond.
+#[inline]
+fn attr_bit(j: usize) -> u64 {
+    1u64 << (j & 63)
+}
+
+/// Conservative bounds for one attribute of a shard's population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrSummary {
+    /// Smallest lower bound of any stored range on this attribute.
+    pub lo: i64,
+    /// Largest upper bound of any stored range on this attribute.
+    pub hi: i64,
+    /// Exact union of stored ranges when small (sorted, ≤
+    /// [`VALUE_SET_CAP`] values); `None` once any range is too wide or
+    /// the union overflows the cap.
+    pub values: Option<Vec<i64>>,
+}
+
+impl AttrSummary {
+    /// The empty bound: admits nothing (sentinel interval, empty set).
+    fn empty() -> Self {
+        AttrSummary {
+            lo: i64::MAX,
+            hi: i64::MIN,
+            values: Some(Vec::new()),
+        }
+    }
+
+    /// Unions `r` into the bound.
+    fn widen(&mut self, r: &Range) {
+        self.lo = self.lo.min(r.lo());
+        self.hi = self.hi.max(r.hi());
+        if let Some(values) = &mut self.values {
+            if r.count() > VALUE_SET_CAP as u128 {
+                self.values = None;
+                return;
+            }
+            for v in r.lo()..=r.hi() {
+                if let Err(at) = values.binary_search(&v) {
+                    values.insert(at, v);
+                }
+            }
+            if values.len() > VALUE_SET_CAP {
+                self.values = None;
+            }
+        }
+    }
+
+    /// Unions another attribute bound into this one.
+    fn merge(&mut self, other: &AttrSummary) {
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        match (&mut self.values, &other.values) {
+            (Some(values), Some(theirs)) => {
+                for &v in theirs {
+                    if let Err(at) = values.binary_search(&v) {
+                        values.insert(at, v);
+                    }
+                }
+                if values.len() > VALUE_SET_CAP {
+                    self.values = None;
+                }
+            }
+            _ => self.values = None,
+        }
+    }
+
+    /// Whether a publication value `v` could satisfy some stored range.
+    fn admits(&self, v: i64) -> bool {
+        match &self.values {
+            Some(values) => values.binary_search(&v).is_ok(),
+            None => self.lo <= v && v <= self.hi,
+        }
+    }
+}
+
+/// A conservative summary of one shard's live subscription population.
+///
+/// See the [module docs](crate::routing) for the structure and the
+/// conservatism invariant. Build incrementally with
+/// [`widen`](ShardSummary::widen) (admission path) or in one pass with
+/// [`from_bounds`](ShardSummary::from_bounds) (recovery / re-tightening),
+/// query with [`may_match`](ShardSummary::may_match).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    subscriptions: u64,
+    constrained: u64,
+    attrs: Vec<AttrSummary>,
+}
+
+impl ShardSummary {
+    /// The summary of an empty shard over `arity` attributes: prunes
+    /// every publication.
+    pub fn empty(arity: usize) -> Self {
+        ShardSummary {
+            subscriptions: 0,
+            constrained: 0,
+            attrs: (0..arity).map(|_| AttrSummary::empty()).collect(),
+        }
+    }
+
+    /// Number of subscriptions folded into the summary.
+    pub fn subscriptions(&self) -> u64 {
+        self.subscriptions
+    }
+
+    /// Number of attributes the summary spans.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The per-attribute bound at index `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= self.arity()`.
+    pub fn attr(&self, j: usize) -> &AttrSummary {
+        &self.attrs[j]
+    }
+
+    /// Whether the presence filter says attribute `j` may be constrained
+    /// by some stored subscription. `false` is a proof of absence.
+    pub fn possibly_constrained(&self, j: usize) -> bool {
+        self.constrained & attr_bit(j) != 0
+    }
+
+    /// Folds one subscription into the summary (admission path).
+    ///
+    /// # Panics
+    /// Panics if the subscription's arity differs from the summary's.
+    pub fn widen(&mut self, sub: &Subscription) {
+        self.widen_bounds(sub.schema(), sub.ranges());
+    }
+
+    /// Folds one subscription's raw bounds into the summary. `schema`
+    /// supplies the attribute domains that decide "constrained".
+    ///
+    /// # Panics
+    /// Panics if `ranges.len()` differs from the summary's arity.
+    pub fn widen_bounds(&mut self, schema: &Schema, ranges: &[Range]) {
+        assert_eq!(ranges.len(), self.attrs.len(), "summary arity mismatch");
+        for ((j, attr), r) in schema.iter().zip(ranges) {
+            if r != attr.domain() {
+                self.constrained |= attr_bit(j.0);
+            }
+            self.attrs[j.0].widen(r);
+        }
+        self.subscriptions += 1;
+    }
+
+    /// Builds the tight summary of a whole population in one pass — the
+    /// recovery and re-tightening path. Feed it
+    /// [`CoveringStore::iter_bounds`](psc_matcher::CoveringStore::iter_bounds).
+    pub fn from_bounds<'a>(schema: &Schema, bounds: impl IntoIterator<Item = &'a [Range]>) -> Self {
+        let mut summary = ShardSummary::empty(schema.len());
+        for ranges in bounds {
+            summary.widen_bounds(schema, ranges);
+        }
+        summary
+    }
+
+    /// Unions another summary into this one (used by the router to merge
+    /// in-flight admission batches that the shard has not yet confirmed).
+    pub fn merge(&mut self, other: &ShardSummary) {
+        assert_eq!(
+            other.attrs.len(),
+            self.attrs.len(),
+            "summary arity mismatch"
+        );
+        self.subscriptions += other.subscriptions;
+        self.constrained |= other.constrained;
+        for (attr, theirs) in self.attrs.iter_mut().zip(&other.attrs) {
+            attr.merge(theirs);
+        }
+    }
+
+    /// Records that one subscription was removed. Bounds are *not*
+    /// narrowed (that would risk a false negative); the population count
+    /// drops so a provably-empty shard prunes everything.
+    pub fn note_removal(&mut self) {
+        self.subscriptions = self.subscriptions.saturating_sub(1);
+    }
+
+    /// The conservative test: `false` proves no subscription folded into
+    /// the summary can match `p`; `true` means the shard must be visited.
+    ///
+    /// # Panics
+    /// Panics (debug) if the publication's arity differs.
+    pub fn may_match(&self, p: &Publication) -> bool {
+        if self.subscriptions == 0 {
+            return false;
+        }
+        debug_assert_eq!(p.values().len(), self.attrs.len());
+        for (j, (&v, attr)) in p.values().iter().zip(&self.attrs).enumerate() {
+            // Absent from the presence filter ⇒ every stored range on j is
+            // the full attribute domain, and publication values are
+            // domain-validated at construction — the check cannot fail.
+            if !self.possibly_constrained(j) {
+                continue;
+            }
+            if !attr.admits(v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use psc_matcher::NaiveMatcher;
+    use psc_model::SubscriptionId;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 999)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::from_ranges(
+            schema,
+            vec![
+                Range::new(x0.0, x0.1).unwrap(),
+                Range::new(x1.0, x1.1).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn publication(schema: &Schema, x0: i64, x1: i64) -> Publication {
+        Publication::from_values(schema, vec![x0, x1]).unwrap()
+    }
+
+    #[test]
+    fn empty_summary_prunes_everything() {
+        let schema = schema();
+        let summary = ShardSummary::empty(schema.len());
+        assert!(!summary.may_match(&publication(&schema, 0, 0)));
+        assert_eq!(summary.subscriptions(), 0);
+    }
+
+    #[test]
+    fn interval_bound_prunes_outside_union() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        summary.widen(&sub(&schema, (100, 200), (0, 999)));
+        summary.widen(&sub(&schema, (150, 400), (0, 999)));
+        assert!(summary.may_match(&publication(&schema, 300, 7)));
+        assert!(!summary.may_match(&publication(&schema, 99, 7)));
+        assert!(!summary.may_match(&publication(&schema, 401, 7)));
+    }
+
+    #[test]
+    fn value_set_prunes_gaps_the_interval_cannot() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        summary.widen(&sub(&schema, (42, 42), (0, 999)));
+        summary.widen(&sub(&schema, (700, 700), (0, 999)));
+        // Inside [42, 700] but in neither point set: value set prunes it.
+        assert!(!summary.may_match(&publication(&schema, 500, 7)));
+        assert!(summary.may_match(&publication(&schema, 42, 7)));
+        assert!(summary.may_match(&publication(&schema, 700, 7)));
+    }
+
+    #[test]
+    fn wide_range_degrades_value_set_to_interval() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        summary.widen(&sub(&schema, (42, 42), (0, 999)));
+        summary.widen(&sub(&schema, (100, 400), (0, 999))); // > VALUE_SET_CAP points
+        assert!(summary.attr(0).values.is_none());
+        // Interval [42, 400] now rules.
+        assert!(summary.may_match(&publication(&schema, 200, 7)));
+        assert!(!summary.may_match(&publication(&schema, 401, 7)));
+    }
+
+    #[test]
+    fn unconstrained_attribute_never_prunes() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        // x1 left at its full domain: not constrained, never checked.
+        summary.widen(&sub(&schema, (10, 20), (0, 999)));
+        assert!(!summary.possibly_constrained(1));
+        assert!(summary.may_match(&publication(&schema, 15, 0)));
+        assert!(summary.may_match(&publication(&schema, 15, 999)));
+    }
+
+    #[test]
+    fn removal_keeps_bounds_but_empties_eventually() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        summary.widen(&sub(&schema, (10, 20), (0, 999)));
+        summary.note_removal();
+        assert_eq!(summary.subscriptions(), 0);
+        assert!(!summary.may_match(&publication(&schema, 15, 7)));
+    }
+
+    #[test]
+    fn merge_unions_bounds_and_counts() {
+        let schema = schema();
+        let mut a = ShardSummary::empty(schema.len());
+        a.widen(&sub(&schema, (10, 20), (0, 999)));
+        let mut b = ShardSummary::empty(schema.len());
+        b.widen(&sub(&schema, (500, 510), (0, 999)));
+        a.merge(&b);
+        assert_eq!(a.subscriptions(), 2);
+        assert!(a.may_match(&publication(&schema, 15, 7)));
+        assert!(a.may_match(&publication(&schema, 505, 7)));
+        // The merged value set (22 points ≤ cap) still prunes the gap.
+        assert!(!a.may_match(&publication(&schema, 300, 7)));
+
+        // Merging in a set-degraded summary degrades the union too:
+        // interval semantics take over, conservatively.
+        let mut c = ShardSummary::empty(schema.len());
+        c.widen(&sub(&schema, (600, 700), (0, 999))); // > VALUE_SET_CAP points
+        a.merge(&c);
+        assert!(a.attr(0).values.is_none());
+        assert!(a.may_match(&publication(&schema, 300, 7)));
+        assert!(!a.may_match(&publication(&schema, 701, 7)));
+    }
+
+    #[test]
+    fn from_bounds_equals_incremental_widening() {
+        let schema = schema();
+        let subs = [
+            sub(&schema, (10, 20), (5, 5)),
+            sub(&schema, (500, 600), (0, 999)),
+            sub(&schema, (42, 42), (7, 9)),
+        ];
+        let mut incremental = ShardSummary::empty(schema.len());
+        for s in &subs {
+            incremental.widen(s);
+        }
+        let bulk = ShardSummary::from_bounds(&schema, subs.iter().map(|s| s.ranges()));
+        assert_eq!(bulk, incremental);
+    }
+
+    proptest! {
+        /// The conservatism invariant, against the naive matcher: a
+        /// publication some stored subscription matches is never pruned.
+        #[test]
+        fn prop_summary_never_prunes_a_match(
+            specs in proptest::collection::vec(
+                (0i64..=999, 0i64..=80, 0i64..=999, 0i64..=400, proptest::bool::ANY),
+                1..24,
+            ),
+            probes in proptest::collection::vec((0i64..=999, 0i64..=999), 32),
+        ) {
+            let schema = schema();
+            let mut naive = NaiveMatcher::new();
+            let mut summary = ShardSummary::empty(schema.len());
+            for (i, (lo0, w0, lo1, w1, point)) in specs.iter().enumerate() {
+                let s = if *point {
+                    // Topic-style: a point on x0, full domain on x1.
+                    sub(&schema, (*lo0, *lo0), (0, 999))
+                } else {
+                    sub(
+                        &schema,
+                        (*lo0, (*lo0 + *w0).min(999)),
+                        (*lo1, (*lo1 + *w1).min(999)),
+                    )
+                };
+                naive.insert(SubscriptionId(i as u64), s.clone());
+                summary.widen(&s);
+            }
+            for &(x0, x1) in &probes {
+                let p = publication(&schema, x0, x1);
+                if !naive.matches(&p).is_empty() {
+                    prop_assert!(
+                        summary.may_match(&p),
+                        "summary pruned a matching publication ({x0}, {x1})"
+                    );
+                }
+            }
+        }
+    }
+}

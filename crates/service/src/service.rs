@@ -3,10 +3,12 @@
 //! [`PubSubService`] owns `N` shard worker threads (see the private
 //! `shard` module).
 //! Subscriptions are routed to the shard owning their hashed id;
-//! publications fan out to every shard and the per-shard match sets are
-//! merged. Incoming subscriptions are buffered per shard and admitted in
-//! batches (the admission pipeline), which lets the covering store admit
-//! widest-first and suppress covered subscriptions without demotion churn.
+//! publications fan out to the shards whose attribute-space summary
+//! admits them ([`crate::routing`]; provably-unmatchable shards are
+//! skipped) and the per-shard match sets are merged. Incoming
+//! subscriptions are buffered per shard and admitted in batches (the
+//! admission pipeline), which lets the covering store admit widest-first
+//! and suppress covered subscriptions without demotion churn.
 //!
 //! ## Consistency model
 //!
@@ -17,6 +19,7 @@
 //! are FIFO, so after a flush every later publication observes the batch.
 
 use crate::metrics::ServiceMetrics;
+use crate::routing::{ShardSummary, SummaryCell};
 use crate::shard::{ShardCommand, ShardWorker};
 use crate::storage::{FsyncPolicy, ShardStorage, StorageConfig};
 use psc_core::SubsumptionChecker;
@@ -24,12 +27,19 @@ use psc_matcher::CoveringStore;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Cap on per-shard in-flight (sent, unconfirmed) batch summaries the
+/// router retains for routing decisions; beyond it the two oldest merge.
+/// Bounds router memory on subscribe-heavy, publish-free workloads while
+/// staying conservative (a merged summary is a union).
+const MAX_INFLIGHT_SUMMARIES: usize = 8;
 
 /// Tuning knobs for a [`PubSubService`] and its serving edges.
 ///
@@ -75,6 +85,18 @@ pub struct ServiceConfig {
     /// Storage: snapshot (and truncate the log) after this many log
     /// records per shard; `0` disables snapshots.
     pub snapshot_every: u64,
+    /// Routing: consult per-shard attribute-space summaries on the
+    /// publish path and skip shards that provably cannot match (see
+    /// [`crate::routing`]). Disable to fan every publish out to all
+    /// shards — useful for A/B measurement; results are identical either
+    /// way (summaries are conservative).
+    pub routing_enabled: bool,
+    /// Routing: rebuild (re-tighten) a shard's summary from its store
+    /// once more than this many unsubscriptions have accumulated since
+    /// the last rebuild. Removals never narrow a summary in place, so a
+    /// lower value keeps summaries tighter (better pruning) at the cost
+    /// of more rebuild work; `0` re-tightens on every unsubscription.
+    pub summary_retighten_after: u64,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +114,8 @@ impl Default for ServiceConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             snapshot_every: 4_096,
+            routing_enabled: true,
+            summary_retighten_after: 64,
         }
     }
 }
@@ -137,9 +161,38 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Router-side admission state of one shard, guarded by its mutex.
+struct PendingState {
+    /// Buffered subscriptions not yet sent to the shard worker.
+    buffer: Vec<(SubscriptionId, Subscription)>,
+    /// Conservative summary of `buffer` (widened on every subscribe).
+    summary: ShardSummary,
+    /// Summaries of admission batches sent but not yet confirmed applied
+    /// by the shard's cell (`(batch seq, summary)`, ascending seq). The
+    /// routing decision unions these on top of the cell snapshot so a
+    /// publication enqueued behind an in-flight batch can never be pruned
+    /// away from subscriptions in that batch.
+    sent: VecDeque<(u64, ShardSummary)>,
+    /// Admit commands sent to this shard since boot (the handshake
+    /// counterpart of the cell's `applied_batches`).
+    batches_sent: u64,
+    /// Highest `applied_batches` any publisher has popped `sent` against.
+    /// A publisher whose pre-lock cell view is older than this floor must
+    /// re-read the cell under the lock: a fresher-viewed publisher may
+    /// already have dropped `sent` entries the stale view does not cover,
+    /// and deciding from the stale pair could prune a shard that holds a
+    /// flushed, matching subscription.
+    confirmed_floor: u64,
+}
+
 struct Shard {
     commands: Sender<ShardCommand>,
-    pending: Mutex<Vec<(SubscriptionId, Subscription)>>,
+    pending: Mutex<PendingState>,
+    /// The shard worker's published summary (router reads, worker writes).
+    cell: Arc<SummaryCell>,
+    /// Publish fan-outs that skipped this shard (router-side; overlaid
+    /// onto the shard's scraped metrics).
+    pruned: AtomicU64,
     join: Option<JoinHandle<()>>,
 }
 
@@ -172,6 +225,7 @@ pub struct PubSubService {
     schema: Schema,
     shards: Vec<Shard>,
     batch_size: usize,
+    routing_enabled: bool,
 }
 
 impl PubSubService {
@@ -243,7 +297,16 @@ impl PubSubService {
                     .map_err(|e| storage_err(crate::storage::StorageError::Restore(e)))?,
                 None => CoveringStore::new(checker),
             };
-            let mut worker = ShardWorker::new(schema.clone(), store, rng, storage);
+            let cell = Arc::new(SummaryCell::new(schema.len()));
+            let mut worker = ShardWorker::new(
+                schema.clone(),
+                store,
+                rng,
+                storage,
+                Arc::clone(&cell),
+                config.routing_enabled,
+                config.summary_retighten_after,
+            );
             let (tx, rx) = channel();
             let join = std::thread::Builder::new()
                 .name(format!("psc-shard-{i}"))
@@ -259,7 +322,15 @@ impl PubSubService {
                 .expect("spawn shard worker");
             shards.push(Shard {
                 commands: tx,
-                pending: Mutex::new(Vec::new()),
+                pending: Mutex::new(PendingState {
+                    buffer: Vec::new(),
+                    summary: ShardSummary::empty(schema.len()),
+                    sent: VecDeque::new(),
+                    batches_sent: 0,
+                    confirmed_floor: 0,
+                }),
+                cell,
+                pruned: AtomicU64::new(0),
                 join: Some(join),
             });
         }
@@ -267,6 +338,7 @@ impl PubSubService {
             schema,
             shards,
             batch_size: config.batch_size,
+            routing_enabled: config.routing_enabled,
         })
     }
 
@@ -312,20 +384,48 @@ impl PubSubService {
         // flush-before-publish visibility guarantee. The send never blocks
         // (unbounded channel), so holding the mutex across it is safe.
         let mut pending = self.shards[shard].pending.lock().expect("pending lock");
-        pending.push((id, sub));
-        if pending.len() >= self.batch_size {
-            let batch = std::mem::take(&mut *pending);
-            self.send(shard, ShardCommand::Admit(batch));
+        // The buffered summary widens before any routing decision can see
+        // an empty buffer: a publish on this shard either observes the
+        // subscription in `buffer`+`summary` here, in `sent` after the
+        // batch ships, or in the cell once the worker confirms it applied.
+        // (With routing disabled, no decision ever reads these; skip.)
+        if self.routing_enabled {
+            pending.summary.widen(&sub);
+        }
+        pending.buffer.push((id, sub));
+        if pending.buffer.len() >= self.batch_size {
+            self.send_pending_batch(shard, &mut pending);
         }
         Ok(())
+    }
+
+    /// Ships the buffered batch to the shard worker and rolls its summary
+    /// into the in-flight list. Caller holds the shard's pending lock.
+    fn send_pending_batch(&self, shard: usize, pending: &mut PendingState) {
+        let batch = std::mem::take(&mut pending.buffer);
+        if self.routing_enabled {
+            let summary =
+                std::mem::replace(&mut pending.summary, ShardSummary::empty(self.schema.len()));
+            pending.batches_sent += 1;
+            pending.sent.push_back((pending.batches_sent, summary));
+            // Bound the in-flight list on publish-free workloads: merge
+            // the two oldest entries under the newer sequence number. The
+            // union is conservative and simply lives until both batches
+            // confirm.
+            if pending.sent.len() > MAX_INFLIGHT_SUMMARIES {
+                let (_, oldest) = pending.sent.pop_front().expect("len > cap");
+                let (_, next) = pending.sent.front_mut().expect("len > cap - 1");
+                next.merge(&oldest);
+            }
+        }
+        self.send(shard, ShardCommand::Admit(batch));
     }
 
     fn flush_shard(&self, shard: usize) {
         // Drain + enqueue atomically; see `subscribe` for why.
         let mut pending = self.shards[shard].pending.lock().expect("pending lock");
-        if !pending.is_empty() {
-            let batch = std::mem::take(&mut *pending);
-            self.send(shard, ShardCommand::Admit(batch));
+        if !pending.buffer.is_empty() {
+            self.send_pending_batch(shard, &mut pending);
         }
     }
 
@@ -345,8 +445,8 @@ impl PubSubService {
         rx.recv().expect("shard replies to unsubscribe")
     }
 
-    /// Matches one publication against every shard and merges the results
-    /// (ascending id order).
+    /// Matches one publication against every shard whose routing summary
+    /// admits it and merges the results (ascending id order).
     pub fn publish(&self, publication: &Publication) -> Result<Vec<SubscriptionId>, ServiceError> {
         Ok(self
             .publish_batch(std::slice::from_ref(publication))?
@@ -354,11 +454,83 @@ impl PubSubService {
             .expect("one result per publication"))
     }
 
-    /// Matches a batch of publications in one fan-out round-trip per shard;
-    /// returns one merged, ascending id-vector per publication.
+    /// Selects the batch indices shard `i` must see: reads the shard's
+    /// summary cell lock-free, then flushes the shard's buffer and clones
+    /// the in-flight summaries under the pending lock, and runs the
+    /// per-publication filter with the lock released (so neither the
+    /// seqlock's spin-retries nor large batches serialize concurrent
+    /// publishers or stall subscribes on this shard).
     ///
-    /// Batching amortizes the cross-thread messaging: every shard matches
-    /// the whole batch against its local store in parallel with the others.
+    /// Conservatism: a subscription is *always* visible to this decision
+    /// through exactly one of three places — the pending buffer's summary
+    /// (just shipped to `sent` by the flush below), an unconfirmed entry
+    /// of `sent` (cloned into `in_flight` before unlocking), or the cell
+    /// snapshot once the worker confirmed the batch applied
+    /// (`seq <= applied_batches`, the condition for dropping the `sent`
+    /// entry). Popping `sent` is shared-state destructive, so it is only
+    /// sound against the freshest view any publisher has popped with
+    /// (`confirmed_floor`); a pre-lock view older than the floor is
+    /// re-read under the lock — see `PendingState::confirmed_floor`.
+    /// `None` from the cell (never published, or a reader that lost its
+    /// seqlock races) pops nothing and selects everything.
+    fn route_shard(&self, i: usize, shard: &Shard, publications: &[Publication]) -> Vec<u32> {
+        let mut view = if self.routing_enabled {
+            shard.cell.read()
+        } else {
+            None
+        };
+        let in_flight: Vec<ShardSummary> = {
+            let mut pending = shard.pending.lock().expect("pending lock");
+            if !pending.buffer.is_empty() {
+                self.send_pending_batch(i, &mut pending);
+            }
+            if !self.routing_enabled {
+                return (0..publications.len() as u32).collect();
+            }
+            if view
+                .as_ref()
+                .is_some_and(|v| v.applied_batches < pending.confirmed_floor)
+            {
+                // Another publisher already popped `sent` against a
+                // fresher view: this stale one could miss a popped batch.
+                // The cell is monotone, so a re-read reaches the floor.
+                view = shard.cell.read();
+            }
+            if let Some(view) = &view {
+                pending.confirmed_floor = pending.confirmed_floor.max(view.applied_batches);
+                while pending
+                    .sent
+                    .front()
+                    .is_some_and(|(seq, _)| *seq <= view.applied_batches)
+                {
+                    pending.sent.pop_front();
+                }
+            }
+            // Clone the (≤ MAX_INFLIGHT_SUMMARIES) unconfirmed summaries
+            // so the filter below runs without the lock.
+            pending.sent.iter().map(|(_, s)| s.clone()).collect()
+        };
+        publications
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                view.as_ref().is_none_or(|v| v.summary.may_match(p))
+                    || in_flight.iter().any(|s| s.may_match(p))
+            })
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+
+    /// Matches a batch of publications in one fan-out round-trip per
+    /// *visited* shard; returns one merged, ascending id-vector per
+    /// publication.
+    ///
+    /// Batching amortizes the cross-thread messaging: every visited shard
+    /// matches its slice of the batch against its local store in parallel
+    /// with the others. With routing enabled (the default), shards whose
+    /// attribute-space summary proves they cannot match a publication are
+    /// skipped for it — results are identical to all-shard fan-out because
+    /// summaries are conservative (see [`crate::routing`]).
     pub fn publish_batch(
         &self,
         publications: &[Publication],
@@ -375,24 +547,38 @@ impl PubSubService {
         if publications.is_empty() {
             return Ok(Vec::new());
         }
-        self.flush();
         let shared: Arc<Vec<Publication>> = Arc::new(publications.to_vec());
         let replies: Vec<_> = self
             .shards
             .iter()
             .enumerate()
-            .map(|(i, _)| {
+            .map(|(i, shard)| {
+                // Flushing happens inside route_shard, under the same
+                // pending-lock hold as the routing decision; per-shard
+                // FIFO then guarantees the MatchBatch below observes
+                // every admission the decision accounted for.
+                let selected = self.route_shard(i, shard, publications);
+                let pruned = publications.len() - selected.len();
+                if pruned > 0 {
+                    shard.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+                }
+                if selected.is_empty() {
+                    return None;
+                }
                 let (tx, rx) = channel();
-                self.send(i, ShardCommand::MatchBatch(Arc::clone(&shared), tx));
-                rx
+                self.send(
+                    i,
+                    ShardCommand::MatchBatch(Arc::clone(&shared), selected.clone(), tx),
+                );
+                Some((selected, rx))
             })
             .collect();
         let mut merged: Vec<Vec<SubscriptionId>> = vec![Vec::new(); publications.len()];
-        for rx in replies {
+        for (selected, rx) in replies.into_iter().flatten() {
             let shard_matches = rx.recv().expect("shard replies to match batch");
-            debug_assert_eq!(shard_matches.len(), publications.len());
-            for (slot, ids) in merged.iter_mut().zip(shard_matches) {
-                slot.extend(ids);
+            debug_assert_eq!(shard_matches.len(), selected.len());
+            for (&index, ids) in selected.iter().zip(shard_matches) {
+                merged[index as usize].extend(ids);
             }
         }
         for slot in &mut merged {
@@ -402,7 +588,9 @@ impl PubSubService {
     }
 
     /// Scrapes every shard's metrics (after a flush, so buffered
-    /// subscriptions are counted).
+    /// subscriptions are counted). The router overlays its per-shard
+    /// pruning counters — the workers cannot count publishes that never
+    /// reached them.
     pub fn metrics(&self) -> ServiceMetrics {
         self.flush();
         let replies: Vec<_> = (0..self.shards.len())
@@ -415,7 +603,12 @@ impl PubSubService {
         ServiceMetrics {
             shards: replies
                 .into_iter()
-                .map(|rx| rx.recv().expect("shard replies to scrape"))
+                .zip(&self.shards)
+                .map(|(rx, shard)| {
+                    let mut metrics = rx.recv().expect("shard replies to scrape");
+                    metrics.shards_pruned = shard.pruned.load(Ordering::Relaxed);
+                    metrics
+                })
                 .collect(),
         }
     }

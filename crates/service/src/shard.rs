@@ -24,8 +24,10 @@
 //! [`ShardMetrics::storage_errors`].
 
 use crate::metrics::ShardMetrics;
+use crate::routing::{ShardSummary, SummaryCell};
 use crate::storage::{LogRecord, ShardStorage};
 use psc_matcher::CoveringStore;
+use psc_model::wire::SummaryStats;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -39,9 +41,15 @@ pub(crate) enum ShardCommand {
     Admit(Vec<(SubscriptionId, Subscription)>),
     /// Remove a subscription; replies whether it was stored here.
     Unsubscribe(SubscriptionId, Sender<bool>),
-    /// Match every publication in the batch against the local store;
-    /// replies one id-vector per publication.
-    MatchBatch(Arc<Vec<Publication>>, Sender<Vec<Vec<SubscriptionId>>>),
+    /// Match the publications at the given indices of the shared batch
+    /// against the local store; replies one id-vector per *selected*
+    /// index, in index order. The router omits indices its routing
+    /// summaries prove cannot match here.
+    MatchBatch(
+        Arc<Vec<Publication>>,
+        Vec<u32>,
+        Sender<Vec<Vec<SubscriptionId>>>,
+    ),
     /// Report current metrics.
     Scrape(Sender<ShardMetrics>),
     /// Dump `(id, subscription, is_active)` for every stored subscription.
@@ -56,6 +64,24 @@ pub(crate) struct ShardWorker {
     store: CoveringStore,
     rng: StdRng,
     storage: Option<ShardStorage>,
+    /// Routing summary of the live store, mirrored into `cell` after
+    /// every mutation so the router's pruning view is never behind the
+    /// admissions it has confirmed applied.
+    summary: ShardSummary,
+    cell: Arc<SummaryCell>,
+    /// When routing is disabled, summary maintenance is skipped entirely
+    /// (the cell stays unpublished) so the fan-out-all configuration pays
+    /// zero routing overhead — important for honest A/B baselines.
+    routing_enabled: bool,
+    /// Admission batches applied (the freshness handshake counter
+    /// published with the summary; see [`crate::routing::SummaryCell`]).
+    batches_applied: u64,
+    /// Unsubscriptions since the summary was last rebuilt from the store.
+    removals_since_rebuild: u64,
+    /// Bounded-staleness knob: rebuild once `removals_since_rebuild`
+    /// exceeds this.
+    retighten_after: u64,
+    summary_rebuilds: u64,
     started: Instant,
     subscriptions_ingested: u64,
     subscriptions_suppressed: u64,
@@ -74,12 +100,23 @@ impl ShardWorker {
         store: CoveringStore,
         rng: StdRng,
         storage: Option<ShardStorage>,
+        cell: Arc<SummaryCell>,
+        routing_enabled: bool,
+        retighten_after: u64,
     ) -> Self {
+        let summary = ShardSummary::empty(schema.len());
         ShardWorker {
             schema,
             store,
             rng,
             storage,
+            summary,
+            cell,
+            routing_enabled,
+            batches_applied: 0,
+            removals_since_rebuild: 0,
+            retighten_after,
+            summary_rebuilds: 0,
             started: Instant::now(),
             subscriptions_ingested: 0,
             subscriptions_suppressed: 0,
@@ -116,6 +153,34 @@ impl ShardWorker {
             }
         }
         self.subscriptions_recovered = self.store.len() as u64;
+        // Summaries are not persisted: rebuild from the recovered store
+        // and publish, so the router starts pruning with a tight view the
+        // moment the shard begins serving. For an in-memory boot this
+        // publishes the empty summary — an empty shard prunes everything.
+        self.rebuild_summary();
+        self.publish_summary();
+    }
+
+    /// Rebuilds the routing summary tightly from the store and resets the
+    /// staleness clock. No-op with routing disabled.
+    fn rebuild_summary(&mut self) {
+        if !self.routing_enabled {
+            return;
+        }
+        self.summary = ShardSummary::from_bounds(&self.schema, self.store.iter_bounds());
+        self.removals_since_rebuild = 0;
+        self.summary_rebuilds += 1;
+    }
+
+    /// Mirrors the current summary (and the applied-batch handshake
+    /// counter) into the shared cell for lock-free router reads. No-op
+    /// with routing disabled (the cell then stays forever unpublished,
+    /// which routing-side code treats as "visit").
+    fn publish_summary(&self) {
+        if !self.routing_enabled {
+            return;
+        }
+        self.cell.publish(&self.summary, self.batches_applied);
     }
 
     /// The worker loop: runs until `Shutdown` or the channel closes.
@@ -124,6 +189,12 @@ impl ShardWorker {
             match command {
                 ShardCommand::Admit(batch) => {
                     self.admit(batch);
+                    // Count the batch and publish even when dedup dropped
+                    // everything: the router's handshake counts *sent*
+                    // Admit commands, so the applied counter must track
+                    // commands, not surviving subscriptions.
+                    self.batches_applied += 1;
+                    self.publish_summary();
                     self.maybe_snapshot();
                 }
                 ShardCommand::Unsubscribe(id, reply) => {
@@ -131,11 +202,11 @@ impl ShardWorker {
                     let _ = reply.send(removed);
                     self.maybe_snapshot();
                 }
-                ShardCommand::MatchBatch(publications, reply) => {
-                    let matches = publications
+                ShardCommand::MatchBatch(publications, selected, reply) => {
+                    let matches = selected
                         .iter()
-                        .map(|p| {
-                            let ids = self.store.match_publication(p);
+                        .map(|&i| {
+                            let ids = self.store.match_publication(&publications[i as usize]);
                             self.publications_processed += 1;
                             self.notifications += ids.len() as u64;
                             ids
@@ -209,6 +280,15 @@ impl ShardWorker {
         let LogRecord::Admit(fresh) = record else {
             unreachable!("record built as Admit above")
         };
+        // Widen the routing summary *before* the cell is republished (the
+        // caller publishes after this returns): covered or active, every
+        // admitted subscription can match publications and must be
+        // reflected in the shard's conservative bounds.
+        if self.routing_enabled {
+            for (_, sub) in &fresh {
+                self.summary.widen(sub);
+            }
+        }
         self.admit_to_store(fresh, true);
     }
 
@@ -220,6 +300,16 @@ impl ShardWorker {
         let removed = self.store.remove(id, &mut self.rng);
         debug_assert!(removed, "contains() implied presence");
         self.unsubscriptions += 1;
+        // Removal never narrows the summary (conservatism); it only ages
+        // it. Past the bounded-staleness knob, re-tighten from the store.
+        if self.routing_enabled {
+            self.summary.note_removal();
+            self.removals_since_rebuild += 1;
+            if self.removals_since_rebuild > self.retighten_after {
+                self.rebuild_summary();
+            }
+            self.publish_summary();
+        }
         removed
     }
 
@@ -263,6 +353,12 @@ impl ShardWorker {
                 )
             });
         ShardMetrics {
+            shards_pruned: 0, // router-side; overlaid by the service
+            summary: SummaryStats {
+                epoch: self.cell.epoch(),
+                rebuilds: self.summary_rebuilds,
+                staleness: self.removals_since_rebuild,
+            },
             subscriptions_ingested: self.subscriptions_ingested,
             subscriptions_suppressed: self.subscriptions_suppressed,
             subscriptions_rejected: self.subscriptions_rejected,

@@ -1,0 +1,112 @@
+//! Relative-link checker for the operator documentation.
+//!
+//! Scans `README.md` and every file under `docs/` for Markdown links and
+//! asserts each *relative* target exists on disk, so renames and typos
+//! fail CI instead of silently 404-ing for readers. External links
+//! (`http(s)://`, `mailto:`) and pure in-page anchors (`#...`) are out of
+//! scope — this is a filesystem check, not a network crawler.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts Markdown link targets — the `target` of `[text](target)` and
+/// `![alt](target)` — from one document. A fence-aware scan would be
+/// overkill: a dead-looking path inside a code block is worth flagging
+/// too, and the repo's docs quote no such paths.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let bytes = markdown.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(len) = markdown[start..].find(')') {
+                let target = markdown[start..start + len].trim();
+                // Inline titles: `](path "title")`.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    targets.push(target.to_string());
+                }
+                i = start + len;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+fn docs_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let entries = std::fs::read_dir(&docs).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in docs_files() {
+        let content = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc files live in a directory");
+        for target in link_targets(&content) {
+            if is_external(&target) {
+                continue;
+            }
+            // Strip an in-page anchor: `PROTOCOL.md#requests` checks the
+            // file only (heading anchors are renderer-specific).
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links in docs:\n  {}",
+        broken.join("\n  ")
+    );
+    assert!(
+        checked >= 3,
+        "the checker should find the docs cross-links; did the extractor break? (found {checked})"
+    );
+}
+
+#[test]
+fn extractor_finds_links_and_skips_externals() {
+    let md = "See [a](docs/A.md), ![img](img.png \"t\"), [ext](https://x.y), \
+              [anchor](#here), and [b](B.md#section).";
+    let targets = link_targets(md);
+    assert_eq!(
+        targets,
+        vec![
+            "docs/A.md",
+            "img.png",
+            "https://x.y",
+            "#here",
+            "B.md#section"
+        ]
+    );
+    assert!(is_external("https://x.y"));
+    assert!(is_external("#here"));
+    assert!(!is_external("docs/A.md"));
+}

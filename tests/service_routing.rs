@@ -1,0 +1,455 @@
+//! Content-aware routing: conservatism and pruning, end to end.
+//!
+//! The core property: a routed service (the default) returns **exactly**
+//! the match results of an all-shard fan-out — per-shard attribute-space
+//! summaries may only skip shards that provably cannot match. The
+//! property test drives random subscribe/unsubscribe/publish streams over
+//! both uniform range subscriptions and skewed topic-style (point)
+//! subscriptions, compares a routed service against a routing-disabled
+//! twin *and* a naive reference matcher, and repeats the comparison after
+//! a durable restart (summaries are rebuilt from recovered stores, not
+//! persisted). Deterministic tests pin down the observable pruning
+//! behavior: empty and off-interval shards are skipped, bounded staleness
+//! re-tightens summaries after unsubscriptions, and disabling routing
+//! really disables it.
+
+use proptest::prelude::*;
+use psc::model::{Publication, Range, Schema, Subscription, SubscriptionId};
+use psc::service::storage::FsyncPolicy;
+use psc::service::{PubSubService, ServiceConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn schema() -> Schema {
+    Schema::uniform(2, 0, 999)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "psc-routing-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+    Subscription::from_ranges(
+        schema,
+        vec![
+            Range::new(x0.0, x0.1).unwrap(),
+            Range::new(x1.0, x1.1).unwrap(),
+        ],
+    )
+    .unwrap()
+}
+
+fn publication(schema: &Schema, x0: i64, x1: i64) -> Publication {
+    Publication::from_values(schema, vec![x0, x1]).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(u64, (i64, i64), (i64, i64)),
+    Unsubscribe(u64),
+}
+
+/// Applies ops to a service and, in lockstep, to a naive reference map.
+fn apply(
+    service: &PubSubService,
+    reference: &mut BTreeMap<u64, Subscription>,
+    schema: &Schema,
+    ops: &[Op],
+) {
+    for op in ops {
+        match *op {
+            Op::Subscribe(id, x0, x1) => {
+                let s = sub(schema, x0, x1);
+                // The service drops duplicate ids at admission; mirror
+                // that in the reference (first writer wins).
+                reference.entry(id).or_insert_with(|| s.clone());
+                service.subscribe(SubscriptionId(id), s).unwrap();
+            }
+            Op::Unsubscribe(id) => {
+                reference.remove(&id);
+                let _ = service.unsubscribe(SubscriptionId(id));
+            }
+        }
+    }
+}
+
+fn naive_matches(reference: &BTreeMap<u64, Subscription>, p: &Publication) -> Vec<SubscriptionId> {
+    reference
+        .iter()
+        .filter(|(_, s)| s.matches(p))
+        .map(|(&id, _)| SubscriptionId(id))
+        .collect()
+}
+
+/// Probe grid covering hot topic points, interval edges, and empty space.
+fn probes(schema: &Schema) -> Vec<Publication> {
+    let mut out = Vec::new();
+    for x0 in (0..1000).step_by(83) {
+        for x1 in (0..1000).step_by(211) {
+            out.push(publication(schema, x0, x1));
+        }
+    }
+    out
+}
+
+fn assert_routed_equals_fanout(
+    routed: &PubSubService,
+    fanout: &PubSubService,
+    reference: &BTreeMap<u64, Subscription>,
+    schema: &Schema,
+    context: &str,
+) {
+    let pubs = probes(schema);
+    let routed_results = routed.publish_batch(&pubs).unwrap();
+    let fanout_results = fanout.publish_batch(&pubs).unwrap();
+    for ((p, a), b) in pubs.iter().zip(&routed_results).zip(&fanout_results) {
+        assert_eq!(
+            a, b,
+            "{context}: routed result diverged from all-shard fan-out at {p}"
+        );
+        assert_eq!(
+            a,
+            &naive_matches(reference, p),
+            "{context}: routed result diverged from naive reference at {p}"
+        );
+    }
+}
+
+prop_compose! {
+    /// Subscribe/unsubscribe streams mixing three shapes: topic-style
+    /// point subscriptions on x0 (the value-set pruning case), uniform
+    /// ranges (the interval case), and very wide subscriptions (which
+    /// defeat pruning and populate the covered pool).
+    fn arb_op()(
+        kind in 0usize..8,
+        id in 0u64..64,
+        topic in 0i64..12,
+        lo0 in 0i64..900,
+        w0 in 0i64..200,
+        lo1 in 0i64..900,
+        w1 in 0i64..400,
+    ) -> Op {
+        match kind {
+            0 | 1 => Op::Unsubscribe(id),
+            2..=4 => {
+                // 12 hot topics spread over the domain.
+                let t = 40 + topic * 80;
+                Op::Subscribe(id, (t, t), (lo1, (lo1 + w1).min(999)))
+            }
+            5 => Op::Subscribe(id, (0, 999), (lo1.min(100), 999)),
+            _ => Op::Subscribe(id, (lo0, (lo0 + w0).min(999)), (lo1, (lo1 + w1).min(999))),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Routed match results are identical to all-shard fan-out (and to a
+    /// naive reference) across random workloads — including mid-stream,
+    /// after unsubscriptions, and after a durable restart.
+    #[test]
+    fn routed_results_equal_fanout_results(
+        ops in proptest::collection::vec(arb_op(), 1..80),
+        shards in 1usize..6,
+        batch_size in 1usize..9,
+        retighten_after in 0u64..5,
+    ) {
+        let schema = schema();
+        let dir = temp_dir("prop");
+        let config = ServiceConfig {
+            shards,
+            batch_size,
+            routing_enabled: true,
+            summary_retighten_after: retighten_after,
+            data_dir: Some(dir.clone()),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: 8,
+            // Effectively deterministic subsumption decisions, so the
+            // routed/unrouted twins hold identical stores.
+            error_probability: 1e-12,
+            ..Default::default()
+        };
+        let fanout_config = ServiceConfig {
+            routing_enabled: false,
+            data_dir: None,
+            ..config.clone()
+        };
+
+        let fanout = PubSubService::start(schema.clone(), fanout_config);
+        let mut fanout_reference = BTreeMap::new();
+
+        let mut reference = BTreeMap::new();
+        {
+            let routed = PubSubService::open(schema.clone(), config.clone()).unwrap();
+
+            // Compare mid-stream too: summaries must be conservative at
+            // every prefix, not just at quiescence.
+            let split = ops.len() / 2;
+            apply(&routed, &mut reference, &schema, &ops[..split]);
+            apply(&fanout, &mut fanout_reference, &schema, &ops[..split]);
+            assert_routed_equals_fanout(&routed, &fanout, &reference, &schema, "mid-stream");
+
+            apply(&routed, &mut reference, &schema, &ops[split..]);
+            apply(&fanout, &mut fanout_reference, &schema, &ops[split..]);
+            prop_assert_eq!(&reference, &fanout_reference);
+            assert_routed_equals_fanout(&routed, &fanout, &reference, &schema, "quiescent");
+            // Routing disabled really means no pruning.
+            prop_assert_eq!(fanout.metrics().totals().shards_pruned, 0);
+        }
+
+        // Restart the routed service: summaries are rebuilt from the
+        // recovered stores and must stay conservative.
+        let rebuilt = PubSubService::open(schema.clone(), config).unwrap();
+        assert_routed_equals_fanout(&rebuilt, &fanout, &reference, &schema, "after restart");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Shards that hold nothing (or nothing near the publication) are
+/// provably skipped: with one subscription and four shards, three shards
+/// are empty and every publish prunes them.
+#[test]
+fn empty_and_off_bounds_shards_are_pruned() {
+    let schema = schema();
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 4,
+            ..Default::default()
+        },
+    );
+    service
+        .subscribe(SubscriptionId(1), sub(&schema, (100, 200), (0, 999)))
+        .unwrap();
+    // Barrier: a metrics scrape answers only after every worker finished
+    // boot (publishing its summary cell) and applied the admission above,
+    // making the pruning counters below deterministic.
+    let _ = service.metrics();
+
+    // In range: exactly the owning shard is visited, three are pruned.
+    let hit = service.publish(&publication(&schema, 150, 5)).unwrap();
+    assert_eq!(hit, vec![SubscriptionId(1)]);
+    let totals = service.metrics().totals();
+    assert_eq!(totals.shards_pruned, 3, "three empty shards pruned");
+
+    // Out of every shard's bounds: all four shards pruned, zero visited.
+    let miss = service.publish(&publication(&schema, 900, 5)).unwrap();
+    assert!(miss.is_empty());
+    let totals = service.metrics().totals();
+    assert_eq!(totals.shards_pruned, 7, "previous 3 + all 4 shards");
+    assert_eq!(
+        totals.publications_processed, 1,
+        "the second publication reached no shard at all"
+    );
+}
+
+/// Unsubscribing ages summaries without narrowing them; once staleness
+/// passes the re-tighten knob the shard rebuilds from its store and the
+/// vacated space prunes again.
+#[test]
+fn retightening_restores_pruning_after_unsubscribe() {
+    let schema = schema();
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 1,
+            summary_retighten_after: 0, // re-tighten on every removal
+            ..Default::default()
+        },
+    );
+    service
+        .subscribe(SubscriptionId(1), sub(&schema, (0, 30), (0, 999)))
+        .unwrap();
+    service
+        .subscribe(SubscriptionId(2), sub(&schema, (600, 650), (0, 999)))
+        .unwrap();
+
+    // Both regions are live: the high region visits the shard.
+    assert_eq!(
+        service.publish(&publication(&schema, 620, 5)).unwrap(),
+        vec![SubscriptionId(2)]
+    );
+    let before = service.metrics().totals();
+
+    assert!(service.unsubscribe(SubscriptionId(2)));
+    // Rebuilt summary: the high region is provably vacated again.
+    assert!(service
+        .publish(&publication(&schema, 620, 5))
+        .unwrap()
+        .is_empty());
+    let after = service.metrics().totals();
+    assert!(
+        after.shards_pruned > before.shards_pruned,
+        "vacated region prunes after re-tightening: {before:?} -> {after:?}"
+    );
+    assert!(
+        after.summary.rebuilds > before.summary.rebuilds,
+        "unsubscribe with retighten_after=0 forces a rebuild"
+    );
+    assert_eq!(after.summary.staleness, 0);
+
+    // The surviving subscription is untouched.
+    assert_eq!(
+        service.publish(&publication(&schema, 15, 5)).unwrap(),
+        vec![SubscriptionId(1)]
+    );
+}
+
+/// With a generous staleness budget, removals age the summary in place:
+/// no rebuild happens, staleness is reported, and the stale (wider)
+/// summary stays conservative — the vacated region is still visited.
+#[test]
+fn bounded_staleness_is_reported_and_conservative() {
+    let schema = schema();
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 1,
+            summary_retighten_after: 1_000,
+            ..Default::default()
+        },
+    );
+    service
+        .subscribe(SubscriptionId(1), sub(&schema, (0, 30), (0, 999)))
+        .unwrap();
+    service
+        .subscribe(SubscriptionId(2), sub(&schema, (600, 650), (0, 999)))
+        .unwrap();
+    let boot_rebuilds = service.metrics().totals().summary.rebuilds;
+
+    assert!(service.unsubscribe(SubscriptionId(2)));
+    assert!(service
+        .publish(&publication(&schema, 620, 5))
+        .unwrap()
+        .is_empty());
+    let totals = service.metrics().totals();
+    assert_eq!(totals.summary.staleness, 1, "one removal since rebuild");
+    assert_eq!(totals.summary.rebuilds, boot_rebuilds, "no re-tighten yet");
+    // The stale summary still covers [600, 650], so the publish above
+    // visited the shard rather than (wrongly) pruning it.
+    assert_eq!(totals.shards_pruned, 0);
+}
+
+/// `routing_enabled: false` fans every publish out to every shard.
+#[test]
+fn disabled_routing_never_prunes() {
+    let schema = schema();
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 4,
+            routing_enabled: false,
+            ..Default::default()
+        },
+    );
+    service
+        .subscribe(SubscriptionId(1), sub(&schema, (100, 200), (0, 999)))
+        .unwrap();
+    for x0 in [0, 150, 999] {
+        let _ = service.publish(&publication(&schema, x0, 5)).unwrap();
+    }
+    let totals = service.metrics().totals();
+    assert_eq!(totals.shards_pruned, 0);
+    assert_eq!(totals.publications_processed, 3, "every shard saw all 3");
+}
+
+/// Summary health counters surface through the metrics pipeline: epochs
+/// advance with admissions and the JSON stats round-trip preserves the
+/// routing keys.
+#[test]
+fn summary_counters_flow_through_stats_json() {
+    let schema = schema();
+    let service = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 2,
+            ..Default::default()
+        },
+    );
+    for i in 0..10u64 {
+        service
+            .subscribe(SubscriptionId(i), sub(&schema, (0, 10), (0, 10)))
+            .unwrap();
+    }
+    let _ = service.publish(&publication(&schema, 5, 5)).unwrap();
+    let metrics = service.metrics();
+    let totals = metrics.totals();
+    assert!(totals.summary.epoch >= 2, "cells were published");
+    assert!(totals.summary.rebuilds >= 2, "one boot rebuild per shard");
+
+    let json = metrics.to_json().to_string();
+    for key in [
+        "\"shards_pruned\"",
+        "\"summary_epoch\"",
+        "\"summary_rebuilds\"",
+        "\"summary_staleness\"",
+    ] {
+        assert!(json.contains(key), "stats JSON must carry {key}: {json}");
+    }
+    let parsed = psc::model::wire::Json::parse(&json).unwrap();
+    let back = psc::service::ServiceMetrics::from_json(&parsed).unwrap();
+    assert_eq!(back, metrics);
+}
+
+/// Regression test for a pop-against-stale-view race. Confirmed `sent`
+/// entries are popped under the pending lock, but the pop is shared-state
+/// destructive: a publisher that read the summary cell before locking can
+/// find the queue already emptied by a fresher-viewed concurrent
+/// publisher, and deciding from its stale view alone would prune a shard
+/// holding a just-flushed subscription (a lost notification). Background
+/// publishers hammer the pop path while the main thread repeatedly
+/// subscribes, flushes, and publishes a matching publication — the flush
+/// completes strictly before the publish, so the new subscription must
+/// appear in the result every time.
+#[test]
+fn concurrent_publishers_never_lose_flushed_subscriptions() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let schema = schema();
+    // One shard: every publisher contends on the same pending queue.
+    let service = Arc::new(PubSubService::start(
+        schema.clone(),
+        ServiceConfig::with_shards(1),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let schema = schema.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = (t * 37) as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    x = (x + 13) % 1000;
+                    let _ = service.publish(&publication(&schema, x, x)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for k in 0..500u64 {
+        let x0 = ((k * 7) % 1000) as i64;
+        service
+            .subscribe(SubscriptionId(10_000 + k), sub(&schema, (x0, x0), (0, 999)))
+            .unwrap();
+        service.flush();
+        let matched = service.publish(&publication(&schema, x0, 0)).unwrap();
+        assert!(
+            matched.contains(&SubscriptionId(10_000 + k)),
+            "iteration {k}: flushed subscription lost by routing"
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in hammers {
+        h.join().unwrap();
+    }
+}
