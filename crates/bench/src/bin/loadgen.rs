@@ -1,0 +1,457 @@
+//! `loadgen` — a load-generator harness for the serving layer.
+//!
+//! Drives a real [`ServiceServer`] (TCP + epoll reactor) with concurrent
+//! subscriber connections, connection churn waves, deliberately slow
+//! consumers, and skewed/semantic workloads; measures client-observed
+//! publish round-trip latency into the same log-bucketed histograms the
+//! server uses; scrapes the server's per-stage latency over the wire;
+//! and emits one machine-readable JSON report (the `BENCH_*.json`
+//! trajectory — schema documented in `docs/OBSERVABILITY.md` and
+//! enforced by [`psc_bench::validate_bench_report`]).
+//!
+//! ```text
+//! loadgen [--smoke] [--out PATH]    # run scenarios, write the report
+//! loadgen --validate PATH           # schema-check an existing report
+//! ```
+//!
+//! `--smoke` shrinks every scenario to CI scale (tens of connections,
+//! hundreds of publishes, a few seconds total) while keeping the report
+//! schema identical to the full run, so CI validates the exact artifact
+//! shape a full run commits.
+
+use psc_bench::{semantic_fixture, skewed_fixture, uniform_fixture, validate_bench_report};
+use psc_model::wire::Json;
+use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use psc_service::telemetry::{stage_summary, LogHistogram};
+use psc_service::wire::Request;
+use psc_service::{ServiceClient, ServiceConfig, ServiceServer};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which fixture family feeds a scenario.
+#[derive(Clone, Copy)]
+enum Workload {
+    /// Uniform ranges/values (the paper's baseline workload).
+    Uniform,
+    /// Topic-skewed subscribers with a long-tail publication mix.
+    Skewed,
+    /// Synonym-expanded disjunctive templates (`psc_model::expand`).
+    Semantic,
+}
+
+/// One scenario's sizing. Every scenario runs against a fresh server so
+/// its histograms are not polluted by earlier phases.
+struct Spec {
+    name: &'static str,
+    workload: Workload,
+    subscriber_conns: usize,
+    subs_per_conn: usize,
+    publishers: usize,
+    publishes_per_publisher: usize,
+    /// Connect→subscribe→unsubscribe→disconnect waves run while the
+    /// publishers are active.
+    churn_waves: usize,
+    churn_wave_conns: usize,
+    /// Connections that pipeline `stats` requests without ever reading a
+    /// response, to force the reactor's slow-consumer policy.
+    slow_consumers: usize,
+}
+
+fn specs(smoke: bool) -> Vec<Spec> {
+    let spec = |name, workload, conns, per, publishers, pubs, waves, wave_conns, slow| Spec {
+        name,
+        workload,
+        subscriber_conns: conns,
+        subs_per_conn: per,
+        publishers,
+        publishes_per_publisher: pubs,
+        churn_waves: waves,
+        churn_wave_conns: wave_conns,
+        slow_consumers: slow,
+    };
+    if smoke {
+        vec![
+            spec("steady", Workload::Uniform, 40, 2, 2, 150, 0, 0, 0),
+            spec("skewed", Workload::Skewed, 30, 2, 2, 120, 0, 0, 0),
+            spec("churn", Workload::Uniform, 30, 2, 2, 150, 3, 10, 0),
+            spec("slow_consumer", Workload::Uniform, 20, 2, 2, 120, 0, 0, 2),
+            spec("semantic", Workload::Semantic, 25, 4, 2, 120, 0, 0, 0),
+        ]
+    } else {
+        vec![
+            spec("steady", Workload::Uniform, 2000, 2, 4, 3000, 0, 0, 0),
+            spec("skewed", Workload::Skewed, 1200, 2, 4, 2500, 0, 0, 0),
+            spec("churn", Workload::Uniform, 1000, 2, 4, 2500, 20, 50, 0),
+            spec("slow_consumer", Workload::Uniform, 600, 2, 4, 2000, 0, 0, 8),
+            spec("semantic", Workload::Semantic, 800, 4, 4, 2500, 0, 0, 0),
+        ]
+    }
+}
+
+fn generate(
+    workload: Workload,
+    subs: usize,
+    pubs: usize,
+    seed: u64,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    match workload {
+        Workload::Uniform => uniform_fixture(4, subs, pubs, 300, seed),
+        Workload::Skewed => skewed_fixture(4, subs, pubs, 250, seed),
+        // A request expands to 2–6 conjunctive subscriptions; ~5 on
+        // average, so size the request count to land near `subs`.
+        Workload::Semantic => semantic_fixture(subs.div_ceil(5).max(1), pubs, seed),
+    }
+}
+
+/// The drain deadline for a slow consumer: long enough to overrun the
+/// kernel's loopback socket buffers and trip the write-backlog policy,
+/// short enough to keep the scenario bounded.
+fn slow_consumer_deadline(smoke: bool) -> Duration {
+    if smoke {
+        Duration::from_secs(3)
+    } else {
+        Duration::from_secs(8)
+    }
+}
+
+/// Pipelines `stats` request lines without ever reading a response.
+/// Stats responses are the protocol's largest, so the connection's write
+/// backlog overruns `max_write_buffer_bytes` quickly and the reactor
+/// disconnects it; returns the number of lines sent before that.
+fn run_slow_consumer(addr: SocketAddr, deadline: Duration) -> u64 {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return 0;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut line = Request::Stats.encode();
+    line.push('\n');
+    let started = Instant::now();
+    let mut sent = 0u64;
+    while started.elapsed() < deadline {
+        if stream.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    sent
+}
+
+/// Runs connect→subscribe→unsubscribe→disconnect waves. Every wave runs
+/// even if the publishers finish first, so the wave budget is the
+/// scenario's churn total; the publish phase overlaps the early waves.
+/// Returns (connections churned, subscriptions churned).
+fn run_churn(
+    addr: SocketAddr,
+    waves: usize,
+    wave_conns: usize,
+    subscriptions: Arc<Vec<Subscription>>,
+    next_id: Arc<AtomicU64>,
+) -> (u64, u64) {
+    let mut churned_conns = 0u64;
+    let mut churned_subs = 0u64;
+    for wave in 0..waves {
+        let mut clients = Vec::with_capacity(wave_conns);
+        for i in 0..wave_conns {
+            let Ok(mut client) = ServiceClient::connect(addr) else {
+                continue;
+            };
+            churned_conns += 1;
+            let sub = &subscriptions[(wave * wave_conns + i) % subscriptions.len()];
+            let id = SubscriptionId(next_id.fetch_add(1, Ordering::Relaxed));
+            if client.subscribe(id, sub).is_ok() {
+                churned_subs += 1;
+                clients.push((client, id));
+            }
+        }
+        // Unsubscribe half before dropping, exercising removal (and the
+        // summary re-tighten path) under load; the rest disconnect with
+        // their subscriptions still live, like real crashed subscribers.
+        for (i, (client, id)) in clients.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                let _ = client.unsubscribe(*id);
+            }
+        }
+        drop(clients);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (churned_conns, churned_subs)
+}
+
+fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
+    let fleet_subs = spec.subscriber_conns * spec.subs_per_conn;
+    let churn_pool = spec.churn_waves * spec.churn_wave_conns;
+    let distinct_pubs = (spec.publishers * spec.publishes_per_publisher).clamp(64, 2048);
+    let (schema, subscriptions, publications) = generate(
+        spec.workload,
+        fleet_subs + churn_pool.max(1),
+        distinct_pubs,
+        seed,
+    );
+
+    let mut config = ServiceConfig::with_shards(2);
+    config.max_connections =
+        spec.subscriber_conns + spec.publishers + spec.churn_wave_conns + spec.slow_consumers + 16;
+    config.idle_timeout = None;
+    if spec.slow_consumers > 0 {
+        // Small backlog bound so unread responses trip the policy fast.
+        config.max_write_buffer_bytes = 4096;
+    }
+    let server =
+        ServiceServer::bind("127.0.0.1:0", schema, config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+
+    // Subscriber fleet: persistent idle connections each holding a slice
+    // of the subscription population.
+    let next_id = Arc::new(AtomicU64::new(1));
+    let mut fleet = Vec::with_capacity(spec.subscriber_conns);
+    let mut fleet_subscribed = 0u64;
+    {
+        let mut slices =
+            subscriptions[..fleet_subs.min(subscriptions.len())].chunks(spec.subs_per_conn.max(1));
+        for _ in 0..spec.subscriber_conns {
+            let mut client =
+                ServiceClient::connect(addr).map_err(|e| format!("fleet connect: {e}"))?;
+            for sub in slices.next().unwrap_or(&[]) {
+                let id = SubscriptionId(next_id.fetch_add(1, Ordering::Relaxed));
+                client
+                    .subscribe(id, sub)
+                    .map_err(|e| format!("fleet subscribe: {e}"))?;
+                fleet_subscribed += 1;
+            }
+            fleet.push(client);
+        }
+    }
+    let mut control = ServiceClient::connect(addr).map_err(|e| format!("control: {e}"))?;
+    control.flush().map_err(|e| format!("flush: {e}"))?;
+
+    // Background churners and slow consumers overlap the publish phase.
+    let churn_handle = (spec.churn_waves > 0).then(|| {
+        let subscriptions = Arc::new(subscriptions.clone());
+        let next_id = Arc::clone(&next_id);
+        let (waves, wave_conns) = (spec.churn_waves, spec.churn_wave_conns);
+        std::thread::spawn(move || run_churn(addr, waves, wave_conns, subscriptions, next_id))
+    });
+    let slow_handles: Vec<_> = (0..spec.slow_consumers)
+        .map(|_| {
+            let deadline = slow_consumer_deadline(smoke);
+            std::thread::spawn(move || run_slow_consumer(addr, deadline))
+        })
+        .collect();
+
+    // Publish phase: each publisher thread round-trips its share of the
+    // publication stream, recording client-observed RTT.
+    let publications = Arc::new(publications);
+    let publish_started = Instant::now();
+    let publisher_handles: Vec<_> = (0..spec.publishers)
+        .map(|p| {
+            let publications = Arc::clone(&publications);
+            let count = spec.publishes_per_publisher;
+            let stride = spec.publishers;
+            std::thread::spawn(move || -> Result<LogHistogram, String> {
+                let mut client =
+                    ServiceClient::connect(addr).map_err(|e| format!("publisher connect: {e}"))?;
+                let mut rtt = LogHistogram::new();
+                for i in 0..count {
+                    let publication = &publications[(p + i * stride) % publications.len()];
+                    let sample_started = Instant::now();
+                    client
+                        .publish(publication)
+                        .map_err(|e| format!("publish: {e}"))?;
+                    rtt.record_duration(sample_started.elapsed());
+                }
+                Ok(rtt)
+            })
+        })
+        .collect();
+
+    let mut rtt = LogHistogram::new();
+    for handle in publisher_handles {
+        let publisher = handle
+            .join()
+            .map_err(|_| "publisher panicked".to_string())??;
+        rtt.merge(&publisher);
+    }
+    let elapsed = publish_started.elapsed();
+    let (churned_conns, churned_subs) = churn_handle
+        .map(|h| h.join().unwrap_or((0, 0)))
+        .unwrap_or((0, 0));
+    let slow_lines: u64 = slow_handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(0))
+        .sum();
+
+    // Scrape the server's own view over the wire — the same stats
+    // response any operator client sees.
+    let (metrics, reactor, latency) = control
+        .stats_full()
+        .map_err(|e| format!("stats scrape: {e}"))?;
+    let reactor = reactor.ok_or("TCP server reported no reactor metrics")?;
+    let latency = latency.ok_or("server reported no latency stats")?;
+
+    // Harness invariants: every publish produced exactly one matched
+    // notification (the e2e stage) and one router ingress count.
+    let publishes = (spec.publishers * spec.publishes_per_publisher) as u64;
+    if latency.end_to_end.count != publishes {
+        return Err(format!(
+            "e2e samples {} != publishes {publishes}",
+            latency.end_to_end.count
+        ));
+    }
+    if metrics.publications_total != publishes {
+        return Err(format!(
+            "publications_total {} != publishes {publishes}",
+            metrics.publications_total
+        ));
+    }
+    if spec.slow_consumers > 0 && reactor.slow_consumer_disconnects == 0 {
+        return Err("slow consumers never tripped the backlog policy".into());
+    }
+    if spec.churn_waves > 0 && churned_subs == 0 {
+        return Err("churn waves made no subscriptions".into());
+    }
+
+    let throughput = publishes as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "[loadgen] {}: {} conns, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
+        spec.name,
+        reactor.connections_accepted,
+        publishes,
+        elapsed.as_secs_f64(),
+        throughput,
+        rtt.quantile(0.50),
+        rtt.quantile(0.99),
+        latency.end_to_end.p50_ns,
+        latency.end_to_end.p99_ns,
+    );
+
+    let scenario = Json::obj([
+        ("name", Json::Str(spec.name.into())),
+        ("connections", Json::UInt(reactor.connections_accepted)),
+        ("subscriptions", Json::UInt(fleet_subscribed + churned_subs)),
+        ("publishes", Json::UInt(publishes)),
+        ("elapsed_secs", Json::Float(elapsed.as_secs_f64())),
+        ("throughput_pubs_per_sec", Json::Float(throughput)),
+        ("client_rtt", stage_summary(&rtt).to_json()),
+        ("churned_connections", Json::UInt(churned_conns)),
+        ("slow_consumer_lines_sent", Json::UInt(slow_lines)),
+        (
+            "slow_consumer_disconnects",
+            Json::UInt(reactor.slow_consumer_disconnects),
+        ),
+        (
+            "server",
+            Json::obj([
+                ("publications_total", Json::UInt(metrics.publications_total)),
+                ("requests_handled", Json::UInt(reactor.requests_handled)),
+                ("latency", latency.to_json()),
+            ]),
+        ),
+    ]);
+    drop(fleet);
+    server.stop();
+    Ok(scenario)
+}
+
+fn usage() -> &'static str {
+    "usage: loadgen [--smoke] [--out PATH] | loadgen --validate PATH"
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_6.json");
+    let mut validate: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--validate" => match args.next() {
+                Some(path) => validate = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument \"{other}\"\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = validate {
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("[loadgen] read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let parsed = match Json::parse(raw.trim()) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("[loadgen] parse {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_bench_report(&parsed) {
+            Ok(()) => {
+                println!("[loadgen] {} is a valid report", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[loadgen] {} is invalid: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut scenarios = Vec::new();
+    for (i, spec) in specs(smoke).iter().enumerate() {
+        match run_scenario(spec, smoke, 0x10AD_6E00 ^ ((i as u64) << 8)) {
+            Ok(scenario) => scenarios.push(scenario),
+            Err(e) => {
+                eprintln!("[loadgen] scenario {}: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = Json::obj([
+        ("bench", Json::Str("loadgen".into())),
+        ("issue", Json::UInt(6)),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("shards", Json::UInt(2)),
+        ("scenarios", Json::Arr(scenarios)),
+    ]);
+    if let Err(e) = validate_bench_report(&report) {
+        eprintln!("[loadgen] generated report failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut body = report.to_string();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("[loadgen] write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[loadgen] wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+use psc_model::expand::Template;
+use psc_model::wire::Json;
 use psc_model::{Publication, Range, Schema, Subscription};
 use psc_workload::{
     seeded_rng, ComparisonWorkload, ExtremeNonCoverScenario, NonCoverScenario,
@@ -147,6 +149,156 @@ pub fn skewed_fixture(
     (schema, subscriptions, publications)
 }
 
+/// A synonym-expanded semantic workload built on
+/// [`psc_model::expand::Template`].
+///
+/// Each of the `requests` disjunctive requests constrains the topic
+/// attribute `x0` to 2–3 synonym point values and the time attribute
+/// `x1` to two admissible windows, then expands into conjunctive
+/// subscriptions (cross-product, capped at 16 per request) — the
+/// loadgen's stand-in for semantically equivalent subscription
+/// vocabularies. Publications split 50/50 between values drawn inside a
+/// random expanded subscription's box (guaranteed subscribers) and
+/// uniform draws (the long tail).
+pub fn semantic_fixture(
+    requests: usize,
+    pubs: usize,
+    seed: u64,
+) -> (Schema, Vec<Subscription>, Vec<Publication>) {
+    let schema = Schema::uniform(4, 0, 999);
+    let mut rng = seeded_rng(seed);
+    let mut subscriptions: Vec<Subscription> = Vec::new();
+    for _ in 0..requests {
+        let base = rng.gen_range(0i64..=799);
+        let synonyms = (0..rng.gen_range(2usize..=3))
+            .map(|j| Range::point((base + 97 * j as i64) % 1000))
+            .collect();
+        let windows = (0..2)
+            .map(|_| {
+                let lo = rng.gen_range(0i64..=899);
+                Range::new(lo, lo + 100).expect("ordered bounds")
+            })
+            .collect();
+        let lo2 = rng.gen_range(0i64..=699);
+        let expanded = Template::new(&schema)
+            .alternatives(0, synonyms)
+            .alternatives(1, windows)
+            .alternatives(2, vec![Range::new(lo2, lo2 + 300).expect("ordered bounds")])
+            .expand(16)
+            .expect("expansion within cap");
+        subscriptions.extend(expanded);
+    }
+    let publications = (0..pubs)
+        .map(|i| {
+            let values = if i % 2 == 0 && !subscriptions.is_empty() {
+                let s = &subscriptions[rng.gen_range(0..subscriptions.len())];
+                s.ranges()
+                    .iter()
+                    .map(|r| rng.gen_range(r.lo()..=r.hi()))
+                    .collect()
+            } else {
+                (0..4).map(|_| rng.gen_range(0i64..=999)).collect()
+            };
+            Publication::from_values(&schema, values).expect("within domain")
+        })
+        .collect();
+    (schema, subscriptions, publications)
+}
+
+/// Validates a loadgen `BENCH_*.json` report document.
+///
+/// The schema this enforces is what `docs/OBSERVABILITY.md` documents:
+/// a top-level `bench`/`issue`/`mode`/`shards` header plus a non-empty
+/// `scenarios` array, where every scenario carries its sizing, its
+/// throughput, a client round-trip quantile ladder, and the server-side
+/// per-stage latency with a populated end-to-end stage. Both the loadgen
+/// binary (before writing a report) and CI (after running the smoke
+/// mode) call this, so a report that drifts from the documented schema
+/// fails loudly in both places.
+pub fn validate_bench_report(report: &Json) -> Result<(), String> {
+    fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string \"{key}\""))
+    }
+    fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer \"{key}\""))
+    }
+    fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing number \"{key}\""))
+    }
+    fn quantile_ladder(stage: &Json, what: &str) -> Result<(), String> {
+        let tag = |e| format!("{what}: {e}");
+        if u64_field(stage, "count").map_err(tag)? == 0 {
+            return Err(format!("{what}: zero samples"));
+        }
+        let ladder = ["p50", "p90", "p99", "p999", "max"];
+        let mut last = 0u64;
+        for key in ladder {
+            let v = u64_field(stage, key).map_err(tag)?;
+            if v < last {
+                return Err(format!("{what}: quantile ladder not monotone at {key}"));
+            }
+            last = v;
+        }
+        Ok(())
+    }
+
+    if str_field(report, "bench")? != "loadgen" {
+        return Err("\"bench\" is not \"loadgen\"".into());
+    }
+    u64_field(report, "issue")?;
+    u64_field(report, "shards")?;
+    let mode = str_field(report, "mode")?;
+    if mode != "smoke" && mode != "full" {
+        return Err(format!("unknown mode \"{mode}\""));
+    }
+    let scenarios = report
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("missing \"scenarios\" array")?;
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" is empty".into());
+    }
+    for scenario in scenarios {
+        let name = str_field(scenario, "name")?;
+        let tag = |e: String| format!("scenario \"{name}\": {e}");
+        if u64_field(scenario, "connections").map_err(tag)? == 0 {
+            return Err(format!("scenario \"{name}\": no connections"));
+        }
+        u64_field(scenario, "subscriptions").map_err(tag)?;
+        if u64_field(scenario, "publishes").map_err(tag)? == 0 {
+            return Err(format!("scenario \"{name}\": no publishes"));
+        }
+        if f64_field(scenario, "elapsed_secs").map_err(tag)? <= 0.0 {
+            return Err(format!("scenario \"{name}\": non-positive elapsed"));
+        }
+        if f64_field(scenario, "throughput_pubs_per_sec").map_err(tag)? <= 0.0 {
+            return Err(format!("scenario \"{name}\": non-positive throughput"));
+        }
+        let rtt = scenario
+            .get("client_rtt")
+            .ok_or_else(|| format!("scenario \"{name}\": missing \"client_rtt\""))?;
+        quantile_ladder(rtt, &format!("scenario \"{name}\" client_rtt"))?;
+        let server = scenario
+            .get("server")
+            .ok_or_else(|| format!("scenario \"{name}\": missing \"server\""))?;
+        u64_field(server, "publications_total").map_err(tag)?;
+        let latency = server
+            .get("latency")
+            .ok_or_else(|| format!("scenario \"{name}\": missing server latency"))?;
+        let e2e = latency
+            .get("e2e")
+            .ok_or_else(|| format!("scenario \"{name}\": missing e2e stage"))?;
+        quantile_ladder(e2e, &format!("scenario \"{name}\" e2e"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +341,109 @@ mod tests {
         }
         let (_, subs2, _) = skewed_fixture(4, 40, 10, 250, 9);
         assert_eq!(subs, subs2, "skewed fixture is deterministic per seed");
+
+        let (schema, subs, pubs) = semantic_fixture(10, 20, 11);
+        assert_eq!(schema.len(), 4);
+        assert_eq!(pubs.len(), 20);
+        // Each request expands to 2–6 conjunctive subscriptions.
+        assert!(subs.len() >= 20 && subs.len() <= 60, "got {}", subs.len());
+        for s in &subs {
+            let topic = s.ranges()[0];
+            assert_eq!(topic.lo(), topic.hi(), "synonym alternative is a point");
+        }
+        let (_, subs2, _) = semantic_fixture(10, 20, 11);
+        assert_eq!(subs, subs2, "semantic fixture is deterministic per seed");
+    }
+
+    #[test]
+    fn bench_report_validator_accepts_and_rejects() {
+        let stage = |count: u64| {
+            Json::obj([
+                ("count", Json::UInt(count)),
+                ("min", Json::UInt(10)),
+                ("max", Json::UInt(500)),
+                ("mean", Json::Float(120.0)),
+                ("p50", Json::UInt(100)),
+                ("p90", Json::UInt(200)),
+                ("p99", Json::UInt(400)),
+                ("p999", Json::UInt(480)),
+            ])
+        };
+        let scenario = Json::obj([
+            ("name", Json::Str("steady".into())),
+            ("connections", Json::UInt(10)),
+            ("subscriptions", Json::UInt(20)),
+            ("publishes", Json::UInt(100)),
+            ("elapsed_secs", Json::Float(0.5)),
+            ("throughput_pubs_per_sec", Json::Float(200.0)),
+            ("client_rtt", stage(100)),
+            (
+                "server",
+                Json::obj([
+                    ("publications_total", Json::UInt(100)),
+                    ("latency", Json::obj([("e2e", stage(100))])),
+                ]),
+            ),
+        ]);
+        let report = |scenarios: Vec<Json>| {
+            Json::obj([
+                ("bench", Json::Str("loadgen".into())),
+                ("issue", Json::UInt(6)),
+                ("mode", Json::Str("smoke".into())),
+                ("shards", Json::UInt(2)),
+                ("scenarios", Json::Arr(scenarios)),
+            ])
+        };
+        assert_eq!(
+            validate_bench_report(&report(vec![scenario.clone()])),
+            Ok(())
+        );
+
+        assert!(
+            validate_bench_report(&report(vec![])).is_err(),
+            "empty scenarios"
+        );
+        assert!(
+            validate_bench_report(&Json::obj([("bench", Json::Str("other".into()))])).is_err(),
+            "wrong bench name"
+        );
+        // A zero-sample e2e stage must fail: it means no publish ever
+        // completed the publish→deliver span.
+        let mut broken = scenario.clone();
+        if let Json::Obj(pairs) = &mut broken {
+            for (k, v) in pairs.iter_mut() {
+                if k == "server" {
+                    *v = Json::obj([
+                        ("publications_total", Json::UInt(100)),
+                        ("latency", Json::obj([("e2e", stage(0))])),
+                    ]);
+                }
+            }
+        }
+        assert!(
+            validate_bench_report(&report(vec![broken])).is_err(),
+            "empty e2e"
+        );
+        // A non-monotone quantile ladder must fail.
+        let mut skewed_ladder = scenario;
+        if let Json::Obj(pairs) = &mut skewed_ladder {
+            for (k, v) in pairs.iter_mut() {
+                if k == "client_rtt" {
+                    let mut s = stage(100);
+                    if let Json::Obj(sp) = &mut s {
+                        for (sk, sv) in sp.iter_mut() {
+                            if sk == "p99" {
+                                *sv = Json::UInt(50);
+                            }
+                        }
+                    }
+                    *v = s;
+                }
+            }
+        }
+        assert!(
+            validate_bench_report(&report(vec![skewed_ladder])).is_err(),
+            "non-monotone ladder"
+        );
     }
 }

@@ -12,7 +12,10 @@
 //! - [`SchemaDto`] — `[["name", lo, hi], ...]`;
 //! - [`SummaryStats`] — per-shard routing-summary counters flattened into
 //!   `stats` shard objects (`summary_epoch` / `summary_rebuilds` /
-//!   `summary_staleness`).
+//!   `summary_staleness`);
+//! - [`LatencyStats`] / [`StageLatency`] — per-stage latency quantile
+//!   summaries under the `stats` response's decode-optional `latency` key
+//!   (nanosecond units; absent when talking to a pre-telemetry peer).
 //!
 //! Transport framing is incremental: [`LineFramer`] turns arbitrary byte
 //! chunks (as delivered by non-blocking socket reads) into newline-framed
@@ -882,6 +885,129 @@ impl SummaryStats {
             epoch: field("summary_epoch"),
             rebuilds: field("summary_rebuilds"),
             staleness: field("summary_staleness"),
+        }
+    }
+}
+
+/// Quantile summary of one pipeline stage's latency histogram, all
+/// durations in nanoseconds.
+///
+/// Quantile semantics follow the histogram they are extracted from
+/// (fixed-memory log-bucketed, see the service's telemetry module): each
+/// `pXX` value is an upper bound for the exact rank statistic with
+/// relative error at most one sub-bucket (~3.1%); `min`/`max`/`mean` are
+/// exact. An all-zero summary means the stage recorded no samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageLatency {
+    /// Samples recorded into the stage.
+    pub count: u64,
+    /// Exact smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Exact largest sample.
+    pub max_ns: u64,
+    /// Exact arithmetic mean.
+    pub mean_ns: f64,
+    /// Median upper bound.
+    pub p50_ns: u64,
+    /// 90th-percentile upper bound.
+    pub p90_ns: u64,
+    /// 99th-percentile upper bound.
+    pub p99_ns: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999_ns: u64,
+}
+
+impl StageLatency {
+    /// Encodes as a JSON object (`{"count":…,"p50":…,…}`; durations keep
+    /// their nanosecond unit, keys drop the `_ns` suffix).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("min", Json::UInt(self.min_ns)),
+            ("max", Json::UInt(self.max_ns)),
+            ("mean", Json::Float(self.mean_ns)),
+            ("p50", Json::UInt(self.p50_ns)),
+            ("p90", Json::UInt(self.p90_ns)),
+            ("p99", Json::UInt(self.p99_ns)),
+            ("p999", Json::UInt(self.p999_ns)),
+        ])
+    }
+
+    /// Decodes from a JSON object, defaulting missing keys to zero so
+    /// stages added later never break older readers.
+    pub fn from_json(value: &Json) -> Self {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        StageLatency {
+            count: field("count"),
+            min_ns: field("min"),
+            max_ns: field("max"),
+            mean_ns: value.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+            p50_ns: field("p50"),
+            p90_ns: field("p90"),
+            p99_ns: field("p99"),
+            p999_ns: field("p999"),
+        }
+    }
+}
+
+/// Per-stage latency summaries carried in the `stats` wire response under
+/// the `latency` key — decode-optional like [`SummaryStats`], so stats
+/// from pre-telemetry peers (no `latency` key at all) still parse and a
+/// reader built before a stage existed just sees it empty.
+///
+/// # Example
+/// ```
+/// use psc_model::wire::{Json, LatencyStats, StageLatency};
+///
+/// let stats = LatencyStats {
+///     end_to_end: StageLatency { count: 10, p50_ns: 1_500, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let back = LatencyStats::from_json(&Json::parse(&stats.to_json().to_string()).unwrap());
+/// assert_eq!(back, stats);
+/// // A pre-telemetry peer's payload decodes to the empty default.
+/// assert_eq!(LatencyStats::from_json(&Json::obj([])), LatencyStats::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Request-line decode (reactor front-end).
+    pub decode: StageLatency,
+    /// Router summary consult, per shard visit decision.
+    pub route: StageLatency,
+    /// Per-publication store match on a shard worker (key `match`).
+    pub shard_match: StageLatency,
+    /// Response encode + enqueue on the connection backlog (key `deliver`).
+    pub deliver: StageLatency,
+    /// Publish ingress → notification enqueue (key `e2e`).
+    pub end_to_end: StageLatency,
+}
+
+impl LatencyStats {
+    /// Encodes as a JSON object keyed by stage name.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("e2e", self.end_to_end.to_json()),
+            ("decode", self.decode.to_json()),
+            ("route", self.route.to_json()),
+            ("match", self.shard_match.to_json()),
+            ("deliver", self.deliver.to_json()),
+        ])
+    }
+
+    /// Decodes from a JSON object, defaulting each absent stage to empty.
+    pub fn from_json(value: &Json) -> Self {
+        let stage = |key: &str| {
+            value
+                .get(key)
+                .map(StageLatency::from_json)
+                .unwrap_or_default()
+        };
+        LatencyStats {
+            decode: stage("decode"),
+            route: stage("route"),
+            shard_match: stage("match"),
+            deliver: stage("deliver"),
+            end_to_end: stage("e2e"),
         }
     }
 }

@@ -12,7 +12,9 @@
 use crate::metrics::{ReactorMetrics, ServiceMetrics};
 use crate::service::ServiceConfig;
 use crate::wire::{Request, Response};
-use psc_model::wire::{Frame, LineFramer, PublicationDto, SubscriptionDto, WireError};
+use psc_model::wire::{
+    Frame, LatencyStats, LineFramer, PublicationDto, SubscriptionDto, WireError,
+};
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use std::fmt;
 use std::io::{Read, Write};
@@ -210,11 +212,20 @@ impl ServiceClient {
         Ok(self.stats_full()?.0)
     }
 
-    /// Scrapes service metrics plus the server's front-end counters
-    /// (absent when talking to a server without a reactor).
-    pub fn stats_full(&mut self) -> Result<(ServiceMetrics, Option<ReactorMetrics>), ClientError> {
+    /// Scrapes service metrics plus the server's front-end counters and
+    /// per-stage latency quantiles (either may be absent: `reactor` when
+    /// the service runs without a reactor, `latency` when talking to a
+    /// pre-telemetry server).
+    #[allow(clippy::type_complexity)]
+    pub fn stats_full(
+        &mut self,
+    ) -> Result<(ServiceMetrics, Option<ReactorMetrics>, Option<LatencyStats>), ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats { metrics, reactor } => Ok((metrics, reactor)),
+            Response::Stats {
+                metrics,
+                reactor,
+                latency,
+            } => Ok((metrics, reactor, latency.map(|l| *l))),
             other => Err(ClientError::UnexpectedResponse(other)),
         }
     }

@@ -56,6 +56,11 @@
 //!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate;
 //!   [`ReactorMetrics`] covers the serving edge (connections, slow-
 //!   consumer/idle disconnects, cap rejects).
+//! - **Latency telemetry** — fixed-memory log-bucketed histograms
+//!   ([`telemetry`]) time every pipeline stage (decode, route, match,
+//!   deliver) plus true publish→deliver latency; quantile summaries ride
+//!   in the `stats` wire response and `docs/OBSERVABILITY.md` documents
+//!   the design.
 //! - **Wire protocol** — newline-delimited JSON over TCP with
 //!   incremental, mid-stream-capped framing; see [`wire`] for the op
 //!   table and [`ServiceClient`] for the blocking client (all its socket
@@ -84,6 +89,7 @@ pub mod routing;
 pub mod server;
 pub mod service;
 pub mod storage;
+pub mod telemetry;
 pub mod wire;
 
 mod shard;
@@ -93,3 +99,4 @@ pub use metrics::{ReactorMetrics, ServiceMetrics, ShardMetrics};
 pub use server::ServiceServer;
 pub use service::{PubSubService, ServiceConfig, ServiceError};
 pub use storage::{FsyncPolicy, StorageError};
+pub use telemetry::{LogHistogram, ServiceLatency};

@@ -43,7 +43,11 @@ pub struct ShardMetrics {
     /// every shard observes every publication, so aggregates merge this
     /// by max, not sum; with routing enabled, pruned publishes never
     /// reach the shard, so the max is the *busiest* shard's count and may
-    /// undercount total publishes.
+    /// undercount total publishes — true totals live in the router-side
+    /// [`ServiceMetrics::publications_total`]. At quiescence every shard
+    /// satisfies `publications_processed + shards_pruned ==
+    /// publications_total` (each publication either visits a shard or is
+    /// pruned for it).
     pub publications_processed: u64,
     /// Publish fan-outs that skipped this shard because its routing
     /// summary proved nothing here could match (router-side counter; sums
@@ -127,6 +131,14 @@ impl ShardMetrics {
     }
 
     /// Decodes from the wire `stats` response.
+    ///
+    /// Version-skew policy: the original counter set (present since the
+    /// first release of the protocol) is required — its absence means the
+    /// payload is not a shard metrics object at all — while every counter
+    /// added later (the storage counters, the routing keys, and anything
+    /// newer) is decode-optional with a zero default, so scraping an
+    /// older peer degrades to zeros instead of erroring out the whole
+    /// `stats` response.
     pub fn from_json(value: &Json) -> Result<Self, WireError> {
         let field = |key: &str| -> Result<u64, WireError> {
             value
@@ -134,24 +146,24 @@ impl ShardMetrics {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| WireError::Shape(format!("shard metrics missing \"{key}\"")))
         };
+        // Counters newer than the original protocol (storage: `recovered`
+        // / `wal_records` / `snapshots` / `storage_errors` /
+        // `wal_truncated`; routing: `shards_pruned` + summary keys)
+        // default to zero when absent.
+        let optional = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
         Ok(ShardMetrics {
             subscriptions_ingested: field("ingested")?,
             subscriptions_suppressed: field("suppressed")?,
             subscriptions_rejected: field("rejected")?,
-            subscriptions_recovered: field("recovered")?,
+            subscriptions_recovered: optional("recovered"),
             unsubscriptions: field("unsubscribed")?,
             batches_admitted: field("batches")?,
-            wal_records_appended: field("wal_records")?,
-            snapshots_written: field("snapshots")?,
-            storage_errors: field("storage_errors")?,
-            wal_truncated_bytes: field("wal_truncated")?,
+            wal_records_appended: optional("wal_records"),
+            snapshots_written: optional("snapshots"),
+            storage_errors: optional("storage_errors"),
+            wal_truncated_bytes: optional("wal_truncated"),
             publications_processed: field("publications")?,
-            // Routing keys are absent from pre-routing peers' stats;
-            // default to zero rather than failing the whole scrape.
-            shards_pruned: value
-                .get("shards_pruned")
-                .and_then(Json::as_u64)
-                .unwrap_or(0),
+            shards_pruned: optional("shards_pruned"),
             summary: SummaryStats::from_json(value),
             notifications: field("notifications")?,
             active_subscriptions: field("active")?,
@@ -223,11 +235,19 @@ impl fmt::Display for ShardMetrics {
     }
 }
 
-/// The merged metrics view of a whole service: one entry per shard.
+/// The merged metrics view of a whole service: one entry per shard plus
+/// the router-side totals no shard can observe on its own.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServiceMetrics {
     /// Per-shard counters, indexed by shard id.
     pub shards: Vec<ShardMetrics>,
+    /// Publications the router accepted, counted at publish ingress
+    /// *before* routing prunes any shard visit. Under content-aware
+    /// routing the per-shard `publications` counters merge by max and
+    /// undercount (they see only unpruned visits); this is the true
+    /// publish total, and at quiescence every shard satisfies
+    /// `publications + shards_pruned == publications_total`.
+    pub publications_total: u64,
 }
 
 impl ServiceMetrics {
@@ -249,10 +269,13 @@ impl ServiceMetrics {
                 Json::Arr(self.shards.iter().map(ShardMetrics::to_json).collect()),
             ),
             ("totals", self.totals().to_json()),
+            ("publications_total", Json::UInt(self.publications_total)),
         ])
     }
 
-    /// Decodes from the wire `stats` response.
+    /// Decodes from the wire `stats` response (`publications_total` is
+    /// decode-optional: peers older than router-side publish counting
+    /// simply omit it).
     pub fn from_json(value: &Json) -> Result<Self, WireError> {
         let shards = value
             .get("shards")
@@ -261,7 +284,13 @@ impl ServiceMetrics {
             .iter()
             .map(ShardMetrics::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ServiceMetrics { shards })
+        Ok(ServiceMetrics {
+            shards,
+            publications_total: value
+                .get("publications_total")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        })
     }
 }
 
@@ -344,7 +373,12 @@ impl fmt::Display for ReactorMetrics {
 
 impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "service totals: {}", self.totals())?;
+        writeln!(
+            f,
+            "service totals ({} publications routed): {}",
+            self.publications_total,
+            self.totals()
+        )?;
         for (i, shard) in self.shards.iter().enumerate() {
             writeln!(f, "  shard {i}: {shard}")?;
         }
@@ -399,6 +433,7 @@ mod tests {
     fn totals_sum_counters_and_max_uptime() {
         let svc = ServiceMetrics {
             shards: vec![sample(1), sample(3)],
+            publications_total: 0,
         };
         let t = svc.totals();
         assert_eq!(t.subscriptions_ingested, 40);
@@ -417,11 +452,37 @@ mod tests {
     fn json_round_trip() {
         let svc = ServiceMetrics {
             shards: vec![sample(1), sample(2)],
+            publications_total: 23,
         };
         let json = svc.to_json().to_string();
         let parsed = psc_model::wire::Json::parse(&json).unwrap();
         let back = ServiceMetrics::from_json(&parsed).unwrap();
         assert_eq!(back, svc);
+    }
+
+    #[test]
+    fn newer_counters_decode_optional_for_version_skew() {
+        // A shard object as an older (pre-storage, pre-routing,
+        // pre-telemetry) peer emits it: only the original counter set.
+        let old_peer = r#"{"ingested":5,"suppressed":1,"rejected":0,"unsubscribed":2,
+            "batches":1,"publications":9,"notifications":4,"active":3,"covered":1,
+            "phase1_probes":20,"phase2_probes":5,"phase2_skipped":2,
+            "phase2_wholesale_skips":1,"uptime_secs":1.5}"#;
+        let parsed = psc_model::wire::Json::parse(old_peer).unwrap();
+        let m = ShardMetrics::from_json(&parsed).expect("older peer stats must decode");
+        assert_eq!(m.subscriptions_ingested, 5);
+        // Every newer counter degrades to zero instead of failing.
+        assert_eq!(m.subscriptions_recovered, 0);
+        assert_eq!(m.wal_records_appended, 0);
+        assert_eq!(m.snapshots_written, 0);
+        assert_eq!(m.storage_errors, 0);
+        assert_eq!(m.wal_truncated_bytes, 0);
+        assert_eq!(m.shards_pruned, 0);
+        assert_eq!(m.summary, SummaryStats::default());
+        // A genuinely required key still hard-fails: absence means this
+        // is not a shard metrics object.
+        let not_metrics = psc_model::wire::Json::parse(r#"{"uptime_secs":1.0}"#).unwrap();
+        assert!(ShardMetrics::from_json(&not_metrics).is_err());
     }
 
     #[test]
@@ -444,7 +505,8 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!ServiceMetrics {
-            shards: vec![sample(1)]
+            shards: vec![sample(1)],
+            publications_total: 5,
         }
         .to_string()
         .is_empty());

@@ -44,6 +44,7 @@ pub mod wheel;
 use crate::metrics::ReactorMetrics;
 use crate::server::respond;
 use crate::service::PubSubService;
+use crate::telemetry::{AtomicHistogram, ServiceLatency};
 use conn::{Connection, ReadStatus};
 use poll::{Event, Interest, Poller, WakePipe};
 use psc_model::wire::Frame;
@@ -80,6 +81,12 @@ pub struct ReactorCounters {
     idle_disconnects: AtomicU64,
     requests: AtomicU64,
     oversized_lines: AtomicU64,
+    /// Request-line → decoded `Request` time (the `decode` stage).
+    decode: AtomicHistogram,
+    /// Response encode + enqueue onto the write backlog (`deliver`).
+    deliver: AtomicHistogram,
+    /// Publish-frame completion → matched-notification enqueue (`e2e`).
+    end_to_end: AtomicHistogram,
 }
 
 impl ReactorCounters {
@@ -94,6 +101,21 @@ impl ReactorCounters {
             requests_handled: self.requests.load(Ordering::Relaxed),
             oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one request-line decode duration (called by the request
+    /// dispatcher, which is the only place that sees decode begin/end).
+    pub(crate) fn record_decode(&self, elapsed: Duration) {
+        self.decode.record_duration(elapsed);
+    }
+
+    /// Copies the reactor-owned stages (`decode`, `deliver`, `e2e`) into
+    /// a merged latency view whose service-side stages are already
+    /// filled in.
+    pub(crate) fn overlay_latency(&self, latency: &mut ServiceLatency) {
+        latency.decode = self.decode.snapshot();
+        latency.deliver = self.deliver.snapshot();
+        latency.end_to_end = self.end_to_end.snapshot();
     }
 }
 
@@ -335,6 +357,10 @@ impl Reactor {
             let Some(frame) = conn.next_frame() else {
                 break;
             };
+            // End-to-end ingress stamp: the request line has just
+            // completed framing. For publish requests the span from here
+            // to the matched-notification enqueue is the `e2e` stage.
+            let ingress = Instant::now();
             served_any = true;
             let response = match frame {
                 Frame::TooLong { len } => {
@@ -355,7 +381,17 @@ impl Reactor {
                 }
             };
             let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            let deliver_started = Instant::now();
             conn.queue_line(&response.encode());
+            self.counters
+                .deliver
+                .record_duration(deliver_started.elapsed());
+            if matches!(response, crate::wire::Response::Matched(_)) {
+                // The notification is now queued for delivery: close the
+                // publish→deliver span (decode + route + shard round-trip
+                // + merge + encode; everything but kernel socket time).
+                self.counters.end_to_end.record_duration(ingress.elapsed());
+            }
             if conn.flush().is_err() {
                 self.close(event.fd, None);
                 return;

@@ -115,7 +115,14 @@ pub(crate) fn respond(
     service: &PubSubService,
     reactor: Option<&ReactorCounters>,
 ) -> Response {
-    let request = match Request::decode(line) {
+    let decode_started = std::time::Instant::now();
+    let decoded = Request::decode(line);
+    if let Some(counters) = reactor {
+        // The decode stage costs the same whether the line parses or
+        // not, so malformed lines are recorded too.
+        counters.record_decode(decode_started.elapsed());
+    }
+    let request = match decoded {
         Ok(request) => request,
         Err(e) => return Response::Error(e.to_string()),
     };
@@ -143,9 +150,16 @@ pub(crate) fn respond(
             service.flush();
             Response::Flushed
         }
-        Request::Stats => Response::Stats {
-            metrics: service.metrics(),
-            reactor: reactor.map(ReactorCounters::snapshot),
-        },
+        Request::Stats => {
+            let (metrics, mut latency) = service.observe();
+            if let Some(counters) = reactor {
+                counters.overlay_latency(&mut latency);
+            }
+            Response::Stats {
+                metrics,
+                reactor: reactor.map(ReactorCounters::snapshot),
+                latency: Some(Box::new(latency.to_stats())),
+            }
+        }
     }
 }

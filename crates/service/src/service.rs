@@ -22,6 +22,7 @@ use crate::metrics::ServiceMetrics;
 use crate::routing::{ShardSummary, SummaryCell};
 use crate::shard::{ShardCommand, ShardWorker};
 use crate::storage::{FsyncPolicy, ShardStorage, StorageConfig};
+use crate::telemetry::{AtomicHistogram, ServiceLatency};
 use psc_core::SubsumptionChecker;
 use psc_matcher::CoveringStore;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
@@ -226,6 +227,15 @@ pub struct PubSubService {
     shards: Vec<Shard>,
     batch_size: usize,
     routing_enabled: bool,
+    /// Publications accepted by the router, before any pruning. The
+    /// per-shard `publications_processed` counters cannot reconstruct
+    /// this under routing (a pruned publish never reaches the shard), so
+    /// the router counts at ingress; see [`ServiceMetrics::publications_total`].
+    publications_total: AtomicU64,
+    /// Wall time of each per-shard routing decision (summary consult +
+    /// in-flight merge) — the `route` telemetry stage, recorded by the
+    /// publishing threads themselves.
+    route_latency: AtomicHistogram,
 }
 
 impl PubSubService {
@@ -339,6 +349,8 @@ impl PubSubService {
             shards,
             batch_size: config.batch_size,
             routing_enabled: config.routing_enabled,
+            publications_total: AtomicU64::new(0),
+            route_latency: AtomicHistogram::new(),
         })
     }
 
@@ -547,6 +559,8 @@ impl PubSubService {
         if publications.is_empty() {
             return Ok(Vec::new());
         }
+        self.publications_total
+            .fetch_add(publications.len() as u64, Ordering::Relaxed);
         let shared: Arc<Vec<Publication>> = Arc::new(publications.to_vec());
         let replies: Vec<_> = self
             .shards
@@ -557,7 +571,9 @@ impl PubSubService {
                 // pending-lock hold as the routing decision; per-shard
                 // FIFO then guarantees the MatchBatch below observes
                 // every admission the decision accounted for.
+                let route_started = std::time::Instant::now();
                 let selected = self.route_shard(i, shard, publications);
+                self.route_latency.record_duration(route_started.elapsed());
                 let pruned = publications.len() - selected.len();
                 if pruned > 0 {
                     shard.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
@@ -589,9 +605,23 @@ impl PubSubService {
 
     /// Scrapes every shard's metrics (after a flush, so buffered
     /// subscriptions are counted). The router overlays its per-shard
-    /// pruning counters — the workers cannot count publishes that never
-    /// reached them.
+    /// pruning counters and service-wide publish total — the workers
+    /// cannot count publishes that never reached them.
     pub fn metrics(&self) -> ServiceMetrics {
+        self.observe().0
+    }
+
+    /// The merged latency view: per-stage histograms, with every shard's
+    /// match-stage histogram folded in. The front-end stages (`decode`,
+    /// `deliver`, `e2e`) stay empty here; [`crate::ServiceServer`]'s
+    /// reactor overlays them when serving a `stats` request.
+    pub fn latency(&self) -> ServiceLatency {
+        self.observe().1
+    }
+
+    /// One scrape round-trip returning both the counter and the latency
+    /// view, so a `stats` request costs a single flush + fan-out.
+    pub fn observe(&self) -> (ServiceMetrics, ServiceLatency) {
         self.flush();
         let replies: Vec<_> = (0..self.shards.len())
             .map(|i| {
@@ -600,17 +630,25 @@ impl PubSubService {
                 rx
             })
             .collect();
-        ServiceMetrics {
-            shards: replies
-                .into_iter()
-                .zip(&self.shards)
-                .map(|(rx, shard)| {
-                    let mut metrics = rx.recv().expect("shard replies to scrape");
-                    metrics.shards_pruned = shard.pruned.load(Ordering::Relaxed);
-                    metrics
-                })
-                .collect(),
-        }
+        let mut latency = ServiceLatency {
+            route: self.route_latency.snapshot(),
+            ..ServiceLatency::default()
+        };
+        let shards = replies
+            .into_iter()
+            .zip(&self.shards)
+            .map(|(rx, shard)| {
+                let (mut metrics, match_latency) = rx.recv().expect("shard replies to scrape");
+                metrics.shards_pruned = shard.pruned.load(Ordering::Relaxed);
+                latency.shard_match.merge(&match_latency);
+                metrics
+            })
+            .collect();
+        let metrics = ServiceMetrics {
+            shards,
+            publications_total: self.publications_total.load(Ordering::Relaxed),
+        };
+        (metrics, latency)
     }
 
     /// Dumps `(id, subscription, is_active)` across all shards — the

@@ -26,6 +26,7 @@
 use crate::metrics::ShardMetrics;
 use crate::routing::{ShardSummary, SummaryCell};
 use crate::storage::{LogRecord, ShardStorage};
+use crate::telemetry::LogHistogram;
 use psc_matcher::CoveringStore;
 use psc_model::wire::SummaryStats;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
@@ -50,8 +51,9 @@ pub(crate) enum ShardCommand {
         Vec<u32>,
         Sender<Vec<Vec<SubscriptionId>>>,
     ),
-    /// Report current metrics.
-    Scrape(Sender<ShardMetrics>),
+    /// Report current metrics plus the shard's match-stage latency
+    /// histogram (owned here, so the reply is the scrape-on-demand read).
+    Scrape(Sender<(ShardMetrics, LogHistogram)>),
     /// Dump `(id, subscription, is_active)` for every stored subscription.
     Snapshot(Sender<HashMap<SubscriptionId, (Subscription, bool)>>),
     /// Drain and exit.
@@ -82,6 +84,10 @@ pub(crate) struct ShardWorker {
     /// exceeds this.
     retighten_after: u64,
     summary_rebuilds: u64,
+    /// Wall time of each publication match against the local store.
+    /// Worker-owned like every other counter here: recording is a plain
+    /// array increment, and scrapes read it through the command queue.
+    match_latency: LogHistogram,
     started: Instant,
     subscriptions_ingested: u64,
     subscriptions_suppressed: u64,
@@ -117,6 +123,7 @@ impl ShardWorker {
             removals_since_rebuild: 0,
             retighten_after,
             summary_rebuilds: 0,
+            match_latency: LogHistogram::new(),
             started: Instant::now(),
             subscriptions_ingested: 0,
             subscriptions_suppressed: 0,
@@ -206,7 +213,9 @@ impl ShardWorker {
                     let matches = selected
                         .iter()
                         .map(|&i| {
+                            let started = Instant::now();
                             let ids = self.store.match_publication(&publications[i as usize]);
+                            self.match_latency.record_duration(started.elapsed());
                             self.publications_processed += 1;
                             self.notifications += ids.len() as u64;
                             ids
@@ -215,7 +224,7 @@ impl ShardWorker {
                     let _ = reply.send(matches);
                 }
                 ShardCommand::Scrape(reply) => {
-                    let _ = reply.send(self.metrics());
+                    let _ = reply.send((self.metrics(), self.match_latency.clone()));
                 }
                 ShardCommand::Snapshot(reply) => {
                     let _ = reply.send(self.store.snapshot());

@@ -1,0 +1,433 @@
+//! Fixed-memory log-bucketed latency histograms (HDR-style).
+//!
+//! A [`LogHistogram`] covers the full `u64` nanosecond range with
+//! power-of-two groups, each split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so relative quantile error is bounded by
+//! `1 / SUB_BUCKETS` (~3.1%) at every magnitude while the whole
+//! structure stays a flat, fixed-size counter array (~15 KiB) — no
+//! allocation on record, O(buckets) merge and quantile extraction,
+//! no loss of the distribution's tail.
+//!
+//! Two flavors share the bucket layout:
+//!
+//! - [`LogHistogram`] — plain counters for single-owner recording
+//!   (shard workers own one and report it through the same
+//!   scrape-on-demand message as [`crate::ShardMetrics`]).
+//! - [`AtomicHistogram`] — relaxed-atomic counters for stages recorded
+//!   from many threads at once (the router's summary-consult stage, the
+//!   reactor's decode/deliver/end-to-end stages). Recording is a single
+//!   `fetch_add` per bucket — lock-free, wait-free, never contended with
+//!   scrapes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two group, as a power of two.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two group (32).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Power-of-two groups above the linear head (msb positions
+/// `SUB_BITS..=63`).
+const GROUPS: usize = 64 - SUB_BITS as usize;
+/// Total buckets: a linear head for values below [`SUB_BUCKETS`] plus
+/// [`SUB_BUCKETS`] sub-buckets per group.
+pub const BUCKETS: usize = SUB_BUCKETS + GROUPS * SUB_BUCKETS;
+
+/// Bucket index for a value. Total order preserving: `a <= b` implies
+/// `index(a) <= index(b)`, and every `u64` maps in-range.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros(); // msb position, >= SUB_BITS
+    let group = (top - SUB_BITS) as usize;
+    let sub = (value >> (top - SUB_BITS)) as usize - SUB_BUCKETS;
+    SUB_BUCKETS + group * SUB_BUCKETS + sub
+}
+
+/// Inclusive upper bound of a bucket — the value quantile extraction
+/// reports, so reported quantiles never *under*-state a latency.
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let group = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+    let width = 1u64 << group;
+    let low = ((SUB_BUCKETS + sub) as u64) << group;
+    low + (width - 1)
+}
+
+/// A fixed-memory log-bucketed histogram of `u64` values (nanoseconds
+/// by convention).
+///
+/// # Example
+/// ```
+/// use psc_service::telemetry::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.50);
+/// // Bounded relative error: the reported quantile never understates
+/// // and overstates by at most one sub-bucket width (~3%).
+/// assert!((500..=516).contains(&p50));
+/// ```
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    /// Exact extrema and total, tracked beside the buckets so `min`/
+    /// `max`/`mean` carry no bucketing error.
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0u64; BUCKETS]
+                .into_boxed_slice()
+                .try_into()
+                .expect("BUCKETS length"),
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Records a duration as saturating nanoseconds.
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty). Exact.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty). Exact.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty). Exact.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`.
+    ///
+    /// Semantics: the reported value is an upper bound for the
+    /// `ceil(q · count)`-th smallest recorded value (rank statistics, no
+    /// interpolation), clamped to the exact recorded maximum. It never
+    /// understates the true quantile and overstates it by at most one
+    /// sub-bucket width — a relative error bounded by `1/32` (~3.1%).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded both histograms' values into one (the property tests
+    /// assert this bucket-exactly).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Bucket-level equality (used by the merge-equivalence tests).
+    pub fn same_distribution(&self, other: &LogHistogram) -> bool {
+        self.count == other.count
+            && self.min == other.min
+            && self.max == other.max
+            && self.sum == other.sum
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    /// Operator-facing one-liner: count plus the quantile ladder, in
+    /// human units.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "no samples");
+        }
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} p999={} max={}",
+            self.count,
+            Nanos(self.quantile(0.50)),
+            Nanos(self.quantile(0.90)),
+            Nanos(self.quantile(0.99)),
+            Nanos(self.quantile(0.999)),
+            Nanos(self.max()),
+        )
+    }
+}
+
+/// Nanoseconds pretty-printed at a human scale (`ns`/`µs`/`ms`/`s`).
+pub struct Nanos(pub u64);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v < 1_000 {
+            write!(f, "{v}ns")
+        } else if v < 1_000_000 {
+            write!(f, "{:.1}µs", v as f64 / 1e3)
+        } else if v < 1_000_000_000 {
+            write!(f, "{:.2}ms", v as f64 / 1e6)
+        } else {
+            write!(f, "{:.2}s", v as f64 / 1e9)
+        }
+    }
+}
+
+/// The same bucket layout with relaxed-atomic counters, for stages
+/// recorded concurrently from many threads (router and reactor stages).
+///
+/// Recording is one `fetch_add` on the bucket plus relaxed updates of
+/// the extrema — lock-free and wait-free; [`snapshot`](Self::snapshot)
+/// produces a plain [`LogHistogram`] for merging and quantile
+/// extraction. A snapshot taken while writers are racing is *per-field*
+/// consistent (each counter is atomically read) rather than a frozen
+/// point in time, which is the same contract the rest of the metrics
+/// scrapes already offer.
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    /// Sum of recorded nanoseconds; wraps only after ~584 years of
+    /// cumulative recorded latency, which no scrape cadence observes.
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (relaxed ordering; counters are monotone and
+    /// scrapes tolerate in-flight racers).
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as saturating nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A plain copy for merging and quantile extraction.
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for (dst, src) in h.counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed) as u128;
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            1_000_000,
+            u64::from(u32::MAX),
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(bucket_high(i) >= v, "bucket high below its own value");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_line() {
+        // Consecutive buckets abut exactly: high(i) + 1 is in bucket i+1.
+        for i in 0..BUCKETS - 1 {
+            let hi = bucket_high(i);
+            if hi == u64::MAX {
+                break;
+            }
+            assert_eq!(bucket_index(hi), i, "high({i}) maps back to {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "buckets abut at {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_exact_ranks() {
+        let mut h = LogHistogram::new();
+        let mut values: Vec<u64> = (0..4_000u64).map(|i| (i * i * 7) % 1_000_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank];
+            let reported = h.quantile(q);
+            assert!(reported >= exact, "q={q}: {reported} < exact {exact}");
+            assert!(
+                reported <= exact + exact / 32 + 1,
+                "q={q}: {reported} exceeds bound over {exact}"
+            );
+        }
+        assert_eq!(h.min(), values[0]);
+        assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.to_string(), "no samples");
+    }
+
+    #[test]
+    fn merge_equals_record_all() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * 37 % 10_000;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert!(a.same_distribution(&all));
+        assert_eq!(a.quantile(0.5), all.quantile(0.5));
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain() {
+        // Values stay within the atomic sum's u64 range (its documented
+        // limit: cumulative recorded time, not single-value headroom).
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        for v in [0u64, 5, 90, 4_096, 1 << 40, 1 << 62] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert!(atomic.snapshot().same_distribution(&plain));
+    }
+
+    #[test]
+    fn display_formats_units() {
+        assert_eq!(Nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos(4_500).to_string(), "4.5µs");
+        assert_eq!(Nanos(12_300_000).to_string(), "12.30ms");
+        assert_eq!(Nanos(2_000_000_000).to_string(), "2.00s");
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end latency telemetry: stage timers and their histograms.
+//!
+//! Counting says *how much* work the service did; this module says *how
+//! long* each pipeline stage took, as full distributions rather than
+//! averages — the paper's probabilistic subsumption trade-off (bounded
+//! false-exclusion risk bought for matching speed) is only observable
+//! through tail latency, so quantiles are the first-class product here.
+//!
+//! ## Stage map
+//!
+//! Five stages cover one publication's life through the serving stack;
+//! every timer records into a fixed-memory [`LogHistogram`] (see
+//! [`histogram`] for the bucket layout and error bound):
+//!
+//! | stage | span | recorded by |
+//! |---|---|---|
+//! | `decode` | request line → decoded [`Request`](crate::wire::Request) | reactor thread ([`AtomicHistogram`]) |
+//! | `route` | per shard: summary consult + in-flight merge → selected indices | publishing threads ([`AtomicHistogram`]) |
+//! | `match` | per publication: store match on one shard | shard worker (owned [`LogHistogram`], scraped on demand) |
+//! | `deliver` | response encode → enqueue on the connection's write backlog | reactor thread ([`AtomicHistogram`]) |
+//! | `e2e` | publish ingress (request line framed) → notification enqueue | reactor thread ([`AtomicHistogram`]) |
+//!
+//! `e2e` is the headline number: it is stamped when a `publish` request's
+//! line completes framing and observed when the matched-notification
+//! response is queued for delivery, so it covers decode, routing, the
+//! cross-thread shard round-trip, merging, and encoding — everything but
+//! the kernel's socket time.
+//!
+//! ## Recording discipline
+//!
+//! Same pattern as [`crate::ShardMetrics`]: hot paths never lock. The
+//! shard's match histogram is owned by its worker thread and reported
+//! through the existing scrape message; the router and reactor stages are
+//! recorded into [`AtomicHistogram`]s (one relaxed `fetch_add` per
+//! sample). Scrapes merge per-shard histograms into one
+//! [`ServiceLatency`], whose [`LatencyStats`] projection travels in the
+//! `stats` wire response (decode-optional, so older peers interoperate).
+
+pub mod histogram;
+
+pub use histogram::{AtomicHistogram, LogHistogram, Nanos};
+
+use psc_model::wire::{LatencyStats, StageLatency};
+use std::fmt;
+
+/// The merged latency view of a service: one histogram per pipeline
+/// stage. Front-end stages are empty when the service is driven
+/// in-process without a reactor.
+#[derive(Clone, Default, Debug)]
+pub struct ServiceLatency {
+    /// Request-line decode (reactor).
+    pub decode: LogHistogram,
+    /// Router summary consult, per shard visit decision.
+    pub route: LogHistogram,
+    /// Per-publication store match, merged across shard workers.
+    pub shard_match: LogHistogram,
+    /// Response encode + enqueue onto the connection backlog (reactor).
+    pub deliver: LogHistogram,
+    /// Publish ingress → notification enqueue (reactor).
+    pub end_to_end: LogHistogram,
+}
+
+/// Projects one histogram into the wire quantile summary — the single
+/// place the quantile ladder (p50/p90/p99/p999) is defined.
+pub fn stage_summary(h: &LogHistogram) -> StageLatency {
+    StageLatency {
+        count: h.count(),
+        min_ns: h.min(),
+        max_ns: h.max(),
+        mean_ns: h.mean(),
+        p50_ns: h.quantile(0.50),
+        p90_ns: h.quantile(0.90),
+        p99_ns: h.quantile(0.99),
+        p999_ns: h.quantile(0.999),
+    }
+}
+
+impl ServiceLatency {
+    /// Projects each stage's histogram into the wire quantile summary.
+    pub fn to_stats(&self) -> LatencyStats {
+        let stage = stage_summary;
+        LatencyStats {
+            decode: stage(&self.decode),
+            route: stage(&self.route),
+            shard_match: stage(&self.shard_match),
+            deliver: stage(&self.deliver),
+            end_to_end: stage(&self.end_to_end),
+        }
+    }
+}
+
+impl fmt::Display for ServiceLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "latency per stage:")?;
+        for (name, h) in [
+            ("e2e    ", &self.end_to_end),
+            ("decode ", &self.decode),
+            ("route  ", &self.route),
+            ("match  ", &self.shard_match),
+            ("deliver", &self.deliver),
+        ] {
+            writeln!(f, "  {name} {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_projection_carries_quantiles() {
+        let mut lat = ServiceLatency::default();
+        for v in 1..=1_000u64 {
+            lat.end_to_end.record(v * 1_000);
+        }
+        let stats = lat.to_stats();
+        assert_eq!(stats.end_to_end.count, 1_000);
+        assert!(stats.end_to_end.p50_ns >= 500_000);
+        assert!(stats.end_to_end.p999_ns <= stats.end_to_end.max_ns);
+        assert_eq!(stats.decode.count, 0);
+        assert!(!lat.to_string().is_empty());
+    }
+}

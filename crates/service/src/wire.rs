@@ -10,7 +10,7 @@
 //! | `unsubscribe` | `id` | `removed: bool` |
 //! | `publish` | `values` | `matched: [id, ...]` (sorted) |
 //! | `flush` | — | `flushed: true` |
-//! | `stats` | — | `metrics` (see [`crate::ServiceMetrics`]), optional `reactor` (see [`crate::ReactorMetrics`]) |
+//! | `stats` | — | `metrics` (see [`crate::ServiceMetrics`]), optional `reactor` (see [`crate::ReactorMetrics`]), optional `latency` (see [`psc_model::wire::LatencyStats`]) |
 //!
 //! Every response object carries `"ok": true|false`; failed requests embed
 //! an `"error"` string instead of result fields. A malformed line never
@@ -26,7 +26,7 @@
 //! parser when each completed line is decoded.
 
 use crate::metrics::{ReactorMetrics, ServiceMetrics};
-use psc_model::wire::{Json, PublicationDto, SchemaDto, SubscriptionDto, WireError};
+use psc_model::wire::{Json, LatencyStats, PublicationDto, SchemaDto, SubscriptionDto, WireError};
 
 /// Longest request line the server accepts; the incremental framer
 /// enforces it mid-stream, so an unterminated hostile line never buffers
@@ -130,6 +130,12 @@ pub enum Response {
         /// in-process without a reactor (and tolerated as absent on
         /// decode, so older peers still interoperate).
         reactor: Option<ReactorMetrics>,
+        /// Per-stage latency quantiles; absent from pre-telemetry
+        /// servers and tolerated as absent on decode (same version-skew
+        /// policy as `reactor`). Boxed: five stage summaries would
+        /// otherwise dominate every `Response`'s (and `ClientError`'s)
+        /// inline size.
+        latency: Option<Box<LatencyStats>>,
     },
     /// The request failed.
     Error(String),
@@ -152,10 +158,17 @@ impl Response {
             Response::Removed(removed) => ok(vec![("removed", Json::Bool(*removed))]),
             Response::Matched(ids) => ok(vec![("matched", Json::id_array(ids.iter().copied()))]),
             Response::Flushed => ok(vec![("flushed", Json::Bool(true))]),
-            Response::Stats { metrics, reactor } => {
+            Response::Stats {
+                metrics,
+                reactor,
+                latency,
+            } => {
                 let mut fields = vec![("metrics", metrics.to_json())];
                 if let Some(reactor) = reactor {
                     fields.push(("reactor", reactor.to_json()));
+                }
+                if let Some(latency) = latency {
+                    fields.push(("latency", latency.to_json()));
                 }
                 ok(fields)
             }
@@ -216,9 +229,13 @@ impl Response {
                 .get("reactor")
                 .map(ReactorMetrics::from_json)
                 .transpose()?;
+            let latency = value
+                .get("latency")
+                .map(|v| Box::new(LatencyStats::from_json(v)));
             return Ok(Response::Stats {
                 metrics: ServiceMetrics::from_json(metrics)?,
                 reactor,
+                latency,
             });
         }
         // No recognized discriminator: fail loudly rather than guessing —
@@ -277,8 +294,10 @@ mod tests {
                         subscriptions_ingested: 3,
                         ..Default::default()
                     }],
+                    publications_total: 7,
                 },
                 reactor: None,
+                latency: None,
             },
             Response::Stats {
                 metrics: ServiceMetrics::default(),
@@ -288,12 +307,51 @@ mod tests {
                     requests_handled: 120,
                     ..Default::default()
                 }),
+                latency: Some(Box::new(psc_model::wire::LatencyStats {
+                    end_to_end: psc_model::wire::StageLatency {
+                        count: 10,
+                        min_ns: 1_000,
+                        max_ns: 90_000,
+                        mean_ns: 12_000.0,
+                        p50_ns: 8_000,
+                        p90_ns: 40_000,
+                        p99_ns: 88_000,
+                        p999_ns: 90_000,
+                    },
+                    ..Default::default()
+                })),
             },
             Response::Error("boom".into()),
         ];
         for response in cases {
             let line = response.encode();
             assert_eq!(Response::decode(&line).unwrap(), response, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn stats_from_pre_telemetry_server_decodes_without_latency() {
+        // Literal wire bytes as a pre-telemetry server emits them: no
+        // "latency" key, no "publications_total", shard objects without
+        // the storage/routing counters. Must still decode.
+        let line = r#"{"ok":true,"metrics":{"shards":[{"ingested":2,"suppressed":0,
+            "rejected":0,"unsubscribed":0,"batches":1,"publications":5,
+            "notifications":3,"active":2,"covered":0,"phase1_probes":8,
+            "phase2_probes":2,"phase2_skipped":1,"phase2_wholesale_skips":0,
+            "uptime_secs":0.5}]}}"#
+            .replace('\n', "");
+        match Response::decode(&line).unwrap() {
+            Response::Stats {
+                metrics,
+                reactor,
+                latency,
+            } => {
+                assert_eq!(metrics.shards.len(), 1);
+                assert_eq!(metrics.publications_total, 0);
+                assert!(reactor.is_none());
+                assert!(latency.is_none());
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

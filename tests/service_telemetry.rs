@@ -1,0 +1,195 @@
+//! Tests of the latency-telemetry subsystem end to end: the router's
+//! `publications_total` identity under content-aware routing, histogram
+//! merge/quantile properties against a sorted-vector reference, and the
+//! `stats` wire response carrying per-stage quantiles over real TCP —
+//! including decoding stats emitted by pre-telemetry peers.
+
+use proptest::prelude::*;
+use psc::model::wire::{Json, LatencyStats};
+use psc::model::SubscriptionId;
+use psc::service::telemetry::LogHistogram;
+use psc::service::{PubSubService, ServiceClient, ServiceConfig, ServiceServer};
+
+/// Router-side publish counting under routing: summing per-shard
+/// `publications` undercounts whenever a summary prunes a shard (the PR 5
+/// max-merge workaround hid, rather than fixed, that). The router's own
+/// ingress counter reports the true total, and at quiescence every shard
+/// satisfies `publications + shards_pruned == publications_total`.
+#[test]
+fn publications_total_identity_under_routing() {
+    // The skewed fixture concentrates subscribers on hot topics, so the
+    // per-shard value-set summaries prune most long-tail publications.
+    let (schema, subs, pubs) = psc_bench::skewed_fixture(4, 120, 200, 250, 0x1D1D);
+    let service = PubSubService::start(
+        schema,
+        ServiceConfig {
+            shards: 4,
+            batch_size: 16,
+            ..Default::default()
+        },
+    );
+    for (i, s) in subs.iter().enumerate() {
+        service
+            .subscribe(SubscriptionId(i as u64), s.clone())
+            .expect("subscribe");
+    }
+    service.flush();
+    for p in &pubs {
+        service.publish(p).expect("publish");
+    }
+
+    let metrics = service.metrics();
+    assert_eq!(
+        metrics.publications_total,
+        pubs.len() as u64,
+        "router counts every publish at ingress"
+    );
+    let mut any_pruned = false;
+    for shard in &metrics.shards {
+        assert_eq!(
+            shard.publications_processed + shard.shards_pruned,
+            metrics.publications_total,
+            "per shard: every publication either visits or is pruned"
+        );
+        any_pruned |= shard.shards_pruned > 0;
+    }
+    assert!(
+        any_pruned,
+        "skewed workload should prune; otherwise this test is vacuous"
+    );
+
+    // In-process latency view: route and match stages have samples, the
+    // reactor-owned stages stay empty without a TCP front-end.
+    let latency = service.latency();
+    assert!(latency.route.count() > 0, "route stage recorded");
+    assert!(latency.shard_match.count() > 0, "match stage recorded");
+    assert_eq!(latency.decode.count(), 0);
+    assert_eq!(latency.end_to_end.count(), 0);
+}
+
+/// The full acceptance path: a real TCP server answers `stats` with
+/// per-stage latency, and the e2e stage counts exactly the publishes.
+#[test]
+fn stats_over_tcp_carries_stage_quantiles() {
+    let (schema, subs, pubs) = psc_bench::uniform_fixture(4, 60, 40, 300, 0x7E7E);
+    let server = ServiceServer::bind(
+        "127.0.0.1:0",
+        schema,
+        ServiceConfig {
+            shards: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+    for (i, s) in subs.iter().enumerate() {
+        client
+            .subscribe(SubscriptionId(i as u64), s)
+            .expect("subscribe");
+    }
+    client.flush().expect("flush");
+    for p in &pubs {
+        client.publish(p).expect("publish");
+    }
+
+    let (metrics, reactor, latency) = client.stats_full().expect("stats");
+    let reactor = reactor.expect("TCP server reports reactor metrics");
+    let latency = latency.expect("TCP server reports latency stats");
+    assert_eq!(metrics.publications_total, pubs.len() as u64);
+    assert!(reactor.requests_handled > 0);
+
+    // Publish→deliver latency: one e2e sample per publish, quantile
+    // ladder monotone and bounded by the exact max.
+    let e2e = &latency.end_to_end;
+    assert_eq!(e2e.count, pubs.len() as u64);
+    assert!(e2e.min_ns > 0);
+    assert!(e2e.p50_ns <= e2e.p90_ns);
+    assert!(e2e.p90_ns <= e2e.p99_ns);
+    assert!(e2e.p99_ns <= e2e.p999_ns);
+    assert!(e2e.p999_ns <= e2e.max_ns);
+
+    // Every per-stage timer saw traffic: decode covers all request
+    // lines, deliver covers all responses queued so far, route/match ran
+    // per shard visit.
+    assert!(latency.decode.count > e2e.count);
+    assert!(latency.deliver.count > e2e.count);
+    assert!(latency.route.count > 0);
+    assert!(latency.shard_match.count > 0);
+    server.stop();
+}
+
+/// A pre-telemetry stats line (no `latency`, no `publications_total`)
+/// still decodes, and `LatencyStats::from_json` tolerates partially
+/// populated stage maps — the version-skew contract.
+#[test]
+fn version_skew_tolerates_absent_latency() {
+    let old = Json::parse(
+        r#"{"e2e":{"count":3,"p50":10,"p90":20,"p99":30,"p999":31,"min":1,"max":32,"mean":12.5}}"#,
+    )
+    .expect("parse");
+    let stats = LatencyStats::from_json(&old);
+    assert_eq!(stats.end_to_end.count, 3);
+    assert_eq!(stats.end_to_end.p999_ns, 31);
+    // Stages the old peer never emitted default to empty, not error.
+    assert_eq!(stats.decode.count, 0);
+    assert_eq!(stats.route, Default::default());
+}
+
+proptest! {
+    /// Merging split histograms is bucket-exactly equivalent to having
+    /// recorded every value into one histogram, regardless of how the
+    /// values are partitioned.
+    #[test]
+    fn histogram_merge_equals_record_all(
+        values in proptest::collection::vec(0u64..1 << 48, 1..300),
+        splits in proptest::collection::vec(0usize..4, 1..300),
+    ) {
+        let mut parts = [
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+            LogHistogram::new(),
+        ];
+        let mut all = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            parts[splits[i % splits.len()]].record(v);
+            all.record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert!(merged.same_distribution(&all));
+        prop_assert_eq!(merged.quantile(0.5), all.quantile(0.5));
+        prop_assert_eq!(merged.quantile(0.999), all.quantile(0.999));
+    }
+
+    /// Quantiles against a sorted-vector reference: the reported value
+    /// never understates the exact rank statistic and overstates by at
+    /// most one sub-bucket width (relative error ≤ 1/32).
+    #[test]
+    fn histogram_quantiles_bound_sorted_reference(
+        mut values in proptest::collection::vec(0u64..1 << 40, 1..500),
+        permille in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &k in &permille {
+            let q = f64::from(k) / 1000.0;
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank];
+            let reported = h.quantile(q);
+            prop_assert!(reported >= exact, "q={} reported {} < exact {}", q, reported, exact);
+            prop_assert!(
+                reported <= exact + exact / 32 + 1,
+                "q={} reported {} above error bound over {}", q, reported, exact
+            );
+        }
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+    }
+}
