@@ -1,0 +1,97 @@
+//! `bench_diff` — trajectory diff for loadgen `BENCH_*.json` reports.
+//!
+//! Compares the current report against the previous one scenario by
+//! scenario (matched on name + protocol) and flags publish-throughput
+//! drops and client-RTT / server-e2e p99 rises beyond a fractional
+//! tolerance. CI runs it across consecutive issues' committed reports so
+//! a serving-layer regression shows up in review, not in production.
+//!
+//! ```text
+//! bench_diff PREV.json CUR.json [--tolerance 0.25] [--warn-only]
+//! ```
+//!
+//! Exits non-zero when any comparison regresses, unless `--warn-only`
+//! (for CI lanes whose hardware differs from the machine that produced
+//! the baseline, where the diff is advisory).
+
+use psc_bench::diff_bench_reports;
+use psc_model::wire::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bench_diff PREV.json CUR.json [--tolerance FRACTION] [--warn-only]"
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Json::parse(raw.trim()).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut warn_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tolerance = v,
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [prev_path, cur_path] = paths.as_slice() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let reports = (|| Ok::<_, String>((load(prev_path)?, load(cur_path)?)))();
+    let (prev, cur) = match reports {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("[bench_diff] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let comparisons = match diff_bench_reports(&prev, &cur, tolerance) {
+        Ok(comparisons) => comparisons,
+        Err(e) => {
+            eprintln!("[bench_diff] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if comparisons.is_empty() {
+        println!(
+            "[bench_diff] no scenarios in common between {} and {}",
+            prev_path.display(),
+            cur_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut regressions = 0usize;
+    for comparison in &comparisons {
+        println!("[bench_diff] {comparison}");
+        regressions += comparison.regression as usize;
+    }
+    if regressions > 0 {
+        eprintln!(
+            "[bench_diff] {regressions} regression(s) beyond {:.0}% tolerance{}",
+            tolerance * 100.0,
+            if warn_only { " (warn-only)" } else { "" }
+        );
+        if !warn_only {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,7 @@
 //! enforced by [`psc_bench::validate_bench_report`]).
 //!
 //! ```text
-//! loadgen [--smoke] [--out PATH]    # run scenarios, write the report
+//! loadgen [--smoke] [--proto json|binary|both] [--out PATH]
 //! loadgen --validate PATH           # schema-check an existing report
 //! ```
 //!
@@ -18,13 +18,24 @@
 //! hundreds of publishes, a few seconds total) while keeping the report
 //! schema identical to the full run, so CI validates the exact artifact
 //! shape a full run commits.
+//!
+//! The throughput-focused scenarios (`steady`, `skewed`, `firehose`)
+//! run twice — once per wire protocol, tagged `"protocol": "json" |
+//! "binary"` in the report — which is the recorded evidence for the
+//! binary protocol's publish-path speedup. `firehose` (a deeply
+//! pipelined producer of wide events against a small store) is the
+//! scenario where the wire codec dominates; `steady` at 4000
+//! subscriptions is match-bound, so its protocol gap is narrower by
+//! design. `--proto` restricts the run to one protocol. The policy
+//! scenarios (churn, slow consumers, semantic expansion) stay json-only:
+//! they measure reactor policies, not codec cost.
 
 use psc_bench::{semantic_fixture, skewed_fixture, uniform_fixture, validate_bench_report};
 use psc_model::wire::Json;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use psc_service::telemetry::{stage_summary, LogHistogram};
 use psc_service::wire::Request;
-use psc_service::{ServiceClient, ServiceConfig, ServiceServer};
+use psc_service::{ClientProtocol, ServiceClient, ServiceConfig, ServiceServer};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -38,6 +49,9 @@ use std::time::{Duration, Instant};
 enum Workload {
     /// Uniform ranges/values (the paper's baseline workload).
     Uniform,
+    /// Uniform over a wide 12-attribute schema — telemetry-shaped events
+    /// where the wire codec's per-attribute cost is the dominant term.
+    Wide,
     /// Topic-skewed subscribers with a long-tail publication mix.
     Skewed,
     /// Synonym-expanded disjunctive templates (`psc_model::expand`).
@@ -48,6 +62,12 @@ enum Workload {
 /// its histograms are not polluted by earlier phases.
 struct Spec {
     name: &'static str,
+    /// Wire protocol every client in this scenario speaks.
+    proto: ClientProtocol,
+    /// Fixture seed index, stable per (name) across protocol variants so
+    /// json and binary runs of the same scenario replay the identical
+    /// subscription/publication stream.
+    seed_index: u64,
     workload: Workload,
     subscriber_conns: usize,
     subs_per_conn: usize,
@@ -62,9 +82,51 @@ struct Spec {
     slow_consumers: usize,
 }
 
-fn specs(smoke: bool) -> Vec<Spec> {
-    let spec = |name, workload, conns, per, publishers, pubs, waves, wave_conns, slow| Spec {
+impl Spec {
+    /// Publisher pipelining depth: the firehose producer batches deep;
+    /// everything else keeps a shallow window so its client RTT numbers
+    /// stay per-publish.
+    fn pipeline_window(&self) -> usize {
+        match self.name {
+            "firehose" => FIREHOSE_WINDOW,
+            _ => PIPELINE_WINDOW,
+        }
+    }
+}
+
+/// Which protocols a run covers.
+#[derive(Clone, Copy, PartialEq)]
+enum ProtoFilter {
+    Json,
+    Binary,
+    Both,
+}
+
+impl ProtoFilter {
+    fn admits(self, proto: ClientProtocol) -> bool {
+        match self {
+            ProtoFilter::Json => proto == ClientProtocol::Json,
+            ProtoFilter::Binary => proto == ClientProtocol::Binary,
+            ProtoFilter::Both => true,
+        }
+    }
+}
+
+fn specs(smoke: bool, filter: ProtoFilter) -> Vec<Spec> {
+    let spec = |name,
+                proto,
+                seed_index,
+                workload,
+                conns,
+                per,
+                publishers,
+                pubs,
+                waves,
+                wave_conns,
+                slow| Spec {
         name,
+        proto,
+        seed_index,
         workload,
         subscriber_conns: conns,
         subs_per_conn: per,
@@ -74,24 +136,253 @@ fn specs(smoke: bool) -> Vec<Spec> {
         churn_wave_conns: wave_conns,
         slow_consumers: slow,
     };
-    if smoke {
+    use ClientProtocol::{Binary, Json as Jsonp};
+    let all = if smoke {
         vec![
-            spec("steady", Workload::Uniform, 40, 2, 2, 150, 0, 0, 0),
-            spec("skewed", Workload::Skewed, 30, 2, 2, 120, 0, 0, 0),
-            spec("churn", Workload::Uniform, 30, 2, 2, 150, 3, 10, 0),
-            spec("slow_consumer", Workload::Uniform, 20, 2, 2, 120, 0, 0, 2),
-            spec("semantic", Workload::Semantic, 25, 4, 2, 120, 0, 0, 0),
+            spec(
+                "steady",
+                Jsonp,
+                0,
+                Workload::Uniform,
+                40,
+                2,
+                2,
+                150,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "steady",
+                Binary,
+                0,
+                Workload::Uniform,
+                40,
+                2,
+                2,
+                150,
+                0,
+                0,
+                0,
+            ),
+            spec("skewed", Jsonp, 1, Workload::Skewed, 30, 2, 2, 120, 0, 0, 0),
+            spec(
+                "skewed",
+                Binary,
+                1,
+                Workload::Skewed,
+                30,
+                2,
+                2,
+                120,
+                0,
+                0,
+                0,
+            ),
+            spec("firehose", Jsonp, 5, Workload::Wide, 20, 1, 1, 300, 0, 0, 0),
+            spec(
+                "firehose",
+                Binary,
+                5,
+                Workload::Wide,
+                20,
+                1,
+                1,
+                300,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "churn",
+                Jsonp,
+                2,
+                Workload::Uniform,
+                30,
+                2,
+                2,
+                150,
+                3,
+                10,
+                0,
+            ),
+            spec(
+                "slow_consumer",
+                Jsonp,
+                3,
+                Workload::Uniform,
+                20,
+                2,
+                2,
+                120,
+                0,
+                0,
+                2,
+            ),
+            spec(
+                "semantic",
+                Jsonp,
+                4,
+                Workload::Semantic,
+                25,
+                4,
+                2,
+                120,
+                0,
+                0,
+                0,
+            ),
         ]
     } else {
         vec![
-            spec("steady", Workload::Uniform, 2000, 2, 4, 3000, 0, 0, 0),
-            spec("skewed", Workload::Skewed, 1200, 2, 4, 2500, 0, 0, 0),
-            spec("churn", Workload::Uniform, 1000, 2, 4, 2500, 20, 50, 0),
-            spec("slow_consumer", Workload::Uniform, 600, 2, 4, 2000, 0, 0, 8),
-            spec("semantic", Workload::Semantic, 800, 4, 4, 2500, 0, 0, 0),
+            spec(
+                "steady",
+                Jsonp,
+                0,
+                Workload::Uniform,
+                2000,
+                2,
+                4,
+                3000,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "steady",
+                Binary,
+                0,
+                Workload::Uniform,
+                2000,
+                2,
+                4,
+                3000,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "skewed",
+                Jsonp,
+                1,
+                Workload::Skewed,
+                1200,
+                2,
+                4,
+                2500,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "skewed",
+                Binary,
+                1,
+                Workload::Skewed,
+                1200,
+                2,
+                4,
+                2500,
+                0,
+                0,
+                0,
+            ),
+            // The publish hot-path scenario: wide telemetry-shaped events
+            // against a store small enough that matching stays cheap, one
+            // deeply pipelined publisher — the wire protocol (decode +
+            // encode + per-request overhead) dominates, so this pair
+            // isolates binary-over-JSON gains that `steady` (match-bound
+            // at 4000 subscriptions) dilutes.
+            spec(
+                "firehose",
+                Jsonp,
+                5,
+                Workload::Wide,
+                20,
+                1,
+                1,
+                30000,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "firehose",
+                Binary,
+                5,
+                Workload::Wide,
+                20,
+                1,
+                1,
+                30000,
+                0,
+                0,
+                0,
+            ),
+            spec(
+                "churn",
+                Jsonp,
+                2,
+                Workload::Uniform,
+                1000,
+                2,
+                4,
+                2500,
+                20,
+                50,
+                0,
+            ),
+            spec(
+                "slow_consumer",
+                Jsonp,
+                3,
+                Workload::Uniform,
+                600,
+                2,
+                4,
+                2000,
+                0,
+                0,
+                8,
+            ),
+            spec(
+                "semantic",
+                Jsonp,
+                4,
+                Workload::Semantic,
+                800,
+                4,
+                4,
+                2500,
+                0,
+                0,
+                0,
+            ),
         ]
+    };
+    all.into_iter().filter(|s| filter.admits(s.proto)).collect()
+}
+
+fn proto_name(proto: ClientProtocol) -> &'static str {
+    match proto {
+        ClientProtocol::Json => "json",
+        ClientProtocol::Binary => "binary",
     }
 }
+
+/// Default publishes each publisher keeps in flight. Enough to keep the
+/// reactor fed between the publisher's scheduler slices; small enough
+/// that the recorded client latency stays a per-publish number, not a
+/// batch one. The firehose scenario overrides it upward (see
+/// [`Spec::pipeline_window`]).
+const PIPELINE_WINDOW: usize = 32;
+
+/// The firehose producer's window: deep pipelining in the style of a
+/// batching event producer. The reactor turns each arriving window into
+/// one shard fan-out, so deeper windows amortize every per-event cost —
+/// at this depth the wire codec is what's left, and the client RTT
+/// numbers read as window-drain times rather than per-publish latency.
+const FIREHOSE_WINDOW: usize = 256;
 
 fn generate(
     workload: Workload,
@@ -101,6 +392,7 @@ fn generate(
 ) -> (Schema, Vec<Subscription>, Vec<Publication>) {
     match workload {
         Workload::Uniform => uniform_fixture(4, subs, pubs, 300, seed),
+        Workload::Wide => uniform_fixture(12, subs, pubs, 300, seed),
         Workload::Skewed => skewed_fixture(4, subs, pubs, 250, seed),
         // A request expands to 2–6 conjunctive subscriptions; ~5 on
         // average, so size the request count to land near `subs`.
@@ -183,6 +475,13 @@ fn run_churn(
     (churned_conns, churned_subs)
 }
 
+/// Connects one client speaking the scenario's protocol (binary clients
+/// complete the preamble/Ready negotiation before returning).
+fn connect(addr: SocketAddr, proto: ClientProtocol) -> Result<ServiceClient, String> {
+    ServiceClient::connect_with_protocol(addr, ServiceConfig::default().io_timeout, proto)
+        .map_err(|e| format!("{} connect: {e}", proto_name(proto)))
+}
+
 fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     let fleet_subs = spec.subscriber_conns * spec.subs_per_conn;
     let churn_pool = spec.churn_waves * spec.churn_wave_conns;
@@ -215,8 +514,7 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         let mut slices =
             subscriptions[..fleet_subs.min(subscriptions.len())].chunks(spec.subs_per_conn.max(1));
         for _ in 0..spec.subscriber_conns {
-            let mut client =
-                ServiceClient::connect(addr).map_err(|e| format!("fleet connect: {e}"))?;
+            let mut client = connect(addr, spec.proto).map_err(|e| format!("fleet {e}"))?;
             for sub in slices.next().unwrap_or(&[]) {
                 let id = SubscriptionId(next_id.fetch_add(1, Ordering::Relaxed));
                 client
@@ -227,7 +525,7 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
             fleet.push(client);
         }
     }
-    let mut control = ServiceClient::connect(addr).map_err(|e| format!("control: {e}"))?;
+    let mut control = connect(addr, spec.proto).map_err(|e| format!("control {e}"))?;
     control.flush().map_err(|e| format!("flush: {e}"))?;
 
     // Background churners and slow consumers overlap the publish phase.
@@ -244,8 +542,13 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         })
         .collect();
 
-    // Publish phase: each publisher thread round-trips its share of the
-    // publication stream, recording client-observed RTT.
+    // Publish phase: each publisher thread streams its share of the
+    // publication stream with a window of publishes in flight
+    // (pipelined, like a real high-rate producer), recording the
+    // client-observed send→notification latency per publish. Pipelining
+    // keeps the server continuously fed, so the scenario measures the
+    // serving stack's publish throughput rather than the scheduler's
+    // round-trip wake-up cost.
     let publications = Arc::new(publications);
     let publish_started = Instant::now();
     let publisher_handles: Vec<_> = (0..spec.publishers)
@@ -253,17 +556,29 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
             let publications = Arc::clone(&publications);
             let count = spec.publishes_per_publisher;
             let stride = spec.publishers;
+            let proto = spec.proto;
+            let window_cap = spec.pipeline_window();
             std::thread::spawn(move || -> Result<LogHistogram, String> {
-                let mut client =
-                    ServiceClient::connect(addr).map_err(|e| format!("publisher connect: {e}"))?;
+                let mut client = connect(addr, proto).map_err(|e| format!("publisher {e}"))?;
                 let mut rtt = LogHistogram::new();
+                let window = window_cap.min(count.max(1));
+                let mut in_flight: std::collections::VecDeque<Instant> =
+                    std::collections::VecDeque::with_capacity(window);
                 for i in 0..count {
+                    if in_flight.len() == window {
+                        client.recv_matched().map_err(|e| format!("publish: {e}"))?;
+                        let sent = in_flight.pop_front().expect("window non-empty");
+                        rtt.record_duration(sent.elapsed());
+                    }
                     let publication = &publications[(p + i * stride) % publications.len()];
-                    let sample_started = Instant::now();
+                    in_flight.push_back(Instant::now());
                     client
-                        .publish(publication)
+                        .send_publish(publication)
                         .map_err(|e| format!("publish: {e}"))?;
-                    rtt.record_duration(sample_started.elapsed());
+                }
+                while let Some(sent) = in_flight.pop_front() {
+                    client.recv_matched().map_err(|e| format!("publish: {e}"))?;
+                    rtt.record_duration(sent.elapsed());
                 }
                 Ok(rtt)
             })
@@ -315,11 +630,24 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     if spec.churn_waves > 0 && churned_subs == 0 {
         return Err("churn waves made no subscriptions".into());
     }
+    // The decode-stage histogram proves the server actually served this
+    // scenario over the protocol the report claims.
+    let decode_count = match spec.proto {
+        ClientProtocol::Json => latency.decode.count,
+        ClientProtocol::Binary => latency.decode_binary.count,
+    };
+    if decode_count == 0 {
+        return Err(format!(
+            "server decoded no {} requests",
+            proto_name(spec.proto)
+        ));
+    }
 
     let throughput = publishes as f64 / elapsed.as_secs_f64();
     eprintln!(
-        "[loadgen] {}: {} conns, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
+        "[loadgen] {}[{}]: {} conns, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
         spec.name,
+        proto_name(spec.proto),
         reactor.connections_accepted,
         publishes,
         elapsed.as_secs_f64(),
@@ -332,11 +660,17 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
 
     let scenario = Json::obj([
         ("name", Json::Str(spec.name.into())),
+        ("protocol", Json::Str(proto_name(spec.proto).into())),
         ("connections", Json::UInt(reactor.connections_accepted)),
         ("subscriptions", Json::UInt(fleet_subscribed + churned_subs)),
         ("publishes", Json::UInt(publishes)),
         ("elapsed_secs", Json::Float(elapsed.as_secs_f64())),
         ("throughput_pubs_per_sec", Json::Float(throughput)),
+        // Client RTT semantics depend on the window: with a deep
+        // pipeline the recorded span includes queueing behind the rest
+        // of the window, so cross-report RTT comparisons are only
+        // meaningful at equal window depth.
+        ("pipeline_window", Json::UInt(spec.pipeline_window() as u64)),
         ("client_rtt", stage_summary(&rtt).to_json()),
         ("churned_connections", Json::UInt(churned_conns)),
         ("slow_consumer_lines_sent", Json::UInt(slow_lines)),
@@ -359,17 +693,27 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: loadgen [--smoke] [--out PATH] | loadgen --validate PATH"
+    "usage: loadgen [--smoke] [--proto json|binary|both] [--out PATH] | loadgen --validate PATH"
 }
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out = PathBuf::from("BENCH_6.json");
+    let mut out = PathBuf::from("BENCH_7.json");
+    let mut filter = ProtoFilter::Both;
     let mut validate: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--proto" => match args.next().as_deref() {
+                Some("json") => filter = ProtoFilter::Json,
+                Some("binary") => filter = ProtoFilter::Binary,
+                Some("both") => filter = ProtoFilter::Both,
+                _ => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => {
@@ -423,18 +767,25 @@ fn main() -> ExitCode {
     }
 
     let mut scenarios = Vec::new();
-    for (i, spec) in specs(smoke).iter().enumerate() {
-        match run_scenario(spec, smoke, 0x10AD_6E00 ^ ((i as u64) << 8)) {
+    for spec in specs(smoke, filter) {
+        // Seeded by the scenario's stable index (not its list position),
+        // so both protocol variants replay the identical fixture and the
+        // json runs keep their pre-protocol seeds for trajectory diffs.
+        match run_scenario(&spec, smoke, 0x10AD_6E00 ^ (spec.seed_index << 8)) {
             Ok(scenario) => scenarios.push(scenario),
             Err(e) => {
-                eprintln!("[loadgen] scenario {}: {e}", spec.name);
+                eprintln!(
+                    "[loadgen] scenario {}[{}]: {e}",
+                    spec.name,
+                    proto_name(spec.proto)
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
     let report = Json::obj([
         ("bench", Json::Str("loadgen".into())),
-        ("issue", Json::UInt(6)),
+        ("issue", Json::UInt(7)),
         (
             "mode",
             Json::Str(if smoke { "smoke" } else { "full" }.into()),

@@ -211,10 +211,15 @@ pub fn semantic_fixture(
 /// a top-level `bench`/`issue`/`mode`/`shards` header plus a non-empty
 /// `scenarios` array, where every scenario carries its sizing, its
 /// throughput, a client round-trip quantile ladder, and the server-side
-/// per-stage latency with a populated end-to-end stage. Both the loadgen
-/// binary (before writing a report) and CI (after running the smoke
-/// mode) call this, so a report that drifts from the documented schema
-/// fails loudly in both places.
+/// per-stage latency with a populated end-to-end stage. A scenario's
+/// optional `"protocol"` tag must be `"json"` or `"binary"` (absent
+/// means json, the pre-protocol report shape), and the matching decode
+/// stage — `decode` for json, `decode_binary` for binary — must carry a
+/// populated quantile ladder, so a report cannot claim a protocol its
+/// server never actually decoded. Both the loadgen binary (before
+/// writing a report) and CI (after running the smoke mode) call this,
+/// so a report that drifts from the documented schema fails loudly in
+/// both places.
 pub fn validate_bench_report(report: &Json) -> Result<(), String> {
     fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
         v.get(key)
@@ -267,6 +272,17 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
     for scenario in scenarios {
         let name = str_field(scenario, "name")?;
         let tag = |e: String| format!("scenario \"{name}\": {e}");
+        let protocol = match scenario.get("protocol") {
+            None => "json",
+            Some(p) => match p.as_str() {
+                Some(p @ ("json" | "binary")) => p,
+                _ => {
+                    return Err(format!(
+                        "scenario \"{name}\": \"protocol\" must be \"json\" or \"binary\""
+                    ))
+                }
+            },
+        };
         if u64_field(scenario, "connections").map_err(tag)? == 0 {
             return Err(format!("scenario \"{name}\": no connections"));
         }
@@ -295,8 +311,142 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
             .get("e2e")
             .ok_or_else(|| format!("scenario \"{name}\": missing e2e stage"))?;
         quantile_ladder(e2e, &format!("scenario \"{name}\" e2e"))?;
+        let decode_stage = if protocol == "binary" {
+            "decode_binary"
+        } else {
+            "decode"
+        };
+        let decode = latency.get(decode_stage).ok_or_else(|| {
+            format!("scenario \"{name}\": missing {decode_stage} stage for protocol {protocol}")
+        })?;
+        quantile_ladder(decode, &format!("scenario \"{name}\" {decode_stage}"))?;
     }
     Ok(())
+}
+
+/// One metric compared between two bench reports by
+/// [`diff_bench_reports`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// `name[protocol]` of the scenario both reports carry.
+    pub scenario: String,
+    /// Which metric: `throughput_pubs_per_sec`, `client_rtt_p99_ns`, or
+    /// `server_e2e_p99_ns`.
+    pub metric: String,
+    /// The metric's value in the previous (baseline) report.
+    pub previous: f64,
+    /// The metric's value in the current report.
+    pub current: f64,
+    /// Whether the change crossed the tolerance in the bad direction
+    /// (throughput down, latency up).
+    pub regression: bool,
+}
+
+impl std::fmt::Display for BenchComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let delta = if self.previous > 0.0 {
+            (self.current - self.previous) / self.previous * 100.0
+        } else {
+            0.0
+        };
+        write!(
+            f,
+            "{} {}: {:.0} -> {:.0} ({delta:+.1}%){}",
+            self.scenario,
+            self.metric,
+            self.previous,
+            self.current,
+            if self.regression { " REGRESSION" } else { "" }
+        )
+    }
+}
+
+/// Diffs two loadgen reports along the benchmark trajectory
+/// (`BENCH_{N-1}.json` vs `BENCH_N.json`).
+///
+/// Scenarios are matched by `(name, protocol)` — `protocol` defaults to
+/// `"json"` so pre-protocol reports pair with their json successors —
+/// and each matched pair yields three [`BenchComparison`]s: steady
+/// publish throughput (a drop beyond `tolerance` regresses), client
+/// round-trip p99, and server e2e p99 (a rise beyond `tolerance`
+/// regresses). Scenarios present in only one report are skipped: a new
+/// benchmark has no baseline, and a retired one no successor.
+///
+/// `tolerance` is fractional (0.2 = 20%). Errors are malformed reports,
+/// not regressions — callers decide whether regressions fail the build.
+pub fn diff_bench_reports(
+    prev: &Json,
+    cur: &Json,
+    tolerance: f64,
+) -> Result<Vec<BenchComparison>, String> {
+    fn index(report: &Json) -> Result<Vec<(String, &Json)>, String> {
+        let scenarios = report
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or("missing \"scenarios\" array")?;
+        scenarios
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("scenario missing \"name\"")?;
+                let protocol = s.get("protocol").and_then(Json::as_str).unwrap_or("json");
+                Ok((format!("{name}[{protocol}]"), s))
+            })
+            .collect()
+    }
+    fn metric(scenario: &Json, path: &[&str]) -> Result<f64, String> {
+        let mut v = scenario;
+        for key in path {
+            v = v
+                .get(key)
+                .ok_or_else(|| format!("missing \"{}\"", path.join(".")))?;
+        }
+        v.as_f64()
+            .ok_or_else(|| format!("\"{}\" is not a number", path.join(".")))
+    }
+
+    let prev_index = index(prev)?;
+    let current = index(cur)?;
+    let mut comparisons = Vec::new();
+    for (key, cur_scenario) in &current {
+        let Some((_, prev_scenario)) = prev_index.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let tag = |e: String| format!("scenario {key}: {e}");
+        // (metric label, json path, true when higher is worse)
+        let metrics: [(&str, &[&str], bool); 3] = [
+            (
+                "throughput_pubs_per_sec",
+                &["throughput_pubs_per_sec"],
+                false,
+            ),
+            ("client_rtt_p99_ns", &["client_rtt", "p99"], true),
+            (
+                "server_e2e_p99_ns",
+                &["server", "latency", "e2e", "p99"],
+                true,
+            ),
+        ];
+        for (label, path, higher_is_worse) in metrics {
+            let previous = metric(prev_scenario, path).map_err(tag)?;
+            let current = metric(cur_scenario, path).map_err(tag)?;
+            let regression = if higher_is_worse {
+                current > previous * (1.0 + tolerance)
+            } else {
+                current < previous * (1.0 - tolerance)
+            };
+            comparisons.push(BenchComparison {
+                scenario: key.clone(),
+                metric: label.to_string(),
+                previous,
+                current,
+                regression,
+            });
+        }
+    }
+    Ok(comparisons)
 }
 
 #[cfg(test)]
@@ -381,7 +531,10 @@ mod tests {
                 "server",
                 Json::obj([
                     ("publications_total", Json::UInt(100)),
-                    ("latency", Json::obj([("e2e", stage(100))])),
+                    (
+                        "latency",
+                        Json::obj([("e2e", stage(100)), ("decode", stage(100))]),
+                    ),
                 ]),
             ),
         ]);
@@ -445,5 +598,128 @@ mod tests {
             validate_bench_report(&report(vec![skewed_ladder])).is_err(),
             "non-monotone ladder"
         );
+    }
+
+    fn diff_scenario(name: &str, protocol: Option<&str>, tput: f64, p99: u64) -> Json {
+        let stage = |p99: u64| {
+            Json::obj([
+                ("count", Json::UInt(100)),
+                ("p50", Json::UInt(p99 / 2)),
+                ("p99", Json::UInt(p99)),
+            ])
+        };
+        let mut pairs = vec![("name".to_string(), Json::Str(name.into()))];
+        if let Some(p) = protocol {
+            pairs.push(("protocol".to_string(), Json::Str(p.into())));
+        }
+        pairs.extend([
+            ("throughput_pubs_per_sec".to_string(), Json::Float(tput)),
+            ("client_rtt".to_string(), stage(p99)),
+            (
+                "server".to_string(),
+                Json::obj([("latency", Json::obj([("e2e", stage(p99))]))]),
+            ),
+        ]);
+        Json::Obj(pairs)
+    }
+
+    #[test]
+    fn validator_checks_protocol_decode_stage() {
+        let stage = |count: u64| {
+            Json::obj([
+                ("count", Json::UInt(count)),
+                ("p50", Json::UInt(100)),
+                ("p90", Json::UInt(200)),
+                ("p99", Json::UInt(400)),
+                ("p999", Json::UInt(480)),
+                ("max", Json::UInt(500)),
+            ])
+        };
+        let scenario = |protocol: &str, decode_key: &'static str| {
+            Json::obj([
+                ("name", Json::Str("steady".into())),
+                ("protocol", Json::Str(protocol.into())),
+                ("connections", Json::UInt(10)),
+                ("subscriptions", Json::UInt(20)),
+                ("publishes", Json::UInt(100)),
+                ("elapsed_secs", Json::Float(0.5)),
+                ("throughput_pubs_per_sec", Json::Float(200.0)),
+                ("client_rtt", stage(100)),
+                (
+                    "server",
+                    Json::obj([
+                        ("publications_total", Json::UInt(100)),
+                        (
+                            "latency",
+                            Json::obj([("e2e", stage(100)), (decode_key, stage(100))]),
+                        ),
+                    ]),
+                ),
+            ])
+        };
+        let report = |s: Json| {
+            Json::obj([
+                ("bench", Json::Str("loadgen".into())),
+                ("issue", Json::UInt(7)),
+                ("mode", Json::Str("smoke".into())),
+                ("shards", Json::UInt(2)),
+                ("scenarios", Json::Arr(vec![s])),
+            ])
+        };
+        assert_eq!(
+            validate_bench_report(&report(scenario("binary", "decode_binary"))),
+            Ok(())
+        );
+        assert!(
+            validate_bench_report(&report(scenario("binary", "decode"))).is_err(),
+            "binary scenario without decode_binary samples"
+        );
+        assert!(
+            validate_bench_report(&report(scenario("json", "decode_binary"))).is_err(),
+            "json scenario without decode samples"
+        );
+        assert!(
+            validate_bench_report(&report(scenario("carrier-pigeon", "decode"))).is_err(),
+            "unknown protocol"
+        );
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_pairs_by_protocol() {
+        let report = |scenarios: Vec<Json>| Json::obj([("scenarios", Json::Arr(scenarios))]);
+        // Previous report predates protocol tags (implicitly json).
+        let prev = report(vec![diff_scenario("steady", None, 20_000.0, 40_000)]);
+        let cur = report(vec![
+            diff_scenario("steady", Some("json"), 15_000.0, 60_000),
+            diff_scenario("steady", Some("binary"), 45_000.0, 20_000),
+        ]);
+        let comparisons = diff_bench_reports(&prev, &cur, 0.2).expect("well-formed");
+        // Only steady[json] has a baseline; binary is new and skipped.
+        assert_eq!(comparisons.len(), 3);
+        assert!(comparisons.iter().all(|c| c.scenario == "steady[json]"));
+        let by_metric = |m: &str| {
+            comparisons
+                .iter()
+                .find(|c| c.metric == m)
+                .expect("metric present")
+        };
+        assert!(
+            by_metric("throughput_pubs_per_sec").regression,
+            "25% throughput drop exceeds 20% tolerance"
+        );
+        assert!(
+            by_metric("client_rtt_p99_ns").regression,
+            "50% p99 rise exceeds 20% tolerance"
+        );
+        // Within tolerance: no regression.
+        let calm = report(vec![diff_scenario(
+            "steady",
+            Some("json"),
+            18_000.0,
+            44_000,
+        )]);
+        let comparisons = diff_bench_reports(&prev, &calm, 0.2).expect("well-formed");
+        assert!(comparisons.iter().all(|c| !c.regression));
+        assert!(!comparisons[0].to_string().contains("REGRESSION"));
     }
 }

@@ -1,14 +1,15 @@
-//! A compact binary codec for model objects, used by durable storage.
+//! A compact binary codec for model objects, used by durable storage and
+//! the negotiated binary wire protocol.
 //!
-//! The JSON codec in [`crate::wire`] is the *network* representation:
-//! self-describing, human-inspectable, and framed by newlines. Durable
-//! storage (the service layer's write-ahead log and snapshots) wants the
-//! opposite trade-off — dense, fixed-layout, and cheap to decode on a
-//! recovery path that replays millions of records. Because the build
+//! The JSON codec in [`crate::wire`] is the *default network*
+//! representation: self-describing, human-inspectable, and framed by
+//! newlines. Durable storage (the service layer's write-ahead log and
+//! snapshots) and the hot publish path want the opposite trade-off —
+//! dense, fixed-layout, and cheap to decode. Because the build
 //! environment vendors serde as a no-op stand-in, this codec is
 //! hand-rolled in the same spirit as `wire`: a small writer/reader pair
 //! over little-endian primitives plus encode/decode helpers for the model
-//! types that storage persists.
+//! types that storage and the wire persist.
 //!
 //! ## Encoding rules
 //!
@@ -23,9 +24,16 @@
 //! - A [`Schema`] is a `u32` attribute count, then `(name, i64 lo,
 //!   i64 hi)` per attribute.
 //!
-//! Framing (length prefixes, checksums, magic numbers) is deliberately
-//! *not* part of this module — it belongs to the storage layer that owns
-//! the files. This module only defines how one value maps to bytes.
+//! ## Framing
+//!
+//! The binary *wire* protocol frames values as a `u32` little-endian
+//! payload length followed by the payload ([`write_frame`] on the encode
+//! side, [`BinaryFramer`] on the decode side — the incremental
+//! counterpart to [`crate::wire::LineFramer`], tolerant of arbitrary
+//! read fragmentation and bounded while mid-frame). Checksums and magic
+//! numbers for *files* remain the storage layer's concern; the one magic
+//! sequence defined here is [`BINARY_PREAMBLE`], the connect-time
+//! protocol-negotiation tag.
 //!
 //! # Example
 //! ```
@@ -46,7 +54,74 @@
 //! ```
 
 use crate::{ModelError, Range, Schema, Subscription};
+use std::collections::VecDeque;
 use std::fmt;
+
+/// Connect-time tag a client sends to negotiate the binary protocol.
+///
+/// The first byte (`0xB5`) can never begin a JSON request line (JSON text
+/// is ASCII/UTF-8 starting with `{`, a digit, or similar), so a server
+/// can sniff the very first byte of a connection: `0xB5` commits the
+/// connection to binary framing, anything else falls back to
+/// line-delimited JSON. The trailing byte is the protocol version.
+pub const BINARY_PREAMBLE: [u8; 5] = [0xB5, b'P', b'S', b'C', 1];
+
+/// Appends one byte to `out`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `i64`, little-endian.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a string as `u32` length + UTF-8 bytes.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a subscription as `u32` arity + `(lo, hi)` per attribute.
+pub fn put_subscription(out: &mut Vec<u8>, sub: &Subscription) {
+    put_u32(out, sub.arity() as u32);
+    for r in sub.ranges() {
+        put_i64(out, r.lo());
+        put_i64(out, r.hi());
+    }
+}
+
+/// Appends a schema as `u32` count + `(name, lo, hi)` per attribute.
+pub fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.len() as u32);
+    for (_, attr) in schema.iter() {
+        put_str(out, attr.name());
+        put_i64(out, attr.domain().lo());
+        put_i64(out, attr.domain().hi());
+    }
+}
+
+/// Appends one length-prefixed frame to `out`: reserves the 4-byte `u32`
+/// header, runs `payload` to append the body, then backfills the header
+/// with the body's length. Writing straight into the caller's buffer
+/// means encoding a frame costs zero intermediate allocations.
+pub fn write_frame<F: FnOnce(&mut Vec<u8>)>(out: &mut Vec<u8>, payload: F) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    payload(out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
 
 /// Error raised while decoding binary payloads.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,47 +204,37 @@ impl ByteWriter {
 
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        put_u8(&mut self.buf, v);
     }
 
     /// Writes a `u32`, little-endian.
     pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        put_u32(&mut self.buf, v);
     }
 
     /// Writes a `u64`, little-endian.
     pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        put_u64(&mut self.buf, v);
     }
 
     /// Writes an `i64`, little-endian.
     pub fn i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        put_i64(&mut self.buf, v);
     }
 
     /// Writes a string as `u32` length + UTF-8 bytes.
     pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
+        put_str(&mut self.buf, s);
     }
 
     /// Writes a subscription as `u32` arity + `(lo, hi)` per attribute.
     pub fn subscription(&mut self, sub: &Subscription) {
-        self.u32(sub.arity() as u32);
-        for r in sub.ranges() {
-            self.i64(r.lo());
-            self.i64(r.hi());
-        }
+        put_subscription(&mut self.buf, sub);
     }
 
     /// Writes a schema as `u32` count + `(name, lo, hi)` per attribute.
     pub fn schema(&mut self, schema: &Schema) {
-        self.u32(schema.len() as u32);
-        for (_, attr) in schema.iter() {
-            self.str(attr.name());
-            self.i64(attr.domain().lo());
-            self.i64(attr.domain().hi());
-        }
+        put_schema(&mut self.buf, schema);
     }
 }
 
@@ -287,6 +352,179 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// One unit produced by [`BinaryFramer::next_frame`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum BinFrame<'a> {
+    /// A complete frame payload, borrowed from the framer's buffer —
+    /// valid until the next `feed`/`next_frame` call, so decode before
+    /// pulling the next frame. Borrowing (instead of handing out an
+    /// owned `Vec`) is what keeps the hot decode path allocation-free.
+    Frame(&'a [u8]),
+    /// A frame whose header declared more than `max_frame_bytes` of
+    /// payload. The frame's bytes are discarded (the stream resyncs at
+    /// the next frame boundary); `len` is the declared payload length.
+    TooLong {
+        /// Payload length the oversized header declared.
+        len: usize,
+    },
+}
+
+/// Scan state: one scanned-and-classified frame in [`BinaryFramer::buf`].
+#[derive(Debug)]
+enum ScanEvent {
+    /// Complete frame: payload at `buf[offset..offset + len]`.
+    Frame { offset: usize, len: usize },
+    /// Oversized frame; bytes already discarded, only the event remains.
+    TooLong { len: usize },
+}
+
+/// Incrementally reassembles length-prefixed binary frames from a TCP
+/// byte stream — the binary counterpart to [`crate::wire::LineFramer`].
+///
+/// Feed raw reads in with [`feed`](Self::feed); pull zero or more
+/// [`BinFrame`]s out with [`next_frame`](Self::next_frame). A frame split
+/// across arbitrarily many reads reassembles identically. The cap is
+/// enforced *mid-stream*: an oversized frame's payload is discarded as it
+/// arrives rather than buffered, so a hostile or confused peer cannot
+/// make the framer hold more than `max_frame_bytes + 4` bytes for the
+/// frame currently being assembled. (Complete frames awaiting
+/// [`next_frame`](Self::next_frame) stay buffered until drained, exactly
+/// like `LineFramer`'s ready queue — callers drain between reads.)
+///
+/// There is no EOF hook: a frame left incomplete when the peer closes is
+/// truncation and is silently dropped, unlike `LineFramer` where a final
+/// unterminated line is still meaningful text.
+#[derive(Debug)]
+pub struct BinaryFramer {
+    max_frame_bytes: usize,
+    /// Frame bytes: `[start..]` holds scanned-but-undrained frames, then
+    /// the partial tail beginning at `tail`.
+    buf: Vec<u8>,
+    /// Consumption point: bytes before `start` were handed out already.
+    start: usize,
+    /// Scan point: bytes from `tail` on are not yet classified.
+    tail: usize,
+    /// Bytes of an oversized frame's payload still to discard from
+    /// future `feed` input before resyncing at the next frame header.
+    skip: usize,
+    /// Scanned frames awaiting `next_frame`, in stream order.
+    events: VecDeque<ScanEvent>,
+}
+
+impl BinaryFramer {
+    /// A framer that discards frames whose payload exceeds
+    /// `max_frame_bytes`.
+    pub fn new(max_frame_bytes: usize) -> Self {
+        BinaryFramer {
+            max_frame_bytes,
+            buf: Vec::new(),
+            start: 0,
+            tail: 0,
+            skip: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Bytes currently buffered (scanned frames awaiting drain plus the
+    /// partial tail).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether at least one frame (or oversize notice) is ready.
+    pub fn has_frames(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Absorbs `bytes` from the stream, scanning complete frames out.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Discard the remainder of an oversized frame first.
+        let mut bytes = bytes;
+        if self.skip > 0 {
+            let discard = self.skip.min(bytes.len());
+            self.skip -= discard;
+            bytes = &bytes[discard..];
+            if bytes.is_empty() {
+                return;
+            }
+        }
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+        self.scan();
+    }
+
+    /// Pops the next frame in stream order, if one is complete.
+    pub fn next_frame(&mut self) -> Option<BinFrame<'_>> {
+        match self.events.pop_front()? {
+            ScanEvent::TooLong { len } => Some(BinFrame::TooLong { len }),
+            ScanEvent::Frame { offset, len } => {
+                self.start = offset + len;
+                Some(BinFrame::Frame(&self.buf[offset..offset + len]))
+            }
+        }
+    }
+
+    /// Drops already-consumed bytes so the buffer cannot grow without
+    /// bound across feeds. Offsets held by pending events shift with the
+    /// data; in the common drained-empty case this is an O(1) clear.
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else {
+            self.buf.drain(..self.start);
+        }
+        self.tail -= self.start;
+        for event in &mut self.events {
+            if let ScanEvent::Frame { offset, .. } = event {
+                *offset -= self.start;
+            }
+        }
+        self.start = 0;
+    }
+
+    /// Classifies complete frames from `tail` forward, discarding
+    /// oversized payload bytes in place.
+    fn scan(&mut self) {
+        loop {
+            let available = self.buf.len() - self.tail;
+            if available < 4 {
+                return;
+            }
+            let header: [u8; 4] = self.buf[self.tail..self.tail + 4]
+                .try_into()
+                .expect("4 bytes");
+            let len = u32::from_le_bytes(header) as usize;
+            if len > self.max_frame_bytes {
+                // Drop the header and whatever payload already arrived;
+                // remember how much of the payload is still in flight.
+                let arrived = available - 4;
+                self.events.push_back(ScanEvent::TooLong { len });
+                if arrived < len {
+                    // Everything past the header belongs to the frame.
+                    self.buf.truncate(self.tail);
+                    self.skip = len - arrived;
+                    return;
+                }
+                // Whole frame (and possibly more) already arrived: carve
+                // out just this frame's bytes and keep scanning.
+                self.buf.drain(self.tail..self.tail + 4 + len);
+                continue;
+            }
+            if available - 4 < len {
+                return;
+            }
+            self.events.push_back(ScanEvent::Frame {
+                offset: self.tail + 4,
+                len,
+            });
+            self.tail += 4 + len;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +636,127 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(r.schema(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn write_frame_backfills_length_header() {
+        let mut out = Vec::new();
+        write_frame(&mut out, |p| p.extend_from_slice(b"hello"));
+        write_frame(&mut out, |_| {});
+        assert_eq!(&out[..4], &5u32.to_le_bytes());
+        assert_eq!(&out[4..9], b"hello");
+        assert_eq!(&out[9..13], &0u32.to_le_bytes());
+        assert_eq!(out.len(), 13);
+    }
+
+    /// Drains every ready frame, cloning payloads out for comparison.
+    fn drain(framer: &mut BinaryFramer) -> Vec<Result<Vec<u8>, usize>> {
+        let mut frames = Vec::new();
+        while let Some(frame) = framer.next_frame() {
+            frames.push(match frame {
+                BinFrame::Frame(payload) => Ok(payload.to_vec()),
+                BinFrame::TooLong { len } => Err(len),
+            });
+        }
+        frames
+    }
+
+    #[test]
+    fn framer_reassembles_byte_by_byte() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, |p| p.extend_from_slice(b"one"));
+        write_frame(&mut stream, |_| {});
+        write_frame(&mut stream, |p| p.extend_from_slice(b"three"));
+        let mut framer = BinaryFramer::new(64);
+        let mut got = Vec::new();
+        for &b in &stream {
+            framer.feed(&[b]);
+            got.extend(drain(&mut framer));
+        }
+        assert_eq!(
+            got,
+            vec![Ok(b"one".to_vec()), Ok(vec![]), Ok(b"three".to_vec())]
+        );
+        assert_eq!(framer.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn framer_handles_many_frames_in_one_read() {
+        let mut stream = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut stream, |p| p.push(i));
+        }
+        let mut framer = BinaryFramer::new(64);
+        framer.feed(&stream);
+        let got = drain(&mut framer);
+        assert_eq!(got.len(), 10);
+        for (i, frame) in got.iter().enumerate() {
+            assert_eq!(frame, &Ok(vec![i as u8]));
+        }
+    }
+
+    #[test]
+    fn oversized_frame_discarded_and_stream_resyncs() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, |p| p.extend_from_slice(b"ok1"));
+        write_frame(&mut stream, |p| p.extend_from_slice(&[0xAA; 100]));
+        write_frame(&mut stream, |p| p.extend_from_slice(b"ok2"));
+        // Feed in small chunks so the oversized payload spans reads.
+        let mut framer = BinaryFramer::new(16);
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            framer.feed(chunk);
+            assert!(
+                framer.buffered_bytes() <= 16 + 4,
+                "mid-stream bound violated at {} bytes",
+                framer.buffered_bytes()
+            );
+            got.extend(drain(&mut framer));
+        }
+        assert_eq!(
+            got,
+            vec![Ok(b"ok1".to_vec()), Err(100), Ok(b"ok2".to_vec())]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_followed_by_good_frame_in_one_read() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, |p| p.extend_from_slice(&[0xBB; 40]));
+        write_frame(&mut stream, |p| p.extend_from_slice(b"after"));
+        let mut framer = BinaryFramer::new(8);
+        framer.feed(&stream);
+        assert_eq!(
+            drain(&mut framer),
+            vec![Err(40), Ok(b"after".to_vec())],
+            "bytes after a fully-arrived oversized frame must survive"
+        );
+    }
+
+    #[test]
+    fn incomplete_frame_is_not_delivered() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, |p| p.extend_from_slice(b"pending"));
+        let mut framer = BinaryFramer::new(64);
+        framer.feed(&stream[..stream.len() - 1]);
+        assert!(framer.next_frame().is_none());
+        assert!(!framer.has_frames());
+        framer.feed(&stream[stream.len() - 1..]);
+        assert_eq!(drain(&mut framer), vec![Ok(b"pending".to_vec())]);
+    }
+
+    #[test]
+    fn framer_buffer_reclaimed_after_drain() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, |p| p.extend_from_slice(&[1; 32]));
+        let mut framer = BinaryFramer::new(64);
+        for _ in 0..100 {
+            framer.feed(&stream);
+            assert_eq!(drain(&mut framer).len(), 1);
+        }
+        // Each feed compacts the fully-drained buffer, so repeated
+        // request/response cycles do not accumulate bytes.
+        framer.feed(&[]);
+        assert_eq!(framer.buffered_bytes(), 0);
     }
 }

@@ -1,0 +1,260 @@
+//! A small-vector type with inline storage for short sequences.
+//!
+//! The publish hot path manipulates tiny sequences everywhere — a
+//! publication's attribute values (arity is single digits for every
+//! workload in the paper), the batch indices a router selects for one
+//! shard — and a heap `Vec` charges one allocation per sequence.
+//! [`InlineVec`] stores up to `N` elements inline and only spills to the
+//! heap beyond that, so the common short case allocates nothing.
+//!
+//! The crate forbids `unsafe`, so inline storage is a plain `[T; N]`
+//! array and `T` must be `Copy + Default` (every hot-path element type —
+//! `i64` values, `u32` indices — is). Spilling moves all elements into an
+//! internal `Vec` once and stays heap-backed until [`InlineVec::clear`];
+//! the spill `Vec`'s capacity is retained across `clear`, so a reused
+//! buffer stops allocating after its first spill.
+//!
+//! # Example
+//! ```
+//! use psc_model::InlineVec;
+//!
+//! let mut v: InlineVec<i64, 4> = InlineVec::new();
+//! v.push(1);
+//! v.push(2);
+//! assert_eq!(v.as_slice(), &[1, 2]);
+//! v.extend([3, 4, 5]); // fifth element spills to the heap
+//! assert_eq!(v.len(), 5);
+//! assert_eq!(&v[..], &[1, 2, 3, 4, 5]);
+//! ```
+
+/// A vector storing up to `N` elements inline, spilling to the heap past
+/// that. See the module docs for the trade-off.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    /// Element count while inline (`heap` empty); stale after a spill.
+    len: usize,
+    inline: [T; N],
+    /// Empty while inline; holds *all* elements once spilled.
+    heap: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            len: 0,
+            inline: [T::default(); N],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Copies a slice into a new vector (inline when it fits).
+    pub fn from_slice(values: &[T]) -> Self {
+        let mut v = InlineVec::new();
+        v.extend_from_slice(values);
+        v
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.heap.is_empty() {
+            self.len
+        } else {
+            self.heap.len()
+        }
+    }
+
+    /// Whether the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements currently live on the heap.
+    pub fn spilled(&self) -> bool {
+        !self.heap.is_empty()
+    }
+
+    /// Appends one element, spilling to the heap at the `N+1`th.
+    pub fn push(&mut self, value: T) {
+        if self.heap.is_empty() {
+            if self.len < N {
+                self.inline[self.len] = value;
+                self.len += 1;
+                return;
+            }
+            // Spill: move the inline prefix into the heap buffer (whose
+            // capacity survives `clear`, so a reused vector spills
+            // allocation-free after the first time).
+            self.heap.reserve(N + 1);
+            self.heap.extend_from_slice(&self.inline[..N]);
+        }
+        self.heap.push(value);
+    }
+
+    /// Appends every element of `values`.
+    pub fn extend_from_slice(&mut self, values: &[T]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Removes all elements, returning to inline storage. Retains the
+    /// spill buffer's capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.heap.clear();
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.heap.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.heap
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.heap.is_empty() {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.heap
+        }
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + std::hash::Hash, const N: usize> std::hash::Hash for InlineVec<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+            assert!(!v.spilled(), "within capacity stays inline");
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_preserves_order() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn clear_returns_to_inline_mode() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[1, 2, 3]);
+        assert!(v.spilled());
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.spilled());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+        assert!(!v.spilled(), "refill within capacity is inline again");
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: InlineVec<i64, 8> = InlineVec::from_slice(&[1, 2, 3]);
+        let mut spilled: InlineVec<i64, 2> = InlineVec::new();
+        spilled.extend([1, 2, 3]);
+        assert_eq!(inline.as_slice(), spilled.as_slice());
+        let other: InlineVec<i64, 8> = InlineVec::from_slice(&[1, 2, 3]);
+        assert_eq!(inline, other);
+    }
+
+    #[test]
+    fn collects_and_derefs() {
+        let v: InlineVec<u32, 4> = (0..3).collect();
+        assert_eq!(v[1], 1);
+        assert_eq!(v.iter().sum::<u32>(), 3);
+        let doubled: Vec<u32> = v.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: InlineVec<u32, 2> = InlineVec::from_slice(&[5, 6, 7]);
+        v[0] = 50;
+        v.as_mut_slice()[2] = 70;
+        assert_eq!(v.as_slice(), &[50, 6, 70]);
+    }
+}

@@ -16,9 +16,10 @@
 //!
 //! Two serialization surfaces live here so every layer above shares one
 //! source of truth: [`wire`] (line-delimited JSON DTOs + incremental
-//! framing, the network representation) and [`codec`] (dense
-//! little-endian binary, used by the service layer's write-ahead log and
-//! snapshots).
+//! framing, the default network representation) and [`codec`] (dense
+//! little-endian binary with length-prefixed framing, used by the service
+//! layer's write-ahead log, snapshots, and the negotiated binary wire
+//! protocol).
 //!
 //! ## Example
 //!
@@ -63,6 +64,7 @@ pub mod catalog;
 pub mod codec;
 mod error;
 pub mod expand;
+mod inline_vec;
 mod publication;
 mod range;
 mod schema;
@@ -71,7 +73,8 @@ mod volume;
 pub mod wire;
 
 pub use error::ModelError;
-pub use publication::{Publication, PublicationBuilder, PublicationId};
+pub use inline_vec::InlineVec;
+pub use publication::{Publication, PublicationBuilder, PublicationId, ValueVec};
 pub use range::Range;
 pub use schema::{AttrId, Attribute, Schema, SchemaBuilder};
 pub use subscription::{Subscription, SubscriptionBuilder, SubscriptionId};

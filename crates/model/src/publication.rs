@@ -1,8 +1,16 @@
 //! Publications: points in the attribute space (Definition 6 of the paper).
 
-use crate::{AttrId, ModelError, Range, Schema, Subscription};
+use crate::{AttrId, InlineVec, ModelError, Range, Schema, Subscription};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Inline storage for a publication's attribute values.
+///
+/// Every workload in the paper has single-digit arity (the bike-rental
+/// schema of Table 1 has five attributes), so eight inline slots cover
+/// the common case without a heap allocation per publication; wider
+/// schemas spill transparently.
+pub type ValueVec = InlineVec<i64, 8>;
 
 /// Identifier assigned to publications by brokers and experiments.
 #[derive(
@@ -39,7 +47,7 @@ impl fmt::Display for PublicationId {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Publication {
     schema: Schema,
-    values: Vec<i64>,
+    values: ValueVec,
 }
 
 impl std::hash::Hash for Publication {
@@ -66,6 +74,36 @@ impl Publication {
     /// Returns [`ModelError::SchemaMismatch`] on wrong arity, or
     /// [`ModelError::OutOfDomain`] when a value escapes its attribute domain.
     pub fn from_values(schema: &Schema, values: Vec<i64>) -> Result<Self, ModelError> {
+        Self::from_value_slice(schema, &values)
+    }
+
+    /// Builds a publication from a borrowed value slice in schema order —
+    /// the caller keeps its buffer, values are copied into inline storage.
+    ///
+    /// # Errors
+    /// Same contract as [`Publication::from_values`].
+    pub fn from_value_slice(schema: &Schema, values: &[i64]) -> Result<Self, ModelError> {
+        Self::validate_values(schema, values)?;
+        Ok(Publication {
+            schema: schema.clone(),
+            values: ValueVec::from_slice(values),
+        })
+    }
+
+    /// Builds a publication from an already-inline value vector — the
+    /// zero-copy entry point for the binary decode path.
+    ///
+    /// # Errors
+    /// Same contract as [`Publication::from_values`].
+    pub fn from_value_vec(schema: &Schema, values: ValueVec) -> Result<Self, ModelError> {
+        Self::validate_values(schema, &values)?;
+        Ok(Publication {
+            schema: schema.clone(),
+            values,
+        })
+    }
+
+    fn validate_values(schema: &Schema, values: &[i64]) -> Result<(), ModelError> {
         if values.len() != schema.len() {
             return Err(ModelError::SchemaMismatch {
                 expected: schema.len(),
@@ -80,10 +118,7 @@ impl Publication {
                 });
             }
         }
-        Ok(Publication {
-            schema: schema.clone(),
-            values,
-        })
+        Ok(())
     }
 
     /// The schema this publication lives in.
@@ -200,7 +235,7 @@ impl PublicationBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        let mut values = Vec::with_capacity(self.values.len());
+        let mut values = ValueVec::new();
         for (id, attr) in self.schema.iter() {
             match self.values[id.0] {
                 Some(v) => values.push(v),

@@ -970,8 +970,11 @@ impl StageLatency {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencyStats {
-    /// Request-line decode (reactor front-end).
+    /// JSON request-line decode (reactor front-end).
     pub decode: StageLatency,
+    /// Binary request-frame decode (key `decode_binary`); empty unless
+    /// clients negotiated the binary protocol.
+    pub decode_binary: StageLatency,
     /// Router summary consult, per shard visit decision.
     pub route: StageLatency,
     /// Per-publication store match on a shard worker (key `match`).
@@ -988,6 +991,7 @@ impl LatencyStats {
         Json::obj([
             ("e2e", self.end_to_end.to_json()),
             ("decode", self.decode.to_json()),
+            ("decode_binary", self.decode_binary.to_json()),
             ("route", self.route.to_json()),
             ("match", self.shard_match.to_json()),
             ("deliver", self.deliver.to_json()),
@@ -1004,6 +1008,7 @@ impl LatencyStats {
         };
         LatencyStats {
             decode: stage("decode"),
+            decode_binary: stage("decode_binary"),
             route: stage("route"),
             shard_match: stage("match"),
             deliver: stage("deliver"),

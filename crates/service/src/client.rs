@@ -1,4 +1,12 @@
-//! A blocking client for the line-delimited JSON protocol.
+//! A blocking client for both wire protocols.
+//!
+//! [`ServiceClient::connect`] speaks the line-delimited JSON protocol;
+//! [`ServiceClient::connect_binary`] sends the
+//! [`psc_model::codec::BINARY_PREAMBLE`] immediately
+//! after the socket opens and waits for the server's Ready frame, after
+//! which every request/response rides the length-prefixed binary
+//! framing. The typed methods (`hello`, `publish`, …) behave identically
+//! over either transport.
 //!
 //! Every socket operation is bounded: `connect` uses
 //! `TcpStream::connect_timeout` and reads/writes carry OS-level timeouts,
@@ -6,12 +14,13 @@
 //! blocking the caller forever. The timeout comes from
 //! [`ServiceConfig::io_timeout`] (default 30s) or per-client via
 //! [`ServiceClient::connect_with`]. Responses are read through the same
-//! incremental [`LineFramer`] the server uses, so a response line split
-//! across arbitrarily many reads decodes identically.
+//! incremental framers the server uses, so a response split across
+//! arbitrarily many reads decodes identically.
 
 use crate::metrics::{ReactorMetrics, ServiceMetrics};
 use crate::service::ServiceConfig;
-use crate::wire::{Request, Response};
+use crate::wire::{is_ready_payload, Request, Response};
+use psc_model::codec::{BinFrame, BinaryFramer, BINARY_PREAMBLE};
 use psc_model::wire::{
     Frame, LatencyStats, LineFramer, PublicationDto, SubscriptionDto, WireError,
 };
@@ -21,9 +30,18 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Longest response line the client accepts (64 MiB — match sets can be
-/// large; the framer stops buffering mid-stream beyond this).
+/// Longest response frame the client accepts (64 MiB — match sets can be
+/// large; both framers stop buffering mid-stream beyond this).
 const MAX_RESPONSE_LINE_BYTES: usize = 1 << 26;
+
+/// Which wire protocol a [`ServiceClient`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientProtocol {
+    /// Line-delimited JSON (the default, debuggable with netcat).
+    Json,
+    /// Length-prefixed binary frames, negotiated at connect time.
+    Binary,
+}
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -63,106 +81,264 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Protocol-specific connection state: the incremental response framer.
+enum Transport {
+    Json { framer: LineFramer },
+    Binary { framer: BinaryFramer },
+}
+
+/// Buffered sends above this size are pushed to the socket eagerly, so a
+/// very deep pipeline cannot grow the send buffer without bound.
+const SEND_FLUSH_BYTES: usize = 64 * 1024;
+
 /// A blocking connection to a [`crate::ServiceServer`].
 pub struct ServiceClient {
     stream: TcpStream,
-    framer: LineFramer,
+    transport: Transport,
+    /// Encoded-but-unwritten requests. Sends append here (no per-request
+    /// write syscall); the buffer is pushed to the socket before every
+    /// receive, so a pipelined window of requests goes out as one write
+    /// and the request/response ordering contract is unaffected.
+    sendbuf: Vec<u8>,
+}
+
+/// Opens and configures the socket (candidate loop under a connect
+/// timeout, NODELAY, read/write timeouts).
+fn open_stream(
+    addr: impl ToSocketAddrs,
+    io_timeout: Option<Duration>,
+) -> std::io::Result<TcpStream> {
+    let stream = match io_timeout {
+        None => TcpStream::connect(addr)?,
+        Some(timeout) => {
+            let mut last_err = None;
+            let mut connected = None;
+            for candidate in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&candidate, timeout) {
+                    Ok(stream) => {
+                        connected = Some(stream);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            match connected {
+                Some(stream) => stream,
+                None => {
+                    return Err(last_err.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to no candidates",
+                        )
+                    }))
+                }
+            }
+        }
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(io_timeout)?;
+    stream.set_write_timeout(io_timeout)?;
+    Ok(stream)
+}
+
+/// Reads one chunk off the socket, mapping timeouts and EOF to typed
+/// client errors.
+fn read_chunk(stream: &mut TcpStream, buf: &mut [u8]) -> Result<usize, ClientError> {
+    let n = stream.read(buf).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for the server's response",
+            ))
+        } else {
+            ClientError::Io(e)
+        }
+    })?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )));
+    }
+    Ok(n)
+}
+
+/// Reads whole frames until one completes, returning its decoded
+/// response.
+fn read_binary_response(
+    stream: &mut TcpStream,
+    framer: &mut BinaryFramer,
+) -> Result<Response, ClientError> {
+    loop {
+        if framer.has_frames() {
+            match framer.next_frame().expect("frame ready") {
+                BinFrame::Frame(payload) => return Ok(Response::decode_binary(payload)?),
+                BinFrame::TooLong { len } => {
+                    return Err(ClientError::Wire(WireError::Shape(format!(
+                        "response frame of {len} bytes exceeds the client cap"
+                    ))))
+                }
+            }
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let n = read_chunk(stream, &mut buf)?;
+        framer.feed(&buf[..n]);
+    }
 }
 
 impl ServiceClient {
     /// Connects to a running server with the default I/O timeout
-    /// ([`ServiceConfig::io_timeout`], 30s).
+    /// ([`ServiceConfig::io_timeout`], 30s), speaking JSON.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         Self::connect_with(addr, ServiceConfig::default().io_timeout)
     }
 
-    /// Connects with an explicit connect/read/write timeout (`None`
-    /// blocks indefinitely, the pre-timeout behavior).
+    /// Connects speaking JSON, with an explicit connect/read/write
+    /// timeout (`None` blocks indefinitely, the pre-timeout behavior).
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         io_timeout: Option<Duration>,
     ) -> std::io::Result<Self> {
-        let stream = match io_timeout {
-            None => TcpStream::connect(addr)?,
-            Some(timeout) => {
-                let mut last_err = None;
-                let mut connected = None;
-                for candidate in addr.to_socket_addrs()? {
-                    match TcpStream::connect_timeout(&candidate, timeout) {
-                        Ok(stream) => {
-                            connected = Some(stream);
-                            break;
-                        }
-                        Err(e) => last_err = Some(e),
-                    }
-                }
-                match connected {
-                    Some(stream) => stream,
-                    None => {
-                        return Err(last_err.unwrap_or_else(|| {
-                            std::io::Error::new(
-                                std::io::ErrorKind::InvalidInput,
-                                "address resolved to no candidates",
-                            )
-                        }))
-                    }
-                }
-            }
-        };
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(io_timeout)?;
-        stream.set_write_timeout(io_timeout)?;
+        let stream = open_stream(addr, io_timeout)?;
         Ok(ServiceClient {
             stream,
-            framer: LineFramer::new(MAX_RESPONSE_LINE_BYTES),
+            transport: Transport::Json {
+                framer: LineFramer::new(MAX_RESPONSE_LINE_BYTES),
+            },
+            sendbuf: Vec::new(),
         })
     }
 
-    fn read_response_line(&mut self) -> Result<String, ClientError> {
-        loop {
-            match self.framer.next_frame() {
-                Some(Frame::Line(line)) => return Ok(line),
-                Some(Frame::TooLong { len }) => {
-                    return Err(ClientError::Wire(WireError::Shape(format!(
-                        "response line of {len} bytes exceeds the client cap"
-                    ))))
+    /// Connects and negotiates the binary protocol with the default I/O
+    /// timeout: sends the preamble, waits for the server's Ready frame.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_protocol(
+            addr,
+            ServiceConfig::default().io_timeout,
+            ClientProtocol::Binary,
+        )
+    }
+
+    /// Connects speaking `protocol`, with an explicit connect/read/write
+    /// timeout. For [`ClientProtocol::Binary`] this performs the
+    /// negotiation handshake before returning, so a returned client is
+    /// ready for requests.
+    pub fn connect_with_protocol(
+        addr: impl ToSocketAddrs,
+        io_timeout: Option<Duration>,
+        protocol: ClientProtocol,
+    ) -> Result<Self, ClientError> {
+        let mut stream = open_stream(addr, io_timeout)?;
+        let transport = match protocol {
+            ClientProtocol::Json => Transport::Json {
+                framer: LineFramer::new(MAX_RESPONSE_LINE_BYTES),
+            },
+            ClientProtocol::Binary => {
+                stream.write_all(&BINARY_PREAMBLE)?;
+                let mut framer = BinaryFramer::new(MAX_RESPONSE_LINE_BYTES);
+                loop {
+                    if framer.has_frames() {
+                        match framer.next_frame().expect("frame ready") {
+                            BinFrame::Frame(payload) if is_ready_payload(payload) => break,
+                            _ => {
+                                return Err(ClientError::Wire(WireError::Shape(
+                                    "server did not acknowledge the binary protocol".into(),
+                                )))
+                            }
+                        }
+                    }
+                    let mut buf = [0u8; 1024];
+                    let n = read_chunk(&mut stream, &mut buf)?;
+                    framer.feed(&buf[..n]);
                 }
-                None => {}
+                Transport::Binary { framer }
             }
-            let mut buf = [0u8; 16 * 1024];
-            let n = self.stream.read(&mut buf).map_err(|e| {
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) {
-                    ClientError::Io(std::io::Error::new(
-                        std::io::ErrorKind::TimedOut,
-                        "timed out waiting for the server's response",
-                    ))
-                } else {
-                    ClientError::Io(e)
-                }
-            })?;
-            if n == 0 {
-                return Err(ClientError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection",
-                )));
-            }
-            self.framer.feed(&buf[..n]);
+        };
+        Ok(ServiceClient {
+            stream,
+            transport,
+            sendbuf: Vec::with_capacity(256),
+        })
+    }
+
+    /// The protocol this client negotiated.
+    pub fn protocol(&self) -> ClientProtocol {
+        match self.transport {
+            Transport::Json { .. } => ClientProtocol::Json,
+            Transport::Binary { .. } => ClientProtocol::Binary,
         }
     }
 
-    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        let mut line = request.encode();
-        line.push('\n');
-        self.stream.write_all(line.as_bytes())?;
-        let response_line = self.read_response_line()?;
-        let response = Response::decode(&response_line)?;
+    /// Encodes one request onto the send buffer without waiting for its
+    /// response — the pipelining half of
+    /// [`recv_response`](Self::recv_response). The buffer reaches the
+    /// socket on the next receive (or immediately past
+    /// [`SEND_FLUSH_BYTES`]), so a window of pipelined requests costs
+    /// one write syscall instead of one per request.
+    fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        match &mut self.transport {
+            Transport::Json { .. } => {
+                let mut line = request.encode();
+                line.push('\n');
+                self.sendbuf.extend_from_slice(line.as_bytes());
+            }
+            Transport::Binary { .. } => {
+                request.encode_binary(&mut self.sendbuf);
+            }
+        }
+        if self.sendbuf.len() >= SEND_FLUSH_BYTES {
+            self.flush_sends()?;
+        }
+        Ok(())
+    }
+
+    /// Pushes every buffered request to the socket.
+    fn flush_sends(&mut self) -> Result<(), ClientError> {
+        if !self.sendbuf.is_empty() {
+            self.stream.write_all(&self.sendbuf)?;
+            self.sendbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Reads the next response off the connection. Responses arrive in
+    /// request order (the server serves each connection's requests
+    /// FIFO), so with several requests in flight this returns the reply
+    /// to the oldest unanswered one.
+    fn recv_response(&mut self) -> Result<Response, ClientError> {
+        self.flush_sends()?;
+        let response = match &mut self.transport {
+            Transport::Json { framer } => {
+                let line = loop {
+                    match framer.next_frame() {
+                        Some(Frame::Line(line)) => break line,
+                        Some(Frame::TooLong { len }) => {
+                            return Err(ClientError::Wire(WireError::Shape(format!(
+                                "response line of {len} bytes exceeds the client cap"
+                            ))))
+                        }
+                        None => {}
+                    }
+                    let mut buf = [0u8; 16 * 1024];
+                    let n = read_chunk(&mut self.stream, &mut buf)?;
+                    framer.feed(&buf[..n]);
+                };
+                Response::decode(&line)?
+            }
+            Transport::Binary { framer, .. } => read_binary_response(&mut self.stream, framer)?,
+        };
         if let Response::Error(message) = response {
             return Err(ClientError::Server(message));
         }
         Ok(response)
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_request(request)?;
+        self.recv_response()
     }
 
     /// Handshake: returns the service schema and shard count.
@@ -199,6 +375,25 @@ impl ServiceClient {
         }
     }
 
+    /// Sends a publish without waiting for its notification — the
+    /// pipelined variant of [`publish`](Self::publish), for load
+    /// generators and high-throughput producers that keep a window of
+    /// publishes in flight. Pair every `send_publish` with one later
+    /// [`recv_matched`](Self::recv_matched); responses come back in
+    /// send order.
+    pub fn send_publish(&mut self, p: &Publication) -> Result<(), ClientError> {
+        self.send_request(&Request::Publish(PublicationDto::from_publication(p)))
+    }
+
+    /// Receives the matched-id notification for the oldest
+    /// [`send_publish`](Self::send_publish) still awaiting its reply.
+    pub fn recv_matched(&mut self) -> Result<Vec<SubscriptionId>, ClientError> {
+        match self.recv_response()? {
+            Response::Matched(ids) => Ok(ids.into_iter().map(SubscriptionId).collect()),
+            other => Err(ClientError::UnexpectedResponse(other)),
+        }
+    }
+
     /// Forces admission of all buffered subscriptions.
     pub fn flush(&mut self) -> Result<(), ClientError> {
         match self.round_trip(&Request::Flush)? {
@@ -228,5 +423,79 @@ impl ServiceClient {
             } => Ok((metrics, reactor, latency.map(|l| *l))),
             other => Err(ClientError::UnexpectedResponse(other)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceConfig, ServiceServer};
+    use psc_model::{Publication, Range, Schema, Subscription, SubscriptionId};
+
+    #[test]
+    fn binary_client_round_trips_every_request() {
+        let schema = Schema::uniform(2, 0, 99);
+        let server =
+            ServiceServer::bind("127.0.0.1:0", schema.clone(), ServiceConfig::with_shards(2))
+                .expect("bind");
+        let mut client = ServiceClient::connect_binary(server.local_addr()).expect("connect");
+        assert_eq!(client.protocol(), ClientProtocol::Binary);
+
+        let (hello_schema, shards) = client.hello().expect("hello");
+        assert_eq!(shards, 2);
+        assert_eq!(hello_schema.len(), schema.len());
+
+        let sub = Subscription::from_ranges(
+            &schema,
+            vec![
+                Range::new(0, 50).expect("range"),
+                Range::new(0, 99).expect("range"),
+            ],
+        )
+        .expect("sub");
+        client
+            .subscribe(SubscriptionId(7), &sub)
+            .expect("subscribe");
+        client.flush().expect("flush");
+
+        let p = Publication::from_values(&schema, vec![25, 60]).expect("publication");
+        let matched = client.publish(&p).expect("publish");
+        assert_eq!(matched, vec![SubscriptionId(7)]);
+
+        assert!(client.unsubscribe(SubscriptionId(7)).expect("unsubscribe"));
+        let (metrics, reactor, latency) = client.stats_full().expect("stats");
+        assert!(metrics.publications_total >= 1);
+        let reactor = reactor.expect("reactor counters present");
+        assert!(reactor.requests_handled >= 5);
+        let latency = latency.expect("latency present");
+        assert!(latency.decode_binary.count >= 1);
+        server.stop();
+    }
+
+    #[test]
+    fn json_and_binary_clients_share_one_server() {
+        let schema = Schema::uniform(1, 0, 9);
+        let server =
+            ServiceServer::bind("127.0.0.1:0", schema.clone(), ServiceConfig::with_shards(1))
+                .expect("bind");
+        let mut json = ServiceClient::connect(server.local_addr()).expect("json connect");
+        assert_eq!(json.protocol(), ClientProtocol::Json);
+        let mut binary = ServiceClient::connect_binary(server.local_addr()).expect("bin connect");
+
+        let sub = Subscription::from_ranges(&schema, vec![Range::new(0, 9).expect("range")])
+            .expect("sub");
+        json.subscribe(SubscriptionId(1), &sub).expect("subscribe");
+        json.flush().expect("flush");
+
+        let p = Publication::from_values(&schema, vec![3]).expect("publication");
+        assert_eq!(
+            json.publish(&p).expect("json publish"),
+            vec![SubscriptionId(1)]
+        );
+        assert_eq!(
+            binary.publish(&p).expect("binary publish"),
+            vec![SubscriptionId(1)]
+        );
+        server.stop();
     }
 }

@@ -94,7 +94,7 @@ pub mod wire;
 
 mod shard;
 
-pub use client::{ClientError, ServiceClient};
+pub use client::{ClientError, ClientProtocol, ServiceClient};
 pub use metrics::{ReactorMetrics, ServiceMetrics, ShardMetrics};
 pub use server::ServiceServer;
 pub use service::{PubSubService, ServiceConfig, ServiceError};

@@ -1,7 +1,9 @@
 //! Per-connection state for the reactor: a non-blocking stream, an
-//! incremental line framer on the read side, and a bounded backlog of
-//! unsent response bytes on the write side.
+//! incremental framer on the read side (JSON lines by default, binary
+//! frames after a preamble sniff), and a bounded backlog of unsent
+//! response bytes on the write side.
 
+use psc_model::codec::{BinFrame, BinaryFramer, BINARY_PREAMBLE};
 use psc_model::wire::{Frame, LineFramer};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -13,7 +15,8 @@ pub enum ReadStatus {
     Open,
     /// The peer closed (EOF) — finish pending frames, flush, then drop.
     PeerClosed,
-    /// The socket errored — drop immediately.
+    /// The socket errored (or sent a malformed preamble) — drop
+    /// immediately.
     Errored,
 }
 
@@ -22,13 +25,69 @@ pub enum ReadStatus {
 /// triggered epoll re-reports the fd on the next loop iteration.
 const MAX_BYTES_PER_EVENT: usize = 256 * 1024;
 
+/// The connection's protocol state machine. Every connection starts in
+/// `Sniff`: the first byte decides the protocol for the connection's
+/// whole lifetime. [`BINARY_PREAMBLE`]'s leading byte can never begin a
+/// JSON request line, so the decision needs exactly one byte — the full
+/// five-byte preamble is then verified before binary framing engages.
+enum Framing {
+    /// Waiting for enough bytes to decide the protocol.
+    Sniff {
+        /// Preamble bytes collected so far (only while the first byte
+        /// matched the binary tag).
+        preamble: [u8; BINARY_PREAMBLE.len()],
+        /// How many of `preamble` are filled.
+        have: usize,
+    },
+    /// Line-delimited JSON (the default and debuggability path).
+    Json(LineFramer),
+    /// Length-prefixed binary frames.
+    Binary(BinaryFramer),
+}
+
+/// One framed request unit, tagged with the connection's protocol so
+/// the serving layer answers in kind.
+pub enum ConnFrame<'a> {
+    /// A complete JSON request line.
+    JsonLine(String),
+    /// A JSON line that exceeded the frame cap mid-stream.
+    JsonTooLong {
+        /// Bytes the line had reached when it was cut off.
+        len: usize,
+    },
+    /// A complete binary frame payload, borrowed from the framer's
+    /// buffer — decode before pulling the next frame.
+    Binary(&'a [u8]),
+    /// A binary frame whose header declared more than the cap.
+    BinaryTooLong {
+        /// Payload length the oversized header declared.
+        len: usize,
+    },
+}
+
+/// What the preamble sniff decided after a read.
+enum SniffDecision {
+    /// Still collecting preamble bytes (or already decided earlier).
+    Undecided,
+    /// First byte is not the binary tag: JSON, feed from byte zero.
+    Json,
+    /// Full preamble matched: binary, feed from past the preamble.
+    Binary,
+    /// First byte was the binary tag but the rest mismatched.
+    Malformed,
+}
+
 /// One client connection owned by the reactor thread.
 pub struct Connection {
     stream: TcpStream,
-    framer: LineFramer,
+    framing: Framing,
+    /// Pooled read buffer, sized once from `read_buffer_bytes` and
+    /// reused for every read on this connection.
+    read_buf: Vec<u8>,
     /// Unsent response bytes; `out_pos` marks how far flushing got.
     outbuf: Vec<u8>,
     out_pos: usize,
+    max_frame_bytes: usize,
     /// Whether the poller registration currently includes writability.
     pub writable_registered: bool,
     /// Peer half-closed with responses still queued: write-only until the
@@ -37,33 +96,50 @@ pub struct Connection {
 }
 
 impl Connection {
-    /// Wraps an accepted (already non-blocking) stream.
-    pub fn new(stream: TcpStream, max_line_bytes: usize) -> Connection {
+    /// Wraps an accepted (already non-blocking) stream. `read_buffer_bytes`
+    /// sizes the pooled read buffer; `write_buffer_bytes` pre-allocates
+    /// the response backlog so steady-state responses never reallocate.
+    pub fn new(
+        stream: TcpStream,
+        max_frame_bytes: usize,
+        read_buffer_bytes: usize,
+        write_buffer_bytes: usize,
+    ) -> Connection {
         Connection {
             stream,
-            framer: LineFramer::new(max_line_bytes),
-            outbuf: Vec::new(),
+            framing: Framing::Sniff {
+                preamble: [0; BINARY_PREAMBLE.len()],
+                have: 0,
+            },
+            read_buf: vec![0; read_buffer_bytes.max(1)],
+            outbuf: Vec::with_capacity(write_buffer_bytes),
             out_pos: 0,
+            max_frame_bytes,
             writable_registered: false,
             draining: false,
         }
     }
 
     /// Reads whatever the socket has (up to the per-event cap) into the
-    /// framer.
+    /// active framer, sniffing the protocol on the first bytes.
     pub fn read_ready(&mut self) -> ReadStatus {
-        let mut buf = [0u8; 16 * 1024];
         let mut consumed = 0;
         loop {
-            match self.stream.read(&mut buf) {
+            match self.stream.read(&mut self.read_buf) {
                 Ok(0) => {
-                    // EOF: whatever trailed without a newline is the last
-                    // request (matches the old blocking front-end).
-                    self.framer.finish();
+                    // EOF: a trailing JSON line without a newline is the
+                    // last request (matches the old blocking front-end);
+                    // a trailing partial binary frame is truncation and
+                    // is dropped.
+                    if let Framing::Json(framer) = &mut self.framing {
+                        framer.finish();
+                    }
                     return ReadStatus::PeerClosed;
                 }
                 Ok(n) => {
-                    self.framer.feed(&buf[..n]);
+                    if !self.ingest(n) {
+                        return ReadStatus::Errored;
+                    }
                     consumed += n;
                     if consumed >= MAX_BYTES_PER_EVENT {
                         return ReadStatus::Open;
@@ -76,15 +152,84 @@ impl Connection {
         }
     }
 
-    /// The next fully framed request, if any.
-    pub fn next_frame(&mut self) -> Option<Frame> {
-        self.framer.next_frame()
+    /// Routes `read_buf[..n]` into the framer, deciding the protocol
+    /// first if this connection is still in the sniff state. Returns
+    /// `false` when the peer sent a malformed binary preamble.
+    fn ingest(&mut self, n: usize) -> bool {
+        let mut offset = 0;
+        let mut decision = SniffDecision::Undecided;
+        if let Framing::Sniff { preamble, have } = &mut self.framing {
+            if *have == 0 && self.read_buf[0] != BINARY_PREAMBLE[0] {
+                decision = SniffDecision::Json;
+            } else {
+                while *have < BINARY_PREAMBLE.len() && offset < n {
+                    preamble[*have] = self.read_buf[offset];
+                    *have += 1;
+                    offset += 1;
+                }
+                if *have < BINARY_PREAMBLE.len() {
+                    return true; // preamble split across reads: wait
+                }
+                decision = if *preamble == BINARY_PREAMBLE {
+                    SniffDecision::Binary
+                } else {
+                    SniffDecision::Malformed
+                };
+            }
+        }
+        match decision {
+            SniffDecision::Undecided => {}
+            SniffDecision::Json => {
+                self.framing = Framing::Json(LineFramer::new(self.max_frame_bytes));
+            }
+            SniffDecision::Binary => {
+                self.framing = Framing::Binary(BinaryFramer::new(self.max_frame_bytes));
+                // Acknowledge the negotiation: the Ready frame is the
+                // first frame on every binary connection.
+                crate::wire::encode_ready_frame(&mut self.outbuf);
+            }
+            SniffDecision::Malformed => return false,
+        }
+        match &mut self.framing {
+            Framing::Json(framer) => framer.feed(&self.read_buf[offset..n]),
+            Framing::Binary(framer) => framer.feed(&self.read_buf[offset..n]),
+            Framing::Sniff { .. } => unreachable!("sniff resolved above"),
+        }
+        true
     }
 
-    /// Queues one response line (newline appended) for sending.
-    pub fn queue_line(&mut self, line: &str) {
-        self.outbuf.extend_from_slice(line.as_bytes());
-        self.outbuf.push(b'\n');
+    /// Pops the next framed request and hands it to `serve` together
+    /// with the connection's write buffer (responses append straight to
+    /// the wire backlog — no intermediate allocation). Returns `None`
+    /// when no frame is ready.
+    pub fn serve_next<R>(
+        &mut self,
+        serve: impl FnOnce(ConnFrame<'_>, &mut Vec<u8>) -> R,
+    ) -> Option<R> {
+        match &mut self.framing {
+            Framing::Sniff { .. } => None,
+            Framing::Json(framer) => {
+                let frame = match framer.next_frame()? {
+                    Frame::Line(line) => ConnFrame::JsonLine(line),
+                    Frame::TooLong { len } => ConnFrame::JsonTooLong { len },
+                };
+                Some(serve(frame, &mut self.outbuf))
+            }
+            Framing::Binary(framer) => {
+                let frame = match framer.next_frame()? {
+                    BinFrame::Frame(payload) => ConnFrame::Binary(payload),
+                    BinFrame::TooLong { len } => ConnFrame::BinaryTooLong { len },
+                };
+                Some(serve(frame, &mut self.outbuf))
+            }
+        }
+    }
+
+    /// Direct access to the write backlog, for responses produced after
+    /// the frame loop ends (the reactor drains its pending publish batch
+    /// into the connection once no more frames are ready).
+    pub fn outbuf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.outbuf
     }
 
     /// Bytes queued but not yet accepted by the socket — the quantity the
@@ -116,6 +261,7 @@ impl Connection {
             }
         }
         if self.out_pos == self.outbuf.len() {
+            // Fully drained: reset in place, keeping the pooled capacity.
             self.outbuf.clear();
             self.out_pos = 0;
         } else if self.out_pos >= 64 * 1024 {

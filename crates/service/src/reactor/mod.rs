@@ -13,9 +13,11 @@
 //! ```
 //!
 //! One thread owns every connection — thread count stays O(shards), not
-//! O(connections) — and each connection is a small state machine: an
-//! incremental [`LineFramer`](psc_model::wire::LineFramer) on the read
-//! side and a bounded write backlog on the other. Policy decisions:
+//! O(connections) — and each connection is a small state machine: a
+//! protocol sniff on the first bytes (binary preamble → length-prefixed
+//! frames via [`BinaryFramer`](psc_model::codec::BinaryFramer), anything
+//! else → an incremental [`LineFramer`](psc_model::wire::LineFramer)),
+//! a pooled read buffer, and a bounded write backlog. Policy decisions:
 //!
 //! - **Backpressure.** Responses queue per connection; a consumer whose
 //!   unsent backlog still exceeds `max_write_buffer_bytes` when its next
@@ -42,12 +44,13 @@ pub mod sys;
 pub mod wheel;
 
 use crate::metrics::ReactorMetrics;
-use crate::server::respond;
+use crate::server::dispatch;
 use crate::service::PubSubService;
 use crate::telemetry::{AtomicHistogram, ServiceLatency};
-use conn::{Connection, ReadStatus};
+use crate::wire::{decode_binary_request, BinRequest, Request, Response};
+use conn::{ConnFrame, Connection, ReadStatus};
 use poll::{Event, Interest, Poller, WakePipe};
-use psc_model::wire::Frame;
+use psc_model::Publication;
 use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;
@@ -67,8 +70,13 @@ pub struct ReactorConfig {
     pub max_write_buffer_bytes: usize,
     /// Reap connections silent for this long (`None` = never).
     pub idle_timeout: Option<Duration>,
-    /// Longest accepted request line.
-    pub max_line_bytes: usize,
+    /// Longest accepted request frame — a JSON line or a binary
+    /// payload; one cap, enforced mid-stream by both framers.
+    pub max_frame_bytes: usize,
+    /// Size of each connection's pooled read buffer.
+    pub read_buffer_bytes: usize,
+    /// Initial capacity of each connection's response backlog.
+    pub write_buffer_bytes: usize,
 }
 
 /// Shared live counters; `snapshot` produces the public view.
@@ -83,6 +91,10 @@ pub struct ReactorCounters {
     oversized_lines: AtomicU64,
     /// Request-line → decoded `Request` time (the `decode` stage).
     decode: AtomicHistogram,
+    /// Binary-frame → decoded request time (the `decode_binary` stage —
+    /// kept separate from `decode` so the two protocols' costs are
+    /// directly comparable in one stats scrape).
+    decode_binary: AtomicHistogram,
     /// Response encode + enqueue onto the write backlog (`deliver`).
     deliver: AtomicHistogram,
     /// Publish-frame completion → matched-notification enqueue (`e2e`).
@@ -109,11 +121,17 @@ impl ReactorCounters {
         self.decode.record_duration(elapsed);
     }
 
-    /// Copies the reactor-owned stages (`decode`, `deliver`, `e2e`) into
-    /// a merged latency view whose service-side stages are already
-    /// filled in.
+    /// Records one binary-frame decode duration.
+    pub(crate) fn record_decode_binary(&self, elapsed: Duration) {
+        self.decode_binary.record_duration(elapsed);
+    }
+
+    /// Copies the reactor-owned stages (`decode`, `decode_binary`,
+    /// `deliver`, `e2e`) into a merged latency view whose service-side
+    /// stages are already filled in.
     pub(crate) fn overlay_latency(&self, latency: &mut ServiceLatency) {
         latency.decode = self.decode.snapshot();
+        latency.decode_binary = self.decode_binary.snapshot();
         latency.deliver = self.deliver.snapshot();
         latency.end_to_end = self.end_to_end.snapshot();
     }
@@ -175,6 +193,7 @@ pub fn spawn(
             .idle_timeout
             .map(|t| TimerWheel::new(t, Instant::now())),
         accept_paused_until: None,
+        batch: PublishBatch::default(),
         config,
     };
     let join = std::thread::Builder::new()
@@ -203,7 +222,48 @@ struct Reactor {
     wheel: Option<TimerWheel>,
     /// `Some` while accepting is paused after a persistent accept error.
     accept_paused_until: Option<Instant>,
+    /// Reusable accumulator for consecutive publish frames within one
+    /// connection's readiness event — drained (one `publish_batch` call,
+    /// responses appended in arrival order) before any non-publish
+    /// request is served and when the event's frames run out. Living on
+    /// the reactor keeps its capacity pooled across events; the drain
+    /// points guarantee it is empty between events.
+    batch: PublishBatch,
     config: ReactorConfig,
+}
+
+/// Pending publishes for the current readiness event, kept as parallel
+/// vectors because [`PubSubService::publish_batch`] wants a contiguous
+/// `&[Publication]`.
+#[derive(Default)]
+struct PublishBatch {
+    publications: Vec<Publication>,
+    /// Per-publish ingress stamp (for the `e2e` stage) and wire protocol
+    /// (so each response is encoded in the frame's own protocol).
+    meta: Vec<(Instant, Proto)>,
+}
+
+impl PublishBatch {
+    fn push(&mut self, publication: Publication, ingress: Instant, proto: Proto) {
+        self.publications.push(publication);
+        self.meta.push((ingress, proto));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.publications.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.publications.clear();
+        self.meta.clear();
+    }
+}
+
+/// Which wire protocol a frame (and therefore its response) speaks.
+#[derive(Clone, Copy)]
+enum Proto {
+    Json,
+    Binary,
 }
 
 impl Reactor {
@@ -285,7 +345,12 @@ impl Reactor {
                     // delayed ACK stalls pipelined responses off-loopback.
                     let _ = stream.set_nodelay(true);
                     let fd = stream.as_raw_fd();
-                    let conn = Connection::new(stream, self.config.max_line_bytes);
+                    let conn = Connection::new(
+                        stream,
+                        self.config.max_frame_bytes,
+                        self.config.read_buffer_bytes,
+                        self.config.write_buffer_bytes,
+                    );
                     if self.poller.add(fd, Interest::READ).is_err() {
                         continue;
                     }
@@ -337,62 +402,60 @@ impl Reactor {
             return;
         }
 
-        // Serve every completed frame, in order. Responses queue onto the
-        // connection's write backlog; shard round-trips happen inline here
-        // (the shard workers are separate threads, so matching still
-        // parallelizes underneath the single front-end thread).
+        // Serve every completed frame, in order. Responses append onto
+        // the connection's write backlog in wire form; consecutive
+        // publish frames accumulate into `self.batch` and fan out to the
+        // shards in one `publish_batch` call — a pipelined publisher pays
+        // one shard round-trip per readiness event, not per publish. The
+        // socket is flushed once per event, after the batch drains, so a
+        // window of pipelined requests costs one write syscall.
         let mut served_any = false;
         loop {
+            let service = &self.service;
+            let counters = &self.counters;
+            let max_frame_bytes = self.config.max_frame_bytes;
             let conn = self.conns.get_mut(&event.fd).expect("conn checked above");
             // Slow-consumer bound, checked against the backlog of *earlier*
             // responses before serving the next request: a consumer that is
             // not reading what it already asked for gets disconnected, but a
             // single response larger than the bound can still drain in full
             // to a prompt reader (memory is then bounded by one response
-            // plus the cap, per connection).
+            // plus the cap, per connection). Because flushing now happens
+            // once per event rather than per frame, the backlog is offered
+            // to the kernel before judging — the policy targets a peer
+            // that is not reading, not responses never yet offered.
             if conn.backlog() > self.config.max_write_buffer_bytes {
-                self.close(event.fd, Some(Disconnect::SlowConsumer));
-                return;
+                let alive = conn.flush().is_ok();
+                let over = conn.backlog() > self.config.max_write_buffer_bytes;
+                if !alive || over {
+                    self.batch.clear();
+                    self.close(
+                        event.fd,
+                        if alive {
+                            Some(Disconnect::SlowConsumer)
+                        } else {
+                            None
+                        },
+                    );
+                    return;
+                }
             }
-            let Some(frame) = conn.next_frame() else {
+            let batch = &mut self.batch;
+            let served = conn.serve_next(|frame, out| {
+                serve_frame(frame, service, counters, max_frame_bytes, batch, out)
+            });
+            if served.is_none() {
                 break;
-            };
-            // End-to-end ingress stamp: the request line has just
-            // completed framing. For publish requests the span from here
-            // to the matched-notification enqueue is the `e2e` stage.
-            let ingress = Instant::now();
-            served_any = true;
-            let response = match frame {
-                Frame::TooLong { len } => {
-                    self.counters
-                        .oversized_lines
-                        .fetch_add(1, Ordering::Relaxed);
-                    crate::wire::Response::Error(format!(
-                        "request line of {len} bytes exceeds {} bytes",
-                        self.config.max_line_bytes
-                    ))
-                }
-                Frame::Line(line) => {
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                    respond(&line, &self.service, Some(&self.counters))
-                }
-            };
-            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
-            let deliver_started = Instant::now();
-            conn.queue_line(&response.encode());
-            self.counters
-                .deliver
-                .record_duration(deliver_started.elapsed());
-            if matches!(response, crate::wire::Response::Matched(_)) {
-                // The notification is now queued for delivery: close the
-                // publish→deliver span (decode + route + shard round-trip
-                // + merge + encode; everything but kernel socket time).
-                self.counters.end_to_end.record_duration(ingress.elapsed());
             }
-            if conn.flush().is_err() {
+            served_any = true;
+        }
+        {
+            let service = &self.service;
+            let counters = &self.counters;
+            let batch = &mut self.batch;
+            let conn = self.conns.get_mut(&event.fd).expect("conn still present");
+            drain_publish_batch(batch, service, counters, conn.outbuf_mut());
+            if served_any && conn.flush().is_err() {
                 self.close(event.fd, None);
                 return;
             }
@@ -489,4 +552,165 @@ impl Reactor {
 enum Disconnect {
     SlowConsumer,
     Idle,
+}
+
+/// What one frame decoded to, before any response is produced.
+enum Served {
+    /// A validated publication — joins the pending batch instead of
+    /// fanning out to the shards on its own.
+    Publish(Publication),
+    /// Any other well-formed request — answered synchronously.
+    Other(Request),
+    /// A malformed or schema-invalid request — answered with an error.
+    Fail(String),
+}
+
+/// Serves one framed request. Publishes are *deferred*: they decode and
+/// validate here (the `decode` / `decode_binary` stage, which for both
+/// protocols now spans wire bytes → validated [`Publication`]) and then
+/// join `batch`; the batch fans out to the shards in one
+/// [`PubSubService::publish_batch`] call when a non-publish frame
+/// arrives (responses must stay in request order) or when the event's
+/// frames run out. Everything else is answered immediately, in the
+/// frame's own protocol, straight onto the connection's write backlog.
+///
+/// Free function (not a `Reactor` method) so the caller can hold the
+/// connection's `&mut` while this borrows the service, counters, and
+/// batch — disjoint fields of the reactor.
+fn serve_frame(
+    frame: ConnFrame<'_>,
+    service: &PubSubService,
+    counters: &ReactorCounters,
+    max_frame_bytes: usize,
+    batch: &mut PublishBatch,
+    out: &mut Vec<u8>,
+) {
+    // End-to-end ingress stamp: the request frame has just completed
+    // framing. For publish requests the span from here to the matched-
+    // notification enqueue is the `e2e` stage (under pipelining that
+    // includes time spent waiting for the rest of the batch).
+    let ingress = Instant::now();
+    let (served, proto) = match frame {
+        ConnFrame::JsonLine(line) => {
+            if line.trim().is_empty() {
+                return;
+            }
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            let decode_started = Instant::now();
+            // The decode stage costs the same whether the line parses or
+            // not, so malformed lines are recorded too; publication
+            // validation is part of the stage so that `decode` and
+            // `decode_binary` measure the same span.
+            let served = match Request::decode(&line) {
+                Ok(Request::Publish(dto)) => match dto.into_publication(service.schema()) {
+                    Ok(p) => Served::Publish(p),
+                    Err(e) => Served::Fail(e.to_string()),
+                },
+                Ok(request) => Served::Other(request),
+                Err(e) => Served::Fail(e.to_string()),
+            };
+            counters.record_decode(decode_started.elapsed());
+            (served, Proto::Json)
+        }
+        ConnFrame::JsonTooLong { len } => {
+            counters.oversized_lines.fetch_add(1, Ordering::Relaxed);
+            (
+                Served::Fail(format!(
+                    "request line of {len} bytes exceeds {max_frame_bytes} bytes"
+                )),
+                Proto::Json,
+            )
+        }
+        ConnFrame::Binary(payload) => {
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            let decode_started = Instant::now();
+            let served = match decode_binary_request(payload, service.schema()) {
+                Ok(BinRequest::Publish(p)) => Served::Publish(p),
+                Ok(BinRequest::Plain(request)) => Served::Other(request),
+                Err(e) => Served::Fail(e.to_string()),
+            };
+            counters.record_decode_binary(decode_started.elapsed());
+            (served, Proto::Binary)
+        }
+        ConnFrame::BinaryTooLong { len } => {
+            counters.oversized_lines.fetch_add(1, Ordering::Relaxed);
+            (
+                Served::Fail(format!(
+                    "binary frame of {len} bytes exceeds {max_frame_bytes} bytes"
+                )),
+                Proto::Binary,
+            )
+        }
+    };
+    match served {
+        Served::Publish(publication) => batch.push(publication, ingress, proto),
+        Served::Other(request) => {
+            // Response order must match request order: settle the pending
+            // publishes before answering this request.
+            drain_publish_batch(batch, service, counters, out);
+            let response = dispatch(request, service, Some(counters));
+            encode_response(&response, proto, counters, out);
+        }
+        Served::Fail(message) => {
+            drain_publish_batch(batch, service, counters, out);
+            encode_response(&Response::Error(message), proto, counters, out);
+        }
+    }
+}
+
+/// Encodes one response in `proto` onto the write backlog, recording the
+/// `deliver` stage.
+fn encode_response(
+    response: &Response,
+    proto: Proto,
+    counters: &ReactorCounters,
+    out: &mut Vec<u8>,
+) {
+    let deliver_started = Instant::now();
+    match proto {
+        Proto::Json => response.encode_json_into(out),
+        Proto::Binary => response.encode_binary(out),
+    }
+    counters.deliver.record_duration(deliver_started.elapsed());
+}
+
+/// Settles the pending publish batch: one [`PubSubService::publish_batch`]
+/// call fans the whole run out to the shards (each visited shard is
+/// messaged once for the run, not once per publish), then the matched
+/// notifications are encoded in arrival order, each in its own frame's
+/// protocol. No-op on an empty batch; always leaves the batch empty with
+/// its capacity pooled.
+fn drain_publish_batch(
+    batch: &mut PublishBatch,
+    service: &PubSubService,
+    counters: &ReactorCounters,
+    out: &mut Vec<u8>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    match service.publish_batch(&batch.publications) {
+        Ok(matched) => {
+            for ((ingress, proto), ids) in batch.meta.iter().zip(matched) {
+                let response = Response::Matched(ids.into_iter().map(|id| id.0).collect());
+                encode_response(&response, *proto, counters, out);
+                // The notification is now queued for delivery: close the
+                // publish→deliver span (decode + batch wait + route +
+                // shard round-trip + merge + encode; everything but
+                // kernel socket time).
+                counters.end_to_end.record_duration(ingress.elapsed());
+            }
+        }
+        Err(e) => {
+            // `publish_batch` validates arity per publication before any
+            // shard work, and every batched publication already passed
+            // schema validation at decode time — but answer every frame
+            // if it does fail, so pipelined clients never lose a reply.
+            let response = Response::Error(e.to_string());
+            for (_, proto) in &batch.meta {
+                encode_response(&response, *proto, counters, out);
+            }
+        }
+    }
+    batch.clear();
 }

@@ -10,7 +10,7 @@
 use crate::metrics::ReactorMetrics;
 use crate::reactor::{self, ReactorConfig, ReactorCounters, ReactorHandle};
 use crate::service::{PubSubService, ServiceConfig};
-use crate::wire::{Request, Response, MAX_REQUEST_LINE_BYTES};
+use crate::wire::{Request, Response};
 use psc_model::wire::SchemaDto;
 use psc_model::{Schema, SubscriptionId};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -62,7 +62,9 @@ impl ServiceServer {
             max_connections: config.max_connections,
             max_write_buffer_bytes: config.max_write_buffer_bytes,
             idle_timeout: config.idle_timeout,
-            max_line_bytes: MAX_REQUEST_LINE_BYTES,
+            max_frame_bytes: config.max_frame_bytes,
+            read_buffer_bytes: config.read_buffer_bytes,
+            write_buffer_bytes: config.write_buffer_bytes,
         };
         let service = PubSubService::open(schema, config).map_err(|e| {
             let kind = match &e {
@@ -108,24 +110,17 @@ impl ServiceServer {
 // Dropping the server performs the same shutdown: `ReactorHandle::stop`
 // is idempotent and runs in the handle's own `Drop`.
 
-/// Serves one decoded request line. Shared by the reactor (TCP) and any
-/// embedded driver.
-pub(crate) fn respond(
-    line: &str,
+/// Executes one decoded request — the protocol-independent tail of the
+/// reactor's serving layer. In practice publishes never reach here: the
+/// reactor intercepts them at decode time, batches consecutive publishes
+/// per readiness event, and calls [`PubSubService::publish_batch`] once
+/// per run — but the `Publish` arm stays as the single-request reference
+/// path for embedded callers.
+pub(crate) fn dispatch(
+    request: Request,
     service: &PubSubService,
     reactor: Option<&ReactorCounters>,
 ) -> Response {
-    let decode_started = std::time::Instant::now();
-    let decoded = Request::decode(line);
-    if let Some(counters) = reactor {
-        // The decode stage costs the same whether the line parses or
-        // not, so malformed lines are recorded too.
-        counters.record_decode(decode_started.elapsed());
-    }
-    let request = match decoded {
-        Ok(request) => request,
-        Err(e) => return Response::Error(e.to_string()),
-    };
     match request {
         Request::Hello => Response::Hello {
             schema: SchemaDto::from_schema(service.schema()),

@@ -20,7 +20,7 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::routing::{ShardSummary, SummaryCell};
-use crate::shard::{ShardCommand, ShardWorker};
+use crate::shard::{SelectedIndices, ShardCommand, ShardWorker};
 use crate::storage::{FsyncPolicy, ShardStorage, StorageConfig};
 use crate::telemetry::{AtomicHistogram, ServiceLatency};
 use psc_core::SubsumptionChecker;
@@ -69,6 +69,20 @@ pub struct ServiceConfig {
     /// Server: disconnect connections idle longer than this
     /// (`None` = never reap).
     pub idle_timeout: Option<std::time::Duration>,
+    /// Server: longest accepted request frame — a JSON line or a binary
+    /// frame payload. One cap shared by both protocols, enforced
+    /// mid-stream by the incremental framers so an unterminated hostile
+    /// line (or absurd binary length header) never buffers more than
+    /// this many bytes per connection.
+    pub max_frame_bytes: usize,
+    /// Server: size of each connection's pooled read buffer, allocated
+    /// once per connection and reused for every read.
+    pub read_buffer_bytes: usize,
+    /// Server: initial capacity of each connection's response write
+    /// buffer (distinct from `max_write_buffer_bytes`, which is the
+    /// backlog *cap*); steady-state responses append without
+    /// reallocating.
+    pub write_buffer_bytes: usize,
     /// Client: connect/read/write timeout for [`crate::ServiceClient`],
     /// so a hung server surfaces as a timeout error instead of wedging
     /// the caller forever (`None` = block indefinitely).
@@ -111,6 +125,9 @@ impl Default for ServiceConfig {
             max_connections: 8_192,
             max_write_buffer_bytes: 1 << 20,
             idle_timeout: None,
+            max_frame_bytes: crate::wire::MAX_REQUEST_LINE_BYTES,
+            read_buffer_bytes: 16 * 1024,
+            write_buffer_bytes: 16 * 1024,
             io_timeout: Some(std::time::Duration::from_secs(30)),
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -485,7 +502,12 @@ impl PubSubService {
     /// re-read under the lock — see `PendingState::confirmed_floor`.
     /// `None` from the cell (never published, or a reader that lost its
     /// seqlock races) pops nothing and selects everything.
-    fn route_shard(&self, i: usize, shard: &Shard, publications: &[Publication]) -> Vec<u32> {
+    fn route_shard(
+        &self,
+        i: usize,
+        shard: &Shard,
+        publications: &[Publication],
+    ) -> SelectedIndices {
         let mut view = if self.routing_enabled {
             shard.cell.read()
         } else {
@@ -561,37 +583,41 @@ impl PubSubService {
         }
         self.publications_total
             .fetch_add(publications.len() as u64, Ordering::Relaxed);
-        let shared: Arc<Vec<Publication>> = Arc::new(publications.to_vec());
-        let replies: Vec<_> = self
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                // Flushing happens inside route_shard, under the same
-                // pending-lock hold as the routing decision; per-shard
-                // FIFO then guarantees the MatchBatch below observes
-                // every admission the decision accounted for.
-                let route_started = std::time::Instant::now();
-                let selected = self.route_shard(i, shard, publications);
-                self.route_latency.record_duration(route_started.elapsed());
-                let pruned = publications.len() - selected.len();
-                if pruned > 0 {
-                    shard.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
-                }
-                if selected.is_empty() {
-                    return None;
-                }
-                let (tx, rx) = channel();
-                self.send(
-                    i,
-                    ShardCommand::MatchBatch(Arc::clone(&shared), selected.clone(), tx),
-                );
-                Some((selected, rx))
-            })
-            .collect();
+        // The shared clone of the batch is built lazily: a publication the
+        // summaries prune away from *every* shard completes without
+        // cloning or allocating at all — the common case for selective
+        // workloads, and the backbone of the zero-allocation publish path.
+        let mut shared: Option<Arc<[Publication]>> = None;
+        // One reply channel for the whole fan-out: each shard echoes its
+        // selected indices back with its matches, so replies carry their
+        // own merge positions and can arrive in any order.
+        let (tx, rx) = channel();
+        let mut visited = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            // Flushing happens inside route_shard, under the same
+            // pending-lock hold as the routing decision; per-shard
+            // FIFO then guarantees the MatchBatch below observes
+            // every admission the decision accounted for.
+            let route_started = std::time::Instant::now();
+            let selected = self.route_shard(i, shard, publications);
+            self.route_latency.record_duration(route_started.elapsed());
+            let pruned = publications.len() - selected.len();
+            if pruned > 0 {
+                shard.pruned.fetch_add(pruned as u64, Ordering::Relaxed);
+            }
+            if selected.is_empty() {
+                continue;
+            }
+            let shared = shared.get_or_insert_with(|| publications.to_vec().into());
+            self.send(
+                i,
+                ShardCommand::MatchBatch(Arc::clone(shared), selected, tx.clone()),
+            );
+            visited += 1;
+        }
         let mut merged: Vec<Vec<SubscriptionId>> = vec![Vec::new(); publications.len()];
-        for (selected, rx) in replies.into_iter().flatten() {
-            let shard_matches = rx.recv().expect("shard replies to match batch");
+        for _ in 0..visited {
+            let (selected, shard_matches) = rx.recv().expect("shard replies to match batch");
             debug_assert_eq!(shard_matches.len(), selected.len());
             for (&index, ids) in selected.iter().zip(shard_matches) {
                 merged[index as usize].extend(ids);

@@ -29,12 +29,17 @@ use crate::storage::{LogRecord, ShardStorage};
 use crate::telemetry::LogHistogram;
 use psc_matcher::CoveringStore;
 use psc_model::wire::SummaryStats;
-use psc_model::{Publication, Schema, Subscription, SubscriptionId};
+use psc_model::{InlineVec, Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Batch indices selected for one shard. Publish batches are almost
+/// always small (a network publish is a batch of one), so the indices
+/// live inline in the command — no allocation on the fan-out path.
+pub(crate) type SelectedIndices = InlineVec<u32, 16>;
 
 /// Commands a shard worker processes, in arrival order.
 pub(crate) enum ShardCommand {
@@ -44,12 +49,14 @@ pub(crate) enum ShardCommand {
     Unsubscribe(SubscriptionId, Sender<bool>),
     /// Match the publications at the given indices of the shared batch
     /// against the local store; replies one id-vector per *selected*
-    /// index, in index order. The router omits indices its routing
-    /// summaries prove cannot match here.
+    /// index, in index order, echoing the selected indices back so every
+    /// visited shard can share one reply channel (replies arrive in
+    /// completion order and carry their own merge positions). The router
+    /// omits indices its routing summaries prove cannot match here.
     MatchBatch(
-        Arc<Vec<Publication>>,
-        Vec<u32>,
-        Sender<Vec<Vec<SubscriptionId>>>,
+        Arc<[Publication]>,
+        SelectedIndices,
+        Sender<(SelectedIndices, Vec<Vec<SubscriptionId>>)>,
     ),
     /// Report current metrics plus the shard's match-stage latency
     /// histogram (owned here, so the reply is the scrape-on-demand read).
@@ -221,7 +228,7 @@ impl ShardWorker {
                             ids
                         })
                         .collect();
-                    let _ = reply.send(matches);
+                    let _ = reply.send((selected, matches));
                 }
                 ShardCommand::Scrape(reply) => {
                     let _ = reply.send((self.metrics(), self.match_latency.clone()));

@@ -14,7 +14,8 @@
 //!
 //! | stage | span | recorded by |
 //! |---|---|---|
-//! | `decode` | request line → decoded [`Request`](crate::wire::Request) | reactor thread ([`AtomicHistogram`]) |
+//! | `decode` | JSON request line → decoded [`Request`](crate::wire::Request) | reactor thread ([`AtomicHistogram`]) |
+//! | `decode_binary` | binary frame → decoded request (fast publish path) | reactor thread ([`AtomicHistogram`]) |
 //! | `route` | per shard: summary consult + in-flight merge → selected indices | publishing threads ([`AtomicHistogram`]) |
 //! | `match` | per publication: store match on one shard | shard worker (owned [`LogHistogram`], scraped on demand) |
 //! | `deliver` | response encode → enqueue on the connection's write backlog | reactor thread ([`AtomicHistogram`]) |
@@ -48,8 +49,11 @@ use std::fmt;
 /// in-process without a reactor.
 #[derive(Clone, Default, Debug)]
 pub struct ServiceLatency {
-    /// Request-line decode (reactor).
+    /// JSON request-line decode (reactor).
     pub decode: LogHistogram,
+    /// Binary request-frame decode (reactor); empty on connections that
+    /// never negotiated the binary protocol.
+    pub decode_binary: LogHistogram,
     /// Router summary consult, per shard visit decision.
     pub route: LogHistogram,
     /// Per-publication store match, merged across shard workers.
@@ -81,6 +85,7 @@ impl ServiceLatency {
         let stage = stage_summary;
         LatencyStats {
             decode: stage(&self.decode),
+            decode_binary: stage(&self.decode_binary),
             route: stage(&self.route),
             shard_match: stage(&self.shard_match),
             deliver: stage(&self.deliver),
@@ -93,11 +98,12 @@ impl fmt::Display for ServiceLatency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "latency per stage:")?;
         for (name, h) in [
-            ("e2e    ", &self.end_to_end),
-            ("decode ", &self.decode),
-            ("route  ", &self.route),
-            ("match  ", &self.shard_match),
-            ("deliver", &self.deliver),
+            ("e2e       ", &self.end_to_end),
+            ("decode    ", &self.decode),
+            ("decode_bin", &self.decode_binary),
+            ("route     ", &self.route),
+            ("match     ", &self.shard_match),
+            ("deliver   ", &self.deliver),
         ] {
             writeln!(f, "  {name} {h}")?;
         }

@@ -1,4 +1,14 @@
-//! The line-delimited JSON wire protocol.
+//! The wire protocol: line-delimited JSON, with a negotiated binary
+//! alternative for the hot path.
+//!
+//! A connection speaks JSON unless its very first bytes are
+//! [`psc_model::codec::BINARY_PREAMBLE`], which commits it to the binary
+//! framing for its whole lifetime (see [`Request::encode_binary`] and
+//! `docs/PROTOCOL.md` for the frame layout). Both protocols share one
+//! request/response vocabulary — the types in this module — and one
+//! frame-size cap, enforced mid-stream by the respective framer.
+//!
+//! ## JSON protocol
 //!
 //! One request per line, one response line per request, UTF-8, `\n`
 //! terminated. Requests carry an `"op"` discriminator:
@@ -26,12 +36,60 @@
 //! parser when each completed line is decoded.
 
 use crate::metrics::{ReactorMetrics, ServiceMetrics};
+use psc_model::codec::{self, ByteReader, CodecError, BINARY_PREAMBLE};
 use psc_model::wire::{Json, LatencyStats, PublicationDto, SchemaDto, SubscriptionDto, WireError};
+use psc_model::{ModelError, Publication, Schema, ValueVec};
 
-/// Longest request line the server accepts; the incremental framer
-/// enforces it mid-stream, so an unterminated hostile line never buffers
-/// more than this many bytes.
+/// Default cap on one request frame — a JSON line or a binary payload.
+/// The incremental framers enforce it mid-stream, so an unterminated
+/// hostile line (or an absurd binary length header) never buffers more
+/// than this many bytes. Configurable per server via
+/// [`crate::ServiceConfig::max_frame_bytes`].
 pub const MAX_REQUEST_LINE_BYTES: usize = 1 << 20;
+
+/// Binary opcodes: requests in the low range, responses with the high
+/// bit set. One byte at the start of every binary frame payload.
+mod opcode {
+    pub const HELLO: u8 = 0x01;
+    pub const SUBSCRIBE: u8 = 0x02;
+    pub const UNSUBSCRIBE: u8 = 0x03;
+    pub const PUBLISH: u8 = 0x04;
+    pub const FLUSH: u8 = 0x05;
+    pub const STATS: u8 = 0x06;
+    pub const READY: u8 = 0x80;
+    pub const R_HELLO: u8 = 0x81;
+    pub const R_QUEUED: u8 = 0x82;
+    pub const R_REMOVED: u8 = 0x83;
+    pub const R_MATCHED: u8 = 0x84;
+    pub const R_FLUSHED: u8 = 0x85;
+    pub const R_STATS: u8 = 0x86;
+    pub const R_ERROR: u8 = 0xFF;
+}
+
+/// Maps a binary decode failure into the wire error vocabulary shared
+/// with the JSON path (model errors keep their type; structural problems
+/// become shape errors).
+fn codec_err(e: CodecError) -> WireError {
+    match e {
+        CodecError::Model(m) => WireError::Model(m),
+        other => WireError::Shape(format!("binary payload: {other}")),
+    }
+}
+
+/// Appends the server's negotiation acknowledgement — the first frame on
+/// every binary connection: opcode `0x80` + the protocol version byte.
+pub(crate) fn encode_ready_frame(out: &mut Vec<u8>) {
+    codec::write_frame(out, |p| {
+        codec::put_u8(p, opcode::READY);
+        codec::put_u8(p, BINARY_PREAMBLE[4]);
+    });
+}
+
+/// Whether a frame payload is the server's negotiation acknowledgement
+/// for the protocol version this build speaks.
+pub(crate) fn is_ready_payload(payload: &[u8]) -> bool {
+    payload == [opcode::READY, BINARY_PREAMBLE[4]]
+}
 
 /// A decoded client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +160,136 @@ impl Request {
         };
         json.to_string()
     }
+
+    /// Appends this request as one binary frame (length header included)
+    /// to `out` — no intermediate allocation; the caller's buffer is the
+    /// wire buffer.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::write_frame(out, |p| match self {
+            Request::Hello => codec::put_u8(p, opcode::HELLO),
+            Request::Subscribe(dto) => {
+                codec::put_u8(p, opcode::SUBSCRIBE);
+                codec::put_u64(p, dto.id);
+                codec::put_u32(p, dto.ranges.len() as u32);
+                for &(lo, hi) in &dto.ranges {
+                    codec::put_i64(p, lo);
+                    codec::put_i64(p, hi);
+                }
+            }
+            Request::Unsubscribe(id) => {
+                codec::put_u8(p, opcode::UNSUBSCRIBE);
+                codec::put_u64(p, *id);
+            }
+            Request::Publish(dto) => {
+                codec::put_u8(p, opcode::PUBLISH);
+                codec::put_u32(p, dto.values.len() as u32);
+                for &v in &dto.values {
+                    codec::put_i64(p, v);
+                }
+            }
+            Request::Flush => codec::put_u8(p, opcode::FLUSH),
+            Request::Stats => codec::put_u8(p, opcode::STATS),
+        });
+    }
+
+    /// Decodes one binary frame payload (length header already stripped
+    /// by the framer). Strict: trailing bytes are a shape error, so
+    /// corruption cannot hide behind a shorter-than-declared value.
+    pub fn decode_binary(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = ByteReader::new(payload);
+        let op = r.u8().map_err(codec_err)?;
+        let request = match op {
+            opcode::HELLO => Request::Hello,
+            opcode::SUBSCRIBE => {
+                let id = r.u64().map_err(codec_err)?;
+                let arity = r.u32().map_err(codec_err)? as usize;
+                // A range costs 16 encoded bytes; reject counts the
+                // payload cannot hold before allocating.
+                if arity > r.remaining() / 16 {
+                    return Err(WireError::Shape(
+                        "subscribe arity exceeds payload size".into(),
+                    ));
+                }
+                let mut ranges = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    let lo = r.i64().map_err(codec_err)?;
+                    let hi = r.i64().map_err(codec_err)?;
+                    ranges.push((lo, hi));
+                }
+                Request::Subscribe(SubscriptionDto { id, ranges })
+            }
+            opcode::UNSUBSCRIBE => Request::Unsubscribe(r.u64().map_err(codec_err)?),
+            opcode::PUBLISH => {
+                let arity = r.u32().map_err(codec_err)? as usize;
+                if arity > r.remaining() / 8 {
+                    return Err(WireError::Shape(
+                        "publish arity exceeds payload size".into(),
+                    ));
+                }
+                let mut values = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    values.push(r.i64().map_err(codec_err)?);
+                }
+                Request::Publish(PublicationDto { values })
+            }
+            opcode::FLUSH => Request::Flush,
+            opcode::STATS => Request::Stats,
+            other => {
+                return Err(WireError::Shape(format!(
+                    "unknown binary request opcode 0x{other:02X}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Shape(format!(
+                "binary request has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(request)
+    }
+}
+
+/// A binary request decoded for serving: publishes skip the DTO stage
+/// and validate straight into a [`Publication`] with inline value
+/// storage, so the hot path performs zero heap allocations between the
+/// socket buffer and the router.
+pub(crate) enum BinRequest {
+    /// Any request other than publish, decoded normally.
+    Plain(Request),
+    /// A publish, already validated against the service schema.
+    Publish(Publication),
+}
+
+/// Decodes a binary request frame for the server, using `schema` to
+/// validate publish values in one pass.
+pub(crate) fn decode_binary_request(
+    payload: &[u8],
+    schema: &Schema,
+) -> Result<BinRequest, WireError> {
+    let mut r = ByteReader::new(payload);
+    if r.u8().map_err(codec_err)? == opcode::PUBLISH {
+        let arity = r.u32().map_err(codec_err)? as usize;
+        if arity != schema.len() {
+            return Err(WireError::Model(ModelError::SchemaMismatch {
+                expected: schema.len(),
+                found: arity,
+            }));
+        }
+        let mut values = ValueVec::new();
+        for _ in 0..arity {
+            values.push(r.i64().map_err(codec_err)?);
+        }
+        if !r.is_empty() {
+            return Err(WireError::Shape(format!(
+                "binary request has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        let publication = Publication::from_value_vec(schema, values).map_err(WireError::Model)?;
+        return Ok(BinRequest::Publish(publication));
+    }
+    Request::decode_binary(payload).map(BinRequest::Plain)
 }
 
 /// A server response.
@@ -144,6 +332,19 @@ pub enum Response {
 impl Response {
     /// Encodes as one response line (no trailing newline).
     pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Appends this response as one JSON line (trailing newline
+    /// included) to `out`, skipping the intermediate `String` that
+    /// [`Response::encode`] materializes.
+    pub fn encode_json_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write;
+        write!(out, "{}", self.to_json()).expect("writing to a Vec cannot fail");
+        out.push(b'\n');
+    }
+
+    fn to_json(&self) -> Json {
         let ok = |fields: Vec<(&'static str, Json)>| {
             let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
             pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
@@ -177,7 +378,121 @@ impl Response {
                 ("error", Json::Str(message.clone())),
             ]),
         };
-        json.to_string()
+        json
+    }
+
+    /// Appends this response as one binary frame (length header
+    /// included) to `out`.
+    ///
+    /// Stats responses ride as their JSON encoding inside a binary frame
+    /// (opcode `0x86` + string): stats is a cold diagnostic request, and
+    /// reusing the JSON shape keeps one source of truth for a structure
+    /// that grows a field almost every PR.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::write_frame(out, |p| match self {
+            Response::Hello { schema, shards } => {
+                codec::put_u8(p, opcode::R_HELLO);
+                codec::put_u32(p, schema.attributes.len() as u32);
+                for (name, lo, hi) in &schema.attributes {
+                    codec::put_str(p, name);
+                    codec::put_i64(p, *lo);
+                    codec::put_i64(p, *hi);
+                }
+                codec::put_u64(p, *shards);
+            }
+            Response::Queued => codec::put_u8(p, opcode::R_QUEUED),
+            Response::Removed(removed) => {
+                codec::put_u8(p, opcode::R_REMOVED);
+                codec::put_u8(p, u8::from(*removed));
+            }
+            Response::Matched(ids) => {
+                codec::put_u8(p, opcode::R_MATCHED);
+                codec::put_u32(p, ids.len() as u32);
+                for &id in ids {
+                    codec::put_u64(p, id);
+                }
+            }
+            Response::Flushed => codec::put_u8(p, opcode::R_FLUSHED),
+            Response::Stats { .. } => {
+                codec::put_u8(p, opcode::R_STATS);
+                codec::put_str(p, &self.encode());
+            }
+            Response::Error(message) => {
+                codec::put_u8(p, opcode::R_ERROR);
+                codec::put_str(p, message);
+            }
+        });
+    }
+
+    /// Decodes one binary frame payload. Strict about trailing bytes,
+    /// like [`Request::decode_binary`].
+    pub fn decode_binary(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = ByteReader::new(payload);
+        let op = r.u8().map_err(codec_err)?;
+        let response = match op {
+            opcode::R_HELLO => {
+                let count = r.u32().map_err(codec_err)? as usize;
+                // Same allocation guard as the storage codec: an
+                // attribute costs at least 20 encoded bytes.
+                if count > r.remaining() / 20 {
+                    return Err(WireError::Shape(
+                        "hello attribute count exceeds payload size".into(),
+                    ));
+                }
+                let mut attributes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = r.str().map_err(codec_err)?;
+                    let lo = r.i64().map_err(codec_err)?;
+                    let hi = r.i64().map_err(codec_err)?;
+                    attributes.push((name, lo, hi));
+                }
+                let shards = r.u64().map_err(codec_err)?;
+                Response::Hello {
+                    schema: SchemaDto { attributes },
+                    shards,
+                }
+            }
+            opcode::R_QUEUED => Response::Queued,
+            opcode::R_REMOVED => Response::Removed(r.u8().map_err(codec_err)? != 0),
+            opcode::R_MATCHED => {
+                let count = r.u32().map_err(codec_err)? as usize;
+                if count > r.remaining() / 8 {
+                    return Err(WireError::Shape(
+                        "matched id count exceeds payload size".into(),
+                    ));
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(r.u64().map_err(codec_err)?);
+                }
+                Response::Matched(ids)
+            }
+            opcode::R_FLUSHED => Response::Flushed,
+            opcode::R_STATS => {
+                let line = r.str().map_err(codec_err)?;
+                match Response::decode(&line)? {
+                    stats @ Response::Stats { .. } => stats,
+                    _ => {
+                        return Err(WireError::Shape(
+                            "stats frame does not carry a stats response".into(),
+                        ))
+                    }
+                }
+            }
+            opcode::R_ERROR => Response::Error(r.str().map_err(codec_err)?),
+            other => {
+                return Err(WireError::Shape(format!(
+                    "unknown binary response opcode 0x{other:02X}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Shape(format!(
+                "binary response has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(response)
     }
 
     /// Decodes one response line.
@@ -372,5 +687,145 @@ mod tests {
             Response::decode(r#"{"ok":true,"queued":false}"#).is_err(),
             "queued:false is not a valid response shape"
         );
+    }
+
+    /// Strips the length header off a single encoded frame.
+    fn payload(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(frame.len(), 4 + len, "exactly one frame");
+        &frame[4..]
+    }
+
+    #[test]
+    fn binary_requests_round_trip() {
+        let cases = [
+            Request::Hello,
+            Request::Subscribe(SubscriptionDto {
+                id: 42,
+                ranges: vec![(0, 9), (-5, 5)],
+            }),
+            Request::Unsubscribe(7),
+            Request::Publish(PublicationDto {
+                values: vec![3, -4],
+            }),
+            Request::Flush,
+            Request::Stats,
+        ];
+        for request in cases {
+            let mut frame = Vec::new();
+            request.encode_binary(&mut frame);
+            let back = Request::decode_binary(payload(&frame)).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn binary_responses_round_trip() {
+        let cases = [
+            Response::Hello {
+                schema: SchemaDto {
+                    attributes: vec![("x0".into(), 0, 99), ("x1".into(), -5, 5)],
+                },
+                shards: 4,
+            },
+            Response::Queued,
+            Response::Removed(true),
+            Response::Removed(false),
+            Response::Matched(vec![1, 2, 30]),
+            Response::Matched(vec![]),
+            Response::Flushed,
+            Response::Stats {
+                metrics: ServiceMetrics {
+                    shards: vec![ShardMetrics {
+                        subscriptions_ingested: 3,
+                        ..Default::default()
+                    }],
+                    publications_total: 7,
+                },
+                reactor: None,
+                latency: None,
+            },
+            Response::Error("boom".into()),
+        ];
+        for response in cases {
+            let mut frame = Vec::new();
+            response.encode_binary(&mut frame);
+            let back = Response::decode_binary(payload(&frame)).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn encode_json_into_matches_encode() {
+        let response = Response::Matched(vec![5, 9]);
+        let mut out = Vec::new();
+        response.encode_json_into(&mut out);
+        let mut expected = response.encode().into_bytes();
+        expected.push(b'\n');
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert!(matches!(
+            Request::decode_binary(&[]),
+            Err(WireError::Shape(_))
+        ));
+        assert!(
+            Request::decode_binary(&[0x77]).is_err(),
+            "unknown opcode must not decode"
+        );
+        // Publish declaring more values than the payload holds must be
+        // rejected before any allocation.
+        let mut bomb = vec![0x04];
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode_binary(&bomb).is_err());
+        // Trailing bytes are corruption, not padding.
+        let mut frame = Vec::new();
+        Request::Flush.encode_binary(&mut frame);
+        let mut long = payload(&frame).to_vec();
+        long.push(0);
+        assert!(Request::decode_binary(&long).is_err());
+        assert!(Response::decode_binary(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn fast_path_publish_decodes_into_inline_publication() {
+        let schema = psc_model::Schema::uniform(2, -10, 10);
+        let mut frame = Vec::new();
+        Request::Publish(PublicationDto {
+            values: vec![3, -4],
+        })
+        .encode_binary(&mut frame);
+        match decode_binary_request(payload(&frame), &schema).unwrap() {
+            BinRequest::Publish(p) => assert_eq!(p.values(), &[3, -4]),
+            BinRequest::Plain(_) => panic!("publish must take the fast path"),
+        }
+        // Wrong arity surfaces as a model error, same as the JSON path.
+        let mut bad = Vec::new();
+        Request::Publish(PublicationDto { values: vec![1] }).encode_binary(&mut bad);
+        assert!(matches!(
+            decode_binary_request(payload(&bad), &schema),
+            Err(WireError::Model(ModelError::SchemaMismatch { .. }))
+        ));
+        // Out-of-domain values too.
+        let mut oob = Vec::new();
+        Request::Publish(PublicationDto {
+            values: vec![3, 999],
+        })
+        .encode_binary(&mut oob);
+        assert!(matches!(
+            decode_binary_request(payload(&oob), &schema),
+            Err(WireError::Model(ModelError::OutOfDomain { .. }))
+        ));
+    }
+
+    #[test]
+    fn ready_frame_recognized() {
+        let mut out = Vec::new();
+        encode_ready_frame(&mut out);
+        assert!(is_ready_payload(payload(&out)));
+        assert!(!is_ready_payload(&[0x80, 99]), "wrong version rejected");
+        assert!(!is_ready_payload(&[]));
     }
 }

@@ -1,0 +1,288 @@
+//! Property tests of the binary wire protocol under the incremental
+//! frame decoder: request/response round-trips survive arbitrary read
+//! fragmentation (frames split at random points, down to byte-by-byte),
+//! oversized frames are reported with their true declared length without
+//! desynchronizing the stream, truncated tails never produce phantom
+//! frames, and arbitrary garbage never panics the framer or the decoder.
+//! The live-server negotiation (preamble → Ready frame) is covered by
+//! deterministic tests at the end.
+
+use proptest::prelude::*;
+use psc::model::codec::{write_frame, BinFrame, BinaryFramer, BINARY_PREAMBLE};
+use psc::model::wire::{PublicationDto, SubscriptionDto};
+use psc::service::wire::{Request, Response};
+
+prop_compose! {
+    fn arb_request()(
+        kind in 0usize..6,
+        id in 0u64..=u64::MAX,
+        ranges in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..6),
+        values in proptest::collection::vec(-1000i64..1000, 0..6),
+    ) -> Request {
+        match kind {
+            0 => Request::Hello,
+            1 => Request::Subscribe(SubscriptionDto { id, ranges }),
+            2 => Request::Unsubscribe(id),
+            3 => Request::Publish(PublicationDto { values }),
+            4 => Request::Flush,
+            _ => Request::Stats,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_response()(
+        kind in 0usize..5,
+        ids in proptest::collection::vec(0u64..=u64::MAX, 0..8),
+        removed in proptest::bool::ANY,
+        message_bytes in proptest::collection::vec(32u8..127, 0..40),
+    ) -> Response {
+        match kind {
+            0 => Response::Queued,
+            1 => Response::Removed(removed),
+            2 => Response::Matched(ids),
+            3 => Response::Error(
+                String::from_utf8(message_bytes).expect("printable ASCII"),
+            ),
+            _ => Response::Flushed,
+        }
+    }
+}
+
+/// Feeds `bytes` to `framer` in chunks whose sizes cycle through
+/// `chunk_sizes`, asserting a mid-stream buffering `bound` the whole
+/// way. (Complete frames awaiting `next_frame` stay buffered, so the
+/// caller computes the bound from what it leaves undrained; the point
+/// of the assert is that *discarded* oversized payloads never count.)
+fn feed_chunked(framer: &mut BinaryFramer, bytes: &[u8], chunk_sizes: &[usize], bound: usize) {
+    let mut offset = 0;
+    let mut i = 0;
+    while offset < bytes.len() {
+        let size = chunk_sizes
+            .get(i % chunk_sizes.len().max(1))
+            .copied()
+            .unwrap_or(1)
+            .clamp(1, bytes.len() - offset);
+        framer.feed(&bytes[offset..offset + size]);
+        assert!(
+            framer.buffered_bytes() <= bound,
+            "framer buffered {} bytes, bound is {bound}",
+            framer.buffered_bytes()
+        );
+        offset += size;
+        i += 1;
+    }
+}
+
+/// Drains every complete frame, decoding payloads with `decode` as they
+/// are popped (payloads borrow the framer's buffer, so decoding must
+/// happen before the next pop).
+fn drain_decoded<T>(
+    framer: &mut BinaryFramer,
+    mut decode: impl FnMut(&[u8]) -> T,
+) -> Vec<Result<T, usize>> {
+    let mut out = Vec::new();
+    while framer.has_frames() {
+        match framer.next_frame().expect("frame ready") {
+            BinFrame::Frame(payload) => out.push(Ok(decode(payload))),
+            BinFrame::TooLong { len } => out.push(Err(len)),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A pipeline of binary requests split across reads at arbitrary
+    /// points decodes to exactly the requests that were encoded, in
+    /// order.
+    #[test]
+    fn binary_requests_round_trip_through_fragmented_reads(
+        requests in proptest::collection::vec(arb_request(), 1..12),
+        chunk_sizes in proptest::collection::vec(1usize..40, 1..8),
+    ) {
+        let mut wire = Vec::new();
+        for request in &requests {
+            request.encode_binary(&mut wire);
+        }
+        let cap = 1 << 20;
+        let mut framer = BinaryFramer::new(cap);
+        // Nothing is drained while feeding, so everything fed may buffer.
+        feed_chunked(&mut framer, &wire, &chunk_sizes, wire.len());
+        let decoded: Vec<Request> = drain_decoded(&mut framer, |payload| {
+            Request::decode_binary(payload).expect("valid request frame")
+        })
+        .into_iter()
+        .map(|frame| frame.expect("no oversized frames in this stream"))
+        .collect();
+        prop_assert_eq!(decoded, requests);
+    }
+
+    /// Same for responses, at the harshest fragmentation: one byte per
+    /// read (the client's framer sees this shape under small TCP
+    /// segments).
+    #[test]
+    fn binary_responses_round_trip_byte_by_byte(
+        responses in proptest::collection::vec(arb_response(), 1..10),
+    ) {
+        let mut wire = Vec::new();
+        for response in &responses {
+            response.encode_binary(&mut wire);
+        }
+        let mut framer = BinaryFramer::new(1 << 20);
+        for b in &wire {
+            framer.feed(std::slice::from_ref(b));
+        }
+        let decoded: Vec<Response> = drain_decoded(&mut framer, |payload| {
+            Response::decode_binary(payload).expect("valid response frame")
+        })
+        .into_iter()
+        .map(|frame| frame.expect("no oversized frames in this stream"))
+        .collect();
+        prop_assert_eq!(decoded, responses);
+    }
+
+    /// An oversized frame is reported as `TooLong` with the payload
+    /// length its header declared, never buffers more than the cap, and
+    /// does not desynchronize the frames around it.
+    #[test]
+    fn oversized_frames_are_skipped_without_desync(
+        cap in 32usize..256,
+        excess in 1usize..4096,
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..6),
+        request in arb_request(),
+    ) {
+        let mut good = Vec::new();
+        request.encode_binary(&mut good);
+        // The cap must not reject the good frame itself in this scenario
+        // (`good` includes the 4-byte header; the cap bounds the payload).
+        let cap = cap.max(good.len());
+        let oversized_len = cap + excess;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&good);
+        write_frame(&mut wire, |payload| {
+            payload.extend(std::iter::repeat_n(0xAB, oversized_len));
+        });
+        wire.extend_from_slice(&good);
+
+        let mut framer = BinaryFramer::new(cap);
+        // The two good frames may sit undrained, but the oversized
+        // payload must be discarded as it streams — the buffering bound
+        // is every non-oversized byte plus the oversized frame's header.
+        feed_chunked(&mut framer, &wire, &chunk_sizes, 2 * good.len() + 4);
+        let frames = drain_decoded(&mut framer, |payload| {
+            Request::decode_binary(payload).expect("valid request frame")
+        });
+        prop_assert_eq!(frames, vec![
+            Ok(request.clone()),
+            Err(oversized_len),
+            Ok(request),
+        ]);
+    }
+
+    /// A frame stream cut off at an arbitrary byte yields exactly the
+    /// frames completed before the cut — a truncated tail never becomes
+    /// a phantom frame and never panics.
+    #[test]
+    fn truncated_streams_yield_only_complete_frames(
+        requests in proptest::collection::vec(arb_request(), 1..8),
+        cut_permille in 0usize..1000,
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = Vec::new();
+        for request in &requests {
+            request.encode_binary(&mut wire);
+            boundaries.push(wire.len());
+        }
+        let cut = wire.len() * cut_permille / 1000;
+        let complete_before_cut = boundaries.iter().filter(|&&b| b <= cut).count();
+
+        let mut framer = BinaryFramer::new(1 << 20);
+        framer.feed(&wire[..cut]);
+        let decoded = drain_decoded(&mut framer, |payload| {
+            Request::decode_binary(payload).expect("valid request frame")
+        });
+        prop_assert_eq!(decoded.len(), complete_before_cut);
+        for (frame, request) in decoded.into_iter().zip(requests) {
+            prop_assert_eq!(frame.expect("complete frame"), request);
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the framer or the decoders:
+    /// every completed frame either decodes or returns a structured
+    /// error, and buffering stays bounded by the cap.
+    #[test]
+    fn garbage_bytes_never_panic_the_binary_codec(
+        garbage in proptest::collection::vec(0u8..=255, 0..512),
+        chunk_sizes in proptest::collection::vec(1usize..32, 1..5),
+    ) {
+        let cap = 256;
+        let mut framer = BinaryFramer::new(cap);
+        feed_chunked(&mut framer, &garbage, &chunk_sizes, garbage.len());
+        while framer.has_frames() {
+            if let Some(BinFrame::Frame(payload)) = framer.next_frame() {
+                let _ = Request::decode_binary(payload); // must not panic
+                let _ = Response::decode_binary(payload);
+            }
+        }
+    }
+}
+
+mod negotiation {
+    use super::*;
+    use psc::model::Schema;
+    use psc::service::{ClientProtocol, ServiceClient, ServiceConfig, ServiceServer};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// The preamble's first byte can never begin a JSON request line, so
+    /// the server's one-byte sniff is unambiguous.
+    #[test]
+    fn preamble_tag_is_not_valid_json_start() {
+        assert!(!BINARY_PREAMBLE[0].is_ascii());
+    }
+
+    /// A correct preamble negotiates binary framing: the server answers
+    /// with the Ready frame first, then serves binary requests.
+    #[test]
+    fn preamble_negotiates_and_ready_frame_arrives_first() {
+        let schema = Schema::uniform(2, 0, 99);
+        let server = ServiceServer::bind("127.0.0.1:0", schema, ServiceConfig::with_shards(1))
+            .expect("bind");
+        let mut client = ServiceClient::connect_binary(server.local_addr()).expect("negotiate");
+        assert_eq!(client.protocol(), ClientProtocol::Binary);
+        let (_, shards) = client.hello().expect("hello over binary");
+        assert_eq!(shards, 1);
+        server.stop();
+    }
+
+    /// A first byte matching the binary tag followed by a mismatched
+    /// preamble is a malformed connection: the server drops it rather
+    /// than guessing a protocol.
+    #[test]
+    fn corrupt_preamble_closes_the_connection() {
+        let schema = Schema::uniform(2, 0, 99);
+        let server = ServiceServer::bind("127.0.0.1:0", schema, ServiceConfig::with_shards(1))
+            .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut corrupt = BINARY_PREAMBLE;
+        corrupt[2] ^= 0xFF;
+        stream.write_all(&corrupt).expect("send corrupt preamble");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("timeout");
+        let mut buf = [0u8; 16];
+        // The server must close without ever acknowledging; EOF (Ok(0))
+        // is the expected outcome, a reset is acceptable too.
+        match stream.read(&mut buf) {
+            Ok(n) => assert_eq!(n, 0, "server must not answer a corrupt preamble"),
+            Err(e) => assert_ne!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock,
+                "server neither closed nor reset: {e}"
+            ),
+        }
+        server.stop();
+    }
+}

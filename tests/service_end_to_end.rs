@@ -1,11 +1,13 @@
 //! End-to-end tests of the sharded TCP service: concurrent subscribers and
 //! publishers drive a real `ServiceServer` over loopback TCP, and the
 //! shard-merged match results are compared against `matcher::naive` ground
-//! truth on the same workload.
+//! truth on the same workload. Every scenario runs twice — once over the
+//! JSON line protocol and once over the length-prefixed binary protocol —
+//! so both wire formats are held to the same ground truth.
 
 use psc::matcher::NaiveMatcher;
 use psc::model::{Publication, Schema, Subscription, SubscriptionId};
-use psc::service::{ServiceClient, ServiceConfig, ServiceServer};
+use psc::service::{ClientProtocol, ServiceClient, ServiceConfig, ServiceServer};
 use std::sync::Arc;
 
 /// The paper's uniform workload, shared with the `service_throughput`
@@ -17,6 +19,15 @@ fn uniform_workload(
     seed: u64,
 ) -> (Schema, Vec<Subscription>, Vec<Publication>) {
     psc_bench::uniform_fixture(m, subs, pubs, 300, seed)
+}
+
+/// Connects speaking `proto` with the default I/O timeout — the one
+/// knob these scenarios vary.
+fn connect(
+    addr: std::net::SocketAddr,
+    proto: ClientProtocol,
+) -> Result<ServiceClient, psc::service::ClientError> {
+    ServiceClient::connect_with_protocol(addr, ServiceConfig::default().io_timeout, proto)
 }
 
 fn ground_truth(subs: &[Subscription], publications: &[Publication]) -> Vec<Vec<SubscriptionId>> {
@@ -34,8 +45,7 @@ fn ground_truth(subs: &[Subscription], publications: &[Publication]) -> Vec<Vec<
         .collect()
 }
 
-#[test]
-fn concurrent_tcp_clients_match_naive_ground_truth() {
+fn concurrent_tcp_clients_match_naive_ground_truth(proto: ClientProtocol) {
     let (schema, subs, pubs) = uniform_workload(4, 300, 80, 0xE2E);
     let truth = ground_truth(&subs, &pubs);
 
@@ -57,7 +67,7 @@ fn concurrent_tcp_clients_match_naive_ground_truth() {
     for t in 0..4usize {
         let subs = Arc::clone(&subs);
         joins.push(std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+            let mut client = connect(addr, proto).expect("connect subscriber");
             for i in (t..subs.len()).step_by(4) {
                 client
                     .subscribe(SubscriptionId(i as u64), &subs[i])
@@ -79,7 +89,7 @@ fn concurrent_tcp_clients_match_naive_ground_truth() {
         let pubs = Arc::clone(&pubs);
         let truth = Arc::clone(&truth);
         joins.push(std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(addr).expect("connect publisher");
+            let mut client = connect(addr, proto).expect("connect publisher");
             for i in (t..pubs.len()).step_by(2) {
                 let matched = client.publish(&pubs[i]).expect("publish over TCP");
                 assert_eq!(
@@ -94,7 +104,7 @@ fn concurrent_tcp_clients_match_naive_ground_truth() {
     }
 
     // The service really sharded the store and saw the whole workload.
-    let mut client = ServiceClient::connect(addr).expect("connect inspector");
+    let mut client = connect(addr, proto).expect("connect inspector");
     let metrics = client.stats().expect("stats over TCP");
     assert_eq!(metrics.shards.len(), 4);
     let totals = metrics.totals();
@@ -118,8 +128,7 @@ fn concurrent_tcp_clients_match_naive_ground_truth() {
     server.stop();
 }
 
-#[test]
-fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
+fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent(proto: ClientProtocol) {
     let (schema, subs, pubs) = uniform_workload(3, 120, 40, 0xFACE);
 
     let server = ServiceServer::bind(
@@ -143,7 +152,7 @@ fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
     for t in 0..3usize {
         let subs = Arc::clone(&subs);
         joins.push(std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(addr).expect("connect subscriber");
+            let mut client = connect(addr, proto).expect("connect subscriber");
             for i in (t..subs.len()).step_by(3) {
                 client
                     .subscribe(SubscriptionId(i as u64), &subs[i])
@@ -155,7 +164,7 @@ fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
     for _ in 0..2 {
         let pubs = Arc::clone(&pubs);
         joins.push(std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(addr).expect("connect publisher");
+            let mut client = connect(addr, proto).expect("connect publisher");
             for p in pubs.iter() {
                 let matched = client.publish(p).expect("publish over TCP");
                 for id in matched {
@@ -171,7 +180,7 @@ fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
     // Quiesced: now the service must agree with naive ground truth, and
     // unsubscription must remove matches.
     let truth = ground_truth(&subs, &pubs);
-    let mut client = ServiceClient::connect(addr).expect("connect checker");
+    let mut client = connect(addr, proto).expect("connect checker");
     for (i, p) in pubs.iter().enumerate() {
         assert_eq!(client.publish(p).expect("publish"), truth[i]);
     }
@@ -188,4 +197,24 @@ fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent() {
     assert!(!after.contains(&victim.1), "unsubscribed id still matching");
 
     server.stop();
+}
+
+#[test]
+fn concurrent_tcp_clients_match_naive_ground_truth_json() {
+    concurrent_tcp_clients_match_naive_ground_truth(ClientProtocol::Json);
+}
+
+#[test]
+fn concurrent_tcp_clients_match_naive_ground_truth_binary() {
+    concurrent_tcp_clients_match_naive_ground_truth(ClientProtocol::Binary);
+}
+
+#[test]
+fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent_json() {
+    interleaved_subscribe_publish_and_unsubscribe_stay_consistent(ClientProtocol::Json);
+}
+
+#[test]
+fn interleaved_subscribe_publish_and_unsubscribe_stay_consistent_binary() {
+    interleaved_subscribe_publish_and_unsubscribe_stay_consistent(ClientProtocol::Binary);
 }

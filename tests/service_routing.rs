@@ -214,6 +214,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The routing property holds over the wire too: a routed server
+    /// driven through a binary-protocol TCP client returns exactly the
+    /// naive reference's match sets on every probe. This re-runs the
+    /// routed ≡ ground-truth check through the full binary path —
+    /// preamble negotiation, frame codec, the reactor's publish
+    /// batching — instead of in-process calls.
+    #[test]
+    fn routed_results_over_binary_transport_equal_reference(
+        ops in proptest::collection::vec(arb_op(), 1..48),
+        shards in 1usize..5,
+    ) {
+        use psc::service::{ClientProtocol, ServiceClient, ServiceServer};
+
+        let schema = schema();
+        let server = ServiceServer::bind(
+            "127.0.0.1:0",
+            schema.clone(),
+            ServiceConfig {
+                shards,
+                routing_enabled: true,
+                error_probability: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = ServiceClient::connect_with_protocol(
+            server.local_addr(),
+            ServiceConfig::default().io_timeout,
+            ClientProtocol::Binary,
+        )
+        .unwrap();
+
+        let mut reference = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Subscribe(id, x0, x1) => {
+                    let s = sub(&schema, x0, x1);
+                    reference.entry(id).or_insert_with(|| s.clone());
+                    client.subscribe(SubscriptionId(id), &s).unwrap();
+                }
+                Op::Unsubscribe(id) => {
+                    reference.remove(&id);
+                    let _ = client.unsubscribe(SubscriptionId(id)).unwrap();
+                }
+            }
+        }
+        client.flush().unwrap();
+
+        for p in probes(&schema) {
+            let matched = client.publish(&p).unwrap();
+            prop_assert_eq!(
+                matched,
+                naive_matches(&reference, &p),
+                "binary transport diverged from naive reference at {}",
+                p
+            );
+        }
+        server.stop();
+    }
+}
+
 /// Shards that hold nothing (or nothing near the publication) are
 /// provably skipped: with one subscription and four shards, three shards
 /// are empty and every publish prunes them.
