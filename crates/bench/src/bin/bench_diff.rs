@@ -1,7 +1,8 @@
 //! `bench_diff` — trajectory diff for loadgen `BENCH_*.json` reports.
 //!
 //! Compares the current report against the previous one scenario by
-//! scenario (matched on name + protocol) and flags publish-throughput
+//! scenario (matched on name + protocol + fsync policy; scenarios
+//! present in only one report are skipped) and flags publish-throughput
 //! drops and client-RTT / server-e2e p99 rises beyond a fractional
 //! tolerance. CI runs it across consecutive issues' committed reports so
 //! a serving-layer regression shows up in review, not in production.

@@ -10,7 +10,7 @@
 //! enforced by [`psc_bench::validate_bench_report`]).
 //!
 //! ```text
-//! loadgen [--smoke] [--proto json|binary|both] [--out PATH]
+//! loadgen [--smoke] [--durability] [--proto json|binary|both] [--out PATH]
 //! loadgen --validate PATH           # schema-check an existing report
 //! ```
 //!
@@ -29,13 +29,22 @@
 //! design. `--proto` restricts the run to one protocol. The policy
 //! scenarios (churn, slow consumers, semantic expansion) stay json-only:
 //! they measure reactor policies, not codec cost.
+//!
+//! `--durability` appends the durable scenario matrix: `steady` and
+//! `firehose` re-run against a server with a write-ahead log, under
+//! `fsync: always` and `fsync: never`, per protocol. Those scenarios are
+//! tagged `"fsync_policy": "always" | "never"` in the report (in-memory
+//! scenarios carry `"none"`), and record `subscribe_secs` — the time to
+//! load the fleet's subscriptions plus a durability barrier, which is
+//! where group commit earns its keep (publishes are never logged, so
+//! publish throughput should ride within a whisker of in-memory).
 
 use psc_bench::{semantic_fixture, skewed_fixture, uniform_fixture, validate_bench_report};
 use psc_model::wire::Json;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use psc_service::telemetry::{stage_summary, LogHistogram};
 use psc_service::wire::Request;
-use psc_service::{ClientProtocol, ServiceClient, ServiceConfig, ServiceServer};
+use psc_service::{ClientProtocol, FsyncPolicy, ServiceClient, ServiceConfig, ServiceServer};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -80,6 +89,9 @@ struct Spec {
     /// Connections that pipeline `stats` requests without ever reading a
     /// response, to force the reactor's slow-consumer policy.
     slow_consumers: usize,
+    /// `Some(policy)` gives the server a write-ahead log in a scratch
+    /// `data_dir` under that fsync policy; `None` runs in memory.
+    fsync: Option<FsyncPolicy>,
 }
 
 impl Spec {
@@ -112,7 +124,7 @@ impl ProtoFilter {
     }
 }
 
-fn specs(smoke: bool, filter: ProtoFilter) -> Vec<Spec> {
+fn specs(smoke: bool, filter: ProtoFilter, durability: bool) -> Vec<Spec> {
     let spec = |name,
                 proto,
                 seed_index,
@@ -135,9 +147,10 @@ fn specs(smoke: bool, filter: ProtoFilter) -> Vec<Spec> {
         churn_waves: waves,
         churn_wave_conns: wave_conns,
         slow_consumers: slow,
+        fsync: None,
     };
     use ClientProtocol::{Binary, Json as Jsonp};
-    let all = if smoke {
+    let mut all = if smoke {
         vec![
             spec(
                 "steady",
@@ -360,6 +373,52 @@ fn specs(smoke: bool, filter: ProtoFilter) -> Vec<Spec> {
             ),
         ]
     };
+    if durability {
+        // The durable matrix: the throughput scenarios re-run against a
+        // WAL-backed server under both fsync policies. `steady` fronts a
+        // real subscription load (the admissions are what gets logged
+        // and group-committed); `firehose` shows the publish hot path
+        // does not regress just because a log exists.
+        let (st_conns, st_per, st_pubr, st_pubs, fh_pubs) = if smoke {
+            (40, 2, 2, 150, 300)
+        } else {
+            (2000, 2, 4, 3000, 30000)
+        };
+        for policy in [FsyncPolicy::Always, FsyncPolicy::Never] {
+            for proto in [Jsonp, Binary] {
+                let mut steady = spec(
+                    "steady",
+                    proto,
+                    0,
+                    Workload::Uniform,
+                    st_conns,
+                    st_per,
+                    st_pubr,
+                    st_pubs,
+                    0,
+                    0,
+                    0,
+                );
+                steady.fsync = Some(policy);
+                all.push(steady);
+                let mut firehose = spec(
+                    "firehose",
+                    proto,
+                    5,
+                    Workload::Wide,
+                    20,
+                    1,
+                    1,
+                    fh_pubs,
+                    0,
+                    0,
+                    0,
+                );
+                firehose.fsync = Some(policy);
+                all.push(firehose);
+            }
+        }
+    }
     all.into_iter().filter(|s| filter.admits(s.proto)).collect()
 }
 
@@ -367,6 +426,14 @@ fn proto_name(proto: ClientProtocol) -> &'static str {
     match proto {
         ClientProtocol::Json => "json",
         ClientProtocol::Binary => "binary",
+    }
+}
+
+fn fsync_name(fsync: Option<FsyncPolicy>) -> &'static str {
+    match fsync {
+        None => "none",
+        Some(FsyncPolicy::Always) => "always",
+        Some(FsyncPolicy::Never) => "never",
     }
 }
 
@@ -501,12 +568,31 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         // Small backlog bound so unread responses trip the policy fast.
         config.max_write_buffer_bytes = 4096;
     }
+    // Durable scenarios serve from a scratch write-ahead log; the
+    // directory is removed when the scenario ends.
+    let data_dir = spec.fsync.map(|policy| {
+        let dir = std::env::temp_dir().join(format!(
+            "psc-loadgen-{}-{}-{}-{}",
+            spec.name,
+            proto_name(spec.proto),
+            fsync_name(spec.fsync),
+            std::process::id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        config.fsync = policy;
+        config.data_dir = Some(dir.clone());
+        dir
+    });
     let server =
         ServiceServer::bind("127.0.0.1:0", schema, config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr();
 
     // Subscriber fleet: persistent idle connections each holding a slice
-    // of the subscription population.
+    // of the subscription population. The phase is timed through the
+    // closing flush — on a durable server that flush is a full
+    // durability barrier, so `subscribe_secs` includes every admission's
+    // WAL append and its covering group-commit fsync.
+    let subscribe_started = Instant::now();
     let next_id = Arc::new(AtomicU64::new(1));
     let mut fleet = Vec::with_capacity(spec.subscriber_conns);
     let mut fleet_subscribed = 0u64;
@@ -527,6 +613,7 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     }
     let mut control = connect(addr, spec.proto).map_err(|e| format!("control {e}"))?;
     control.flush().map_err(|e| format!("flush: {e}"))?;
+    let subscribe_elapsed = subscribe_started.elapsed();
 
     // Background churners and slow consumers overlap the publish phase.
     let churn_handle = (spec.churn_waves > 0).then(|| {
@@ -645,10 +732,12 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
 
     let throughput = publishes as f64 / elapsed.as_secs_f64();
     eprintln!(
-        "[loadgen] {}[{}]: {} conns, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
+        "[loadgen] {}[{},fsync={}]: {} conns, subscribe {:.2}s, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
         spec.name,
         proto_name(spec.proto),
+        fsync_name(spec.fsync),
         reactor.connections_accepted,
+        subscribe_elapsed.as_secs_f64(),
         publishes,
         elapsed.as_secs_f64(),
         throughput,
@@ -661,8 +750,15 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     let scenario = Json::obj([
         ("name", Json::Str(spec.name.into())),
         ("protocol", Json::Str(proto_name(spec.proto).into())),
+        ("fsync_policy", Json::Str(fsync_name(spec.fsync).into())),
         ("connections", Json::UInt(reactor.connections_accepted)),
         ("subscriptions", Json::UInt(fleet_subscribed + churned_subs)),
+        // Time to load the fleet's subscriptions, through a durability
+        // barrier on durable servers — the group-commit number.
+        (
+            "subscribe_secs",
+            Json::Float(subscribe_elapsed.as_secs_f64()),
+        ),
         ("publishes", Json::UInt(publishes)),
         ("elapsed_secs", Json::Float(elapsed.as_secs_f64())),
         ("throughput_pubs_per_sec", Json::Float(throughput)),
@@ -689,22 +785,27 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     ]);
     drop(fleet);
     server.stop();
+    if let Some(dir) = data_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     Ok(scenario)
 }
 
 fn usage() -> &'static str {
-    "usage: loadgen [--smoke] [--proto json|binary|both] [--out PATH] | loadgen --validate PATH"
+    "usage: loadgen [--smoke] [--durability] [--proto json|binary|both] [--out PATH] | loadgen --validate PATH"
 }
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    let mut out = PathBuf::from("BENCH_7.json");
+    let mut durability = false;
+    let mut out = PathBuf::from("BENCH_8.json");
     let mut filter = ProtoFilter::Both;
     let mut validate: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--durability" => durability = true,
             "--proto" => match args.next().as_deref() {
                 Some("json") => filter = ProtoFilter::Json,
                 Some("binary") => filter = ProtoFilter::Binary,
@@ -767,7 +868,7 @@ fn main() -> ExitCode {
     }
 
     let mut scenarios = Vec::new();
-    for spec in specs(smoke, filter) {
+    for spec in specs(smoke, filter, durability) {
         // Seeded by the scenario's stable index (not its list position),
         // so both protocol variants replay the identical fixture and the
         // json runs keep their pre-protocol seeds for trajectory diffs.
@@ -785,7 +886,7 @@ fn main() -> ExitCode {
     }
     let report = Json::obj([
         ("bench", Json::Str("loadgen".into())),
-        ("issue", Json::UInt(7)),
+        ("issue", Json::UInt(8)),
         (
             "mode",
             Json::Str(if smoke { "smoke" } else { "full" }.into()),

@@ -216,7 +216,10 @@ pub fn semantic_fixture(
 /// means json, the pre-protocol report shape), and the matching decode
 /// stage — `decode` for json, `decode_binary` for binary — must carry a
 /// populated quantile ladder, so a report cannot claim a protocol its
-/// server never actually decoded. Both the loadgen binary (before
+/// server never actually decoded. The optional `"fsync_policy"` tag
+/// (from `loadgen --durability` scenarios) must be `"none"`, `"always"`,
+/// or `"never"` — absent means `"none"`, an in-memory server with no
+/// write-ahead log. Both the loadgen binary (before
 /// writing a report) and CI (after running the smoke mode) call this,
 /// so a report that drifts from the documented schema fails loudly in
 /// both places.
@@ -283,6 +286,17 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
                 }
             },
         };
+        if let Some(p) = scenario.get("fsync_policy") {
+            match p.as_str() {
+                Some("none" | "always" | "never") => {}
+                _ => {
+                    return Err(format!(
+                        "scenario \"{name}\": \"fsync_policy\" must be \
+                         \"none\", \"always\", or \"never\""
+                    ))
+                }
+            }
+        }
         if u64_field(scenario, "connections").map_err(tag)? == 0 {
             return Err(format!("scenario \"{name}\": no connections"));
         }
@@ -328,7 +342,8 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
 /// [`diff_bench_reports`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchComparison {
-    /// `name[protocol]` of the scenario both reports carry.
+    /// `name[protocol]` (in-memory) or `name[protocol,fsync=POLICY]`
+    /// (durable) of the scenario both reports carry.
     pub scenario: String,
     /// Which metric: `throughput_pubs_per_sec`, `client_rtt_p99_ns`, or
     /// `server_e2e_p99_ns`.
@@ -364,8 +379,10 @@ impl std::fmt::Display for BenchComparison {
 /// Diffs two loadgen reports along the benchmark trajectory
 /// (`BENCH_{N-1}.json` vs `BENCH_N.json`).
 ///
-/// Scenarios are matched by `(name, protocol)` — `protocol` defaults to
-/// `"json"` so pre-protocol reports pair with their json successors —
+/// Scenarios are matched by `(name, protocol, fsync_policy)` —
+/// `protocol` defaults to `"json"` so pre-protocol reports pair with
+/// their json successors, and `fsync_policy` defaults to `"none"` so
+/// pre-durability reports pair with their in-memory successors —
 /// and each matched pair yields three [`BenchComparison`]s: steady
 /// publish throughput (a drop beyond `tolerance` regresses), client
 /// round-trip p99, and server e2e p99 (a rise beyond `tolerance`
@@ -392,7 +409,18 @@ pub fn diff_bench_reports(
                     .and_then(Json::as_str)
                     .ok_or("scenario missing \"name\"")?;
                 let protocol = s.get("protocol").and_then(Json::as_str).unwrap_or("json");
-                Ok((format!("{name}[{protocol}]"), s))
+                let fsync = s
+                    .get("fsync_policy")
+                    .and_then(Json::as_str)
+                    .unwrap_or("none");
+                // In-memory scenarios keep the historical `name[protocol]`
+                // key so they pair with pre-durability baselines.
+                let key = if fsync == "none" {
+                    format!("{name}[{protocol}]")
+                } else {
+                    format!("{name}[{protocol},fsync={fsync}]")
+                };
+                Ok((key, s))
             })
             .collect()
     }
@@ -681,6 +709,92 @@ mod tests {
         assert!(
             validate_bench_report(&report(scenario("carrier-pigeon", "decode"))).is_err(),
             "unknown protocol"
+        );
+    }
+
+    #[test]
+    fn diff_pairs_durable_scenarios_by_fsync_policy() {
+        let durable = |name: &str, policy: &str, tput: f64, p99: u64| {
+            let mut s = diff_scenario(name, Some("json"), tput, p99);
+            if let Json::Obj(pairs) = &mut s {
+                pairs.push(("fsync_policy".to_string(), Json::Str(policy.into())));
+            }
+            s
+        };
+        let report = |scenarios: Vec<Json>| Json::obj([("scenarios", Json::Arr(scenarios))]);
+        let prev = report(vec![
+            diff_scenario("steady", Some("json"), 20_000.0, 40_000),
+            durable("steady", "always", 12_000.0, 50_000),
+        ]);
+        let cur = report(vec![
+            diff_scenario("steady", Some("json"), 21_000.0, 39_000),
+            durable("steady", "always", 6_000.0, 50_000),
+            durable("steady", "never", 18_000.0, 45_000), // new: no baseline
+        ]);
+        let comparisons = diff_bench_reports(&prev, &cur, 0.2).expect("well-formed");
+        // The in-memory and fsync=always scenarios pair up; fsync=never
+        // is new and skipped. The durable throughput halved: regression.
+        assert_eq!(comparisons.len(), 6);
+        assert!(comparisons
+            .iter()
+            .any(|c| c.scenario == "steady[json,fsync=always]"
+                && c.metric == "throughput_pubs_per_sec"
+                && c.regression));
+        assert!(comparisons
+            .iter()
+            .filter(|c| c.scenario == "steady[json]")
+            .all(|c| !c.regression));
+    }
+
+    #[test]
+    fn validator_checks_fsync_policy_tag() {
+        let stage = |count: u64| {
+            Json::obj([
+                ("count", Json::UInt(count)),
+                ("p50", Json::UInt(100)),
+                ("p90", Json::UInt(200)),
+                ("p99", Json::UInt(400)),
+                ("p999", Json::UInt(480)),
+                ("max", Json::UInt(500)),
+            ])
+        };
+        let scenario = |policy: &str| {
+            Json::obj([
+                ("name", Json::Str("steady".into())),
+                ("fsync_policy", Json::Str(policy.into())),
+                ("connections", Json::UInt(10)),
+                ("subscriptions", Json::UInt(20)),
+                ("publishes", Json::UInt(100)),
+                ("elapsed_secs", Json::Float(0.5)),
+                ("throughput_pubs_per_sec", Json::Float(200.0)),
+                ("client_rtt", stage(100)),
+                (
+                    "server",
+                    Json::obj([
+                        ("publications_total", Json::UInt(100)),
+                        (
+                            "latency",
+                            Json::obj([("e2e", stage(100)), ("decode", stage(100))]),
+                        ),
+                    ]),
+                ),
+            ])
+        };
+        let report = |s: Json| {
+            Json::obj([
+                ("bench", Json::Str("loadgen".into())),
+                ("issue", Json::UInt(8)),
+                ("mode", Json::Str("smoke".into())),
+                ("shards", Json::UInt(2)),
+                ("scenarios", Json::Arr(vec![s])),
+            ])
+        };
+        assert_eq!(validate_bench_report(&report(scenario("always"))), Ok(()));
+        assert_eq!(validate_bench_report(&report(scenario("never"))), Ok(()));
+        assert_eq!(validate_bench_report(&report(scenario("none"))), Ok(()));
+        assert!(
+            validate_bench_report(&report(scenario("sometimes"))).is_err(),
+            "unknown fsync policy"
         );
     }
 

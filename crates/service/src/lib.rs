@@ -66,10 +66,12 @@
 //!   table and [`ServiceClient`] for the blocking client (all its socket
 //!   operations carry timeouts).
 //! - **Durability** — with [`ServiceConfig::data_dir`] set, each shard
-//!   owns a write-ahead log + periodic snapshots ([`storage`]): a
+//!   owns a segmented write-ahead log + snapshots ([`storage`]): one
+//!   group-commit fsync covers every command in a worker wake-up,
+//!   snapshots are written by a per-shard background thread, and a
 //!   restarted server rebuilds every shard store from disk and serves
 //!   the same match results, tolerating a torn final log record from a
-//!   crash mid-append.
+//!   crash mid-append (`docs/DURABILITY.md` states the full contract).
 //!
 //! The repository-level `docs/ARCHITECTURE.md` walks the full dataflow
 //! and `docs/PROTOCOL.md` specifies the wire protocol for non-Rust

@@ -29,7 +29,7 @@ pub struct ShardMetrics {
     pub batches_admitted: u64,
     /// Records appended to the shard's write-ahead log since boot.
     pub wal_records_appended: u64,
-    /// Snapshots written (each truncates the log) since boot.
+    /// Snapshots written by the background writer since boot.
     pub snapshots_written: u64,
     /// Storage operations that failed (the shard keeps serving from
     /// memory; durability is degraded until appends succeed again).
@@ -39,6 +39,15 @@ pub struct ShardMetrics {
     /// anything larger indicates mid-log damage whose later records were
     /// lost with it.
     pub wal_truncated_bytes: u64,
+    /// Commit groups completed (each at most one fsync under
+    /// `FsyncPolicy::Always`); `wal_records_appended / wal_group_commits`
+    /// is the realized group-commit amortization.
+    pub wal_group_commits: u64,
+    /// Log segment rotations since boot.
+    pub wal_segments_rotated: u64,
+    /// Snapshot-covered log segments deleted since boot (including
+    /// leftovers of an interrupted prune removed at open).
+    pub wal_segments_pruned: u64,
     /// Publications matched by this shard. Without content-aware routing
     /// every shard observes every publication, so aggregates merge this
     /// by max, not sum; with routing enabled, pruned publishes never
@@ -106,6 +115,9 @@ impl ShardMetrics {
             ("snapshots", Json::UInt(self.snapshots_written)),
             ("storage_errors", Json::UInt(self.storage_errors)),
             ("wal_truncated", Json::UInt(self.wal_truncated_bytes)),
+            ("group_commits", Json::UInt(self.wal_group_commits)),
+            ("segments_rotated", Json::UInt(self.wal_segments_rotated)),
+            ("segments_pruned", Json::UInt(self.wal_segments_pruned)),
             ("publications", Json::UInt(self.publications_processed)),
             ("shards_pruned", Json::UInt(self.shards_pruned)),
             ("notifications", Json::UInt(self.notifications)),
@@ -162,6 +174,9 @@ impl ShardMetrics {
             snapshots_written: optional("snapshots"),
             storage_errors: optional("storage_errors"),
             wal_truncated_bytes: optional("wal_truncated"),
+            wal_group_commits: optional("group_commits"),
+            wal_segments_rotated: optional("segments_rotated"),
+            wal_segments_pruned: optional("segments_pruned"),
             publications_processed: field("publications")?,
             shards_pruned: optional("shards_pruned"),
             summary: SummaryStats::from_json(value),
@@ -192,6 +207,9 @@ impl AddAssign for ShardMetrics {
         self.snapshots_written += rhs.snapshots_written;
         self.storage_errors += rhs.storage_errors;
         self.wal_truncated_bytes += rhs.wal_truncated_bytes;
+        self.wal_group_commits += rhs.wal_group_commits;
+        self.wal_segments_rotated += rhs.wal_segments_rotated;
+        self.wal_segments_pruned += rhs.wal_segments_pruned;
         // Every visited shard observes the publication, so summing would
         // count it once per shard; like uptime, take the max (with routing
         // enabled this is the busiest shard's count).
@@ -402,6 +420,9 @@ mod tests {
             snapshots_written: i,
             storage_errors: 0,
             wal_truncated_bytes: 3 * i,
+            wal_group_commits: 5 * i,
+            wal_segments_rotated: 2 * i,
+            wal_segments_pruned: i,
             publications_processed: 5 * i,
             shards_pruned: 8 * i,
             summary: SummaryStats {
@@ -477,6 +498,9 @@ mod tests {
         assert_eq!(m.snapshots_written, 0);
         assert_eq!(m.storage_errors, 0);
         assert_eq!(m.wal_truncated_bytes, 0);
+        assert_eq!(m.wal_group_commits, 0);
+        assert_eq!(m.wal_segments_rotated, 0);
+        assert_eq!(m.wal_segments_pruned, 0);
         assert_eq!(m.shards_pruned, 0);
         assert_eq!(m.summary, SummaryStats::default());
         // A genuinely required key still hard-fails: absence means this

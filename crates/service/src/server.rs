@@ -142,7 +142,16 @@ pub(crate) fn dispatch(
             Err(e) => Response::Error(e.to_string()),
         },
         Request::Flush => {
-            service.flush();
+            // On a durable service, `flush` on the wire is a durability
+            // barrier: when `Flushed` goes out, every operation this
+            // server applied before it is committed (fsynced under
+            // `FsyncPolicy::Always`). In-memory services keep the cheap
+            // buffer-drain semantics.
+            if service.is_durable() {
+                service.barrier();
+            } else {
+                service.flush();
+            }
             Response::Flushed
         }
         Request::Stats => {

@@ -97,9 +97,18 @@ pub struct ServiceConfig {
     /// ([`FsyncPolicy::Always`], power-loss safe) or left to the page
     /// cache ([`FsyncPolicy::Never`], process-crash safe).
     pub fsync: FsyncPolicy,
-    /// Storage: snapshot (and truncate the log) after this many log
-    /// records per shard; `0` disables snapshots.
+    /// Storage: snapshot after this many log records per shard; `0`
+    /// disables snapshots (the log then grows without bound). Snapshots
+    /// are written by a per-shard background thread — admission does not
+    /// stall while one is in flight — and log segments fully behind a
+    /// completed snapshot are deleted.
     pub snapshot_every: u64,
+    /// Storage: rotate a shard's write-ahead log into a new segment once
+    /// the current one reaches this many bytes (`0` = never rotate).
+    /// Bounded segments are the unit of snapshot-based log pruning (and,
+    /// later, federation log-shipping); a segment may exceed the cap by
+    /// at most one record.
+    pub wal_segment_bytes: u64,
     /// Routing: consult per-shard attribute-space summaries on the
     /// publish path and skip shards that provably cannot match (see
     /// [`crate::routing`]). Disable to fan every publish out to all
@@ -132,6 +141,7 @@ impl Default for ServiceConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             snapshot_every: 4_096,
+            wal_segment_bytes: 8 << 20,
             routing_enabled: true,
             summary_retighten_after: 64,
         }
@@ -244,6 +254,9 @@ pub struct PubSubService {
     shards: Vec<Shard>,
     batch_size: usize,
     routing_enabled: bool,
+    /// Whether shards persist to disk (`data_dir` was set). Lets the
+    /// serving edge decide if a flush should also be a durability barrier.
+    durable: bool,
     /// Publications accepted by the router, before any pruning. The
     /// per-shard `publications_processed` counters cannot reconstruct
     /// this under routing (a pruned publish never reaches the shard), so
@@ -304,6 +317,7 @@ impl PubSubService {
                         dir: data_dir.join(format!("shard-{i}")),
                         fsync: config.fsync,
                         snapshot_every: config.snapshot_every,
+                        segment_bytes: config.wal_segment_bytes,
                     },
                     &schema,
                 )
@@ -366,6 +380,7 @@ impl PubSubService {
             shards,
             batch_size: config.batch_size,
             routing_enabled: config.routing_enabled,
+            durable: config.data_dir.is_some(),
             publications_total: AtomicU64::new(0),
             route_latency: AtomicHistogram::new(),
         })
@@ -462,6 +477,32 @@ impl PubSubService {
     pub fn flush(&self) {
         for shard in 0..self.shards.len() {
             self.flush_shard(shard);
+        }
+    }
+
+    /// Whether this service persists shard state to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Flushes every buffered subscription and blocks until each shard
+    /// has **committed** every operation enqueued before this call: on a
+    /// durable service with [`FsyncPolicy::Always`] that means fsynced —
+    /// when this returns, those operations survive power loss. Shards are
+    /// barriered in parallel (one fan-out, not N sequential fsyncs). On
+    /// an in-memory service this degrades to "applied", i.e. a flush that
+    /// also waits for the queues to drain.
+    pub fn barrier(&self) {
+        self.flush();
+        let replies: Vec<_> = (0..self.shards.len())
+            .map(|i| {
+                let (tx, rx) = channel();
+                self.send(i, ShardCommand::Barrier(tx));
+                rx
+            })
+            .collect();
+        for rx in replies {
+            let _ = rx.recv();
         }
     }
 
@@ -701,8 +742,12 @@ impl Drop for PubSubService {
         // Flush buffered admissions before signaling shutdown: shard
         // queues are FIFO, so every enqueued subscription reaches its
         // worker — and, on a durable service, the write-ahead log —
-        // before the Shutdown command does. A graceful stop therefore
-        // never loses an acknowledged subscribe.
+        // before the Shutdown command does. The worker commits (fsyncs)
+        // the group containing Shutdown and releases its deferred
+        // acknowledgements *before* exiting its loop, so a graceful stop
+        // never loses an acknowledged operation and never leaves an
+        // unsubscribe caller hanging; it then joins its snapshot writer,
+        // so no snapshot is ever abandoned mid-write by a clean stop.
         self.flush();
         for shard in &self.shards {
             let _ = shard.commands.send(ShardCommand::Shutdown);

@@ -10,31 +10,58 @@
 //! messages in a total order per channel, so once the router has enqueued an
 //! admission batch, any later `MatchBatch` on the same shard observes it.
 //!
-//! ## Durability
+//! ## Durability: group commit
 //!
 //! When the service is configured with a `data_dir`, each worker also owns
 //! a [`ShardStorage`]: admissions and unsubscriptions are appended to the
-//! shard's write-ahead log *before* they touch the store, and every
-//! `snapshot_every` records the worker snapshots the store and truncates
-//! the log (see [`crate::storage`]). On boot, [`ShardWorker::replay`]
-//! pushes recovered log records through the **same** admission/removal
-//! code as live traffic, so a rebuilt shard is indistinguishable from one
-//! that never restarted. Storage failures after boot never take the shard
-//! down — the operation proceeds in memory and the failure is counted in
+//! shard's write-ahead log *before* they touch the store (see
+//! [`crate::storage`]). The worker serves commands in **groups**: it blocks
+//! for the first command, then greedily drains everything already queued
+//! (up to [`GROUP_COMMIT_MAX_COMMANDS`]), appends all their log records,
+//! and calls [`ShardStorage::commit`] once — a single fsync covers the
+//! whole group, so fsync cost amortizes over exactly the operations that
+//! arrived while the previous fsync was in flight. Replies that
+//! acknowledge a *durable mutation* (unsubscribe confirmations,
+//! [`ShardCommand::Barrier`]) are deferred to the end of the group and
+//! released only after the covering commit returns; read replies
+//! (matching, scrapes) are sent immediately — a notification is not a
+//! durability acknowledgement, so matching never waits on the disk.
+//!
+//! Snapshots run **off-thread**: when the cadence fires, the worker
+//! freezes a store image (cheap clones of the entries, at a group
+//! boundary so the image matches a committed log position) and hands it
+//! to a per-shard background writer that encodes it, writes it atomically
+//! through [`SnapshotSink`], and prunes covered log segments. Admission
+//! never stalls behind snapshot encoding or I/O; at most one snapshot is
+//! in flight per shard.
+//!
+//! On boot, [`ShardWorker::replay`] pushes recovered log records through
+//! the **same** admission/removal code as live traffic, so a rebuilt
+//! shard is indistinguishable from one that never restarted. Storage
+//! failures after boot never take the shard down — the operation proceeds
+//! in memory and the failure is counted in
 //! [`ShardMetrics::storage_errors`].
 
 use crate::metrics::ShardMetrics;
 use crate::routing::{ShardSummary, SummaryCell};
-use crate::storage::{LogRecord, ShardStorage};
+use crate::storage::{snapshot, LogRecord, ShardStorage, SnapshotSink, StorageError, WalMark};
 use crate::telemetry::LogHistogram;
-use psc_matcher::CoveringStore;
+use psc_matcher::{CoverParents, CoveringStore};
 use psc_model::wire::SummaryStats;
 use psc_model::{InlineVec, Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Cap on commands executed under one commit group. Bounds both the
+/// latency of a deferred acknowledgement (at most this many commands plus
+/// one fsync) and the window of work a failed commit can leave
+/// acknowledged-but-unsynced. Large enough that a saturating producer
+/// still amortizes an fsync over hundreds of operations.
+pub(crate) const GROUP_COMMIT_MAX_COMMANDS: usize = 256;
 
 /// Batch indices selected for one shard. Publish batches are almost
 /// always small (a network publish is a batch of one), so the indices
@@ -45,8 +72,15 @@ pub(crate) type SelectedIndices = InlineVec<u32, 16>;
 pub(crate) enum ShardCommand {
     /// Admit a batch of subscriptions (fire-and-forget).
     Admit(Vec<(SubscriptionId, Subscription)>),
-    /// Remove a subscription; replies whether it was stored here.
+    /// Remove a subscription; replies whether it was stored here. The
+    /// reply is a durable acknowledgement: it is withheld until the
+    /// commit covering the removal's log record completes.
     Unsubscribe(SubscriptionId, Sender<bool>),
+    /// Reply (with nothing) once every command enqueued before this one
+    /// is durably committed. The service's flush/shutdown paths use it to
+    /// turn "the queue is drained" into "the queue is drained *and
+    /// fsynced*".
+    Barrier(Sender<()>),
     /// Match the publications at the given indices of the shared batch
     /// against the local store; replies one id-vector per *selected*
     /// index, in index order, echoing the selected indices back so every
@@ -67,12 +101,57 @@ pub(crate) enum ShardCommand {
     Shutdown,
 }
 
+/// A reply withheld until the commit that covers its mutation returns.
+enum DeferredAck {
+    Unsubscribed(Sender<bool>, bool),
+    Barrier(Sender<()>),
+}
+
+/// A frozen store image on its way to the background snapshot writer.
+struct SnapshotJob {
+    entries: Vec<(SubscriptionId, Subscription, Option<CoverParents>)>,
+    rng_state: [u64; 4],
+    mark: WalMark,
+}
+
+/// What one snapshot job did: segments pruned on success.
+type SnapshotOutcome = Result<u64, StorageError>;
+
+/// The background snapshot writer: encodes frozen images and writes them
+/// through the sink, reporting each outcome back to the worker. Exits
+/// when the job channel closes (worker shutdown).
+fn snapshot_writer_loop(
+    schema: Schema,
+    sink: SnapshotSink,
+    jobs: Receiver<SnapshotJob>,
+    outcomes: Sender<SnapshotOutcome>,
+) {
+    while let Ok(job) = jobs.recv() {
+        let bytes = snapshot::encode_entries(&job.entries, &schema, job.rng_state, job.mark);
+        let result = sink
+            .write_snapshot(&bytes)
+            .and_then(|()| sink.prune_segments(job.mark.segment));
+        let _ = outcomes.send(result);
+    }
+}
+
 /// State owned by one shard worker thread.
 pub(crate) struct ShardWorker {
     schema: Schema,
     store: CoveringStore,
     rng: StdRng,
     storage: Option<ShardStorage>,
+    /// Job channel to the background snapshot writer (`None` when
+    /// storage is disabled). Dropped on shutdown to stop the writer.
+    snapshot_tx: Option<Sender<SnapshotJob>>,
+    snapshot_rx: Option<Receiver<SnapshotOutcome>>,
+    snapshot_join: Option<JoinHandle<()>>,
+    /// At most one snapshot is in flight: freezing another image while
+    /// the writer is busy would only queue memory, and the newer image
+    /// covers everything the skipped one would have.
+    snapshot_in_flight: bool,
+    snapshots_written: u64,
+    segments_pruned: u64,
     /// Routing summary of the live store, mirrored into `cell` after
     /// every mutation so the router's pruning view is never behind the
     /// admissions it has confirmed applied.
@@ -117,12 +196,35 @@ impl ShardWorker {
         routing_enabled: bool,
         retighten_after: u64,
     ) -> Self {
+        // One snapshot writer per durable shard. Spawned eagerly: the
+        // thread blocks on an empty channel, so an all-in-memory or
+        // snapshot-free shard pays one idle thread, not polling.
+        let (snapshot_tx, snapshot_rx, snapshot_join) = match &storage {
+            Some(storage) => {
+                let (job_tx, job_rx) = mpsc::channel();
+                let (out_tx, out_rx) = mpsc::channel();
+                let sink = storage.sink();
+                let writer_schema = schema.clone();
+                let handle = std::thread::Builder::new()
+                    .name("psc-snapshot".into())
+                    .spawn(move || snapshot_writer_loop(writer_schema, sink, job_rx, out_tx))
+                    .expect("spawn snapshot writer thread");
+                (Some(job_tx), Some(out_rx), Some(handle))
+            }
+            None => (None, None, None),
+        };
         let summary = ShardSummary::empty(schema.len());
         ShardWorker {
             schema,
             store,
             rng,
             storage,
+            snapshot_tx,
+            snapshot_rx,
+            snapshot_join,
+            snapshot_in_flight: false,
+            snapshots_written: 0,
+            segments_pruned: 0,
             summary,
             cell,
             routing_enabled,
@@ -151,9 +253,8 @@ impl ShardWorker {
     /// Called once, before the worker starts serving commands. The
     /// records are exactly the log suffix the snapshot does *not* cover
     /// — `ShardStorage::open` skips a snapshot-covered prefix via the
-    /// snapshot's `WalMark` (a crash between snapshot rename and log
-    /// truncation), so replay starts from the snapshot's store and RNG
-    /// state and re-applies only genuinely newer operations.
+    /// snapshot's `WalMark`, so replay starts from the snapshot's store
+    /// and RNG state and re-applies only genuinely newer operations.
     pub(crate) fn replay(&mut self, records: Vec<LogRecord>) {
         for record in records {
             match record {
@@ -198,45 +299,101 @@ impl ShardWorker {
     }
 
     /// The worker loop: runs until `Shutdown` or the channel closes.
+    ///
+    /// Group-commit structure: block for one command, drain whatever else
+    /// is already queued, then commit once and release the group's
+    /// deferred acknowledgements. With storage disabled the same loop
+    /// runs with a no-op commit — group boundaries still exist but cost
+    /// nothing.
     pub(crate) fn run(mut self, commands: Receiver<ShardCommand>) {
-        while let Ok(command) = commands.recv() {
-            match command {
-                ShardCommand::Admit(batch) => {
-                    self.admit(batch);
-                    // Count the batch and publish even when dedup dropped
-                    // everything: the router's handshake counts *sent*
-                    // Admit commands, so the applied counter must track
-                    // commands, not surviving subscriptions.
-                    self.batches_applied += 1;
-                    self.publish_summary();
-                    self.maybe_snapshot();
+        'serve: while let Ok(first) = commands.recv() {
+            let mut acks = Vec::new();
+            let mut shutdown = self.execute(first, &mut acks);
+            while !shutdown && acks.len() < GROUP_COMMIT_MAX_COMMANDS {
+                match commands.try_recv() {
+                    Ok(command) => shutdown = self.execute(command, &mut acks),
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                 }
-                ShardCommand::Unsubscribe(id, reply) => {
-                    let removed = self.unsubscribe(id);
+            }
+            self.commit_group(acks);
+            self.absorb_snapshot_outcomes();
+            if shutdown {
+                break 'serve;
+            }
+            self.maybe_snapshot();
+        }
+        // The final group (including the one containing Shutdown) was
+        // committed and acked above — the drop path's barrier reply is
+        // durable by the time the service joins this thread.
+        self.stop_snapshot_writer();
+    }
+
+    /// Applies one command. Mutation acknowledgements are pushed onto
+    /// `acks` instead of sent; read replies go out immediately. Returns
+    /// whether this command ends the worker.
+    fn execute(&mut self, command: ShardCommand, acks: &mut Vec<DeferredAck>) -> bool {
+        match command {
+            ShardCommand::Admit(batch) => {
+                self.admit(batch);
+                // Count the batch and publish even when dedup dropped
+                // everything: the router's handshake counts *sent*
+                // Admit commands, so the applied counter must track
+                // commands, not surviving subscriptions.
+                self.batches_applied += 1;
+                self.publish_summary();
+            }
+            ShardCommand::Unsubscribe(id, reply) => {
+                let removed = self.unsubscribe(id);
+                acks.push(DeferredAck::Unsubscribed(reply, removed));
+            }
+            ShardCommand::Barrier(reply) => {
+                acks.push(DeferredAck::Barrier(reply));
+            }
+            ShardCommand::MatchBatch(publications, selected, reply) => {
+                let matches = selected
+                    .iter()
+                    .map(|&i| {
+                        let started = Instant::now();
+                        let ids = self.store.match_publication(&publications[i as usize]);
+                        self.match_latency.record_duration(started.elapsed());
+                        self.publications_processed += 1;
+                        self.notifications += ids.len() as u64;
+                        ids
+                    })
+                    .collect();
+                let _ = reply.send((selected, matches));
+            }
+            ShardCommand::Scrape(reply) => {
+                let _ = reply.send((self.metrics(), self.match_latency.clone()));
+            }
+            ShardCommand::Snapshot(reply) => {
+                let _ = reply.send(self.store.snapshot());
+            }
+            ShardCommand::Shutdown => return true,
+        }
+        false
+    }
+
+    /// Ends a command group: one commit covers every record the group
+    /// appended, then the group's acknowledgements are released. A failed
+    /// commit is counted and the acks are released anyway — consistent
+    /// with the storage philosophy that a sick disk degrades durability,
+    /// not availability (the dirty segments stay queued and the next
+    /// commit retries them; `storage_errors` is the operator's signal).
+    fn commit_group(&mut self, acks: Vec<DeferredAck>) {
+        if let Some(storage) = &mut self.storage {
+            if storage.commit().is_err() {
+                self.storage_errors += 1;
+            }
+        }
+        for ack in acks {
+            match ack {
+                DeferredAck::Unsubscribed(reply, removed) => {
                     let _ = reply.send(removed);
-                    self.maybe_snapshot();
                 }
-                ShardCommand::MatchBatch(publications, selected, reply) => {
-                    let matches = selected
-                        .iter()
-                        .map(|&i| {
-                            let started = Instant::now();
-                            let ids = self.store.match_publication(&publications[i as usize]);
-                            self.match_latency.record_duration(started.elapsed());
-                            self.publications_processed += 1;
-                            self.notifications += ids.len() as u64;
-                            ids
-                        })
-                        .collect();
-                    let _ = reply.send((selected, matches));
+                DeferredAck::Barrier(reply) => {
+                    let _ = reply.send(());
                 }
-                ShardCommand::Scrape(reply) => {
-                    let _ = reply.send((self.metrics(), self.match_latency.clone()));
-                }
-                ShardCommand::Snapshot(reply) => {
-                    let _ = reply.send(self.store.snapshot());
-                }
-                ShardCommand::Shutdown => break,
             }
         }
     }
@@ -340,32 +497,88 @@ impl ShardWorker {
         }
     }
 
+    /// Freezes a store image and hands it to the background writer when
+    /// the snapshot cadence fires. Must run at a group boundary (after
+    /// [`commit_group`](Self::commit_group)): the frozen entries then
+    /// correspond exactly to the committed log position in the mark —
+    /// commands executed later in the same wake-up can no longer leak
+    /// into the image.
     fn maybe_snapshot(&mut self) {
+        if self.snapshot_in_flight {
+            return;
+        }
         let Some(storage) = &mut self.storage else {
             return;
         };
         if !storage.snapshot_due() {
             return;
         }
-        let bytes = crate::storage::snapshot::encode(
-            &self.store,
-            &self.schema,
-            self.rng.state(),
-            storage.wal_mark(),
-        );
-        if storage.write_snapshot(&bytes).is_err() {
+        let Some(tx) = &self.snapshot_tx else {
+            return;
+        };
+        let job = SnapshotJob {
+            entries: self
+                .store
+                .iter_entries()
+                .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+                .collect(),
+            rng_state: self.rng.state(),
+            mark: storage.wal_position(),
+        };
+        storage.snapshot_dispatched();
+        if tx.send(job).is_ok() {
+            self.snapshot_in_flight = true;
+        } else {
+            // Writer thread died (it never panics by construction, but a
+            // dead channel must not wedge the shard).
             self.storage_errors += 1;
         }
     }
 
+    /// Collects finished snapshot outcomes without blocking.
+    fn absorb_snapshot_outcomes(&mut self) {
+        let Some(rx) = &self.snapshot_rx else {
+            return;
+        };
+        let mut failed = 0;
+        let mut written = 0;
+        let mut pruned = 0;
+        while let Ok(outcome) = rx.try_recv() {
+            self.snapshot_in_flight = false;
+            match outcome {
+                Ok(segments) => {
+                    written += 1;
+                    pruned += segments;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        self.snapshots_written += written;
+        self.segments_pruned += pruned;
+        self.storage_errors += failed;
+    }
+
+    /// Closes the job channel and joins the writer, so a completed
+    /// shutdown implies any in-flight snapshot finished writing (or
+    /// failed) — never a writer killed mid-rename.
+    fn stop_snapshot_writer(&mut self) {
+        drop(self.snapshot_tx.take());
+        if let Some(handle) = self.snapshot_join.take() {
+            let _ = handle.join();
+        }
+        self.absorb_snapshot_outcomes();
+    }
+
     fn metrics(&self) -> ShardMetrics {
         let snap = self.store.stats_snapshot();
-        let (snapshots_written, wal_records, wal_truncated) =
-            self.storage.as_ref().map_or((0, 0, 0), |s| {
+        let (wal_records, wal_truncated, group_commits, segments_rotated, pruned_on_open) =
+            self.storage.as_ref().map_or((0, 0, 0, 0, 0), |s| {
                 (
-                    s.snapshots_written(),
                     s.wal_records_appended(),
                     s.truncated_on_open(),
+                    s.group_commits(),
+                    s.segments_rotated(),
+                    s.pruned_on_open(),
                 )
             });
         ShardMetrics {
@@ -384,9 +597,12 @@ impl ShardWorker {
             publications_processed: self.publications_processed,
             notifications: self.notifications,
             wal_records_appended: wal_records,
-            snapshots_written,
+            snapshots_written: self.snapshots_written,
             storage_errors: self.storage_errors,
             wal_truncated_bytes: wal_truncated,
+            wal_group_commits: group_commits,
+            wal_segments_rotated: segments_rotated,
+            wal_segments_pruned: self.segments_pruned + pruned_on_open,
             active_subscriptions: snap.active as u64,
             covered_subscriptions: snap.covered as u64,
             phase1_probes: snap.match_stats.active_checked,

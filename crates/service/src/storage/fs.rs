@@ -1,0 +1,553 @@
+//! Filesystem abstraction for the storage layer — and its crash injector.
+//!
+//! Every durable byte the storage layer writes goes through the
+//! [`StorageFs`]/[`LogFile`] traits instead of `std::fs` directly. In
+//! production that indirection costs one vtable hop per syscall-bound
+//! operation ([`RealFs`]); in tests it buys the thing money can't buy on
+//! a real filesystem: **deterministic crashes at every I/O boundary**.
+//!
+//! [`CrashFs`] is an in-memory filesystem that counts every mutating
+//! operation and can be armed to *fail* at operation `k` — after which
+//! every further operation errors, exactly like a process that lost its
+//! storage mid-write. It tracks, per file, which bytes have been
+//! `sync`ed, so a test can then ask for either of two post-mortem views:
+//!
+//! - [`CrashFs::process_crash_view`] — everything written survives (the
+//!   OS page cache outlives the process). This is the world
+//!   [`FsyncPolicy::Never`](super::FsyncPolicy) promises to recover
+//!   from.
+//! - [`CrashFs::power_loss_view`] — only synced bytes survive; files
+//!   whose creation was never made durable (no file `sync` or parent
+//!   directory sync) vanish entirely. This is the world
+//!   [`FsyncPolicy::Always`](super::FsyncPolicy) promises an
+//!   acknowledged operation survives.
+//!
+//! ## Fidelity limits
+//!
+//! The model errs adversarial where the storage layer's correctness
+//! argument needs it (unsynced bytes vanish wholesale, unsynced file
+//! creations vanish) and lenient where modeling would add complexity
+//! without testing any code path we rely on: `rename` and `remove` are
+//! atomic and immediately durable (the snapshot path syncs file contents
+//! *before* renaming, and that ordering is exactly what the adversarial
+//! content model verifies — a snapshot renamed into place without a
+//! prior sync shows up torn and fails recovery). Partial persistence of
+//! an unsynced tail (a real power loss can keep any byte subset) is
+//! covered separately by the torn-tail tests, which cut log files at
+//! arbitrary byte offsets.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open, writable log or snapshot file.
+pub trait LogFile: Send + fmt::Debug {
+    /// Appends `bytes` at the current end of the file.
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes file content to stable storage (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+    /// Truncates the file to `len` bytes (used to drop torn tails).
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The filesystem surface the storage layer needs. Implemented by
+/// [`RealFs`] (production) and [`CrashFs`] (crash-injection tests).
+pub trait StorageFs: Send + Sync + fmt::Debug {
+    /// Creates a directory and all its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Reads a whole file. `NotFound` if absent.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// File names (not paths) of a directory's entries.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>>;
+    /// Opens a file for appending, creating it if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Makes a directory's entries (creations/renames) durable.
+    /// Best-effort on filesystems that reject directory fsync.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`StorageFs`]: a thin veneer over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl LogFile for RealFile {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)?;
+        // With `append` mode the cursor re-seeks to the end on the next
+        // write, but `create` mode needs the explicit seek.
+        self.0.seek(io::SeekFrom::Start(len)).map(|_| ())
+    }
+}
+
+impl StorageFs for RealFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Some filesystems reject directory fsync; the rename itself is
+        // still atomic there, so degrade silently like the previous
+        // storage layer did.
+        if let Ok(dir) = File::open(path) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+}
+
+/// One file's state inside [`CrashFs`].
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    content: Vec<u8>,
+    /// Bytes guaranteed durable (`sync` has covered them).
+    synced_len: usize,
+    /// Whether the file's *existence* is durable: set by a file `sync`,
+    /// a parent-directory sync, or an atomic rename onto this path.
+    durable_entry: bool,
+}
+
+#[derive(Debug, Default)]
+struct CrashFsState {
+    files: BTreeMap<PathBuf, FileState>,
+    dirs: Vec<PathBuf>,
+    /// Mutating operations performed so far.
+    ops: u64,
+    /// Fail (and keep failing) from this operation index on.
+    fail_at: Option<u64>,
+    crashed: bool,
+}
+
+impl CrashFsState {
+    /// Counts one mutating operation, tripping the failpoint if armed.
+    fn mutating_op(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(injected());
+        }
+        if Some(self.ops) == self.fail_at {
+            self.crashed = true;
+            self.ops += 1;
+            return Err(injected());
+        }
+        self.ops += 1;
+        Ok(())
+    }
+}
+
+fn injected() -> io::Error {
+    io::Error::other("injected storage crash")
+}
+
+/// In-memory crash-injection filesystem. Clone-cheap handle (`Arc`
+/// inside); see the [module docs](self) for the durability model.
+#[derive(Debug, Clone, Default)]
+pub struct CrashFs {
+    state: Arc<Mutex<CrashFsState>>,
+}
+
+impl CrashFs {
+    /// A fresh, empty filesystem with no failpoint armed.
+    pub fn new() -> CrashFs {
+        CrashFs::default()
+    }
+
+    /// Arms the failpoint: the `op`-th mutating operation (0-based)
+    /// fails, and every operation after it fails too — the storage has
+    /// crashed and stays crashed.
+    pub fn fail_at(&self, op: u64) {
+        self.state.lock().expect("crashfs lock").fail_at = Some(op);
+    }
+
+    /// Mutating operations performed so far (the sweep bound: run once
+    /// without a failpoint, then re-run failing at `0..ops()`).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("crashfs lock").ops
+    }
+
+    /// Whether the armed failpoint has tripped.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("crashfs lock").crashed
+    }
+
+    /// What a process crash leaves behind: every written byte survives
+    /// (the page cache outlives the process). The returned filesystem
+    /// has no failpoint armed.
+    pub fn process_crash_view(&self) -> CrashFs {
+        let state = self.state.lock().expect("crashfs lock");
+        let mut files = BTreeMap::new();
+        for (path, file) in &state.files {
+            let mut survived = file.clone();
+            survived.synced_len = 0;
+            survived.durable_entry = true;
+            files.insert(path.clone(), survived);
+        }
+        CrashFs {
+            state: Arc::new(Mutex::new(CrashFsState {
+                files,
+                dirs: state.dirs.clone(),
+                ..CrashFsState::default()
+            })),
+        }
+    }
+
+    /// What a power loss leaves behind: only synced bytes survive, and
+    /// files whose directory entry was never made durable vanish. The
+    /// returned filesystem has no failpoint armed.
+    pub fn power_loss_view(&self) -> CrashFs {
+        let state = self.state.lock().expect("crashfs lock");
+        let mut files = BTreeMap::new();
+        for (path, file) in &state.files {
+            if !file.durable_entry {
+                continue;
+            }
+            let mut survived = file.clone();
+            survived.content.truncate(file.synced_len);
+            survived.synced_len = 0;
+            survived.durable_entry = true;
+            files.insert(path.clone(), survived);
+        }
+        CrashFs {
+            state: Arc::new(Mutex::new(CrashFsState {
+                files,
+                dirs: state.dirs.clone(),
+                ..CrashFsState::default()
+            })),
+        }
+    }
+
+    /// The full content of `path` as currently written (test inspection;
+    /// bypasses the failpoint).
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        let state = self.state.lock().expect("crashfs lock");
+        state.files.get(path).map(|f| f.content.clone())
+    }
+
+    /// Overwrites `path`'s content directly (test corruption injection;
+    /// bypasses the failpoint and marks everything durable).
+    pub fn poke(&self, path: &Path, content: Vec<u8>) {
+        let mut state = self.state.lock().expect("crashfs lock");
+        let synced_len = content.len();
+        state.files.insert(
+            path.to_path_buf(),
+            FileState {
+                content,
+                synced_len,
+                durable_entry: true,
+            },
+        );
+    }
+}
+
+/// A handle to one open [`CrashFs`] file. Writes go straight into the
+/// shared state (like the page cache); `sync` advances the durable
+/// watermark.
+#[derive(Debug)]
+struct CrashFile {
+    fs: CrashFs,
+    path: PathBuf,
+}
+
+impl LogFile for CrashFile {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.fs.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        let file = state
+            .files
+            .get_mut(&self.path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed while open"))?;
+        file.content.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = self.fs.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        let file = state
+            .files
+            .get_mut(&self.path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed while open"))?;
+        file.synced_len = file.content.len();
+        // fsync on most filesystems (and the conservative reading of
+        // POSIX) persists the inode; deliberately adversarial would be
+        // requiring a parent-dir sync too, but the storage layer *does*
+        // file-sync before relying on any file, so modeling fsync as
+        // entry-durable matches the guarantee journaling filesystems
+        // document for fsync-ed files.
+        file.durable_entry = true;
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut state = self.fs.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        let file = state
+            .files
+            .get_mut(&self.path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "file removed while open"))?;
+        file.content.truncate(len as usize);
+        file.synced_len = file.synced_len.min(len as usize);
+        Ok(())
+    }
+}
+
+impl StorageFs for CrashFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        if !state.dirs.iter().any(|d| d == path) {
+            state.dirs.push(path.to_path_buf());
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let state = self.state.lock().expect("crashfs lock");
+        if state.crashed {
+            return Err(injected());
+        }
+        state
+            .files
+            .get(path)
+            .map(|f| f.content.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let state = self.state.lock().expect("crashfs lock");
+        if state.crashed {
+            return Err(injected());
+        }
+        Ok(state
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(path))
+            .filter_map(|p| p.file_name())
+            .map(|n| n.to_string_lossy().into_owned())
+            .collect())
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        state.files.insert(path.to_path_buf(), FileState::default());
+        Ok(Box::new(CrashFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn LogFile>> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        state.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(CrashFile {
+            fs: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        let mut file = state
+            .files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "rename source missing"))?;
+        // Atomic and immediately durable — see the module docs for why
+        // this leniency is safe to rely on in tests.
+        file.durable_entry = true;
+        state.files.insert(to.to_path_buf(), file);
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        state
+            .files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "remove target missing"))
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        let mut state = self.state.lock().expect("crashfs lock");
+        state.mutating_op()?;
+        let children: Vec<PathBuf> = state
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(path))
+            .cloned()
+            .collect();
+        for child in children {
+            if let Some(file) = state.files.get_mut(&child) {
+                file.durable_entry = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crashfs_write_sync_and_views() {
+        let fs = CrashFs::new();
+        let dir = Path::new("/d");
+        fs.create_dir_all(dir).unwrap();
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        f.write_all(b" world").unwrap();
+
+        // Process crash: everything written survives.
+        let crash = fs.process_crash_view();
+        assert_eq!(crash.read(&dir.join("a")).unwrap(), b"hello world");
+        // Power loss: only the synced prefix survives.
+        let power = fs.power_loss_view();
+        assert_eq!(power.read(&dir.join("a")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unsynced_creation_vanishes_on_power_loss() {
+        let fs = CrashFs::new();
+        let dir = Path::new("/d");
+        fs.create_dir_all(dir).unwrap();
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"x").unwrap();
+        // Never synced, dir never synced: gone after power loss, present
+        // after a process crash.
+        assert!(fs.power_loss_view().read(&dir.join("a")).is_err());
+        assert!(fs.process_crash_view().read(&dir.join("a")).is_ok());
+
+        // A parent-directory sync makes the entry durable (content still
+        // truncated to the synced watermark — zero bytes).
+        let mut g = fs.create(&dir.join("b")).unwrap();
+        g.write_all(b"y").unwrap();
+        fs.sync_dir(dir).unwrap();
+        assert_eq!(fs.power_loss_view().read(&dir.join("b")).unwrap(), b"");
+    }
+
+    #[test]
+    fn failpoint_trips_once_and_stays_tripped() {
+        let fs = CrashFs::new();
+        let dir = Path::new("/d");
+        fs.create_dir_all(dir).unwrap();
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"one").unwrap();
+        let ops = fs.ops();
+
+        let armed = CrashFs::new();
+        armed.fail_at(ops); // the op after "write one"
+        armed.create_dir_all(dir).unwrap();
+        let mut f = armed.create(&dir.join("a")).unwrap();
+        f.write_all(b"one").unwrap();
+        assert!(f.sync().is_err(), "failpoint trips");
+        assert!(armed.crashed());
+        assert!(f.write_all(b"two").is_err(), "stays tripped");
+        assert!(armed.read(&dir.join("a")).is_err(), "reads fail too");
+        // The post-mortem views still work.
+        assert_eq!(
+            armed.process_crash_view().read(&dir.join("a")).unwrap(),
+            b"one"
+        );
+    }
+
+    #[test]
+    fn rename_and_remove_and_list() {
+        let fs = CrashFs::new();
+        let dir = Path::new("/d");
+        fs.create_dir_all(dir).unwrap();
+        let mut f = fs.create(&dir.join("tmp")).unwrap();
+        f.write_all(b"snap").unwrap();
+        f.sync().unwrap();
+        fs.rename(&dir.join("tmp"), &dir.join("final")).unwrap();
+        let mut names = fs.list_dir(dir).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["final"]);
+        assert_eq!(
+            fs.power_loss_view().read(&dir.join("final")).unwrap(),
+            b"snap"
+        );
+        fs.remove_file(&dir.join("final")).unwrap();
+        assert!(fs.read(&dir.join("final")).is_err());
+    }
+
+    #[test]
+    fn realfs_round_trips() {
+        let dir = std::env::temp_dir().join(format!("psc-fs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let mut f = fs.create(&dir.join("a")).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        let mut g = fs.open_append(&dir.join("a")).unwrap();
+        g.write_all(b"def").unwrap();
+        g.set_len(4).unwrap();
+        drop(g);
+        assert_eq!(fs.read(&dir.join("a")).unwrap(), b"abcd");
+        fs.rename(&dir.join("a"), &dir.join("b")).unwrap();
+        fs.sync_dir(&dir).unwrap();
+        assert!(fs.list_dir(&dir).unwrap().contains(&"b".to_string()));
+        fs.remove_file(&dir.join("b")).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! Durable shard stores: a per-shard write-ahead log plus snapshots.
+//! Durable shard stores: a segmented write-ahead log plus snapshots.
 //!
 //! Without this module a restart silently drops every subscription — fatal
 //! at the ROADMAP's "millions of users" scale, where clients cannot be
@@ -7,44 +7,72 @@
 //!
 //! ```text
 //! <data_dir>/shard-<i>/
-//! ├── wal.bin        append-only log of admissions/unsubscriptions
-//! ├── snapshot.bin   the covering store's exact image (atomic rename)
-//! ├── snapshot.tmp   in-flight snapshot (ignored on boot)
-//! └── wal.tmp        in-flight log compaction (ignored on boot)
+//! ├── manifest.bin     oldest live segment id (atomic rename updates)
+//! ├── wal.000001.log   numbered, bounded-size log segments …
+//! ├── wal.000002.log   … appended in order, deleted whole, never rewritten
+//! ├── snapshot.bin     the covering store's exact image (atomic rename)
+//! ├── snapshot.tmp     in-flight snapshot (ignored on boot)
+//! └── manifest.tmp     in-flight manifest update (ignored on boot)
 //! ```
 //!
-//! ## Write path
+//! ## Write path: group commit
 //!
 //! Operations hit the log *before* the in-memory store (write-ahead
 //! discipline): an admission batch is one CRC-framed [`LogRecord`], an
-//! unsubscription another. [`FsyncPolicy`] decides whether each append is
-//! fsynced (`Always` — survives power loss) or left to the OS page cache
-//! (`Never` — survives process crashes, costs nothing on the hot path).
-//! Every `snapshot_every` records the shard writes a fresh
-//! [`snapshot`] — temp file, fsync, atomic rename — and truncates the
-//! log, bounding both recovery time and disk use.
+//! unsubscription another. [`ShardStorage::append`] only writes;
+//! durability comes from [`ShardStorage::commit`], which the shard worker
+//! calls once per *group* — every command that arrived while the previous
+//! fsync ran shares the next one. Under [`FsyncPolicy::Always`] a commit
+//! fsyncs every segment touched since the last commit (acknowledgements
+//! are released only after it returns, so "an acked op survives power
+//! loss" holds at any write rate); under [`FsyncPolicy::Never`] commit is
+//! a bookkeeping no-op and the OS flushes when it pleases.
+//!
+//! ## Segments
+//!
+//! The log rotates into numbered segments (`wal.000001.log`, …) once the
+//! current one reaches `segment_bytes`. Segments are append-only and
+//! immutable after rotation: they are deleted whole — never truncated or
+//! rewritten — once a snapshot covers them, which makes them the natural
+//! unit for the ROADMAP's federation log-shipping. `manifest.bin` names
+//! the oldest segment still live; it is updated (atomically, tmp +
+//! rename) *before* stale segments are deleted, so a crash between the
+//! two leaves ignorable leftovers, never a hole.
+//!
+//! ## Snapshots
+//!
+//! Snapshot *writing* is not this module's job anymore — the shard worker
+//! freezes a store image at a group boundary and a background thread
+//! encodes and writes it through [`SnapshotSink`] (temp file, fsync,
+//! atomic rename), then prunes covered segments. The snapshot's
+//! [`WalMark`] names the exact log position it covers
+//! (`segment`/`offset`/prefix CRC), so recovery knows where replay
+//! starts without any log truncation — the pre-segmentation format's
+//! truncate-on-snapshot dance (and its crash window) is gone.
 //!
 //! ## Recovery path
 //!
 //! On boot the shard loads `snapshot.bin` (if present), rebuilds the
 //! store through [`CoveringStore::from_entries`] — no subsumption checks,
 //! the covered/uncovered split is stored, not recomputed — and replays
-//! `wal.bin` through the normal admission path. A *torn tail* (a record
-//! the previous process died while writing) fails its length or CRC check
-//! and is truncated, not treated as corruption; everything before it is
-//! intact by construction. A corrupt *snapshot* is an error: snapshots
-//! are renamed into place only after a complete write, so damage there is
-//! real corruption and must not be silently served.
+//! the log suffix from the snapshot's mark through the normal admission
+//! path. The rules, in order:
 //!
-//! **Known limitation:** a bad frame in the *middle* of the log (a bit
-//! flip, a partial page write on exotic filesystems) is indistinguishable
-//! from a torn tail — reading stops there and later records are dropped
-//! with the tail. The dropped byte count is never silent, though: it is
-//! surfaced as [`Recovery::torn_tail_bytes`] and exported on the wire via
-//! the `wal_truncated` shard metric, so a truncation that is larger than
-//! one record (the most a genuine torn tail can be) is visible to
-//! operators. Per-record sequence numbers would disambiguate fully and
-//! are a ROADMAP follow-on.
+//! - Segments older than the manifest watermark are leftovers of an
+//!   interrupted prune: deleted, not read.
+//! - The remaining segment ids must be contiguous from the watermark. A
+//!   *gap* — or a frame that fails its checksum before the end of any
+//!   non-final segment — is a hard [`StorageError::Corrupt`] error:
+//!   middle-of-log damage cannot be explained by a crash and silently
+//!   truncating there would drop acknowledged operations.
+//! - The snapshot's covered prefix of its mark segment must re-checksum
+//!   to the mark's CRC (damage there is real corruption too).
+//! - A torn *final* record of the *final* segment (the append the
+//!   previous process died inside) fails its length or CRC check and is
+//!   truncated, not treated as corruption; everything before it is
+//!   intact by construction. The dropped byte count is surfaced as
+//!   [`Recovery::torn_tail_bytes`] and exported via the `wal_truncated`
+//!   shard metric.
 //!
 //! Replay is exact: admission batches are logged in router order and
 //! re-admitted through the same widest-first path, and the snapshot
@@ -52,35 +80,49 @@
 //! store's columns, parent links, and probabilistic decisions
 //! bit-for-bit.
 //!
+//! A pre-segmentation directory (single `wal.bin`, `PSCSNAP1` snapshot)
+//! is migrated on open: the log becomes segment 1 and the manifest is
+//! created; the old snapshot's byte-counting mark maps onto segment 1
+//! with the old lenient semantics (see [`snapshot`]).
+//!
+//! Every filesystem touch goes through the [`fs::StorageFs`] trait:
+//! [`fs::RealFs`] in production, and the crash-injecting [`fs::CrashFs`]
+//! in tests, which kills the storage at every I/O boundary and checks
+//! that recovery never loses an acknowledged operation
+//! (`tests/failure_injection.rs`).
+//!
 //! [`CoveringStore::from_entries`]: psc_matcher::CoveringStore::from_entries
 
+pub mod fs;
 pub mod record;
 pub mod snapshot;
 
+pub use fs::{CrashFs, LogFile, RealFs, StorageFs};
 pub use record::LogRecord;
-pub use snapshot::StoreImage;
+pub use snapshot::{StoreImage, WalMark};
 
 use psc_matcher::RestoreError;
 use psc_model::Schema;
 use record::MAX_FRAME_PAYLOAD_BYTES;
 use record::{crc32, crc32_finalize, crc32_update, frame, read_frames, CRC_INIT};
-use snapshot::WalMark;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// When appended log records are flushed to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FsyncPolicy {
-    /// `fsync` after every append: an acknowledged operation survives
-    /// power loss. The safe default.
+    /// `fsync` once per commit group: an acknowledged operation survives
+    /// power loss. The safe default — and with group commit the cost is
+    /// amortized over every operation that arrived while the previous
+    /// fsync was in flight.
     #[default]
     Always,
     /// Never `fsync` the log; the OS flushes when it pleases. An
     /// acknowledged operation survives a process crash (the bytes are in
-    /// the page cache) but may be lost on power failure. Snapshots are
-    /// still fsynced — only the per-record hot path is relaxed.
+    /// the page cache) but may be lost on power failure. Snapshots and
+    /// the manifest are still fsynced — only the log hot path is relaxed.
     Never,
 }
 
@@ -95,6 +137,11 @@ pub struct StorageConfig {
     /// Snapshot after this many log records (`0` = never snapshot; the
     /// log then grows without bound and recovery replays all of it).
     pub snapshot_every: u64,
+    /// Rotate to a new log segment once the current one reaches this
+    /// many bytes (`0` = never rotate). A segment may exceed the cap by
+    /// at most one record: rotation happens before the append that finds
+    /// the segment full.
+    pub segment_bytes: u64,
 }
 
 /// Errors surfaced by the storage layer.
@@ -161,141 +208,350 @@ impl From<io::Error> for StorageError {
 pub struct Recovery {
     /// The latest snapshot, if one exists.
     pub image: Option<StoreImage>,
-    /// Valid log records written after that snapshot, in append order.
+    /// Valid log records the snapshot does not cover, in append order.
     pub records: Vec<LogRecord>,
-    /// Bytes truncated off the log's torn tail (0 on a clean shutdown).
+    /// Bytes truncated off the final segment's torn tail (0 on a clean
+    /// shutdown).
     pub torn_tail_bytes: u64,
 }
 
-/// One shard's durable storage: an open write-ahead log plus snapshot
-/// management. Owned by the shard worker thread; all methods are `&mut`.
+const LEGACY_WAL_FILE: &str = "wal.bin";
+const MANIFEST_FILE: &str = "manifest.bin";
+const MANIFEST_TMP_FILE: &str = "manifest.tmp";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
+const MANIFEST_MAGIC: &[u8; 8] = b"PSCMANI1";
+
+/// The file name of log segment `id` (`wal.000001.log`, …).
+pub fn segment_file_name(id: u64) -> String {
+    format!("wal.{id:06}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    if digits.len() < 6 || digits.bytes().any(|b| !b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn corrupt(file: PathBuf, detail: String) -> StorageError {
+    StorageError::Corrupt { file, detail }
+}
+
+/// Writes the manifest atomically: temp file, fsync, rename, dir sync.
+/// The manifest is tiny (one id) but load-bearing — it is the watermark
+/// recovery trusts to distinguish "pruned behind a snapshot" from "a
+/// segment is missing".
+fn write_manifest(fs: &dyn StorageFs, dir: &Path, oldest: u64) -> Result<(), StorageError> {
+    let mut bytes = MANIFEST_MAGIC.to_vec();
+    bytes.extend_from_slice(&frame(&oldest.to_le_bytes()));
+    let tmp = dir.join(MANIFEST_TMP_FILE);
+    let mut file = fs.create(&tmp)?;
+    file.write_all(&bytes)?;
+    file.sync()?;
+    drop(file);
+    fs.rename(&tmp, &dir.join(MANIFEST_FILE))?;
+    fs.sync_dir(dir)?;
+    Ok(())
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<u64, String> {
+    let rest = bytes
+        .strip_prefix(MANIFEST_MAGIC.as_slice())
+        .ok_or("manifest magic missing or unsupported version")?;
+    let (payloads, span) = read_frames(rest);
+    if payloads.len() != 1 || span != rest.len() {
+        return Err("manifest incomplete or checksum-corrupt".into());
+    }
+    let body: [u8; 8] = payloads[0]
+        .try_into()
+        .map_err(|_| "manifest body malformed".to_string())?;
+    Ok(u64::from_le_bytes(body))
+}
+
+/// One shard's durable storage: the open tail of a segmented write-ahead
+/// log. Owned by the shard worker thread; all methods are `&mut`.
+///
+/// The worker owns segment creation and appends; the snapshot writer
+/// thread (via [`SnapshotSink`]) owns `snapshot.bin`, the manifest, and
+/// deletion of covered segments. The two never touch the same file, so
+/// neither needs a lock.
 #[derive(Debug)]
 pub struct ShardStorage {
+    fs: Arc<dyn StorageFs>,
     dir: PathBuf,
     fsync: FsyncPolicy,
     snapshot_every: u64,
-    wal: File,
-    /// Frame-aligned byte length of the log (what a clean reader sees).
+    segment_bytes: u64,
+    /// Open handle of the current (highest-numbered) segment.
+    wal: Box<dyn LogFile>,
+    current_segment: u64,
+    /// Frame-aligned byte length of the current segment.
     wal_len: u64,
-    /// Streaming CRC register over the log's current content, maintained
-    /// across appends so snapshots can record a [`snapshot::WalMark`]
+    /// Streaming CRC register over the current segment's content,
+    /// maintained across appends so snapshots can record a [`WalMark`]
     /// without re-reading the file.
     wal_crc_state: u32,
+    /// Segments written to (and, on rotation, retired) since the last
+    /// commit; a commit fsyncs all of them oldest-first.
+    retired_dirty: Vec<Box<dyn LogFile>>,
+    rotated_since_commit: bool,
+    appends_since_commit: u64,
     records_since_snapshot: u64,
-    snapshots_written: u64,
     wal_records_appended: u64,
     truncated_on_open: u64,
+    group_commits: u64,
+    segments_rotated: u64,
+    pruned_on_open: u64,
 }
 
-const WAL_FILE: &str = "wal.bin";
-const WAL_TMP_FILE: &str = "wal.tmp";
-const SNAPSHOT_FILE: &str = "snapshot.bin";
-const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
-
 impl ShardStorage {
-    /// Opens (creating if absent) a shard directory and recovers its
-    /// contents: the snapshot image, the valid log suffix, and a
-    /// truncated torn tail if the previous process died mid-append.
-    ///
-    /// If the snapshot's [`WalMark`] still matches the log's leading
-    /// bytes, the previous process crashed between snapshot rename and
-    /// log truncation: the covered prefix is already inside the
-    /// snapshot, so it is skipped for replay and the interrupted
-    /// truncation is completed (the log is compacted to its suffix).
-    /// Re-applying covered records instead would consume RNG draws the
-    /// live shard never consumed and could re-shuffle the
-    /// active/covered split.
+    /// Opens (creating if absent) a shard directory on the real
+    /// filesystem and recovers its contents. See
+    /// [`open_with_fs`](ShardStorage::open_with_fs).
     pub fn open(
         config: StorageConfig,
         schema: &Schema,
     ) -> Result<(ShardStorage, Recovery), StorageError> {
-        std::fs::create_dir_all(&config.dir)?;
+        ShardStorage::open_with_fs(config, schema, Arc::new(RealFs))
+    }
 
-        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
-        let decoded =
-            match std::fs::read(&snapshot_path) {
-                Ok(bytes) => Some(snapshot::decode(&bytes, schema).map_err(|detail| {
-                    StorageError::Corrupt {
-                        file: snapshot_path.clone(),
-                        detail,
-                    }
-                })?),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => None,
-                Err(e) => return Err(e.into()),
-            };
+    /// Opens a shard directory through an explicit [`StorageFs`] (the
+    /// crash-injection seam) and recovers its contents: the snapshot
+    /// image plus the log suffix the snapshot does not cover, applying
+    /// the recovery rules in the [module docs](self).
+    pub fn open_with_fs(
+        config: StorageConfig,
+        schema: &Schema,
+        fs: Arc<dyn StorageFs>,
+    ) -> Result<(ShardStorage, Recovery), StorageError> {
+        let dir = config.dir.clone();
+        fs.create_dir_all(&dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
 
-        let wal_path = config.dir.join(WAL_FILE);
-        let mut wal = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&wal_path)?;
-        let mut bytes = Vec::new();
-        wal.read_to_end(&mut bytes)?;
+        // Migrate a pre-segmentation directory: the single log becomes
+        // segment 1 (rename is atomic; a crash re-runs the migration).
+        let names = fs.list_dir(&dir)?;
+        if !names.iter().any(|n| n == MANIFEST_FILE) && names.iter().any(|n| n == LEGACY_WAL_FILE) {
+            fs.rename(&dir.join(LEGACY_WAL_FILE), &dir.join(segment_file_name(1)))?;
+            write_manifest(fs.as_ref(), &dir, 1)?;
+        }
 
-        let replay_start = match &decoded {
-            Some((_, mark))
-                if mark.covered_bytes as usize <= bytes.len()
-                    && crc32(&bytes[..mark.covered_bytes as usize]) == mark.crc =>
-            {
-                mark.covered_bytes as usize
+        let oldest = match fs.read(&manifest_path) {
+            Ok(bytes) => {
+                decode_manifest(&bytes).map_err(|detail| corrupt(manifest_path.clone(), detail))?
             }
-            _ => 0, // log was truncated after the snapshot (the normal case)
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Fresh directory — unless segments exist, in which case
+                // the watermark is gone and "which segments should
+                // exist" is unanswerable: hard error, not a guess.
+                let names = fs.list_dir(&dir)?;
+                if names.iter().any(|n| parse_segment_name(n).is_some()) {
+                    return Err(corrupt(
+                        manifest_path,
+                        "log segments present without a manifest".into(),
+                    ));
+                }
+                write_manifest(fs.as_ref(), &dir, 1)?;
+                1
+            }
+            Err(e) => return Err(e.into()),
         };
-        let tail = &bytes[replay_start..];
-        let (payloads, valid_span) = read_frames(tail);
-        let records = payloads
-            .iter()
-            .map(|p| {
-                LogRecord::decode(p, schema).map_err(|e| StorageError::Corrupt {
-                    file: wal_path.clone(),
-                    detail: format!("record decodes as garbage despite a valid checksum: {e}"),
-                })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let torn_tail_bytes = (tail.len() - valid_span) as u64;
-        let content = &tail[..valid_span];
 
-        if replay_start > 0 {
-            // Complete the interrupted truncation: compact the log down
-            // to the uncovered suffix (atomically, via rename — a crash
-            // here just redoes the skip on the next boot).
-            let tmp = config.dir.join(WAL_TMP_FILE);
-            let mut file = File::create(&tmp)?;
-            file.write_all(content)?;
-            file.sync_all()?;
-            drop(file);
-            std::fs::rename(&tmp, &wal_path)?;
-            wal = OpenOptions::new()
-                .create(true)
-                .read(true)
-                .append(true)
-                .open(&wal_path)?;
-            wal.seek(io::SeekFrom::End(0))?;
-        } else if torn_tail_bytes > 0 {
-            // Drop the torn tail so the next append starts on a frame
-            // boundary. (With `append` mode the cursor re-seeks to the
-            // new end automatically on the next write.)
-            wal.set_len(valid_span as u64)?;
-            wal.seek(io::SeekFrom::End(0))?;
+        // Segment inventory: ids behind the watermark are leftovers of a
+        // prune interrupted between manifest update and deletion —
+        // covered by the snapshot that advanced the watermark, so they
+        // are deleted unread. What remains must be contiguous.
+        let mut segments: Vec<u64> = fs
+            .list_dir(&dir)?
+            .iter()
+            .filter_map(|n| parse_segment_name(n))
+            .collect();
+        segments.sort_unstable();
+        let mut pruned_on_open = 0u64;
+        segments.retain(|&id| {
+            if id < oldest {
+                let _ = fs.remove_file(&dir.join(segment_file_name(id)));
+                pruned_on_open += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if let (Some(&first), Some(&last)) = (segments.first(), segments.last()) {
+            if first != oldest || last - first + 1 != segments.len() as u64 {
+                return Err(corrupt(
+                    manifest_path,
+                    format!(
+                        "segment sequence has a gap: manifest expects {oldest}.., found {segments:?}"
+                    ),
+                ));
+            }
+        }
+        let last = segments.last().copied();
+
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let decoded = match fs.read(&snapshot_path) {
+            Ok(bytes) => Some(
+                snapshot::decode(&bytes, schema)
+                    .map_err(|detail| corrupt(snapshot_path.clone(), detail))?,
+            ),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+
+        // Where replay starts: the first byte the snapshot does not cover.
+        let (start_seg, start_off) = match &decoded {
+            None => (oldest, 0u64),
+            Some(d) if d.legacy_mark => {
+                // Pre-segmentation semantics: the mark matched the log
+                // only when the process died between snapshot rename and
+                // log truncation; a non-matching mark means the log was
+                // truncated (and possibly refilled) and replays in full.
+                let matched = segments.contains(&1) && {
+                    let bytes = fs.read(&dir.join(segment_file_name(1)))?;
+                    d.mark.offset as usize <= bytes.len()
+                        && crc32(&bytes[..d.mark.offset as usize]) == d.mark.crc
+                };
+                if matched {
+                    (1, d.mark.offset)
+                } else {
+                    (oldest, 0)
+                }
+            }
+            Some(d) => {
+                let Some(last) = last else {
+                    return Err(corrupt(
+                        snapshot_path,
+                        "snapshot present but its covered log segments are missing".into(),
+                    ));
+                };
+                if d.mark.segment < oldest || d.mark.segment > last {
+                    return Err(corrupt(
+                        snapshot_path,
+                        format!(
+                            "snapshot covers up to segment {} but segments {oldest}..={last} are on disk",
+                            d.mark.segment
+                        ),
+                    ));
+                }
+                (d.mark.segment, d.mark.offset)
+            }
+        };
+
+        // Read and replay-decode every uncovered byte.
+        let mut records = Vec::new();
+        let mut torn_tail_bytes = 0u64;
+        let mut current_content = Vec::new();
+        for &id in &segments {
+            if id < start_seg {
+                continue; // fully covered by the snapshot
+            }
+            let path = dir.join(segment_file_name(id));
+            let bytes = fs.read(&path)?;
+            let from = if id == start_seg {
+                start_off as usize
+            } else {
+                0
+            };
+            if id == start_seg && from > 0 {
+                if from > bytes.len() {
+                    return Err(corrupt(
+                        path,
+                        format!(
+                            "segment holds {} bytes but the snapshot covers {from} — \
+                             covered log content is gone (power loss under FsyncPolicy::Never?)",
+                            bytes.len()
+                        ),
+                    ));
+                }
+                if crc32(&bytes[..from])
+                    != decoded.as_ref().expect("mark implies snapshot").mark.crc
+                {
+                    return Err(corrupt(
+                        path,
+                        "snapshot-covered prefix fails the snapshot's checksum".into(),
+                    ));
+                }
+            }
+            let tail = &bytes[from..];
+            let (payloads, valid_span) = read_frames(tail);
+            for p in &payloads {
+                records.push(LogRecord::decode(p, schema).map_err(|e| {
+                    corrupt(
+                        path.clone(),
+                        format!("record decodes as garbage despite a valid checksum: {e}"),
+                    )
+                })?);
+            }
+            let is_last = Some(id) == last;
+            if !is_last && from + valid_span != bytes.len() {
+                // Only the final segment's final record can be torn — a
+                // rotated segment was complete when the next one was
+                // created, so damage here is mid-log corruption whose
+                // silent truncation would drop every later record.
+                return Err(corrupt(
+                    path,
+                    format!(
+                        "invalid frame {} bytes into a non-final segment (mid-log damage)",
+                        from + valid_span
+                    ),
+                ));
+            }
+            if is_last {
+                torn_tail_bytes = (tail.len() - valid_span) as u64;
+                current_content = bytes;
+                current_content.truncate(from + valid_span);
+            }
+        }
+
+        // Complete an interrupted prune: segments fully behind the
+        // snapshot's mark linger if the writer crashed before advancing
+        // the manifest. Advance it now and delete them (same order).
+        if start_seg > oldest {
+            write_manifest(fs.as_ref(), &dir, start_seg)?;
+            for id in oldest..start_seg {
+                if segments.contains(&id) {
+                    fs.remove_file(&dir.join(segment_file_name(id)))?;
+                    pruned_on_open += 1;
+                }
+            }
+        }
+
+        // Open the current segment for appending (creating it fresh on a
+        // new directory) and drop any torn tail so the next append
+        // starts on a frame boundary.
+        let current_segment = last.unwrap_or(oldest);
+        let mut wal = fs.open_append(&dir.join(segment_file_name(current_segment)))?;
+        if torn_tail_bytes > 0 {
+            wal.set_len(current_content.len() as u64)?;
         }
 
         let storage = ShardStorage {
-            dir: config.dir,
+            fs,
+            dir,
             fsync: config.fsync,
             snapshot_every: config.snapshot_every,
+            segment_bytes: config.segment_bytes,
             wal,
-            wal_len: valid_span as u64,
-            wal_crc_state: crc32_update(CRC_INIT, content),
+            current_segment,
+            wal_len: current_content.len() as u64,
+            wal_crc_state: crc32_update(CRC_INIT, &current_content),
+            retired_dirty: Vec::new(),
+            rotated_since_commit: false,
+            appends_since_commit: 0,
             records_since_snapshot: records.len() as u64,
-            snapshots_written: 0,
             wal_records_appended: 0,
             truncated_on_open: torn_tail_bytes,
+            group_commits: 0,
+            segments_rotated: 0,
+            pruned_on_open,
         };
         Ok((
             storage,
             Recovery {
-                image: decoded.map(|(image, _)| image),
+                image: decoded.map(|d| d.image),
                 records,
                 torn_tail_bytes,
             },
@@ -303,8 +559,10 @@ impl ShardStorage {
     }
 
     /// Appends one record to the log (write-ahead: call this *before*
-    /// applying the operation to the in-memory store), flushing per the
-    /// configured [`FsyncPolicy`].
+    /// applying the operation to the in-memory store), rotating to a
+    /// fresh segment when the current one is full. **Does not fsync** —
+    /// durability comes from the next [`commit`](ShardStorage::commit),
+    /// and acknowledgements must be withheld until it returns.
     ///
     /// Refuses a record whose encoding exceeds
     /// [`MAX_FRAME_PAYLOAD_BYTES`]: writing it would "succeed" but read
@@ -319,6 +577,9 @@ impl ShardStorage {
                 bytes: payload.len(),
             });
         }
+        if self.segment_bytes > 0 && self.wal_len >= self.segment_bytes {
+            self.rotate()?;
+        }
         let framed = frame(&payload);
         if let Err(e) = self.wal.write_all(&framed) {
             // A failed write may have left a *partial* frame at the tail;
@@ -328,27 +589,74 @@ impl ShardStorage {
             // (best-effort; if this also fails, recovery's torn-tail
             // truncation still bounds the damage to this record).
             let _ = self.wal.set_len(self.wal_len);
-            let _ = self.wal.seek(io::SeekFrom::End(0));
             return Err(e.into());
         }
-        // Bookkeeping happens as soon as the frame is fully written —
-        // even if the fsync below fails, the bytes are in the file, and
-        // length/CRC accounting must match the file's actual content.
         self.wal_len += framed.len() as u64;
         self.wal_crc_state = crc32_update(self.wal_crc_state, &framed);
         self.records_since_snapshot += 1;
         self.wal_records_appended += 1;
-        if self.fsync == FsyncPolicy::Always {
-            self.wal.sync_data()?;
-        }
+        self.appends_since_commit += 1;
         Ok(())
     }
 
-    /// The [`WalMark`] identifying the log content a snapshot encoded
-    /// right now would cover. Pass it to [`snapshot::encode`].
-    pub fn wal_mark(&self) -> WalMark {
+    /// Starts the next segment. The retired segment's handle is kept
+    /// until the next commit so its unsynced appends are covered by the
+    /// same fsync group as the records after the rotation.
+    fn rotate(&mut self) -> Result<(), StorageError> {
+        let next = self.current_segment + 1;
+        let file = self.fs.create(&self.dir.join(segment_file_name(next)))?;
+        let retired = std::mem::replace(&mut self.wal, file);
+        self.retired_dirty.push(retired);
+        self.rotated_since_commit = true;
+        self.current_segment = next;
+        self.wal_len = 0;
+        self.wal_crc_state = CRC_INIT;
+        self.segments_rotated += 1;
+        Ok(())
+    }
+
+    /// Commits everything appended since the last commit: one fsync per
+    /// touched segment (oldest first, so durability is always a log
+    /// *prefix*), plus a directory sync if a rotation created a segment.
+    /// Under [`FsyncPolicy::Never`] this only resets the group
+    /// bookkeeping. A no-op (and not counted) when nothing was appended.
+    ///
+    /// The caller must release operation acknowledgements only after
+    /// this returns `Ok` — that is the group-commit contract.
+    pub fn commit(&mut self) -> Result<(), StorageError> {
+        if self.appends_since_commit == 0 && !self.rotated_since_commit {
+            return Ok(());
+        }
+        if self.fsync == FsyncPolicy::Always {
+            // On failure the dirty set is retained: the next commit
+            // retries the fsyncs, so a transiently unwell disk degrades
+            // durability only for as long as it stays unwell.
+            for file in &mut self.retired_dirty {
+                file.sync()?;
+            }
+            self.wal.sync()?;
+            if self.rotated_since_commit {
+                // Persist the rotation's directory entry: a synced
+                // segment whose *name* is not durable would vanish
+                // wholesale on power loss.
+                self.fs.sync_dir(&self.dir)?;
+            }
+        }
+        self.retired_dirty.clear();
+        self.rotated_since_commit = false;
+        self.appends_since_commit = 0;
+        self.group_commits += 1;
+        Ok(())
+    }
+
+    /// The current end-of-log position, as a [`WalMark`] a snapshot of
+    /// the current store state should carry. Only meaningful at a group
+    /// boundary (after [`commit`](ShardStorage::commit)), when the
+    /// position is durable and matches the applied store state.
+    pub fn wal_position(&self) -> WalMark {
         WalMark {
-            covered_bytes: self.wal_len,
+            segment: self.current_segment,
+            offset: self.wal_len,
             crc: crc32_finalize(self.wal_crc_state),
         }
     }
@@ -358,65 +666,55 @@ impl ShardStorage {
         self.snapshot_every > 0 && self.records_since_snapshot >= self.snapshot_every
     }
 
-    /// Writes `snapshot_bytes` (produced by [`snapshot::encode`])
-    /// atomically — temp file, fsync, rename — then truncates the log.
-    ///
-    /// Crash-ordering: the rename is the commit point. Dying before it
-    /// leaves the old snapshot + full log (replay covers everything);
-    /// dying between rename and truncation leaves the new snapshot + a
-    /// log whose covered prefix [`open`](ShardStorage::open) recognizes
-    /// via the snapshot's [`WalMark`] and skips, completing the
-    /// truncation it was interrupted on.
-    ///
-    /// The cadence counter resets even on failure: the caller retries
-    /// after another `snapshot_every` records rather than re-encoding
-    /// the full store on *every* subsequent command while the disk is
-    /// unwell.
-    pub fn write_snapshot(&mut self, snapshot_bytes: &[u8]) -> Result<(), StorageError> {
+    /// Resets the snapshot cadence counter. Called when a snapshot job is
+    /// handed to the background writer — on failure the caller retries
+    /// after another `snapshot_every` records rather than re-freezing the
+    /// store on every subsequent command while the disk is unwell.
+    pub fn snapshot_dispatched(&mut self) {
         self.records_since_snapshot = 0;
-        if snapshot_bytes.len() > MAX_FRAME_PAYLOAD_BYTES {
-            // An over-cap snapshot would decode as corrupt on the next
-            // boot; refusing keeps the previous (readable) snapshot in
-            // place and surfaces the condition as a storage error.
-            return Err(StorageError::RecordTooLarge {
-                bytes: snapshot_bytes.len(),
-            });
-        }
-        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
-        let dst = self.dir.join(SNAPSHOT_FILE);
-        let mut file = File::create(&tmp)?;
-        file.write_all(snapshot_bytes)?;
-        // A snapshot exists to be read after a crash; it is always synced
-        // regardless of the log policy.
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, &dst)?;
-        if let Ok(dir) = File::open(&self.dir) {
-            // Persist the rename itself (directory entry). Best-effort:
-            // some filesystems reject directory fsync.
-            let _ = dir.sync_all();
-        }
-        self.wal.set_len(0)?;
-        self.wal.seek(io::SeekFrom::Start(0))?;
-        self.wal_len = 0;
-        self.wal_crc_state = CRC_INIT;
-        self.snapshots_written += 1;
-        Ok(())
     }
 
-    /// Records appended since the last snapshot (or open).
+    /// A handle for the background snapshot writer thread: owns snapshot
+    /// files, the manifest, and covered-segment deletion — disjoint from
+    /// the files this (worker-owned) struct appends to.
+    pub fn sink(&self) -> SnapshotSink {
+        SnapshotSink {
+            fs: Arc::clone(&self.fs),
+            dir: self.dir.clone(),
+        }
+    }
+
+    /// Records appended since the last snapshot dispatch (or open).
     pub fn records_since_snapshot(&self) -> u64 {
         self.records_since_snapshot
-    }
-
-    /// Snapshots written by this instance.
-    pub fn snapshots_written(&self) -> u64 {
-        self.snapshots_written
     }
 
     /// Records appended by this instance.
     pub fn wal_records_appended(&self) -> u64 {
         self.wal_records_appended
+    }
+
+    /// Commit groups completed (each is at most one fsync under
+    /// [`FsyncPolicy::Always`]); `wal_records_appended / group_commits`
+    /// is the realized group-commit amortization.
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits
+    }
+
+    /// Segment rotations performed by this instance.
+    pub fn segments_rotated(&self) -> u64 {
+        self.segments_rotated
+    }
+
+    /// Covered segments deleted during open (leftovers of an interrupted
+    /// prune).
+    pub fn pruned_on_open(&self) -> u64 {
+        self.pruned_on_open
+    }
+
+    /// The id of the segment currently being appended to.
+    pub fn current_segment(&self) -> u64 {
+        self.current_segment
     }
 
     /// Bytes truncated off the log's tail when this instance opened
@@ -429,6 +727,70 @@ impl ShardStorage {
     /// The shard's storage directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+/// The snapshot writer's half of a shard's storage: writes `snapshot.bin`
+/// atomically and prunes covered segments. Created by
+/// [`ShardStorage::sink`] and moved to the background writer thread; its
+/// file set (snapshot, manifest, segments behind the mark) is disjoint
+/// from the worker's (the current segment and newer), so the two threads
+/// share the directory without locks.
+#[derive(Debug, Clone)]
+pub struct SnapshotSink {
+    fs: Arc<dyn StorageFs>,
+    dir: PathBuf,
+}
+
+impl SnapshotSink {
+    /// Writes `snapshot_bytes` (produced by [`snapshot::encode_entries`])
+    /// atomically — temp file, fsync, rename, directory sync. Snapshots
+    /// exist to be read after a crash, so they are always synced
+    /// regardless of the log's [`FsyncPolicy`]. Crash-ordering: the
+    /// rename is the commit point; dying before it leaves the previous
+    /// snapshot + a longer replay, never a torn snapshot.
+    pub fn write_snapshot(&self, snapshot_bytes: &[u8]) -> Result<(), StorageError> {
+        if snapshot_bytes.len() > MAX_FRAME_PAYLOAD_BYTES {
+            // An over-cap snapshot would decode as corrupt on the next
+            // boot; refusing keeps the previous (readable) snapshot in
+            // place and surfaces the condition as a storage error.
+            return Err(StorageError::RecordTooLarge {
+                bytes: snapshot_bytes.len(),
+            });
+        }
+        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
+        let dst = self.dir.join(SNAPSHOT_FILE);
+        let mut file = self.fs.create(&tmp)?;
+        file.write_all(snapshot_bytes)?;
+        file.sync()?;
+        drop(file);
+        self.fs.rename(&tmp, &dst)?;
+        self.fs.sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Deletes every segment with id < `below` (all fully covered by the
+    /// snapshot whose mark points into segment `below`). The manifest
+    /// advances *first*: a crash after the manifest update leaves
+    /// deletable leftovers the next open removes, while the reverse
+    /// order could leave a manifest claiming segments that are gone.
+    /// Returns how many segments were deleted.
+    pub fn prune_segments(&self, below: u64) -> Result<u64, StorageError> {
+        let stale: Vec<u64> = self
+            .fs
+            .list_dir(&self.dir)?
+            .iter()
+            .filter_map(|n| parse_segment_name(n))
+            .filter(|&id| id < below)
+            .collect();
+        if stale.is_empty() {
+            return Ok(0);
+        }
+        write_manifest(self.fs.as_ref(), &self.dir, below)?;
+        for &id in &stale {
+            self.fs.remove_file(&self.dir.join(segment_file_name(id)))?;
+        }
+        Ok(stale.len() as u64)
     }
 }
 
@@ -456,6 +818,7 @@ mod tests {
             dir: dir.to_path_buf(),
             fsync: FsyncPolicy::Never,
             snapshot_every,
+            segment_bytes: 0,
         }
     }
 
@@ -481,6 +844,8 @@ mod tests {
             for r in &records {
                 storage.append(r).unwrap();
             }
+            storage.commit().unwrap();
+            assert_eq!(storage.group_commits(), 1, "one group, one commit");
         }
         let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
         assert_eq!(recovery.records, records);
@@ -503,11 +868,15 @@ mod tests {
             storage
                 .append(&LogRecord::Unsubscribe(SubscriptionId(9)))
                 .unwrap();
+            storage.commit().unwrap();
         }
         // Tear the final record: chop 3 bytes off the file.
-        let wal_path = dir.join(WAL_FILE);
+        let wal_path = dir.join(segment_file_name(1));
         let len = std::fs::metadata(&wal_path).unwrap().len();
-        let file = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
         file.set_len(len - 3).unwrap();
         drop(file);
 
@@ -518,6 +887,7 @@ mod tests {
         storage
             .append(&LogRecord::Unsubscribe(SubscriptionId(2)))
             .unwrap();
+        storage.commit().unwrap();
         drop(storage);
         let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
         assert_eq!(recovery.records.len(), 2);
@@ -526,94 +896,233 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_truncates_log_and_reloads() {
-        use psc_core::SubsumptionChecker;
-        use psc_matcher::CoveringStore;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-
+    fn rotation_bounds_segments_and_replay_spans_them() {
         let schema = schema();
-        let dir = temp_dir("snap");
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut store = CoveringStore::new(SubsumptionChecker::default());
-        store.insert(SubscriptionId(1), sub(&schema, 0, 80), &mut rng);
-        store.insert(SubscriptionId(2), sub(&schema, 5, 10), &mut rng);
-
+        let dir = temp_dir("rotate");
+        let records: Vec<LogRecord> = (0..20)
+            .map(|i| LogRecord::Admit(vec![(SubscriptionId(i), sub(&schema, 0, 50))]))
+            .collect();
         {
-            let (mut storage, _) = ShardStorage::open(config(&dir, 2), &schema).unwrap();
-            storage
-                .append(&LogRecord::Admit(vec![
-                    (SubscriptionId(1), sub(&schema, 0, 80)),
-                    (SubscriptionId(2), sub(&schema, 5, 10)),
-                ]))
-                .unwrap();
-            assert!(!storage.snapshot_due());
-            storage
-                .append(&LogRecord::Unsubscribe(SubscriptionId(99)))
-                .unwrap();
-            assert!(storage.snapshot_due());
-            let bytes = snapshot::encode(&store, &schema, rng.state(), storage.wal_mark());
-            storage.write_snapshot(&bytes).unwrap();
-            assert_eq!(storage.records_since_snapshot(), 0);
-            assert_eq!(storage.snapshots_written(), 1);
+            let mut cfg = config(&dir, 0);
+            cfg.segment_bytes = 64; // tiny: force many rotations
+            let (mut storage, _) = ShardStorage::open(cfg, &schema).unwrap();
+            for r in &records {
+                storage.append(r).unwrap();
+            }
+            storage.commit().unwrap();
+            assert!(storage.segments_rotated() >= 3, "tiny cap rotates");
+            assert_eq!(storage.current_segment(), storage.segments_rotated() + 1);
         }
-        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
-
-        let (_, recovery) = ShardStorage::open(config(&dir, 2), &schema).unwrap();
-        let image = recovery.image.expect("snapshot loaded");
-        assert_eq!(image.rng_state, rng.state());
-        assert_eq!(image.entries.len(), 2);
-        assert!(recovery.records.is_empty());
+        // Replay across segments equals the single-log record sequence.
+        let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
+        assert_eq!(recovery.records, records);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn crash_between_snapshot_rename_and_truncation_skips_covered_prefix() {
+    fn missing_middle_segment_is_a_hard_error() {
+        let schema = schema();
+        let dir = temp_dir("gap");
+        {
+            let mut cfg = config(&dir, 0);
+            cfg.segment_bytes = 64;
+            let (mut storage, _) = ShardStorage::open(cfg, &schema).unwrap();
+            for i in 0..20 {
+                storage
+                    .append(&LogRecord::Admit(vec![(
+                        SubscriptionId(i),
+                        sub(&schema, 0, 50),
+                    )]))
+                    .unwrap();
+            }
+            storage.commit().unwrap();
+            assert!(storage.current_segment() >= 3);
+        }
+        std::fs::remove_file(dir.join(segment_file_name(2))).unwrap();
+        match ShardStorage::open(config(&dir, 0), &schema) {
+            Err(StorageError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("gap"), "{detail}");
+            }
+            other => panic!("expected gap corruption error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_a_hard_error() {
+        let schema = schema();
+        let dir = temp_dir("midrot");
+        {
+            let mut cfg = config(&dir, 0);
+            cfg.segment_bytes = 64;
+            let (mut storage, _) = ShardStorage::open(cfg, &schema).unwrap();
+            for i in 0..20 {
+                storage
+                    .append(&LogRecord::Admit(vec![(
+                        SubscriptionId(i),
+                        sub(&schema, 0, 50),
+                    )]))
+                    .unwrap();
+            }
+            storage.commit().unwrap();
+        }
+        // Flip a payload byte in segment 2 (a non-final segment).
+        let path = dir.join(segment_file_name(2));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match ShardStorage::open(config(&dir, 0), &schema) {
+            Err(StorageError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("non-final segment"), "{detail}");
+            }
+            other => panic!("expected mid-log corruption error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_sink_prunes_covered_segments() {
         use psc_core::SubsumptionChecker;
         use psc_matcher::CoveringStore;
         use rand::rngs::StdRng;
         use rand::SeedableRng;
 
         let schema = schema();
-        let dir = temp_dir("rename-window");
-        let covered = vec![
-            LogRecord::Admit(vec![(SubscriptionId(1), sub(&schema, 0, 80))]),
+        let dir = temp_dir("prune");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = CoveringStore::new(SubsumptionChecker::default());
+
+        let mut cfg = config(&dir, 2);
+        cfg.segment_bytes = 64;
+        let (mut storage, _) = ShardStorage::open(cfg.clone(), &schema).unwrap();
+        for i in 0..10u64 {
+            let s = sub(&schema, 0, 40 + i as i64);
+            storage
+                .append(&LogRecord::Admit(vec![(SubscriptionId(i), s.clone())]))
+                .unwrap();
+            store.insert(SubscriptionId(i), s, &mut rng);
+        }
+        storage.commit().unwrap();
+        assert!(storage.snapshot_due());
+        let mark = storage.wal_position();
+        assert!(mark.segment > 2, "rotation happened");
+
+        // What the background writer does: encode the frozen image, write
+        // it atomically, prune covered segments.
+        let entries: Vec<_> = store
+            .iter_entries()
+            .map(|(id, s, p)| (id, s.clone(), p.cloned()))
+            .collect();
+        let bytes = snapshot::encode_entries(&entries, &schema, rng.state(), mark);
+        let sink = storage.sink();
+        sink.write_snapshot(&bytes).unwrap();
+        let pruned = sink.prune_segments(mark.segment).unwrap();
+        assert_eq!(pruned, mark.segment - 1, "everything behind the mark");
+        storage.snapshot_dispatched();
+        assert_eq!(storage.records_since_snapshot(), 0);
+
+        // Append two more records after the snapshot, then reopen: the
+        // image restores and only the uncovered suffix replays.
+        let after: Vec<LogRecord> = (10..12u64)
+            .map(|i| LogRecord::Admit(vec![(SubscriptionId(i), sub(&schema, 0, 9))]))
+            .collect();
+        for r in &after {
+            storage.append(r).unwrap();
+        }
+        storage.commit().unwrap();
+        drop(storage);
+
+        let (reopened, recovery) = ShardStorage::open(cfg, &schema).unwrap();
+        let image = recovery.image.expect("snapshot loaded");
+        assert_eq!(image.rng_state, rng.state());
+        assert_eq!(image.entries.len(), 10);
+        assert_eq!(recovery.records, after);
+        assert_eq!(recovery.torn_tail_bytes, 0);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_prune_completes_on_open() {
+        use psc_core::SubsumptionChecker;
+        use psc_matcher::CoveringStore;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let schema = schema();
+        let dir = temp_dir("prune-crash");
+        let mut cfg = config(&dir, 0);
+        cfg.segment_bytes = 64;
+        let (mut storage, _) = ShardStorage::open(cfg.clone(), &schema).unwrap();
+        for i in 0..10u64 {
+            storage
+                .append(&LogRecord::Admit(vec![(
+                    SubscriptionId(i),
+                    sub(&schema, 0, 50),
+                )]))
+                .unwrap();
+        }
+        storage.commit().unwrap();
+        let mark = storage.wal_position();
+        assert!(mark.segment > 2);
+
+        // Snapshot lands, but the process "dies" before pruning: covered
+        // segments linger behind the mark.
+        let store = {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut s = CoveringStore::new(SubsumptionChecker::default());
+            for i in 0..10u64 {
+                s.insert(SubscriptionId(i), sub(&schema, 0, 50), &mut rng);
+            }
+            s
+        };
+        let bytes = snapshot::encode(&store, &schema, [1, 2, 3, 4], mark);
+        storage.sink().write_snapshot(&bytes).unwrap();
+        drop(storage);
+
+        let (reopened, recovery) = ShardStorage::open(cfg.clone(), &schema).unwrap();
+        assert!(recovery.image.is_some());
+        assert!(recovery.records.is_empty(), "everything covered");
+        assert_eq!(
+            reopened.pruned_on_open(),
+            mark.segment - 1,
+            "open completed the interrupted prune"
+        );
+        for id in 1..mark.segment {
+            assert!(!dir.join(segment_file_name(id)).exists());
+        }
+        drop(reopened);
+        // And the state is stable: a further reopen finds no leftovers.
+        let (reopened, _) = ShardStorage::open(cfg, &schema).unwrap();
+        assert_eq!(reopened.pruned_on_open(), 0);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_layout_migrates_on_open() {
+        let schema = schema();
+        let dir = temp_dir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pre-segmentation directory: a bare `wal.bin`, no manifest.
+        let records = vec![
+            LogRecord::Admit(vec![(SubscriptionId(1), sub(&schema, 0, 50))]),
             LogRecord::Unsubscribe(SubscriptionId(1)),
         ];
-        let after = LogRecord::Admit(vec![(SubscriptionId(2), sub(&schema, 5, 10))]);
-        {
-            let (mut storage, _) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
-            for r in &covered {
-                storage.append(r).unwrap();
-            }
-            // Simulate the crash window: the snapshot (covering the two
-            // records above) lands in place, but the process dies before
-            // `write_snapshot` would have truncated the log.
-            let store = CoveringStore::new(SubsumptionChecker::default());
-            let bytes = snapshot::encode(
-                &store,
-                &schema,
-                StdRng::seed_from_u64(9).state(),
-                storage.wal_mark(),
-            );
-            std::fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
-            storage.append(&after).unwrap();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&frame(&r.encode()));
         }
+        std::fs::write(dir.join(LEGACY_WAL_FILE), &bytes).unwrap();
+
         let (storage, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
-        assert!(recovery.image.is_some(), "snapshot loaded");
-        assert_eq!(
-            recovery.records,
-            vec![after.clone()],
-            "only the uncovered suffix is replayed"
-        );
-        assert_eq!(recovery.torn_tail_bytes, 0);
-        // The interrupted truncation was completed: the log now holds
-        // only the suffix, and a further reopen replays the same thing.
-        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
-        assert_eq!(wal_len, frame(&after.encode()).len() as u64);
+        assert_eq!(recovery.records, records);
+        assert_eq!(storage.current_segment(), 1);
+        assert!(!dir.join(LEGACY_WAL_FILE).exists(), "renamed to segment 1");
+        assert!(dir.join(segment_file_name(1)).exists());
+        assert!(dir.join(MANIFEST_FILE).exists());
         drop(storage);
-        let (_, recovery) = ShardStorage::open(config(&dir, 0), &schema).unwrap();
-        assert_eq!(recovery.records, vec![after]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -622,7 +1131,7 @@ mod tests {
         let schema = schema();
         let dir = temp_dir("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(SNAPSHOT_FILE), b"PSCSNAP1 not a snapshot").unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"PSCSNAP2 not a snapshot").unwrap();
         match ShardStorage::open(config(&dir, 0), &schema) {
             Err(StorageError::Corrupt { file, .. }) => {
                 assert!(file.ends_with(SNAPSHOT_FILE));
@@ -630,5 +1139,31 @@ mod tests {
             other => panic!("expected corruption error, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_without_manifest_are_an_error() {
+        let schema = schema();
+        let dir = temp_dir("no-manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(segment_file_name(3)), b"").unwrap();
+        match ShardStorage::open(config(&dir, 0), &schema) {
+            Err(StorageError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("manifest"), "{detail}");
+            }
+            other => panic!("expected manifest error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_file_name(1), "wal.000001.log");
+        assert_eq!(parse_segment_name("wal.000001.log"), Some(1));
+        assert_eq!(parse_segment_name("wal.1234567.log"), Some(1_234_567));
+        assert_eq!(parse_segment_name("wal.bin"), None);
+        assert_eq!(parse_segment_name("wal.00001.log"), None, "too few digits");
+        assert_eq!(parse_segment_name("wal.00000x.log"), None);
+        assert_eq!(parse_segment_name("snapshot.bin"), None);
     }
 }

@@ -14,9 +14,9 @@
 //! ```text
 //! ┌──────────────┬──────────────────────────────────────────┬──────────────────┐
 //! │ magic        │ body frame (u32 len, u32 crc32, body)    │ wal-mark frame   │
-//! │ "PSCSNAP1"   │   schema · rng state (4×u64) · u32 count │   u64 covered    │
-//! │              │   entries: kind u8 · id u64 ·            │   u32 prefix crc │
-//! │              │            [parent u64] · subscription   │                  │
+//! │ "PSCSNAP2"   │   schema · rng state (4×u64) · u32 count │   u64 segment    │
+//! │              │   entries: kind u8 · id u64 ·            │   u64 offset     │
+//! │              │            [parent u64] · subscription   │   u32 prefix crc │
 //! └──────────────┴──────────────────────────────────────────┴──────────────────┘
 //! ```
 //!
@@ -24,9 +24,18 @@
 //! the file is written to a temporary sibling then renamed into place,
 //! so a crash mid-snapshot leaves the previous snapshot intact; a
 //! snapshot that fails its checksum is reported as corruption, never
-//! silently served. The trailing [`WalMark`] identifies the log prefix
-//! the snapshot supersedes, closing the crash window between snapshot
-//! rename and log truncation (see `WalMark`'s docs).
+//! silently served. The trailing [`WalMark`] names the exact position in
+//! the segmented write-ahead log this snapshot covers up to: recovery
+//! replays from there, and segments entirely behind it are prunable (see
+//! [`super::ShardStorage`]'s recovery rules).
+//!
+//! Version 1 files (`PSCSNAP1`, written before the log was segmented)
+//! still decode: their mark counted bytes of the then-single log file,
+//! which maps onto segment 1 after the open-time migration renames
+//! `wal.bin` to the first segment. Decoders flag such marks as
+//! [`legacy`](DecodedSnapshot::legacy_mark) so recovery can apply the
+//! old, lenient prefix check (the pre-segmentation format truncated the
+//! log on snapshot, so a stale mark was normal, not corrupt).
 //!
 //! The shard's RNG state is part of the image: write-ahead-log records
 //! replayed *after* the snapshot then consume the exact random stream the
@@ -39,7 +48,11 @@ use psc_model::codec::{ByteReader, ByteWriter};
 use psc_model::{Schema, Subscription, SubscriptionId};
 
 /// Leading magic of a snapshot file (version-bearing).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PSCSNAP1";
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PSCSNAP2";
+
+/// Magic of the pre-segmentation snapshot format (still decoded; its
+/// byte-counting mark maps onto segment 1).
+pub const LEGACY_SNAPSHOT_MAGIC: &[u8; 8] = b"PSCSNAP1";
 
 const KIND_ACTIVE: u8 = 0;
 const KIND_COVERED_GROUP: u8 = 1;
@@ -56,41 +69,91 @@ pub struct StoreImage {
     pub rng_state: [u64; 4],
 }
 
-/// Identifies the write-ahead-log prefix a snapshot already covers.
+/// A position in the segmented write-ahead log: everything strictly
+/// before byte `offset` of segment `segment` (and every earlier segment
+/// in full) is covered by the snapshot carrying this mark.
 ///
-/// A snapshot is renamed into place *before* the log is truncated, so a
-/// crash between the two leaves the covered records in the log. The mark
-/// lets boot-time recovery recognize that exact state — the log's first
-/// `covered_bytes` bytes still checksum to `crc` — and skip the covered
-/// prefix instead of re-applying records the snapshot already contains,
-/// which would diverge from the live shard (re-admission consumes RNG
-/// draws and can re-shuffle the active/covered split). If the log was
-/// truncated (or truncated and refilled), the check fails and the whole
-/// log is replayed — also exact.
+/// `crc` is the CRC-32 of segment `segment`'s first `offset` bytes, so a
+/// log whose content diverged from what the snapshot covered (real
+/// corruption — segments are deleted whole, never truncated or
+/// rewritten) cannot masquerade as intact: recovery re-checksums the
+/// prefix and refuses to serve on mismatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalMark {
-    /// Log bytes (from file start) captured by the snapshot.
-    pub covered_bytes: u64,
-    /// CRC-32 of that prefix, so a refilled log cannot masquerade as an
-    /// un-truncated one.
+    /// Segment id the mark points into.
+    pub segment: u64,
+    /// Byte offset within that segment (frame-aligned by construction).
+    pub offset: u64,
+    /// CRC-32 of the segment's first `offset` bytes.
     pub crc: u32,
 }
 
+/// The result of [`decode`]: image, mark, and whether the mark came from
+/// a legacy (`PSCSNAP1`) file and therefore gets the old lenient
+/// prefix-check semantics on recovery.
+#[derive(Debug, Clone)]
+pub struct DecodedSnapshot {
+    /// The store image (entries + RNG state).
+    pub image: StoreImage,
+    /// The log position the snapshot covers up to.
+    pub mark: WalMark,
+    /// True for `PSCSNAP1` files, whose marks described a log that was
+    /// truncated on snapshot (a non-matching prefix meant "already
+    /// truncated", not corruption).
+    pub legacy_mark: bool,
+}
+
 /// Encodes a snapshot file image of `store` (including `rng_state` and
-/// the [`WalMark`] of the log prefix this snapshot supersedes).
+/// the [`WalMark`] of the log position this snapshot covers up to).
 pub fn encode(
     store: &CoveringStore,
     schema: &Schema,
     rng_state: [u64; 4],
     wal_mark: WalMark,
 ) -> Vec<u8> {
-    let mut body = ByteWriter::with_capacity(64 + store.len() * 40);
+    encode_iter(
+        store.iter_entries(),
+        store.len(),
+        schema,
+        rng_state,
+        wal_mark,
+    )
+}
+
+/// Encodes a snapshot from a frozen entry list (the off-thread snapshot
+/// writer's input: the shard clones its store's entries at a group
+/// boundary and hands them over, so encoding and file I/O happen off the
+/// admission path). Produces byte-identical output to [`encode`] on the
+/// same store state.
+pub fn encode_entries(
+    entries: &[(SubscriptionId, Subscription, Option<CoverParents>)],
+    schema: &Schema,
+    rng_state: [u64; 4],
+    wal_mark: WalMark,
+) -> Vec<u8> {
+    encode_iter(
+        entries.iter().map(|(id, sub, p)| (*id, sub, p.as_ref())),
+        entries.len(),
+        schema,
+        rng_state,
+        wal_mark,
+    )
+}
+
+fn encode_iter<'a>(
+    entries: impl Iterator<Item = (SubscriptionId, &'a Subscription, Option<&'a CoverParents>)>,
+    count: usize,
+    schema: &Schema,
+    rng_state: [u64; 4],
+    wal_mark: WalMark,
+) -> Vec<u8> {
+    let mut body = ByteWriter::with_capacity(64 + count * 40);
     body.schema(schema);
     for word in rng_state {
         body.u64(word);
     }
-    body.u32(store.len() as u32);
-    for (id, sub, parents) in store.iter_entries() {
+    body.u32(count as u32);
+    for (id, sub, parents) in entries {
         match parents {
             None => {
                 body.u8(KIND_ACTIVE);
@@ -108,8 +171,9 @@ pub fn encode(
         }
         body.subscription(sub);
     }
-    let mut mark = ByteWriter::with_capacity(12);
-    mark.u64(wal_mark.covered_bytes);
+    let mut mark = ByteWriter::with_capacity(20);
+    mark.u64(wal_mark.segment);
+    mark.u64(wal_mark.offset);
     mark.u32(wal_mark.crc);
     let mut file = SNAPSHOT_MAGIC.to_vec();
     file.extend_from_slice(&frame(body.bytes()));
@@ -123,8 +187,12 @@ pub fn encode(
 /// file is renamed into place only after a complete write, so any
 /// incomplete or checksum-failing content is corruption and surfaces as
 /// an error (with a human-readable detail string).
-pub fn decode(bytes: &[u8], schema: &Schema) -> Result<(StoreImage, WalMark), String> {
-    let Some(rest) = bytes.strip_prefix(SNAPSHOT_MAGIC.as_slice()) else {
+pub fn decode(bytes: &[u8], schema: &Schema) -> Result<DecodedSnapshot, String> {
+    let (rest, legacy_mark) = if let Some(rest) = bytes.strip_prefix(SNAPSHOT_MAGIC.as_slice()) {
+        (rest, false)
+    } else if let Some(rest) = bytes.strip_prefix(LEGACY_SNAPSHOT_MAGIC.as_slice()) {
+        (rest, true)
+    } else {
         return Err("snapshot magic missing or unsupported version".into());
     };
     let (payloads, span) = read_frames(rest);
@@ -132,9 +200,20 @@ pub fn decode(bytes: &[u8], schema: &Schema) -> Result<(StoreImage, WalMark), St
         return Err("snapshot body incomplete or checksum-corrupt".into());
     }
     let mut m = ByteReader::new(payloads[1]);
-    let wal_mark = WalMark {
-        covered_bytes: m.u64().map_err(|e| format!("snapshot wal mark: {e}"))?,
-        crc: m.u32().map_err(|e| format!("snapshot wal mark: {e}"))?,
+    let mark = if legacy_mark {
+        // The legacy mark counted bytes of the then-single `wal.bin`,
+        // which the open-time migration renames to segment 1.
+        WalMark {
+            segment: 1,
+            offset: m.u64().map_err(|e| format!("snapshot wal mark: {e}"))?,
+            crc: m.u32().map_err(|e| format!("snapshot wal mark: {e}"))?,
+        }
+    } else {
+        WalMark {
+            segment: m.u64().map_err(|e| format!("snapshot wal mark: {e}"))?,
+            offset: m.u64().map_err(|e| format!("snapshot wal mark: {e}"))?,
+            crc: m.u32().map_err(|e| format!("snapshot wal mark: {e}"))?,
+        }
     };
     if !m.is_empty() {
         return Err("trailing bytes after snapshot wal mark".into());
@@ -181,7 +260,11 @@ pub fn decode(bytes: &[u8], schema: &Schema) -> Result<(StoreImage, WalMark), St
     if !r.is_empty() {
         return Err("trailing bytes after snapshot entries".into());
     }
-    Ok((StoreImage { entries, rng_state }, wal_mark))
+    Ok(DecodedSnapshot {
+        image: StoreImage { entries, rng_state },
+        mark,
+        legacy_mark,
+    })
 }
 
 #[cfg(test)]
@@ -213,37 +296,92 @@ mod tests {
         let store = populated_store(&schema);
         let rng_state = StdRng::seed_from_u64(77).state();
         let mark = WalMark {
-            covered_bytes: 123,
+            segment: 7,
+            offset: 123,
             crc: 0xDEAD_BEEF,
         };
         let bytes = encode(&store, &schema, rng_state, mark);
-        let (image, back_mark) = decode(&bytes, &schema).unwrap();
-        assert_eq!(back_mark, mark);
-        assert_eq!(image.rng_state, rng_state);
+        let decoded = decode(&bytes, &schema).unwrap();
+        assert_eq!(decoded.mark, mark);
+        assert!(!decoded.legacy_mark);
+        assert_eq!(decoded.image.rng_state, rng_state);
         let original: Vec<_> = store
             .iter_entries()
             .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
             .collect();
-        assert_eq!(image.entries, original);
+        assert_eq!(decoded.image.entries, original);
         let rebuilt =
-            CoveringStore::from_entries(SubsumptionChecker::default(), image.entries).unwrap();
+            CoveringStore::from_entries(SubsumptionChecker::default(), decoded.image.entries)
+                .unwrap();
         assert_eq!(rebuilt.active_len(), store.active_len());
         assert_eq!(rebuilt.covered_len(), store.covered_len());
+    }
+
+    #[test]
+    fn encode_entries_matches_encode() {
+        let schema = Schema::uniform(2, 0, 99);
+        let store = populated_store(&schema);
+        let mark = WalMark {
+            segment: 2,
+            offset: 64,
+            crc: 1,
+        };
+        let frozen: Vec<_> = store
+            .iter_entries()
+            .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+            .collect();
+        assert_eq!(
+            encode(&store, &schema, [9, 8, 7, 6], mark),
+            encode_entries(&frozen, &schema, [9, 8, 7, 6], mark),
+            "frozen-entry encoding is byte-identical to direct store encoding"
+        );
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_decodes_with_segment_one_mark() {
+        let schema = Schema::uniform(2, 0, 99);
+        let store = populated_store(&schema);
+        let rng_state = StdRng::seed_from_u64(3).state();
+        // Build a V1 file by hand: V1 magic, same body, 12-byte mark.
+        let v2 = encode(&store, &schema, rng_state, WalMark::default_test());
+        let body_and_marks = &v2[SNAPSHOT_MAGIC.len()..];
+        let (payloads, _) = read_frames(body_and_marks);
+        let mut legacy_mark = ByteWriter::with_capacity(12);
+        legacy_mark.u64(456); // covered_bytes
+        legacy_mark.u32(0xFEED_F00D);
+        let mut v1 = LEGACY_SNAPSHOT_MAGIC.to_vec();
+        v1.extend_from_slice(&frame(payloads[0]));
+        v1.extend_from_slice(&frame(legacy_mark.bytes()));
+
+        let decoded = decode(&v1, &schema).unwrap();
+        assert!(decoded.legacy_mark);
+        assert_eq!(
+            decoded.mark,
+            WalMark {
+                segment: 1,
+                offset: 456,
+                crc: 0xFEED_F00D,
+            }
+        );
+        assert_eq!(decoded.image.rng_state, rng_state);
+        assert_eq!(decoded.image.entries.len(), store.len());
+    }
+
+    impl WalMark {
+        fn default_test() -> WalMark {
+            WalMark {
+                segment: 1,
+                offset: 0,
+                crc: 0,
+            }
+        }
     }
 
     #[test]
     fn corruption_is_detected() {
         let schema = Schema::uniform(2, 0, 99);
         let store = populated_store(&schema);
-        let bytes = encode(
-            &store,
-            &schema,
-            [1, 2, 3, 4],
-            WalMark {
-                covered_bytes: 0,
-                crc: 0,
-            },
-        );
+        let bytes = encode(&store, &schema, [1, 2, 3, 4], WalMark::default_test());
         // Bad magic.
         assert!(decode(&bytes[1..], &schema).is_err());
         // Flipped body byte (checksum catches it).
@@ -260,15 +398,7 @@ mod tests {
         let schema = Schema::uniform(2, 0, 99);
         let other = Schema::uniform(3, 0, 99);
         let store = populated_store(&schema);
-        let bytes = encode(
-            &store,
-            &schema,
-            [0; 4],
-            WalMark {
-                covered_bytes: 0,
-                crc: 0,
-            },
-        );
+        let bytes = encode(&store, &schema, [0; 4], WalMark::default_test());
         let err = decode(&bytes, &other).unwrap_err();
         assert!(err.contains("different schema"), "{err}");
     }

@@ -174,3 +174,365 @@ fn adversarial_domain_extremes_do_not_overflow() {
     assert!(s.size_exact().is_none(), "domain chosen to overflow u128");
     assert!(s.size().ln().is_finite());
 }
+
+/// Crash injection for the durable storage stack: a scripted shard
+/// workload runs over [`CrashFs`], which kills the filesystem at every
+/// possible mutating-operation boundary in turn — mid-append, between
+/// the appends of a commit group and its fsync, during segment rotation,
+/// during the snapshot tmp-write/rename, and during manifest advance and
+/// segment pruning. After each injected crash the directory is rebooted
+/// from what the crash model says survives, and the recovered store must
+/// equal a never-crashed reference that saw exactly some prefix of the
+/// script — at least the acknowledged prefix, at most what was actually
+/// appended. An acknowledged operation that fails to survive is a test
+/// failure, as is a recovery refusing to boot from crash debris.
+mod crash_injection {
+    use proptest::prelude::*;
+    use psc::core::SubsumptionChecker;
+    use psc::matcher::CoveringStore;
+    use psc::model::{Range, Schema, Subscription, SubscriptionId};
+    use psc::service::storage::{
+        snapshot, CrashFs, FsyncPolicy, LogRecord, ShardStorage, StorageConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    const RNG_SEED: u64 = 0x5eed_cafe;
+    /// Tiny cap so a ~60-byte subscription record rotates segments every
+    /// couple of appends — the sweep then crosses many rotation and
+    /// pruning boundaries in a short script.
+    const SEGMENT_BYTES: u64 = 96;
+    const SNAPSHOT_EVERY: u64 = 5;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 99)
+    }
+
+    fn checker() -> SubsumptionChecker {
+        SubsumptionChecker::builder()
+            .error_probability(1e-12)
+            .build()
+    }
+
+    fn config(fsync: FsyncPolicy, segment_bytes: u64) -> StorageConfig {
+        StorageConfig {
+            dir: PathBuf::from("/shard"),
+            fsync,
+            snapshot_every: SNAPSHOT_EVERY,
+            segment_bytes,
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Admit(u64),
+        Unsub(u64),
+    }
+
+    fn subscription(schema: &Schema, i: u64) -> Subscription {
+        let lo0 = (i * 13) % 80;
+        let hi0 = (lo0 + 3 + (i * 7) % 17).min(99);
+        let lo1 = (i * 29) % 70;
+        let hi1 = (lo1 + 2 + (i * 11) % 23).min(99);
+        Subscription::from_ranges(
+            schema,
+            vec![
+                Range::new(lo0 as i64, hi0 as i64).unwrap(),
+                Range::new(lo1 as i64, hi1 as i64).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A fixed mixed script: mostly admissions, an unsubscribe of an
+    /// earlier id every fifth op.
+    fn script(n: u64) -> Vec<Op> {
+        (0..n)
+            .map(|i| {
+                if i % 5 == 4 {
+                    Op::Unsub(i - 2)
+                } else {
+                    Op::Admit(i)
+                }
+            })
+            .collect()
+    }
+
+    fn record_of(schema: &Schema, op: &Op) -> LogRecord {
+        match op {
+            Op::Admit(i) => LogRecord::Admit(vec![(SubscriptionId(*i), subscription(schema, *i))]),
+            Op::Unsub(i) => LogRecord::Unsubscribe(SubscriptionId(*i)),
+        }
+    }
+
+    /// Applies one op the way the shard worker does: duplicate ids are
+    /// dropped before admission (so replay is idempotent) and removals of
+    /// absent ids are no-ops. Identical code drives the live run, the
+    /// recovery replay, and the reference store, so the deterministic RNG
+    /// streams stay aligned and store equality is exact.
+    fn apply_op(store: &mut CoveringStore, rng: &mut StdRng, schema: &Schema, op: &Op) {
+        match op {
+            Op::Admit(i) => {
+                let id = SubscriptionId(*i);
+                if !store.contains(id) {
+                    for _ in store.admit_batch(vec![(id, subscription(schema, *i))], rng) {}
+                }
+            }
+            Op::Unsub(i) => {
+                let _ = store.remove(SubscriptionId(*i), rng);
+            }
+        }
+    }
+
+    /// Runs the scripted workload against `fs` in commit groups of
+    /// varying size until completion or the first injected failure (the
+    /// simulated kill point — a real crash would not run recovery code in
+    /// the dying process either). Returns `(acked, applied)`: operations
+    /// covered by a successful commit — the durably acknowledged prefix —
+    /// and operations applied in memory when the run ended.
+    fn crash_run(
+        fs: &CrashFs,
+        schema: &Schema,
+        ops: &[Op],
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> (usize, usize) {
+        let opened =
+            ShardStorage::open_with_fs(config(fsync, segment_bytes), schema, Arc::new(fs.clone()));
+        let Ok((mut storage, recovery)) = opened else {
+            return (0, 0); // Crashed while opening the empty directory.
+        };
+        assert!(
+            recovery.image.is_none() && recovery.records.is_empty(),
+            "crash_run expects an empty directory"
+        );
+        let sink = storage.sink();
+        let mut store = CoveringStore::new(checker());
+        let mut rng = StdRng::seed_from_u64(RNG_SEED);
+        let (mut acked, mut applied) = (0usize, 0usize);
+        let group_sizes = [1usize, 3, 2, 4];
+        let mut next = 0usize;
+        let mut group = 0usize;
+        while next < ops.len() {
+            let take = group_sizes[group % group_sizes.len()].min(ops.len() - next);
+            group += 1;
+            for op in &ops[next..next + take] {
+                if storage.append(&record_of(schema, op)).is_err() {
+                    return (acked, applied);
+                }
+                apply_op(&mut store, &mut rng, schema, op);
+                applied += 1;
+            }
+            next += take;
+            if storage.commit().is_err() {
+                return (acked, applied);
+            }
+            acked = applied;
+            if storage.snapshot_due() {
+                // The harness writes snapshots synchronously (production
+                // uses the off-thread writer) so the sweep injects
+                // failures into every snapshot-side boundary too: the tmp
+                // write, the rename, the manifest advance, and each
+                // segment deletion.
+                let mark = storage.wal_position();
+                let entries: Vec<_> = store
+                    .iter_entries()
+                    .map(|(id, sub, parents)| (id, sub.clone(), parents.cloned()))
+                    .collect();
+                let bytes = snapshot::encode_entries(&entries, schema, rng.state(), mark);
+                storage.snapshot_dispatched();
+                if sink.write_snapshot(&bytes).is_err()
+                    || sink.prune_segments(mark.segment).is_err()
+                {
+                    return (acked, applied);
+                }
+            }
+        }
+        (acked, applied)
+    }
+
+    /// Boots from `view` (what the crash model says survived) and asserts
+    /// the recovered store equals the reference store after some prefix
+    /// `ops[..k]` with `floor <= k <= applied`: no surviving state below
+    /// the durability floor, nothing invented beyond what was appended.
+    fn assert_recovers_prefix(
+        view: CrashFs,
+        schema: &Schema,
+        ops: &[Op],
+        floor: usize,
+        applied: usize,
+        segment_bytes: u64,
+        label: &str,
+    ) {
+        let (storage, recovery) = ShardStorage::open_with_fs(
+            config(FsyncPolicy::Always, segment_bytes),
+            schema,
+            Arc::new(view),
+        )
+        .unwrap_or_else(|e| panic!("{label}: recovery refused to boot: {e}"));
+        drop(storage);
+        let (mut recovered, mut rng) = match recovery.image {
+            Some(image) => {
+                let rng = StdRng::from_state(image.rng_state);
+                let store = CoveringStore::from_entries(checker(), image.entries)
+                    .unwrap_or_else(|e| panic!("{label}: snapshot image rejected: {e}"));
+                (store, rng)
+            }
+            None => (
+                CoveringStore::new(checker()),
+                StdRng::seed_from_u64(RNG_SEED),
+            ),
+        };
+        for record in recovery.records {
+            match record {
+                LogRecord::Admit(batch) => {
+                    let fresh: Vec<_> = batch
+                        .into_iter()
+                        .filter(|(id, _)| !recovered.contains(*id))
+                        .collect();
+                    if !fresh.is_empty() {
+                        for _ in recovered.admit_batch(fresh, &mut rng) {}
+                    }
+                }
+                LogRecord::Unsubscribe(id) => {
+                    let _ = recovered.remove(id, &mut rng);
+                }
+            }
+        }
+        let got = recovered.snapshot();
+
+        let mut reference = CoveringStore::new(checker());
+        let mut ref_rng = StdRng::seed_from_u64(RNG_SEED);
+        for op in &ops[..floor] {
+            apply_op(&mut reference, &mut ref_rng, schema, op);
+        }
+        let mut k = floor;
+        loop {
+            if reference.snapshot() == got {
+                return;
+            }
+            assert!(
+                k < applied,
+                "{label}: recovered state ({} entries) matches no prefix ops[..k] \
+                 with {floor} <= k <= {applied} — an acknowledged operation was lost \
+                 or phantom state appeared",
+                got.len(),
+            );
+            apply_op(&mut reference, &mut ref_rng, schema, &ops[k]);
+            k += 1;
+        }
+    }
+
+    /// Tentpole sweep, power-loss model: with `FsyncPolicy::Always`, kill
+    /// the storage at *every* mutating-operation boundary of the scripted
+    /// run, keep only fsynced bytes (un-fsynced directory entries
+    /// vanish), and require recovery to preserve the acknowledged prefix
+    /// exactly.
+    #[test]
+    fn crash_sweep_power_loss_never_loses_acked_ops() {
+        let schema = schema();
+        let ops = script(40);
+        let clean = CrashFs::new();
+        let (acked, applied) = crash_run(&clean, &schema, &ops, FsyncPolicy::Always, SEGMENT_BYTES);
+        assert_eq!((acked, applied), (ops.len(), ops.len()));
+        let total = clean.ops();
+        // The script must be big enough to cross rotation, snapshot, and
+        // prune boundaries, or the sweep proves nothing.
+        assert!(total >= 60, "script exercises only {total} fs operations");
+        for fail_at in 0..total {
+            let fs = CrashFs::new();
+            fs.fail_at(fail_at);
+            let (acked, applied) =
+                crash_run(&fs, &schema, &ops, FsyncPolicy::Always, SEGMENT_BYTES);
+            assert!(fs.crashed(), "failpoint {fail_at} never tripped");
+            assert_recovers_prefix(
+                fs.power_loss_view(),
+                &schema,
+                &ops,
+                acked,
+                applied,
+                SEGMENT_BYTES,
+                &format!("power loss at fs op {fail_at}"),
+            );
+        }
+    }
+
+    /// Same sweep under the process-crash model: every written byte
+    /// survives (the page cache outlives the process), so even with
+    /// `FsyncPolicy::Never` recovery must come back with *exactly* the
+    /// applied prefix — appends are atomic in this model, and nothing
+    /// beyond the crash point exists to be recovered.
+    #[test]
+    fn crash_sweep_process_crash_recovers_every_applied_op() {
+        let schema = schema();
+        let ops = script(40);
+        let clean = CrashFs::new();
+        let (_, applied) = crash_run(&clean, &schema, &ops, FsyncPolicy::Never, SEGMENT_BYTES);
+        assert_eq!(applied, ops.len());
+        let total = clean.ops();
+        assert!(total >= 40, "script exercises only {total} fs operations");
+        for fail_at in 0..total {
+            let fs = CrashFs::new();
+            fs.fail_at(fail_at);
+            let (_, applied) = crash_run(&fs, &schema, &ops, FsyncPolicy::Never, SEGMENT_BYTES);
+            assert!(fs.crashed(), "failpoint {fail_at} never tripped");
+            assert_recovers_prefix(
+                fs.process_crash_view(),
+                &schema,
+                &ops,
+                applied,
+                applied,
+                SEGMENT_BYTES,
+                &format!("process crash at fs op {fail_at}"),
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Randomized variant: arbitrary admit/unsubscribe scripts (with
+        /// duplicate ids and removals of absent ids) and arbitrary
+        /// segment caps, swept under the power-loss model at a strided
+        /// subset of failpoints.
+        #[test]
+        fn crash_sweep_random_scripts_hold_the_ack_contract(
+            raw in proptest::collection::vec((0u64..4, 0u64..24), 8..40),
+            segment_bytes in 48u64..256,
+            stride in 1u64..4,
+            offset in 0u64..3,
+        ) {
+            let schema = schema();
+            // Three admissions for every unsubscribe, with duplicate ids
+            // and removals of absent ids all in play.
+            let ops: Vec<Op> = raw
+                .into_iter()
+                .map(|(kind, i)| if kind > 0 { Op::Admit(i) } else { Op::Unsub(i) })
+                .collect();
+            let clean = CrashFs::new();
+            let (acked, applied) =
+                crash_run(&clean, &schema, &ops, FsyncPolicy::Always, segment_bytes);
+            prop_assert_eq!((acked, applied), (ops.len(), ops.len()));
+            let total = clean.ops();
+            let mut fail_at = offset.min(total.saturating_sub(1));
+            while fail_at < total {
+                let fs = CrashFs::new();
+                fs.fail_at(fail_at);
+                let (acked, applied) =
+                    crash_run(&fs, &schema, &ops, FsyncPolicy::Always, segment_bytes);
+                assert_recovers_prefix(
+                    fs.power_loss_view(),
+                    &schema,
+                    &ops,
+                    acked,
+                    applied,
+                    segment_bytes,
+                    &format!("random script, power loss at fs op {fail_at}"),
+                );
+                fail_at += stride;
+            }
+        }
+    }
+}

@@ -5,15 +5,17 @@
 //! `data_dir` is indistinguishable from a reference service that never
 //! crashed — same membership, same active/covered split, same match
 //! results. Covered separately: recovery from the write-ahead log alone
-//! (snapshots disabled), recovery through snapshot + log-suffix replay,
-//! a deliberately torn final WAL record (truncated, not fatal), trailing
-//! garbage after valid records, and the full TCP `ServiceServer` restart
-//! path against naive-matcher ground truth.
+//! (snapshots disabled), recovery through snapshot + log-suffix replay
+//! spanning several rotated segments, a deliberately torn final WAL
+//! record (truncated, not fatal), trailing garbage after valid records,
+//! a kill mid-snapshot-write (boots from the previous intact snapshot),
+//! admissions racing the background snapshot writer, and the full TCP
+//! `ServiceServer` restart path against naive-matcher ground truth.
 
 use proptest::prelude::*;
 use psc::matcher::NaiveMatcher;
 use psc::model::{Publication, Range, Schema, Subscription, SubscriptionId};
-use psc::service::storage::FsyncPolicy;
+use psc::service::storage::{segment_file_name, FsyncPolicy};
 use psc::service::{PubSubService, ServiceClient, ServiceConfig, ServiceServer};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -182,7 +184,7 @@ fn torn_final_wal_record_loses_only_the_torn_operation() {
         let _ = durable.metrics(); // barrier: all records appended
     }
     // Tear the last record: chop a few bytes off the log's tail.
-    let wal = dir.join("shard-0").join("wal.bin");
+    let wal = dir.join("shard-0").join(segment_file_name(1));
     let len = std::fs::metadata(&wal).unwrap().len();
     let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
     file.set_len(len - 5).unwrap();
@@ -220,7 +222,7 @@ fn trailing_garbage_after_valid_records_is_dropped() {
         let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
         apply(&durable, &schema, &ops);
     }
-    let wal = dir.join("shard-0").join("wal.bin");
+    let wal = dir.join("shard-0").join(segment_file_name(1));
     let mut bytes = std::fs::read(&wal).unwrap();
     bytes.extend_from_slice(&[0xAB, 0xCD, 0xEF]); // partial frame header
     std::fs::write(&wal, &bytes).unwrap();
@@ -238,11 +240,33 @@ fn trailing_garbage_after_valid_records_is_dropped() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Snapshots actually happen at the configured cadence, truncate the log,
-/// and the snapshot-restore path (not just WAL replay) reproduces the
-/// store.
+/// Polls service metrics until `done` returns true for the shard totals
+/// (each call wakes the shard workers, which absorb finished background
+/// snapshot outcomes at group boundaries). Panics on timeout.
+fn wait_for_totals(
+    service: &PubSubService,
+    what: &str,
+    done: impl Fn(&psc::service::ShardMetrics) -> bool,
+) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let totals = service.metrics().totals();
+        if done(&totals) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}; totals: {totals:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// Snapshots happen at the configured cadence (on the background writer
+/// thread), prune the segments they cover, and the snapshot-restore path
+/// (not just WAL replay) reproduces the store.
 #[test]
-fn snapshot_cadence_truncates_log_and_restores() {
+fn snapshot_cadence_prunes_segments_and_restores() {
     let schema = schema();
     let dir = temp_dir("cadence");
     let config = ServiceConfig {
@@ -251,6 +275,8 @@ fn snapshot_cadence_truncates_log_and_restores() {
         data_dir: Some(dir.clone()),
         fsync: FsyncPolicy::Never,
         snapshot_every: 3,
+        // Tiny segments so snapshots actually retire covered segments.
+        wal_segment_bytes: 256,
         ..Default::default()
     };
     let ops = subscribe_ops(40);
@@ -258,11 +284,13 @@ fn snapshot_cadence_truncates_log_and_restores() {
         let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
         apply(&durable, &schema, &ops);
         durable.flush();
+        // Snapshots are written off-thread: poll until both the write
+        // and the pruning it unlocks have been absorbed into metrics.
+        wait_for_totals(&durable, "a background snapshot and a prune", |t| {
+            t.snapshots_written > 0 && t.wal_segments_pruned > 0
+        });
         let totals = durable.metrics().totals();
-        assert!(
-            totals.snapshots_written > 0,
-            "cadence of 3 over 40 subscriptions must have snapshotted"
-        );
+        assert!(totals.wal_segments_rotated > 0, "256-byte cap must rotate");
         assert_eq!(totals.storage_errors, 0);
     }
     for shard in 0..2 {
@@ -284,6 +312,220 @@ fn snapshot_cadence_truncates_log_and_restores() {
     apply(&reference, &schema, &ops);
     assert_equivalent(&rebuilt, &reference, &schema);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// With a tiny segment cap and snapshots disabled, the log rotates into
+/// several segments and recovery replays across every boundary — the
+/// result must equal a never-crashed reference, exactly as if the log
+/// were one file.
+#[test]
+fn replay_spans_rotated_segments_and_matches_reference() {
+    let schema = schema();
+    let dir = temp_dir("segments");
+    let config = ServiceConfig {
+        shards: 1,
+        batch_size: 1,
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+        wal_segment_bytes: 128,
+        ..Default::default()
+    };
+    let ops = subscribe_ops(30);
+    {
+        let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
+        apply(&durable, &schema, &ops);
+    }
+    let segments = std::fs::read_dir(dir.join("shard-0"))
+        .unwrap()
+        .filter(|e| {
+            let name = e.as_ref().unwrap().file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("wal.") && name.ends_with(".log")
+        })
+        .count();
+    assert!(
+        segments >= 3,
+        "30 records over a 128-byte cap must span >= 3 segments, found {segments}"
+    );
+    let rebuilt = PubSubService::open(schema.clone(), config.clone()).unwrap();
+    let reference = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            data_dir: None,
+            ..config
+        },
+    );
+    apply(&reference, &schema, &ops);
+    assert_equivalent(&rebuilt, &reference, &schema);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash in the middle of writing a snapshot leaves a partial
+/// `snapshot.tmp` next to the previous intact `snapshot.bin`. The reboot
+/// must ignore the debris and recover from the intact snapshot plus the
+/// (never truncated at snapshot time) log suffix.
+#[test]
+fn mid_snapshot_kill_boots_from_previous_intact_snapshot() {
+    let schema = schema();
+    let dir = temp_dir("midsnap");
+    let config = ServiceConfig {
+        shards: 1,
+        batch_size: 2,
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 4,
+        wal_segment_bytes: 256,
+        ..Default::default()
+    };
+    let ops = subscribe_ops(24);
+    {
+        let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
+        apply(&durable, &schema, &ops);
+        durable.flush();
+        wait_for_totals(&durable, "a background snapshot", |t| {
+            t.snapshots_written > 0
+        });
+    }
+    // Simulate the kill: a half-written tmp file that never reached its
+    // rename. Recovery must not even look at it.
+    std::fs::write(
+        dir.join("shard-0").join("snapshot.tmp"),
+        b"PSCSNAP2 interrupted mid-write",
+    )
+    .unwrap();
+    let rebuilt = PubSubService::open(schema.clone(), config.clone()).unwrap();
+    let reference = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            data_dir: None,
+            ..config
+        },
+    );
+    apply(&reference, &schema, &ops);
+    assert_equivalent(&rebuilt, &reference, &schema);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Admissions racing the background snapshot writer: with a snapshot
+/// dispatched at practically every group boundary, subscribes,
+/// unsubscribes, and publishes keep flowing while images are being
+/// encoded and written off-thread. Nothing deadlocks, later operations
+/// never leak into earlier frozen images, and a restart reproduces the
+/// reference exactly.
+#[test]
+fn admissions_racing_background_snapshots_recover_exactly() {
+    let schema = schema();
+    let dir = temp_dir("race");
+    let config = ServiceConfig {
+        shards: 2,
+        batch_size: 1,
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 1, // a snapshot is due after every record
+        wal_segment_bytes: 192,
+        error_probability: 1e-12,
+        ..Default::default()
+    };
+    let ops: Vec<Op> = (0..120u64)
+        .map(|i| {
+            if i % 7 == 6 {
+                Op::Unsubscribe(i - 3)
+            } else {
+                let lo = (i as i64 * 13) % 70;
+                Op::Subscribe(i, (lo, lo + 20), ((i as i64 * 5) % 60, 99))
+            }
+        })
+        .collect();
+    {
+        let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
+        for (i, chunk) in ops.chunks(10).enumerate() {
+            apply(&durable, &schema, chunk);
+            // Interleave reads so scrapes and publishes race the writer
+            // too, and give the writer thread slices to finish jobs so
+            // multiple images get written during the run.
+            let p = Publication::builder(&schema)
+                .set("x0", (i as i64 * 17) % 100)
+                .set("x1", (i as i64 * 23) % 100)
+                .build()
+                .unwrap();
+            durable.publish(&p).unwrap();
+            std::thread::yield_now();
+        }
+        durable.flush();
+        wait_for_totals(&durable, "several background snapshots", |t| {
+            t.snapshots_written >= 2
+        });
+        assert_eq!(durable.metrics().totals().storage_errors, 0);
+    }
+    let rebuilt = PubSubService::open(schema.clone(), config.clone()).unwrap();
+    let reference = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            data_dir: None,
+            ..config.clone()
+        },
+    );
+    apply(&reference, &schema, &ops);
+    assert_equivalent(&rebuilt, &reference, &schema);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The durability barrier and the graceful-stop path: `barrier()` blocks
+/// until every previously applied operation is committed (it would hang
+/// forever if group commit failed to release deferred acks), unsubscribe
+/// acknowledgements come back after their covering commit, and a drop
+/// right after the last admission still flushes the pending group.
+#[test]
+fn barrier_and_shutdown_flush_the_pending_group() {
+    let schema = schema();
+    let dir = temp_dir("barrier");
+    let config = ServiceConfig {
+        shards: 2,
+        batch_size: 8,
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Always,
+        snapshot_every: 0,
+        ..Default::default()
+    };
+    let ops = subscribe_ops(20);
+    {
+        let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
+        assert!(durable.is_durable());
+        apply(&durable, &schema, &ops);
+        durable.barrier();
+        let totals = durable.metrics().totals();
+        assert!(
+            totals.wal_group_commits >= 1,
+            "a barrier implies at least one commit group"
+        );
+        // Admissions batch up to `batch_size` per record: 20 subscribes
+        // over 2 shards at batch_size 8 is a handful of records, not 20.
+        assert!(totals.wal_records_appended >= 2);
+        // A deferred unsubscribe ack arrives (after its commit), and
+        // reports the membership truthfully.
+        assert!(durable.unsubscribe(SubscriptionId(7)));
+        assert!(!durable.unsubscribe(SubscriptionId(999)));
+        // Admissions right before drop: the shutdown path must commit
+        // this last group and release its acks before the worker exits.
+        apply(&durable, &schema, &subscribe_ops_from(20, 5));
+    }
+    let rebuilt = PubSubService::open(schema.clone(), config.clone()).unwrap();
+    assert_eq!(
+        rebuilt.metrics().totals().subscriptions_recovered,
+        24,
+        "20 subscribed - 1 unsubscribed + 5 at shutdown"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn subscribe_ops_from(start: u64, n: u64) -> Vec<Op> {
+    (start..start + n)
+        .map(|i| {
+            let lo = (i as i64 * 11) % 80;
+            Op::Subscribe(i, (lo, lo + 15), (0, 99 - (i as i64 % 30)))
+        })
+        .collect()
 }
 
 /// The full TCP path: a `ServiceServer` stopped and rebound on the same
