@@ -92,6 +92,15 @@ struct Spec {
     /// `Some(policy)` gives the server a write-ahead log in a scratch
     /// `data_dir` under that fsync policy; `None` runs in memory.
     fsync: Option<FsyncPolicy>,
+    /// Shard count for this scenario's server. Most scenarios keep the
+    /// historical 2 (their trajectory baselines were recorded there);
+    /// the `uniform` pruning pair runs at 8, where placement's shard
+    /// specialization has room to show.
+    shards: usize,
+    /// Whether the server routes subscriptions with greedy content-aware
+    /// placement (the service default) or the hash baseline. Reported as
+    /// the `"placement"` tag.
+    placement: bool,
 }
 
 impl Spec {
@@ -148,6 +157,8 @@ fn specs(smoke: bool, filter: ProtoFilter, durability: bool) -> Vec<Spec> {
         churn_wave_conns: wave_conns,
         slow_consumers: slow,
         fsync: None,
+        shards: 2,
+        placement: true,
     };
     use ClientProtocol::{Binary, Json as Jsonp};
     let mut all = if smoke {
@@ -373,6 +384,37 @@ fn specs(smoke: bool, filter: ProtoFilter, durability: bool) -> Vec<Spec> {
             ),
         ]
     };
+    // The placement pruning matrix: the *uniform* workload (no topic
+    // skew — the one where hash placement prunes ~nothing because every
+    // shard's summary looks alike) at 8 shards, with greedy content-
+    // aware placement on and off, per protocol. The report validator
+    // enforces the pruning invariant on the placement-on runs: at least
+    // 40% of shard visits pruned.
+    let (un_conns, un_per, un_pubr, un_pubs) = if smoke {
+        (30, 2, 2, 120)
+    } else {
+        (1200, 2, 4, 2500)
+    };
+    for placement in [true, false] {
+        for proto in [Jsonp, Binary] {
+            let mut uniform = spec(
+                "uniform",
+                proto,
+                6,
+                Workload::Uniform,
+                un_conns,
+                un_per,
+                un_pubr,
+                un_pubs,
+                0,
+                0,
+                0,
+            );
+            uniform.shards = 8;
+            uniform.placement = placement;
+            all.push(uniform);
+        }
+    }
     if durability {
         // The durable matrix: the throughput scenarios re-run against a
         // WAL-backed server under both fsync policies. `steady` fronts a
@@ -426,6 +468,14 @@ fn proto_name(proto: ClientProtocol) -> &'static str {
     match proto {
         ClientProtocol::Json => "json",
         ClientProtocol::Binary => "binary",
+    }
+}
+
+fn placement_name(placement: bool) -> &'static str {
+    if placement {
+        "on"
+    } else {
+        "off"
     }
 }
 
@@ -560,7 +610,8 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         seed,
     );
 
-    let mut config = ServiceConfig::with_shards(2);
+    let mut config = ServiceConfig::with_shards(spec.shards);
+    config.placement_enabled = spec.placement;
     config.max_connections =
         spec.subscriber_conns + spec.publishers + spec.churn_wave_conns + spec.slow_consumers + 16;
     config.idle_timeout = None;
@@ -730,17 +781,27 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         ));
     }
 
+    // Routing effectiveness: of the `publishes × shards` potential shard
+    // visits, how many did the router's summaries prove pointless? This
+    // is the number the placement tentpole moves on the uniform workload.
+    let shard_visits_pruned = metrics.totals().shards_pruned;
+    let pruned_fraction = shard_visits_pruned as f64
+        / (metrics.publications_total * spec.shards as u64).max(1) as f64;
+
     let throughput = publishes as f64 / elapsed.as_secs_f64();
     eprintln!(
-        "[loadgen] {}[{},fsync={}]: {} conns, subscribe {:.2}s, {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
+        "[loadgen] {}[{},fsync={},placement={}]: {} conns, {} shards, subscribe {:.2}s, {} pubs in {:.2}s ({:.0}/s), {:.1}% visits pruned, client p50={}ns p99={}ns, server e2e p50={}ns p99={}ns",
         spec.name,
         proto_name(spec.proto),
         fsync_name(spec.fsync),
+        placement_name(spec.placement),
         reactor.connections_accepted,
+        spec.shards,
         subscribe_elapsed.as_secs_f64(),
         publishes,
         elapsed.as_secs_f64(),
         throughput,
+        pruned_fraction * 100.0,
         rtt.quantile(0.50),
         rtt.quantile(0.99),
         latency.end_to_end.p50_ns,
@@ -751,6 +812,13 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
         ("name", Json::Str(spec.name.into())),
         ("protocol", Json::Str(proto_name(spec.proto).into())),
         ("fsync_policy", Json::Str(fsync_name(spec.fsync).into())),
+        (
+            "placement",
+            Json::Str(placement_name(spec.placement).into()),
+        ),
+        ("shards", Json::UInt(spec.shards as u64)),
+        ("shard_visits_pruned", Json::UInt(shard_visits_pruned)),
+        ("pruned_fraction", Json::Float(pruned_fraction)),
         ("connections", Json::UInt(reactor.connections_accepted)),
         ("subscriptions", Json::UInt(fleet_subscribed + churned_subs)),
         // Time to load the fleet's subscriptions, through a durability
@@ -798,7 +866,7 @@ fn usage() -> &'static str {
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut durability = false;
-    let mut out = PathBuf::from("BENCH_8.json");
+    let mut out = PathBuf::from("BENCH_9.json");
     let mut filter = ProtoFilter::Both;
     let mut validate: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -886,7 +954,7 @@ fn main() -> ExitCode {
     }
     let report = Json::obj([
         ("bench", Json::Str("loadgen".into())),
-        ("issue", Json::UInt(8)),
+        ("issue", Json::UInt(9)),
         (
             "mode",
             Json::Str(if smoke { "smoke" } else { "full" }.into()),

@@ -219,7 +219,13 @@ pub fn semantic_fixture(
 /// server never actually decoded. The optional `"fsync_policy"` tag
 /// (from `loadgen --durability` scenarios) must be `"none"`, `"always"`,
 /// or `"never"` — absent means `"none"`, an in-memory server with no
-/// write-ahead log. Both the loadgen binary (before
+/// write-ahead log. The optional `"placement"` tag must be `"on"` or
+/// `"off"` (absent means a pre-placement report); when present it
+/// requires the routing-effectiveness keys (`shards`,
+/// `shard_visits_pruned`, `pruned_fraction` in `[0, 1]`), and a
+/// placement-on scenario named `uniform` must carry a `pruned_fraction`
+/// of at least 0.4 — the content-aware placement claim, self-validated
+/// in every committed report. Both the loadgen binary (before
 /// writing a report) and CI (after running the smoke mode) call this,
 /// so a report that drifts from the documented schema fails loudly in
 /// both places.
@@ -297,6 +303,36 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
                 }
             }
         }
+        // The placement tag (absent on pre-placement reports) brings the
+        // routing-effectiveness keys with it, and the placement-on
+        // `uniform` scenario must actually demonstrate the pruning the
+        // tentpole claims: at least 40% of shard visits provably skipped
+        // on the workload where hash placement prunes ~nothing.
+        if let Some(p) = scenario.get("placement") {
+            let placement = match p.as_str() {
+                Some(p @ ("on" | "off")) => p,
+                _ => {
+                    return Err(format!(
+                        "scenario \"{name}\": \"placement\" must be \"on\" or \"off\""
+                    ))
+                }
+            };
+            u64_field(scenario, "shards").map_err(tag)?;
+            u64_field(scenario, "shard_visits_pruned").map_err(tag)?;
+            let pruned = f64_field(scenario, "pruned_fraction").map_err(tag)?;
+            if !(0.0..=1.0).contains(&pruned) {
+                return Err(format!(
+                    "scenario \"{name}\": pruned_fraction {pruned} outside [0, 1]"
+                ));
+            }
+            if name == "uniform" && placement == "on" && pruned < 0.4 {
+                return Err(format!(
+                    "scenario \"{name}\": placement-on uniform run pruned only \
+                     {:.1}% of shard visits (< 40%)",
+                    pruned * 100.0
+                ));
+            }
+        }
         if u64_field(scenario, "connections").map_err(tag)? == 0 {
             return Err(format!("scenario \"{name}\": no connections"));
         }
@@ -342,8 +378,9 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
 /// [`diff_bench_reports`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchComparison {
-    /// `name[protocol]` (in-memory) or `name[protocol,fsync=POLICY]`
-    /// (durable) of the scenario both reports carry.
+    /// `name[protocol]` (in-memory, placement on) with `,fsync=POLICY`
+    /// (durable) and/or `,placement=off` (hash placement) suffixes for
+    /// the non-default variants of the scenario both reports carry.
     pub scenario: String,
     /// Which metric: `throughput_pubs_per_sec`, `client_rtt_p99_ns`, or
     /// `server_e2e_p99_ns`.
@@ -379,10 +416,13 @@ impl std::fmt::Display for BenchComparison {
 /// Diffs two loadgen reports along the benchmark trajectory
 /// (`BENCH_{N-1}.json` vs `BENCH_N.json`).
 ///
-/// Scenarios are matched by `(name, protocol, fsync_policy)` —
-/// `protocol` defaults to `"json"` so pre-protocol reports pair with
-/// their json successors, and `fsync_policy` defaults to `"none"` so
-/// pre-durability reports pair with their in-memory successors —
+/// Scenarios are matched by `(name, protocol, fsync_policy, placement)`
+/// — `protocol` defaults to `"json"` so pre-protocol reports pair with
+/// their json successors, `fsync_policy` defaults to `"none"` so
+/// pre-durability reports pair with their in-memory successors, and
+/// `placement` defaults to `"on"` so pre-placement reports pair with
+/// their placement-on successors (hash placement was the routing the
+/// old reports measured on skewed workloads, where both behave alike) —
 /// and each matched pair yields three [`BenchComparison`]s: steady
 /// publish throughput (a drop beyond `tolerance` regresses), client
 /// round-trip p99, and server e2e p99 (a rise beyond `tolerance`
@@ -413,13 +453,19 @@ pub fn diff_bench_reports(
                     .get("fsync_policy")
                     .and_then(Json::as_str)
                     .unwrap_or("none");
-                // In-memory scenarios keep the historical `name[protocol]`
-                // key so they pair with pre-durability baselines.
-                let key = if fsync == "none" {
-                    format!("{name}[{protocol}]")
-                } else {
-                    format!("{name}[{protocol},fsync={fsync}]")
-                };
+                let placement = s.get("placement").and_then(Json::as_str).unwrap_or("on");
+                // In-memory placement-on scenarios keep the historical
+                // `name[protocol]` key so they pair with pre-durability
+                // (and pre-placement) baselines; only the non-default
+                // variants grow a suffix.
+                let mut opts = String::new();
+                if fsync != "none" {
+                    opts.push_str(&format!(",fsync={fsync}"));
+                }
+                if placement == "off" {
+                    opts.push_str(",placement=off");
+                }
+                let key = format!("{name}[{protocol}{opts}]");
                 Ok((key, s))
             })
             .collect()
@@ -796,6 +842,142 @@ mod tests {
             validate_bench_report(&report(scenario("sometimes"))).is_err(),
             "unknown fsync policy"
         );
+    }
+
+    #[test]
+    fn validator_checks_placement_tag_and_uniform_pruning_gate() {
+        let stage = |count: u64| {
+            Json::obj([
+                ("count", Json::UInt(count)),
+                ("p50", Json::UInt(100)),
+                ("p90", Json::UInt(200)),
+                ("p99", Json::UInt(400)),
+                ("p999", Json::UInt(480)),
+                ("max", Json::UInt(500)),
+            ])
+        };
+        let scenario = |name: &str, placement: &str, pruned: f64| {
+            Json::obj([
+                ("name", Json::Str(name.into())),
+                ("placement", Json::Str(placement.into())),
+                ("shards", Json::UInt(8)),
+                (
+                    "shard_visits_pruned",
+                    Json::UInt((pruned * 800.0).max(0.0) as u64),
+                ),
+                ("pruned_fraction", Json::Float(pruned)),
+                ("connections", Json::UInt(10)),
+                ("subscriptions", Json::UInt(20)),
+                ("publishes", Json::UInt(100)),
+                ("elapsed_secs", Json::Float(0.5)),
+                ("throughput_pubs_per_sec", Json::Float(200.0)),
+                ("client_rtt", stage(100)),
+                (
+                    "server",
+                    Json::obj([
+                        ("publications_total", Json::UInt(100)),
+                        (
+                            "latency",
+                            Json::obj([("e2e", stage(100)), ("decode", stage(100))]),
+                        ),
+                    ]),
+                ),
+            ])
+        };
+        let report = |s: Json| {
+            Json::obj([
+                ("bench", Json::Str("loadgen".into())),
+                ("issue", Json::UInt(9)),
+                ("mode", Json::Str("smoke".into())),
+                ("shards", Json::UInt(2)),
+                ("scenarios", Json::Arr(vec![s])),
+            ])
+        };
+        // The pruning gate: placement-on uniform runs must show the
+        // effect; hash (placement-off) runs are allowed to prune nothing.
+        assert_eq!(
+            validate_bench_report(&report(scenario("uniform", "on", 0.55))),
+            Ok(())
+        );
+        assert!(
+            validate_bench_report(&report(scenario("uniform", "on", 0.2))).is_err(),
+            "placement-on uniform below 40% pruning"
+        );
+        assert_eq!(
+            validate_bench_report(&report(scenario("uniform", "off", 0.02))),
+            Ok(())
+        );
+        // Other scenarios carry the tags without the uniform gate.
+        assert_eq!(
+            validate_bench_report(&report(scenario("steady", "on", 0.0))),
+            Ok(())
+        );
+        assert!(
+            validate_bench_report(&report(scenario("uniform", "sideways", 0.5))).is_err(),
+            "unknown placement tag"
+        );
+        assert!(
+            validate_bench_report(&report(scenario("uniform", "on", 1.5))).is_err(),
+            "pruned_fraction outside [0, 1]"
+        );
+        // The tag requires its companion keys.
+        let mut missing = scenario("uniform", "on", 0.5);
+        if let Json::Obj(pairs) = &mut missing {
+            pairs.retain(|(k, _)| k != "pruned_fraction");
+        }
+        assert!(
+            validate_bench_report(&report(missing)).is_err(),
+            "placement tag without pruned_fraction"
+        );
+    }
+
+    #[test]
+    fn diff_pairs_placement_scenarios_by_tag() {
+        let tagged = |name: &str, placement: &str, tput: f64, p99: u64| {
+            let mut s = diff_scenario(name, Some("json"), tput, p99);
+            if let Json::Obj(pairs) = &mut s {
+                pairs.push(("placement".to_string(), Json::Str(placement.into())));
+            }
+            s
+        };
+        let report = |scenarios: Vec<Json>| Json::obj([("scenarios", Json::Arr(scenarios))]);
+        // The previous report predates placement tags entirely.
+        let prev = report(vec![diff_scenario(
+            "steady",
+            Some("json"),
+            20_000.0,
+            40_000,
+        )]);
+        let cur = report(vec![
+            tagged("steady", "on", 21_000.0, 39_000),
+            tagged("uniform", "on", 30_000.0, 20_000),
+            tagged("uniform", "off", 29_000.0, 21_000),
+        ]);
+        let comparisons = diff_bench_reports(&prev, &cur, 0.2).expect("well-formed");
+        // Placement-on pairs with the untagged baseline; the uniform
+        // scenarios are new (both keys) and skipped.
+        assert_eq!(comparisons.len(), 3);
+        assert!(comparisons.iter().all(|c| c.scenario == "steady[json]"));
+        // Across two tagged reports, off pairs only with off.
+        let prev2 = report(vec![
+            tagged("uniform", "on", 30_000.0, 20_000),
+            tagged("uniform", "off", 20_000.0, 30_000),
+        ]);
+        let cur2 = report(vec![
+            tagged("uniform", "on", 31_000.0, 19_000),
+            tagged("uniform", "off", 10_000.0, 30_000),
+        ]);
+        let comparisons = diff_bench_reports(&prev2, &cur2, 0.2).expect("well-formed");
+        assert_eq!(comparisons.len(), 6);
+        assert!(comparisons
+            .iter()
+            .any(|c| c.scenario == "uniform[json,placement=off]"
+                && c.metric == "throughput_pubs_per_sec"
+                && c.regression));
+        assert!(comparisons
+            .iter()
+            .filter(|c| c.scenario == "uniform[json]")
+            .all(|c| !c.regression));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! - [`SchemaDto`] — `[["name", lo, hi], ...]`;
 //! - [`SummaryStats`] — per-shard routing-summary counters flattened into
 //!   `stats` shard objects (`summary_epoch` / `summary_rebuilds` /
-//!   `summary_staleness`);
+//!   `summary_staleness` / `summary_intervals` / `summary_age_secs`);
+//! - [`PlacementStats`] — router-level subscription-placement counters
+//!   flattened into the top of a `stats` response (`placement_enabled` /
+//!   `directory_entries` / `placement_moves`);
 //! - [`LatencyStats`] / [`StageLatency`] — per-stage latency quantile
 //!   summaries under the `stats` response's decode-optional `latency` key
 //!   (nanosecond units; absent when talking to a pre-telemetry peer).
@@ -840,22 +843,33 @@ impl SchemaDto {
 /// - `staleness` — unsubscriptions applied since the last rebuild. The
 ///   summary stays *conservative* regardless (removals only over-widen
 ///   it); staleness measures lost pruning power, not lost correctness.
+/// - `intervals` — total intervals across the summary's per-attribute
+///   multi-interval bounds: its current resolution.
+/// - `age_secs` — how long the summary has been loose: seconds since the
+///   first unsubscription after the last rebuild, `0.0` while tight.
 ///
-/// On the wire the three counters flatten into the shard metrics object as
-/// `summary_epoch`, `summary_rebuilds`, and `summary_staleness`. Decoding
-/// tolerates their absence (a pre-routing peer) by defaulting to zero.
+/// On the wire the counters flatten into the shard metrics object as
+/// `summary_epoch`, `summary_rebuilds`, `summary_staleness`,
+/// `summary_intervals`, and `summary_age_secs`. Decoding tolerates their
+/// absence (an older peer) by defaulting to zero.
 ///
 /// # Example
 /// ```
 /// use psc_model::wire::{Json, SummaryStats};
 ///
-/// let stats = SummaryStats { epoch: 12, rebuilds: 1, staleness: 3 };
+/// let stats = SummaryStats {
+///     epoch: 12,
+///     rebuilds: 1,
+///     staleness: 3,
+///     intervals: 40,
+///     age_secs: 1.5,
+/// };
 /// let shard_obj = Json::Obj(stats.to_json_fields());
 /// assert_eq!(SummaryStats::from_json(&shard_obj), stats);
-/// // Pre-routing peers simply omit the keys; decode defaults to zero.
+/// // Older peers simply omit the keys; decode defaults to zero.
 /// assert_eq!(SummaryStats::from_json(&Json::obj([])), SummaryStats::default());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SummaryStats {
     /// Seqlock epoch of the shard's published summary (2 per snapshot).
     pub epoch: u64,
@@ -864,27 +878,110 @@ pub struct SummaryStats {
     /// Unsubscriptions absorbed since the last rebuild (bounded by the
     /// service's re-tighten knob).
     pub staleness: u64,
+    /// Total intervals across the summary's per-attribute bounds.
+    pub intervals: u64,
+    /// Seconds the summary has been loose (first removal since the last
+    /// rebuild); `0.0` while tight.
+    pub age_secs: f64,
 }
 
 impl SummaryStats {
     /// Encodes as the flat key/value pairs spliced into a shard metrics
-    /// object (`summary_epoch`, `summary_rebuilds`, `summary_staleness`).
+    /// object (`summary_epoch`, `summary_rebuilds`, `summary_staleness`,
+    /// `summary_intervals`, `summary_age_secs`).
     pub fn to_json_fields(&self) -> Vec<(String, Json)> {
         vec![
             ("summary_epoch".to_string(), Json::UInt(self.epoch)),
             ("summary_rebuilds".to_string(), Json::UInt(self.rebuilds)),
             ("summary_staleness".to_string(), Json::UInt(self.staleness)),
+            ("summary_intervals".to_string(), Json::UInt(self.intervals)),
+            ("summary_age_secs".to_string(), Json::Float(self.age_secs)),
         ]
     }
 
     /// Decodes from a shard metrics object, defaulting each missing key to
-    /// zero so stats from pre-routing peers still parse.
+    /// zero so stats from older peers still parse.
     pub fn from_json(value: &Json) -> Self {
         let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
         SummaryStats {
             epoch: field("summary_epoch"),
             rebuilds: field("summary_rebuilds"),
             staleness: field("summary_staleness"),
+            intervals: field("summary_intervals"),
+            age_secs: value
+                .get("summary_age_secs")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// Wire shape of the router's subscription-placement state, carried at
+/// the top level of a `stats` response.
+///
+/// Content-aware placement (see `psc_service::routing::placement`) routes
+/// each new subscription to the shard whose summary it would widen least
+/// and tracks the id→shard assignment in a placement directory:
+///
+/// - `enabled` — whether greedy placement is on (`false` means hash
+///   placement; the directory is maintained either way).
+/// - `directory_entries` — live id→shard entries.
+/// - `placement_moves` — subscriptions routed somewhere other than their
+///   hash shard (always `0` with placement disabled).
+///
+/// On the wire the fields flatten into the stats object as
+/// `placement_enabled`, `directory_entries`, and `placement_moves`.
+/// Decoding tolerates their absence (a pre-placement peer) by defaulting
+/// to disabled/zero.
+///
+/// # Example
+/// ```
+/// use psc_model::wire::{Json, PlacementStats};
+///
+/// let stats = PlacementStats { enabled: true, directory_entries: 41, placement_moves: 7 };
+/// let obj = Json::Obj(stats.to_json_fields());
+/// assert_eq!(PlacementStats::from_json(&obj), stats);
+/// // Pre-placement peers simply omit the keys; decode defaults.
+/// assert_eq!(PlacementStats::from_json(&Json::obj([])), PlacementStats::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementStats {
+    /// Whether greedy content-aware placement is enabled.
+    pub enabled: bool,
+    /// Live id→shard entries in the placement directory.
+    pub directory_entries: u64,
+    /// Subscriptions routed to a shard other than their hash shard.
+    pub placement_moves: u64,
+}
+
+impl PlacementStats {
+    /// Encodes as the flat key/value pairs spliced into a stats object
+    /// (`placement_enabled`, `directory_entries`, `placement_moves`).
+    pub fn to_json_fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("placement_enabled".to_string(), Json::Bool(self.enabled)),
+            (
+                "directory_entries".to_string(),
+                Json::UInt(self.directory_entries),
+            ),
+            (
+                "placement_moves".to_string(),
+                Json::UInt(self.placement_moves),
+            ),
+        ]
+    }
+
+    /// Decodes from a stats object, defaulting missing keys so stats from
+    /// pre-placement peers still parse.
+    pub fn from_json(value: &Json) -> Self {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        PlacementStats {
+            enabled: value
+                .get("placement_enabled")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            directory_entries: field("directory_entries"),
+            placement_moves: field("placement_moves"),
         }
     }
 }
@@ -1224,6 +1321,64 @@ mod tests {
             PublicationDto::from_json(&bad),
             Err(WireError::Shape(_))
         ));
+    }
+
+    #[test]
+    fn summary_stats_new_keys_decode_optional_for_version_skew() {
+        // A stats payload from a peer built before the multi-interval
+        // summaries: it has the original three keys but neither
+        // `summary_intervals` nor `summary_age_secs`.
+        let old_peer = Json::parse(
+            r#"{"summary_epoch":8,"summary_rebuilds":2,"summary_staleness":5,"ingested":100}"#,
+        )
+        .unwrap();
+        let stats = SummaryStats::from_json(&old_peer);
+        assert_eq!(stats.epoch, 8);
+        assert_eq!(stats.rebuilds, 2);
+        assert_eq!(stats.staleness, 5);
+        assert_eq!(stats.intervals, 0, "missing new key defaults to 0");
+        assert_eq!(stats.age_secs, 0.0, "missing new key defaults to 0.0");
+
+        // A current peer round-trips the new keys exactly.
+        let stats = SummaryStats {
+            epoch: 4,
+            rebuilds: 1,
+            staleness: 0,
+            intervals: 17,
+            age_secs: 2.25,
+        };
+        let parsed = Json::parse(&Json::Obj(stats.to_json_fields()).to_string()).unwrap();
+        assert_eq!(SummaryStats::from_json(&parsed), stats);
+    }
+
+    #[test]
+    fn placement_stats_decode_optional_for_version_skew() {
+        // A stats payload from a pre-placement peer: no placement keys at
+        // all. Decode must default to disabled/zero, not fail.
+        let old_peer = Json::parse(r#"{"publications_total":42,"shards":[]}"#).unwrap();
+        assert_eq!(
+            PlacementStats::from_json(&old_peer),
+            PlacementStats::default()
+        );
+
+        // Current peers round-trip through serialized JSON (exercising
+        // the bool encoding, not just the in-memory object).
+        for enabled in [false, true] {
+            let stats = PlacementStats {
+                enabled,
+                directory_entries: 1_000,
+                placement_moves: 321,
+            };
+            let parsed = Json::parse(&Json::Obj(stats.to_json_fields()).to_string()).unwrap();
+            assert_eq!(PlacementStats::from_json(&parsed), stats);
+        }
+
+        // A non-bool `placement_enabled` (hostile or corrupt peer)
+        // degrades to disabled rather than erroring.
+        let odd = Json::parse(r#"{"placement_enabled":1,"placement_moves":3}"#).unwrap();
+        let stats = PlacementStats::from_json(&odd);
+        assert!(!stats.enabled);
+        assert_eq!(stats.placement_moves, 3);
     }
 
     #[test]

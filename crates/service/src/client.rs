@@ -52,8 +52,10 @@ pub enum ClientError {
     Wire(WireError),
     /// The server answered with an error response.
     Server(String),
-    /// The server answered with a response of the wrong kind.
-    UnexpectedResponse(Response),
+    /// The server answered with a response of the wrong kind. Boxed:
+    /// `Response::Stats` carries a full metrics aggregate, and the error
+    /// type should not inflate every `Result` on the request path.
+    UnexpectedResponse(Box<Response>),
 }
 
 impl fmt::Display for ClientError {
@@ -345,7 +347,7 @@ impl ServiceClient {
     pub fn hello(&mut self) -> Result<(Schema, u64), ClientError> {
         match self.round_trip(&Request::Hello)? {
             Response::Hello { schema, shards } => Ok((schema.into_schema()?, shards)),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -354,7 +356,7 @@ impl ServiceClient {
         let request = Request::Subscribe(SubscriptionDto::from_subscription(id, sub));
         match self.round_trip(&request)? {
             Response::Queued => Ok(()),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -362,7 +364,7 @@ impl ServiceClient {
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<bool, ClientError> {
         match self.round_trip(&Request::Unsubscribe(id.0))? {
             Response::Removed(removed) => Ok(removed),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -371,7 +373,7 @@ impl ServiceClient {
         let request = Request::Publish(PublicationDto::from_publication(p));
         match self.round_trip(&request)? {
             Response::Matched(ids) => Ok(ids.into_iter().map(SubscriptionId).collect()),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -390,7 +392,7 @@ impl ServiceClient {
     pub fn recv_matched(&mut self) -> Result<Vec<SubscriptionId>, ClientError> {
         match self.recv_response()? {
             Response::Matched(ids) => Ok(ids.into_iter().map(SubscriptionId).collect()),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -398,7 +400,7 @@ impl ServiceClient {
     pub fn flush(&mut self) -> Result<(), ClientError> {
         match self.round_trip(&Request::Flush)? {
             Response::Flushed => Ok(()),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 
@@ -421,7 +423,7 @@ impl ServiceClient {
                 reactor,
                 latency,
             } => Ok((metrics, reactor, latency.map(|l| *l))),
-            other => Err(ClientError::UnexpectedResponse(other)),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }
 }

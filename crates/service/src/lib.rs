@@ -35,10 +35,13 @@
 //!   incremental line framing, bounded write backlogs with slow-consumer
 //!   disconnect, an idle-timeout wheel, a connection cap, and shutdown
 //!   via a wakeup pipe. Thread count is O(shards), not O(connections).
-//! - **Sharding** — subscription ids are hashed (SplitMix64 finalizer)
-//!   across `N` worker threads; each shard owns an independent
-//!   `CoveringStore`, so admission-time subsumption checks and
-//!   publication matching parallelize without locks.
+//! - **Sharding** — subscriptions are placed across `N` worker threads
+//!   by a greedy content-aware scorer (minimum summary widening, with
+//!   an id→shard directory for unsubscribe; [`routing::placement`]), or
+//!   by an id hash (SplitMix64 finalizer) with
+//!   [`ServiceConfig::placement_enabled`] off; each shard owns an
+//!   independent `CoveringStore`, so admission-time subsumption checks
+//!   and publication matching parallelize without locks.
 //! - **Admission pipeline** — `subscribe` buffers per shard and admits in
 //!   batches; the store admits widest-first within a batch, maximizing the
 //!   paper's covered/uncovered suppression.
@@ -47,11 +50,14 @@
 //!   merges the per-shard match sets into one ascending id list.
 //! - **Content-aware routing** — each shard maintains a conservative
 //!   attribute-space summary of its live population ([`routing`]):
-//!   per-attribute interval/value-set bounds plus a presence filter over
-//!   constrained attributes, published through a lock-free versioned
-//!   epoch cell. The publish path consults the summaries and skips
-//!   shards that provably cannot match (false positives allowed, false
-//!   negatives impossible), cutting fan-out cost at high shard counts.
+//!   per-attribute multi-interval bounds (nearest-gap merged at a
+//!   configurable cap) plus a presence filter over constrained
+//!   attributes, published through a lock-free versioned epoch cell.
+//!   The publish path consults the summaries and skips shards that
+//!   provably cannot match (false positives allowed, false negatives
+//!   impossible), cutting fan-out cost at high shard counts —
+//!   especially combined with placement, which keeps the shards'
+//!   summaries disjoint.
 //! - **Metrics** — per-shard ingest/suppression/probe counters
 //!   ([`ShardMetrics`]) merge into a [`ServiceMetrics`] aggregate;
 //!   [`ReactorMetrics`] covers the serving edge (connections, slow-

@@ -5,7 +5,7 @@
 //! lock on the hot path. [`ServiceMetrics`] is the merged view a `stats`
 //! wire request returns.
 
-use psc_model::wire::{Json, SummaryStats, WireError};
+use psc_model::wire::{Json, PlacementStats, SummaryStats, WireError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
@@ -220,6 +220,9 @@ impl AddAssign for ShardMetrics {
         self.summary.epoch = self.summary.epoch.max(rhs.summary.epoch);
         self.summary.rebuilds += rhs.summary.rebuilds;
         self.summary.staleness += rhs.summary.staleness;
+        self.summary.intervals += rhs.summary.intervals;
+        // Staleness age is a "worst shard" signal, like uptime.
+        self.summary.age_secs = self.summary.age_secs.max(rhs.summary.age_secs);
         self.notifications += rhs.notifications;
         self.active_subscriptions += rhs.active_subscriptions;
         self.covered_subscriptions += rhs.covered_subscriptions;
@@ -266,6 +269,10 @@ pub struct ServiceMetrics {
     /// publish total, and at quiescence every shard satisfies
     /// `publications + shards_pruned == publications_total`.
     pub publications_total: u64,
+    /// Router-side placement state: whether content-aware placement is
+    /// on, how many id→shard directory entries are live, and how many
+    /// placements diverged from the hash baseline.
+    pub placement: PlacementStats,
 }
 
 impl ServiceMetrics {
@@ -279,21 +286,29 @@ impl ServiceMetrics {
         total
     }
 
-    /// Encodes as a JSON object for the wire `stats` response.
+    /// Encodes as a JSON object for the wire `stats` response. The
+    /// placement counters flatten into the same object
+    /// (`placement_enabled` / `directory_entries` / `placement_moves`).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(String, Json)> = vec![
             (
-                "shards",
+                "shards".to_string(),
                 Json::Arr(self.shards.iter().map(ShardMetrics::to_json).collect()),
             ),
-            ("totals", self.totals().to_json()),
-            ("publications_total", Json::UInt(self.publications_total)),
-        ])
+            ("totals".to_string(), self.totals().to_json()),
+            (
+                "publications_total".to_string(),
+                Json::UInt(self.publications_total),
+            ),
+        ];
+        pairs.extend(self.placement.to_json_fields());
+        Json::Obj(pairs)
     }
 
-    /// Decodes from the wire `stats` response (`publications_total` is
-    /// decode-optional: peers older than router-side publish counting
-    /// simply omit it).
+    /// Decodes from the wire `stats` response (`publications_total` and
+    /// the placement keys are decode-optional: peers older than
+    /// router-side publish counting or content-aware placement simply
+    /// omit them).
     pub fn from_json(value: &Json) -> Result<Self, WireError> {
         let shards = value
             .get("shards")
@@ -308,6 +323,7 @@ impl ServiceMetrics {
                 .get("publications_total")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            placement: PlacementStats::from_json(value),
         })
     }
 }
@@ -429,6 +445,8 @@ mod tests {
                 epoch: 12 * i,
                 rebuilds: i,
                 staleness: 2 * i,
+                intervals: 6 * i,
+                age_secs: i as f64 / 2.0,
             },
             notifications: 7 * i,
             active_subscriptions: 3 * i,
@@ -455,6 +473,7 @@ mod tests {
         let svc = ServiceMetrics {
             shards: vec![sample(1), sample(3)],
             publications_total: 0,
+            placement: PlacementStats::default(),
         };
         let t = svc.totals();
         assert_eq!(t.subscriptions_ingested, 40);
@@ -467,6 +486,9 @@ mod tests {
         assert_eq!(t.summary.epoch, 36);
         assert_eq!(t.summary.rebuilds, 4);
         assert_eq!(t.summary.staleness, 8);
+        // Interval counts sum; staleness age is worst-shard (max).
+        assert_eq!(t.summary.intervals, 24);
+        assert_eq!(t.summary.age_secs, 1.5);
     }
 
     #[test]
@@ -474,6 +496,11 @@ mod tests {
         let svc = ServiceMetrics {
             shards: vec![sample(1), sample(2)],
             publications_total: 23,
+            placement: PlacementStats {
+                enabled: true,
+                directory_entries: 30,
+                placement_moves: 12,
+            },
         };
         let json = svc.to_json().to_string();
         let parsed = psc_model::wire::Json::parse(&json).unwrap();
@@ -531,6 +558,7 @@ mod tests {
         assert!(!ServiceMetrics {
             shards: vec![sample(1)],
             publications_total: 5,
+            placement: PlacementStats::default(),
         }
         .to_string()
         .is_empty());

@@ -17,6 +17,11 @@
 //! router treats as "no information: visit the shard" — contention can
 //! only cost a wasted visit, never a wrong prune.
 //!
+//! The payload is the flat multi-interval summary: per attribute, an
+//! interval count plus `2 × max_intervals` bound slots (`lo, hi` pairs),
+//! all plain `AtomicI64`s sized once at construction — no pointers to
+//! chase and nothing allocated on the publish path.
+//!
 //! The cell also carries `applied_batches`, the number of admission
 //! batches the shard has folded into the published summary. The router
 //! compares it against the count of batches it has *sent* to decide which
@@ -28,10 +33,10 @@
 //! # Example
 //! ```
 //! use psc_model::{Publication, Schema, Subscription};
-//! use psc_service::routing::{ShardSummary, SummaryCell};
+//! use psc_service::routing::{ShardSummary, SummaryCell, DEFAULT_SUMMARY_INTERVALS};
 //!
 //! let schema = Schema::uniform(1, 0, 99);
-//! let cell = SummaryCell::new(schema.len());
+//! let cell = SummaryCell::new(schema.len(), DEFAULT_SUMMARY_INTERVALS);
 //! assert!(cell.read().is_none(), "nothing published yet: caller must visit");
 //!
 //! let mut summary = ShardSummary::empty(schema.len());
@@ -46,11 +51,8 @@
 //! # Ok::<(), psc_model::ModelError>(())
 //! ```
 
-use super::{AttrSummary, ShardSummary, VALUE_SET_CAP};
+use super::{AttrSummary, ShardSummary};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-
-/// `set_len` sentinel: the attribute has no exact value set.
-const NO_VALUE_SET: u64 = u64::MAX;
 
 /// `subscriptions` sentinel: nothing was ever published.
 const NEVER_PUBLISHED: u64 = u64::MAX;
@@ -59,19 +61,17 @@ const NEVER_PUBLISHED: u64 = u64::MAX;
 const READ_RETRIES: usize = 64;
 
 struct AttrSlot {
-    lo: AtomicI64,
-    hi: AtomicI64,
-    set_len: AtomicU64,
-    set: [AtomicI64; VALUE_SET_CAP],
+    len: AtomicU64,
+    /// `2 × max_intervals` slots: `bounds[2i]` = lo, `bounds[2i + 1]` =
+    /// hi of interval `i`.
+    bounds: Box<[AtomicI64]>,
 }
 
 impl AttrSlot {
-    fn new() -> Self {
+    fn new(max_intervals: usize) -> Self {
         AttrSlot {
-            lo: AtomicI64::new(0),
-            hi: AtomicI64::new(0),
-            set_len: AtomicU64::new(NO_VALUE_SET),
-            set: std::array::from_fn(|_| AtomicI64::new(0)),
+            len: AtomicU64::new(0),
+            bounds: (0..2 * max_intervals).map(|_| AtomicI64::new(0)).collect(),
         }
     }
 }
@@ -95,21 +95,25 @@ pub struct SummaryCell {
     subscriptions: AtomicU64,
     constrained: AtomicU64,
     applied_batches: AtomicU64,
+    max_intervals: usize,
     attrs: Vec<AttrSlot>,
 }
 
 impl SummaryCell {
-    /// An unpublished cell for a shard over `arity` attributes. Until the
-    /// first [`publish`](SummaryCell::publish), [`read`](SummaryCell::read)
-    /// returns `None` and callers must assume the shard can match
-    /// anything.
-    pub fn new(arity: usize) -> Self {
+    /// An unpublished cell for a shard over `arity` attributes with room
+    /// for `max_intervals` (≥ 1 enforced) intervals per attribute. Until
+    /// the first [`publish`](SummaryCell::publish),
+    /// [`read`](SummaryCell::read) returns `None` and callers must assume
+    /// the shard can match anything.
+    pub fn new(arity: usize, max_intervals: usize) -> Self {
+        let max_intervals = max_intervals.max(1);
         SummaryCell {
             epoch: AtomicU64::new(0),
             subscriptions: AtomicU64::new(NEVER_PUBLISHED),
             constrained: AtomicU64::new(0),
             applied_batches: AtomicU64::new(0),
-            attrs: (0..arity).map(|_| AttrSlot::new()).collect(),
+            max_intervals,
+            attrs: (0..arity).map(|_| AttrSlot::new(max_intervals)).collect(),
         }
     }
 
@@ -124,7 +128,8 @@ impl SummaryCell {
     /// discipline (readers stay safe, but could retry forever).
     ///
     /// # Panics
-    /// Panics if the summary's arity differs from the cell's.
+    /// Panics if the summary's arity differs from the cell's, or if any
+    /// attribute carries more intervals than the cell has slots for.
     pub fn publish(&self, summary: &ShardSummary, applied_batches: u64) {
         assert_eq!(summary.attrs.len(), self.attrs.len(), "cell arity mismatch");
         let start = self.epoch.load(Ordering::Relaxed);
@@ -144,18 +149,16 @@ impl SummaryCell {
         self.applied_batches
             .store(applied_batches, Ordering::Relaxed);
         for (slot, attr) in self.attrs.iter().zip(&summary.attrs) {
-            slot.lo.store(attr.lo, Ordering::Relaxed);
-            slot.hi.store(attr.hi, Ordering::Relaxed);
-            match &attr.values {
-                None => slot.set_len.store(NO_VALUE_SET, Ordering::Relaxed),
-                Some(values) => {
-                    debug_assert!(values.len() <= VALUE_SET_CAP);
-                    for (cell, &v) in slot.set.iter().zip(values) {
-                        cell.store(v, Ordering::Relaxed);
-                    }
-                    slot.set_len.store(values.len() as u64, Ordering::Relaxed);
-                }
+            assert!(
+                attr.intervals.len() <= self.max_intervals,
+                "summary interval cap exceeds the cell's"
+            );
+            for (i, &(lo, hi)) in attr.intervals.iter().enumerate() {
+                slot.bounds[2 * i].store(lo, Ordering::Relaxed);
+                slot.bounds[2 * i + 1].store(hi, Ordering::Relaxed);
             }
+            slot.len
+                .store(attr.intervals.len() as u64, Ordering::Relaxed);
         }
         // Even epoch again; the release store publishes every field above.
         self.epoch.store(start.wrapping_add(2), Ordering::Release);
@@ -178,23 +181,16 @@ impl SummaryCell {
                 .attrs
                 .iter()
                 .map(|slot| {
-                    let set_len = slot.set_len.load(Ordering::Relaxed);
-                    let values = if set_len == NO_VALUE_SET {
-                        None
-                    } else {
-                        let len = (set_len as usize).min(VALUE_SET_CAP);
-                        Some(
-                            slot.set[..len]
-                                .iter()
-                                .map(|v| v.load(Ordering::Relaxed))
-                                .collect(),
-                        )
-                    };
-                    AttrSummary {
-                        lo: slot.lo.load(Ordering::Relaxed),
-                        hi: slot.hi.load(Ordering::Relaxed),
-                        values,
-                    }
+                    let len = (slot.len.load(Ordering::Relaxed) as usize).min(self.max_intervals);
+                    let intervals = (0..len)
+                        .map(|i| {
+                            (
+                                slot.bounds[2 * i].load(Ordering::Relaxed),
+                                slot.bounds[2 * i + 1].load(Ordering::Relaxed),
+                            )
+                        })
+                        .collect();
+                    AttrSummary { intervals }
                 })
                 .collect();
             // Acquire fence pairs with the writer's final release store: if
@@ -213,6 +209,7 @@ impl SummaryCell {
                 summary: ShardSummary {
                     subscriptions,
                     constrained,
+                    max_intervals: self.max_intervals,
                     attrs,
                 },
                 applied_batches,
@@ -226,6 +223,7 @@ impl SummaryCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::DEFAULT_SUMMARY_INTERVALS;
     use psc_model::{Range, Schema, Subscription};
     use std::sync::Arc;
 
@@ -253,13 +251,15 @@ mod tests {
 
     #[test]
     fn unpublished_cell_reads_none() {
-        assert!(SummaryCell::new(3).read().is_none());
+        assert!(SummaryCell::new(3, DEFAULT_SUMMARY_INTERVALS)
+            .read()
+            .is_none());
     }
 
     #[test]
     fn publish_read_round_trips_exactly() {
         let schema = schema();
-        let cell = SummaryCell::new(schema.len());
+        let cell = SummaryCell::new(schema.len(), DEFAULT_SUMMARY_INTERVALS);
         let summary = summary_of(&schema, &[((10, 20), (0, 999)), ((42, 42), (5, 7))]);
         cell.publish(&summary, 3);
         let view = cell.read().expect("published");
@@ -267,7 +267,9 @@ mod tests {
         assert_eq!(view.applied_batches, 3);
         assert_eq!(view.epoch, 2);
 
-        // A second publish advances the epoch and replaces the snapshot.
+        // A second publish advances the epoch and replaces the snapshot —
+        // including one with *fewer* intervals (stale slots are dropped
+        // by the shrunken length, not zeroed).
         let tighter = summary_of(&schema, &[((42, 42), (5, 7))]);
         cell.publish(&tighter, 4);
         let view = cell.read().expect("published");
@@ -278,10 +280,28 @@ mod tests {
     #[test]
     fn empty_summary_round_trips_as_published() {
         let schema = schema();
-        let cell = SummaryCell::new(schema.len());
+        let cell = SummaryCell::new(schema.len(), DEFAULT_SUMMARY_INTERVALS);
         cell.publish(&ShardSummary::empty(schema.len()), 0);
         let view = cell.read().expect("an empty summary is information");
         assert_eq!(view.summary.subscriptions(), 0);
+    }
+
+    #[test]
+    fn non_default_interval_cap_round_trips() {
+        let schema = schema();
+        let cell = SummaryCell::new(schema.len(), 4);
+        let mut summary = ShardSummary::with_intervals(schema.len(), 4);
+        for lo in [10, 100, 300, 500, 800] {
+            let sub = Subscription::from_ranges(
+                &schema,
+                vec![Range::new(lo, lo + 5).unwrap(), Range::new(0, 999).unwrap()],
+            )
+            .unwrap();
+            summary.widen(&sub);
+        }
+        assert_eq!(summary.attr(0).intervals.len(), 4, "cap enforced");
+        cell.publish(&summary, 1);
+        assert_eq!(cell.read().expect("published").summary, summary);
     }
 
     /// Hammer the seqlock: one writer republishing *internally coherent*
@@ -290,7 +310,7 @@ mod tests {
     #[test]
     fn concurrent_reads_never_observe_torn_snapshots() {
         let schema = schema();
-        let cell = Arc::new(SummaryCell::new(schema.len()));
+        let cell = Arc::new(SummaryCell::new(schema.len(), DEFAULT_SUMMARY_INTERVALS));
         let a = summary_of(&schema, &[((10, 20), (100, 200))]);
         let b = summary_of(&schema, &[((500, 600), (700, 800)), ((900, 910), (0, 3))]);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));

@@ -12,26 +12,35 @@
 //!
 //! ## The summary
 //!
-//! A [`ShardSummary`] holds, per schema attribute:
+//! A [`ShardSummary`] holds, per schema attribute, a **multi-interval
+//! bound**: up to `max_intervals` sorted, disjoint, non-adjacent closed
+//! intervals whose union covers every stored subscription's range on that
+//! attribute. A publication value inside none of the intervals cannot
+//! satisfy any subscription on the shard. The two historical extremes
+//! fall out as special cases:
 //!
-//! - an **interval bound** `[lo, hi]` — the union of every stored
-//!   subscription's range on that attribute. A publication value outside
-//!   it cannot satisfy any subscription on the shard.
-//! - optionally an exact **value set** — when every stored range on the
-//!   attribute is narrow (≤ [`VALUE_SET_CAP`] points) and their union
-//!   stays within [`VALUE_SET_CAP`] distinct values, the summary keeps
-//!   the union itself. This is what makes routing effective for
-//!   topic-like attributes: a shard subscribed to 20 "topics" out of a
-//!   domain of thousands rejects most publications outright, where the
-//!   interval `[min topic, max topic]` would reject almost none.
+//! - topic-style point subscriptions keep an exact value set (each point
+//!   is its own `[v, v]` interval) until the population needs more than
+//!   `max_intervals` distinct values — what makes routing effective for
+//!   "topic" attributes, where a shard subscribed to 20 topics out of
+//!   thousands rejects most publications outright;
+//! - a single wide range is simply one interval, the old `[lo, hi]`
+//!   bound.
 //!
-//! plus a small Bloom-style presence filter over *constrained* attribute
-//! indices (attributes some subscription restricts below its full
-//! domain). An attribute absent from the filter is provably
-//! unconstrained on this shard, so its per-attribute check is skipped.
-//! The filter is insertion-exact (no false negatives); for schemas wider
-//! than 64 attributes, indices fold onto 64 bits, which can only cause
-//! false *presence* — a wasted check, never a wrong prune.
+//! When a widening would exceed the cap, the summary **merges the two
+//! intervals separated by the smallest gap** (the merge that admits the
+//! fewest new phantom values), preserving the conservative union at
+//! minimal precision loss. The layout stays flat and cache-friendly —
+//! one sorted `Vec<(lo, hi)>` per attribute, binary-searched on the
+//! publish path.
+//!
+//! The summary also carries a small Bloom-style presence filter over
+//! *constrained* attribute indices (attributes some subscription
+//! restricts below its full domain). An attribute absent from the filter
+//! is provably unconstrained on this shard, so its per-attribute check is
+//! skipped. The filter is insertion-exact (no false negatives); for
+//! schemas wider than 64 attributes, indices fold onto 64 bits, which can
+//! only cause false *presence* — a wasted check, never a wrong prune.
 //!
 //! ## The conservatism invariant
 //!
@@ -45,10 +54,11 @@
 //! fan-out; false negatives (pruning a shard that would have matched)
 //! would lose notifications and are **impossible by construction**:
 //! admissions widen the summary before the shard confirms them applied,
-//! removals never narrow it, and every widening unions — it never
-//! replaces. The property test in this module enforces the invariant
-//! against the naive matcher; `tests/service_routing.rs` enforces the
-//! end-to-end corollary (routed results ≡ all-shard fan-out).
+//! removals never narrow it, every widening unions — it never replaces —
+//! and the over-cap merge only ever *adds* phantom coverage. The property
+//! test in this module enforces the invariant against the naive matcher;
+//! `tests/service_routing.rs` enforces the end-to-end corollary (routed
+//! results ≡ all-shard fan-out).
 //!
 //! ## Staleness and re-tightening
 //!
@@ -59,6 +69,14 @@
 //! [`CoveringStore::iter_bounds`](psc_matcher::CoveringStore::iter_bounds)),
 //! restoring tightness. Recovery performs the same rebuild, so summaries
 //! survive restarts without being persisted.
+//!
+//! ## Placement
+//!
+//! The multi-interval shape exists to give *subscription placement*
+//! something to cluster against: [`PlacementDirectory`] scores each shard
+//! by how much admitting a subscription would widen its summary
+//! ([`ShardSummary::widening_cost`]) and routes to the minimum-widening
+//! shard. See the [`placement`] module docs.
 //!
 //! # Example
 //!
@@ -83,15 +101,17 @@
 //! ```
 
 pub mod cell;
+pub mod placement;
 
 pub use cell::{SummaryCell, SummaryView};
+pub use placement::PlacementDirectory;
 
 use psc_model::{Publication, Range, Schema, Subscription};
 
-/// Capacity of a per-attribute exact value set. An attribute whose union
-/// of subscription ranges needs more distinct values than this degrades
-/// to its interval bound.
-pub const VALUE_SET_CAP: usize = 32;
+/// Default cap on disjoint intervals kept per attribute. Chosen to match
+/// the old exact-value-set capacity so topic-style populations of up to
+/// 32 distinct points stay exactly represented.
+pub const DEFAULT_SUMMARY_INTERVALS: usize = 32;
 
 /// Bloom bit for attribute index `j`: exact for the first 64 attributes,
 /// folded (false-presence possible, false-absence impossible) beyond.
@@ -100,74 +120,121 @@ fn attr_bit(j: usize) -> u64 {
     1u64 << (j & 63)
 }
 
-/// Conservative bounds for one attribute of a shard's population.
+/// Conservative multi-interval bound for one attribute of a shard's
+/// population: sorted, disjoint, non-adjacent closed intervals whose
+/// union covers every stored range on the attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrSummary {
-    /// Smallest lower bound of any stored range on this attribute.
-    pub lo: i64,
-    /// Largest upper bound of any stored range on this attribute.
-    pub hi: i64,
-    /// Exact union of stored ranges when small (sorted, ≤
-    /// [`VALUE_SET_CAP`] values); `None` once any range is too wide or
-    /// the union overflows the cap.
-    pub values: Option<Vec<i64>>,
+    /// The intervals, as `(lo, hi)` pairs with `lo <= hi`, sorted by
+    /// `lo`, pairwise disjoint and non-adjacent (`next.lo > hi + 1`).
+    /// Empty means the bound admits nothing.
+    pub intervals: Vec<(i64, i64)>,
 }
 
 impl AttrSummary {
-    /// The empty bound: admits nothing (sentinel interval, empty set).
+    /// The empty bound: admits nothing.
     fn empty() -> Self {
         AttrSummary {
-            lo: i64::MAX,
-            hi: i64::MIN,
-            values: Some(Vec::new()),
+            intervals: Vec::new(),
         }
+    }
+
+    /// Unions the closed interval `[lo, hi]` into the bound, keeping at
+    /// most `cap` intervals by merging nearest-gap neighbors.
+    fn widen_interval(&mut self, lo: i64, hi: i64, cap: usize) {
+        debug_assert!(lo <= hi);
+        // The window of existing intervals that overlap or are adjacent
+        // to [lo, hi]: everything from the first with `end + 1 >= lo` to
+        // the last with `start <= hi + 1`.
+        let start = self
+            .intervals
+            .partition_point(|&(_, h)| h.saturating_add(1) < lo);
+        let end = self
+            .intervals
+            .partition_point(|&(l, _)| l <= hi.saturating_add(1));
+        if start == end {
+            self.intervals.insert(start, (lo, hi));
+        } else {
+            let merged_lo = lo.min(self.intervals[start].0);
+            let merged_hi = hi.max(self.intervals[end - 1].1);
+            self.intervals[start] = (merged_lo, merged_hi);
+            self.intervals.drain(start + 1..end);
+        }
+        while self.intervals.len() > cap.max(1) {
+            self.merge_nearest_gap();
+        }
+    }
+
+    /// Merges the adjacent pair of intervals with the smallest gap
+    /// between them — the merge that admits the fewest phantom values.
+    fn merge_nearest_gap(&mut self) {
+        debug_assert!(self.intervals.len() >= 2);
+        let mut best = 0;
+        let mut best_gap = i128::MAX;
+        for i in 0..self.intervals.len() - 1 {
+            let gap = self.intervals[i + 1].0 as i128 - self.intervals[i].1 as i128;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        self.intervals[best].1 = self.intervals[best + 1].1;
+        self.intervals.remove(best + 1);
     }
 
     /// Unions `r` into the bound.
-    fn widen(&mut self, r: &Range) {
-        self.lo = self.lo.min(r.lo());
-        self.hi = self.hi.max(r.hi());
-        if let Some(values) = &mut self.values {
-            if r.count() > VALUE_SET_CAP as u128 {
-                self.values = None;
-                return;
-            }
-            for v in r.lo()..=r.hi() {
-                if let Err(at) = values.binary_search(&v) {
-                    values.insert(at, v);
-                }
-            }
-            if values.len() > VALUE_SET_CAP {
-                self.values = None;
-            }
-        }
+    fn widen(&mut self, r: &Range, cap: usize) {
+        self.widen_interval(r.lo(), r.hi(), cap);
     }
 
     /// Unions another attribute bound into this one.
-    fn merge(&mut self, other: &AttrSummary) {
-        self.lo = self.lo.min(other.lo);
-        self.hi = self.hi.max(other.hi);
-        match (&mut self.values, &other.values) {
-            (Some(values), Some(theirs)) => {
-                for &v in theirs {
-                    if let Err(at) = values.binary_search(&v) {
-                        values.insert(at, v);
-                    }
-                }
-                if values.len() > VALUE_SET_CAP {
-                    self.values = None;
-                }
-            }
-            _ => self.values = None,
+    fn merge(&mut self, other: &AttrSummary, cap: usize) {
+        for &(lo, hi) in &other.intervals {
+            self.widen_interval(lo, hi, cap);
         }
     }
 
     /// Whether a publication value `v` could satisfy some stored range.
     fn admits(&self, v: i64) -> bool {
-        match &self.values {
-            Some(values) => values.binary_search(&v).is_ok(),
-            None => self.lo <= v && v <= self.hi,
+        use std::cmp::Ordering;
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if hi < v {
+                    Ordering::Less
+                } else if lo > v {
+                    Ordering::Greater
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Total number of values the bound admits.
+    pub fn covered_points(&self) -> u128 {
+        self.intervals
+            .iter()
+            .map(|&(lo, hi)| (hi as i128 - lo as i128 + 1) as u128)
+            .sum()
+    }
+
+    /// Number of values in `r` the bound does **not** already admit —
+    /// how much admitting `r` would widen this attribute (before any
+    /// over-cap merge, which can only add more).
+    pub fn newly_covered(&self, r: &Range) -> u128 {
+        let mut covered = 0u128;
+        for &(lo, hi) in &self.intervals {
+            if hi < r.lo() {
+                continue;
+            }
+            if lo > r.hi() {
+                break;
+            }
+            let l = lo.max(r.lo());
+            let h = hi.min(r.hi());
+            covered += (h as i128 - l as i128 + 1) as u128;
         }
+        r.count() - covered
     }
 }
 
@@ -182,16 +249,24 @@ impl AttrSummary {
 pub struct ShardSummary {
     subscriptions: u64,
     constrained: u64,
+    max_intervals: usize,
     attrs: Vec<AttrSummary>,
 }
 
 impl ShardSummary {
-    /// The summary of an empty shard over `arity` attributes: prunes
-    /// every publication.
+    /// The summary of an empty shard over `arity` attributes, with the
+    /// default per-attribute interval cap: prunes every publication.
     pub fn empty(arity: usize) -> Self {
+        ShardSummary::with_intervals(arity, DEFAULT_SUMMARY_INTERVALS)
+    }
+
+    /// The summary of an empty shard over `arity` attributes keeping at
+    /// most `max_intervals` (≥ 1 enforced) intervals per attribute.
+    pub fn with_intervals(arity: usize, max_intervals: usize) -> Self {
         ShardSummary {
             subscriptions: 0,
             constrained: 0,
+            max_intervals: max_intervals.max(1),
             attrs: (0..arity).map(|_| AttrSummary::empty()).collect(),
         }
     }
@@ -204,6 +279,17 @@ impl ShardSummary {
     /// Number of attributes the summary spans.
     pub fn arity(&self) -> usize {
         self.attrs.len()
+    }
+
+    /// The per-attribute interval cap.
+    pub fn max_intervals(&self) -> usize {
+        self.max_intervals
+    }
+
+    /// Total interval count across all attributes — the summary's
+    /// resolution, exported through `stats` as `summary_intervals`.
+    pub fn intervals(&self) -> u64 {
+        self.attrs.iter().map(|a| a.intervals.len() as u64).sum()
     }
 
     /// The per-attribute bound at index `j`.
@@ -239,16 +325,45 @@ impl ShardSummary {
             if r != attr.domain() {
                 self.constrained |= attr_bit(j.0);
             }
-            self.attrs[j.0].widen(r);
+            self.attrs[j.0].widen(r, self.max_intervals);
         }
         self.subscriptions += 1;
     }
 
-    /// Builds the tight summary of a whole population in one pass — the
-    /// recovery and re-tightening path. Feed it
+    /// How much folding `ranges` into the summary would widen it: the sum
+    /// over attributes of the newly-admitted fraction of the attribute's
+    /// domain. `0.0` means the subscription fits inside the summary's
+    /// existing coverage; larger means admitting it loosens the shard's
+    /// pruning power more. The placement scorer minimizes this.
+    ///
+    /// # Panics
+    /// Panics if `ranges.len()` differs from the summary's arity.
+    pub fn widening_cost(&self, schema: &Schema, ranges: &[Range]) -> f64 {
+        assert_eq!(ranges.len(), self.attrs.len(), "summary arity mismatch");
+        let mut cost = 0.0;
+        for ((j, attr), r) in schema.iter().zip(ranges) {
+            let domain = attr.domain().count() as f64;
+            cost += self.attrs[j.0].newly_covered(r) as f64 / domain;
+        }
+        cost
+    }
+
+    /// Builds the tight summary of a whole population in one pass with
+    /// the default interval cap — the recovery and re-tightening path.
+    /// Feed it
     /// [`CoveringStore::iter_bounds`](psc_matcher::CoveringStore::iter_bounds).
     pub fn from_bounds<'a>(schema: &Schema, bounds: impl IntoIterator<Item = &'a [Range]>) -> Self {
-        let mut summary = ShardSummary::empty(schema.len());
+        ShardSummary::from_bounds_capped(schema, bounds, DEFAULT_SUMMARY_INTERVALS)
+    }
+
+    /// [`from_bounds`](ShardSummary::from_bounds) with an explicit
+    /// per-attribute interval cap.
+    pub fn from_bounds_capped<'a>(
+        schema: &Schema,
+        bounds: impl IntoIterator<Item = &'a [Range]>,
+        max_intervals: usize,
+    ) -> Self {
+        let mut summary = ShardSummary::with_intervals(schema.len(), max_intervals);
         for ranges in bounds {
             summary.widen_bounds(schema, ranges);
         }
@@ -257,6 +372,7 @@ impl ShardSummary {
 
     /// Unions another summary into this one (used by the router to merge
     /// in-flight admission batches that the shard has not yet confirmed).
+    /// This summary's own interval cap governs the merged result.
     pub fn merge(&mut self, other: &ShardSummary) {
         assert_eq!(
             other.attrs.len(),
@@ -266,7 +382,7 @@ impl ShardSummary {
         self.subscriptions += other.subscriptions;
         self.constrained |= other.constrained;
         for (attr, theirs) in self.attrs.iter_mut().zip(&other.attrs) {
-            attr.merge(theirs);
+            attr.merge(theirs, self.max_intervals);
         }
     }
 
@@ -334,6 +450,7 @@ mod tests {
         let summary = ShardSummary::empty(schema.len());
         assert!(!summary.may_match(&publication(&schema, 0, 0)));
         assert_eq!(summary.subscriptions(), 0);
+        assert_eq!(summary.intervals(), 0);
     }
 
     #[test]
@@ -342,33 +459,66 @@ mod tests {
         let mut summary = ShardSummary::empty(schema.len());
         summary.widen(&sub(&schema, (100, 200), (0, 999)));
         summary.widen(&sub(&schema, (150, 400), (0, 999)));
+        // Overlapping ranges coalesce into one interval.
+        assert_eq!(summary.attr(0).intervals, vec![(100, 400)]);
         assert!(summary.may_match(&publication(&schema, 300, 7)));
         assert!(!summary.may_match(&publication(&schema, 99, 7)));
         assert!(!summary.may_match(&publication(&schema, 401, 7)));
     }
 
     #[test]
-    fn value_set_prunes_gaps_the_interval_cannot() {
+    fn point_intervals_prune_gaps_a_single_interval_cannot() {
         let schema = schema();
         let mut summary = ShardSummary::empty(schema.len());
         summary.widen(&sub(&schema, (42, 42), (0, 999)));
         summary.widen(&sub(&schema, (700, 700), (0, 999)));
-        // Inside [42, 700] but in neither point set: value set prunes it.
+        // Inside [42, 700] but in neither point interval: pruned.
         assert!(!summary.may_match(&publication(&schema, 500, 7)));
         assert!(summary.may_match(&publication(&schema, 42, 7)));
         assert!(summary.may_match(&publication(&schema, 700, 7)));
     }
 
     #[test]
-    fn wide_range_degrades_value_set_to_interval() {
+    fn disjoint_ranges_keep_separate_intervals_and_prune_between() {
         let schema = schema();
         let mut summary = ShardSummary::empty(schema.len());
         summary.widen(&sub(&schema, (42, 42), (0, 999)));
-        summary.widen(&sub(&schema, (100, 400), (0, 999))); // > VALUE_SET_CAP points
-        assert!(summary.attr(0).values.is_none());
-        // Interval [42, 400] now rules.
+        summary.widen(&sub(&schema, (100, 400), (0, 999)));
+        // The old exact-value-set would have degraded to [42, 400]; the
+        // multi-interval bound keeps both pieces and prunes the gap.
+        assert_eq!(summary.attr(0).intervals, vec![(42, 42), (100, 400)]);
         assert!(summary.may_match(&publication(&schema, 200, 7)));
+        assert!(!summary.may_match(&publication(&schema, 60, 7)));
         assert!(!summary.may_match(&publication(&schema, 401, 7)));
+    }
+
+    #[test]
+    fn adjacent_intervals_coalesce() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        summary.widen(&sub(&schema, (10, 20), (0, 999)));
+        summary.widen(&sub(&schema, (21, 30), (0, 999)));
+        assert_eq!(summary.attr(0).intervals, vec![(10, 30)]);
+        // A widening that bridges two intervals collapses the window.
+        summary.widen(&sub(&schema, (50, 60), (0, 999)));
+        summary.widen(&sub(&schema, (25, 55), (0, 999)));
+        assert_eq!(summary.attr(0).intervals, vec![(10, 60)]);
+    }
+
+    #[test]
+    fn over_cap_widening_merges_the_nearest_gap() {
+        let schema = schema();
+        let mut summary = ShardSummary::with_intervals(schema.len(), 2);
+        summary.widen(&sub(&schema, (10, 20), (0, 999)));
+        summary.widen(&sub(&schema, (500, 510), (0, 999)));
+        // A third interval exceeds the cap of 2; (500..510) and (530..540)
+        // are separated by the smallest gap, so they merge.
+        summary.widen(&sub(&schema, (530, 540), (0, 999)));
+        assert_eq!(summary.attr(0).intervals, vec![(10, 20), (500, 540)]);
+        // The merge is conservative: the gap values are now (falsely,
+        // harmlessly) admitted, the far gap still prunes.
+        assert!(summary.may_match(&publication(&schema, 520, 7)));
+        assert!(!summary.may_match(&publication(&schema, 300, 7)));
     }
 
     #[test]
@@ -403,17 +553,39 @@ mod tests {
         assert_eq!(a.subscriptions(), 2);
         assert!(a.may_match(&publication(&schema, 15, 7)));
         assert!(a.may_match(&publication(&schema, 505, 7)));
-        // The merged value set (22 points ≤ cap) still prunes the gap.
+        // Disjoint pieces survive the merge and still prune the gap.
         assert!(!a.may_match(&publication(&schema, 300, 7)));
+    }
 
-        // Merging in a set-degraded summary degrades the union too:
-        // interval semantics take over, conservatively.
-        let mut c = ShardSummary::empty(schema.len());
-        c.widen(&sub(&schema, (600, 700), (0, 999))); // > VALUE_SET_CAP points
-        a.merge(&c);
-        assert!(a.attr(0).values.is_none());
-        assert!(a.may_match(&publication(&schema, 300, 7)));
-        assert!(!a.may_match(&publication(&schema, 701, 7)));
+    #[test]
+    fn widening_cost_is_zero_inside_and_positive_outside() {
+        let schema = schema();
+        let mut summary = ShardSummary::empty(schema.len());
+        let wide = sub(&schema, (100, 299), (0, 999));
+        summary.widen(&wide);
+        // Fully inside the existing coverage: free.
+        let inside = sub(&schema, (150, 200), (0, 999));
+        assert_eq!(summary.widening_cost(&schema, inside.ranges()), 0.0);
+        // Disjoint: pays its full footprint (100/1000 on x0).
+        let outside = sub(&schema, (600, 699), (0, 999));
+        let cost = summary.widening_cost(&schema, outside.ranges());
+        assert!((cost - 0.1).abs() < 1e-9, "cost {cost}");
+        // An empty summary pays for every attribute, full-domain ones too.
+        let empty = ShardSummary::empty(schema.len());
+        let cost = empty.widening_cost(&schema, inside.ranges());
+        assert!((cost - (51.0 / 1000.0 + 1.0)).abs() < 1e-9, "cost {cost}");
+    }
+
+    #[test]
+    fn newly_covered_counts_only_uncovered_points() {
+        let mut attr = AttrSummary::empty();
+        attr.widen_interval(10, 20, 8);
+        attr.widen_interval(40, 50, 8);
+        assert_eq!(attr.covered_points(), 22);
+        // [15, 45]: 31 points, 6 + 6 = 12 already covered.
+        assert_eq!(attr.newly_covered(&Range::new(15, 45).unwrap()), 19);
+        assert_eq!(attr.newly_covered(&Range::new(10, 20).unwrap()), 0);
+        assert_eq!(attr.newly_covered(&Range::new(100, 199).unwrap()), 100);
     }
 
     #[test]
@@ -434,9 +606,12 @@ mod tests {
 
     proptest! {
         /// The conservatism invariant, against the naive matcher: a
-        /// publication some stored subscription matches is never pruned.
+        /// publication some stored subscription matches is never pruned —
+        /// at any interval cap, including a cap of 1 (the old single
+        /// interval bound) that forces constant nearest-gap merging.
         #[test]
         fn prop_summary_never_prunes_a_match(
+            cap in 1usize..=8,
             specs in proptest::collection::vec(
                 (0i64..=999, 0i64..=80, 0i64..=999, 0i64..=400, proptest::bool::ANY),
                 1..24,
@@ -445,7 +620,7 @@ mod tests {
         ) {
             let schema = schema();
             let mut naive = NaiveMatcher::new();
-            let mut summary = ShardSummary::empty(schema.len());
+            let mut summary = ShardSummary::with_intervals(schema.len(), cap);
             for (i, (lo0, w0, lo1, w1, point)) in specs.iter().enumerate() {
                 let s = if *point {
                     // Topic-style: a point on x0, full domain on x1.
@@ -467,6 +642,27 @@ mod tests {
                         summary.may_match(&p),
                         "summary pruned a matching publication ({x0}, {x1})"
                     );
+                }
+            }
+        }
+
+        /// Interval-list structural invariants survive arbitrary widening
+        /// under a small cap: sorted, disjoint, non-adjacent, capped.
+        #[test]
+        fn prop_intervals_stay_sorted_disjoint_capped(
+            cap in 1usize..=6,
+            ranges in proptest::collection::vec((0i64..=999, 0i64..=120), 1..64),
+        ) {
+            let mut attr = AttrSummary::empty();
+            for (lo, w) in ranges {
+                attr.widen_interval(lo, (lo + w).min(999), cap);
+                prop_assert!(attr.intervals.len() <= cap);
+                for pair in attr.intervals.windows(2) {
+                    prop_assert!(pair[0].1.saturating_add(1) < pair[1].0,
+                        "not disjoint/sorted: {:?}", attr.intervals);
+                }
+                for &(lo, hi) in &attr.intervals {
+                    prop_assert!(lo <= hi);
                 }
             }
         }

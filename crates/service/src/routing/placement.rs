@@ -1,0 +1,317 @@
+//! Greedy content-aware subscription placement.
+//!
+//! Hash placement spreads subscriptions uniformly, which makes every
+//! shard's attribute-space summary statistically identical — on a
+//! uniform workload the router's summaries prune ~0% of shard visits
+//! because every shard looks like it could match everything. Placement
+//! fixes the *population*, not the test: route each new subscription to
+//! the shard whose summary it would widen **least**, so shards
+//! specialize into attribute-space clusters and most publications
+//! provably miss most shards.
+//!
+//! ## The score
+//!
+//! For a candidate subscription with bounds `ranges` and a shard `s`
+//! holding `n_s` placed subscriptions:
+//!
+//! ```text
+//! score(s) = widening_cost(s, ranges)
+//!          + LOAD_PENALTY_WEIGHT · max(0, n_s − mean population) / (mean population + 1)
+//! ```
+//!
+//! [`ShardSummary::widening_cost`] is the sum over attributes of the
+//! fraction of the attribute's domain the subscription would newly
+//! force the shard's summary to admit — `0.0` when the subscription
+//! fits entirely inside what the shard already covers. The load term
+//! penalizes only shards **above** the mean population so a shard that
+//! happens to cover a popular region cannot absorb the whole workload:
+//! perfect clustering with one giant shard would route every
+//! *publication* to it too, destroying the parallelism sharding exists
+//! for. Underloaded shards get no bonus — an empty shard still pays the
+//! subscription's full footprint, so genuine clusters are not torn
+//! apart just to fill idle shards. The shard with the minimum score
+//! wins (lowest index on ties, which keeps placement deterministic).
+//!
+//! ## The directory
+//!
+//! Content-aware placement severs the id→shard relationship that hash
+//! placement gave for free, so the router keeps a [`PlacementDirectory`]:
+//! a map from subscription id to shard, plus a per-shard *placement
+//! view* — a [`ShardSummary`] of what has been placed there — that the
+//! scorer reads. The directory is maintained even when placement is
+//! disabled (entries then record the hash shard) so unsubscribe and
+//! duplicate detection behave identically in both modes.
+//!
+//! The placement views are the router's own bookkeeping, distinct from
+//! the authoritative summaries the shard workers publish through their
+//! seqlock cells: views widen on placement and never narrow (removals
+//! only decrement the population count), so they drift looser over
+//! time. That only degrades *placement quality*, never correctness —
+//! pruning decisions read the shard-published summaries, which
+//! re-tighten on rebuild.
+//!
+//! Nothing here is persisted: on recovery the directory is rebuilt from
+//! the per-shard WAL replay (the live set each shard recovers dictates
+//! its entries and view), so the directory is exactly as durable as the
+//! stores it indexes.
+
+use super::ShardSummary;
+use psc_model::{Range, Schema, SubscriptionId};
+use std::collections::HashMap;
+
+/// Weight of the overload term relative to the widening cost (which
+/// contributes up to 1.0 per constrained attribute). At 0.2, a shard a
+/// full mean-population above the mean pays about as much as a
+/// fifth of an attribute domain of widening — enough to cap how far any
+/// shard outgrows the rest without drowning the clustering signal: a
+/// cluster whose per-attribute footprint sums past ~0.2 of the domain
+/// eventually overflows onto a second shard instead of growing
+/// unboundedly.
+pub const LOAD_PENALTY_WEIGHT: f64 = 0.2;
+
+/// The router's id→shard map plus per-shard placement views. See the
+/// [module docs](self).
+pub struct PlacementDirectory {
+    map: HashMap<SubscriptionId, u32>,
+    views: Vec<ShardSummary>,
+    moves: u64,
+}
+
+impl PlacementDirectory {
+    /// An empty directory for `shards` shards over `arity` attributes,
+    /// with `max_intervals` intervals per attribute in each view.
+    pub fn new(shards: usize, arity: usize, max_intervals: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        PlacementDirectory {
+            map: HashMap::new(),
+            views: (0..shards)
+                .map(|_| ShardSummary::with_intervals(arity, max_intervals))
+                .collect(),
+            moves: 0,
+        }
+    }
+
+    /// Number of live entries (placed and not yet confirmed removed).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Subscriptions routed somewhere other than their hash shard.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The shard `id` was placed on, if it is live.
+    pub fn lookup(&self, id: SubscriptionId) -> Option<usize> {
+        self.map.get(&id).map(|&s| s as usize)
+    }
+
+    /// The placement view of shard `s` (test/diagnostic access).
+    pub fn view(&self, s: usize) -> &ShardSummary {
+        &self.views[s]
+    }
+
+    /// Chooses a shard for a new subscription and records the placement.
+    ///
+    /// - A duplicate id routes to its existing shard without widening
+    ///   anything (the shard's store will reject it, preserving the
+    ///   duplicate-rejection counters).
+    /// - With `placement_enabled`, the minimum-score shard wins and a
+    ///   choice differing from `hash_shard` counts as a move; otherwise
+    ///   `hash_shard` is used verbatim.
+    pub fn place(
+        &mut self,
+        id: SubscriptionId,
+        schema: &Schema,
+        ranges: &[Range],
+        hash_shard: usize,
+        placement_enabled: bool,
+    ) -> usize {
+        if let Some(shard) = self.lookup(id) {
+            return shard;
+        }
+        let shard = if placement_enabled {
+            let shard = self.best_shard(schema, ranges);
+            if shard != hash_shard {
+                self.moves += 1;
+            }
+            shard
+        } else {
+            hash_shard
+        };
+        self.record(id, shard, schema, ranges);
+        shard
+    }
+
+    /// Re-records a placement learned from recovery: the shard already
+    /// holds `id`, the directory just mirrors the fact.
+    pub fn record(&mut self, id: SubscriptionId, shard: usize, schema: &Schema, ranges: &[Range]) {
+        self.views[shard].widen_bounds(schema, ranges);
+        self.map.insert(id, shard as u32);
+    }
+
+    /// Confirms that shard `shard` removed `id`: drops the entry and
+    /// decrements the view's population (bounds stay — views never
+    /// narrow). Call only after the shard acknowledged the removal, so a
+    /// racing lookup never points at a shard that still holds the entry.
+    pub fn confirm_removal(&mut self, id: SubscriptionId, shard: usize) {
+        if self.map.remove(&id).is_some() {
+            self.views[shard].note_removal();
+        }
+    }
+
+    /// The minimum-score shard for a subscription with bounds `ranges`.
+    fn best_shard(&self, schema: &Schema, ranges: &[Range]) -> usize {
+        let total: u64 = self.views.iter().map(|v| v.subscriptions()).sum();
+        let mean = total as f64 / self.views.len() as f64;
+        let mut best = 0;
+        let mut best_score = f64::INFINITY;
+        for (s, view) in self.views.iter().enumerate() {
+            let overload = (view.subscriptions() as f64 - mean).max(0.0) / (mean + 1.0);
+            let score = view.widening_cost(schema, ranges) + LOAD_PENALTY_WEIGHT * overload;
+            if score < best_score {
+                best_score = score;
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::DEFAULT_SUMMARY_INTERVALS;
+    use psc_model::Subscription;
+
+    fn schema() -> Schema {
+        Schema::uniform(2, 0, 999)
+    }
+
+    fn sub(schema: &Schema, x0: (i64, i64), x1: (i64, i64)) -> Subscription {
+        Subscription::from_ranges(
+            schema,
+            vec![
+                Range::new(x0.0, x0.1).unwrap(),
+                Range::new(x1.0, x1.1).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn dir(shards: usize) -> PlacementDirectory {
+        PlacementDirectory::new(shards, 2, DEFAULT_SUMMARY_INTERVALS)
+    }
+
+    #[test]
+    fn similar_subscriptions_cluster_on_one_shard() {
+        let schema = schema();
+        let mut dir = dir(4);
+        // Two attribute-space clusters, interleaved arrival order.
+        let low = sub(&schema, (0, 99), (0, 99));
+        let high = sub(&schema, (900, 999), (900, 999));
+        let mut shards_low = Vec::new();
+        let mut shards_high = Vec::new();
+        for i in 0..10u64 {
+            shards_low.push(dir.place(SubscriptionId(2 * i), &schema, low.ranges(), 0, true));
+            shards_high.push(dir.place(SubscriptionId(2 * i + 1), &schema, high.ranges(), 1, true));
+        }
+        assert!(
+            shards_low.iter().all(|&s| s == shards_low[0]),
+            "low cluster split: {shards_low:?}"
+        );
+        assert!(
+            shards_high.iter().all(|&s| s == shards_high[0]),
+            "high cluster split: {shards_high:?}"
+        );
+        assert_ne!(shards_low[0], shards_high[0], "clusters share a shard");
+        assert_eq!(dir.len(), 20);
+    }
+
+    #[test]
+    fn load_penalty_stops_one_shard_absorbing_everything() {
+        let schema = schema();
+        let mut dir = dir(4);
+        // Every subscription is identical: widening cost is 0 on the
+        // first shard after the first placement, so only the load term
+        // differentiates. It must eventually push placements elsewhere.
+        let s = sub(&schema, (100, 200), (100, 200));
+        let mut used = std::collections::BTreeSet::new();
+        for i in 0..40u64 {
+            used.insert(dir.place(SubscriptionId(i), &schema, s.ranges(), 0, true));
+        }
+        assert!(
+            used.len() > 1,
+            "load penalty never engaged: all 40 on shard {used:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_reuse_the_existing_placement() {
+        let schema = schema();
+        let mut dir = dir(4);
+        let a = sub(&schema, (0, 99), (0, 99));
+        let b = sub(&schema, (900, 999), (900, 999));
+        let first = dir.place(SubscriptionId(7), &schema, a.ranges(), 2, true);
+        // Same id, totally different content: must land on the same
+        // shard (where the store will reject it) and widen nothing.
+        let before = dir.view(first).clone();
+        let again = dir.place(SubscriptionId(7), &schema, b.ranges(), 3, true);
+        assert_eq!(first, again);
+        assert_eq!(dir.view(first), &before, "duplicate widened the view");
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn disabled_placement_uses_the_hash_shard_and_counts_no_moves() {
+        let schema = schema();
+        let mut dir = dir(4);
+        let s = sub(&schema, (0, 99), (0, 99));
+        for i in 0..8u64 {
+            let hash = (i % 4) as usize;
+            assert_eq!(
+                dir.place(SubscriptionId(i), &schema, s.ranges(), hash, false),
+                hash
+            );
+        }
+        assert_eq!(dir.moves(), 0);
+        assert_eq!(dir.len(), 8);
+        assert_eq!(dir.lookup(SubscriptionId(5)), Some(1));
+    }
+
+    #[test]
+    fn removal_confirms_through_the_directory() {
+        let schema = schema();
+        let mut dir = dir(2);
+        let s = sub(&schema, (0, 99), (0, 99));
+        let shard = dir.place(SubscriptionId(1), &schema, s.ranges(), 0, true);
+        assert_eq!(dir.lookup(SubscriptionId(1)), Some(shard));
+        dir.confirm_removal(SubscriptionId(1), shard);
+        assert_eq!(dir.lookup(SubscriptionId(1)), None);
+        assert_eq!(dir.view(shard).subscriptions(), 0);
+        assert!(dir.is_empty());
+        // Idempotent: a second confirmation is a no-op.
+        dir.confirm_removal(SubscriptionId(1), shard);
+        assert_eq!(dir.view(shard).subscriptions(), 0);
+    }
+
+    #[test]
+    fn moves_count_only_non_hash_choices() {
+        let schema = schema();
+        let mut dir = dir(2);
+        let s = sub(&schema, (0, 99), (0, 99));
+        // First placement: every view is empty and equally scored, so
+        // shard 0 wins. Hash said 0 too — not a move.
+        dir.place(SubscriptionId(1), &schema, s.ranges(), 0, true);
+        assert_eq!(dir.moves(), 0);
+        // Second identical subscription clusters onto shard 0 while hash
+        // said 1 — a move.
+        dir.place(SubscriptionId(2), &schema, s.ranges(), 1, true);
+        assert_eq!(dir.moves(), 1);
+    }
+}

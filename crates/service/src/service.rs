@@ -2,10 +2,15 @@
 //!
 //! [`PubSubService`] owns `N` shard worker threads (see the private
 //! `shard` module).
-//! Subscriptions are routed to the shard owning their hashed id;
-//! publications fan out to the shards whose attribute-space summary
-//! admits them ([`crate::routing`]; provably-unmatchable shards are
-//! skipped) and the per-shard match sets are merged. Incoming
+//! Subscriptions are *placed* content-aware: the router scores each
+//! shard by how much admitting the subscription would widen its
+//! attribute-space summary and picks the minimum-widening shard,
+//! recording the choice in a placement directory for unsubscribe (see
+//! [`crate::routing::placement`]; with `placement_enabled` off the old
+//! id-hash decides instead). Publications fan out to the shards whose
+//! attribute-space summary admits them ([`crate::routing`];
+//! provably-unmatchable shards are skipped) and the per-shard match
+//! sets are merged. Incoming
 //! subscriptions are buffered per shard and admitted in batches (the
 //! admission pipeline), which lets the covering store admit widest-first
 //! and suppress covered subscriptions without demotion churn.
@@ -19,12 +24,13 @@
 //! are FIFO, so after a flush every later publication observes the batch.
 
 use crate::metrics::ServiceMetrics;
-use crate::routing::{ShardSummary, SummaryCell};
+use crate::routing::{PlacementDirectory, ShardSummary, SummaryCell, DEFAULT_SUMMARY_INTERVALS};
 use crate::shard::{SelectedIndices, ShardCommand, ShardWorker};
 use crate::storage::{FsyncPolicy, ShardStorage, StorageConfig};
 use crate::telemetry::{AtomicHistogram, ServiceLatency};
 use psc_core::SubsumptionChecker;
 use psc_matcher::CoveringStore;
+use psc_model::wire::PlacementStats;
 use psc_model::{Publication, Schema, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +127,19 @@ pub struct ServiceConfig {
     /// lower value keeps summaries tighter (better pruning) at the cost
     /// of more rebuild work; `0` re-tightens on every unsubscription.
     pub summary_retighten_after: u64,
+    /// Routing: place each new subscription on the shard whose summary it
+    /// would widen least (greedy attribute-space clustering, see
+    /// [`crate::routing::placement`]) instead of hashing its id. Pruning
+    /// then bites even on uniform workloads, where hash placement makes
+    /// every shard's summary statistically identical. Disable to fall
+    /// back to hash placement — results are identical either way; only
+    /// the visit counts differ.
+    pub placement_enabled: bool,
+    /// Routing: per-attribute interval cap for the multi-interval shard
+    /// summaries (clamped to ≥ 1). Higher keeps summaries (and therefore
+    /// placement clustering and pruning) sharper at the cost of a larger
+    /// seqlock cell and slightly slower summary operations.
+    pub summary_intervals: usize,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +163,8 @@ impl Default for ServiceConfig {
             wal_segment_bytes: 8 << 20,
             routing_enabled: true,
             summary_retighten_after: 64,
+            placement_enabled: true,
+            summary_intervals: DEFAULT_SUMMARY_INTERVALS,
         }
     }
 }
@@ -254,6 +275,14 @@ pub struct PubSubService {
     shards: Vec<Shard>,
     batch_size: usize,
     routing_enabled: bool,
+    placement_enabled: bool,
+    /// Per-attribute interval cap for every summary the router builds.
+    summary_intervals: usize,
+    /// id→shard assignments plus the per-shard placement views the
+    /// greedy scorer reads. Maintained in both placement modes so
+    /// unsubscribe always resolves through it; rebuilt from recovery,
+    /// never persisted.
+    directory: Mutex<PlacementDirectory>,
     /// Whether shards persist to disk (`data_dir` was set). Lets the
     /// serving edge decide if a flush should also be a durability barrier.
     durable: bool,
@@ -301,6 +330,8 @@ impl PubSubService {
             kind: e.io_kind(),
             detail: e.to_string(),
         };
+        let summary_intervals = config.summary_intervals.max(1);
+        let mut directory = PlacementDirectory::new(config.shards, schema.len(), summary_intervals);
         let mut shards = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let checker = SubsumptionChecker::builder()
@@ -333,12 +364,40 @@ impl PubSubService {
                 storage = Some(shard_storage);
                 log_records = recovery.records;
             }
+            // Rebuild this shard's slice of the placement directory from
+            // what recovery found, before the image moves into the store
+            // and the log records into the worker thread. The live set is
+            // snapshot entries plus the log suffix in order; admissions
+            // keep the *existing* entry on a duplicate id, mirroring the
+            // worker's replay-dedup (and the store's keep-existing rule),
+            // so the directory agrees with the store byte-for-byte.
+            {
+                let mut live: HashMap<SubscriptionId, &Subscription> = HashMap::new();
+                for (id, sub, _) in image_entries.iter().flatten() {
+                    live.insert(*id, sub);
+                }
+                for record in &log_records {
+                    match record {
+                        crate::storage::LogRecord::Admit(batch) => {
+                            for (id, sub) in batch {
+                                live.entry(*id).or_insert(sub);
+                            }
+                        }
+                        crate::storage::LogRecord::Unsubscribe(id) => {
+                            live.remove(id);
+                        }
+                    }
+                }
+                for (id, sub) in live {
+                    directory.record(id, i, &schema, sub.ranges());
+                }
+            }
             let store = match image_entries {
                 Some(entries) => CoveringStore::from_entries(checker, entries)
                     .map_err(|e| storage_err(crate::storage::StorageError::Restore(e)))?,
                 None => CoveringStore::new(checker),
             };
-            let cell = Arc::new(SummaryCell::new(schema.len()));
+            let cell = Arc::new(SummaryCell::new(schema.len(), summary_intervals));
             let mut worker = ShardWorker::new(
                 schema.clone(),
                 store,
@@ -347,6 +406,7 @@ impl PubSubService {
                 Arc::clone(&cell),
                 config.routing_enabled,
                 config.summary_retighten_after,
+                summary_intervals,
             );
             let (tx, rx) = channel();
             let join = std::thread::Builder::new()
@@ -365,7 +425,7 @@ impl PubSubService {
                 commands: tx,
                 pending: Mutex::new(PendingState {
                     buffer: Vec::new(),
-                    summary: ShardSummary::empty(schema.len()),
+                    summary: ShardSummary::with_intervals(schema.len(), summary_intervals),
                     sent: VecDeque::new(),
                     batches_sent: 0,
                     confirmed_floor: 0,
@@ -380,6 +440,9 @@ impl PubSubService {
             shards,
             batch_size: config.batch_size,
             routing_enabled: config.routing_enabled,
+            placement_enabled: config.placement_enabled,
+            summary_intervals,
+            directory: Mutex::new(directory),
             durable: config.data_dir.is_some(),
             publications_total: AtomicU64::new(0),
             route_latency: AtomicHistogram::new(),
@@ -414,6 +477,12 @@ impl PubSubService {
 
     /// Enqueues a subscription for admission on its owning shard.
     ///
+    /// The owning shard is chosen content-aware (minimum summary
+    /// widening) when `placement_enabled`, by id hash otherwise; either
+    /// way the choice lands in the placement directory, which is what
+    /// [`unsubscribe`](PubSubService::unsubscribe) resolves through. A
+    /// duplicate id routes to its existing shard, whose store rejects it.
+    ///
     /// The subscription becomes visible to matching at the next flush
     /// (automatic once the shard buffer holds `batch_size` entries, and
     /// before any publish/unsubscribe/metrics/snapshot call).
@@ -421,7 +490,15 @@ impl PubSubService {
         if !sub.schema().same_shape(&self.schema) {
             return Err(ServiceError::SchemaMismatch);
         }
-        let shard = self.shard_of(id);
+        // The directory lock is released before the pending lock below is
+        // taken — the two never nest, in either order.
+        let shard = self.directory.lock().expect("directory lock").place(
+            id,
+            &self.schema,
+            sub.ranges(),
+            self.shard_of(id),
+            self.placement_enabled,
+        );
         // Drain and enqueue under the same lock: if the send happened after
         // unlocking, a concurrent publish whose flush saw an empty buffer
         // could enqueue its MatchBatch ahead of this batch, breaking the
@@ -448,8 +525,10 @@ impl PubSubService {
     fn send_pending_batch(&self, shard: usize, pending: &mut PendingState) {
         let batch = std::mem::take(&mut pending.buffer);
         if self.routing_enabled {
-            let summary =
-                std::mem::replace(&mut pending.summary, ShardSummary::empty(self.schema.len()));
+            let summary = std::mem::replace(
+                &mut pending.summary,
+                ShardSummary::with_intervals(self.schema.len(), self.summary_intervals),
+            );
             pending.batches_sent += 1;
             pending.sent.push_back((pending.batches_sent, summary));
             // Bound the in-flight list on publish-free workloads: merge
@@ -507,12 +586,27 @@ impl PubSubService {
     }
 
     /// Removes a subscription. Returns whether it was stored.
+    ///
+    /// The shard is resolved through the placement directory; an id the
+    /// directory has never seen is not stored anywhere, so the call
+    /// returns `false` without a shard round-trip. The directory entry is
+    /// dropped only after the shard acknowledged the removal, so a
+    /// concurrent lookup never dangles.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        let shard = self.shard_of(id);
+        let Some(shard) = self.directory.lock().expect("directory lock").lookup(id) else {
+            return false;
+        };
         self.flush_shard(shard);
         let (tx, rx) = channel();
         self.send(shard, ShardCommand::Unsubscribe(id, tx));
-        rx.recv().expect("shard replies to unsubscribe")
+        let removed = rx.recv().expect("shard replies to unsubscribe");
+        if removed {
+            self.directory
+                .lock()
+                .expect("directory lock")
+                .confirm_removal(id, shard);
+        }
+        removed
     }
 
     /// Matches one publication against every shard whose routing summary
@@ -711,9 +805,18 @@ impl PubSubService {
                 metrics
             })
             .collect();
+        let placement = {
+            let directory = self.directory.lock().expect("directory lock");
+            PlacementStats {
+                enabled: self.placement_enabled,
+                directory_entries: directory.len() as u64,
+                placement_moves: directory.moves(),
+            }
+        };
         let metrics = ServiceMetrics {
             shards,
             publications_total: self.publications_total.load(Ordering::Relaxed),
+            placement,
         };
         (metrics, latency)
     }
@@ -976,5 +1079,59 @@ mod tests {
         // Quiescent state: everything subscribed must now be stored.
         assert_eq!(service.snapshot().len(), 200);
         assert_eq!(service.metrics().totals().subscriptions_ingested, 200);
+    }
+
+    #[test]
+    fn placement_stats_flow_through_metrics() {
+        let schema = schema();
+        let service = PubSubService::start(schema.clone(), ServiceConfig::with_shards(4));
+        // Two tight clusters: greedy placement keeps each together, and
+        // clustering forces at least one id off its hash shard.
+        for i in 0..24u64 {
+            let s = if i % 2 == 0 {
+                sub(&schema, (0, 9), (0, 9))
+            } else {
+                sub(&schema, (90, 99), (90, 99))
+            };
+            service.subscribe(SubscriptionId(i), s).unwrap();
+        }
+        let placement = service.metrics().placement;
+        assert!(placement.enabled);
+        assert_eq!(placement.directory_entries, 24);
+        assert!(
+            placement.placement_moves > 0,
+            "clustering never moved an id"
+        );
+
+        // Unsubscribing drains the directory; unknown ids short-circuit.
+        assert!(service.unsubscribe(SubscriptionId(3)));
+        assert!(!service.unsubscribe(SubscriptionId(777)));
+        assert_eq!(service.metrics().placement.directory_entries, 23);
+    }
+
+    #[test]
+    fn placement_disabled_falls_back_to_hash_and_still_unsubscribes() {
+        let schema = schema();
+        let service = PubSubService::start(
+            schema.clone(),
+            ServiceConfig {
+                shards: 4,
+                placement_enabled: false,
+                ..Default::default()
+            },
+        );
+        for i in 0..16u64 {
+            service
+                .subscribe(SubscriptionId(i), sub(&schema, (0, 9), (0, 9)))
+                .unwrap();
+        }
+        let placement = service.metrics().placement;
+        assert!(!placement.enabled);
+        assert_eq!(placement.directory_entries, 16);
+        assert_eq!(placement.placement_moves, 0, "hash placement never moves");
+        for i in 0..16u64 {
+            assert!(service.unsubscribe(SubscriptionId(i)));
+        }
+        assert_eq!(service.metrics().placement.directory_entries, 0);
     }
 }

@@ -170,6 +170,13 @@ pub(crate) struct ShardWorker {
     /// exceeds this.
     retighten_after: u64,
     summary_rebuilds: u64,
+    /// Interval cap for the summary (mirrored from the service config so
+    /// re-tightening rebuilds stay capped the same way).
+    summary_intervals: usize,
+    /// When the summary first went loose (the first removal since the
+    /// last rebuild); `None` while the summary is tight. Lets the scrape
+    /// report staleness as wall-clock age, not just a removal count.
+    loose_since: Option<Instant>,
     /// Wall time of each publication match against the local store.
     /// Worker-owned like every other counter here: recording is a plain
     /// array increment, and scrapes read it through the command queue.
@@ -187,6 +194,9 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
+    // Private constructor with a single call site in `PubSubService`;
+    // the arguments are the shard's full dependency set, not an API.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         schema: Schema,
         store: CoveringStore,
@@ -195,6 +205,7 @@ impl ShardWorker {
         cell: Arc<SummaryCell>,
         routing_enabled: bool,
         retighten_after: u64,
+        summary_intervals: usize,
     ) -> Self {
         // One snapshot writer per durable shard. Spawned eagerly: the
         // thread blocks on an empty channel, so an all-in-memory or
@@ -213,7 +224,7 @@ impl ShardWorker {
             }
             None => (None, None, None),
         };
-        let summary = ShardSummary::empty(schema.len());
+        let summary = ShardSummary::with_intervals(schema.len(), summary_intervals);
         ShardWorker {
             schema,
             store,
@@ -232,6 +243,8 @@ impl ShardWorker {
             removals_since_rebuild: 0,
             retighten_after,
             summary_rebuilds: 0,
+            summary_intervals: summary_intervals.max(1),
+            loose_since: None,
             match_latency: LogHistogram::new(),
             started: Instant::now(),
             subscriptions_ingested: 0,
@@ -282,8 +295,13 @@ impl ShardWorker {
         if !self.routing_enabled {
             return;
         }
-        self.summary = ShardSummary::from_bounds(&self.schema, self.store.iter_bounds());
+        self.summary = ShardSummary::from_bounds_capped(
+            &self.schema,
+            self.store.iter_bounds(),
+            self.summary_intervals,
+        );
         self.removals_since_rebuild = 0;
+        self.loose_since = None;
         self.summary_rebuilds += 1;
     }
 
@@ -478,6 +496,9 @@ impl ShardWorker {
         if self.routing_enabled {
             self.summary.note_removal();
             self.removals_since_rebuild += 1;
+            if self.loose_since.is_none() {
+                self.loose_since = Some(Instant::now());
+            }
             if self.removals_since_rebuild > self.retighten_after {
                 self.rebuild_summary();
             }
@@ -587,6 +608,11 @@ impl ShardWorker {
                 epoch: self.cell.epoch(),
                 rebuilds: self.summary_rebuilds,
                 staleness: self.removals_since_rebuild,
+                intervals: self.summary.intervals(),
+                age_secs: self
+                    .loose_since
+                    .map(|t| t.elapsed().as_secs_f64())
+                    .unwrap_or(0.0),
             },
             subscriptions_ingested: self.subscriptions_ingested,
             subscriptions_suppressed: self.subscriptions_suppressed,

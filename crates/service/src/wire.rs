@@ -610,6 +610,11 @@ mod tests {
                         ..Default::default()
                     }],
                     publications_total: 7,
+                    placement: psc_model::wire::PlacementStats {
+                        enabled: true,
+                        directory_entries: 3,
+                        placement_moves: 1,
+                    },
                 },
                 reactor: None,
                 latency: None,
@@ -741,6 +746,11 @@ mod tests {
                         ..Default::default()
                     }],
                     publications_total: 7,
+                    placement: psc_model::wire::PlacementStats {
+                        enabled: true,
+                        directory_entries: 3,
+                        placement_moves: 1,
+                    },
                 },
                 reactor: None,
                 latency: None,

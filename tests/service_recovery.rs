@@ -277,6 +277,10 @@ fn snapshot_cadence_prunes_segments_and_restores() {
         snapshot_every: 3,
         // Tiny segments so snapshots actually retire covered segments.
         wal_segment_bytes: 256,
+        // Hash placement spreads the workload over both shards so each
+        // one's snapshot cadence actually fires — this test is about
+        // storage mechanics, not placement.
+        placement_enabled: false,
         ..Default::default()
     };
     let ops = subscribe_ops(40);
@@ -616,5 +620,72 @@ fn unusable_data_dir_fails_at_boot() {
         Ok(_) => panic!("bind must fail when the shard directory is unusable"),
     };
     assert!(!err.to_string().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The placement directory is rebuilt from per-shard WAL replay on
+/// recovery: clustered subscriptions that greedy placement moved off
+/// their hash shards must still be found — and removable — through the
+/// rebuilt directory, and ids unsubscribed before the crash must stay
+/// gone.
+#[test]
+fn placement_directory_rebuilds_from_recovery() {
+    let schema = schema();
+    let dir = temp_dir("directory");
+    let config = ServiceConfig {
+        shards: 4,
+        batch_size: 4,
+        placement_enabled: true,
+        data_dir: Some(dir.clone()),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 5, // mix snapshot-image and log-suffix entries
+        ..Default::default()
+    };
+    // Two tight attribute-space clusters: greedy placement packs each
+    // onto one shard, so most ids live away from their hash shard and a
+    // hash-based unsubscribe lookup would miss them.
+    let cluster = |base: i64, id: u64| Op::Subscribe(id, (base, base + 9), (base, base + 9));
+    let mut ops: Vec<Op> = Vec::new();
+    for i in 0..12u64 {
+        ops.push(cluster(0, i));
+        ops.push(cluster(80, 100 + i));
+    }
+    // A few removals before the crash: replay must drop them from the
+    // rebuilt directory too.
+    ops.push(Op::Unsubscribe(3));
+    ops.push(Op::Unsubscribe(105));
+    {
+        let durable = PubSubService::open(schema.clone(), config.clone()).unwrap();
+        apply(&durable, &schema, &ops);
+        let moves = durable.metrics().placement.placement_moves;
+        assert!(moves > 0, "clusters never moved off their hash shards");
+    }
+
+    let rebuilt = PubSubService::open(schema.clone(), config).unwrap();
+    let placement = rebuilt.metrics().placement;
+    assert!(placement.enabled);
+    assert_eq!(placement.directory_entries, 22, "24 placed - 2 removed");
+    // Pre-crash removals stayed removed.
+    assert!(!rebuilt.unsubscribe(SubscriptionId(3)));
+    assert!(!rebuilt.unsubscribe(SubscriptionId(105)));
+    // Every surviving id resolves through the rebuilt directory.
+    for id in (0..12u64).chain(100..112).filter(|&i| i != 3 && i != 105) {
+        assert!(
+            rebuilt.unsubscribe(SubscriptionId(id)),
+            "recovered directory lost id {id}"
+        );
+    }
+    assert_eq!(rebuilt.metrics().placement.directory_entries, 0);
+    // The stores drained along with the directory.
+    let p = Publication::builder(&schema)
+        .set("x0", 5)
+        .set("x1", 5)
+        .build()
+        .unwrap();
+    assert!(rebuilt.publish(&p).unwrap().is_empty());
+    // Join the shard workers (and their snapshot writers) before deleting
+    // the data dir, or an in-flight background snapshot can recreate
+    // files under a directory being removed.
+    drop(rebuilt);
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -155,7 +155,12 @@ proptest! {
 
     /// Routed match results are identical to all-shard fan-out (and to a
     /// naive reference) across random workloads — including mid-stream,
-    /// after unsubscriptions, and after a durable restart.
+    /// after unsubscriptions, and after a durable restart. Runs a
+    /// placement-routed service (the default) *and* a hash-placed twin
+    /// against the same fan-out/naive ground truth, so the equivalence
+    /// chain is placement ≡ hash ≡ fan-out ≡ naive — placement may move
+    /// subscriptions between shards and route unsubscribes through its
+    /// directory, but must never change a match result.
     #[test]
     fn routed_results_equal_fanout_results(
         ops in proptest::collection::vec(arb_op(), 1..80),
@@ -169,6 +174,7 @@ proptest! {
             shards,
             batch_size,
             routing_enabled: true,
+            placement_enabled: true,
             summary_retighten_after: retighten_after,
             data_dir: Some(dir.clone()),
             fsync: FsyncPolicy::Never,
@@ -178,38 +184,73 @@ proptest! {
             error_probability: 1e-12,
             ..Default::default()
         };
+        let hashed_config = ServiceConfig {
+            placement_enabled: false,
+            data_dir: None,
+            ..config.clone()
+        };
         let fanout_config = ServiceConfig {
             routing_enabled: false,
+            placement_enabled: false,
             data_dir: None,
             ..config.clone()
         };
 
         let fanout = PubSubService::start(schema.clone(), fanout_config);
         let mut fanout_reference = BTreeMap::new();
+        let hashed = PubSubService::start(schema.clone(), hashed_config);
+        let mut hashed_reference = BTreeMap::new();
 
         let mut reference = BTreeMap::new();
         {
-            let routed = PubSubService::open(schema.clone(), config.clone()).unwrap();
+            let placed = PubSubService::open(schema.clone(), config.clone()).unwrap();
 
             // Compare mid-stream too: summaries must be conservative at
             // every prefix, not just at quiescence.
             let split = ops.len() / 2;
-            apply(&routed, &mut reference, &schema, &ops[..split]);
+            apply(&placed, &mut reference, &schema, &ops[..split]);
+            apply(&hashed, &mut hashed_reference, &schema, &ops[..split]);
             apply(&fanout, &mut fanout_reference, &schema, &ops[..split]);
-            assert_routed_equals_fanout(&routed, &fanout, &reference, &schema, "mid-stream");
+            assert_routed_equals_fanout(&placed, &fanout, &reference, &schema, "mid-stream placed");
+            assert_routed_equals_fanout(&hashed, &fanout, &reference, &schema, "mid-stream hashed");
 
-            apply(&routed, &mut reference, &schema, &ops[split..]);
+            apply(&placed, &mut reference, &schema, &ops[split..]);
+            apply(&hashed, &mut hashed_reference, &schema, &ops[split..]);
             apply(&fanout, &mut fanout_reference, &schema, &ops[split..]);
             prop_assert_eq!(&reference, &fanout_reference);
-            assert_routed_equals_fanout(&routed, &fanout, &reference, &schema, "quiescent");
-            // Routing disabled really means no pruning.
+            prop_assert_eq!(&reference, &hashed_reference);
+            assert_routed_equals_fanout(&placed, &fanout, &reference, &schema, "quiescent placed");
+            assert_routed_equals_fanout(&hashed, &fanout, &reference, &schema, "quiescent hashed");
+            // Routing disabled really means no pruning; hash mode keeps
+            // the directory live but never diverges from the hash shard.
             prop_assert_eq!(fanout.metrics().totals().shards_pruned, 0);
+            prop_assert_eq!(hashed.metrics().placement.placement_moves, 0);
+            prop_assert_eq!(
+                placed.metrics().placement.directory_entries as usize,
+                reference.len()
+            );
         }
 
-        // Restart the routed service: summaries are rebuilt from the
-        // recovered stores and must stay conservative.
+        // Restart the placed service: summaries are rebuilt from the
+        // recovered stores, the placement directory from WAL replay, and
+        // both must stay conservative/authoritative.
         let rebuilt = PubSubService::open(schema.clone(), config).unwrap();
         assert_routed_equals_fanout(&rebuilt, &fanout, &reference, &schema, "after restart");
+        prop_assert_eq!(
+            rebuilt.metrics().placement.directory_entries as usize,
+            reference.len(),
+            "recovered directory must index exactly the live set"
+        );
+        // Every live id can still be removed through the rebuilt
+        // directory; a dead one reports false without a shard visit.
+        for (&id, _) in reference.iter().take(4) {
+            prop_assert!(rebuilt.unsubscribe(SubscriptionId(id)), "recovered id {} lost", id);
+        }
+        prop_assert!(!rebuilt.unsubscribe(SubscriptionId(u64::MAX)));
+        // Join the shard workers (and their snapshot writers) before
+        // deleting the data dir, or an in-flight background snapshot can
+        // recreate files under a directory being removed.
+        drop(rebuilt);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
@@ -462,6 +503,69 @@ fn summary_counters_flow_through_stats_json() {
     let parsed = psc::model::wire::Json::parse(&json).unwrap();
     let back = psc::service::ServiceMetrics::from_json(&parsed).unwrap();
     assert_eq!(back, metrics);
+}
+
+/// The headline perf claim of content-aware placement, pinned down
+/// deterministically: on the *uniform* workload (no topic skew — the
+/// workload where hash placement prunes nothing, because every shard's
+/// summary looks identical) greedy placement at 8 shards specializes
+/// the shards into attribute-space clusters and prunes at least 40% of
+/// shard visits, while hash placement on the same stream prunes almost
+/// none. Both services must still agree with each other on every match.
+#[test]
+fn placement_prunes_uniform_workload_at_eight_shards() {
+    let (schema, subs, pubs) = psc_bench::uniform_fixture(4, 2400, 512, 300, 0xBEE5);
+    let placed = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 8,
+            placement_enabled: true,
+            ..Default::default()
+        },
+    );
+    let hashed = PubSubService::start(
+        schema.clone(),
+        ServiceConfig {
+            shards: 8,
+            placement_enabled: false,
+            ..Default::default()
+        },
+    );
+    for (i, s) in subs.iter().enumerate() {
+        placed
+            .subscribe(SubscriptionId(i as u64), s.clone())
+            .unwrap();
+        hashed
+            .subscribe(SubscriptionId(i as u64), s.clone())
+            .unwrap();
+    }
+    placed.flush();
+    hashed.flush();
+
+    let placed_results = placed.publish_batch(&pubs).unwrap();
+    let hashed_results = hashed.publish_batch(&pubs).unwrap();
+    for ((p, a), b) in pubs.iter().zip(&placed_results).zip(&hashed_results) {
+        assert_eq!(a, b, "placement changed a match result at {p}");
+    }
+
+    let visits = (pubs.len() * 8) as f64;
+    let placed_fraction = placed.metrics().totals().shards_pruned as f64 / visits;
+    let hashed_fraction = hashed.metrics().totals().shards_pruned as f64 / visits;
+    eprintln!(
+        "uniform@8: placement pruned {:.1}% of shard visits, hash pruned {:.1}%",
+        placed_fraction * 100.0,
+        hashed_fraction * 100.0
+    );
+    assert!(
+        placed_fraction >= 0.4,
+        "placement pruned only {:.1}% of uniform shard visits (hash: {:.1}%)",
+        placed_fraction * 100.0,
+        hashed_fraction * 100.0
+    );
+    assert!(
+        placed_fraction > hashed_fraction,
+        "placement ({placed_fraction:.3}) must beat hash ({hashed_fraction:.3})"
+    );
 }
 
 /// Regression test for a pop-against-stale-view race. Confirmed `sent`
