@@ -859,6 +859,205 @@ fn run_scenario(spec: &Spec, smoke: bool, seed: u64) -> Result<Json, String> {
     Ok(scenario)
 }
 
+/// The federated scenario: an in-process 3-node broker chain
+/// (edge → transit → edge), a covering-heavy nested subscription
+/// workload at one edge, and pipelined binary publishers at the other.
+/// Reports the mesh-specific keys — `nodes`, `subs_forwarded`,
+/// `subs_suppressed`, `suppressed_fraction` — that
+/// [`validate_bench_report`] gates the aggregation win on, alongside the
+/// standard throughput/latency block scraped from the publisher-side
+/// node.
+fn run_federated(smoke: bool, seed: u64) -> Result<Json, String> {
+    use psc_broker::{BrokerId, CoveringPolicy};
+    use psc_service::federation::{FederatedNode, FederationConfig};
+
+    let (families, per_family, publishers, publishes_per) = if smoke {
+        (8usize, 6usize, 2usize, 150usize)
+    } else {
+        (40, 10, 4, 2000)
+    };
+    // Reuse the uniform fixture's schema and publication stream; the
+    // subscriptions are replaced by nested families (each family shares
+    // a center, successive members shrink), which is the covering-heavy
+    // shape aggregation exists for.
+    let distinct_pubs = (publishers * publishes_per).clamp(64, 2048);
+    let (schema, _, publications) = generate(Workload::Uniform, 1, distinct_pubs, seed);
+    let domain = 300i64;
+    let mut subscriptions = Vec::with_capacity(families * per_family);
+    for f in 0..families {
+        let center = (f as i64 * 2 + 1) * domain / (families as i64 * 2 + 1);
+        for j in 0..per_family {
+            let half = 40 - 3 * j as i64;
+            let ranges = (0..schema.len())
+                .map(|_| {
+                    psc_model::Range::new((center - half).max(0), (center + half).min(domain - 1))
+                        .expect("range")
+                })
+                .collect();
+            subscriptions
+                .push(Subscription::from_ranges(&schema, ranges).expect("nested subscription"));
+        }
+    }
+
+    let node_config = || {
+        let mut config = ServiceConfig::with_shards(1);
+        config.io_timeout = Some(Duration::from_secs(10));
+        config.max_connections = publishers + 16;
+        config
+    };
+    let fed = |id: usize, peers: &[usize]| FederationConfig {
+        node_id: BrokerId(id),
+        listen: "127.0.0.1:0".to_string(),
+        peers: peers
+            .iter()
+            .map(|&p| (BrokerId(p), "127.0.0.1:9".parse().unwrap()))
+            .collect(),
+        policy: CoveringPolicy::Pairwise,
+        seed: 0xFED,
+        heartbeat_interval: Some(Duration::from_millis(500)),
+        fail_after_ops: None,
+    };
+    let a = FederatedNode::start(schema.clone(), node_config(), fed(0, &[1]))
+        .map_err(|e| format!("node A: {e}"))?;
+    let b = FederatedNode::start(schema.clone(), node_config(), fed(1, &[0, 2]))
+        .map_err(|e| format!("node B: {e}"))?;
+    let c = FederatedNode::start(schema.clone(), node_config(), fed(2, &[1]))
+        .map_err(|e| format!("node C: {e}"))?;
+    a.set_peer_addr(BrokerId(1), b.local_addr());
+    b.set_peer_addr(BrokerId(0), a.local_addr());
+    b.set_peer_addr(BrokerId(2), c.local_addr());
+    c.set_peer_addr(BrokerId(1), b.local_addr());
+
+    // Edge subscription load at C, through a real binary client.
+    let subscribe_started = Instant::now();
+    let mut edge =
+        connect(c.local_addr(), ClientProtocol::Binary).map_err(|e| format!("edge {e}"))?;
+    for (i, sub) in subscriptions.iter().enumerate() {
+        edge.subscribe(SubscriptionId(i as u64 + 1), sub)
+            .map_err(|e| format!("edge subscribe: {e}"))?;
+    }
+    edge.flush().map_err(|e| format!("edge flush: {e}"))?;
+    let subscribe_elapsed = subscribe_started.elapsed();
+
+    // Pipelined binary publishers at A — every publish crosses two
+    // broker hops before the notification closes the loop.
+    let publications = Arc::new(publications);
+    let addr = a.local_addr();
+    let publish_started = Instant::now();
+    let publisher_handles: Vec<_> = (0..publishers)
+        .map(|p| {
+            let publications = Arc::clone(&publications);
+            std::thread::spawn(move || -> Result<LogHistogram, String> {
+                let mut client =
+                    connect(addr, ClientProtocol::Binary).map_err(|e| format!("publisher {e}"))?;
+                let mut rtt = LogHistogram::new();
+                let window = PIPELINE_WINDOW.min(publishes_per.max(1));
+                let mut in_flight: std::collections::VecDeque<Instant> =
+                    std::collections::VecDeque::with_capacity(window);
+                for i in 0..publishes_per {
+                    if in_flight.len() == window {
+                        client.recv_matched().map_err(|e| format!("publish: {e}"))?;
+                        let sent = in_flight.pop_front().expect("window non-empty");
+                        rtt.record_duration(sent.elapsed());
+                    }
+                    let publication = &publications[(p + i * publishers) % publications.len()];
+                    in_flight.push_back(Instant::now());
+                    client
+                        .send_publish(publication)
+                        .map_err(|e| format!("publish: {e}"))?;
+                }
+                while let Some(sent) = in_flight.pop_front() {
+                    client.recv_matched().map_err(|e| format!("publish: {e}"))?;
+                    rtt.record_duration(sent.elapsed());
+                }
+                Ok(rtt)
+            })
+        })
+        .collect();
+    let mut rtt = LogHistogram::new();
+    for handle in publisher_handles {
+        let publisher = handle
+            .join()
+            .map_err(|_| "publisher panicked".to_string())??;
+        rtt.merge(&publisher);
+    }
+    let elapsed = publish_started.elapsed();
+
+    // Publisher-side server view (throughput/latency), edge-side mesh
+    // view (the aggregation counters the validator gates on).
+    let mut control = connect(addr, ClientProtocol::Binary).map_err(|e| format!("control {e}"))?;
+    let (metrics, reactor, latency) = control
+        .stats_full()
+        .map_err(|e| format!("stats scrape: {e}"))?;
+    let reactor = reactor.ok_or("federated node reported no reactor metrics")?;
+    let latency = latency.ok_or("federated node reported no latency stats")?;
+    let edge_stats = c.federation_stats();
+
+    let publishes = (publishers * publishes_per) as u64;
+    if latency.end_to_end.count != publishes {
+        return Err(format!(
+            "e2e samples {} != publishes {publishes}",
+            latency.end_to_end.count
+        ));
+    }
+    let accepted = subscriptions.len() as u64;
+    if edge_stats.subs_forwarded + edge_stats.subs_suppressed != accepted {
+        return Err(format!(
+            "edge made {} + {} forwarding decisions for {accepted} subscriptions",
+            edge_stats.subs_forwarded, edge_stats.subs_suppressed
+        ));
+    }
+    let suppressed_fraction = edge_stats.subs_suppressed as f64 / accepted.max(1) as f64;
+    let throughput = publishes as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "[loadgen] federated[binary]: 3 nodes, {} subs ({} forwarded, {} suppressed, {:.1}% suppressed), {} pubs in {:.2}s ({:.0}/s), client p50={}ns p99={}ns",
+        accepted,
+        edge_stats.subs_forwarded,
+        edge_stats.subs_suppressed,
+        suppressed_fraction * 100.0,
+        publishes,
+        elapsed.as_secs_f64(),
+        throughput,
+        rtt.quantile(0.50),
+        rtt.quantile(0.99),
+    );
+
+    let scenario = Json::obj([
+        ("name", Json::Str("federated".into())),
+        ("protocol", Json::Str("binary".into())),
+        ("fsync_policy", Json::Str("none".into())),
+        ("nodes", Json::UInt(3)),
+        ("subs_forwarded", Json::UInt(edge_stats.subs_forwarded)),
+        ("subs_suppressed", Json::UInt(edge_stats.subs_suppressed)),
+        ("suppressed_fraction", Json::Float(suppressed_fraction)),
+        ("connections", Json::UInt(reactor.connections_accepted)),
+        ("subscriptions", Json::UInt(accepted)),
+        (
+            "subscribe_secs",
+            Json::Float(subscribe_elapsed.as_secs_f64()),
+        ),
+        ("publishes", Json::UInt(publishes)),
+        ("elapsed_secs", Json::Float(elapsed.as_secs_f64())),
+        ("throughput_pubs_per_sec", Json::Float(throughput)),
+        ("pipeline_window", Json::UInt(PIPELINE_WINDOW as u64)),
+        ("client_rtt", stage_summary(&rtt).to_json()),
+        (
+            "server",
+            Json::obj([
+                ("publications_total", Json::UInt(metrics.publications_total)),
+                ("requests_handled", Json::UInt(reactor.requests_handled)),
+                ("latency", latency.to_json()),
+            ]),
+        ),
+    ]);
+    drop(edge);
+    drop(control);
+    a.stop();
+    b.stop();
+    c.stop();
+    Ok(scenario)
+}
+
 fn usage() -> &'static str {
     "usage: loadgen [--smoke] [--durability] [--proto json|binary|both] [--out PATH] | loadgen --validate PATH"
 }
@@ -866,7 +1065,7 @@ fn usage() -> &'static str {
 fn main() -> ExitCode {
     let mut smoke = false;
     let mut durability = false;
-    let mut out = PathBuf::from("BENCH_9.json");
+    let mut out = PathBuf::from("BENCH_10.json");
     let mut filter = ProtoFilter::Both;
     let mut validate: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -952,9 +1151,21 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The federated mesh scenario drives binary publishers, so a
+    // json-only run skips it (matching the policy scenarios' treatment
+    // of protocol restriction).
+    if filter != ProtoFilter::Json {
+        match run_federated(smoke, 0x10AD_6E00 ^ (7 << 8)) {
+            Ok(scenario) => scenarios.push(scenario),
+            Err(e) => {
+                eprintln!("[loadgen] scenario federated[binary]: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let report = Json::obj([
         ("bench", Json::Str("loadgen".into())),
-        ("issue", Json::UInt(9)),
+        ("issue", Json::UInt(10)),
         (
             "mode",
             Json::Str(if smoke { "smoke" } else { "full" }.into()),

@@ -337,6 +337,43 @@ pub fn validate_bench_report(report: &Json) -> Result<(), String> {
             return Err(format!("scenario \"{name}\": no connections"));
         }
         u64_field(scenario, "subscriptions").map_err(tag)?;
+        // Federated scenarios (tagged with "nodes") must demonstrate the
+        // control-traffic win the subscription aggregation claims: every
+        // accepted subscription was either forwarded or suppressed on
+        // the uplink, and at least a quarter of the covering-heavy
+        // stream was suppressed.
+        if let Some(nodes) = scenario.get("nodes") {
+            let nodes = nodes
+                .as_u64()
+                .ok_or_else(|| format!("scenario \"{name}\": \"nodes\" must be an integer"))?;
+            if nodes < 2 {
+                return Err(format!(
+                    "scenario \"{name}\": a federated run needs at least 2 nodes, got {nodes}"
+                ));
+            }
+            let forwarded = u64_field(scenario, "subs_forwarded").map_err(tag)?;
+            let suppressed = u64_field(scenario, "subs_suppressed").map_err(tag)?;
+            let subs = u64_field(scenario, "subscriptions").map_err(tag)?;
+            if forwarded + suppressed != subs {
+                return Err(format!(
+                    "scenario \"{name}\": forwarded {forwarded} + suppressed {suppressed} \
+                     != subscriptions {subs}"
+                ));
+            }
+            let fraction = f64_field(scenario, "suppressed_fraction").map_err(tag)?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(format!(
+                    "scenario \"{name}\": suppressed_fraction {fraction} outside [0, 1]"
+                ));
+            }
+            if fraction < 0.25 {
+                return Err(format!(
+                    "scenario \"{name}\": aggregation suppressed only {:.1}% of the \
+                     covering-heavy stream (< 25%)",
+                    fraction * 100.0
+                ));
+            }
+        }
         if u64_field(scenario, "publishes").map_err(tag)? == 0 {
             return Err(format!("scenario \"{name}\": no publishes"));
         }

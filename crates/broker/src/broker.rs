@@ -135,6 +135,21 @@ impl Broker {
             .map_or_else(Vec::new, |v| v.iter().map(|(_, s)| s.clone()).collect())
     }
 
+    /// The `(id, subscription)` pairs already forwarded to `to` — the
+    /// covering context plus the ids needed for retract-and-replace
+    /// (a new subscription that subsumes previously forwarded ones
+    /// retracts them by id).
+    pub fn sent_entries(&self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.sent.get(&to).cloned().unwrap_or_default()
+    }
+
+    /// The `(id, subscription)` pairs currently withheld from `to` by a
+    /// covering decision (observability / invariant-checking view; the
+    /// mutating sibling is [`Broker::take_suppressed`]).
+    pub fn suppressed_entries(&self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.suppressed.get(&to).cloned().unwrap_or_default()
+    }
+
     /// Neighbors to which subscription `id` was forwarded.
     pub fn sent_links_for(&self, id: SubscriptionId) -> Vec<BrokerId> {
         self.sent

@@ -92,6 +92,14 @@ pub fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Appends an opaque byte blob as `u32` length + raw bytes — the
+/// non-UTF-8 sibling of [`put_str`], used by the federation layer to
+/// ship write-ahead-log segment and manifest bytes verbatim.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
 /// Appends a subscription as `u32` arity + `(lo, hi)` per attribute.
 pub fn put_subscription(out: &mut Vec<u8>, sub: &Subscription) {
     put_u32(out, sub.arity() as u32);
@@ -304,6 +312,14 @@ impl<'a> ByteReader<'a> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("string is not UTF-8"))
+    }
+
+    /// Reads a byte blob written by [`put_bytes`]. The declared length
+    /// is checked against the remaining payload before allocating, so a
+    /// corrupt header cannot trigger a huge allocation.
+    pub fn byte_vec(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     /// Reads a subscription written by [`ByteWriter::subscription`],
@@ -545,6 +561,28 @@ mod tests {
         assert_eq!(r.i64().unwrap(), i64::MIN);
         assert_eq!(r.str().unwrap(), "bID");
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_blobs_round_trip_and_guard_length() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &[0xB5, 0x00, 0xFF]);
+        put_bytes(&mut out, &[]);
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.byte_vec().unwrap(), vec![0xB5, 0x00, 0xFF]);
+        assert_eq!(r.byte_vec().unwrap(), Vec::<u8>::new());
+        assert!(r.is_empty());
+
+        // A length header larger than the remaining payload must error
+        // before allocating, not read out of bounds.
+        let mut corrupt = Vec::new();
+        put_u32(&mut corrupt, 1_000_000);
+        corrupt.push(0xAA);
+        let mut r = ByteReader::new(&corrupt);
+        assert!(matches!(
+            r.byte_vec(),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! - [`PlacementStats`] — router-level subscription-placement counters
 //!   flattened into the top of a `stats` response (`placement_enabled` /
 //!   `directory_entries` / `placement_moves`);
+//! - [`FederationStats`] — federated-broker counters under the `stats`
+//!   response's decode-optional `federation` key (`peers_connected` /
+//!   `subs_forwarded` / `subs_suppressed` / `segments_shipped` / …;
+//!   absent entirely when talking to a non-federated node);
 //! - [`LatencyStats`] / [`StageLatency`] — per-stage latency quantile
 //!   summaries under the `stats` response's decode-optional `latency` key
 //!   (nanosecond units; absent when talking to a pre-telemetry peer).
@@ -982,6 +986,87 @@ impl PlacementStats {
                 .unwrap_or(false),
             directory_entries: field("directory_entries"),
             placement_moves: field("placement_moves"),
+        }
+    }
+}
+
+/// Federated-broker counters riding the `stats` response's
+/// decode-optional `federation` key.
+///
+/// A federated node measures its mesh edges here: how many overlay
+/// links are live, how much subscription control traffic the covering
+/// policy actually put on the wire versus suppressed, and how much
+/// write-ahead-log replication it served. `subs_forwarded +
+/// subs_suppressed` counts every forwarding *decision* the node made,
+/// so `subs_suppressed / (subs_forwarded + subs_suppressed)` is the
+/// control-traffic suppression fraction the paper's subsumption checker
+/// buys.
+///
+/// Version-skew policy matches [`PlacementStats`]: every key decodes
+/// optionally (missing ⇒ zero) so stats from an older, pre-federation
+/// peer still parse, and the whole object is absent from non-federated
+/// nodes.
+///
+/// # Example
+/// ```
+/// use psc_model::wire::{FederationStats, Json};
+///
+/// let stats = FederationStats { peers_connected: 2, subs_forwarded: 9, ..Default::default() };
+/// let obj = Json::Obj(stats.to_json_fields());
+/// assert_eq!(FederationStats::from_json(&obj), stats);
+/// // Pre-federation peers simply omit the keys; decode defaults.
+/// assert_eq!(FederationStats::from_json(&Json::obj([])), FederationStats::default());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FederationStats {
+    /// Overlay links with a live broker session right now.
+    pub peers_connected: u64,
+    /// Subscriptions this node forwarded on some uplink.
+    pub subs_forwarded: u64,
+    /// Subscriptions received from peer brokers (not local clients).
+    pub subs_received: u64,
+    /// Forwarding decisions suppressed because an already-forwarded
+    /// subscription covers the new one.
+    pub subs_suppressed: u64,
+    /// Retractions sent upstream (unsubscribes and retract-and-replace).
+    pub subs_retracted: u64,
+    /// Publications forwarded to peer brokers.
+    pub remote_publishes: u64,
+    /// Rotated write-ahead-log segments fully shipped to followers.
+    pub segments_shipped: u64,
+}
+
+impl FederationStats {
+    /// Encodes as the flat key/value pairs of the stats response's
+    /// `federation` object.
+    pub fn to_json_fields(&self) -> Vec<(String, Json)> {
+        let pairs = [
+            ("peers_connected", self.peers_connected),
+            ("subs_forwarded", self.subs_forwarded),
+            ("subs_received", self.subs_received),
+            ("subs_suppressed", self.subs_suppressed),
+            ("subs_retracted", self.subs_retracted),
+            ("remote_publishes", self.remote_publishes),
+            ("segments_shipped", self.segments_shipped),
+        ];
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::UInt(v)))
+            .collect()
+    }
+
+    /// Decodes from a `federation` stats object, defaulting every
+    /// missing key to zero so older peers' stats still parse.
+    pub fn from_json(value: &Json) -> Self {
+        let field = |key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+        FederationStats {
+            peers_connected: field("peers_connected"),
+            subs_forwarded: field("subs_forwarded"),
+            subs_received: field("subs_received"),
+            subs_suppressed: field("subs_suppressed"),
+            subs_retracted: field("subs_retracted"),
+            remote_publishes: field("remote_publishes"),
+            segments_shipped: field("segments_shipped"),
         }
     }
 }

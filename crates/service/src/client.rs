@@ -422,7 +422,21 @@ impl ServiceClient {
                 metrics,
                 reactor,
                 latency,
+                federation: _,
             } => Ok((metrics, reactor, latency.map(|l| *l))),
+            other => Err(ClientError::UnexpectedResponse(Box::new(other))),
+        }
+    }
+
+    /// Scrapes federation counters from a mesh node. Returns `None` when
+    /// the server is a plain, non-federated service (or an older build
+    /// that predates the mesh) — the stats response simply lacks the
+    /// `federation` object in that case.
+    pub fn stats_federation(
+        &mut self,
+    ) -> Result<Option<psc_model::wire::FederationStats>, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { federation, .. } => Ok(federation),
             other => Err(ClientError::UnexpectedResponse(Box::new(other))),
         }
     }

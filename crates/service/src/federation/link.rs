@@ -1,0 +1,256 @@
+//! Outbound broker sessions — one per overlay link.
+//!
+//! A [`LinkSession`] owns the dialing side of one mesh edge: a binary
+//! connection (same preamble/Ready handshake as a client, see
+//! [`crate::wire`]) over which broker opcodes run as synchronous round
+//! trips. The whole round trip holds the session's mutex, so requests
+//! on one link serialize; on a tree overlay the hop-by-hop forwarding
+//! direction always points away from the originating node, so these
+//! per-link locks cannot form a cycle.
+//!
+//! Failure model: any I/O or protocol error tears the connection down
+//! (`connected` drops to `false`) and surfaces to the caller. The node
+//! re-establishes lazily on the next use — and, because a reconnect is
+//! reported distinctly, follows it with a full *resync* (re-forwarding
+//! the covering-filtered sent set) so a restarted peer rebuilds its
+//! routing tables before any new traffic rides the link.
+
+use super::proto::{BrokerRequest, BrokerResponse};
+use psc_broker::BrokerId;
+use psc_model::codec::{BinFrame, BinaryFramer, ByteReader, BINARY_PREAMBLE};
+use psc_model::wire::WireError;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Largest broker response frame a link accepts (WAL chunks dominate;
+/// the cap leaves generous headroom over [`super::proto::MAX_WAL_CHUNK_BYTES`]).
+const MAX_LINK_FRAME_BYTES: usize = 1 << 20;
+
+/// Errors surfaced by broker-link round trips.
+#[derive(Debug)]
+pub enum LinkError {
+    /// Connecting, reading, or writing the session socket failed.
+    Io(std::io::Error),
+    /// The peer's bytes did not decode as a broker response.
+    Wire(WireError),
+    /// The peer answered with an error frame — e.g. an old,
+    /// pre-federation node rejecting a broker opcode it does not know.
+    Remote(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Io(e) => write!(f, "link i/o error: {e}"),
+            LinkError::Wire(e) => write!(f, "link protocol error: {e}"),
+            LinkError::Remote(message) => write!(f, "peer error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<std::io::Error> for LinkError {
+    fn from(e: std::io::Error) -> Self {
+        LinkError::Io(e)
+    }
+}
+
+impl From<WireError> for LinkError {
+    fn from(e: WireError) -> Self {
+        LinkError::Wire(e)
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    framer: BinaryFramer,
+}
+
+/// The dialing end of one overlay link.
+pub(crate) struct LinkSession {
+    peer: BrokerId,
+    node_id: u64,
+    addr: Mutex<SocketAddr>,
+    io_timeout: Option<Duration>,
+    conn: Mutex<Option<Conn>>,
+    connected: AtomicBool,
+}
+
+impl LinkSession {
+    pub(crate) fn new(
+        peer: BrokerId,
+        node_id: u64,
+        addr: SocketAddr,
+        io_timeout: Option<Duration>,
+    ) -> LinkSession {
+        LinkSession {
+            peer,
+            node_id,
+            addr: Mutex::new(addr),
+            io_timeout,
+            conn: Mutex::new(None),
+            connected: AtomicBool::new(false),
+        }
+    }
+
+    /// The peer this link dials.
+    pub(crate) fn peer(&self) -> BrokerId {
+        self.peer
+    }
+
+    /// Whether the session is currently established.
+    pub(crate) fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Relaxed)
+    }
+
+    /// Re-points the link at a new address (a peer restarted elsewhere)
+    /// and tears down any current session so the next use reconnects.
+    pub(crate) fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().expect("link addr lock") = addr;
+        self.disconnect();
+    }
+
+    /// Drops the current session, if any.
+    pub(crate) fn disconnect(&self) {
+        *self.conn.lock().expect("link conn lock") = None;
+        self.connected.store(false, Ordering::Relaxed);
+    }
+
+    /// Establishes the session if it is down: TCP connect, binary
+    /// preamble, Ready frame, broker hello. Returns `true` when this
+    /// call created a fresh session (the caller must then resync before
+    /// trusting the link's peer-side state).
+    pub(crate) fn ensure(&self) -> Result<bool, LinkError> {
+        let mut guard = self.conn.lock().expect("link conn lock");
+        if guard.is_some() {
+            return Ok(false);
+        }
+        let addr = *self.addr.lock().expect("link addr lock");
+        let mut stream = match self.io_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => TcpStream::connect_timeout(&addr, timeout)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        stream.write_all(&BINARY_PREAMBLE)?;
+        let mut framer = BinaryFramer::new(MAX_LINK_FRAME_BYTES);
+        // Wait for the server's Ready frame, exactly like a binary
+        // client connect.
+        loop {
+            if framer.has_frames() {
+                match framer.next_frame().expect("frame ready") {
+                    BinFrame::Frame(payload) if crate::wire::is_ready_payload(payload) => break,
+                    _ => {
+                        return Err(LinkError::Wire(WireError::Shape(
+                            "peer did not acknowledge the binary protocol".into(),
+                        )))
+                    }
+                }
+            }
+            let mut buf = [0u8; 1024];
+            let n = read_chunk(&mut stream, &mut buf)?;
+            framer.feed(&buf[..n]);
+        }
+        let mut conn = Conn { stream, framer };
+        let hello = round_trip(
+            &mut conn,
+            &BrokerRequest::Hello {
+                node_id: self.node_id,
+            },
+        )?;
+        match hello {
+            BrokerResponse::Hello { .. } => {}
+            other => {
+                return Err(LinkError::Wire(WireError::Shape(format!(
+                    "broker hello answered with unexpected response: {other:?}"
+                ))))
+            }
+        }
+        *guard = Some(conn);
+        self.connected.store(true, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// One synchronous broker round trip. The session must be
+    /// established ([`LinkSession::ensure`]); any failure tears it down
+    /// so the next use reconnects and resyncs.
+    pub(crate) fn call(&self, request: &BrokerRequest) -> Result<BrokerResponse, LinkError> {
+        let mut guard = self.conn.lock().expect("link conn lock");
+        let conn = guard.as_mut().ok_or_else(|| {
+            LinkError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "broker link is not established",
+            ))
+        })?;
+        match round_trip(conn, request) {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                *guard = None;
+                self.connected.store(false, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn read_chunk(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    let n = stream.read(buf).map_err(|e| {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for the peer broker's response",
+            )
+        } else {
+            e
+        }
+    })?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "peer broker closed the connection",
+        ));
+    }
+    Ok(n)
+}
+
+fn round_trip(conn: &mut Conn, request: &BrokerRequest) -> Result<BrokerResponse, LinkError> {
+    let mut out = Vec::with_capacity(64);
+    request.encode_binary(&mut out);
+    conn.stream.write_all(&out)?;
+    loop {
+        if conn.framer.has_frames() {
+            return match conn.framer.next_frame().expect("frame ready") {
+                BinFrame::Frame(payload) => decode_reply(payload),
+                BinFrame::TooLong { len } => Err(LinkError::Wire(WireError::Shape(format!(
+                    "broker response frame of {len} bytes exceeds the link cap"
+                )))),
+            };
+        }
+        let mut buf = [0u8; 16 * 1024];
+        let n = read_chunk(&mut conn.stream, &mut buf)?;
+        conn.framer.feed(&buf[..n]);
+    }
+}
+
+/// Decodes one reply frame: a `0xFF` error frame (the shape an old node
+/// answers unknown opcodes with) becomes [`LinkError::Remote`]; anything
+/// else must be a broker response.
+fn decode_reply(payload: &[u8]) -> Result<BrokerResponse, LinkError> {
+    if payload.first() == Some(&0xFF) {
+        let mut r = ByteReader::new(&payload[1..]);
+        let message = r
+            .str()
+            .map_err(|e| LinkError::Wire(WireError::Shape(e.to_string())))?;
+        return Err(LinkError::Remote(message));
+    }
+    Ok(BrokerResponse::decode_binary(payload)?)
+}

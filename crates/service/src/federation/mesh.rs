@@ -1,0 +1,346 @@
+//! Per-node mesh state: the covering-based forwarding decisions.
+//!
+//! Wraps one [`psc_broker::Broker`] routing table and turns every
+//! subscription event into a *plan* — which links to forward on, which
+//! previously forwarded subscriptions to retract — computed entirely
+//! under the node's mesh lock and executed by the caller **after**
+//! releasing it. That discipline (compute under lock, send without it)
+//! is what keeps concurrent opposite-direction traffic on a chain from
+//! deadlocking: no thread ever waits on a network round trip while
+//! holding mesh state.
+//!
+//! Covering semantics:
+//!
+//! - *Suppression* uses the configured [`CoveringPolicy`] — the paper's
+//!   probabilistic group checker when so configured, which may
+//!   erroneously suppress with the configured `δ`.
+//! - *Retract-and-replace* (a new subscription subsumes previously
+//!   forwarded ones) uses the exact pairwise checker regardless of
+//!   policy: retracting a subscription that is **not** actually covered
+//!   would silently lose deliveries, and unlike suppression the paper's
+//!   error budget does not pay for that.
+
+use psc_broker::{Broker, BrokerId, CoveringPolicy};
+use psc_core::PairwiseChecker;
+use psc_model::{Publication, Subscription, SubscriptionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What to send on one link after a mesh decision: forwards first (so a
+/// covering replacement is installed upstream before anything it covers
+/// is retracted), then retracts.
+#[derive(Debug, Clone)]
+pub(crate) struct ForwardPlan {
+    /// The link to send on.
+    pub to: BrokerId,
+    /// Subscriptions to forward, in order.
+    pub forward: Vec<(SubscriptionId, Subscription)>,
+    /// Subscription ids to retract, after the forwards.
+    pub retract: Vec<SubscriptionId>,
+}
+
+/// Outcome of installing one subscription into the mesh.
+#[derive(Debug, Default)]
+pub(crate) struct InstallOutcome {
+    /// Per-link sends to execute (lock released).
+    pub plans: Vec<ForwardPlan>,
+    /// Links on which the subscription was withheld by covering.
+    pub suppressed: u64,
+    /// The id was already seen here (cycle/duplicate guard) — nothing
+    /// changed and nothing needs sending.
+    pub duplicate: bool,
+}
+
+/// One node's broker tables plus the covering policy and its RNG.
+pub(crate) struct MeshState {
+    broker: Broker,
+    policy: CoveringPolicy,
+    rng: StdRng,
+    neighbors: Vec<BrokerId>,
+}
+
+impl MeshState {
+    pub(crate) fn new(
+        id: BrokerId,
+        neighbors: Vec<BrokerId>,
+        policy: CoveringPolicy,
+        seed: u64,
+    ) -> MeshState {
+        MeshState {
+            broker: Broker::new(id),
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            neighbors,
+        }
+    }
+
+    /// Installs a subscription arriving from a local client (`from:
+    /// None`) or a peer broker, and plans the onward forwards.
+    pub(crate) fn install(
+        &mut self,
+        from: Option<BrokerId>,
+        id: SubscriptionId,
+        sub: Subscription,
+    ) -> InstallOutcome {
+        if !self.broker.mark_seen(id) {
+            // A duplicate from a peer still refreshes reverse-path
+            // provenance: after a crash this node may have recovered the
+            // subscription from its WAL as *local* (the log carries no
+            // provenance), and the peer's resync is then the only signal
+            // that publications must route back out on that link.
+            if let Some(link) = from {
+                self.broker.remove_received(link, id);
+                self.broker.add_received(link, id, sub);
+            }
+            return InstallOutcome {
+                duplicate: true,
+                ..InstallOutcome::default()
+            };
+        }
+        match from {
+            None => self.broker.add_local(id, sub.clone()),
+            Some(link) => self.broker.add_received(link, id, sub.clone()),
+        }
+        let mut outcome = InstallOutcome::default();
+        for to in self.neighbors.clone() {
+            if Some(to) == from {
+                continue;
+            }
+            let sent = self.broker.sent_entries(to);
+            let sent_subs: Vec<Subscription> = sent.iter().map(|(_, s)| s.clone()).collect();
+            if self.policy.is_covered(&sub, &sent_subs, &mut self.rng) {
+                self.broker.add_suppressed(to, id, sub.clone());
+                outcome.suppressed += 1;
+                continue;
+            }
+            // Retract-and-replace: previously forwarded subscriptions
+            // the new one exactly subsumes become redundant upstream.
+            // They move to the suppressed table so a later retraction
+            // of `sub` can promote them back.
+            let mut retract = Vec::new();
+            for (old_id, old_sub) in &sent {
+                if PairwiseChecker.is_covered(old_sub, std::slice::from_ref(&sub)) {
+                    retract.push(*old_id);
+                }
+            }
+            self.broker.add_sent(to, id, sub.clone());
+            for &old_id in &retract {
+                let old_sub = sent
+                    .iter()
+                    .find(|(i, _)| *i == old_id)
+                    .map(|(_, s)| s.clone())
+                    .expect("retract id came from the sent set");
+                self.broker.remove_sent(to, old_id);
+                self.broker.add_suppressed(to, old_id, old_sub);
+            }
+            outcome.plans.push(ForwardPlan {
+                to,
+                forward: vec![(id, sub.clone())],
+                retract,
+            });
+        }
+        outcome
+    }
+
+    /// Removes a subscription (local unsubscribe or a peer's retract)
+    /// and plans the onward retracts plus any covering promotions.
+    ///
+    /// Returns whether the id was installed here at all.
+    pub(crate) fn remove(
+        &mut self,
+        from: Option<BrokerId>,
+        id: SubscriptionId,
+    ) -> (bool, Vec<ForwardPlan>) {
+        let existed = match from {
+            None => self.broker.remove_local(id),
+            Some(link) => self.broker.remove_received(link, id),
+        };
+        if !existed {
+            return (false, Vec::new());
+        }
+        self.broker.unmark_seen(id);
+        let mut plans = Vec::new();
+        for to in self.neighbors.clone() {
+            if Some(to) == from {
+                continue;
+            }
+            if !self.broker.remove_sent(to, id) {
+                continue;
+            }
+            // Promotion: suppressed subscriptions on this link may have
+            // been covered only by the one that just left. Re-check each
+            // against the shrinking sent set; promoted ones join it (and
+            // therefore cover later candidates in this same pass).
+            let mut promoted = Vec::new();
+            for (sid, ssub) in self.broker.take_suppressed(to) {
+                let sent_subs: Vec<Subscription> = self
+                    .broker
+                    .sent_entries(to)
+                    .into_iter()
+                    .map(|(_, s)| s)
+                    .collect();
+                if self.policy.is_covered(&ssub, &sent_subs, &mut self.rng) {
+                    self.broker.add_suppressed(to, sid, ssub);
+                } else {
+                    self.broker.add_sent(to, sid, ssub.clone());
+                    promoted.push((sid, ssub));
+                }
+            }
+            plans.push(ForwardPlan {
+                to,
+                forward: promoted,
+                retract: vec![id],
+            });
+        }
+        // The id itself can no longer be a promotion candidate anywhere.
+        self.broker.remove_suppressed_everywhere(id);
+        (true, plans)
+    }
+
+    /// Links a publication must be forwarded on: every neighbor (except
+    /// the one it arrived from) that forwarded us a matching interest.
+    pub(crate) fn publish_targets(&self, from: Option<BrokerId>, p: &Publication) -> Vec<BrokerId> {
+        self.neighbors
+            .iter()
+            .copied()
+            .filter(|&to| Some(to) != from && self.broker.link_wants(to, p))
+            .collect()
+    }
+
+    /// The full covering-filtered sent set for `to` — what a reconnect
+    /// resync re-forwards so a restarted peer rebuilds its tables.
+    pub(crate) fn resync_entries(&self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.broker.sent_entries(to)
+    }
+
+    /// Ids currently forwarded on the link to `to` (test observability).
+    #[cfg(test)]
+    pub(crate) fn forwarded_ids(&self, to: BrokerId) -> Vec<SubscriptionId> {
+        self.broker
+            .sent_entries(to)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids currently suppressed on the link to `to` (test observability).
+    #[cfg(test)]
+    pub(crate) fn suppressed_ids(&self, to: BrokerId) -> Vec<SubscriptionId> {
+        self.broker
+            .suppressed_entries(to)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Subscriptions forwarded on the link to `to`, with bodies — the
+    /// covered-forwarding invariant check reads both tables.
+    pub(crate) fn forwarded_entries(&self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.broker.sent_entries(to)
+    }
+
+    /// Suppressed entries with bodies, for the same invariant check.
+    pub(crate) fn suppressed_entries(&self, to: BrokerId) -> Vec<(SubscriptionId, Subscription)> {
+        self.broker.suppressed_entries(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_model::{Range, Schema};
+
+    fn schema() -> Schema {
+        Schema::uniform(1, 0, 99)
+    }
+
+    fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+        Subscription::from_ranges(schema, vec![Range::new(lo, hi).unwrap()]).unwrap()
+    }
+
+    fn mesh() -> MeshState {
+        MeshState::new(BrokerId(0), vec![BrokerId(1)], CoveringPolicy::Pairwise, 7)
+    }
+
+    #[test]
+    fn narrow_after_broad_is_suppressed() {
+        let s = schema();
+        let mut m = mesh();
+        let broad = m.install(None, SubscriptionId(1), sub(&s, 0, 90));
+        assert_eq!(broad.plans.len(), 1);
+        assert_eq!(broad.suppressed, 0);
+        let narrow = m.install(None, SubscriptionId(2), sub(&s, 10, 20));
+        assert!(narrow.plans.is_empty());
+        assert_eq!(narrow.suppressed, 1);
+        assert_eq!(m.forwarded_ids(BrokerId(1)), vec![SubscriptionId(1)]);
+        assert_eq!(m.suppressed_ids(BrokerId(1)), vec![SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn broad_after_narrow_retracts_and_replaces() {
+        let s = schema();
+        let mut m = mesh();
+        m.install(None, SubscriptionId(1), sub(&s, 10, 20));
+        m.install(None, SubscriptionId(2), sub(&s, 40, 50));
+        let broad = m.install(None, SubscriptionId(3), sub(&s, 0, 90));
+        assert_eq!(broad.plans.len(), 1);
+        let plan = &broad.plans[0];
+        assert_eq!(plan.forward.len(), 1);
+        assert_eq!(plan.forward[0].0, SubscriptionId(3));
+        let mut retracted = plan.retract.clone();
+        retracted.sort();
+        assert_eq!(retracted, vec![SubscriptionId(1), SubscriptionId(2)]);
+        assert_eq!(m.forwarded_ids(BrokerId(1)), vec![SubscriptionId(3)]);
+    }
+
+    #[test]
+    fn removing_the_cover_promotes_suppressed_subscriptions() {
+        let s = schema();
+        let mut m = mesh();
+        m.install(None, SubscriptionId(1), sub(&s, 0, 90));
+        m.install(None, SubscriptionId(2), sub(&s, 10, 60));
+        m.install(None, SubscriptionId(3), sub(&s, 20, 30));
+        let (existed, plans) = m.remove(None, SubscriptionId(1));
+        assert!(existed);
+        assert_eq!(plans.len(), 1);
+        // 10..60 is promoted; 20..30 stays suppressed under it.
+        assert_eq!(plans[0].retract, vec![SubscriptionId(1)]);
+        assert_eq!(
+            plans[0].forward.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![SubscriptionId(2)]
+        );
+        assert_eq!(m.forwarded_ids(BrokerId(1)), vec![SubscriptionId(2)]);
+        assert_eq!(m.suppressed_ids(BrokerId(1)), vec![SubscriptionId(3)]);
+    }
+
+    #[test]
+    fn duplicates_and_unknown_removals_are_inert() {
+        let s = schema();
+        let mut m = mesh();
+        m.install(None, SubscriptionId(1), sub(&s, 0, 9));
+        let dup = m.install(Some(BrokerId(1)), SubscriptionId(1), sub(&s, 0, 9));
+        assert!(dup.duplicate);
+        assert!(dup.plans.is_empty());
+        let (existed, plans) = m.remove(None, SubscriptionId(99));
+        assert!(!existed);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn publishes_route_only_toward_matching_interests() {
+        let s = schema();
+        let mut m = MeshState::new(
+            BrokerId(1),
+            vec![BrokerId(0), BrokerId(2)],
+            CoveringPolicy::Pairwise,
+            7,
+        );
+        m.install(Some(BrokerId(2)), SubscriptionId(5), sub(&s, 0, 49));
+        let p = psc_model::Publication::from_values(&s, vec![25]).unwrap();
+        assert_eq!(m.publish_targets(None, &p), vec![BrokerId(2)]);
+        // Never back toward the arrival link.
+        assert!(m.publish_targets(Some(BrokerId(2)), &p).is_empty());
+        let miss = psc_model::Publication::from_values(&s, vec![75]).unwrap();
+        assert!(m.publish_targets(None, &miss).is_empty());
+    }
+}

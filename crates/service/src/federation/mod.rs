@@ -1,0 +1,916 @@
+//! Federated broker mesh: N services as one content-based pub/sub system.
+//!
+//! A [`FederatedNode`] wraps one [`PubSubService`] in an overlay member:
+//! it serves ordinary clients over both wire protocols (see
+//! [`crate::wire`]) *and* speaks a broker-to-broker extension of the
+//! binary protocol ([`proto`]) to its overlay neighbors. The overlay is
+//! a tree (see [`psc_broker::Topology`]); each edge is a `LinkSession`
+//! dialed by whichever endpoint has traffic to push.
+//!
+//! ## Subscription aggregation
+//!
+//! On subscribe — local or forwarded — a node consults its
+//! [`psc_broker::CoveringPolicy`] over the set already forwarded on each
+//! uplink and forwards only non-covered subscriptions; when a new
+//! subscription subsumes previously forwarded ones, it replaces them
+//! (forward first, then retract, so coverage never has a gap). The
+//! decision machinery lives in the `mesh` module; the invariant it maintains is
+//! that on every link, each subscription known at the node is either
+//! *forwarded* or *suppressed by* (exactly-covered by) a forwarded one —
+//! so suppressing never loses deliveries.
+//!
+//! ## Publication routing
+//!
+//! Publishes route hop-by-hop by reverse path forwarding: a node sends a
+//! publication to every neighbor (except the arrival link) that has
+//! forwarded it a matching interest, and merges the neighbors' match
+//! sets into its own. The publisher's response therefore carries every
+//! matching subscriber id mesh-wide.
+//!
+//! ## Log shipping and fail-over
+//!
+//! Durable nodes additionally serve their segmented write-ahead log over
+//! `WAL list`/`WAL fetch` opcodes; a [`WalFollower`] tails a peer's
+//! segments into a replica directory and [`FollowerHandle::take_over`]
+//! opens a standard service over the replica after missed heartbeats.
+//! See the `ship` module for the consistency contract.
+//!
+//! ## Concurrency discipline
+//!
+//! Federated nodes serve thread-per-connection (not the reactor): a
+//! broker operation may need blocking round trips on downstream links,
+//! which a single event-loop thread must never perform. All mesh
+//! decisions are computed under the node's mesh mutex into *plans* and
+//! executed after release, and per-link sessions serialize round trips;
+//! on a tree overlay these locks cannot form a cycle.
+
+mod link;
+mod mesh;
+pub mod proto;
+mod ship;
+
+pub use link::LinkError;
+pub use proto::{BrokerRequest, BrokerResponse, SegmentInfo, ShardSegments, MAX_WAL_CHUNK_BYTES};
+pub use ship::{FollowerHandle, SyncReport, WalFollower};
+
+use crate::reactor::ReactorCounters;
+use crate::service::{PubSubService, ServiceConfig};
+use crate::wire::{self, BinRequest, Request, Response};
+use link::LinkSession;
+use mesh::{ForwardPlan, MeshState};
+use psc_broker::{BrokerId, CoveringPolicy};
+use psc_model::codec::{BinFrame, BinaryFramer, BINARY_PREAMBLE};
+use psc_model::wire::{
+    FederationStats, Frame, LineFramer, PublicationDto, SubscriptionDto, WireError,
+};
+use psc_model::{Schema, Subscription, SubscriptionId};
+use ship::WalShipper;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection handler blocks in one read before re-checking
+/// the node's shutdown flag.
+const POLL_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Overlay membership and mesh policy for one [`FederatedNode`].
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// This node's overlay id.
+    pub node_id: BrokerId,
+    /// Listen address (use port 0 for an OS-assigned port).
+    pub listen: String,
+    /// Overlay neighbors: id and dial address per adjacent broker.
+    pub peers: Vec<(BrokerId, SocketAddr)>,
+    /// Covering policy applied when deciding what to forward.
+    pub policy: CoveringPolicy,
+    /// Seed for the policy's probabilistic checker.
+    pub seed: u64,
+    /// Heartbeat/reconnect cadence (`None` disables the background
+    /// thread; links still heal lazily on use).
+    pub heartbeat_interval: Option<Duration>,
+    /// Crash injection: fail (and stop the node) at the N-th federation
+    /// protocol boundary. `None` in production.
+    pub fail_after_ops: Option<u64>,
+}
+
+impl FederationConfig {
+    /// A standalone node (no peers) with the exact pairwise policy.
+    pub fn new(node_id: BrokerId) -> FederationConfig {
+        FederationConfig {
+            node_id,
+            listen: "127.0.0.1:0".to_string(),
+            peers: Vec::new(),
+            policy: CoveringPolicy::Pairwise,
+            seed: 0x5eed_f00d,
+            heartbeat_interval: Some(Duration::from_millis(500)),
+            fail_after_ops: None,
+        }
+    }
+}
+
+/// Crash-injection counter: every federation protocol boundary calls
+/// [`FailPoint::check`]; once the configured threshold is crossed the
+/// node flags shutdown and the boundary reports a crash instead of
+/// acking — connections drop without a response, exactly like a process
+/// kill at that instant.
+struct FailPoint {
+    ops: AtomicU64,
+    fail_at: u64,
+}
+
+impl FailPoint {
+    fn new(fail_at: Option<u64>) -> FailPoint {
+        FailPoint {
+            ops: AtomicU64::new(0),
+            fail_at: fail_at.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Counts one boundary crossing; `false` means the node just
+    /// "crashed" and the caller must drop the connection unacked.
+    fn check(&self, shutdown: &AtomicBool) -> bool {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        if n >= self.fail_at {
+            shutdown.store(true, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+}
+
+/// Forwarding-decision counters. These count *decisions at mesh-install
+/// time*, not wire sends: a reconnect resync retransmits the sent set
+/// without inflating them, so `subs_suppressed / (subs_forwarded +
+/// subs_suppressed)` stays an honest suppression fraction.
+#[derive(Default)]
+struct FedCounters {
+    subs_forwarded: AtomicU64,
+    subs_received: AtomicU64,
+    subs_suppressed: AtomicU64,
+    subs_retracted: AtomicU64,
+    remote_publishes: AtomicU64,
+    segments_shipped: AtomicU64,
+}
+
+struct NodeShared {
+    service: Arc<PubSubService>,
+    mesh: Mutex<MeshState>,
+    links: Vec<Arc<LinkSession>>,
+    counters: FedCounters,
+    reactor: Arc<ReactorCounters>,
+    shipper: Option<WalShipper>,
+    node_id: BrokerId,
+    shutdown: AtomicBool,
+    fail: FailPoint,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    max_frame_bytes: usize,
+}
+
+impl NodeShared {
+    fn link_to(&self, peer: BrokerId) -> Option<&Arc<LinkSession>> {
+        self.links.iter().find(|l| l.peer() == peer)
+    }
+
+    fn federation_stats(&self) -> FederationStats {
+        FederationStats {
+            peers_connected: self.links.iter().filter(|l| l.is_connected()).count() as u64,
+            subs_forwarded: self.counters.subs_forwarded.load(Ordering::Relaxed),
+            subs_received: self.counters.subs_received.load(Ordering::Relaxed),
+            subs_suppressed: self.counters.subs_suppressed.load(Ordering::Relaxed),
+            subs_retracted: self.counters.subs_retracted.load(Ordering::Relaxed),
+            remote_publishes: self.counters.remote_publishes.load(Ordering::Relaxed),
+            segments_shipped: self.counters.segments_shipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one install outcome's forwarding decisions.
+    fn count_install(&self, plans: &[ForwardPlan], suppressed: u64) {
+        let forwards: u64 = plans.iter().map(|p| p.forward.len() as u64).sum();
+        let retracts: u64 = plans.iter().map(|p| p.retract.len() as u64).sum();
+        self.counters
+            .subs_forwarded
+            .fetch_add(forwards, Ordering::Relaxed);
+        self.counters
+            .subs_suppressed
+            .fetch_add(suppressed, Ordering::Relaxed);
+        self.counters
+            .subs_retracted
+            .fetch_add(retracts, Ordering::Relaxed);
+    }
+
+    /// Establishes `link` if down; a fresh session is followed by a full
+    /// resync (re-forwarding the covering-filtered sent set) so a
+    /// restarted peer rebuilds its routing tables. Callers must not hold
+    /// the mesh lock.
+    fn establish(&self, session: &LinkSession) -> Result<(), LinkError> {
+        if session.ensure()? {
+            let entries = {
+                let m = self.mesh.lock().expect("mesh lock");
+                m.resync_entries(session.peer())
+            };
+            for (id, sub) in entries {
+                session.call(&BrokerRequest::Forward(SubscriptionDto::from_subscription(
+                    id, &sub,
+                )))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes planned per-link sends: forwards first, then retracts.
+    /// Link failures are swallowed — a down link heals on reconnect via
+    /// resync, which retransmits the authoritative sent set.
+    fn execute_plans(&self, plans: Vec<ForwardPlan>) {
+        for plan in plans {
+            let Some(session) = self.link_to(plan.to) else {
+                continue;
+            };
+            let _ = self.send_plan(session, &plan);
+        }
+    }
+
+    fn send_plan(&self, session: &LinkSession, plan: &ForwardPlan) -> Result<(), LinkError> {
+        self.establish(session)?;
+        for (id, sub) in &plan.forward {
+            session.call(&BrokerRequest::Forward(SubscriptionDto::from_subscription(
+                *id, sub,
+            )))?;
+        }
+        for id in &plan.retract {
+            session.call(&BrokerRequest::Retract(id.0))?;
+        }
+        Ok(())
+    }
+
+    /// Installs a subscription (local client or forwarded by `from`)
+    /// into the service and the mesh, and pushes the onward forwards.
+    fn install_subscription(
+        &self,
+        from: Option<BrokerId>,
+        id: SubscriptionId,
+        sub: Subscription,
+    ) -> Result<(), String> {
+        let outcome = {
+            let mut m = self.mesh.lock().expect("mesh lock");
+            m.install(from, id, sub.clone())
+        };
+        if outcome.duplicate {
+            // Resync retransmission or a routing cycle: already applied
+            // here, ack idempotently.
+            return Ok(());
+        }
+        if from.is_some() {
+            self.counters.subs_received.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count_install(&outcome.plans, outcome.suppressed);
+        self.service.subscribe(id, sub).map_err(|e| e.to_string())?;
+        self.execute_plans(outcome.plans);
+        Ok(())
+    }
+
+    /// Removes a subscription and pushes the onward retracts (plus any
+    /// covering promotions). Returns whether the id was known here.
+    fn remove_subscription(&self, from: Option<BrokerId>, id: SubscriptionId) -> bool {
+        let (existed, plans) = {
+            let mut m = self.mesh.lock().expect("mesh lock");
+            m.remove(from, id)
+        };
+        if !existed {
+            return false;
+        }
+        self.count_install(&plans, 0);
+        self.service.unsubscribe(id);
+        self.execute_plans(plans);
+        true
+    }
+
+    /// Matches a publication locally and routes it to every interested
+    /// neighbor (except the arrival link), merging the match sets.
+    fn route_publication(
+        &self,
+        from: Option<BrokerId>,
+        p: &psc_model::Publication,
+        dto: &PublicationDto,
+    ) -> Result<Vec<u64>, String> {
+        let mut ids: Vec<u64> = self
+            .service
+            .publish(p)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|id| id.0)
+            .collect();
+        let targets = {
+            let m = self.mesh.lock().expect("mesh lock");
+            m.publish_targets(from, p)
+        };
+        for to in targets {
+            let Some(session) = self.link_to(to) else {
+                continue;
+            };
+            let forwarded = self
+                .establish(session)
+                .and_then(|()| session.call(&BrokerRequest::Publish(dto.clone())));
+            match forwarded {
+                Ok(BrokerResponse::Matched(remote)) => {
+                    self.counters
+                        .remote_publishes
+                        .fetch_add(1, Ordering::Relaxed);
+                    ids.extend(remote);
+                }
+                Ok(other) => {
+                    return Err(format!("peer {to} answered publish with {other:?}"));
+                }
+                Err(e) => {
+                    // Deliveries beyond this link would be silently lost;
+                    // surface the partition to the publisher.
+                    return Err(format!("publish routing to {to} failed: {e}"));
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids)
+    }
+}
+
+/// What a broker-opcode handler tells the connection loop to do.
+enum BrokerReply {
+    /// Answer with this response.
+    Respond(BrokerResponse),
+    /// Answer with a `0xFF` error frame.
+    Fail(String),
+    /// Injected crash: drop the connection without answering.
+    Crash,
+}
+
+/// One [`PubSubService`] serving as a member of a federated mesh.
+///
+/// # Example
+///
+/// ```no_run
+/// use psc_broker::BrokerId;
+/// use psc_model::Schema;
+/// use psc_service::federation::{FederatedNode, FederationConfig};
+/// use psc_service::ServiceConfig;
+///
+/// let schema = Schema::uniform(2, 0, 99);
+/// let node = FederatedNode::start(
+///     schema,
+///     ServiceConfig::with_shards(1),
+///     FederationConfig::new(BrokerId(0)),
+/// )?;
+/// println!("serving on {}", node.local_addr());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct FederatedNode {
+    shared: Arc<NodeShared>,
+    addr: SocketAddr,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl FederatedNode {
+    /// Opens the wrapped service (recovering from `config.data_dir` if
+    /// set), seeds the mesh from the recovered subscriptions, binds the
+    /// listener, and spawns the accept and heartbeat threads.
+    ///
+    /// Recovered subscriptions are installed into the mesh immediately
+    /// but *not* pushed — no link is up yet; the first (re)connect on
+    /// each link resyncs the full covering-filtered sent set instead.
+    pub fn start(
+        schema: Schema,
+        config: ServiceConfig,
+        fed: FederationConfig,
+    ) -> std::io::Result<FederatedNode> {
+        let max_frame_bytes = config.max_frame_bytes;
+        let io_timeout = config.io_timeout;
+        let shipper = config
+            .data_dir
+            .clone()
+            .map(|dir| WalShipper::new(dir, config.shards));
+        let service = PubSubService::open(schema, config).map_err(|e| {
+            let kind = match &e {
+                crate::ServiceError::Storage { kind, .. } => *kind,
+                _ => std::io::ErrorKind::InvalidData,
+            };
+            std::io::Error::new(kind, e.to_string())
+        })?;
+        let neighbors: Vec<BrokerId> = fed.peers.iter().map(|&(id, _)| id).collect();
+        let links: Vec<Arc<LinkSession>> = fed
+            .peers
+            .iter()
+            .map(|&(id, addr)| {
+                Arc::new(LinkSession::new(id, fed.node_id.0 as u64, addr, io_timeout))
+            })
+            .collect();
+        let mut mesh = MeshState::new(fed.node_id, neighbors, fed.policy, fed.seed);
+        // Seed the mesh from WAL/snapshot recovery, deterministically by
+        // id. Plans are discarded — no link is up yet; the first connect
+        // on each link resyncs the covering-filtered sent set instead.
+        // The decision counters are kept so tables and counters agree.
+        let mut recovered: Vec<(SubscriptionId, Subscription)> = service
+            .snapshot()
+            .into_iter()
+            .map(|(id, (sub, _covered))| (id, sub))
+            .collect();
+        recovered.sort_by_key(|(id, _)| id.0);
+        let counters = FedCounters::default();
+        for (id, sub) in recovered {
+            let outcome = mesh.install(None, id, sub);
+            let forwards: u64 = outcome.plans.iter().map(|p| p.forward.len() as u64).sum();
+            counters
+                .subs_forwarded
+                .fetch_add(forwards, Ordering::Relaxed);
+            counters
+                .subs_suppressed
+                .fetch_add(outcome.suppressed, Ordering::Relaxed);
+        }
+        let shared = Arc::new(NodeShared {
+            counters,
+            reactor: Arc::new(ReactorCounters::default()),
+            shipper,
+            node_id: fed.node_id,
+            shutdown: AtomicBool::new(false),
+            fail: FailPoint::new(fed.fail_after_ops),
+            conns: Mutex::new(Vec::new()),
+            max_frame_bytes,
+            links,
+            service: Arc::new(service),
+            mesh: Mutex::new(mesh),
+        });
+
+        let listener = TcpListener::bind(&fed.listen as &str)?;
+        let addr = listener.local_addr()?;
+        let mut threads = Vec::new();
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("psc-fed-accept-{}", fed.node_id))
+                .spawn(move || accept_loop(listener, accept_shared))?,
+        );
+        if let Some(interval) = fed.heartbeat_interval {
+            let beat_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("psc-fed-heartbeat-{}", fed.node_id))
+                    .spawn(move || heartbeat_loop(beat_shared, interval))?,
+            );
+        }
+        Ok(FederatedNode {
+            shared,
+            addr,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// The bound address (OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's overlay id.
+    pub fn node_id(&self) -> BrokerId {
+        self.shared.node_id
+    }
+
+    /// The wrapped service — handy for in-process assertions.
+    pub fn service(&self) -> &Arc<PubSubService> {
+        &self.shared.service
+    }
+
+    /// A snapshot of the mesh counters.
+    pub fn federation_stats(&self) -> FederationStats {
+        self.shared.federation_stats()
+    }
+
+    /// Re-points the link to `peer` (it restarted on a new address) and
+    /// tears its session down so the next use reconnects and resyncs.
+    pub fn set_peer_addr(&self, peer: BrokerId, addr: SocketAddr) {
+        if let Some(session) = self.shared.link_to(peer) {
+            session.set_addr(addr);
+        }
+    }
+
+    /// Forces every link up now (connect + resync + heartbeat), instead
+    /// of waiting for the heartbeat thread or the next use. Returns the
+    /// number of live links after the pass.
+    pub fn resync(&self) -> usize {
+        let mut live = 0;
+        for session in &self.shared.links {
+            let beat = self.shared.establish(session).and_then(|()| {
+                session.call(&BrokerRequest::Heartbeat {
+                    node_id: self.shared.node_id.0 as u64,
+                })
+            });
+            if beat.is_ok() {
+                live += 1;
+            }
+        }
+        live
+    }
+
+    /// The forwarded and suppressed tables for the link to `peer`, with
+    /// subscription bodies — the covered-forwarding invariant check in
+    /// the property tests reads both.
+    #[allow(clippy::type_complexity)]
+    pub fn link_tables(
+        &self,
+        peer: BrokerId,
+    ) -> (
+        Vec<(SubscriptionId, Subscription)>,
+        Vec<(SubscriptionId, Subscription)>,
+    ) {
+        let m = self.shared.mesh.lock().expect("mesh lock");
+        (m.forwarded_entries(peer), m.suppressed_entries(peer))
+    }
+
+    /// Stops serving: flags shutdown, wakes the accept loop, disconnects
+    /// every link, and joins all threads. Idempotent.
+    pub fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        for session in &self.shared.links {
+            session.disconnect();
+        }
+        let mut threads = self.threads.lock().expect("threads lock");
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+        let mut conns = self.shared.conns.lock().expect("conns lock");
+        for t in conns.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FederatedNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<NodeShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("psc-fed-conn".into())
+            .spawn(move || serve_connection(&conn_shared, stream));
+        if let Ok(handle) = handle {
+            let mut conns = shared.conns.lock().expect("conns lock");
+            // Reap finished handlers so long-lived nodes don't grow the
+            // handle list without bound.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+}
+
+fn heartbeat_loop(shared: Arc<NodeShared>, interval: Duration) {
+    let tick = Duration::from_millis(25).min(interval);
+    let mut elapsed = interval; // fire immediately on start
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if elapsed >= interval {
+            elapsed = Duration::ZERO;
+            for session in &shared.links {
+                let _ = shared.establish(session).and_then(|()| {
+                    session.call(&BrokerRequest::Heartbeat {
+                        node_id: shared.node_id.0 as u64,
+                    })
+                });
+            }
+        }
+        std::thread::sleep(tick);
+        elapsed += tick;
+    }
+}
+
+fn serve_connection(shared: &Arc<NodeShared>, stream: TcpStream) {
+    shared.reactor.record_accepted();
+    let _ = run_connection(shared, stream);
+    shared.reactor.record_closed();
+}
+
+fn run_connection(shared: &Arc<NodeShared>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_READ_TIMEOUT))?;
+    // Sniff the first byte: the binary preamble's magic never appears in
+    // JSON, so one peek routes the connection to the right protocol.
+    let mut first = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(()),
+            Ok(_) => break,
+            Err(e) if would_block(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if first[0] == BINARY_PREAMBLE[0] {
+        serve_binary(shared, stream)
+    } else {
+        serve_json(shared, stream)
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads some bytes, treating poll timeouts as empty reads so the loop
+/// can observe shutdown. `Ok(0)` means the peer closed.
+fn poll_read(
+    shared: &NodeShared,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+) -> std::io::Result<Option<usize>> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Ok(None);
+    }
+    match stream.read(buf) {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(e) if would_block(&e) => Ok(Some(0)),
+        Err(e) => Err(e),
+    }
+}
+
+fn serve_binary(shared: &Arc<NodeShared>, mut stream: TcpStream) -> std::io::Result<()> {
+    // Consume the 5-byte preamble (the first byte was only peeked).
+    let mut preamble = [0u8; BINARY_PREAMBLE.len()];
+    let mut have = 0;
+    while have < preamble.len() {
+        match poll_read(shared, &mut stream, &mut preamble[have..])? {
+            None => return Ok(()),
+            Some(n) => have += n,
+        }
+    }
+    if preamble != BINARY_PREAMBLE {
+        return Ok(()); // not our protocol; drop quietly
+    }
+    let mut ready = Vec::with_capacity(8);
+    wire::encode_ready_frame(&mut ready);
+    stream.write_all(&ready)?;
+
+    let mut framer = BinaryFramer::new(shared.max_frame_bytes);
+    let mut peer: Option<BrokerId> = None;
+    let mut out = Vec::with_capacity(256);
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        while framer.has_frames() {
+            let started = Instant::now();
+            let payload = match framer.next_frame().expect("frame ready") {
+                BinFrame::Frame(payload) => payload.to_vec(),
+                BinFrame::TooLong { len } => {
+                    out.clear();
+                    encode_error_frame(
+                        &mut out,
+                        &format!("binary frame of {len} bytes exceeds the cap"),
+                    );
+                    stream.write_all(&out)?;
+                    continue;
+                }
+            };
+            if payload
+                .first()
+                .copied()
+                .is_some_and(BrokerRequest::is_broker_opcode)
+            {
+                match handle_broker_frame(shared, &mut peer, &payload) {
+                    BrokerReply::Respond(response) => {
+                        shared.reactor.record_request();
+                        out.clear();
+                        response.encode_binary(&mut out);
+                        stream.write_all(&out)?;
+                    }
+                    BrokerReply::Fail(message) => {
+                        out.clear();
+                        encode_error_frame(&mut out, &message);
+                        stream.write_all(&out)?;
+                    }
+                    BrokerReply::Crash => return Ok(()),
+                }
+                continue;
+            }
+            let decoded = wire::decode_binary_request(&payload, shared.service.schema());
+            shared.reactor.record_decode_binary(started.elapsed());
+            let (response, publish_started) = match decoded {
+                Ok(BinRequest::Publish(p)) => {
+                    let dto = PublicationDto::from_publication(&p);
+                    let response = match shared.route_publication(None, &p, &dto) {
+                        Ok(ids) => Response::Matched(ids),
+                        Err(message) => Response::Error(message),
+                    };
+                    (response, Some(started))
+                }
+                Ok(BinRequest::Plain(request)) => (dispatch_client(shared, request), None),
+                Err(e) => (Response::Error(e.to_string()), None),
+            };
+            shared.reactor.record_request();
+            let deliver_started = Instant::now();
+            out.clear();
+            response.encode_binary(&mut out);
+            stream.write_all(&out)?;
+            shared.reactor.record_deliver(deliver_started.elapsed());
+            if let Some(started) = publish_started {
+                shared.reactor.record_end_to_end(started.elapsed());
+            }
+        }
+        match poll_read(shared, &mut stream, &mut buf)? {
+            None => return Ok(()),
+            Some(n) => framer.feed(&buf[..n]),
+        }
+    }
+}
+
+fn serve_json(shared: &Arc<NodeShared>, mut stream: TcpStream) -> std::io::Result<()> {
+    let mut framer = LineFramer::new(shared.max_frame_bytes);
+    let mut out = Vec::with_capacity(256);
+    let mut buf = vec![0u8; 16 * 1024];
+    loop {
+        while let Some(frame) = framer.next_frame() {
+            let started = Instant::now();
+            let line = match frame {
+                Frame::Line(line) => line,
+                Frame::TooLong { len } => {
+                    out.clear();
+                    Response::Error(format!("request line of {len} bytes exceeds the cap"))
+                        .encode_json_into(&mut out);
+                    stream.write_all(&out)?;
+                    continue;
+                }
+            };
+            if line.is_empty() {
+                continue;
+            }
+            let decoded = Request::decode(&line);
+            shared.reactor.record_decode(started.elapsed());
+            let is_publish = matches!(decoded, Ok(Request::Publish(_)));
+            let response = match decoded {
+                Ok(request) => dispatch_client(shared, request),
+                Err(e) => Response::Error(e.to_string()),
+            };
+            shared.reactor.record_request();
+            let deliver_started = Instant::now();
+            out.clear();
+            response.encode_json_into(&mut out);
+            stream.write_all(&out)?;
+            shared.reactor.record_deliver(deliver_started.elapsed());
+            if is_publish {
+                shared.reactor.record_end_to_end(started.elapsed());
+            }
+        }
+        match poll_read(shared, &mut stream, &mut buf)? {
+            None => return Ok(()),
+            Some(n) => framer.feed(&buf[..n]),
+        }
+    }
+}
+
+fn encode_error_frame(out: &mut Vec<u8>, message: &str) {
+    Response::Error(message.to_string()).encode_binary(out);
+}
+
+/// Handles one client request on a federated node: subscriptions and
+/// publications additionally ride the mesh; everything else behaves as
+/// on a plain server.
+fn dispatch_client(shared: &Arc<NodeShared>, request: Request) -> Response {
+    match request {
+        Request::Subscribe(dto) => match dto.into_subscription(shared.service.schema()) {
+            Ok((id, sub)) => match shared.install_subscription(None, id, sub) {
+                Ok(()) => Response::Queued,
+                Err(message) => Response::Error(message),
+            },
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Unsubscribe(id) => {
+            Response::Removed(shared.remove_subscription(None, SubscriptionId(id)))
+        }
+        Request::Publish(dto) => match dto.clone().into_publication(shared.service.schema()) {
+            Ok(p) => match shared.route_publication(None, &p, &dto) {
+                Ok(ids) => Response::Matched(ids),
+                Err(message) => Response::Error(message),
+            },
+            Err(e) => Response::Error(e.to_string()),
+        },
+        Request::Stats => {
+            let mut response =
+                crate::server::dispatch(Request::Stats, &shared.service, Some(&shared.reactor));
+            if let Response::Stats { federation, .. } = &mut response {
+                *federation = Some(shared.federation_stats());
+            }
+            response
+        }
+        other => crate::server::dispatch(other, &shared.service, Some(&shared.reactor)),
+    }
+}
+
+fn handle_broker_frame(
+    shared: &Arc<NodeShared>,
+    peer: &mut Option<BrokerId>,
+    payload: &[u8],
+) -> BrokerReply {
+    let request = match BrokerRequest::decode_binary(payload) {
+        Ok(request) => request,
+        Err(e) => return BrokerReply::Fail(wire_error_text(&e)),
+    };
+    match request {
+        BrokerRequest::Hello { node_id } => {
+            *peer = Some(BrokerId(node_id as usize));
+            BrokerReply::Respond(BrokerResponse::Hello {
+                node_id: shared.node_id.0 as u64,
+                shards: shared.service.shard_count() as u64,
+            })
+        }
+        BrokerRequest::Heartbeat { .. } => BrokerReply::Respond(BrokerResponse::Heartbeat {
+            node_id: shared.node_id.0 as u64,
+        }),
+        BrokerRequest::Forward(dto) => {
+            if !shared.fail.check(&shared.shutdown) {
+                return BrokerReply::Crash;
+            }
+            let (id, sub) = match dto.into_subscription(shared.service.schema()) {
+                Ok(pair) => pair,
+                Err(e) => return BrokerReply::Fail(wire_error_text(&e)),
+            };
+            match shared.install_subscription(*peer, id, sub) {
+                Ok(()) => {
+                    if !shared.fail.check(&shared.shutdown) {
+                        return BrokerReply::Crash;
+                    }
+                    BrokerReply::Respond(BrokerResponse::Forwarded)
+                }
+                Err(message) => BrokerReply::Fail(message),
+            }
+        }
+        BrokerRequest::Retract(id) => {
+            if !shared.fail.check(&shared.shutdown) {
+                return BrokerReply::Crash;
+            }
+            let existed = shared.remove_subscription(*peer, SubscriptionId(id));
+            if !shared.fail.check(&shared.shutdown) {
+                return BrokerReply::Crash;
+            }
+            BrokerReply::Respond(BrokerResponse::Retracted(existed))
+        }
+        BrokerRequest::Publish(dto) => {
+            if !shared.fail.check(&shared.shutdown) {
+                return BrokerReply::Crash;
+            }
+            let p = match dto.clone().into_publication(shared.service.schema()) {
+                Ok(p) => p,
+                Err(e) => return BrokerReply::Fail(wire_error_text(&e)),
+            };
+            match shared.route_publication(*peer, &p, &dto) {
+                Ok(ids) => BrokerReply::Respond(BrokerResponse::Matched(ids)),
+                Err(message) => BrokerReply::Fail(message),
+            }
+        }
+        BrokerRequest::WalList => match &shared.shipper {
+            None => BrokerReply::Fail("node is not durable; no WAL to ship".into()),
+            Some(shipper) => match shipper.list() {
+                Ok(shards) => BrokerReply::Respond(BrokerResponse::WalList(shards)),
+                Err(e) => BrokerReply::Fail(format!("WAL list failed: {e}")),
+            },
+        },
+        BrokerRequest::WalFetch {
+            shard,
+            segment,
+            offset,
+            max_len,
+        } => {
+            if !shared.fail.check(&shared.shutdown) {
+                return BrokerReply::Crash;
+            }
+            match &shared.shipper {
+                None => BrokerReply::Fail("node is not durable; no WAL to ship".into()),
+                Some(shipper) => match shipper.fetch(shard, segment, offset, max_len) {
+                    Ok((bytes, newly_completed)) => {
+                        shared
+                            .counters
+                            .segments_shipped
+                            .fetch_add(newly_completed, Ordering::Relaxed);
+                        BrokerReply::Respond(BrokerResponse::WalChunk(bytes))
+                    }
+                    Err(e) => BrokerReply::Fail(format!("WAL fetch failed: {e}")),
+                },
+            }
+        }
+    }
+}
+
+fn wire_error_text(e: &WireError) -> String {
+    e.to_string()
+}

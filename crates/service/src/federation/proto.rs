@@ -1,0 +1,524 @@
+//! The broker-to-broker wire protocol — binary-only opcodes layered on
+//! the client protocol's framing.
+//!
+//! A broker session starts exactly like a binary client session (the
+//! 5-byte preamble, the server's Ready frame — see [`crate::wire`]),
+//! then speaks request opcodes `0x10`–`0x16` instead of the client's
+//! `0x01`–`0x06`. Keeping one framing layer means an old, pre-federation
+//! node answers a broker opcode with an ordinary `0xFF` error frame
+//! ("unknown binary request opcode") instead of desyncing — the
+//! version-skew story for mixed meshes falls out of the existing strict
+//! decoder.
+//!
+//! | Opcode | Request | Payload after the opcode byte |
+//! |---|---|---|
+//! | `0x10` | broker hello | `node_id: u64` |
+//! | `0x11` | forward subscription | `id: u64`, `count: u32`, `count` × (`lo: i64`, `hi: i64`) |
+//! | `0x12` | retract subscription | `id: u64` |
+//! | `0x13` | remote publish | `count: u32`, `count` × `value: i64` |
+//! | `0x14` | WAL list | — |
+//! | `0x15` | WAL fetch | `shard: u32`, `segment: u64`, `offset: u64`, `max_len: u32` |
+//! | `0x16` | heartbeat | `node_id: u64` |
+//!
+//! | Opcode | Response | Payload after the opcode byte |
+//! |---|---|---|
+//! | `0x90` | broker hello | `node_id: u64`, `shards: u64` |
+//! | `0x91` | forwarded | — |
+//! | `0x92` | retracted | `existed: u8` |
+//! | `0x93` | matched | `count: u32`, `count` × `id: u64` (ascending) |
+//! | `0x94` | WAL list | `shards: u32`, per shard: `shard: u32`, `manifest: bytes`, `count: u32`, `count` × (`segment: u64`, `len: u64`) |
+//! | `0x95` | WAL chunk | `bytes` (`u32` length + raw bytes) |
+//! | `0x96` | heartbeat | `node_id: u64` |
+//! | `0xFF` | error | `message: str` (shared with the client protocol) |
+//!
+//! Subscriptions ride as raw `(lo, hi)` range lists (the
+//! [`SubscriptionDto`] shape) and are validated against the receiving
+//! node's schema at dispatch, mirroring the client subscribe path.
+
+use psc_model::codec::{self, ByteReader, CodecError};
+use psc_model::wire::{PublicationDto, SubscriptionDto, WireError};
+
+/// Broker request/response opcodes (client opcodes live in
+/// [`crate::wire`]).
+pub(crate) mod bop {
+    /// Broker session handshake.
+    pub const HELLO: u8 = 0x10;
+    /// Forward a subscription over this link.
+    pub const FORWARD: u8 = 0x11;
+    /// Retract a previously forwarded subscription.
+    pub const RETRACT: u8 = 0x12;
+    /// Route a publication over this link.
+    pub const PUBLISH: u8 = 0x13;
+    /// List WAL segments available for shipping.
+    pub const WAL_LIST: u8 = 0x14;
+    /// Fetch a byte range of one WAL segment.
+    pub const WAL_FETCH: u8 = 0x15;
+    /// Liveness probe.
+    pub const HEARTBEAT: u8 = 0x16;
+
+    /// Response to [`HELLO`].
+    pub const R_HELLO: u8 = 0x90;
+    /// Response to [`FORWARD`].
+    pub const R_FORWARDED: u8 = 0x91;
+    /// Response to [`RETRACT`].
+    pub const R_RETRACTED: u8 = 0x92;
+    /// Response to [`PUBLISH`].
+    pub const R_MATCHED: u8 = 0x93;
+    /// Response to [`WAL_LIST`].
+    pub const R_WAL_LIST: u8 = 0x94;
+    /// Response to [`WAL_FETCH`].
+    pub const R_WAL_CHUNK: u8 = 0x95;
+    /// Response to [`HEARTBEAT`].
+    pub const R_HEARTBEAT: u8 = 0x96;
+}
+
+/// Largest WAL byte range one `WAL_FETCH` may request — keeps a single
+/// shipping response bounded so follower and leader never frame
+/// megabyte-scale payloads in one allocation burst.
+pub const MAX_WAL_CHUNK_BYTES: u32 = 256 * 1024;
+
+/// One broker-to-broker request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerRequest {
+    /// Opens a broker session; `node_id` identifies the dialing node.
+    Hello {
+        /// Overlay id of the dialing broker.
+        node_id: u64,
+    },
+    /// Forwards a subscription over this link (covering already applied
+    /// by the sender).
+    Forward(SubscriptionDto),
+    /// Retracts a previously forwarded subscription by id.
+    Retract(u64),
+    /// Routes a publication over this link; the receiver answers with
+    /// every subscriber id it (or brokers beyond it) matched.
+    Publish(PublicationDto),
+    /// Asks for the shippable WAL state: per shard, the manifest bytes
+    /// and each live segment's id and current length.
+    WalList,
+    /// Fetches up to `max_len` bytes of one WAL segment from `offset`.
+    WalFetch {
+        /// Shard index on the serving node.
+        shard: u32,
+        /// Segment id (the `NNNNNN` in `wal.NNNNNN.log`).
+        segment: u64,
+        /// Byte offset to read from.
+        offset: u64,
+        /// Read cap, clamped to [`MAX_WAL_CHUNK_BYTES`] by the server.
+        max_len: u32,
+    },
+    /// Liveness probe carrying the prober's node id.
+    Heartbeat {
+        /// Overlay id of the probing broker.
+        node_id: u64,
+    },
+}
+
+/// One broker-to-broker response. The error case rides the client
+/// protocol's `0xFF` frame and surfaces as
+/// [`LinkError::Remote`](super::LinkError).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerResponse {
+    /// Session accepted.
+    Hello {
+        /// Overlay id of the answering broker.
+        node_id: u64,
+        /// Shard count of the answering node's service.
+        shards: u64,
+    },
+    /// Forward applied (idempotent for already-seen ids).
+    Forwarded,
+    /// Retract applied; `true` when the id was installed here.
+    Retracted(bool),
+    /// Subscriber ids matched at or beyond the answering node.
+    Matched(Vec<u64>),
+    /// Shippable WAL state, one entry per shard.
+    WalList(Vec<ShardSegments>),
+    /// Raw WAL bytes (possibly empty when the offset is at the end).
+    WalChunk(Vec<u8>),
+    /// Liveness answer.
+    Heartbeat {
+        /// Overlay id of the answering broker.
+        node_id: u64,
+    },
+}
+
+/// Shippable WAL state of one shard, as carried by a WAL-list response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSegments {
+    /// Shard index on the serving node.
+    pub shard: u32,
+    /// Verbatim `manifest.bin` bytes (magic + framed oldest-live id).
+    pub manifest: Vec<u8>,
+    /// Live segments, ascending by id.
+    pub segments: Vec<SegmentInfo>,
+}
+
+/// One live WAL segment's shipping coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment id (the `NNNNNN` in `wal.NNNNNN.log`).
+    pub id: u64,
+    /// Current byte length on the serving node.
+    pub len: u64,
+}
+
+fn codec_err(e: CodecError) -> WireError {
+    WireError::Shape(e.to_string())
+}
+
+impl BrokerRequest {
+    /// Appends this request as one binary frame (length header
+    /// included) to `out`.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::write_frame(out, |p| match self {
+            BrokerRequest::Hello { node_id } => {
+                codec::put_u8(p, bop::HELLO);
+                codec::put_u64(p, *node_id);
+            }
+            BrokerRequest::Forward(dto) => {
+                codec::put_u8(p, bop::FORWARD);
+                codec::put_u64(p, dto.id);
+                codec::put_u32(p, dto.ranges.len() as u32);
+                for (lo, hi) in &dto.ranges {
+                    codec::put_i64(p, *lo);
+                    codec::put_i64(p, *hi);
+                }
+            }
+            BrokerRequest::Retract(id) => {
+                codec::put_u8(p, bop::RETRACT);
+                codec::put_u64(p, *id);
+            }
+            BrokerRequest::Publish(dto) => {
+                codec::put_u8(p, bop::PUBLISH);
+                codec::put_u32(p, dto.values.len() as u32);
+                for v in &dto.values {
+                    codec::put_i64(p, *v);
+                }
+            }
+            BrokerRequest::WalList => codec::put_u8(p, bop::WAL_LIST),
+            BrokerRequest::WalFetch {
+                shard,
+                segment,
+                offset,
+                max_len,
+            } => {
+                codec::put_u8(p, bop::WAL_FETCH);
+                codec::put_u32(p, *shard);
+                codec::put_u64(p, *segment);
+                codec::put_u64(p, *offset);
+                codec::put_u32(p, *max_len);
+            }
+            BrokerRequest::Heartbeat { node_id } => {
+                codec::put_u8(p, bop::HEARTBEAT);
+                codec::put_u64(p, *node_id);
+            }
+        });
+    }
+
+    /// Decodes one binary frame payload, strict about trailing bytes
+    /// like the client decoder.
+    pub fn decode_binary(payload: &[u8]) -> Result<BrokerRequest, WireError> {
+        let mut r = ByteReader::new(payload);
+        let op = r.u8().map_err(codec_err)?;
+        let request = match op {
+            bop::HELLO => BrokerRequest::Hello {
+                node_id: r.u64().map_err(codec_err)?,
+            },
+            bop::FORWARD => {
+                let id = r.u64().map_err(codec_err)?;
+                let count = r.u32().map_err(codec_err)? as usize;
+                // Same allocation guard as the client decoder: a range
+                // costs 16 encoded bytes.
+                if count > r.remaining() / 16 {
+                    return Err(WireError::Shape(
+                        "forward range count exceeds payload size".into(),
+                    ));
+                }
+                let mut ranges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let lo = r.i64().map_err(codec_err)?;
+                    let hi = r.i64().map_err(codec_err)?;
+                    ranges.push((lo, hi));
+                }
+                BrokerRequest::Forward(SubscriptionDto { id, ranges })
+            }
+            bop::RETRACT => BrokerRequest::Retract(r.u64().map_err(codec_err)?),
+            bop::PUBLISH => {
+                let count = r.u32().map_err(codec_err)? as usize;
+                if count > r.remaining() / 8 {
+                    return Err(WireError::Shape(
+                        "publish value count exceeds payload size".into(),
+                    ));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.i64().map_err(codec_err)?);
+                }
+                BrokerRequest::Publish(PublicationDto { values })
+            }
+            bop::WAL_LIST => BrokerRequest::WalList,
+            bop::WAL_FETCH => BrokerRequest::WalFetch {
+                shard: r.u32().map_err(codec_err)?,
+                segment: r.u64().map_err(codec_err)?,
+                offset: r.u64().map_err(codec_err)?,
+                max_len: r.u32().map_err(codec_err)?,
+            },
+            bop::HEARTBEAT => BrokerRequest::Heartbeat {
+                node_id: r.u64().map_err(codec_err)?,
+            },
+            other => {
+                return Err(WireError::Shape(format!(
+                    "unknown binary broker request opcode 0x{other:02X}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Shape(format!(
+                "binary broker request has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(request)
+    }
+
+    /// Whether `first_byte` is in the broker-opcode range — the server's
+    /// demultiplexing test between client and broker frames.
+    pub(crate) fn is_broker_opcode(first_byte: u8) -> bool {
+        (bop::HELLO..=bop::HEARTBEAT).contains(&first_byte)
+    }
+}
+
+impl BrokerResponse {
+    /// Appends this response as one binary frame (length header
+    /// included) to `out`.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        codec::write_frame(out, |p| match self {
+            BrokerResponse::Hello { node_id, shards } => {
+                codec::put_u8(p, bop::R_HELLO);
+                codec::put_u64(p, *node_id);
+                codec::put_u64(p, *shards);
+            }
+            BrokerResponse::Forwarded => codec::put_u8(p, bop::R_FORWARDED),
+            BrokerResponse::Retracted(existed) => {
+                codec::put_u8(p, bop::R_RETRACTED);
+                codec::put_u8(p, u8::from(*existed));
+            }
+            BrokerResponse::Matched(ids) => {
+                codec::put_u8(p, bop::R_MATCHED);
+                codec::put_u32(p, ids.len() as u32);
+                for &id in ids {
+                    codec::put_u64(p, id);
+                }
+            }
+            BrokerResponse::WalList(shards) => {
+                codec::put_u8(p, bop::R_WAL_LIST);
+                codec::put_u32(p, shards.len() as u32);
+                for s in shards {
+                    codec::put_u32(p, s.shard);
+                    codec::put_bytes(p, &s.manifest);
+                    codec::put_u32(p, s.segments.len() as u32);
+                    for seg in &s.segments {
+                        codec::put_u64(p, seg.id);
+                        codec::put_u64(p, seg.len);
+                    }
+                }
+            }
+            BrokerResponse::WalChunk(bytes) => {
+                codec::put_u8(p, bop::R_WAL_CHUNK);
+                codec::put_bytes(p, bytes);
+            }
+            BrokerResponse::Heartbeat { node_id } => {
+                codec::put_u8(p, bop::R_HEARTBEAT);
+                codec::put_u64(p, *node_id);
+            }
+        });
+    }
+
+    /// Decodes one binary frame payload. A `0xFF` client error frame is
+    /// not handled here — the link layer surfaces it as a remote error
+    /// before calling this.
+    pub fn decode_binary(payload: &[u8]) -> Result<BrokerResponse, WireError> {
+        let mut r = ByteReader::new(payload);
+        let op = r.u8().map_err(codec_err)?;
+        let response = match op {
+            bop::R_HELLO => BrokerResponse::Hello {
+                node_id: r.u64().map_err(codec_err)?,
+                shards: r.u64().map_err(codec_err)?,
+            },
+            bop::R_FORWARDED => BrokerResponse::Forwarded,
+            bop::R_RETRACTED => BrokerResponse::Retracted(r.u8().map_err(codec_err)? != 0),
+            bop::R_MATCHED => {
+                let count = r.u32().map_err(codec_err)? as usize;
+                if count > r.remaining() / 8 {
+                    return Err(WireError::Shape(
+                        "matched id count exceeds payload size".into(),
+                    ));
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(r.u64().map_err(codec_err)?);
+                }
+                BrokerResponse::Matched(ids)
+            }
+            bop::R_WAL_LIST => {
+                let count = r.u32().map_err(codec_err)? as usize;
+                // A shard entry costs at least 12 encoded bytes (shard,
+                // manifest length, segment count).
+                if count > r.remaining() / 12 {
+                    return Err(WireError::Shape(
+                        "WAL shard count exceeds payload size".into(),
+                    ));
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let shard = r.u32().map_err(codec_err)?;
+                    let manifest = r.byte_vec().map_err(codec_err)?;
+                    let seg_count = r.u32().map_err(codec_err)? as usize;
+                    if seg_count > r.remaining() / 16 {
+                        return Err(WireError::Shape(
+                            "WAL segment count exceeds payload size".into(),
+                        ));
+                    }
+                    let mut segments = Vec::with_capacity(seg_count);
+                    for _ in 0..seg_count {
+                        segments.push(SegmentInfo {
+                            id: r.u64().map_err(codec_err)?,
+                            len: r.u64().map_err(codec_err)?,
+                        });
+                    }
+                    shards.push(ShardSegments {
+                        shard,
+                        manifest,
+                        segments,
+                    });
+                }
+                BrokerResponse::WalList(shards)
+            }
+            bop::R_WAL_CHUNK => BrokerResponse::WalChunk(r.byte_vec().map_err(codec_err)?),
+            bop::R_HEARTBEAT => BrokerResponse::Heartbeat {
+                node_id: r.u64().map_err(codec_err)?,
+            },
+            other => {
+                return Err(WireError::Shape(format!(
+                    "unknown binary broker response opcode 0x{other:02X}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(WireError::Shape(format!(
+                "binary broker response has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_frame(buf: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(buf.len(), 4 + len, "exactly one frame");
+        &buf[4..]
+    }
+
+    #[test]
+    fn broker_requests_round_trip() {
+        let cases = [
+            BrokerRequest::Hello { node_id: 3 },
+            BrokerRequest::Forward(SubscriptionDto {
+                id: 42,
+                ranges: vec![(0, 9), (-5, 5)],
+            }),
+            BrokerRequest::Retract(42),
+            BrokerRequest::Publish(PublicationDto {
+                values: vec![3, -4],
+            }),
+            BrokerRequest::WalList,
+            BrokerRequest::WalFetch {
+                shard: 1,
+                segment: 7,
+                offset: 4096,
+                max_len: 65536,
+            },
+            BrokerRequest::Heartbeat { node_id: 9 },
+        ];
+        for case in cases {
+            let mut buf = Vec::new();
+            case.encode_binary(&mut buf);
+            let decoded = BrokerRequest::decode_binary(strip_frame(&buf)).expect("decode");
+            assert_eq!(decoded, case);
+        }
+    }
+
+    #[test]
+    fn broker_responses_round_trip() {
+        let cases = [
+            BrokerResponse::Hello {
+                node_id: 2,
+                shards: 4,
+            },
+            BrokerResponse::Forwarded,
+            BrokerResponse::Retracted(true),
+            BrokerResponse::Matched(vec![1, 2, 3]),
+            BrokerResponse::WalList(vec![ShardSegments {
+                shard: 0,
+                manifest: vec![0xAB, 0xCD],
+                segments: vec![
+                    SegmentInfo { id: 0, len: 128 },
+                    SegmentInfo { id: 1, len: 64 },
+                ],
+            }]),
+            BrokerResponse::WalChunk(vec![9, 8, 7]),
+            BrokerResponse::Heartbeat { node_id: 2 },
+        ];
+        for case in cases {
+            let mut buf = Vec::new();
+            case.encode_binary(&mut buf);
+            let decoded = BrokerResponse::decode_binary(strip_frame(&buf)).expect("decode");
+            assert_eq!(decoded, case);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        BrokerRequest::Retract(1).encode_binary(&mut buf);
+        let mut payload = strip_frame(&buf).to_vec();
+        payload.push(0);
+        assert!(BrokerRequest::decode_binary(&payload).is_err());
+
+        let mut buf = Vec::new();
+        BrokerResponse::Forwarded.encode_binary(&mut buf);
+        let mut payload = strip_frame(&buf).to_vec();
+        payload.push(0);
+        assert!(BrokerResponse::decode_binary(&payload).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_cannot_trigger_huge_allocations() {
+        // FORWARD claiming 2^31 ranges in a 12-byte payload.
+        let mut payload = vec![bop::FORWARD];
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+        assert!(BrokerRequest::decode_binary(&payload).is_err());
+
+        // WAL list claiming 2^31 shards.
+        let mut payload = vec![bop::R_WAL_LIST];
+        payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
+        assert!(BrokerResponse::decode_binary(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert!(BrokerRequest::decode_binary(&[0x7F]).is_err());
+        assert!(BrokerResponse::decode_binary(&[0x7F]).is_err());
+        assert!(BrokerRequest::is_broker_opcode(bop::HELLO));
+        assert!(BrokerRequest::is_broker_opcode(bop::HEARTBEAT));
+        assert!(!BrokerRequest::is_broker_opcode(0x01));
+        assert!(!BrokerRequest::is_broker_opcode(0x90));
+    }
+}

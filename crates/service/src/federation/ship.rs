@@ -1,0 +1,462 @@
+//! WAL log shipping: the replication/fail-over half of federation.
+//!
+//! The serving side ([`WalShipper`]) answers `WAL list` / `WAL fetch`
+//! broker opcodes straight off a durable node's storage directory: per
+//! shard, the verbatim `manifest.bin` bytes plus every live
+//! `wal.NNNNNN.log` segment's id and current length, and arbitrary byte
+//! ranges of those segments. Segments are append-only and immutable
+//! after rotation (see [`crate::storage`]), which is exactly what makes
+//! them shippable: a follower only ever needs to append the leader's
+//! new bytes, never to reconcile rewrites. The one racy read — the live
+//! segment's tail while the leader is mid-append — is safe because
+//! recovery truncates a torn final record, and the next sync pass ships
+//! the rest.
+//!
+//! The tailing side ([`WalFollower`] / [`FollowerHandle`]) mirrors the
+//! leader's shard directories into a replica directory through the
+//! [`StorageFs`] abstraction (so crash-injection tests can power-loss
+//! the replica mid-ship), heartbeats the leader, and after a configured
+//! number of consecutive missed heartbeats reports the leader dead —
+//! at which point [`FollowerHandle::take_over`] opens an ordinary
+//! [`PubSubService`] over the replica and serves the leader's
+//! subscriptions.
+//!
+//! Consistency contract: take-over serves a *prefix* of the leader's
+//! acknowledged operations — everything shipped before the leader
+//! stopped. Shipping is asynchronous, so an operation the leader acked
+//! in its final unshipped moments may be missing from the replica; what
+//! can never happen is a torn or reordered replica state, because
+//! recovery applies the same manifest/segment validation the leader's
+//! own restart would.
+
+use super::link::{LinkError, LinkSession};
+use super::proto::{
+    BrokerRequest, BrokerResponse, SegmentInfo, ShardSegments, MAX_WAL_CHUNK_BYTES,
+};
+use crate::service::{PubSubService, ServiceConfig, ServiceError};
+use crate::storage::{parse_segment_name, segment_file_name, RealFs, StorageFs, MANIFEST_FILE};
+use psc_broker::BrokerId;
+use psc_model::Schema;
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serves a durable node's WAL segments to followers.
+pub(crate) struct WalShipper {
+    data_dir: PathBuf,
+    shards: usize,
+    /// Rotated segments whose final byte has been served — the
+    /// `segments_shipped` counter counts each exactly once.
+    fully_shipped: Mutex<HashSet<(u32, u64)>>,
+}
+
+impl WalShipper {
+    pub(crate) fn new(data_dir: PathBuf, shards: usize) -> WalShipper {
+        WalShipper {
+            data_dir,
+            shards,
+            fully_shipped: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The shippable state of every shard.
+    pub(crate) fn list(&self) -> std::io::Result<Vec<ShardSegments>> {
+        let mut out = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let dir = self.data_dir.join(format!("shard-{shard}"));
+            let manifest = match std::fs::read(dir.join(MANIFEST_FILE)) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            let mut segments = Vec::new();
+            match std::fs::read_dir(&dir) {
+                Ok(entries) => {
+                    for entry in entries {
+                        let entry = entry?;
+                        let name = entry.file_name().to_string_lossy().into_owned();
+                        if let Some(id) = parse_segment_name(&name) {
+                            segments.push(SegmentInfo {
+                                id,
+                                len: entry.metadata()?.len(),
+                            });
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            segments.sort_by_key(|s| s.id);
+            out.push(ShardSegments {
+                shard: shard as u32,
+                manifest,
+                segments,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reads up to `max_len` bytes of one segment from `offset`.
+    /// Returns the bytes plus how many *rotated* segments this fetch
+    /// newly completed (0 or 1) for the `segments_shipped` counter.
+    pub(crate) fn fetch(
+        &self,
+        shard: u32,
+        segment: u64,
+        offset: u64,
+        max_len: u32,
+    ) -> std::io::Result<(Vec<u8>, u64)> {
+        let dir = self.data_dir.join(format!("shard-{shard}"));
+        let bytes = std::fs::read(dir.join(segment_file_name(segment)))?;
+        let start = (offset as usize).min(bytes.len());
+        let len = (max_len.min(MAX_WAL_CHUNK_BYTES) as usize).min(bytes.len() - start);
+        let chunk = bytes[start..start + len].to_vec();
+
+        let mut newly_completed = 0;
+        if start + len == bytes.len() {
+            // Only a *rotated* segment (one with a successor on disk) is
+            // countably complete; the live segment's end keeps moving.
+            let has_successor = std::fs::read_dir(&dir)?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| parse_segment_name(&e.file_name().to_string_lossy()))
+                .any(|id| id > segment);
+            if has_successor
+                && self
+                    .fully_shipped
+                    .lock()
+                    .expect("shipped set lock")
+                    .insert((shard, segment))
+            {
+                newly_completed = 1;
+            }
+        }
+        Ok((chunk, newly_completed))
+    }
+}
+
+/// One `sync` pass's outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Shards the leader listed.
+    pub shards: usize,
+    /// WAL bytes fetched and appended to the replica this pass.
+    pub bytes_fetched: u64,
+    /// Local segments deleted because the leader pruned them.
+    pub segments_pruned: u64,
+}
+
+/// Tails a peer node's WAL segments into a local replica directory.
+///
+/// Synchronous API: each [`WalFollower::sync`] call converges the
+/// replica to the leader's current shipped state, each
+/// [`WalFollower::heartbeat`] probes liveness. [`FollowerHandle::spawn`]
+/// wraps both in a background thread with missed-heartbeat detection.
+pub struct WalFollower {
+    link: LinkSession,
+    replica_dir: PathBuf,
+    fs: Arc<dyn StorageFs>,
+    shards_seen: usize,
+}
+
+impl WalFollower {
+    /// A follower tailing the node at `addr` into `replica_dir` on the
+    /// real filesystem.
+    pub fn connect(
+        addr: SocketAddr,
+        replica_dir: PathBuf,
+        io_timeout: Option<Duration>,
+    ) -> WalFollower {
+        WalFollower::with_fs(addr, replica_dir, io_timeout, Arc::new(RealFs))
+    }
+
+    /// Same, writing the replica through an explicit [`StorageFs`] —
+    /// the crash-injection seam.
+    pub fn with_fs(
+        addr: SocketAddr,
+        replica_dir: PathBuf,
+        io_timeout: Option<Duration>,
+        fs: Arc<dyn StorageFs>,
+    ) -> WalFollower {
+        WalFollower {
+            // The follower is not an overlay member; the id is only a
+            // label in the leader's hello handling.
+            link: LinkSession::new(BrokerId(usize::MAX), u64::MAX, addr, io_timeout),
+            replica_dir,
+            fs,
+            shards_seen: 0,
+        }
+    }
+
+    /// Shard count from the last successful sync (0 before the first).
+    pub fn shards_seen(&self) -> usize {
+        self.shards_seen
+    }
+
+    /// The replica directory this follower writes.
+    pub fn replica_dir(&self) -> &std::path::Path {
+        &self.replica_dir
+    }
+
+    /// Probes the leader. An error means a missed heartbeat.
+    pub fn heartbeat(&mut self) -> Result<(), LinkError> {
+        self.link.ensure()?;
+        match self
+            .link
+            .call(&BrokerRequest::Heartbeat { node_id: u64::MAX })?
+        {
+            BrokerResponse::Heartbeat { .. } => Ok(()),
+            other => Err(LinkError::Wire(psc_model::wire::WireError::Shape(format!(
+                "heartbeat answered with unexpected response: {other:?}"
+            )))),
+        }
+    }
+
+    /// One full sync pass: list the leader's shards, append every new
+    /// segment byte to the replica (fsynced), mirror manifests, drop
+    /// segments the leader pruned.
+    pub fn sync(&mut self) -> Result<SyncReport, LinkError> {
+        self.link.ensure()?;
+        let shards = match self.link.call(&BrokerRequest::WalList)? {
+            BrokerResponse::WalList(shards) => shards,
+            other => {
+                return Err(LinkError::Wire(psc_model::wire::WireError::Shape(format!(
+                    "WAL list answered with unexpected response: {other:?}"
+                ))))
+            }
+        };
+        let mut report = SyncReport {
+            shards: shards.len(),
+            ..SyncReport::default()
+        };
+        for shard in &shards {
+            report.bytes_fetched += self.sync_shard(shard)?;
+            report.segments_pruned += self.prune_shard(shard)?;
+        }
+        self.shards_seen = shards.len();
+        Ok(report)
+    }
+
+    fn shard_dir(&self, shard: u32) -> PathBuf {
+        self.replica_dir.join(format!("shard-{shard}"))
+    }
+
+    fn local_len(&self, shard: u32, segment: u64) -> std::io::Result<u64> {
+        match self
+            .fs
+            .read(&self.shard_dir(shard).join(segment_file_name(segment)))
+        {
+            Ok(bytes) => Ok(bytes.len() as u64),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn sync_shard(&mut self, shard: &ShardSegments) -> Result<u64, LinkError> {
+        let dir = self.shard_dir(shard.shard);
+        self.fs.create_dir_all(&dir)?;
+        self.write_manifest(shard)?;
+        let mut fetched = 0u64;
+        for segment in &shard.segments {
+            let mut local = self.local_len(shard.shard, segment.id)?;
+            if local > segment.len {
+                // The leader restarted and recovery truncated a torn
+                // tail shorter than what we mirrored. Refetch from zero
+                // (rare; segments never shrink otherwise).
+                self.fs
+                    .create(&dir.join(segment_file_name(segment.id)))?
+                    .sync()?;
+                local = 0;
+            }
+            while local < segment.len {
+                let want = (segment.len - local).min(MAX_WAL_CHUNK_BYTES as u64) as u32;
+                let chunk = match self.link.call(&BrokerRequest::WalFetch {
+                    shard: shard.shard,
+                    segment: segment.id,
+                    offset: local,
+                    max_len: want,
+                })? {
+                    BrokerResponse::WalChunk(bytes) => bytes,
+                    other => {
+                        return Err(LinkError::Wire(psc_model::wire::WireError::Shape(format!(
+                            "WAL fetch answered with unexpected response: {other:?}"
+                        ))))
+                    }
+                };
+                if chunk.is_empty() {
+                    // The leader's segment shrank or vanished between
+                    // list and fetch (a prune raced us); the next sync
+                    // pass re-lists and reconciles.
+                    break;
+                }
+                let mut file = self
+                    .fs
+                    .open_append(&dir.join(segment_file_name(segment.id)))?;
+                file.write_all(&chunk)?;
+                file.sync()?;
+                local += chunk.len() as u64;
+                fetched += chunk.len() as u64;
+            }
+        }
+        Ok(fetched)
+    }
+
+    /// Mirrors the leader's manifest bytes atomically (tmp + rename),
+    /// the same discipline the storage layer itself uses.
+    fn write_manifest(&self, shard: &ShardSegments) -> std::io::Result<()> {
+        if shard.manifest.is_empty() {
+            return Ok(());
+        }
+        let dir = self.shard_dir(shard.shard);
+        let current = match self.fs.read(&dir.join(MANIFEST_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        if current == shard.manifest {
+            return Ok(());
+        }
+        let tmp = dir.join("manifest.tmp");
+        let mut file = self.fs.create(&tmp)?;
+        file.write_all(&shard.manifest)?;
+        file.sync()?;
+        drop(file);
+        self.fs.rename(&tmp, &dir.join(MANIFEST_FILE))?;
+        self.fs.sync_dir(&dir)
+    }
+
+    /// Deletes replica segments the leader no longer lists (pruned
+    /// behind a snapshot there; the mirrored manifest already points
+    /// past them).
+    fn prune_shard(&self, shard: &ShardSegments) -> std::io::Result<u64> {
+        let dir = self.shard_dir(shard.shard);
+        let live: HashSet<u64> = shard.segments.iter().map(|s| s.id).collect();
+        let names = match self.fs.list_dir(&dir) {
+            Ok(names) => names,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut pruned = 0;
+        for name in names {
+            if let Some(id) = parse_segment_name(&name) {
+                if !live.contains(&id) {
+                    self.fs.remove_file(&dir.join(name))?;
+                    pruned += 1;
+                }
+            }
+        }
+        Ok(pruned)
+    }
+}
+
+struct FollowerShared {
+    stop: AtomicBool,
+    consecutive_misses: AtomicU64,
+    syncs_completed: AtomicU64,
+}
+
+/// A background WAL follower: syncs and heartbeats on an interval,
+/// counts consecutive missed heartbeats, and hands the replica over to
+/// a fresh [`PubSubService`] on demand.
+pub struct FollowerHandle {
+    shared: Arc<FollowerShared>,
+    join: Option<JoinHandle<WalFollower>>,
+    replica_dir: PathBuf,
+    miss_threshold: u64,
+}
+
+impl FollowerHandle {
+    /// Spawns a follower thread tailing `addr` into `replica_dir` every
+    /// `interval`; the leader counts as dead after `miss_threshold`
+    /// consecutive failed heartbeats.
+    pub fn spawn(
+        addr: SocketAddr,
+        replica_dir: PathBuf,
+        interval: Duration,
+        miss_threshold: u64,
+    ) -> FollowerHandle {
+        let shared = Arc::new(FollowerShared {
+            stop: AtomicBool::new(false),
+            consecutive_misses: AtomicU64::new(0),
+            syncs_completed: AtomicU64::new(0),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let mut follower = WalFollower::connect(
+            addr,
+            replica_dir.clone(),
+            Some(interval.max(Duration::from_millis(100))),
+        );
+        let join = std::thread::Builder::new()
+            .name("psc-wal-follower".into())
+            .spawn(move || {
+                while !thread_shared.stop.load(Ordering::Relaxed) {
+                    let beat = follower.heartbeat().and_then(|()| follower.sync());
+                    match beat {
+                        Ok(_) => {
+                            thread_shared.consecutive_misses.store(0, Ordering::Relaxed);
+                            thread_shared
+                                .syncs_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            thread_shared
+                                .consecutive_misses
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+                follower
+            })
+            .expect("spawn follower thread");
+        FollowerHandle {
+            shared,
+            join: Some(join),
+            replica_dir,
+            miss_threshold,
+        }
+    }
+
+    /// Whether the leader has answered within the miss threshold.
+    pub fn peer_alive(&self) -> bool {
+        self.shared.consecutive_misses.load(Ordering::Relaxed) < self.miss_threshold
+    }
+
+    /// Completed sync passes so far.
+    pub fn syncs_completed(&self) -> u64 {
+        self.shared.syncs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Stops the tailer thread (idempotent) and returns the inner
+    /// follower for further synchronous use, if the thread was running.
+    pub fn stop(&mut self) -> Option<WalFollower> {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.join.take().map(|j| j.join().expect("follower thread"))
+    }
+
+    /// Fail-over: stops tailing and opens an ordinary service over the
+    /// replica directory, recovering the leader's shipped subscriptions
+    /// through the standard WAL/snapshot recovery path.
+    ///
+    /// `config.shards` must match the leader's shard count (the replica
+    /// has one directory per leader shard); `data_dir` is overridden to
+    /// the replica directory.
+    pub fn take_over(
+        mut self,
+        schema: Schema,
+        mut config: ServiceConfig,
+    ) -> Result<PubSubService, ServiceError> {
+        self.stop();
+        config.data_dir = Some(self.replica_dir.clone());
+        PubSubService::open(schema, config)
+    }
+}
+
+impl Drop for FollowerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

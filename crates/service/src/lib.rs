@@ -91,6 +91,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
+pub mod federation;
 pub mod metrics;
 pub mod reactor;
 pub mod routing;
@@ -103,6 +104,7 @@ pub mod wire;
 mod shard;
 
 pub use client::{ClientError, ClientProtocol, ServiceClient};
+pub use federation::{FederatedNode, FederationConfig};
 pub use metrics::{ReactorMetrics, ServiceMetrics, ShardMetrics};
 pub use server::ServiceServer;
 pub use service::{PubSubService, ServiceConfig, ServiceError};

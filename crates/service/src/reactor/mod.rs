@@ -126,6 +126,33 @@ impl ReactorCounters {
         self.decode_binary.record_duration(elapsed);
     }
 
+    /// Records an accepted connection (thread-per-connection front ends,
+    /// e.g. the federation layer, share these counters with the reactor).
+    pub(crate) fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.current.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub(crate) fn record_closed(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one handled request.
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one response encode/enqueue duration (`deliver` stage).
+    pub(crate) fn record_deliver(&self, elapsed: Duration) {
+        self.deliver.record_duration(elapsed);
+    }
+
+    /// Records one publish-ingress → response-written duration (`e2e`).
+    pub(crate) fn record_end_to_end(&self, elapsed: Duration) {
+        self.end_to_end.record_duration(elapsed);
+    }
+
     /// Copies the reactor-owned stages (`decode`, `decode_binary`,
     /// `deliver`, `e2e`) into a merged latency view whose service-side
     /// stages are already filled in.

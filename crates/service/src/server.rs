@@ -163,6 +163,7 @@ pub(crate) fn dispatch(
                 metrics,
                 reactor: reactor.map(ReactorCounters::snapshot),
                 latency: Some(Box::new(latency.to_stats())),
+                federation: None,
             }
         }
     }

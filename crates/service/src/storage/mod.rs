@@ -216,7 +216,7 @@ pub struct Recovery {
 }
 
 const LEGACY_WAL_FILE: &str = "wal.bin";
-const MANIFEST_FILE: &str = "manifest.bin";
+pub(crate) const MANIFEST_FILE: &str = "manifest.bin";
 const MANIFEST_TMP_FILE: &str = "manifest.tmp";
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
@@ -227,7 +227,7 @@ pub fn segment_file_name(id: u64) -> String {
     format!("wal.{id:06}.log")
 }
 
-fn parse_segment_name(name: &str) -> Option<u64> {
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
     let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
     if digits.len() < 6 || digits.bytes().any(|b| !b.is_ascii_digit()) {
         return None;

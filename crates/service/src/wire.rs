@@ -324,6 +324,10 @@ pub enum Response {
         /// otherwise dominate every `Response`'s (and `ClientError`'s)
         /// inline size.
         latency: Option<Box<LatencyStats>>,
+        /// Federated-mesh counters; present only on federated nodes and
+        /// tolerated as absent on decode (same version-skew policy as
+        /// `reactor`), so plain servers and older peers interoperate.
+        federation: Option<psc_model::wire::FederationStats>,
     },
     /// The request failed.
     Error(String),
@@ -363,6 +367,7 @@ impl Response {
                 metrics,
                 reactor,
                 latency,
+                federation,
             } => {
                 let mut fields = vec![("metrics", metrics.to_json())];
                 if let Some(reactor) = reactor {
@@ -370,6 +375,9 @@ impl Response {
                 }
                 if let Some(latency) = latency {
                     fields.push(("latency", latency.to_json()));
+                }
+                if let Some(federation) = federation {
+                    fields.push(("federation", Json::Obj(federation.to_json_fields())));
                 }
                 ok(fields)
             }
@@ -547,10 +555,14 @@ impl Response {
             let latency = value
                 .get("latency")
                 .map(|v| Box::new(LatencyStats::from_json(v)));
+            let federation = value
+                .get("federation")
+                .map(psc_model::wire::FederationStats::from_json);
             return Ok(Response::Stats {
                 metrics: ServiceMetrics::from_json(metrics)?,
                 reactor,
                 latency,
+                federation,
             });
         }
         // No recognized discriminator: fail loudly rather than guessing —
@@ -618,6 +630,7 @@ mod tests {
                 },
                 reactor: None,
                 latency: None,
+                federation: None,
             },
             Response::Stats {
                 metrics: ServiceMetrics::default(),
@@ -640,6 +653,15 @@ mod tests {
                     },
                     ..Default::default()
                 })),
+                federation: Some(psc_model::wire::FederationStats {
+                    peers_connected: 2,
+                    subs_forwarded: 5,
+                    subs_received: 9,
+                    subs_suppressed: 4,
+                    subs_retracted: 1,
+                    remote_publishes: 12,
+                    segments_shipped: 3,
+                }),
             },
             Response::Error("boom".into()),
         ];
@@ -665,11 +687,13 @@ mod tests {
                 metrics,
                 reactor,
                 latency,
+                federation,
             } => {
                 assert_eq!(metrics.shards.len(), 1);
                 assert_eq!(metrics.publications_total, 0);
                 assert!(reactor.is_none());
                 assert!(latency.is_none());
+                assert!(federation.is_none());
             }
             other => panic!("expected stats, got {other:?}"),
         }
@@ -754,6 +778,7 @@ mod tests {
                 },
                 reactor: None,
                 latency: None,
+                federation: None,
             },
             Response::Error("boom".into()),
         ];

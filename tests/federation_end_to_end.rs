@@ -1,0 +1,368 @@
+//! End-to-end federation: a 3-node broker chain A — B — C serving real
+//! clients over both wire protocols, with a mid-run restart of the
+//! middle node (WAL recovery + re-forwarded subscriptions), checked
+//! against a single-node reference for delivery equivalence.
+
+use psc::broker::{BrokerId, CoveringPolicy};
+use psc::model::{Publication, Range, Schema, Subscription, SubscriptionId};
+use psc::service::federation::{FederatedNode, FederationConfig};
+use psc::service::{ClientProtocol, PubSubService, ServiceClient, ServiceConfig};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::uniform(2, 0, 99)
+}
+
+fn sub(schema: &Schema, lo0: i64, hi0: i64, lo1: i64, hi1: i64) -> Subscription {
+    Subscription::from_ranges(
+        schema,
+        vec![
+            Range::new(lo0, hi0).expect("range"),
+            Range::new(lo1, hi1).expect("range"),
+        ],
+    )
+    .expect("subscription")
+}
+
+fn publication(schema: &Schema, v0: i64, v1: i64) -> Publication {
+    Publication::from_values(schema, vec![v0, v1]).expect("publication")
+}
+
+/// An address no node listens on — every peer is re-pointed via
+/// `set_peer_addr` once real ports are known.
+fn dummy_addr() -> SocketAddr {
+    "127.0.0.1:9".parse().expect("addr")
+}
+
+fn fed_config(node_id: usize, peers: &[usize]) -> FederationConfig {
+    FederationConfig {
+        node_id: BrokerId(node_id),
+        listen: "127.0.0.1:0".to_string(),
+        peers: peers.iter().map(|&p| (BrokerId(p), dummy_addr())).collect(),
+        policy: CoveringPolicy::Pairwise,
+        seed: 7,
+        heartbeat_interval: Some(Duration::from_millis(100)),
+        fail_after_ops: None,
+    }
+}
+
+fn service_config() -> ServiceConfig {
+    let mut config = ServiceConfig::with_shards(1);
+    config.io_timeout = Some(Duration::from_secs(5));
+    config
+}
+
+/// Starts the chain A(0) — B(1) — C(2) and wires every link's real
+/// address. `b_data_dir` makes the middle node durable.
+fn start_chain(b_data_dir: Option<&Path>) -> (FederatedNode, FederatedNode, FederatedNode) {
+    let a = FederatedNode::start(schema(), service_config(), fed_config(0, &[1])).expect("start A");
+    let mut b_service = service_config();
+    b_service.data_dir = b_data_dir.map(Path::to_path_buf);
+    let b = FederatedNode::start(schema(), b_service, fed_config(1, &[0, 2])).expect("start B");
+    let c = FederatedNode::start(schema(), service_config(), fed_config(2, &[1])).expect("start C");
+    wire_chain(&a, &b, &c);
+    (a, b, c)
+}
+
+fn wire_chain(a: &FederatedNode, b: &FederatedNode, c: &FederatedNode) {
+    a.set_peer_addr(BrokerId(1), b.local_addr());
+    b.set_peer_addr(BrokerId(0), a.local_addr());
+    b.set_peer_addr(BrokerId(2), c.local_addr());
+    c.set_peer_addr(BrokerId(1), b.local_addr());
+}
+
+fn connect(node: &FederatedNode, protocol: ClientProtocol) -> ServiceClient {
+    match protocol {
+        ClientProtocol::Json => ServiceClient::connect(node.local_addr()).expect("connect json"),
+        ClientProtocol::Binary => {
+            ServiceClient::connect_binary(node.local_addr()).expect("connect binary")
+        }
+    }
+}
+
+/// The single-node naive reference: the same subscriptions in one plain
+/// service must match the same ids.
+fn reference_matches(
+    subs: &[(u64, Subscription)],
+    pubs: &[Publication],
+) -> Vec<Vec<SubscriptionId>> {
+    let service = PubSubService::open(schema(), service_config()).expect("reference");
+    for (id, sub) in subs {
+        service
+            .subscribe(SubscriptionId(*id), sub.clone())
+            .expect("reference subscribe");
+    }
+    service.flush();
+    pubs.iter()
+        .map(|p| {
+            let mut ids = service.publish(p).expect("reference publish");
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+fn run_chain_delivery(protocol: ClientProtocol) {
+    let (a, b, c) = start_chain(None);
+    let s = schema();
+
+    // Subscriber on C, publisher on A: interest must cross two hops.
+    let mut subscriber = connect(&c, protocol);
+    let narrow = sub(&s, 10, 20, 10, 20);
+    let broad = sub(&s, 0, 50, 0, 50);
+    subscriber
+        .subscribe(SubscriptionId(1), &narrow)
+        .expect("subscribe narrow");
+    subscriber
+        .subscribe(SubscriptionId(2), &broad)
+        .expect("subscribe broad");
+
+    let mut publisher = connect(&a, protocol);
+    let pubs = [
+        publication(&s, 15, 15),
+        publication(&s, 40, 40),
+        publication(&s, 90, 90),
+    ];
+    let subs: Vec<(u64, Subscription)> = vec![(1, narrow.clone()), (2, broad.clone())];
+    let expected = reference_matches(&subs, &pubs);
+    for (p, want) in pubs.iter().zip(&expected) {
+        let mut got = publisher.publish(p).expect("publish");
+        got.sort_unstable();
+        assert_eq!(&got, want, "mesh delivery must equal the flat reference");
+    }
+
+    // The broad subscription covers the narrow one, so B and A each saw
+    // a single forwarded subscription stream with covering applied.
+    let stats_b = b.federation_stats();
+    assert!(
+        stats_b.subs_received >= 1,
+        "B must have received forwarded interest"
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    a.stop();
+    b.stop();
+    c.stop();
+}
+
+#[test]
+fn chain_delivers_over_json() {
+    run_chain_delivery(ClientProtocol::Json);
+}
+
+#[test]
+fn chain_delivers_over_binary() {
+    run_chain_delivery(ClientProtocol::Binary);
+}
+
+#[test]
+fn covering_suppresses_upstream_forwarding() {
+    let (a, b, c) = start_chain(None);
+    let s = schema();
+
+    let mut subscriber = connect(&c, ClientProtocol::Binary);
+    // Broad first, then narrow ones it covers: only the broad interest
+    // may cross toward B.
+    subscriber
+        .subscribe(SubscriptionId(10), &sub(&s, 0, 80, 0, 80))
+        .expect("broad");
+    for (i, lo) in [(11u64, 5i64), (12, 20), (13, 40)] {
+        subscriber
+            .subscribe(SubscriptionId(i), &sub(&s, lo, lo + 10, lo, lo + 10))
+            .expect("narrow");
+    }
+
+    let (forwarded, suppressed) = c.link_tables(BrokerId(1));
+    assert_eq!(
+        forwarded.iter().map(|(id, _)| id.0).collect::<Vec<_>>(),
+        vec![10],
+        "only the covering subscription crosses the uplink"
+    );
+    assert_eq!(suppressed.len(), 3, "the covered three are suppressed");
+
+    let stats = c.federation_stats();
+    assert_eq!(stats.subs_forwarded, 1);
+    assert_eq!(stats.subs_suppressed, 3);
+    assert!(
+        stats.subs_forwarded < 4,
+        "control traffic must shrink under covering"
+    );
+
+    // Deliveries are unaffected: a publication inside a covered narrow
+    // subscription still reaches it from the far end of the chain.
+    let mut publisher = connect(&a, ClientProtocol::Binary);
+    let mut got = publisher
+        .publish(&publication(&s, 25, 25))
+        .expect("publish");
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![SubscriptionId(10), SubscriptionId(12)],
+        "covered subscriptions still match"
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    a.stop();
+    b.stop();
+    c.stop();
+}
+
+#[test]
+fn middle_node_restart_recovers_and_resyncs() {
+    let dir = std::env::temp_dir().join(format!("psc-fed-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let (a, b, c) = start_chain(Some(&dir));
+    let s = schema();
+
+    let mut subscriber = connect(&c, ClientProtocol::Json);
+    subscriber
+        .subscribe(SubscriptionId(1), &sub(&s, 10, 30, 10, 30))
+        .expect("subscribe before restart");
+    // A subscriber directly on B: its interest must survive B's restart
+    // through WAL recovery.
+    let mut b_subscriber = connect(&b, ClientProtocol::Binary);
+    b_subscriber
+        .subscribe(SubscriptionId(2), &sub(&s, 60, 70, 60, 70))
+        .expect("subscribe on B");
+    b_subscriber.flush().expect("durability barrier");
+    drop(b_subscriber);
+
+    let mut publisher = connect(&a, ClientProtocol::Json);
+    let mut got = publisher
+        .publish(&publication(&s, 20, 20))
+        .expect("publish before restart");
+    got.sort_unstable();
+    assert_eq!(got, vec![SubscriptionId(1)]);
+
+    // Kill B mid-run and bring it back on a NEW port over the same data
+    // directory (a fresh port avoids TIME_WAIT collisions; peers are
+    // re-pointed, exactly like a supervisor would).
+    b.stop();
+    drop(b);
+    let mut b_service = service_config();
+    b_service.data_dir = Some(dir.clone());
+    let b2 = FederatedNode::start(schema(), b_service, fed_config(1, &[0, 2])).expect("restart B");
+    wire_chain(&a, &b2, &c);
+    // Force the links up now; a heartbeat pass would do the same within
+    // its interval.
+    assert_eq!(a.resync(), 1, "A must re-reach the restarted B");
+    assert_eq!(c.resync(), 1, "C must re-reach the restarted B");
+    assert!(b2.resync() >= 1, "B must re-reach at least one neighbor");
+
+    // B recovered its durable subscription and C's interest was
+    // re-forwarded by the resync: publishes from A see both again.
+    let mut got = publisher
+        .publish(&publication(&s, 20, 20))
+        .expect("publish after restart");
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![SubscriptionId(1)],
+        "re-forwarded interest must survive the restart"
+    );
+    let mut got = publisher
+        .publish(&publication(&s, 65, 65))
+        .expect("publish to recovered sub");
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![SubscriptionId(2)],
+        "B's durable subscription must survive the restart"
+    );
+
+    // New subscriptions keep flowing after the restart.
+    subscriber
+        .subscribe(SubscriptionId(3), &sub(&s, 80, 90, 80, 90))
+        .expect("subscribe after restart");
+    let mut got = publisher
+        .publish(&publication(&s, 85, 85))
+        .expect("publish after new subscribe");
+    got.sort_unstable();
+    assert_eq!(got, vec![SubscriptionId(3)]);
+
+    drop(subscriber);
+    drop(publisher);
+    a.stop();
+    b2.stop();
+    c.stop();
+    drop((a, b2, c));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unsubscribe_retracts_across_the_mesh() {
+    let (a, b, c) = start_chain(None);
+    let s = schema();
+
+    let mut subscriber = connect(&c, ClientProtocol::Binary);
+    subscriber
+        .subscribe(SubscriptionId(1), &sub(&s, 0, 40, 0, 40))
+        .expect("subscribe");
+    let mut publisher = connect(&a, ClientProtocol::Binary);
+    assert_eq!(
+        publisher.publish(&publication(&s, 5, 5)).expect("publish"),
+        vec![SubscriptionId(1)]
+    );
+
+    assert!(subscriber
+        .unsubscribe(SubscriptionId(1))
+        .expect("unsubscribe"));
+    assert_eq!(
+        publisher
+            .publish(&publication(&s, 5, 5))
+            .expect("publish after retract"),
+        Vec::<SubscriptionId>::new(),
+        "retract must propagate to every node"
+    );
+    let stats = c.federation_stats();
+    assert!(
+        stats.subs_retracted >= 1,
+        "retract decision must be counted"
+    );
+
+    drop(subscriber);
+    drop(publisher);
+    a.stop();
+    b.stop();
+    c.stop();
+}
+
+#[test]
+fn federation_stats_ride_the_stats_response() {
+    let (a, b, c) = start_chain(None);
+    let s = schema();
+
+    let mut subscriber = connect(&c, ClientProtocol::Json);
+    subscriber
+        .subscribe(SubscriptionId(1), &sub(&s, 0, 30, 0, 30))
+        .expect("subscribe");
+
+    let fed = subscriber
+        .stats_federation()
+        .expect("stats round trip")
+        .expect("federated node must attach federation stats");
+    assert_eq!(fed.subs_forwarded, 1);
+
+    // The same scrape over binary, against a different node.
+    let mut b_client = connect(&b, ClientProtocol::Binary);
+    let fed_b = b_client
+        .stats_federation()
+        .expect("stats round trip")
+        .expect("federated node must attach federation stats");
+    assert!(
+        fed_b.subs_received >= 1,
+        "B received C's forwarded interest"
+    );
+
+    drop(subscriber);
+    drop(b_client);
+    a.stop();
+    b.stop();
+    c.stop();
+}

@@ -1,0 +1,176 @@
+//! Version-skew tests for the federation additions: the new stats keys
+//! decode optionally (a pre-federation peer's stats still parse, and a
+//! plain node's response simply omits the `federation` block), and a
+//! mixed mesh degrades cleanly — an old node answers unknown broker
+//! opcodes with an ordinary error frame instead of desyncing, and keeps
+//! serving clients afterwards.
+
+use psc::model::codec::{self, BinFrame, BinaryFramer, BINARY_PREAMBLE};
+use psc::model::wire::{FederationStats, Json};
+use psc::model::{Publication, Range, Schema, Subscription, SubscriptionId};
+use psc::service::federation::{BrokerRequest, FederatedNode, FederationConfig};
+use psc::service::{ServiceClient, ServiceConfig, ServiceServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn schema() -> Schema {
+    Schema::uniform(2, 0, 99)
+}
+
+fn sub(schema: &Schema, lo: i64, hi: i64) -> Subscription {
+    Subscription::from_ranges(
+        schema,
+        vec![
+            Range::new(lo, hi).expect("range"),
+            Range::new(lo, hi).expect("range"),
+        ],
+    )
+    .expect("subscription")
+}
+
+/// The new stats keys are decode-optional one by one: a peer that emits
+/// only some of them (or none) parses with zeros, never an error.
+#[test]
+fn federation_stats_keys_decode_optionally() {
+    let partial = Json::parse(r#"{"peers_connected":2,"subs_forwarded":5}"#).expect("parse");
+    let stats = FederationStats::from_json(&partial);
+    assert_eq!(stats.peers_connected, 2);
+    assert_eq!(stats.subs_forwarded, 5);
+    assert_eq!(stats.subs_suppressed, 0);
+    assert_eq!(stats.segments_shipped, 0);
+
+    assert_eq!(
+        FederationStats::from_json(&Json::obj([])),
+        FederationStats::default()
+    );
+
+    // Round trip: everything emitted is read back exactly.
+    let full = FederationStats {
+        peers_connected: 1,
+        subs_forwarded: 2,
+        subs_received: 3,
+        subs_suppressed: 4,
+        subs_retracted: 5,
+        remote_publishes: 6,
+        segments_shipped: 7,
+    };
+    assert_eq!(
+        FederationStats::from_json(&Json::Obj(full.to_json_fields())),
+        full
+    );
+}
+
+/// A plain (pre-federation) node's stats response has no `federation`
+/// block; a new client sees `None`, not a decode error.
+#[test]
+fn plain_node_stats_have_no_federation_block() {
+    let server =
+        ServiceServer::bind("127.0.0.1:0", schema(), ServiceConfig::with_shards(1)).expect("bind");
+    let mut client = ServiceClient::connect_binary(server.local_addr()).expect("connect");
+    assert_eq!(client.stats_federation().expect("stats"), None);
+    server.stop();
+}
+
+/// Reads one length-prefixed binary frame off a raw stream.
+fn read_frame(stream: &mut TcpStream, framer: &mut BinaryFramer) -> Vec<u8> {
+    loop {
+        if framer.has_frames() {
+            match framer.next_frame().expect("frame ready") {
+                BinFrame::Frame(payload) => return payload.to_vec(),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        let mut buf = [0u8; 1024];
+        let n = stream.read(&mut buf).expect("read");
+        assert!(n > 0, "server closed the connection");
+        framer.feed(&buf[..n]);
+    }
+}
+
+/// An old node receiving the new broker opcodes answers each with an
+/// ordinary error frame (0xFF) and stays in sync: a second broker frame
+/// on the same connection gets the same clean rejection, not a hang or
+/// a dropped connection.
+#[test]
+fn old_node_rejects_broker_opcodes_without_desyncing() {
+    let server =
+        ServiceServer::bind("127.0.0.1:0", schema(), ServiceConfig::with_shards(1)).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(&BINARY_PREAMBLE).expect("preamble");
+    let mut framer = BinaryFramer::new(1 << 20);
+    // Consume the Ready frame; its exact shape is the client's concern.
+    let _ready = read_frame(&mut stream, &mut framer);
+
+    for attempt in 0..2 {
+        let mut frame = Vec::new();
+        codec::write_frame(&mut frame, |out| {
+            BrokerRequest::Hello { node_id: 7 }.encode_binary(out);
+        });
+        stream.write_all(&frame).expect("send broker hello");
+        let reply = read_frame(&mut stream, &mut framer);
+        assert_eq!(
+            reply.first(),
+            Some(&0xFF),
+            "attempt {attempt}: old node must answer an unknown opcode \
+             with an error frame, got {reply:?}"
+        );
+    }
+
+    // The server is not wedged: a normal client still gets service.
+    let mut client = ServiceClient::connect_binary(server.local_addr()).expect("connect");
+    let (_, shards) = client.hello().expect("hello");
+    assert_eq!(shards, 1);
+    server.stop();
+}
+
+/// A mixed mesh: a new federated node whose peer is an old plain node.
+/// The link never comes up (the old node rejects broker hellos), but the
+/// new node keeps serving its own clients, and the old node keeps
+/// serving its own — no desync, no crash, clean degradation.
+#[test]
+fn mixed_mesh_degrades_cleanly() {
+    let s = schema();
+    let old = ServiceServer::bind("127.0.0.1:0", s.clone(), ServiceConfig::with_shards(1))
+        .expect("bind old");
+    let mut fed = FederationConfig::new(psc::broker::BrokerId(0));
+    fed.peers = vec![(psc::broker::BrokerId(1), old.local_addr())];
+    fed.heartbeat_interval = None;
+    let mut config = ServiceConfig::with_shards(1);
+    config.io_timeout = Some(Duration::from_secs(2));
+    let new = FederatedNode::start(s.clone(), config, fed).expect("start new");
+
+    // The broker session is rejected by the old node.
+    assert_eq!(new.resync(), 0, "no broker link to a pre-federation node");
+
+    // The new node still acks local work; the forward failure is
+    // absorbed (resync heals it if the peer ever upgrades).
+    let mut at_new = ServiceClient::connect_binary(new.local_addr()).expect("connect new");
+    at_new
+        .subscribe(SubscriptionId(1), &sub(&s, 10, 20))
+        .expect("subscribe at new");
+    let p = Publication::from_values(&s, vec![15, 15]).expect("pub");
+    assert_eq!(
+        at_new.publish(&p).expect("publish at new"),
+        vec![SubscriptionId(1)]
+    );
+    assert_eq!(new.federation_stats().peers_connected, 0);
+
+    // And the old node is entirely unbothered.
+    let mut at_old = ServiceClient::connect_binary(old.local_addr()).expect("connect old");
+    at_old
+        .subscribe(SubscriptionId(2), &sub(&s, 10, 20))
+        .expect("subscribe at old");
+    assert_eq!(
+        at_old.publish(&p).expect("publish at old"),
+        vec![SubscriptionId(2)]
+    );
+
+    drop(at_new);
+    drop(at_old);
+    new.stop();
+    old.stop();
+}
