@@ -64,6 +64,17 @@ impl Broker {
         self.seen.remove(&id);
     }
 
+    /// The installed body of subscription `id`, wherever it lives
+    /// (local table or any link's received table). `None` if the id is
+    /// not installed — for a seen id that means never, since `seen` is
+    /// only marked alongside an install.
+    pub fn subscription_body(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.local
+            .iter()
+            .chain(self.received.values().flatten())
+            .find_map(|(i, s)| (*i == id).then_some(s))
+    }
+
     /// Registers a local subscriber's subscription.
     pub fn add_local(&mut self, id: SubscriptionId, sub: Subscription) {
         self.local.push((id, sub));
@@ -232,6 +243,25 @@ mod tests {
         assert!(!b.link_wants(BrokerId(2), &hit)); // unknown link: nothing
         assert!(b.remove_received(BrokerId(1), SubscriptionId(5)));
         assert!(!b.link_wants(BrokerId(1), &hit));
+    }
+
+    #[test]
+    fn subscription_body_searches_local_and_received() {
+        let schema = schema();
+        let mut b = Broker::new(BrokerId(0));
+        b.add_local(SubscriptionId(1), sub(&schema, 0, 10));
+        b.add_received(BrokerId(2), SubscriptionId(3), sub(&schema, 20, 30));
+        assert_eq!(
+            b.subscription_body(SubscriptionId(1)),
+            Some(&sub(&schema, 0, 10))
+        );
+        assert_eq!(
+            b.subscription_body(SubscriptionId(3)),
+            Some(&sub(&schema, 20, 30))
+        );
+        assert_eq!(b.subscription_body(SubscriptionId(9)), None);
+        b.remove_local(SubscriptionId(1));
+        assert_eq!(b.subscription_body(SubscriptionId(1)), None);
     }
 
     #[test]

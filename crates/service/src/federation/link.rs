@@ -10,10 +10,11 @@
 //!
 //! Failure model: any I/O or protocol error tears the connection down
 //! (`connected` drops to `false`) and surfaces to the caller. The node
-//! re-establishes lazily on the next use — and, because a reconnect is
-//! reported distinctly, follows it with a full *resync* (re-forwarding
-//! the covering-filtered sent set) so a restarted peer rebuilds its
-//! routing tables before any new traffic rides the link.
+//! re-establishes lazily on the next use — and a fresh session runs the
+//! caller's *resync* (re-forwarding the covering-filtered sent set)
+//! inside [`LinkSession::ensure`], under the same connection lock that
+//! guards round trips, so a restarted peer rebuilds its routing tables
+//! before any other thread's traffic can ride the link.
 
 use super::proto::{BrokerRequest, BrokerResponse};
 use psc_broker::BrokerId;
@@ -122,13 +123,23 @@ impl LinkSession {
     }
 
     /// Establishes the session if it is down: TCP connect, binary
-    /// preamble, Ready frame, broker hello. Returns `true` when this
-    /// call created a fresh session (the caller must then resync before
-    /// trusting the link's peer-side state).
-    pub(crate) fn ensure(&self) -> Result<bool, LinkError> {
+    /// preamble, Ready frame, broker hello — then the caller's resync
+    /// requests, still under the connection lock, so no concurrent
+    /// [`LinkSession::call`] can interleave traffic ahead of the resync.
+    /// The fresh session only becomes visible (and callable) once every
+    /// resync round trip succeeded; a restarted peer therefore never
+    /// sees a plan or publish before its routing tables are rebuilt.
+    ///
+    /// `resync` is invoked only when this call created a fresh session;
+    /// it returns the requests to replay (the covering-filtered sent
+    /// set for an overlay link, empty for a plain WAL follower).
+    pub(crate) fn ensure(
+        &self,
+        resync: impl FnOnce() -> Vec<BrokerRequest>,
+    ) -> Result<(), LinkError> {
         let mut guard = self.conn.lock().expect("link conn lock");
         if guard.is_some() {
-            return Ok(false);
+            return Ok(());
         }
         let addr = *self.addr.lock().expect("link addr lock");
         let mut stream = match self.io_timeout {
@@ -172,9 +183,12 @@ impl LinkSession {
                 ))))
             }
         }
+        for request in resync() {
+            round_trip(&mut conn, &request)?;
+        }
         *guard = Some(conn);
         self.connected.store(true, Ordering::Relaxed);
-        Ok(true)
+        Ok(())
     }
 
     /// One synchronous broker round trip. The session must be

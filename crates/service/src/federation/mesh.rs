@@ -46,9 +46,14 @@ pub(crate) struct InstallOutcome {
     pub plans: Vec<ForwardPlan>,
     /// Links on which the subscription was withheld by covering.
     pub suppressed: u64,
-    /// The id was already seen here (cycle/duplicate guard) — nothing
-    /// changed and nothing needs sending.
+    /// The id was already seen here with the *same* body (cycle/resync
+    /// duplicate) — nothing changed and nothing needs sending.
     pub duplicate: bool,
+    /// The id was already seen here with a *different* body — an id
+    /// collision, never an idempotent retransmission. Nothing was
+    /// installed; the caller must reject rather than ack, or the
+    /// colliding subscriber silently gets no deliveries anywhere.
+    pub conflict: bool,
 }
 
 /// One node's broker tables plus the covering policy and its RNG.
@@ -82,7 +87,17 @@ impl MeshState {
         id: SubscriptionId,
         sub: Subscription,
     ) -> InstallOutcome {
-        if !self.broker.mark_seen(id) {
+        if self.broker.has_seen(id) {
+            // Only an exact body match is an idempotent duplicate
+            // (resync retransmission or routing cycle); a different
+            // body under a seen id is a collision and must surface as
+            // an error, never a silent success ack.
+            if self.broker.subscription_body(id) != Some(&sub) {
+                return InstallOutcome {
+                    conflict: true,
+                    ..InstallOutcome::default()
+                };
+            }
             // A duplicate from a peer still refreshes reverse-path
             // provenance: after a crash this node may have recovered the
             // subscription from its WAL as *local* (the log carries no
@@ -97,6 +112,7 @@ impl MeshState {
                 ..InstallOutcome::default()
             };
         }
+        self.broker.mark_seen(id);
         match from {
             None => self.broker.add_local(id, sub.clone()),
             Some(link) => self.broker.add_received(link, id, sub.clone()),
@@ -320,10 +336,30 @@ mod tests {
         m.install(None, SubscriptionId(1), sub(&s, 0, 9));
         let dup = m.install(Some(BrokerId(1)), SubscriptionId(1), sub(&s, 0, 9));
         assert!(dup.duplicate);
+        assert!(!dup.conflict);
         assert!(dup.plans.is_empty());
         let (existed, plans) = m.remove(None, SubscriptionId(99));
         assert!(!existed);
         assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn id_collision_with_different_body_is_a_conflict() {
+        let s = schema();
+        let mut m = mesh();
+        m.install(None, SubscriptionId(1), sub(&s, 0, 9));
+        // Same id, different filter — from a local client or a peer —
+        // must be flagged, not swallowed as an idempotent duplicate.
+        for from in [None, Some(BrokerId(1))] {
+            let clash = m.install(from, SubscriptionId(1), sub(&s, 50, 60));
+            assert!(clash.conflict);
+            assert!(!clash.duplicate);
+            assert!(clash.plans.is_empty());
+        }
+        // The original install is untouched.
+        assert_eq!(m.forwarded_ids(BrokerId(1)), vec![SubscriptionId(1)]);
+        let p = psc_model::Publication::from_values(&s, vec![55]).unwrap();
+        assert!(m.publish_targets(Some(BrokerId(1)), &p).is_empty());
     }
 
     #[test]

@@ -202,23 +202,25 @@ impl NodeShared {
             .fetch_add(retracts, Ordering::Relaxed);
     }
 
-    /// Establishes `link` if down; a fresh session is followed by a full
-    /// resync (re-forwarding the covering-filtered sent set) so a
-    /// restarted peer rebuilds its routing tables. Callers must not hold
-    /// the mesh lock.
+    /// Establishes `link` if down. A fresh session runs a full resync
+    /// (re-forwarding the covering-filtered sent set) *inside* the
+    /// link's connection lock, before the session becomes callable, so
+    /// no concurrent plan or publish can reach a restarted peer ahead
+    /// of its routing-table rebuild. Callers must not hold the mesh
+    /// lock (the resync closure takes it briefly).
     fn establish(&self, session: &LinkSession) -> Result<(), LinkError> {
-        if session.ensure()? {
+        session.ensure(|| {
             let entries = {
                 let m = self.mesh.lock().expect("mesh lock");
                 m.resync_entries(session.peer())
             };
-            for (id, sub) in entries {
-                session.call(&BrokerRequest::Forward(SubscriptionDto::from_subscription(
-                    id, &sub,
-                )))?;
-            }
-        }
-        Ok(())
+            entries
+                .into_iter()
+                .map(|(id, sub)| {
+                    BrokerRequest::Forward(SubscriptionDto::from_subscription(id, &sub))
+                })
+                .collect()
+        })
     }
 
     /// Executes planned per-link sends: forwards first, then retracts.
@@ -258,9 +260,18 @@ impl NodeShared {
             let mut m = self.mesh.lock().expect("mesh lock");
             m.install(from, id, sub.clone())
         };
+        if outcome.conflict {
+            // Same id, different filter: an id collision (ids are
+            // client-chosen), not an idempotent retransmission. Acking
+            // it would leave the caller subscribed nowhere.
+            return Err(format!(
+                "subscription id {} is already installed with a different filter",
+                id.0
+            ));
+        }
         if outcome.duplicate {
             // Resync retransmission or a routing cycle: already applied
-            // here, ack idempotently.
+            // here (exact body match), ack idempotently.
             return Ok(());
         }
         if from.is_some() {
@@ -881,7 +892,10 @@ fn handle_broker_frame(
         BrokerRequest::WalList => match &shared.shipper {
             None => BrokerReply::Fail("node is not durable; no WAL to ship".into()),
             Some(shipper) => match shipper.list() {
-                Ok(shards) => BrokerReply::Respond(BrokerResponse::WalList(shards)),
+                Ok(shards) => BrokerReply::Respond(BrokerResponse::WalList {
+                    epoch: shipper.epoch(),
+                    shards,
+                }),
                 Err(e) => BrokerReply::Fail(format!("WAL list failed: {e}")),
             },
         },
@@ -890,20 +904,31 @@ fn handle_broker_frame(
             segment,
             offset,
             max_len,
+            prefix_crc,
         } => {
             if !shared.fail.check(&shared.shutdown) {
                 return BrokerReply::Crash;
             }
             match &shared.shipper {
                 None => BrokerReply::Fail("node is not durable; no WAL to ship".into()),
-                Some(shipper) => match shipper.fetch(shard, segment, offset, max_len) {
-                    Ok((bytes, newly_completed)) => {
+                Some(shipper) => match shipper.fetch(shard, segment, offset, max_len, prefix_crc) {
+                    Ok(Some((bytes, newly_completed))) => {
                         shared
                             .counters
                             .segments_shipped
                             .fetch_add(newly_completed, Ordering::Relaxed);
-                        BrokerReply::Respond(BrokerResponse::WalChunk(bytes))
+                        BrokerReply::Respond(BrokerResponse::WalChunk {
+                            prefix_ok: true,
+                            bytes,
+                        })
                     }
+                    // The fetcher's local prefix diverged (torn tail
+                    // mirrored before a restart's truncation): tell it
+                    // to refetch from zero.
+                    Ok(None) => BrokerReply::Respond(BrokerResponse::WalChunk {
+                        prefix_ok: false,
+                        bytes: Vec::new(),
+                    }),
                     Err(e) => BrokerReply::Fail(format!("WAL fetch failed: {e}")),
                 },
             }

@@ -17,7 +17,7 @@
 //! | `0x12` | retract subscription | `id: u64` |
 //! | `0x13` | remote publish | `count: u32`, `count` × `value: i64` |
 //! | `0x14` | WAL list | — |
-//! | `0x15` | WAL fetch | `shard: u32`, `segment: u64`, `offset: u64`, `max_len: u32` |
+//! | `0x15` | WAL fetch | `shard: u32`, `segment: u64`, `offset: u64`, `max_len: u32`, `prefix_crc: u32` |
 //! | `0x16` | heartbeat | `node_id: u64` |
 //!
 //! | Opcode | Response | Payload after the opcode byte |
@@ -26,8 +26,8 @@
 //! | `0x91` | forwarded | — |
 //! | `0x92` | retracted | `existed: u8` |
 //! | `0x93` | matched | `count: u32`, `count` × `id: u64` (ascending) |
-//! | `0x94` | WAL list | `shards: u32`, per shard: `shard: u32`, `manifest: bytes`, `count: u32`, `count` × (`segment: u64`, `len: u64`) |
-//! | `0x95` | WAL chunk | `bytes` (`u32` length + raw bytes) |
+//! | `0x94` | WAL list | `epoch: u64`, `shards: u32`, per shard: `shard: u32`, `manifest: bytes`, `count: u32`, `count` × (`segment: u64`, `len: u64`) |
+//! | `0x95` | WAL chunk | `prefix_ok: u8`, `bytes` (`u32` length + raw bytes) |
 //! | `0x96` | heartbeat | `node_id: u64` |
 //! | `0xFF` | error | `message: str` (shared with the client protocol) |
 //!
@@ -106,6 +106,12 @@ pub enum BrokerRequest {
         offset: u64,
         /// Read cap, clamped to [`MAX_WAL_CHUNK_BYTES`] by the server.
         max_len: u32,
+        /// IEEE CRC-32 of the fetcher's local copy of the segment's
+        /// first `offset` bytes. The server verifies it against its own
+        /// prefix and answers `prefix_ok: false` on mismatch — the
+        /// divergence signal after a leader restart truncated a torn
+        /// tail the fetcher had already mirrored.
+        prefix_crc: u32,
     },
     /// Liveness probe carrying the prober's node id.
     Heartbeat {
@@ -132,10 +138,28 @@ pub enum BrokerResponse {
     Retracted(bool),
     /// Subscriber ids matched at or beyond the answering node.
     Matched(Vec<u64>),
-    /// Shippable WAL state, one entry per shard.
-    WalList(Vec<ShardSegments>),
+    /// Shippable WAL state, one entry per shard. `epoch` identifies the
+    /// serving process's boot: a follower that sees it change knows the
+    /// leader restarted — and restart recovery may have truncated a torn
+    /// live-segment tail the follower mirrored — so it must re-verify
+    /// every mirrored segment prefix, even ones whose lengths match.
+    WalList {
+        /// Boot epoch of the serving process (fresh per start).
+        epoch: u64,
+        /// Per-shard shippable state.
+        shards: Vec<ShardSegments>,
+    },
     /// Raw WAL bytes (possibly empty when the offset is at the end).
-    WalChunk(Vec<u8>),
+    /// `prefix_ok: false` means the fetcher's `prefix_crc` did not match
+    /// the server's segment prefix (or the offset lies beyond the
+    /// segment): the fetcher's local copy diverged and must be refetched
+    /// from zero; `bytes` is empty in that case.
+    WalChunk {
+        /// Whether the fetcher's declared prefix matches the server's.
+        prefix_ok: bool,
+        /// The fetched bytes (empty on mismatch or end-of-segment).
+        bytes: Vec<u8>,
+    },
     /// Liveness answer.
     Heartbeat {
         /// Overlay id of the answering broker.
@@ -202,12 +226,14 @@ impl BrokerRequest {
                 segment,
                 offset,
                 max_len,
+                prefix_crc,
             } => {
                 codec::put_u8(p, bop::WAL_FETCH);
                 codec::put_u32(p, *shard);
                 codec::put_u64(p, *segment);
                 codec::put_u64(p, *offset);
                 codec::put_u32(p, *max_len);
+                codec::put_u32(p, *prefix_crc);
             }
             BrokerRequest::Heartbeat { node_id } => {
                 codec::put_u8(p, bop::HEARTBEAT);
@@ -263,6 +289,7 @@ impl BrokerRequest {
                 segment: r.u64().map_err(codec_err)?,
                 offset: r.u64().map_err(codec_err)?,
                 max_len: r.u32().map_err(codec_err)?,
+                prefix_crc: r.u32().map_err(codec_err)?,
             },
             bop::HEARTBEAT => BrokerRequest::Heartbeat {
                 node_id: r.u64().map_err(codec_err)?,
@@ -311,8 +338,9 @@ impl BrokerResponse {
                     codec::put_u64(p, id);
                 }
             }
-            BrokerResponse::WalList(shards) => {
+            BrokerResponse::WalList { epoch, shards } => {
                 codec::put_u8(p, bop::R_WAL_LIST);
+                codec::put_u64(p, *epoch);
                 codec::put_u32(p, shards.len() as u32);
                 for s in shards {
                     codec::put_u32(p, s.shard);
@@ -324,8 +352,9 @@ impl BrokerResponse {
                     }
                 }
             }
-            BrokerResponse::WalChunk(bytes) => {
+            BrokerResponse::WalChunk { prefix_ok, bytes } => {
                 codec::put_u8(p, bop::R_WAL_CHUNK);
+                codec::put_u8(p, u8::from(*prefix_ok));
                 codec::put_bytes(p, bytes);
             }
             BrokerResponse::Heartbeat { node_id } => {
@@ -362,6 +391,7 @@ impl BrokerResponse {
                 BrokerResponse::Matched(ids)
             }
             bop::R_WAL_LIST => {
+                let epoch = r.u64().map_err(codec_err)?;
                 let count = r.u32().map_err(codec_err)? as usize;
                 // A shard entry costs at least 12 encoded bytes (shard,
                 // manifest length, segment count).
@@ -393,9 +423,12 @@ impl BrokerResponse {
                         segments,
                     });
                 }
-                BrokerResponse::WalList(shards)
+                BrokerResponse::WalList { epoch, shards }
             }
-            bop::R_WAL_CHUNK => BrokerResponse::WalChunk(r.byte_vec().map_err(codec_err)?),
+            bop::R_WAL_CHUNK => BrokerResponse::WalChunk {
+                prefix_ok: r.u8().map_err(codec_err)? != 0,
+                bytes: r.byte_vec().map_err(codec_err)?,
+            },
             bop::R_HEARTBEAT => BrokerResponse::Heartbeat {
                 node_id: r.u64().map_err(codec_err)?,
             },
@@ -443,6 +476,7 @@ mod tests {
                 segment: 7,
                 offset: 4096,
                 max_len: 65536,
+                prefix_crc: 0xDEAD_BEEF,
             },
             BrokerRequest::Heartbeat { node_id: 9 },
         ];
@@ -464,15 +498,25 @@ mod tests {
             BrokerResponse::Forwarded,
             BrokerResponse::Retracted(true),
             BrokerResponse::Matched(vec![1, 2, 3]),
-            BrokerResponse::WalList(vec![ShardSegments {
-                shard: 0,
-                manifest: vec![0xAB, 0xCD],
-                segments: vec![
-                    SegmentInfo { id: 0, len: 128 },
-                    SegmentInfo { id: 1, len: 64 },
-                ],
-            }]),
-            BrokerResponse::WalChunk(vec![9, 8, 7]),
+            BrokerResponse::WalList {
+                epoch: 0x1234_5678_9ABC_DEF0,
+                shards: vec![ShardSegments {
+                    shard: 0,
+                    manifest: vec![0xAB, 0xCD],
+                    segments: vec![
+                        SegmentInfo { id: 0, len: 128 },
+                        SegmentInfo { id: 1, len: 64 },
+                    ],
+                }],
+            },
+            BrokerResponse::WalChunk {
+                prefix_ok: true,
+                bytes: vec![9, 8, 7],
+            },
+            BrokerResponse::WalChunk {
+                prefix_ok: false,
+                bytes: Vec::new(),
+            },
             BrokerResponse::Heartbeat { node_id: 2 },
         ];
         for case in cases {
@@ -508,6 +552,7 @@ mod tests {
 
         // WAL list claiming 2^31 shards.
         let mut payload = vec![bop::R_WAL_LIST];
+        payload.extend_from_slice(&7u64.to_le_bytes()); // epoch
         payload.extend_from_slice(&0x8000_0000u32.to_le_bytes());
         assert!(BrokerResponse::decode_binary(&payload).is_err());
     }

@@ -7,10 +7,14 @@
 //! ranges of those segments. Segments are append-only and immutable
 //! after rotation (see [`crate::storage`]), which is exactly what makes
 //! them shippable: a follower only ever needs to append the leader's
-//! new bytes, never to reconcile rewrites. The one racy read — the live
-//! segment's tail while the leader is mid-append — is safe because
-//! recovery truncates a torn final record, and the next sync pass ships
-//! the rest.
+//! new bytes, never to reconcile rewrites. The one exception is a
+//! leader restart whose recovery truncates a torn live-segment tail the
+//! follower had already mirrored — so every `WAL fetch` carries the
+//! fetcher's CRC-32 of its local prefix, the serving side verifies it
+//! against its own bytes before answering, and on mismatch the follower
+//! drops its copy of that segment and refetches it from zero. Length
+//! comparison alone cannot catch this (the restarted leader may have
+//! re-appended past the follower's length); the prefix CRC can.
 //!
 //! The tailing side ([`WalFollower`] / [`FollowerHandle`]) mirrors the
 //! leader's shard directories into a replica directory through the
@@ -25,15 +29,17 @@
 //! acknowledged operations — everything shipped before the leader
 //! stopped. Shipping is asynchronous, so an operation the leader acked
 //! in its final unshipped moments may be missing from the replica; what
-//! can never happen is a torn or reordered replica state, because
-//! recovery applies the same manifest/segment validation the leader's
-//! own restart would.
+//! can never happen is a torn or reordered replica state: the prefix
+//! CRC above keeps every replica segment a byte-exact prefix of the
+//! leader's even across leader restarts, and recovery applies the same
+//! manifest/segment validation the leader's own restart would.
 
 use super::link::{LinkError, LinkSession};
 use super::proto::{
     BrokerRequest, BrokerResponse, SegmentInfo, ShardSegments, MAX_WAL_CHUNK_BYTES,
 };
 use crate::service::{PubSubService, ServiceConfig, ServiceError};
+use crate::storage::record::{crc32, crc32_finalize, crc32_update, CRC_INIT};
 use crate::storage::{parse_segment_name, segment_file_name, RealFs, StorageFs, MANIFEST_FILE};
 use psc_broker::BrokerId;
 use psc_model::Schema;
@@ -49,6 +55,10 @@ use std::time::Duration;
 pub(crate) struct WalShipper {
     data_dir: PathBuf,
     shards: usize,
+    /// Boot epoch: fresh per process start, shipped in every `WAL list`
+    /// so followers can tell a restart happened (and re-verify the
+    /// segment prefixes restart recovery may have truncated).
+    epoch: u64,
     /// Rotated segments whose final byte has been served — the
     /// `segments_shipped` counter counts each exactly once.
     fully_shipped: Mutex<HashSet<(u32, u64)>>,
@@ -59,8 +69,16 @@ impl WalShipper {
         WalShipper {
             data_dir,
             shards,
+            epoch: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos() as u64),
             fully_shipped: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// This process's boot epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The shippable state of every shard.
@@ -100,8 +118,12 @@ impl WalShipper {
         Ok(out)
     }
 
-    /// Reads up to `max_len` bytes of one segment from `offset`.
-    /// Returns the bytes plus how many *rotated* segments this fetch
+    /// Reads up to `max_len` bytes of one segment from `offset`, after
+    /// verifying `prefix_crc` (the fetcher's CRC-32 of its local first
+    /// `offset` bytes) against this node's own prefix. Returns `None`
+    /// when the prefix diverged — the fetcher mirrored bytes a restart's
+    /// torn-tail truncation since rewrote, and must refetch from zero —
+    /// otherwise the bytes plus how many *rotated* segments this fetch
     /// newly completed (0 or 1) for the `segments_shipped` counter.
     pub(crate) fn fetch(
         &self,
@@ -109,10 +131,14 @@ impl WalShipper {
         segment: u64,
         offset: u64,
         max_len: u32,
-    ) -> std::io::Result<(Vec<u8>, u64)> {
+        prefix_crc: u32,
+    ) -> std::io::Result<Option<(Vec<u8>, u64)>> {
         let dir = self.data_dir.join(format!("shard-{shard}"));
         let bytes = std::fs::read(dir.join(segment_file_name(segment)))?;
-        let start = (offset as usize).min(bytes.len());
+        let start = offset as usize;
+        if start > bytes.len() || crc32(&bytes[..start]) != prefix_crc {
+            return Ok(None);
+        }
         let len = (max_len.min(MAX_WAL_CHUNK_BYTES) as usize).min(bytes.len() - start);
         let chunk = bytes[start..start + len].to_vec();
 
@@ -134,7 +160,7 @@ impl WalShipper {
                 newly_completed = 1;
             }
         }
-        Ok((chunk, newly_completed))
+        Ok(Some((chunk, newly_completed)))
     }
 }
 
@@ -160,6 +186,12 @@ pub struct WalFollower {
     replica_dir: PathBuf,
     fs: Arc<dyn StorageFs>,
     shards_seen: usize,
+    /// The leader's boot epoch at the last *completed* sync pass.
+    /// `None` before the first — the first pass (and any pass after an
+    /// observed epoch change) verifies every mirrored segment prefix
+    /// instead of trusting matching lengths, because a leader restart
+    /// may have truncated a torn tail this replica already holds.
+    leader_epoch: Option<u64>,
 }
 
 impl WalFollower {
@@ -188,6 +220,7 @@ impl WalFollower {
             replica_dir,
             fs,
             shards_seen: 0,
+            leader_epoch: None,
         }
     }
 
@@ -203,7 +236,7 @@ impl WalFollower {
 
     /// Probes the leader. An error means a missed heartbeat.
     pub fn heartbeat(&mut self) -> Result<(), LinkError> {
-        self.link.ensure()?;
+        self.link.ensure(Vec::new)?;
         match self
             .link
             .call(&BrokerRequest::Heartbeat { node_id: u64::MAX })?
@@ -219,24 +252,31 @@ impl WalFollower {
     /// segment byte to the replica (fsynced), mirror manifests, drop
     /// segments the leader pruned.
     pub fn sync(&mut self) -> Result<SyncReport, LinkError> {
-        self.link.ensure()?;
-        let shards = match self.link.call(&BrokerRequest::WalList)? {
-            BrokerResponse::WalList(shards) => shards,
+        self.link.ensure(Vec::new)?;
+        let (epoch, shards) = match self.link.call(&BrokerRequest::WalList)? {
+            BrokerResponse::WalList { epoch, shards } => (epoch, shards),
             other => {
                 return Err(LinkError::Wire(psc_model::wire::WireError::Shape(format!(
                     "WAL list answered with unexpected response: {other:?}"
                 ))))
             }
         };
+        // First contact, or the leader restarted since our last
+        // completed pass: every mirrored prefix must be re-verified,
+        // even in segments whose lengths happen to match.
+        let verify_prefixes = self.leader_epoch != Some(epoch);
         let mut report = SyncReport {
             shards: shards.len(),
             ..SyncReport::default()
         };
         for shard in &shards {
-            report.bytes_fetched += self.sync_shard(shard)?;
+            report.bytes_fetched += self.sync_shard(shard, verify_prefixes)?;
             report.segments_pruned += self.prune_shard(shard)?;
         }
         self.shards_seen = shards.len();
+        // Only a completed pass may latch the epoch: a pass that died
+        // mid-verification re-verifies everything next time.
+        self.leader_epoch = Some(epoch);
         Ok(report)
     }
 
@@ -244,48 +284,94 @@ impl WalFollower {
         self.replica_dir.join(format!("shard-{shard}"))
     }
 
-    fn local_len(&self, shard: u32, segment: u64) -> std::io::Result<u64> {
+    /// The replica's current copy of one segment: its length and the
+    /// streaming CRC-32 register over its bytes (extended chunk by
+    /// chunk as the sync appends).
+    fn local_state(&self, shard: u32, segment: u64) -> std::io::Result<(u64, u32)> {
         match self
             .fs
             .read(&self.shard_dir(shard).join(segment_file_name(segment)))
         {
-            Ok(bytes) => Ok(bytes.len() as u64),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Ok(bytes) => Ok((bytes.len() as u64, crc32_update(CRC_INIT, &bytes))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((0, CRC_INIT)),
             Err(e) => Err(e),
         }
     }
 
-    fn sync_shard(&mut self, shard: &ShardSegments) -> Result<u64, LinkError> {
+    /// Truncates the replica's copy of one segment to zero — the local
+    /// prefix diverged from the leader's (a restart truncated a torn
+    /// tail we had mirrored) and must be refetched from scratch.
+    fn reset_segment(&self, dir: &std::path::Path, segment: u64) -> std::io::Result<()> {
+        self.fs
+            .create(&dir.join(segment_file_name(segment)))?
+            .sync()
+    }
+
+    fn sync_shard(
+        &mut self,
+        shard: &ShardSegments,
+        verify_prefixes: bool,
+    ) -> Result<u64, LinkError> {
         let dir = self.shard_dir(shard.shard);
         self.fs.create_dir_all(&dir)?;
         self.write_manifest(shard)?;
         let mut fetched = 0u64;
         for segment in &shard.segments {
-            let mut local = self.local_len(shard.shard, segment.id)?;
+            let (mut local, mut crc_state) = self.local_state(shard.shard, segment.id)?;
             if local > segment.len {
                 // The leader restarted and recovery truncated a torn
                 // tail shorter than what we mirrored. Refetch from zero
                 // (rare; segments never shrink otherwise).
-                self.fs
-                    .create(&dir.join(segment_file_name(segment.id)))?
-                    .sync()?;
+                self.reset_segment(&dir, segment.id)?;
                 local = 0;
+                crc_state = CRC_INIT;
             }
-            while local < segment.len {
-                let want = (segment.len - local).min(MAX_WAL_CHUNK_BYTES as u64) as u32;
-                let chunk = match self.link.call(&BrokerRequest::WalFetch {
+            // After a leader restart even an equal-length segment may
+            // hide divergence: recovery truncated a torn tail and new
+            // appends grew the segment back past our length. A
+            // zero-length fetch makes the leader check our prefix CRC
+            // without shipping bytes.
+            let mut need_probe = verify_prefixes && local > 0;
+            // A same-pass prefix mismatch after a reset means the leader
+            // truncated *again* mid-pass; give up and let the next pass
+            // re-list rather than spin.
+            let mut resets = 0;
+            while local < segment.len || need_probe {
+                let want =
+                    (segment.len.saturating_sub(local)).min(MAX_WAL_CHUNK_BYTES as u64) as u32;
+                let (prefix_ok, chunk) = match self.link.call(&BrokerRequest::WalFetch {
                     shard: shard.shard,
                     segment: segment.id,
                     offset: local,
                     max_len: want,
+                    prefix_crc: crc32_finalize(crc_state),
                 })? {
-                    BrokerResponse::WalChunk(bytes) => bytes,
+                    BrokerResponse::WalChunk { prefix_ok, bytes } => (prefix_ok, bytes),
                     other => {
                         return Err(LinkError::Wire(psc_model::wire::WireError::Shape(format!(
                             "WAL fetch answered with unexpected response: {other:?}"
                         ))))
                     }
                 };
+                if !prefix_ok {
+                    // Our mirrored prefix diverged from the leader's
+                    // (torn-tail truncation after a leader restart, even
+                    // one the length guard above cannot see because the
+                    // leader re-appended past our length). Drop the
+                    // local copy and refetch the segment from zero.
+                    if resets >= 1 {
+                        break;
+                    }
+                    resets += 1;
+                    self.reset_segment(&dir, segment.id)?;
+                    local = 0;
+                    crc_state = CRC_INIT;
+                    // An empty local prefix trivially matches.
+                    need_probe = false;
+                    continue;
+                }
+                // The leader vouched for our whole mirrored prefix.
+                need_probe = false;
                 if chunk.is_empty() {
                     // The leader's segment shrank or vanished between
                     // list and fetch (a prune raced us); the next sync
@@ -297,6 +383,7 @@ impl WalFollower {
                     .open_append(&dir.join(segment_file_name(segment.id)))?;
                 file.write_all(&chunk)?;
                 file.sync()?;
+                crc_state = crc32_update(crc_state, &chunk);
                 local += chunk.len() as u64;
                 fetched += chunk.len() as u64;
             }
@@ -356,6 +443,7 @@ struct FollowerShared {
     stop: AtomicBool,
     consecutive_misses: AtomicU64,
     syncs_completed: AtomicU64,
+    sync_failures: AtomicU64,
 }
 
 /// A background WAL follower: syncs and heartbeats on an interval,
@@ -382,6 +470,7 @@ impl FollowerHandle {
             stop: AtomicBool::new(false),
             consecutive_misses: AtomicU64::new(0),
             syncs_completed: AtomicU64::new(0),
+            sync_failures: AtomicU64::new(0),
         });
         let thread_shared = Arc::clone(&shared);
         let mut follower = WalFollower::connect(
@@ -393,13 +482,23 @@ impl FollowerHandle {
             .name("psc-wal-follower".into())
             .spawn(move || {
                 while !thread_shared.stop.load(Ordering::Relaxed) {
-                    let beat = follower.heartbeat().and_then(|()| follower.sync());
-                    match beat {
-                        Ok(_) => {
+                    // Liveness is judged on the heartbeat alone: a live
+                    // leader whose shipping endpoint errors (e.g. a
+                    // non-durable node with no WAL to serve) must not
+                    // accumulate misses and invite a spurious take-over.
+                    match follower.heartbeat() {
+                        Ok(()) => {
                             thread_shared.consecutive_misses.store(0, Ordering::Relaxed);
-                            thread_shared
-                                .syncs_completed
-                                .fetch_add(1, Ordering::Relaxed);
+                            match follower.sync() {
+                                Ok(_) => {
+                                    thread_shared
+                                        .syncs_completed
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    thread_shared.sync_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         Err(_) => {
                             thread_shared
@@ -428,6 +527,13 @@ impl FollowerHandle {
     /// Completed sync passes so far.
     pub fn syncs_completed(&self) -> u64 {
         self.shared.syncs_completed.load(Ordering::Relaxed)
+    }
+
+    /// Sync passes that failed against a leader whose heartbeat landed.
+    /// Counted separately from missed heartbeats: shipping trouble is
+    /// not evidence of leader death.
+    pub fn sync_failures(&self) -> u64 {
+        self.shared.sync_failures.load(Ordering::Relaxed)
     }
 
     /// Stops the tailer thread (idempotent) and returns the inner

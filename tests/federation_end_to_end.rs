@@ -296,6 +296,54 @@ fn middle_node_restart_recovers_and_resyncs() {
 }
 
 #[test]
+fn duplicate_id_with_different_filter_is_rejected_not_swallowed() {
+    let (a, b, c) = start_chain(None);
+    let s = schema();
+
+    // C's interest crosses to B; a B-local client then reuses the id
+    // with a DIFFERENT filter. Before the conflict check, B treated any
+    // seen id as an idempotent duplicate and acked it — leaving the
+    // client subscribed nowhere.
+    let mut at_c = connect(&c, ClientProtocol::Binary);
+    at_c.subscribe(SubscriptionId(1), &sub(&s, 10, 20, 10, 20))
+        .expect("subscribe at C");
+
+    let mut at_b = connect(&b, ClientProtocol::Binary);
+    assert!(
+        at_b.subscribe(SubscriptionId(1), &sub(&s, 60, 70, 60, 70))
+            .is_err(),
+        "an id collision with a different filter must be an error, not a silent ack"
+    );
+    // The colliding filter installed nothing: publications inside it
+    // match nobody, while the original keeps matching.
+    let mut publisher = connect(&a, ClientProtocol::Binary);
+    assert_eq!(
+        publisher
+            .publish(&publication(&s, 65, 65))
+            .expect("publish into rejected filter"),
+        Vec::<SubscriptionId>::new(),
+        "the rejected filter must not be routable"
+    );
+    assert_eq!(
+        publisher
+            .publish(&publication(&s, 15, 15))
+            .expect("publish into original filter"),
+        vec![SubscriptionId(1)],
+        "the original subscription must be untouched"
+    );
+    // An exact retransmission of the original body stays idempotent.
+    at_c.subscribe(SubscriptionId(1), &sub(&s, 10, 20, 10, 20))
+        .expect("exact resend must ack idempotently");
+
+    drop(at_c);
+    drop(at_b);
+    drop(publisher);
+    a.stop();
+    b.stop();
+    c.stop();
+}
+
+#[test]
 fn unsubscribe_retracts_across_the_mesh() {
     let (a, b, c) = start_chain(None);
     let s = schema();

@@ -362,6 +362,133 @@ fn leader_crash_mid_ship_resumes_after_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The silent-divergence scenario: the follower mirrors the live
+/// segment including a tail the leader loses in a crash; recovery
+/// truncates the torn tail in place and new appends grow the segment
+/// back PAST the follower's mirrored length. A pure length comparison
+/// never fires — the follower would append fresh bytes after its stale
+/// ones and corrupt the replica. The prefix CRC on every fetch (plus
+/// the boot-epoch probe for equal-length segments) must detect the
+/// stale prefix, rewind the segment, and reconverge byte-for-byte.
+#[test]
+fn leader_restart_after_torn_tail_cannot_diverge_replica() {
+    let dir = std::env::temp_dir().join(format!("psc-fed-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let s = schema();
+    let leader = start_leader(&dir);
+
+    let fs = CrashFs::new();
+    let replica_dir = std::path::PathBuf::from("/replica");
+    let mut follower = WalFollower::with_fs(
+        leader.local_addr(),
+        replica_dir.clone(),
+        Some(Duration::from_secs(2)),
+        Arc::new(fs.clone()),
+    );
+    follower.sync().expect("initial sync");
+    assert_replica_matches(&fs, &replica_dir, &dir);
+    leader.stop();
+    drop(leader);
+
+    // Crash aftermath: the live (highest) segment loses a torn tail the
+    // follower already mirrored.
+    let shard_dir = dir.join("shard-0");
+    let live = std::fs::read_dir(&shard_dir)
+        .expect("shard dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .filter(|n| n.starts_with("wal."))
+        .max()
+        .expect("live segment");
+    let live_path = shard_dir.join(&live);
+    let len = std::fs::metadata(&live_path).expect("metadata").len();
+    assert!(len > 40, "live segment too small to tear ({len} bytes)");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&live_path)
+        .expect("open live segment")
+        .set_len(len - 30)
+        .expect("tear tail");
+
+    // Restart over the torn WAL (recovery truncates to a record
+    // boundary and reopens the same segment for append), then append
+    // enough records to grow past everything the follower mirrored.
+    let mut config = service_config();
+    config.data_dir = Some(dir.to_path_buf());
+    config.wal_segment_bytes = 256;
+    config.snapshot_every = 1_000_000;
+    config.batch_size = 1;
+    let leader2 =
+        FederatedNode::start(s.clone(), config, fed_config(0, &[], None)).expect("restart leader");
+    let mut client = ServiceClient::connect_binary(leader2.local_addr()).expect("connect");
+    for i in 60..90i64 {
+        client
+            .subscribe(SubscriptionId(i as u64), &sub(&s, i, i + 10))
+            .expect("subscribe after restart");
+    }
+    client.flush().expect("durability barrier");
+    drop(client);
+
+    // A fresh follower session (the restarted leader is on a new port)
+    // over the SAME replica bytes must converge, not silently append
+    // after the stale torn tail.
+    let mut resumed = WalFollower::with_fs(
+        leader2.local_addr(),
+        replica_dir.clone(),
+        Some(Duration::from_secs(2)),
+        Arc::new(fs.clone()),
+    );
+    resumed.sync().expect("sync after leader restart");
+    assert_replica_matches(&fs, &replica_dir, &dir);
+    // A second pass over the converged replica is a no-op.
+    let report = resumed.sync().expect("steady-state sync");
+    assert_eq!(report.bytes_fetched, 0, "converged replica refetched bytes");
+
+    leader2.stop();
+    drop(leader2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shipping trouble is not evidence of leader death: against a live but
+/// non-durable leader, heartbeats land while every sync pass fails
+/// (there is no WAL to ship). The follower must keep reporting the peer
+/// alive — only counting the failures — instead of tripping a spurious
+/// take-over.
+#[test]
+fn sync_failures_against_live_leader_do_not_trip_failover() {
+    let root = std::env::temp_dir().join(format!("psc-fed-synfail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("mkdir");
+    // No data_dir: the leader answers heartbeats but fails WAL requests.
+    let leader =
+        FederatedNode::start(schema(), service_config(), fed_config(0, &[], None)).expect("leader");
+
+    let handle = FollowerHandle::spawn(
+        leader.local_addr(),
+        root.join("replica"),
+        Duration::from_millis(50),
+        3,
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.sync_failures() < 5 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sync failures against a non-durable leader were never counted"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        handle.peer_alive(),
+        "failed syncs against a live leader must not count as missed heartbeats"
+    );
+    assert_eq!(handle.syncs_completed(), 0);
+
+    leader.stop();
+    drop(leader);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Fail-over: a background follower tails the leader's WAL, notices the
 /// missed heartbeats once the leader dies, and takes over — the replica
 /// opens as an ordinary service answering every subscription the dead
